@@ -1,0 +1,32 @@
+"""Ablation — finite-difference grid refinement.
+
+Design-choice study: the reproduction's headline statistics (final
+population cache state, accumulated utility) must be stable under grid
+refinement, i.e. the coupled HJB-FPK discretisation is converged at the
+default resolution.
+"""
+
+import numpy as np
+
+from repro.analysis import experiments
+from repro.analysis.reporting import print_table
+from conftest import run_once
+
+
+def test_ablation_grid_resolution(benchmark):
+    resolutions = ((30, 7, 19), (40, 9, 25), (60, 12, 35), (100, 15, 45))
+    rows = run_once(
+        benchmark, experiments.ablation_grid_resolution, resolutions=resolutions
+    )
+
+    print("\nAblation — grid resolution (n_t x n_h x n_q)")
+    print_table(["grid", "final mean q (MB)", "total utility", "iterations"], rows)
+
+    final_qs = np.array([r[1] for r in rows])
+    utilities = np.array([r[2] for r in rows])
+
+    # The two finest grids agree closely on both statistics...
+    assert abs(final_qs[-1] - final_qs[-2]) < 3.0, final_qs
+    assert abs(utilities[-1] - utilities[-2]) < 0.15 * abs(utilities[-1]) + 5.0, utilities
+    # ...and even the coarsest grid stays in the same regime.
+    assert abs(final_qs[0] - final_qs[-1]) < 10.0, final_qs

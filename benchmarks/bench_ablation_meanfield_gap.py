@@ -1,0 +1,34 @@
+"""Ablation — mean-field accuracy vs population size.
+
+Design-choice study (DESIGN.md §4, extras): the mean-field game
+replaces the M-player interaction with a population density; the
+approximation error should shrink as M grows (the propagation-of-chaos
+property behind Eq. (14)).  This bench measures the gap between the
+FPK prediction and finite populations of increasing size.
+"""
+
+import numpy as np
+
+from repro.analysis import experiments
+from repro.analysis.reporting import print_table
+from conftest import run_once
+
+
+def test_ablation_meanfield_gap(benchmark):
+    sizes = (25, 50, 100, 200)
+    rows = run_once(
+        benchmark, experiments.ablation_meanfield_gap, population_sizes=sizes
+    )
+
+    print("\nAblation — mean-field gap vs population size M")
+    print_table(["M", "mean-q RMSE (MB)", "price RMSE"], rows)
+
+    q_gaps = [r[1] for r in rows]
+    p_gaps = [r[2] for r in rows]
+    # The largest population tracks the mean field best; the smallest
+    # worst (allowing for Monte-Carlo noise in between).
+    assert q_gaps[-1] < q_gaps[0], q_gaps
+    assert p_gaps[-1] < p_gaps[0], p_gaps
+    # Absolute quality at M=200: within a few MB and a cent.
+    assert q_gaps[-1] < 4.0
+    assert p_gaps[-1] < 0.01

@@ -1,0 +1,41 @@
+"""Ablation — equilibrium sensitivity to the economic parameters.
+
+Design-choice study: which knobs move the equilibrium, and in which
+direction.  Central-difference elasticities of the headline outputs
+with respect to the pricing and cost parameters; the signs encode the
+paper's comparative statics (Figs. 8, 11, 12).
+"""
+
+from repro.analysis.reporting import print_table
+from repro.analysis.sensitivity import sensitivity_analysis
+from conftest import run_once
+
+
+def test_ablation_sensitivity(benchmark):
+    rows = run_once(
+        benchmark,
+        sensitivity_analysis,
+        parameters=("p_hat", "eta1", "eta2", "w5"),
+        rel_step=0.1,
+    )
+
+    print("\nAblation — equilibrium elasticities")
+    outputs = list(rows[0].elasticities)
+    print_table(
+        ["parameter", "base"] + outputs,
+        [
+            (r.parameter, r.base_value, *(r.elasticities[k] for k in outputs))
+            for r in rows
+        ],
+    )
+
+    by_name = {r.parameter: r.elasticities for r in rows}
+    # The paper's comparative statics, as elasticity signs:
+    # higher price cap => more income (Fig. 12's economics);
+    assert by_name["p_hat"]["trading_income"] > 0
+    # stronger competition conversion => lower price floor (Fig. 11);
+    assert by_name["eta1"]["min_price"] < 0
+    # costlier placement => less caching => more remaining space (Fig. 8);
+    assert by_name["w5"]["final_mean_q"] > 0
+    # a heavier delay penalty hurts the net utility.
+    assert by_name["eta2"]["total_utility"] < 0

@@ -1,0 +1,39 @@
+"""Ablation — usage-based sharing price p_bar.
+
+Design-choice study: the paper fixes a uniform sharing price; this
+bench sweeps it to show (a) the volume of money moving through the
+peer market grows with p_bar, and (b) MFG-CP's advantage over the
+non-sharing MFG baseline persists across the sweep (the advantage is
+mostly the avoided case-3 delay, not the transfer payments, which net
+out inside a homogeneous population).
+"""
+
+import numpy as np
+
+from repro.analysis import experiments
+from repro.analysis.reporting import print_table
+from conftest import run_once
+
+
+def test_ablation_sharing_price(benchmark):
+    prices = (0.0, 0.15, 0.3, 0.6)
+    rows = run_once(
+        benchmark, experiments.ablation_sharing_price, sharing_prices=prices,
+        n_edps=60,
+    )
+
+    print("\nAblation — sharing price p_bar")
+    print_table(
+        ["p_bar", "MFG-CP utility", "MFG utility", "MFG-CP sharing benefit"],
+        rows,
+    )
+
+    benefits = [r[3] for r in rows]
+    # More expensive sharing moves more money through the peer market.
+    assert benefits[-1] > benefits[0], benefits
+    # At p_bar = 0 no money moves at all.
+    assert benefits[0] == 0.0
+
+    # MFG-CP keeps its edge over the non-sharing baseline throughout.
+    for p_bar, mfgcp, mfg, _ in rows:
+        assert mfgcp > mfg, f"p_bar={p_bar}: MFG-CP {mfgcp:.1f} vs MFG {mfg:.1f}"

@@ -1,0 +1,39 @@
+"""Fig. 3 — channel gain evolution under the OU fading law.
+
+Paper claims reproduced here:
+* each fading path reverts toward its long-term mean ``upsilon_h``;
+* a larger ``rho_h`` produces a noisier, less stable trajectory.
+"""
+
+import numpy as np
+
+from repro.analysis import experiments
+from repro.analysis.reporting import format_series
+from conftest import run_once
+
+
+def test_fig3_channel_evolution(benchmark):
+    series = run_once(benchmark, experiments.fig3_channel_evolution)
+    times = series.pop("time")
+
+    print("\nFig. 3 — OU channel fading sample paths")
+    deviations = {}
+    for label, path in sorted(series.items()):
+        mean = float(label.split("mean=")[1].split(",")[0])
+        tail = path[len(path) // 2 :]
+        deviations[label] = float(np.std(tail))
+        print(
+            f"  {label}: start={path[0]:.2f}, "
+            f"tail mean={tail.mean():.3f} (target {mean}), "
+            f"tail std={np.std(tail):.3f}"
+        )
+        # Mean reversion: the tail hugs the long-term mean.
+        assert abs(tail.mean() - mean) < 1.0
+
+    # Larger rho_h => larger fluctuation around the mean.
+    for mean in (2.0, 5.0, 8.0):
+        stds = [deviations[f"mean={mean}, vol={v}"] for v in (0.1, 0.5, 1.0)]
+        assert stds[0] < stds[1] < stds[2], f"volatility ordering broken: {stds}"
+
+    print(format_series("  sample path (mean=5.0, vol=0.5)",
+                        times, series["mean=5.0, vol=0.5"], every=100))

@@ -1,0 +1,53 @@
+"""Fig. 4 — evolution of the mean-field distribution at equilibrium.
+
+Paper claims reproduced here:
+* at a fixed time the density over remaining space is single-peaked
+  (rises then falls in ``q``);
+* over time the mass at large remaining space (60-70 MB) vanishes
+  while the mass near 30 MB grows — space utilisation improves as EDPs
+  cache more popular/urgent content.
+"""
+
+import numpy as np
+
+from repro.analysis import experiments
+from repro.analysis.reporting import print_table
+from conftest import run_once
+
+
+def test_fig4_meanfield_evolution(benchmark, equilibrium):
+    data = run_once(
+        benchmark, experiments.fig4_meanfield_evolution, result=equilibrium
+    )
+    times, q_axis, density = data["time"], data["q"], data["density"]
+
+    print("\nFig. 4 — marginal density lambda(t, q) at equilibrium")
+    probe_qs = (30.0, 50.0, 60.0, 70.0)
+    idx = {q: int(np.argmin(np.abs(q_axis - q))) for q in probe_qs}
+    stride = max(1, len(times) // 6)
+    rows = []
+    for ti in range(0, len(times), stride):
+        rows.append(
+            (f"{times[ti]:.2f}", *(density[ti, idx[q]] for q in probe_qs))
+        )
+    print_table(["t"] + [f"density @q={q:g}MB" for q in probe_qs], rows)
+
+    # Mass conservation at every reporting time.
+    dq = q_axis[1] - q_axis[0]
+    masses = density.sum(axis=1) * dq
+    assert np.allclose(masses, 1.0, atol=0.05), masses
+
+    # 60-70 MB mass vanishes; 30 MB mass rises (the paper's trend).
+    assert density[-1, idx[70.0]] < 0.25 * density[0, idx[70.0]], (
+        "density at q=70MB should collapse over time"
+    )
+    assert density[-1, idx[60.0]] < 0.6 * density[0, idx[60.0]], (
+        "density at q=60MB should shrink over time"
+    )
+    assert density[-1, idx[30.0]] > density[0, idx[30.0]], (
+        "density at q=30MB should grow over time"
+    )
+
+    mean_q = data["mean_q"]
+    print(f"  mean remaining space: {mean_q[0]:.1f} MB -> {mean_q[-1]:.1f} MB")
+    assert mean_q[-1] < mean_q[0]

@@ -1,0 +1,52 @@
+"""Fig. 5 — evolution of the optimal caching policy at equilibrium.
+
+Paper claims reproduced here:
+* at a fixed time the optimal caching rate increases with the caching
+  state (more remaining space => cache more);
+* over time the caching rate decreases when the remaining space is
+  small (e.g. q = 10 MB), while it stays high while space is ample.
+"""
+
+import numpy as np
+
+from repro.analysis import experiments
+from repro.analysis.reporting import print_table
+from conftest import run_once
+
+
+def test_fig5_policy_evolution(benchmark, equilibrium):
+    data = run_once(
+        benchmark, experiments.fig5_policy_evolution, result=equilibrium
+    )
+    times, q_axis = data["time"], data["q"]
+
+    print("\nFig. 5 — equilibrium caching policy x*(t, q)")
+    profile = data["policy_q_profile_t0"]
+    stride = max(1, len(q_axis) // 8)
+    print_table(
+        ["q (MB)", "x*(t=0, q)", "x*(t=T/2, q)"],
+        [
+            (f"{q_axis[i]:.0f}", profile[i], data["policy_q_profile_mid"][i])
+            for i in range(0, len(q_axis), stride)
+        ],
+    )
+
+    # Increasing in q at t=0 (weakly, away from the boundary rows).
+    interior = profile[1:-1]
+    assert np.all(np.diff(interior) >= -0.05), (
+        f"policy should increase with caching state, got {interior}"
+    )
+    assert interior[-1] > interior[0], "policy must grow from low q to high q"
+
+    # Over time: the small-state policy decays toward zero.
+    q10 = data["q=10"]
+    stride_t = max(1, len(times) // 6)
+    print_table(
+        ["t"] + [f"x* @q={q:g}" for q in (10, 30, 50)],
+        [
+            (f"{times[i]:.2f}", data["q=10"][i], data["q=30"][i], data["q=50"][i])
+            for i in range(0, len(times), stride_t)
+        ],
+    )
+    assert q10[-1] <= 0.05, "terminal policy must vanish (V(T)=0)"
+    assert q10.max() > 0.2, "early policy at q=10 should be active"

@@ -1,0 +1,63 @@
+"""Fig. 6 — mean-field heat map under different content sizes Q_k.
+
+Paper claims reproduced here:
+* the caching space "gradually reaches saturation" as ``Q_k`` grows —
+  a larger content leaves a larger absolute remaining space while the
+  policy keeps the relative occupancy comparable;
+* the density stays concentrated around its (moving) mode.
+"""
+
+import numpy as np
+
+from repro.analysis import experiments
+from repro.analysis.reporting import format_heatmap, print_table
+from conftest import run_once
+
+
+def test_fig6_heatmap_qk(benchmark):
+    data = run_once(
+        benchmark,
+        experiments.fig67_heatmap,
+        content_sizes=(60.0, 80.0, 100.0, 120.0),
+        initial_std_fraction=0.1,
+    )
+
+    print("\nFig. 6 — mean-field heat map, lambda(0) ~ N(0.7 Q, (0.1 Q)^2)")
+    rows = []
+    final_fractions = {}
+    for q_size, series in sorted(data.items()):
+        mean_q = series["mean_q"]
+        final_fractions[q_size] = mean_q[-1] / q_size
+        rows.append(
+            (f"{q_size:.0f}", mean_q[0], mean_q[len(mean_q) // 2], mean_q[-1],
+             mean_q[-1] / q_size)
+        )
+    print_table(
+        ["Q_k (MB)", "mean q(0)", "mean q(T/2)", "mean q(T)", "final q/Q_k"],
+        rows,
+    )
+
+    # Larger Q_k leaves a larger absolute remaining space (saturation).
+    finals = [data[q]["mean_q"][-1] for q in sorted(data)]
+    assert all(np.diff(finals) > 0), f"absolute remaining space must grow: {finals}"
+
+    # ... while relative occupancy stays within a comparable band.
+    fracs = list(final_fractions.values())
+    assert max(fracs) - min(fracs) < 0.25, fracs
+
+    # Every run reduced the remaining space from its initial level.
+    for q_size, series in data.items():
+        assert series["mean_q"][-1] < series["mean_q"][0]
+
+    # Render the Q_k = 100 MB heat map itself (time on rows, q on
+    # columns — the paper's Fig. 6 panel).
+    series = data[100.0]
+    stride = max(1, len(series["time"]) // 10)
+    print(
+        format_heatmap(
+            series["density"][::stride],
+            series["time"][::stride],
+            series["q"],
+            title="\n  lambda(t, q) heat map, Q_k = 100 MB (rows: t, cols: q)",
+        )
+    )

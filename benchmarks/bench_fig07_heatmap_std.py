@@ -1,0 +1,62 @@
+"""Fig. 7 — mean-field heat map with a tighter initial distribution.
+
+Paper claims reproduced here:
+* decreasing the initial standard deviation from 0.1 to 0.05 makes the
+  heat map "more concentrated" — the caching states among EDPs stay
+  closer together;
+* the trend across ``Q_k`` matches Fig. 6.
+"""
+
+import numpy as np
+
+from repro.analysis import experiments
+from repro.analysis.reporting import print_table
+from conftest import run_once
+
+
+def _density_spread(series) -> float:
+    """Std of the final marginal density over q."""
+    q = series["q"]
+    density = series["density"][-1]
+    dq = q[1] - q[0]
+    mass = density.sum() * dq
+    mean = (q * density).sum() * dq / mass
+    var = ((q - mean) ** 2 * density).sum() * dq / mass
+    return float(np.sqrt(var))
+
+
+def test_fig7_heatmap_std(benchmark):
+    def both_stds():
+        return {
+            0.1: experiments.fig67_heatmap(
+                content_sizes=(80.0, 100.0), initial_std_fraction=0.1
+            ),
+            0.05: experiments.fig67_heatmap(
+                content_sizes=(80.0, 100.0), initial_std_fraction=0.05
+            ),
+        }
+
+    data = run_once(benchmark, both_stds)
+
+    print("\nFig. 7 — heat map concentration under initial std 0.1 vs 0.05")
+    rows = []
+    for std, per_qk in sorted(data.items()):
+        for q_size, series in sorted(per_qk.items()):
+            rows.append(
+                (f"{std:g}", f"{q_size:.0f}", series["mean_q"][-1],
+                 _density_spread(series))
+            )
+    print_table(["lambda(0) std", "Q_k (MB)", "final mean q", "final density std"], rows)
+
+    # Tighter initial distribution => more concentrated final density.
+    for q_size in (80.0, 100.0):
+        wide = _density_spread(data[0.1][q_size])
+        tight = _density_spread(data[0.05][q_size])
+        assert tight < wide, (
+            f"Q_k={q_size}: std 0.05 should concentrate the heat map "
+            f"(got tight={tight:.2f} vs wide={wide:.2f})"
+        )
+
+    # Same Fig. 6 trend across Q_k under the tighter initial law.
+    finals = [data[0.05][q]["mean_q"][-1] for q in (80.0, 100.0)]
+    assert finals[1] > finals[0]

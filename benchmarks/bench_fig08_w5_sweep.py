@@ -1,0 +1,47 @@
+"""Fig. 8 — impact of the placement-cost coefficient w5.
+
+Paper claims reproduced here (mechanism per Eq. (21): w5 scales the
+quadratic placement cost and therefore inversely scales the optimal
+caching rate):
+* a larger ``w5`` suppresses caching, so the remaining space is
+  consumed more slowly;
+* a larger ``w5`` leads to a higher staleness cost — the EDP spends
+  more time acquiring contents from the centre or peers.
+"""
+
+import numpy as np
+
+from repro.analysis import experiments
+from repro.analysis.reporting import print_table
+from conftest import run_once
+
+
+def test_fig8_w5_sweep(benchmark):
+    w5_values = (90.0, 130.0, 170.0, 215.0)  # [0.65, 1.55] x base scale
+    data = run_once(benchmark, experiments.fig8_w5_sweep, w5_values=w5_values)
+
+    print("\nFig. 8 — w5 sweep: caching state and staleness cost")
+    rows = []
+    for w5 in w5_values:
+        series = data[w5]
+        rows.append(
+            (
+                f"{w5:.0f}",
+                series["mean_q"][0],
+                series["mean_q"][-1],
+                series["mean_q"][0] - series["mean_q"][-1],
+                float(series["accumulated_staleness"][0]),
+            )
+        )
+    print_table(
+        ["w5", "mean q(0)", "mean q(T)", "space consumed", "accum. staleness"],
+        rows,
+    )
+
+    consumed = [data[w5]["mean_q"][0] - data[w5]["mean_q"][-1] for w5 in w5_values]
+    staleness = [float(data[w5]["accumulated_staleness"][0]) for w5 in w5_values]
+
+    # Larger w5 => less caching => less space consumed.
+    assert all(np.diff(consumed) < 0), f"space consumption must fall with w5: {consumed}"
+    # Larger w5 => higher staleness cost.
+    assert all(np.diff(staleness) > 0), f"staleness must rise with w5: {staleness}"

@@ -1,0 +1,61 @@
+"""Fig. 9 — convergence of caching state and utility of an EDP.
+
+Paper claims reproduced here:
+* trajectories launched from different initial caching states
+  ``q_k(0) in [30, 90]`` all stabilise (the equilibrium state);
+* the largest initial remaining space has the lowest utility at first
+  (it must spend longest caching before earning);
+* both the caching state and the utility of an EDP tend to stability.
+"""
+
+import numpy as np
+
+from repro.analysis import experiments
+from repro.analysis.reporting import print_table
+from conftest import run_once
+
+
+def test_fig9_convergence(benchmark, equilibrium):
+    initial_states = (30.0, 50.0, 70.0, 90.0)
+    data = run_once(
+        benchmark,
+        experiments.fig9_convergence,
+        initial_states=initial_states,
+        result=equilibrium,
+    )
+
+    times = data[30.0]["time"]
+    stride = max(1, len(times) // 6)
+    print("\nFig. 9 — convergence from different initial caching states")
+    print_table(
+        ["t"] + [f"q(t) from {q0:g}" for q0 in initial_states],
+        [
+            (f"{times[i]:.2f}", *(data[q0]["caching_state"][i] for q0 in initial_states))
+            for i in range(0, len(times), stride)
+        ],
+    )
+    print_table(
+        ["t"] + [f"U(t) from {q0:g}" for q0 in initial_states],
+        [
+            (f"{times[i]:.2f}", *(data[q0]["utility"][i] for q0 in initial_states))
+            for i in range(0, len(times), stride)
+        ],
+    )
+
+    # Lowest initial utility belongs to the largest initial space.
+    initial_utils = {q0: data[q0]["utility"][0] for q0 in initial_states}
+    assert min(initial_utils, key=initial_utils.get) == 90.0, initial_utils
+
+    # Trajectories stabilise: the late-horizon swing is far smaller than
+    # the early-horizon movement for every start.
+    half = len(times) // 2
+    for q0 in initial_states:
+        path = data[q0]["caching_state"]
+        early_move = float(np.ptp(path[:half])) + 1e-9
+        late_swing = float(np.ptp(path[half:]))
+        assert late_swing < 0.5 * early_move, (
+            f"q0={q0}: late swing {late_swing:.1f} vs early move {early_move:.1f}"
+        )
+
+    # Utility improves from its initial level for the high-q starts.
+    assert data[90.0]["utility"][-1] > data[90.0]["utility"][0]

@@ -1,0 +1,52 @@
+"""Fig. 11 — impact of the conversion parameter eta1 over time.
+
+Paper claims reproduced here:
+* the utility gradually increases over the epoch while the trading
+  income decreases (EDPs finish caching and the market cools);
+* a larger ``eta1`` yields a smaller utility and a lower trading
+  income (competition depresses the price harder, Eq. (5)).
+"""
+
+import numpy as np
+
+from repro.analysis import experiments
+from repro.analysis.reporting import print_table
+from conftest import run_once
+
+
+def test_fig11_eta1_timeseries(benchmark):
+    eta1_values = (1e-3, 2e-3, 3e-3, 4e-3)
+    data = run_once(
+        benchmark, experiments.fig11_eta1_timeseries, eta1_values=eta1_values
+    )
+
+    times = data[eta1_values[0]]["time"]
+    stride = max(1, len(times) // 6)
+    print("\nFig. 11 — eta1 sweep: utility and trading income over time")
+    print_table(
+        ["t"] + [f"U(t) eta1={e:g}" for e in eta1_values],
+        [
+            (f"{times[i]:.2f}", *(data[e]["utility"][i] for e in eta1_values))
+            for i in range(0, len(times), stride)
+        ],
+    )
+    print_table(
+        ["t"] + [f"income eta1={e:g}" for e in eta1_values],
+        [
+            (f"{times[i]:.2f}", *(data[e]["trading_income"][i] for e in eta1_values))
+            for i in range(0, len(times), stride)
+        ],
+    )
+
+    for eta1 in eta1_values:
+        utility = data[eta1]["utility"]
+        income = data[eta1]["trading_income"]
+        # Utility rises over the horizon; income falls from its peak.
+        assert utility[-1] > utility[0], f"eta1={eta1}: utility should rise"
+        assert income[-1] < income.max(), f"eta1={eta1}: income should decay"
+
+    # Larger eta1 => lower accumulated utility and income.
+    accum_util = [float(np.mean(data[e]["utility"])) for e in eta1_values]
+    accum_income = [float(np.mean(data[e]["trading_income"])) for e in eta1_values]
+    assert all(np.diff(accum_util) < 0), accum_util
+    assert all(np.diff(accum_income) < 0), accum_income

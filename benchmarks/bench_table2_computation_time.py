@@ -1,0 +1,50 @@
+"""Table II — computation time (seconds) vs number of EDPs.
+
+Paper claims reproduced here:
+* MFG-CP's per-epoch computation time is essentially flat in ``M`` —
+  the mean-field solve replaces all per-EDP interactions;
+* RR's and MPC's decision loops grow linearly with ``M``, so their
+  advantage at small populations erodes as the system scales (the
+  paper's crossover: RR overtakes MFG-CP's cost around M ~ 100 on its
+  testbed; the flat-vs-linear shape is the reproduction target).
+"""
+
+import numpy as np
+
+from repro.analysis import experiments
+from repro.analysis.reporting import print_table
+from conftest import run_once
+
+
+def test_table2_computation_time(benchmark):
+    sizes = (50, 100, 200, 300)
+    rows = run_once(
+        benchmark, experiments.table2_computation_time, population_sizes=sizes
+    )
+
+    print("\nTable II — computation time (seconds)")
+    by_scheme = {}
+    for scheme, m, seconds in rows:
+        by_scheme.setdefault(scheme, {})[m] = seconds
+    print_table(
+        ["Methods \\ Number"] + [str(m) for m in sizes],
+        [
+            (scheme, *(by_scheme[scheme][m] for m in sizes))
+            for scheme in ("MFG-CP", "RR", "MPC")
+        ],
+    )
+
+    # MFG-CP: flat in M (within noise).
+    mfg = np.array([by_scheme["MFG-CP"][m] for m in sizes])
+    assert mfg.max() < 2.5 * mfg.min(), f"MFG-CP should be ~flat in M: {mfg}"
+
+    # RR and MPC: cost grows with the population.
+    for scheme in ("RR", "MPC"):
+        series = np.array([by_scheme[scheme][m] for m in sizes])
+        assert series[-1] > 2.0 * series[0], f"{scheme} should scale with M: {series}"
+
+    # Scaling comparison: RR's M=300/M=50 growth factor dwarfs MFG-CP's.
+    rr_growth = by_scheme["RR"][300] / by_scheme["RR"][50]
+    mfg_growth = by_scheme["MFG-CP"][300] / by_scheme["MFG-CP"][50]
+    print(f"  growth factors M=50 -> 300: RR x{rr_growth:.1f}, MFG-CP x{mfg_growth:.1f}")
+    assert rr_growth > 2.0 * mfg_growth

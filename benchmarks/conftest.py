@@ -1,0 +1,22 @@
+"""Shared fixtures for the benchmark suite.
+
+Each bench regenerates one figure or table of the paper's evaluation
+section (see DESIGN.md §4) and prints the same rows/series the paper
+reports.  Benches that only need the default single-content
+equilibrium share one session-scoped solve.
+"""
+
+import pytest
+
+from repro.analysis import experiments
+
+
+@pytest.fixture(scope="session")
+def equilibrium():
+    """The default-config equilibrium shared by Figs. 4, 5 and 9."""
+    return experiments.solve_equilibrium()
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,123 @@
+"""Breaking-news cycle: popularity drift across optimization epochs.
+
+The paper assumes demand "changes slowly relative to the time scale of
+the optimization epoch" — between epochs it drifts, and Alg. 1's
+popularity update (Eq. (3)) is what lets EDPs follow it.  This example
+drives that loop with a drifting workload:
+
+1. generate a synthetic trending trace and split it into publish-time
+   windows whose category demand shifts (a breaking story displaces
+   evergreen content);
+2. feed the windows into the popularity tracker epoch by epoch and
+   re-solve the per-content equilibrium each time;
+3. show the market following the drift: the newly trending content's
+   caching rate and equilibrium price response move epoch over epoch,
+   and the equilibrium cache allocation shifts with them.
+
+Run:  python examples/breaking_news_cycle.py
+"""
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro import (
+    MFGCPConfig,
+    MFGCPSolver,
+    PopularityTracker,
+    SyntheticYouTubeTrace,
+    ZipfPopularity,
+)
+from repro.analysis.reporting import print_table
+from repro.content.trace import trace_windows
+
+
+def main() -> None:
+    rng = np.random.default_rng(21)
+
+    # ------------------------------------------------------------------
+    # 1. A drifting workload: three publish-time windows.
+    # ------------------------------------------------------------------
+    trace = SyntheticYouTubeTrace(n_videos=2500, zipf_exponent=0.7, rng=rng)
+    records = trace.generate()
+    # Overlay a breaking story: 'News & Politics' explodes late.
+    boosted = [
+        replace_views(r, 12) if r.category == "News & Politics" and r.publish_time > 20.0
+        else r
+        for r in records
+    ]
+    windows = trace_windows(boosted, n_windows=3, n_contents=6)
+    labels = windows[0][0]
+
+    print_table(
+        ["window"] + labels,
+        [
+            (f"w{w}", *[share[i] for i in range(len(labels))])
+            for w, (_, share) in enumerate(windows)
+        ],
+        precision=3,
+        title="Demand share per publish-time window (drifting workload)",
+    )
+
+    # ------------------------------------------------------------------
+    # 2. Epoch loop: tracker absorbs each window, solver re-equilibrates.
+    # ------------------------------------------------------------------
+    config = MFGCPConfig.fast()
+    solver = MFGCPSolver(config)
+    tracker = PopularityTracker(
+        prior=ZipfPopularity(n_contents=len(labels)), forgetting=0.5
+    )
+    news_idx = labels.index("News & Politics") if "News & Politics" in labels else 0
+
+    epoch_rows = []
+    for w, (_, share) in enumerate(windows):
+        popularity = tracker.observe(share * 400.0)  # window request counts
+        cfg_news = solver.per_content_config(
+            content_size=config.content_size,
+            popularity=float(popularity[news_idx]),
+            timeliness=2.5,  # breaking news is urgent
+            n_requests=config.n_requests * float(popularity[news_idx]) / 0.3,
+        )
+        result = MFGCPSolver(cfg_news).solve()
+        acc = result.accumulated_utility()
+        epoch_rows.append(
+            (
+                f"epoch {w}",
+                float(popularity[news_idx]),
+                float(result.mean_field.mean_control.max()),
+                float(result.mean_field.price.min()),
+                float(result.mean_field.mean_q[-1]),
+                acc["total"],
+            )
+        )
+
+    print_table(
+        ["epoch", "news popularity", "peak E[x*]", "min price",
+         "final mean q", "utility"],
+        epoch_rows,
+        title="\n'News & Politics' equilibrium, epoch by epoch",
+    )
+
+    # ------------------------------------------------------------------
+    # 3. The adaptation story.
+    # ------------------------------------------------------------------
+    first, last = epoch_rows[0], epoch_rows[-1]
+    print(
+        f"\nAs the story breaks, tracked popularity moves "
+        f"{first[1]:.3f} -> {last[1]:.3f}; the population's peak caching rate "
+        f"goes {first[2]:.2f} -> {last[2]:.2f} and the competitive price floor "
+        f"{first[3]:.3f} -> {last[3]:.3f} (more supply, Eq. (17))."
+    )
+    if last[1] > first[1]:
+        assert last[2] >= first[2] - 0.05, "caching should follow demand up"
+
+
+def replace_views(record, factor):
+    """A record with its views scaled by ``factor`` (drift injection)."""
+    from dataclasses import replace as dc_replace
+
+    return dc_replace(record, views=record.views * factor)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+"""Operating the market forever: stationary regime + decision support.
+
+The paper optimises one finite epoch; an operator running the edge
+market continuously wants three further answers this library provides:
+
+1. **The stationary regime** — the infinite-horizon discounted
+   equilibrium (no end-of-epoch wind-down): where does the population
+   settle, and what does steady-state maintenance caching look like?
+2. **Which knobs matter** — elasticities of the equilibrium outputs to
+   the pricing/cost parameters (sensitivity analysis).
+3. **How sure are we** — confidence intervals on the finite-population
+   utility across seeds (Monte-Carlo replication).
+
+Run:  python examples/stationary_operations.py
+"""
+
+import numpy as np
+
+from repro import MFGCPConfig, MFGCPSolver, StationarySolver
+from repro.analysis.replication import replicate_scheme_utility
+from repro.analysis.reporting import print_table
+from repro.analysis.sensitivity import format_sensitivity, sensitivity_analysis
+
+
+def main() -> None:
+    config = MFGCPConfig.fast()
+
+    # ------------------------------------------------------------------
+    # 1. Finite epoch vs stationary regime.
+    # ------------------------------------------------------------------
+    print("Solving the finite-epoch and stationary equilibria...")
+    finite = MFGCPSolver(config).solve()
+    stationary = StationarySolver(config, discount=1.0).solve()
+
+    h_mid = config.channel.mean
+    drift = config.caching_drift()
+    balance = float(
+        drift.equilibrium_control(config.popularity, config.timeliness)
+    )
+    print_table(
+        ["regime", "mean remaining q (MB)", "mean caching rate", "price"],
+        [
+            ("finite epoch (at T)",
+             float(finite.mean_field.mean_q[-1]),
+             float(finite.mean_field.mean_control[-1]),
+             float(finite.mean_field.price[-1])),
+            ("stationary",
+             stationary.mean_q,
+             stationary.mean_control,
+             stationary.price),
+        ],
+        title="\nFinite horizon vs infinite horizon",
+    )
+    print(
+        f"\nThe finite epoch winds caching down to zero as T approaches "
+        f"(V(T)=0), leaving ~{finite.mean_field.mean_q[-1]:.0f} MB uncached; "
+        f"the stationary population caches essentially everything "
+        f"({stationary.mean_q:.1f} MB remaining) and holds it with a "
+        f"maintenance rate ~{stationary.policy[stationary.grid.n_h // 2, 0]:.2f} "
+        f"(the drift balance point is {balance:.2f})."
+    )
+
+    # ------------------------------------------------------------------
+    # 2. Sensitivity: which knobs move the equilibrium.
+    # ------------------------------------------------------------------
+    print("\nComputing equilibrium elasticities (this re-solves 2x per "
+          "parameter)...")
+    rows = sensitivity_analysis(
+        config=config, parameters=("p_hat", "eta1", "eta2", "w5"), rel_step=0.1
+    )
+    print(format_sensitivity(rows))
+    dominant = max(
+        rows, key=lambda r: abs(r.elasticities["total_utility"])
+    )
+    print(f"\nThe utility is most sensitive to {dominant.parameter!r} "
+          f"(elasticity {dominant.elasticities['total_utility']:.2f}).")
+
+    # ------------------------------------------------------------------
+    # 3. Replication: utility with a confidence interval.
+    # ------------------------------------------------------------------
+    print("\nReplicating the finite-population game across seeds...")
+    stat = replicate_scheme_utility(
+        "MFG-CP", config, n_edps=60, seeds=range(6)
+    )
+    mf_total = finite.accumulated_utility()["total"]
+    print(f"  {stat.describe()}")
+    print(
+        f"  mean-field prediction: {mf_total:.2f} "
+        f"({(stat.mean - mf_total) / mf_total * 100:+.1f}% finite-M gap; the "
+        "simulated population earns a small extra sharing bonus the "
+        "mean-field estimator prices conservatively)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,114 @@
+"""Urgent traffic-data caching: the timeliness dimension of MFG-CP.
+
+The paper motivates content timeliness with drivers who "hope to
+obtain traffic data as soon as possible for route planning" (Def. 2).
+This example contrasts two contents with identical popularity but
+opposite urgency profiles:
+
+* live traffic flow — high timeliness requirements (drivers),
+* archived documentary — low timeliness requirements,
+
+and shows how the urgency factor ``xi^L`` in the caching drift
+(Eq. (4)) and the delay penalty shape the equilibrium: urgent content
+is held in cache (low remaining space), lax content is discarded
+faster and served on demand.
+
+Run:  python examples/traffic_data_caching.py
+"""
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro import MFGCPConfig, MFGCPSolver, TimelinessModel, TimelinessTracker
+from repro.analysis.reporting import print_table
+
+
+def solve_for(timeliness: float, label: str):
+    config = replace(MFGCPConfig.fast(), timeliness=timeliness)
+    result = MFGCPSolver(config).solve()
+    acc = result.accumulated_utility()
+    return {
+        "label": label,
+        "timeliness": timeliness,
+        "result": result,
+        "accumulated": acc,
+    }
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. Requester populations with different urgency profiles.
+    # ------------------------------------------------------------------
+    rng = np.random.default_rng(5)
+    urgent_model = TimelinessModel(l_max=3.0, shape_a=6.0, shape_b=1.5)  # mass near L_max
+    lax_model = TimelinessModel(l_max=3.0, shape_a=1.5, shape_b=6.0)     # mass near 0
+
+    tracker = TimelinessTracker(model=urgent_model, n_contents=2)
+    tracker.observe(0, urgent_model.sample(200, rng))   # content 0: traffic
+    tracker.observe(1, lax_model.sample(200, rng))      # content 1: documentary
+    traffic_l, documentary_l = tracker.current
+    print(f"Observed timeliness: traffic data L = {traffic_l:.2f}, "
+          f"documentary L = {documentary_l:.2f} (L_max = 3.0)")
+
+    xi = MFGCPConfig.fast().caching.xi
+    print(f"Urgency drift factors xi^L: traffic {xi ** traffic_l:.4f}, "
+          f"documentary {xi ** documentary_l:.4f} "
+          "(smaller factor = slower discarding, Eq. (4))")
+
+    # ------------------------------------------------------------------
+    # 2. Solve both equilibria.
+    # ------------------------------------------------------------------
+    traffic = solve_for(traffic_l, "live traffic flow")
+    documentary = solve_for(documentary_l, "archived documentary")
+
+    rows = []
+    for item in (traffic, documentary):
+        res = item["result"]
+        rows.append(
+            (
+                item["label"],
+                item["timeliness"],
+                float(res.mean_field.mean_q[-1]),
+                float(res.mean_field.mean_control.max()),
+                item["accumulated"]["staleness_cost"],
+                item["accumulated"]["total"],
+            )
+        )
+    print_table(
+        ["content", "L", "final mean q (MB)", "peak E[x*]",
+         "staleness cost", "utility"],
+        rows,
+        title="\nEquilibrium contrast: urgent vs lax content",
+    )
+
+    # ------------------------------------------------------------------
+    # 3. The mechanism, spelled out.
+    # ------------------------------------------------------------------
+    t_res = traffic["result"]
+    d_res = documentary["result"]
+    print(
+        "\nMechanism: the documentary's large xi^L discard term keeps pushing"
+        "\nits remaining space back up, so EDPs hold less of it "
+        f"(final mean q {d_res.mean_field.mean_q[-1]:.1f} MB vs "
+        f"{t_res.mean_field.mean_q[-1]:.1f} MB for traffic data),"
+        "\nwhile urgent traffic data stays cached to dodge the delay penalty."
+    )
+
+    # Trajectories side by side.
+    t_axis = t_res.grid.t
+    stride = max(1, len(t_axis) // 6)
+    print_table(
+        ["t", "traffic mean q", "documentary mean q"],
+        [
+            (f"{t_axis[i]:.2f}",
+             t_res.mean_field.mean_q[i],
+             d_res.mean_field.mean_q[i])
+            for i in range(0, len(t_axis), stride)
+        ],
+        title="\nMean remaining space over the epoch",
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,194 @@
+"""MFG-CP: joint mobile edge caching and pricing via mean-field games.
+
+A from-scratch Python reproduction of "Joint Mobile Edge Caching and
+Pricing: A Mean-Field Game Approach" (ICDE 2024).  The package
+implements the full system: the stochastic channel and caching-state
+substrates, the wireless network and economic models, the coupled
+HJB-FPK mean-field solver with iterative best-response learning, the
+finite-population stochastic differential game simulator, and the four
+comparison baselines.
+
+Quickstart
+----------
+>>> from repro import MFGCPConfig, MFGCPSolver
+>>> result = MFGCPSolver(MFGCPConfig.fast()).solve()
+>>> result.report.converged
+True
+"""
+
+from repro.core.parameters import (
+    CachingParameters,
+    ChannelParameters,
+    MFGCPConfig,
+    PaperParameters,
+)
+from repro.core.grid import StateGrid
+from repro.core.solver import EpochResult, MFGCPSolver
+from repro.core.best_response import BestResponseIterator, build_grid
+from repro.core.equilibrium import ConvergenceReport, EquilibriumResult, IterationRecord
+from repro.core.policy import CachingPolicy, optimal_control
+from repro.core.hjb import HJBSolution, HJBSolver
+from repro.core.fpk import FPKSolver, initial_density
+from repro.core.mean_field import MeanFieldEstimator, MeanFieldPath
+from repro.core.knapsack import (
+    KnapsackItem,
+    capacity_constrained_placement,
+    solve_01_knapsack,
+    solve_fractional_knapsack,
+)
+
+from repro.sde.ornstein_uhlenbeck import OrnsteinUhlenbeckProcess
+from repro.sde.caching_state import CachingDrift, CachingStateProcess
+from repro.sde.brownian import BrownianMotion
+from repro.sde.euler_maruyama import EulerMaruyamaIntegrator, SDEPath
+
+from repro.network.topology import NetworkTopology, PlacementConfig
+from repro.network.channel import ChannelModel
+from repro.network.rate import RateModel
+from repro.network.interference import calibrate_channel, mean_interference
+from repro.core.theory import (
+    Lemma1Report,
+    Lemma2Report,
+    Theorem2Report,
+    verify_lemma1,
+    verify_lemma2,
+    verify_theorem2,
+)
+from repro.core.semilagrangian import (
+    SLBestResponseIterator,
+    SLFPKSolver,
+    SLHJBSolver,
+)
+from repro.core.multi_population import (
+    MultiPopulationIterator,
+    MultiPopulationResult,
+)
+from repro.core.stationary import StationaryResult, StationarySolver
+
+from repro.content.catalog import Content, ContentCatalog
+from repro.content.popularity import PopularityTracker, ZipfPopularity
+from repro.content.timeliness import TimelinessModel, TimelinessTracker
+from repro.content.requests import RequestBatch, RequestProcess
+from repro.content.trace import (
+    SyntheticYouTubeTrace,
+    TraceRecord,
+    load_trace_csv,
+    trace_to_popularity,
+)
+
+from repro.economics.utility import (
+    EconomicParameters,
+    MarketContext,
+    UtilityBreakdown,
+    UtilityModel,
+)
+from repro.economics.pricing import PricingModel
+from repro.economics.cases import CaseProbabilities
+
+from repro.game.simulator import GameSimulator, SimulationReport
+from repro.game.multi_content import MultiContentGameSimulator, MultiContentReport
+from repro.game.state import PopulationState
+from repro.game.nash import ConstantScheme, DeviationProbe, exploitability
+
+from repro.baselines.base import CachingScheme, SchemeDecision
+from repro.baselines.mfg_cp import MFGCPScheme
+from repro.baselines.mfg_nosharing import MFGNoSharingScheme
+from repro.baselines.most_popular import MostPopularScheme
+from repro.baselines.random_replacement import RandomReplacementScheme
+from repro.baselines.udcs import UDCSScheme
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # core
+    "MFGCPConfig",
+    "PaperParameters",
+    "ChannelParameters",
+    "CachingParameters",
+    "StateGrid",
+    "MFGCPSolver",
+    "EpochResult",
+    "BestResponseIterator",
+    "build_grid",
+    "EquilibriumResult",
+    "ConvergenceReport",
+    "IterationRecord",
+    "CachingPolicy",
+    "optimal_control",
+    "HJBSolver",
+    "HJBSolution",
+    "FPKSolver",
+    "initial_density",
+    "MeanFieldEstimator",
+    "MeanFieldPath",
+    "KnapsackItem",
+    "solve_fractional_knapsack",
+    "solve_01_knapsack",
+    "capacity_constrained_placement",
+    # sde
+    "OrnsteinUhlenbeckProcess",
+    "CachingStateProcess",
+    "CachingDrift",
+    "BrownianMotion",
+    "EulerMaruyamaIntegrator",
+    "SDEPath",
+    # network
+    "NetworkTopology",
+    "PlacementConfig",
+    "ChannelModel",
+    "RateModel",
+    "calibrate_channel",
+    "mean_interference",
+    # theory
+    "Lemma1Report",
+    "Lemma2Report",
+    "Theorem2Report",
+    "verify_lemma1",
+    "verify_lemma2",
+    "verify_theorem2",
+    "SLBestResponseIterator",
+    "SLFPKSolver",
+    "SLHJBSolver",
+    "MultiPopulationIterator",
+    "MultiPopulationResult",
+    "StationaryResult",
+    "StationarySolver",
+    # content
+    "Content",
+    "ContentCatalog",
+    "ZipfPopularity",
+    "PopularityTracker",
+    "TimelinessModel",
+    "TimelinessTracker",
+    "RequestProcess",
+    "RequestBatch",
+    "SyntheticYouTubeTrace",
+    "TraceRecord",
+    "load_trace_csv",
+    "trace_to_popularity",
+    # economics
+    "EconomicParameters",
+    "MarketContext",
+    "UtilityModel",
+    "UtilityBreakdown",
+    "PricingModel",
+    "CaseProbabilities",
+    # game
+    "GameSimulator",
+    "SimulationReport",
+    "MultiContentGameSimulator",
+    "MultiContentReport",
+    "PopulationState",
+    "ConstantScheme",
+    "DeviationProbe",
+    "exploitability",
+    # baselines
+    "CachingScheme",
+    "SchemeDecision",
+    "MFGCPScheme",
+    "MFGNoSharingScheme",
+    "MostPopularScheme",
+    "RandomReplacementScheme",
+    "UDCSScheme",
+    "__version__",
+]

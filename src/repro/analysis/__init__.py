@@ -1,0 +1,70 @@
+"""Analysis and reporting utilities.
+
+Metrics over simulation reports and equilibrium results
+(:mod:`repro.analysis.metrics`), convergence diagnostics
+(:mod:`repro.analysis.convergence`), and the table/series printers the
+benchmark harness uses to emit paper-style rows
+(:mod:`repro.analysis.reporting`).
+"""
+
+from repro.analysis.metrics import (
+    accumulate,
+    mean_field_gap,
+    scheme_comparison,
+    utility_ratio,
+)
+from repro.analysis.convergence import (
+    fixed_point_rate,
+    iterations_to_tolerance,
+    is_monotone_tail,
+)
+from repro.analysis.reporting import (
+    format_heatmap,
+    format_series,
+    format_table,
+    print_table,
+)
+from repro.analysis.export import (
+    export_equilibrium,
+    write_json,
+    write_rows_csv,
+    write_series_csv,
+)
+from repro.analysis.sensitivity import (
+    SensitivityRow,
+    equilibrium_outputs,
+    format_sensitivity,
+    sensitivity_analysis,
+)
+from repro.analysis.replication import (
+    ReplicatedStatistic,
+    replicate,
+    replicate_scheme_utility,
+    summarise,
+)
+
+__all__ = [
+    "accumulate",
+    "mean_field_gap",
+    "scheme_comparison",
+    "utility_ratio",
+    "fixed_point_rate",
+    "iterations_to_tolerance",
+    "is_monotone_tail",
+    "format_table",
+    "format_series",
+    "format_heatmap",
+    "print_table",
+    "export_equilibrium",
+    "write_json",
+    "write_rows_csv",
+    "write_series_csv",
+    "SensitivityRow",
+    "equilibrium_outputs",
+    "format_sensitivity",
+    "sensitivity_analysis",
+    "ReplicatedStatistic",
+    "replicate",
+    "replicate_scheme_utility",
+    "summarise",
+]

@@ -1,0 +1,58 @@
+"""Convergence diagnostics for the fixed-point iteration (Thm. 2)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.equilibrium import ConvergenceReport
+
+
+def fixed_point_rate(report: ConvergenceReport) -> float:
+    """Empirical geometric contraction rate of the iteration.
+
+    Fits ``log(change_k) ~ log(c) + k log(rate)`` over the recorded
+    policy changes; a rate below 1 is the numerical counterpart of the
+    contraction-mapping argument in Theorem 2.  Returns ``nan`` when
+    fewer than three informative points exist.
+    """
+    changes = np.array(
+        [r.policy_change for r in report.history if r.policy_change > 0], dtype=float
+    )
+    if changes.size < 3:
+        return float("nan")
+    k = np.arange(changes.size, dtype=float)
+    slope = np.polyfit(k, np.log(changes), 1)[0]
+    return float(np.exp(slope))
+
+
+def iterations_to_tolerance(report: ConvergenceReport, tolerance: float) -> int:
+    """First iteration whose policy change dropped below ``tolerance``.
+
+    Returns ``-1`` when the threshold was never reached.
+    """
+    if tolerance <= 0:
+        raise ValueError(f"tolerance must be positive, got {tolerance}")
+    for record in report.history:
+        if record.policy_change < tolerance:
+            return record.iteration
+    return -1
+
+
+def is_monotone_tail(values: Sequence[float], tail: int = 5, decreasing: bool = True) -> bool:
+    """Whether the last ``tail`` values are (weakly) monotone.
+
+    Used by tests asserting that policy changes shrink toward the
+    fixed point and that simulated utilities stabilise (Fig. 9).
+    """
+    if tail < 2:
+        raise ValueError(f"tail must be at least 2, got {tail}")
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size < tail:
+        tail = arr.size
+    if tail < 2:
+        return True
+    window = arr[-tail:]
+    diffs = np.diff(window)
+    return bool(np.all(diffs <= 1e-12)) if decreasing else bool(np.all(diffs >= -1e-12))

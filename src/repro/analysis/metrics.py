@@ -1,0 +1,91 @@
+"""Metrics over equilibrium results and simulation reports."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.equilibrium import EquilibriumResult
+from repro.game.simulator import SimulationReport
+
+# numpy 2.0 renamed trapz to trapezoid; support both.
+_trapezoid = getattr(np, "trapezoid", None) or np.trapz
+
+
+def accumulate(series: np.ndarray, times: np.ndarray) -> float:
+    """Time-integral of a rate series (accumulated utility/income)."""
+    series = np.asarray(series, dtype=float)
+    times = np.asarray(times, dtype=float)
+    if series.shape != times.shape:
+        raise ValueError(f"series {series.shape} and times {times.shape} differ")
+    return float(_trapezoid(series, times))
+
+
+def scheme_comparison(
+    reports: Dict[str, SimulationReport],
+) -> List[Tuple[str, float, float, float]]:
+    """Comparison rows across per-scheme simulation reports.
+
+    Parameters
+    ----------
+    reports:
+        Mapping of scheme name to the homogeneous-population report for
+        that scheme.
+
+    Returns
+    -------
+    list of tuples
+        ``(scheme, utility, trading_income, staleness_cost)`` rows,
+        sorted by descending utility (paper ordering: MFG-CP first).
+    """
+    rows = []
+    for name, report in reports.items():
+        summary = report.scheme_summary(name)
+        rows.append(
+            (
+                name,
+                summary["total"],
+                summary["trading_income"],
+                summary["staleness_cost"],
+            )
+        )
+    rows.sort(key=lambda r: -r[1])
+    return rows
+
+
+def utility_ratio(reports: Dict[str, SimulationReport], scheme: str, baseline: str) -> float:
+    """Utility of ``scheme`` divided by ``baseline`` (paper's "2.76x").
+
+    Raises ``ValueError`` when the baseline utility is non-positive
+    (the ratio is meaningless there).
+    """
+    num = reports[scheme].total_utility(scheme)
+    den = reports[baseline].total_utility(baseline)
+    if den <= 0:
+        raise ValueError(
+            f"baseline {baseline!r} has non-positive utility {den}; ratio undefined"
+        )
+    return float(num / den)
+
+
+def mean_field_gap(
+    result: EquilibriumResult, report: SimulationReport
+) -> Dict[str, float]:
+    """How well the mean field predicts the finite population.
+
+    Compares the FPK mean cache state and mean-field price against the
+    simulated population's series.  Both gaps should shrink as ``M``
+    grows (the propagation-of-chaos property behind Eq. (14)).
+    """
+    sim_q = np.asarray(report.series["mean_remaining"], dtype=float)
+    mf_q = np.asarray(result.mean_field.mean_q, dtype=float)
+    sim_p = np.asarray(report.series["mean_price"], dtype=float)
+    mf_p = np.asarray(result.mean_field.price, dtype=float)
+    n = min(sim_q.shape[0], mf_q.shape[0])
+    return {
+        "mean_q_rmse": float(np.sqrt(np.mean((sim_q[:n] - mf_q[:n]) ** 2))),
+        "price_rmse": float(np.sqrt(np.mean((sim_p[:n] - mf_p[:n]) ** 2))),
+        "mean_q_max_gap": float(np.max(np.abs(sim_q[:n] - mf_q[:n]))),
+        "price_max_gap": float(np.max(np.abs(sim_p[:n] - mf_p[:n]))),
+    }

@@ -1,0 +1,131 @@
+"""Monte-Carlo replication with confidence intervals.
+
+Scheme comparisons in the finite game are stochastic (initial states,
+SDE noise, peer matching).  This module runs an experiment across
+seeds and reports Student-t confidence intervals, so comparisons like
+Fig. 14's can be stated with uncertainty rather than single draws.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import stats
+
+from repro.core.parameters import MFGCPConfig
+
+
+@dataclass(frozen=True)
+class ReplicatedStatistic:
+    """Mean and confidence interval of one replicated scalar."""
+
+    name: str
+    mean: float
+    std: float
+    n: int
+    ci_low: float
+    ci_high: float
+    confidence: float
+
+    @property
+    def half_width(self) -> float:
+        """Half the confidence-interval width."""
+        return 0.5 * (self.ci_high - self.ci_low)
+
+    def overlaps(self, other: "ReplicatedStatistic") -> bool:
+        """Whether the two intervals overlap (no significant gap)."""
+        return self.ci_low <= other.ci_high and other.ci_low <= self.ci_high
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: {self.mean:.3f} +/- {self.half_width:.3f} "
+            f"({int(self.confidence * 100)}% CI, n={self.n})"
+        )
+
+
+def summarise(
+    name: str, samples: Sequence[float], confidence: float = 0.95
+) -> ReplicatedStatistic:
+    """Student-t confidence interval for a sample of replications."""
+    values = np.asarray(list(samples), dtype=float)
+    if values.size < 2:
+        raise ValueError(
+            f"need at least 2 replications for a CI, got {values.size}"
+        )
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must lie in (0, 1), got {confidence}")
+    mean = float(values.mean())
+    std = float(values.std(ddof=1))
+    sem = std / np.sqrt(values.size)
+    t_crit = float(stats.t.ppf(0.5 + confidence / 2.0, df=values.size - 1))
+    half = t_crit * sem
+    return ReplicatedStatistic(
+        name=name,
+        mean=mean,
+        std=std,
+        n=int(values.size),
+        ci_low=mean - half,
+        ci_high=mean + half,
+        confidence=confidence,
+    )
+
+
+def replicate(
+    experiment: Callable[[int], Mapping[str, float]],
+    seeds: Sequence[int],
+    confidence: float = 0.95,
+) -> Dict[str, ReplicatedStatistic]:
+    """Run an experiment across seeds and summarise every output.
+
+    Parameters
+    ----------
+    experiment:
+        Callable taking a seed and returning named scalar outputs; the
+        output keys must be identical across seeds.
+    seeds:
+        Replication seeds (at least 2).
+    """
+    if len(seeds) < 2:
+        raise ValueError(f"need at least 2 seeds, got {len(seeds)}")
+    collected: Dict[str, List[float]] = {}
+    keys: Optional[Tuple[str, ...]] = None
+    for seed in seeds:
+        outputs = dict(experiment(int(seed)))
+        if keys is None:
+            keys = tuple(sorted(outputs))
+            for key in keys:
+                collected[key] = []
+        elif tuple(sorted(outputs)) != keys:
+            raise ValueError(
+                f"seed {seed} returned keys {sorted(outputs)}, expected {list(keys)}"
+            )
+        for key, value in outputs.items():
+            collected[key].append(float(value))
+    return {
+        key: summarise(key, values, confidence) for key, values in collected.items()
+    }
+
+
+def replicate_scheme_utility(
+    scheme_name: str,
+    config: MFGCPConfig,
+    n_edps: int,
+    seeds: Sequence[int],
+    confidence: float = 0.95,
+) -> ReplicatedStatistic:
+    """CI for a scheme's mean accumulated utility (one solve, N sims)."""
+    from repro.analysis.experiments import make_scheme
+    from repro.game.simulator import GameSimulator
+
+    if len(seeds) < 2:
+        raise ValueError(f"need at least 2 seeds, got {len(seeds)}")
+    scheme = make_scheme(scheme_name)
+    totals = []
+    for seed in seeds:
+        sim = GameSimulator(
+            config, [(scheme, n_edps)], rng=np.random.default_rng(int(seed))
+        )
+        totals.append(sim.run().total_utility(scheme_name))
+    return summarise(f"{scheme_name} utility", totals, confidence)

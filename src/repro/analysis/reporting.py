@@ -1,0 +1,159 @@
+"""Plain-text table and series formatting for the benchmark harness.
+
+Every benchmark prints the rows/series the paper's figure or table
+reports; these helpers keep the output format uniform and easy to
+diff against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Union
+
+import numpy as np
+
+Cell = Union[str, float, int]
+
+
+def _render(cell: Cell, precision: int) -> str:
+    if isinstance(cell, str):
+        return cell
+    if isinstance(cell, (int, np.integer)):
+        return str(int(cell))
+    return f"{float(cell):.{precision}f}"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    precision: int = 4,
+    title: str = "",
+) -> str:
+    """Render an aligned plain-text table.
+
+    Parameters
+    ----------
+    headers:
+        Column names.
+    rows:
+        Row cells; strings pass through, numbers are formatted to
+        ``precision`` decimals.
+    title:
+        Optional title line above the table.
+    """
+    rendered: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        cells = [_render(c, precision) for c in row]
+        if len(cells) != len(headers):
+            raise ValueError(
+                f"row has {len(cells)} cells for {len(headers)} headers: {cells}"
+            )
+        rendered.append(cells)
+
+    widths = [max(len(r[i]) for r in rendered) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    for idx, row in enumerate(rendered):
+        lines.append(" | ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+        if idx == 0:
+            lines.append(sep)
+    return "\n".join(lines)
+
+
+def print_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    precision: int = 4,
+    title: str = "",
+) -> None:
+    """Print :func:`format_table` output."""
+    print(format_table(headers, rows, precision=precision, title=title))
+
+
+_SHADES = " .:-=+*#%@"
+
+
+def format_heatmap(
+    field: np.ndarray,
+    row_labels: Sequence[float],
+    col_labels: Sequence[float],
+    title: str = "",
+    max_cols: int = 48,
+) -> str:
+    """Render a non-negative 2-D field as an ASCII heat map.
+
+    Rows are printed top-to-bottom in the given order; columns are
+    subsampled to at most ``max_cols``.  Intensity is normalised to the
+    field's maximum, using a 10-level shade ramp — enough to eyeball
+    the Fig. 4/6/7 density structure in a terminal.
+
+    Parameters
+    ----------
+    field:
+        Values of shape ``(n_rows, n_cols)``; must be non-negative.
+    row_labels / col_labels:
+        Axis coordinates (e.g. times and cache states).
+    """
+    field = np.asarray(field, dtype=float)
+    if field.ndim != 2:
+        raise ValueError(f"field must be 2-D, got ndim={field.ndim}")
+    if field.shape != (len(row_labels), len(col_labels)):
+        raise ValueError(
+            f"field shape {field.shape} does not match labels "
+            f"({len(row_labels)}, {len(col_labels)})"
+        )
+    if np.any(field < 0):
+        raise ValueError("heat map field must be non-negative")
+    if max_cols < 2:
+        raise ValueError(f"max_cols must be at least 2, got {max_cols}")
+
+    stride = max(1, int(np.ceil(field.shape[1] / max_cols)))
+    sampled = field[:, ::stride]
+    cols = np.asarray(col_labels, dtype=float)[::stride]
+    peak = sampled.max()
+    lines = []
+    if title:
+        lines.append(title)
+    label_width = max(len(f"{r:g}") for r in row_labels)
+    for r, row in zip(row_labels, sampled):
+        if peak > 0:
+            levels = np.minimum(
+                (row / peak * (len(_SHADES) - 1)).astype(int), len(_SHADES) - 1
+            )
+        else:
+            levels = np.zeros(row.shape, dtype=int)
+        cells = "".join(_SHADES[level] for level in levels)
+        lines.append(f"{r:>{label_width}g} |{cells}|")
+    lines.append(
+        f"{'':>{label_width}}  {cols[0]:g} ... {cols[-1]:g} "
+        f"(peak {peak:.4g})"
+    )
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str,
+    times: Sequence[float],
+    values: Sequence[float],
+    every: int = 1,
+    precision: int = 4,
+) -> str:
+    """Render a named time series as ``t=...: v`` lines.
+
+    Parameters
+    ----------
+    every:
+        Subsampling stride (benchmarks print every few points to keep
+        the output readable).
+    """
+    if every < 1:
+        raise ValueError(f"every must be positive, got {every}")
+    times = np.asarray(list(times), dtype=float)
+    values = np.asarray(list(values), dtype=float)
+    if times.shape != values.shape:
+        raise ValueError(f"times {times.shape} and values {values.shape} differ")
+    lines = [name]
+    for t, v in zip(times[::every], values[::every]):
+        lines.append(f"  t={t:.3f}: {v:.{precision}f}")
+    return "\n".join(lines)

@@ -1,0 +1,131 @@
+"""Local sensitivity analysis of the equilibrium to model parameters.
+
+For operators tuning an MFG-CP deployment the first question is which
+knobs matter: this module perturbs scalar configuration fields by a
+relative step, re-solves the equilibrium, and reports the elasticity
+
+    (d output / output) / (d theta / theta)
+
+of selected equilibrium outputs (accumulated utility, trading income,
+final mean cache state, minimum price) with respect to each parameter.
+Central differences are used so first-order elasticities are exact up
+to the solver's own tolerance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.best_response import BestResponseIterator
+from repro.core.equilibrium import EquilibriumResult
+from repro.core.parameters import MFGCPConfig
+
+DEFAULT_PARAMETERS = ("p_hat", "eta1", "eta2", "w4", "w5", "sharing_price")
+DEFAULT_OUTPUTS = ("total_utility", "trading_income", "final_mean_q", "min_price")
+
+
+@dataclass(frozen=True)
+class SensitivityRow:
+    """Elasticities of the tracked outputs for one parameter."""
+
+    parameter: str
+    base_value: float
+    elasticities: Dict[str, float]
+
+    def dominant_output(self) -> str:
+        """The output this parameter moves the most (by |elasticity|)."""
+        return max(self.elasticities, key=lambda k: abs(self.elasticities[k]))
+
+
+def equilibrium_outputs(result: EquilibriumResult) -> Dict[str, float]:
+    """The scalar outputs tracked by the sensitivity analysis."""
+    acc = result.accumulated_utility()
+    return {
+        "total_utility": float(acc["total"]),
+        "trading_income": float(acc["trading_income"]),
+        "final_mean_q": float(result.mean_field.mean_q[-1]),
+        "min_price": float(result.mean_field.price.min()),
+    }
+
+
+def _solve_outputs(config: MFGCPConfig) -> Dict[str, float]:
+    return equilibrium_outputs(BestResponseIterator(config).solve())
+
+
+def sensitivity_analysis(
+    config: Optional[MFGCPConfig] = None,
+    parameters: Sequence[str] = DEFAULT_PARAMETERS,
+    rel_step: float = 0.1,
+    outputs: Sequence[str] = DEFAULT_OUTPUTS,
+) -> List[SensitivityRow]:
+    """Central-difference elasticities of the equilibrium outputs.
+
+    Parameters
+    ----------
+    config:
+        Base configuration (coarse ``fast()`` default).
+    parameters:
+        Scalar, strictly positive config fields to perturb.
+    rel_step:
+        Relative perturbation size ``h`` (each parameter is solved at
+        ``(1 - h) theta`` and ``(1 + h) theta``).
+    outputs:
+        Subset of :func:`equilibrium_outputs` keys to report.
+
+    Returns
+    -------
+    list of :class:`SensitivityRow`
+        One row per parameter, in the requested order.
+    """
+    if not 0.0 < rel_step < 1.0:
+        raise ValueError(f"rel_step must lie in (0, 1), got {rel_step}")
+    cfg = MFGCPConfig.fast() if config is None else config
+    base_outputs = _solve_outputs(cfg)
+    unknown = set(outputs) - set(base_outputs)
+    if unknown:
+        raise KeyError(f"unknown outputs: {sorted(unknown)}")
+
+    rows: List[SensitivityRow] = []
+    for name in parameters:
+        if not hasattr(cfg, name):
+            raise AttributeError(f"config has no field {name!r}")
+        theta = float(getattr(cfg, name))
+        if theta <= 0:
+            raise ValueError(
+                f"sensitivity requires a positive base value for {name!r}, "
+                f"got {theta}"
+            )
+        lo = _solve_outputs(replace(cfg, **{name: theta * (1.0 - rel_step)}))
+        hi = _solve_outputs(replace(cfg, **{name: theta * (1.0 + rel_step)}))
+        elasticities = {}
+        for key in outputs:
+            base = base_outputs[key]
+            denom = abs(base) if abs(base) > 1e-9 else 1.0
+            derivative = (hi[key] - lo[key]) / (2.0 * rel_step)
+            elasticities[key] = float(derivative / denom)
+        rows.append(
+            SensitivityRow(parameter=name, base_value=theta, elasticities=elasticities)
+        )
+    return rows
+
+
+def format_sensitivity(rows: Sequence[SensitivityRow]) -> str:
+    """A compact text rendering of the elasticity table."""
+    from repro.analysis.reporting import format_table
+
+    if not rows:
+        raise ValueError("no sensitivity rows to format")
+    outputs = list(rows[0].elasticities)
+    table_rows = [
+        (row.parameter, row.base_value, *(row.elasticities[k] for k in outputs))
+        for row in rows
+    ]
+    return format_table(
+        ["parameter", "base"] + [f"d{k}" for k in outputs],
+        table_rows,
+        title="Equilibrium elasticities (relative output change per "
+              "relative parameter change)",
+    )

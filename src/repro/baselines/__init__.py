@@ -1,0 +1,29 @@
+"""Caching schemes: MFG-CP and the four comparison baselines (§V-A).
+
+* :class:`MFGCPScheme` — the paper's proposal (equilibrium policy
+  lookup from the solved coupled HJB-FPK system).
+* :class:`MFGNoSharingScheme` — the downgraded "MFG" baseline without
+  peer content sharing.
+* :class:`UDCSScheme` — ultra-dense caching strategy: long-run cost
+  minimisation, ignoring pricing and sharing.
+* :class:`MostPopularScheme` — MPC: cache only currently most popular
+  contents.
+* :class:`RandomReplacementScheme` — RR: random caching decisions.
+"""
+
+from repro.baselines.base import CachingScheme, SchemeDecision
+from repro.baselines.random_replacement import RandomReplacementScheme
+from repro.baselines.most_popular import MostPopularScheme
+from repro.baselines.mfg_cp import MFGCPScheme
+from repro.baselines.mfg_nosharing import MFGNoSharingScheme
+from repro.baselines.udcs import UDCSScheme
+
+__all__ = [
+    "CachingScheme",
+    "SchemeDecision",
+    "RandomReplacementScheme",
+    "MostPopularScheme",
+    "MFGCPScheme",
+    "MFGNoSharingScheme",
+    "UDCSScheme",
+]

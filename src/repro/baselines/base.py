@@ -1,0 +1,75 @@
+"""Common interface for content placement schemes.
+
+A scheme decides the caching rate ``x_i(t) in [0, 1]`` for every EDP it
+controls, given the EDP's local state.  The finite-population simulator
+calls :meth:`CachingScheme.prepare` once before a run (this is where
+MFG-CP pays its one-off equilibrium solve — the reason its per-epoch
+cost is flat in ``M``, Table II) and :meth:`CachingScheme.decide` at
+every decision step.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.parameters import MFGCPConfig
+
+
+@dataclass(frozen=True)
+class SchemeDecision:
+    """The caching rates a scheme chose for its EDPs at one step."""
+
+    caching_rates: np.ndarray
+
+    def __post_init__(self) -> None:
+        rates = np.asarray(self.caching_rates, dtype=float)
+        if np.any(rates < -1e-9) or np.any(rates > 1.0 + 1e-9):
+            raise ValueError("caching rates must lie in [0, 1]")
+        object.__setattr__(self, "caching_rates", np.clip(rates, 0.0, 1.0))
+
+
+class CachingScheme(abc.ABC):
+    """Abstract content placement scheme.
+
+    Attributes
+    ----------
+    name:
+        Display name used by reports and benches.
+    participates_in_sharing:
+        Whether this scheme's EDPs take part in paid peer sharing.
+        The "MFG" baseline sets this to False ("content sharing is not
+        considered"), forcing its EDPs from case 2 into case 3.
+    """
+
+    name: str = "scheme"
+    participates_in_sharing: bool = True
+
+    def prepare(self, config: MFGCPConfig, rng: np.random.Generator) -> None:
+        """One-off setup before a simulation run.
+
+        Default is a no-op; model-based schemes solve their control
+        problem here.  ``prepare`` must be called before ``decide``.
+        """
+        del config, rng
+
+    @abc.abstractmethod
+    def decide(self, t: float, fading: np.ndarray, remaining: np.ndarray) -> SchemeDecision:
+        """Caching rates for EDPs with states ``(fading_i, remaining_i)``.
+
+        Parameters
+        ----------
+        t:
+            Current simulation time.
+        fading:
+            Channel fading coefficients, shape ``(n,)``.
+        remaining:
+            Remaining cache spaces ``q_i`` in MB, shape ``(n,)``.
+        """
+
+    def describe(self) -> str:
+        """Short human-readable description."""
+        sharing = "shares" if self.participates_in_sharing else "no sharing"
+        return f"{self.name} ({sharing})"

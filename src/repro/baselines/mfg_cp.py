@@ -1,0 +1,58 @@
+"""The MFG-CP scheme: equilibrium feedback policy lookup.
+
+``prepare`` runs the full iterative best-response solve (Alg. 2) once
+— a cost independent of the population size ``M`` because the
+mean-field game replaces per-EDP interactions with the population
+density.  ``decide`` is then a vectorised table lookup per EDP, so the
+per-epoch decision cost stays flat as ``M`` grows (Table II).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.baselines.base import CachingScheme, SchemeDecision
+from repro.core.best_response import BestResponseIterator
+from repro.core.equilibrium import EquilibriumResult
+from repro.core.parameters import MFGCPConfig
+
+
+class MFGCPScheme(CachingScheme):
+    """The paper's joint caching-and-pricing framework.
+
+    Parameters
+    ----------
+    equilibrium:
+        Optionally inject a pre-solved equilibrium (lets benches share
+        one solve across simulator runs); otherwise ``prepare`` solves.
+    """
+
+    name = "MFG-CP"
+    participates_in_sharing = True
+
+    def __init__(self, equilibrium: Optional[EquilibriumResult] = None) -> None:
+        self._equilibrium = equilibrium
+
+    @property
+    def equilibrium(self) -> EquilibriumResult:
+        """The solved equilibrium (after ``prepare``)."""
+        if self._equilibrium is None:
+            raise RuntimeError("prepare() must be called before using the equilibrium")
+        return self._equilibrium
+
+    def _solver_config(self, config: MFGCPConfig) -> MFGCPConfig:
+        """The configuration handed to the equilibrium solver."""
+        return config
+
+    def prepare(self, config: MFGCPConfig, rng: np.random.Generator) -> None:
+        del rng
+        if self._equilibrium is None:
+            self._equilibrium = BestResponseIterator(self._solver_config(config)).solve()
+
+    def decide(self, t: float, fading: np.ndarray, remaining: np.ndarray) -> SchemeDecision:
+        rates = self.equilibrium.policy.batch(
+            t, np.asarray(fading, dtype=float), np.asarray(remaining, dtype=float)
+        )
+        return SchemeDecision(caching_rates=rates)

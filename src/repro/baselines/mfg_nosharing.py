@@ -1,0 +1,24 @@
+"""The "MFG" baseline: MFG-CP without peer content sharing.
+
+"The MFG scheme is a downgraded version of MFG-CP, in which the
+content sharing is not considered" (§V-A, after [27]).  Its EDPs
+optimise the same mean-field objective minus the sharing benefit and
+sharing cost, and they do not take part in the peer-sharing market —
+when they lack a content they download from the cloud centre (case 3)
+even if a neighbour could have sold it to them.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.mfg_cp import MFGCPScheme
+from repro.core.parameters import MFGCPConfig
+
+
+class MFGNoSharingScheme(MFGCPScheme):
+    """Mean-field caching control with the sharing economics removed."""
+
+    name = "MFG"
+    participates_in_sharing = False
+
+    def _solver_config(self, config: MFGCPConfig) -> MFGCPConfig:
+        return config.without_sharing()

@@ -1,0 +1,61 @@
+"""Most Popular Caching (MPC) baseline.
+
+"The MPC method only caches currently most popular contents" (after
+[18], FGPC).  For the per-content game this means: cache at full rate
+while the content's popularity clears a threshold and the EDP still
+lacks the content; otherwise do not cache.  MPC ignores prices, peer
+states and the market altogether.
+
+The decision loop is per-EDP by construction (each EDP checks its own
+remaining space against its popularity ranking), which is what makes
+MPC's runtime grow with ``M`` in Table II.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.base import CachingScheme, SchemeDecision
+from repro.core.parameters import MFGCPConfig
+
+
+class MostPopularScheme(CachingScheme):
+    """Full-rate caching of popular contents, nothing else.
+
+    Parameters
+    ----------
+    popularity_threshold:
+        The content is considered "most popular" when its popularity
+        ``Pi_k`` is at least this value.  With a Zipf prior over K=20
+        contents the top handful clear 0.1.
+    """
+
+    name = "MPC"
+    participates_in_sharing = True
+
+    def __init__(self, popularity_threshold: float = 0.1) -> None:
+        if not 0.0 <= popularity_threshold <= 1.0:
+            raise ValueError(
+                f"popularity_threshold must lie in [0, 1], got {popularity_threshold}"
+            )
+        self.popularity_threshold = popularity_threshold
+        self._is_popular = False
+        self._stop_threshold = 0.0
+
+    def prepare(self, config: MFGCPConfig, rng: np.random.Generator) -> None:
+        del rng
+        self._is_popular = config.popularity >= self.popularity_threshold
+        # Stop caching once the content counts as fully held (case 1).
+        self._stop_threshold = config.alpha * config.content_size
+
+    def decide(self, t: float, fading: np.ndarray, remaining: np.ndarray) -> SchemeDecision:
+        del t, fading
+        remaining = np.asarray(remaining, dtype=float)
+        rates = np.empty(remaining.shape[0])
+        # Per-EDP loop: each EDP inspects its own cache fill state.
+        for i in range(remaining.shape[0]):
+            if self._is_popular and remaining[i] > self._stop_threshold:
+                rates[i] = 1.0
+            else:
+                rates[i] = 0.0
+        return SchemeDecision(caching_rates=rates)

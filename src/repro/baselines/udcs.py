@@ -1,0 +1,31 @@
+"""Ultra-Dense Caching Strategy (UDCS) baseline.
+
+"The UDCS approach takes into account the content overlap and
+interference, without considering the pricing issue and content
+sharing" and "focuses on minimizing the long-run average cost" (§V-A,
+after [28]).  We implement it as the cost-minimising mean-field
+control: the same HJB machinery solves the control problem with the
+trading income and sharing terms removed from the objective
+(``include_trading = include_sharing = False``), so the EDP balances
+placement cost against staleness (delay) cost only.  Content overlap
+and interference are captured through the shared population density
+and the interference-aware rate model — but, exactly as the paper
+notes, the resulting policy never reacts to prices, which is why its
+utility barely moves across the popularity sweep of Fig. 13.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.mfg_cp import MFGCPScheme
+from repro.core.parameters import MFGCPConfig
+from dataclasses import replace
+
+
+class UDCSScheme(MFGCPScheme):
+    """Long-run average-cost minimisation, pricing- and sharing-blind."""
+
+    name = "UDCS"
+    participates_in_sharing = False
+
+    def _solver_config(self, config: MFGCPConfig) -> MFGCPConfig:
+        return replace(config, include_trading=False, include_sharing=False)

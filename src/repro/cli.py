@@ -1,0 +1,376 @@
+"""Command-line interface for the MFG-CP reproduction.
+
+Subcommands
+-----------
+``solve``
+    Solve a single-content mean-field equilibrium and print the
+    convergence report, market paths, and utility decomposition.
+``simulate``
+    Run the finite-population game for one or more schemes and print
+    the comparison rows.
+``experiment``
+    Regenerate a paper figure/table by name (``fig3`` ... ``fig14``,
+    ``table2``) through the experiment harness.
+``trace``
+    Generate a synthetic YouTube-trending trace CSV.
+``verify``
+    Evaluate the Lemma 1/2 hypotheses and the Theorem 2 contraction
+    diagnostics for a configuration.
+
+Examples
+--------
+    python -m repro.cli solve --fast
+    python -m repro.cli simulate --schemes MFG-CP,MFG --edps 60
+    python -m repro.cli experiment fig14
+    python -m repro.cli trace --videos 500 --out /tmp/trace.csv
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+from dataclasses import replace
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis import experiments
+from repro.analysis.reporting import format_table
+from repro.content.trace import SyntheticYouTubeTrace
+from repro.core.parameters import MFGCPConfig
+from repro.core.solver import MFGCPSolver
+from repro.core import theory
+
+EXPERIMENT_NAMES = (
+    "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+    "fig11", "fig12", "fig13", "fig14", "table2",
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MFG-CP: joint mobile edge caching and pricing (ICDE 2024 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_config_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--fast", action="store_true",
+                       help="coarse grid (quick demo) instead of paper default")
+        p.add_argument("--content-size", type=float, default=None,
+                       help="content size Q_k in MB")
+        p.add_argument("--eta1", type=float, default=None,
+                       help="supply-to-money conversion eta1")
+        p.add_argument("--popularity", type=float, default=None,
+                       help="content popularity Pi_k in [0, 1]")
+        p.add_argument("--no-sharing", action="store_true",
+                       help="disable peer sharing (the MFG baseline model)")
+
+    p_solve = sub.add_parser("solve", help="solve one mean-field equilibrium")
+    add_config_args(p_solve)
+
+    p_sim = sub.add_parser("simulate", help="finite-population scheme comparison")
+    add_config_args(p_sim)
+    p_sim.add_argument("--schemes", default="MFG-CP,MFG,UDCS,MPC,RR",
+                       help="comma-separated scheme names")
+    p_sim.add_argument("--edps", type=int, default=60, help="population size M")
+    p_sim.add_argument("--seed", type=int, default=7)
+
+    p_exp = sub.add_parser("experiment", help="regenerate a paper figure/table")
+    p_exp.add_argument("name", choices=EXPERIMENT_NAMES)
+
+    p_trace = sub.add_parser("trace", help="generate a synthetic trending trace")
+    p_trace.add_argument("--videos", type=int, default=1000)
+    p_trace.add_argument("--seed", type=int, default=0)
+    p_trace.add_argument("--out", required=True, help="output CSV path")
+
+    p_verify = sub.add_parser("verify", help="check Lemma 1/2 and Theorem 2 numerically")
+    add_config_args(p_verify)
+
+    p_export = sub.add_parser(
+        "export", help="solve an equilibrium and dump CSV/JSON artifacts"
+    )
+    add_config_args(p_export)
+    p_export.add_argument("--out", required=True, help="output directory")
+
+    p_stat = sub.add_parser(
+        "stationary", help="solve the infinite-horizon (discounted) equilibrium"
+    )
+    add_config_args(p_stat)
+    p_stat.add_argument("--discount", type=float, default=1.0,
+                        help="discount rate rho > 0")
+    return parser
+
+
+def _config_from_args(args: argparse.Namespace) -> MFGCPConfig:
+    config = MFGCPConfig.fast() if args.fast else MFGCPConfig.paper_default()
+    overrides = {}
+    if args.content_size is not None:
+        overrides["content_size"] = args.content_size
+    if args.eta1 is not None:
+        overrides["eta1"] = args.eta1
+    if args.popularity is not None:
+        overrides["popularity"] = args.popularity
+    if args.no_sharing:
+        overrides["include_sharing"] = False
+    return replace(config, **overrides) if overrides else config
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
+    result = MFGCPSolver(config).solve()
+    print(result.report.describe())
+    t = result.grid.t
+    stride = max(1, len(t) // 8)
+    print(format_table(
+        ["t", "price", "E[x*]", "mean q (MB)"],
+        [
+            (f"{t[i]:.2f}", result.mean_field.price[i],
+             result.mean_field.mean_control[i], result.mean_field.mean_q[i])
+            for i in range(0, len(t), stride)
+        ],
+        title="Equilibrium market paths",
+    ))
+    print(format_table(
+        ["term", "accumulated"],
+        sorted(result.accumulated_utility().items()),
+        title="Utility decomposition (Eq. 10 over the horizon)",
+    ))
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
+    names = [s.strip() for s in args.schemes.split(",") if s.strip()]
+    if not names:
+        print("error: no schemes given", file=sys.stderr)
+        return 2
+    rows = []
+    for name in names:
+        summary = experiments.run_scheme_summary(
+            name, config, args.edps, seeds=(args.seed,)
+        )
+        rows.append(
+            (name, summary["total"], summary["trading_income"],
+             summary["staleness_cost"])
+        )
+    rows.sort(key=lambda r: -r[1])
+    print(format_table(
+        ["scheme", "utility", "trading income", "staleness cost"],
+        rows,
+        title=f"Finite-population comparison (M={args.edps})",
+    ))
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    name = args.name
+    if name == "fig3":
+        data = experiments.fig3_channel_evolution()
+        data.pop("time")
+        rows = [
+            (label, path[-1], float(np.std(path[len(path) // 2:])))
+            for label, path in sorted(data.items())
+        ]
+        print(format_table(["series", "final value", "tail std"], rows,
+                           title="Fig. 3 - OU channel evolution"))
+        return 0
+    if name in ("fig4", "fig5", "fig9"):
+        result = experiments.solve_equilibrium()
+        if name == "fig4":
+            data = experiments.fig4_meanfield_evolution(result=result)
+            rows = [
+                (f"{data['time'][i]:.2f}", data["mean_q"][i])
+                for i in range(0, len(data["time"]), max(1, len(data["time"]) // 8))
+            ]
+            print(format_table(["t", "mean remaining q (MB)"], rows,
+                               title="Fig. 4 - mean-field evolution"))
+        elif name == "fig5":
+            data = experiments.fig5_policy_evolution(result=result)
+            rows = list(zip(
+                [f"{q:.0f}" for q in data["q"]],
+                data["policy_q_profile_t0"],
+                data["policy_q_profile_mid"],
+            ))
+            print(format_table(["q (MB)", "x*(t=0)", "x*(t=T/2)"], rows,
+                               title="Fig. 5 - policy evolution"))
+        else:
+            data = experiments.fig9_convergence(result=result)
+            rows = [
+                (f"{q0:g}", series["caching_state"][-1], series["utility"][-1])
+                for q0, series in sorted(data.items())
+            ]
+            print(format_table(["q(0)", "final q", "final utility"], rows,
+                               title="Fig. 9 - convergence"))
+        return 0
+    if name in ("fig6", "fig7"):
+        std = 0.1 if name == "fig6" else 0.05
+        data = experiments.fig67_heatmap(initial_std_fraction=std)
+        rows = [
+            (f"{qk:.0f}", series["mean_q"][0], series["mean_q"][-1])
+            for qk, series in sorted(data.items())
+        ]
+        print(format_table(["Q_k", "mean q(0)", "mean q(T)"], rows,
+                           title=f"{name} - heat map sweep (std {std})"))
+        return 0
+    if name == "fig8":
+        data = experiments.fig8_w5_sweep()
+        rows = [
+            (f"{w5:.0f}", series["mean_q"][-1],
+             float(series["accumulated_staleness"][0]))
+            for w5, series in sorted(data.items())
+        ]
+        print(format_table(["w5", "mean q(T)", "staleness"], rows,
+                           title="Fig. 8 - w5 sweep"))
+        return 0
+    if name == "fig10":
+        data = experiments.fig10_initial_distribution()
+        rows = [
+            (f"{mean:g}", series["utility"][-1],
+             float(series["sharing_benefit"].mean()))
+            for mean, series in sorted(data.items())
+        ]
+        print(format_table(["lambda(0) mean", "U(T)", "avg sharing benefit"],
+                           rows, title="Fig. 10 - initial distribution"))
+        return 0
+    if name == "fig11":
+        data = experiments.fig11_eta1_timeseries()
+        rows = [
+            (f"{eta1:g}", series["utility"][-1], series["trading_income"][0],
+             series["trading_income"][-1])
+            for eta1, series in sorted(data.items())
+        ]
+        print(format_table(["eta1", "U(T)", "income(0)", "income(T)"], rows,
+                           title="Fig. 11 - eta1 sweep"))
+        return 0
+    if name == "fig12":
+        rows = experiments.fig12_total_vs_eta1()
+        print(format_table(
+            ["eta1", "scheme", "utility", "income"],
+            [(f"{e:g}", s, u, i) for e, s, u, i in rows],
+            title="Fig. 12 - total utility vs eta1",
+        ))
+        return 0
+    if name == "fig13":
+        rows = experiments.fig13_popularity_sweep()
+        print(format_table(
+            ["popularity", "scheme", "utility", "staleness", "mean control"],
+            [(f"{p:g}", s, u, c, m) for p, s, u, c, m in rows],
+            title="Fig. 13 - popularity sweep",
+        ))
+        return 0
+    if name == "fig14":
+        rows = experiments.fig14_scheme_comparison()
+        print(format_table(
+            ["scheme", "utility", "income", "staleness"], rows,
+            title="Fig. 14 - scheme comparison",
+        ))
+        return 0
+    # table2
+    rows = experiments.table2_computation_time()
+    print(format_table(
+        ["scheme", "M", "seconds"],
+        [(s, m, sec) for s, m, sec in rows],
+        title="Table II - computation time",
+    ))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    trace = SyntheticYouTubeTrace(
+        n_videos=args.videos, rng=np.random.default_rng(args.seed)
+    )
+    records = trace.generate()
+    with open(args.out, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            ["video_id", "category_id", "tags", "views", "likes",
+             "comment_count", "description"]
+        )
+        for rec in records:
+            writer.writerow(
+                [rec.video_id, rec.category, "|".join(rec.tags), rec.views,
+                 rec.likes, rec.comment_count, rec.description]
+            )
+    print(f"wrote {len(records)} records to {args.out}")
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
+    lemma1 = theory.verify_lemma1(config)
+    lemma2 = theory.verify_lemma2(config)
+    result = MFGCPSolver(config).solve()
+    thm2 = theory.verify_theorem2(result)
+    print(format_table(
+        ["condition", "value"],
+        [
+            ("Lemma 1: control space compact", str(lemma1.control_space_compact)),
+            ("Lemma 1: drift bound", lemma1.drift_bound),
+            ("Lemma 1: drift Lipschitz const", lemma1.drift_lipschitz),
+            ("Lemma 1: |U| bound", lemma1.utility_bound),
+            ("Lemma 1: |d_q U| bound", lemma1.utility_gradient_bound),
+            ("Lemma 1 satisfied", str(lemma1.satisfied)),
+            ("Lemma 2: a_11", lemma2.a_diagonal),
+            ("Lemma 2 satisfied", str(lemma2.satisfied)),
+            ("Theorem 2: converged", str(thm2.converged)),
+            ("Theorem 2: contraction rate", thm2.empirical_contraction_rate),
+            ("Theorem 2: contraction observed", str(thm2.contraction_observed)),
+        ],
+        title="Theoretical conditions (Section IV-D), evaluated numerically",
+    ))
+    return 0 if (lemma1.satisfied and lemma2.satisfied and thm2.contraction_observed) else 1
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.analysis.export import export_equilibrium
+
+    config = _config_from_args(args)
+    result = MFGCPSolver(config).solve()
+    written = export_equilibrium(result, args.out)
+    print(f"{result.report.describe()}")
+    for path in written:
+        print(f"  wrote {path}")
+    return 0
+
+
+def _cmd_stationary(args: argparse.Namespace) -> int:
+    from repro.core.stationary import StationarySolver
+
+    config = _config_from_args(args)
+    result = StationarySolver(config, discount=args.discount).solve()
+    status = "converged" if result.converged else "NOT converged"
+    print(f"stationary equilibrium {status} after {result.n_iterations} iterations")
+    print(format_table(
+        ["quantity", "value"],
+        [
+            ("discount rho", result.discount),
+            ("stationary price", result.price),
+            ("mean remaining q (MB)", result.mean_q),
+            ("mean caching rate", result.mean_control),
+            ("sharing benefit", result.sharing_benefit),
+            ("utility rate", result.utility_rate()),
+        ],
+        title="Stationary market",
+    ))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "solve": _cmd_solve,
+        "simulate": _cmd_simulate,
+        "experiment": _cmd_experiment,
+        "trace": _cmd_trace,
+        "verify": _cmd_verify,
+        "export": _cmd_export,
+        "stationary": _cmd_stationary,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,99 @@
+"""Content catalog.
+
+The integrated cloud centre stores ``K`` content categories, each with
+a data size ``Q_k`` and an update frequency (Section II-B).  The paper
+evaluates with ``K = 20`` categories of ``Q_k = 100`` MB each.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Content:
+    """One content category stored at the cloud centre.
+
+    Attributes
+    ----------
+    content_id:
+        Index ``k`` into the catalog.
+    size_mb:
+        Data size ``Q_k`` in MB.
+    name:
+        Human-readable label (trace category name when trace-driven).
+    update_period:
+        How often the centre refreshes the content (time units); the
+        paper's examples are traffic data (hourly) vs financial news
+        (daily).  Purely descriptive in the model but carried so that
+        examples can reason about staleness.
+    """
+
+    content_id: int
+    size_mb: float
+    name: str = ""
+    update_period: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.size_mb <= 0:
+            raise ValueError(f"size_mb must be positive, got {self.size_mb}")
+        if self.update_period <= 0:
+            raise ValueError(f"update_period must be positive, got {self.update_period}")
+
+
+@dataclass
+class ContentCatalog:
+    """The set ``K`` of contents offered by the cloud centre."""
+
+    contents: List[Content] = field(default_factory=list)
+
+    @classmethod
+    def uniform(cls, n_contents: int, size_mb: float = 100.0, names: Optional[Sequence[str]] = None) -> "ContentCatalog":
+        """Catalog of ``n_contents`` equally sized contents (paper default)."""
+        if n_contents < 1:
+            raise ValueError(f"need at least one content, got {n_contents}")
+        names = names if names is not None else [f"content-{k}" for k in range(n_contents)]
+        if len(names) != n_contents:
+            raise ValueError(f"got {len(names)} names for {n_contents} contents")
+        contents = [
+            Content(content_id=k, size_mb=size_mb, name=str(names[k]))
+            for k in range(n_contents)
+        ]
+        return cls(contents=contents)
+
+    @classmethod
+    def from_sizes(cls, sizes_mb: Sequence[float]) -> "ContentCatalog":
+        """Catalog with heterogeneous content sizes."""
+        contents = [
+            Content(content_id=k, size_mb=float(size), name=f"content-{k}")
+            for k, size in enumerate(sizes_mb)
+        ]
+        return cls(contents=contents)
+
+    def __len__(self) -> int:
+        return len(self.contents)
+
+    def __iter__(self) -> Iterator[Content]:
+        return iter(self.contents)
+
+    def __getitem__(self, k: int) -> Content:
+        return self.contents[k]
+
+    @property
+    def sizes(self) -> np.ndarray:
+        """Vector of content sizes ``Q_k`` in MB."""
+        return np.array([c.size_mb for c in self.contents])
+
+    @property
+    def total_size(self) -> float:
+        """Total catalog size in MB."""
+        return float(self.sizes.sum())
+
+    def validate_index(self, k: int) -> int:
+        """Raise ``IndexError`` unless ``k`` names a catalog content."""
+        if not 0 <= k < len(self.contents):
+            raise IndexError(f"content index {k} out of range [0, {len(self.contents)})")
+        return k

@@ -1,0 +1,138 @@
+"""Content popularity: Zipf prior and the request-driven update, Eq. (3).
+
+Definition 1 of the paper initialises the popularity of content ``k``
+as a Zipf law
+
+    Pi_k(t0) = (1 / k^iota) / sum_{k'=1}^{K} 1 / k'^iota
+
+and updates it online from observed request counts:
+
+    Pi_k(t) = ( K * Pi_k(t0) + |I_k(t)| ) / ( K + sum_k' |I_k'(t)| ).
+
+This additive-smoothing form keeps the popularity vector a proper
+probability distribution at all times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+def zipf_distribution(n_contents: int, exponent: float) -> np.ndarray:
+    """Zipf probability vector over ranks ``1..n_contents``.
+
+    Parameters
+    ----------
+    n_contents:
+        Number of contents ``K``.
+    exponent:
+        Steepness ``iota > 0``; larger values concentrate demand on the
+        top-ranked contents.
+    """
+    if n_contents < 1:
+        raise ValueError(f"need at least one content, got {n_contents}")
+    if exponent <= 0:
+        raise ValueError(f"Zipf exponent must be positive, got {exponent}")
+    ranks = np.arange(1, n_contents + 1, dtype=float)
+    weights = ranks ** (-exponent)
+    return weights / weights.sum()
+
+
+@dataclass(frozen=True)
+class ZipfPopularity:
+    """The Zipf popularity prior of Def. 1.
+
+    Examples
+    --------
+    >>> pop = ZipfPopularity(n_contents=5, exponent=0.8)
+    >>> float(pop.initial().sum())
+    1.0
+    """
+
+    n_contents: int
+    exponent: float = 0.8
+
+    def __post_init__(self) -> None:
+        # Validation happens in zipf_distribution; trigger it eagerly so
+        # misconfigured objects fail at construction time.
+        zipf_distribution(self.n_contents, self.exponent)
+
+    def initial(self) -> np.ndarray:
+        """The prior ``Pi(t0)`` over all contents."""
+        return zipf_distribution(self.n_contents, self.exponent)
+
+    def updated(self, request_counts: Sequence[float]) -> np.ndarray:
+        """Eq. (3): popularity refreshed by observed request counts."""
+        counts = np.asarray(request_counts, dtype=float)
+        if counts.shape != (self.n_contents,):
+            raise ValueError(
+                f"expected {self.n_contents} request counts, got shape {counts.shape}"
+            )
+        if np.any(counts < 0):
+            raise ValueError("request counts must be non-negative")
+        k = float(self.n_contents)
+        return (k * self.initial() + counts) / (k + counts.sum())
+
+
+@dataclass
+class PopularityTracker:
+    """Online popularity state shared by the simulator and the solver.
+
+    Maintains the current popularity vector, applying Eq. (3) whenever
+    a new batch of request counts is observed.  An optional exponential
+    forgetting factor lets long simulations track drifting demand (the
+    paper assumes demand changes slowly relative to one optimization
+    epoch; with ``forgetting = 1.0`` the tracker matches Eq. (3)
+    exactly, accumulating all history).
+
+    Parameters
+    ----------
+    prior:
+        The Zipf prior.
+    forgetting:
+        Multiplier in ``(0, 1]`` applied to accumulated counts before
+        each new batch is added.
+    """
+
+    prior: ZipfPopularity
+    forgetting: float = 1.0
+    _accumulated: np.ndarray = field(init=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.forgetting <= 1.0:
+            raise ValueError(f"forgetting must lie in (0, 1], got {self.forgetting}")
+        self._accumulated = np.zeros(self.prior.n_contents)
+
+    @property
+    def current(self) -> np.ndarray:
+        """Current popularity vector (a probability distribution)."""
+        return self.prior.updated(self._accumulated)
+
+    def observe(self, request_counts: Sequence[float]) -> np.ndarray:
+        """Fold a batch of request counts into the popularity state."""
+        counts = np.asarray(request_counts, dtype=float)
+        if counts.shape != self._accumulated.shape:
+            raise ValueError(
+                f"expected shape {self._accumulated.shape}, got {counts.shape}"
+            )
+        if np.any(counts < 0):
+            raise ValueError("request counts must be non-negative")
+        self._accumulated = self.forgetting * self._accumulated + counts
+        return self.current
+
+    def reset(self) -> None:
+        """Drop all observed history, reverting to the Zipf prior."""
+        self._accumulated = np.zeros_like(self._accumulated)
+
+    def rank_order(self) -> np.ndarray:
+        """Content indices sorted from most to least popular."""
+        return np.argsort(-self.current, kind="stable")
+
+    def top(self, n: int) -> np.ndarray:
+        """Indices of the ``n`` currently most popular contents."""
+        if n < 0:
+            raise ValueError(f"n must be non-negative, got {n}")
+        return self.rank_order()[:n]

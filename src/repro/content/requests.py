@@ -1,0 +1,124 @@
+"""Requester demand process.
+
+Requests arrive per (EDP, content) pair.  The set ``I_{i,k}(t)`` of
+requesters asking EDP ``i`` for content ``k`` at time ``t`` is sampled
+as a Poisson count whose intensity splits a per-EDP demand rate across
+contents proportionally to current popularity.  Each request carries a
+timeliness requirement drawn from :class:`repro.content.timeliness.TimelinessModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.content.timeliness import TimelinessModel
+
+
+@dataclass(frozen=True)
+class RequestBatch:
+    """Requests observed by one EDP in one time slot.
+
+    Attributes
+    ----------
+    counts:
+        ``|I_{i,k}(t)|`` per content, shape ``(n_contents,)``.
+    timeliness:
+        Per-content list of the requirements attached to each request;
+        ``timeliness[k]`` has length ``counts[k]``.
+    """
+
+    counts: np.ndarray
+    timeliness: List[np.ndarray]
+
+    def __post_init__(self) -> None:
+        if len(self.timeliness) != self.counts.shape[0]:
+            raise ValueError(
+                f"{len(self.timeliness)} timeliness groups for "
+                f"{self.counts.shape[0]} contents"
+            )
+        for k, (count, reqs) in enumerate(zip(self.counts, self.timeliness)):
+            if len(reqs) != int(count):
+                raise ValueError(
+                    f"content {k}: {len(reqs)} requirements for {int(count)} requests"
+                )
+
+    @property
+    def total(self) -> int:
+        """Total number of requests across contents."""
+        return int(self.counts.sum())
+
+    def mean_timeliness(self, k: int, default: float = 0.0) -> float:
+        """Average requirement for content ``k`` (Def. 2), or ``default``."""
+        reqs = self.timeliness[k]
+        return float(np.mean(reqs)) if len(reqs) else default
+
+
+@dataclass
+class RequestProcess:
+    """Poisson request arrivals split across contents by popularity.
+
+    Parameters
+    ----------
+    n_contents:
+        Catalog size ``K``.
+    rate_per_edp:
+        Expected total requests a single EDP receives per unit time.
+    timeliness_model:
+        Law for per-request timeliness requirements.
+    rng:
+        Random generator.
+    """
+
+    n_contents: int
+    rate_per_edp: float
+    timeliness_model: TimelinessModel = field(default_factory=TimelinessModel)
+    rng: np.random.Generator = field(default_factory=np.random.default_rng)
+
+    def __post_init__(self) -> None:
+        if self.n_contents < 1:
+            raise ValueError(f"need at least one content, got {self.n_contents}")
+        if self.rate_per_edp < 0:
+            raise ValueError(f"rate_per_edp must be non-negative, got {self.rate_per_edp}")
+
+    def intensities(self, popularity: Sequence[float], dt: float) -> np.ndarray:
+        """Per-content Poisson intensities for a slot of length ``dt``."""
+        pop = np.asarray(popularity, dtype=float)
+        if pop.shape != (self.n_contents,):
+            raise ValueError(
+                f"expected {self.n_contents} popularity values, got {pop.shape}"
+            )
+        if dt <= 0:
+            raise ValueError(f"dt must be positive, got {dt}")
+        total = pop.sum()
+        if total <= 0:
+            raise ValueError("popularity vector must have positive mass")
+        return self.rate_per_edp * dt * pop / total
+
+    def sample(self, popularity: Sequence[float], dt: float) -> RequestBatch:
+        """Sample one slot's requests for one EDP."""
+        counts = self.rng.poisson(self.intensities(popularity, dt))
+        timeliness = [
+            self.timeliness_model.sample(int(c), self.rng) for c in counts
+        ]
+        return RequestBatch(counts=counts.astype(int), timeliness=timeliness)
+
+    def sample_population(
+        self, popularity: Sequence[float], dt: float, n_edps: int
+    ) -> np.ndarray:
+        """Request-count matrix for a population of EDPs.
+
+        Returns shape ``(n_edps, n_contents)``; timeliness draws are
+        omitted here because population-level experiments only need the
+        counts (Def. 2's averages come from :meth:`sample` per EDP).
+        """
+        if n_edps < 1:
+            raise ValueError(f"need at least one EDP, got {n_edps}")
+        lam = self.intensities(popularity, dt)
+        return self.rng.poisson(lam, size=(n_edps, self.n_contents))
+
+    def expected_requests(self, popularity: Sequence[float], dt: float) -> np.ndarray:
+        """Mean of :meth:`sample`'s counts (used by deterministic solvers)."""
+        return self.intensities(popularity, dt)

@@ -1,0 +1,109 @@
+"""Content timeliness, Def. 2 of the paper.
+
+Each requester attaches a timeliness requirement ``L_{i,k,j} in
+[0, L_max]`` to its request; the content-level timeliness ``L_{i,k}(t)``
+is the mean requirement over the current requesters.  Larger values
+mean more urgent demand (e.g. drivers wanting live traffic data), and
+enter the caching drift of Eq. (4) through the decreasing factor
+``xi^L``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TimelinessModel:
+    """Population law for requester timeliness requirements.
+
+    Requirements are drawn from a Beta distribution rescaled to
+    ``[0, L_max]``; the Beta shape lets scenarios range from mostly lax
+    (mass near 0) to mostly urgent (mass near ``L_max``).
+
+    Attributes
+    ----------
+    l_max:
+        Upper bound ``L_max`` of the requirement range.
+    shape_a, shape_b:
+        Beta shape parameters; the default (2, 2) is a symmetric hump
+        with mean ``L_max / 2``.
+    """
+
+    l_max: float = 3.0
+    shape_a: float = 2.0
+    shape_b: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.l_max <= 0:
+            raise ValueError(f"l_max must be positive, got {self.l_max}")
+        if self.shape_a <= 0 or self.shape_b <= 0:
+            raise ValueError("Beta shape parameters must be positive")
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``n`` per-requester timeliness requirements."""
+        if n < 0:
+            raise ValueError(f"n must be non-negative, got {n}")
+        return self.l_max * rng.beta(self.shape_a, self.shape_b, size=n)
+
+    def mean(self) -> float:
+        """Population mean requirement."""
+        return self.l_max * self.shape_a / (self.shape_a + self.shape_b)
+
+
+@dataclass
+class TimelinessTracker:
+    """Per-content running timeliness ``L_k(t)`` (Def. 2).
+
+    ``observe`` ingests the requirements attached to the current batch
+    of requests for a content and returns the updated average.  When a
+    content receives no requests the last value is retained, matching
+    the paper's "approximated by the average value" definition which is
+    only refreshed by live requests.
+    """
+
+    model: TimelinessModel
+    n_contents: int
+    initial: Optional[Sequence[float]] = None
+    _values: np.ndarray = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.n_contents < 1:
+            raise ValueError(f"need at least one content, got {self.n_contents}")
+        if self.initial is not None:
+            values = np.asarray(self.initial, dtype=float)
+            if values.shape != (self.n_contents,):
+                raise ValueError(
+                    f"expected {self.n_contents} initial values, got {values.shape}"
+                )
+            if np.any(values < 0) or np.any(values > self.model.l_max):
+                raise ValueError("initial timeliness values must lie in [0, l_max]")
+            self._values = values.copy()
+        else:
+            self._values = np.full(self.n_contents, self.model.mean())
+
+    @property
+    def current(self) -> np.ndarray:
+        """Current per-content timeliness vector ``L_k(t)``."""
+        return self._values.copy()
+
+    def observe(self, content: int, requirements: Sequence[float]) -> float:
+        """Update content ``k``'s timeliness from a request batch."""
+        if not 0 <= content < self.n_contents:
+            raise IndexError(f"content index {content} out of range")
+        reqs = np.asarray(requirements, dtype=float)
+        if reqs.size == 0:
+            return float(self._values[content])
+        if np.any(reqs < 0) or np.any(reqs > self.model.l_max):
+            raise ValueError("timeliness requirements must lie in [0, l_max]")
+        self._values[content] = float(reqs.mean())
+        return float(self._values[content])
+
+    def urgency_factor(self, xi: float) -> np.ndarray:
+        """The drift factor ``xi^{L_k(t)}`` of Eq. (4) for all contents."""
+        if not 0.0 < xi < 1.0:
+            raise ValueError(f"xi must lie in (0, 1), got {xi}")
+        return np.power(xi, self._values)

@@ -1,0 +1,156 @@
+"""Iterative best-response learning scheme, Algorithm 2.
+
+The coupled HJB-FPK system is solved by fixed-point iteration:
+
+1. initialise the policy and the mean-field estimate;
+2. solve the backward HJB against the current mean field and extract
+   the Eq. (21) best response;
+3. stop when the policy change drops below the preset threshold;
+4. otherwise solve the forward FPK under the (damped) new policy,
+   refresh the mean-field estimator, and repeat.
+
+Damped updates (``x <- (1 - beta) x_old + beta x_new``) implement the
+contraction mapping of Theorem 2 robustly on coarse grids.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.equilibrium import ConvergenceReport, EquilibriumResult, IterationRecord
+from repro.core.fpk import FPKSolver, initial_density
+from repro.core.grid import StateGrid
+from repro.core.hjb import HJBSolver
+from repro.core.mean_field import MeanFieldEstimator
+from repro.core.parameters import MFGCPConfig
+from repro.core.policy import CachingPolicy
+
+
+def build_grid(config: MFGCPConfig) -> StateGrid:
+    """The state grid implied by a configuration.
+
+    The fading axis covers the OU stationary support (4 standard
+    deviations around the long-term mean, widened to include the mean
+    itself when volatility is tiny); the cache axis spans ``[0, Q_k]``.
+    """
+    ou = config.ou_process()
+    h_lo, h_hi = ou.stationary_interval()
+    if h_hi - h_lo < 1e-6:
+        h_lo, h_hi = ou.mean - 0.5, ou.mean + 0.5
+    h_lo = max(h_lo, 1e-6)  # fading coefficients are positive magnitudes
+    return StateGrid.regular(
+        horizon=config.horizon,
+        n_time_steps=config.n_time_steps,
+        h_bounds=(h_lo, h_hi),
+        n_h=config.n_h,
+        q_max=config.content_size,
+        n_q=config.n_q,
+    )
+
+
+class BestResponseIterator:
+    """Algorithm 2 bound to one configuration."""
+
+    def __init__(self, config: MFGCPConfig, grid: Optional[StateGrid] = None) -> None:
+        self.config = config
+        self.grid = grid if grid is not None else build_grid(config)
+        self.hjb = HJBSolver(config, self.grid)
+        self.fpk = FPKSolver(config, self.grid)
+        self.estimator = MeanFieldEstimator(config, self.grid)
+
+    def initial_policy(self, level: float = 0.5) -> np.ndarray:
+        """The bootstrap policy table ``x^0`` (constant caching rate)."""
+        if not 0.0 <= level <= 1.0:
+            raise ValueError(f"policy level must lie in [0, 1], got {level}")
+        return np.full(self.grid.path_shape, float(level))
+
+    def solve(
+        self,
+        density0: Optional[np.ndarray] = None,
+        initial_policy_level: float = 0.5,
+        initial_policy: Optional[np.ndarray] = None,
+    ) -> EquilibriumResult:
+        """Run the fixed-point loop to an MFG equilibrium.
+
+        Parameters
+        ----------
+        density0:
+            Initial population density ``lambda(0)``; defaults to the
+            configured truncated normal.
+        initial_policy_level:
+            The constant bootstrap policy ``x^0``.
+        initial_policy:
+            Optional full bootstrap policy table (overrides the
+            constant level) — warm-starting from a neighbouring
+            parameter point's equilibrium cuts the iteration count in
+            sweeps.
+        """
+        cfg = self.config
+        grid = self.grid
+        if density0 is None:
+            density0 = initial_density(grid, cfg)
+
+        if initial_policy is not None:
+            policy_table = np.asarray(initial_policy, dtype=float).copy()
+            if policy_table.shape != grid.path_shape:
+                raise ValueError(
+                    f"initial policy shape {policy_table.shape} != grid "
+                    f"{grid.path_shape}"
+                )
+            if np.any(policy_table < -1e-9) or np.any(policy_table > 1 + 1e-9):
+                raise ValueError("initial policy values must lie in [0, 1]")
+            policy_table = np.clip(policy_table, 0.0, 1.0)
+        else:
+            policy_table = self.initial_policy(initial_policy_level)
+        density_path = self.fpk.solve(policy_table, density0)
+        mean_field = self.estimator.estimate(density_path, policy_table)
+
+        history = []
+        converged = False
+        policy_change = np.inf
+        solution = None
+        for iteration in range(1, cfg.max_iterations + 1):
+            solution = self.hjb.solve(mean_field)
+            new_table = solution.policy.table
+            policy_change = float(np.max(np.abs(new_table - policy_table)))
+
+            # Damped best-response update (contraction mapping).
+            policy_table = (
+                (1.0 - cfg.damping) * policy_table + cfg.damping * new_table
+            )
+            density_path = self.fpk.solve(policy_table, density0)
+            new_mean_field = self.estimator.estimate(density_path, policy_table)
+            mf_change = mean_field.distance(new_mean_field)
+            mean_field = new_mean_field
+
+            history.append(
+                IterationRecord(
+                    iteration=iteration,
+                    policy_change=policy_change,
+                    mean_field_change=mf_change,
+                    mean_price=float(mean_field.price.mean()),
+                    mean_control=float(mean_field.mean_control.mean()),
+                )
+            )
+            if policy_change < cfg.tolerance:
+                converged = True
+                break
+
+        assert solution is not None  # max_iterations >= 1 by validation
+        report = ConvergenceReport(
+            converged=converged,
+            n_iterations=len(history),
+            final_policy_change=policy_change,
+            history=history,
+        )
+        return EquilibriumResult(
+            config=cfg,
+            grid=grid,
+            value=solution.value,
+            policy=CachingPolicy(grid=grid, table=policy_table),
+            density=density_path,
+            mean_field=mean_field,
+            report=report,
+        )

@@ -1,0 +1,246 @@
+"""Backward HJB solver for the generic player, Eq. (20).
+
+The value function ``V(t, h, q)`` of the generic EDP satisfies
+
+    max_x [ (1/2) varsigma_h (upsilon_h - h) d_h V
+            + (1/2) rho_h^2 d_hh V
+            + Q_k ( -w1 x - w2 Pi + w3 xi^L ) d_q V
+            + (1/2) rho_q^2 d_qq V
+            + U(t, x, S, lambda) ] + d_t V = 0,
+
+with terminal condition ``V(T) = 0`` (no salvage value after the
+epoch).
+
+Discretisation.  The control enters both the ``q`` drift and the
+running utility, so a naive central-difference control extraction is
+nonlinearly unstable (checkerboard modes in ``d_q V`` flip the
+bang-bang control and amplify).  We therefore use a **monotone Godunov
+scheme** for the controlled ``q`` advection: writing the drift as
+``b_q(x) = Q_k (c - w1 x)`` with ``c = -w2 Pi + w3 xi^L`` and the
+control-coupled utility as ``-a x - w5 x^2``
+(``a = w4 + eta2 Q_k / H_c``), the Hamiltonian is maximised separately
+on the two upwind branches:
+
+* drift >= 0 (``x <= c / w1``): forward difference ``D+ V`` (the
+  backward-in-time equation reads along forward characteristics),
+* drift <= 0 (``x >= c / w1``): backward difference ``D- V``,
+
+each a clipped concave quadratic with a closed-form maximiser (the
+Eq. (21) formula restricted to the branch).  The node takes the larger
+branch value and its argmax as the policy.  The uncontrolled ``h``
+advection uses plain sign-upwinding; diffusion is central; time
+stepping is explicit Euler with CFL sub-division.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.grid import StateGrid
+from repro.core.mean_field import MeanFieldPath
+from repro.core.operators import (
+    central_gradient,
+    second_derivative,
+    stable_time_step,
+    upwind_gradient,
+)
+from repro.core.parameters import MFGCPConfig
+from repro.core.policy import CachingPolicy, optimal_control
+
+
+@dataclass(frozen=True)
+class HJBSolution:
+    """Output of one backward HJB sweep.
+
+    Attributes
+    ----------
+    grid:
+        The state grid.
+    value:
+        ``V(t, h, q)``, shape ``grid.path_shape``.
+    policy:
+        The maximising control table ``x*(t, h, q)`` extracted during
+        the sweep, wrapped for interpolation.
+    """
+
+    grid: StateGrid
+    value: np.ndarray
+    policy: CachingPolicy
+
+    def value_gradient_q(self, time_index: int) -> np.ndarray:
+        """``d_q V`` at a reporting time (central differences)."""
+        return central_gradient(self.value[time_index], self.grid.dq, axis=1)
+
+    def initial_value(self, h: float, q: float) -> float:
+        """``V(0, h, q)`` — the accumulated optimal utility from state."""
+        ih, iq = self.grid.locate(h, q)
+        return float(self.value[0, ih, iq])
+
+
+class HJBSolver:
+    """Monotone (Godunov) finite-difference solver for Eq. (20)."""
+
+    def __init__(self, config: MFGCPConfig, grid: StateGrid) -> None:
+        self.config = config
+        self.grid = grid
+        self._utility = config.utility_model()
+        # Fading drift b_h = (1/2) varsigma_h (upsilon_h - h): constant
+        # over time, broadcast over the spatial shape.
+        ch = config.channel
+        self._drift_h = 0.5 * ch.reversion * (ch.mean - grid.h)[:, None]
+        self._rate_of_h = np.asarray(
+            ch.rate_of_fading(grid.h), dtype=float
+        )[:, None]
+        if np.any(self._rate_of_h <= 0):
+            raise ValueError(
+                "wireless rate non-positive on the grid; widen h bounds or "
+                "adjust the radio parameters"
+            )
+        self._diff_h = 0.5 * ch.volatility**2
+        self._diff_q = 0.5 * config.caching.noise**2
+
+        drift = config.caching_drift()
+        # Control-free drift multiplier c and its balance point x_c at
+        # which the q drift changes sign.
+        self._drift_const = float(
+            drift.rate(0.0, config.popularity, config.timeliness)
+        )
+        self._w1 = drift.w1
+        if self._w1 > 0:
+            self._x_balance = float(np.clip(self._drift_const / self._w1, 0.0, 1.0))
+        else:
+            self._x_balance = 1.0 if self._drift_const >= 0 else 0.0
+        # Control-coupled utility: U(x) = U(0) - a x - w5 x^2.
+        self._a_lin, self._w5 = self._utility.control_gradient_constants()
+
+    # ------------------------------------------------------------------
+    # Sub-stepping
+    # ------------------------------------------------------------------
+    def substeps_per_interval(self) -> int:
+        """Number of CFL substeps per reporting interval."""
+        cfg = self.config
+        max_bh = float(np.max(np.abs(self._drift_h)))
+        drift0 = float(np.abs(cfg.drift_rate(np.array(0.0))))
+        drift1 = float(np.abs(cfg.drift_rate(np.array(1.0))))
+        max_bq = max(drift0, drift1)
+        dt_stable = stable_time_step(
+            max_bh, max_bq, self.grid.dh, self.grid.dq, self._diff_h, self._diff_q
+        )
+        return max(1, int(np.ceil(self.grid.dt / dt_stable)))
+
+    # ------------------------------------------------------------------
+    # Godunov Hamiltonian in q
+    # ------------------------------------------------------------------
+    def _one_sided_gradients_q(self, value: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Backward and forward differences in ``q`` with Neumann ghosts."""
+        dq = self.grid.dq
+        backward = np.zeros_like(value)
+        forward = np.zeros_like(value)
+        backward[:, 1:] = (value[:, 1:] - value[:, :-1]) / dq
+        forward[:, :-1] = (value[:, 1:] - value[:, :-1]) / dq
+        # Reflecting state boundaries => zero normal derivative ghosts.
+        return backward, forward
+
+    def _branch_maximum(
+        self, grad: np.ndarray, x_lo: float, x_hi: float
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Maximise the control part of the Hamiltonian on one branch.
+
+        ``g(x) = b_q(x) grad - a x - w5 x^2`` with
+        ``b_q(x) = Q (c - w1 x)``, maximised over ``x in [x_lo, x_hi]``.
+        Returns the branch value and its argmax (arrays over the grid).
+        """
+        cfg = self.config
+        q_size = cfg.content_size
+        x_star = optimal_control(
+            grad, q_size, self._w1, cfg.w4, cfg.w5, cfg.eta2, cfg.backhaul_rate
+        )
+        x = np.clip(x_star, x_lo, x_hi)
+        value = q_size * (self._drift_const - self._w1 * x) * grad - self._a_lin * x - self._w5 * x**2
+        return value, x
+
+    def _godunov_q(self, value: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Monotone upwinded ``max_x [ b_q(x) d_qV - a x - w5 x^2 ]``.
+
+        Returns the Hamiltonian contribution and the maximising control.
+        """
+        backward, forward = self._one_sided_gradients_q(value)
+        # Upwinding for the BACKWARD-in-time equation follows the
+        # forward characteristics: V(t, q) ~ V(t+dt, q + b dt), so
+        # positive drift reads from larger q (forward difference).
+        # Branch A: drift >= 0 (x below the balance point) -> D+ V.
+        val_a, x_a = self._branch_maximum(forward, 0.0, self._x_balance)
+        # Branch B: drift <= 0 (x above the balance point) -> D- V.
+        val_b, x_b = self._branch_maximum(backward, self._x_balance, 1.0)
+        take_a = val_a >= val_b
+        return np.where(take_a, val_a, val_b), np.where(take_a, x_a, x_b)
+
+    def _step_rhs(self, value: np.ndarray, ctx) -> Tuple[np.ndarray, np.ndarray]:
+        """The bracketed operator of Eq. (20) and the maximising control."""
+        grid = self.grid
+        ham_q, control = self._godunov_q(value)
+        # Negated velocity flips the upwind side: the backward-time
+        # equation reads along forward characteristics (see _godunov_q).
+        adv_h = self._drift_h * upwind_gradient(value, grid.dh, -self._drift_h, axis=0)
+        diff = self._diff_h * second_derivative(
+            value, grid.dh, axis=0
+        ) + self._diff_q * second_derivative(value, grid.dq, axis=1)
+        # Control-free running utility U(x=0); the control-coupled part
+        # (-a x - w5 x^2) already lives inside the Godunov term.
+        utility0 = self._utility.total(0.0, grid.q_mesh(), self._rate_of_h, ctx)
+        return adv_h + ham_q + diff + utility0, control
+
+    def control_from_value(self, value: np.ndarray) -> np.ndarray:
+        """The Godunov-consistent policy for a value sheet."""
+        return self._godunov_q(value)[1]
+
+    def solve(
+        self,
+        mean_field: MeanFieldPath,
+        terminal_value: Optional[np.ndarray] = None,
+    ) -> HJBSolution:
+        """Backward sweep from ``V(T)`` to ``V(0)`` against a mean field.
+
+        Parameters
+        ----------
+        mean_field:
+            The estimator's market paths (price, peer state, sharing
+            benefit per reporting time).
+        terminal_value:
+            ``V(T, h, q)``; defaults to zero (no salvage value).
+        """
+        grid = self.grid
+        value_path = np.empty(grid.path_shape)
+        policy_path = np.empty(grid.path_shape)
+
+        if terminal_value is None:
+            value = np.zeros(grid.shape)
+        else:
+            value = np.asarray(terminal_value, dtype=float).copy()
+            if value.shape != grid.shape:
+                raise ValueError(
+                    f"terminal value shape {value.shape} != grid {grid.shape}"
+                )
+        value_path[grid.n_t] = value
+        policy_path[grid.n_t] = self.control_from_value(value)
+
+        n_sub = self.substeps_per_interval()
+        dt_sub = grid.dt / n_sub
+        for ti in range(grid.n_t - 1, -1, -1):
+            ctx = mean_field.context(ti)
+            for _ in range(n_sub):
+                rhs, _control = self._step_rhs(value, ctx)
+                value = value + dt_sub * rhs
+            value_path[ti] = value
+            # Re-extract the control from the settled value sheet so the
+            # stored policy is exactly Godunov-consistent with it.
+            policy_path[ti] = self.control_from_value(value)
+
+        return HJBSolution(
+            grid=grid,
+            value=value_path,
+            policy=CachingPolicy(grid=grid, table=policy_path),
+        )

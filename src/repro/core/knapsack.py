@@ -1,0 +1,168 @@
+"""Capacity-constrained placement: the knapsack extension.
+
+Section IV-C's Remark: when an EDP's total cache capacity is below the
+sum of the per-content MFG-CP allocations, the final strategy is
+derived by solving a knapsack over contents — each content's *weight*
+is the storage its MFG-CP strategy would occupy and its *value* is the
+content's marginal contribution to the EDP's utility (e.g. the solved
+``V(0)`` or accumulated utility).
+
+Both the fractional relaxation (caching rates are continuous, so this
+is the natural fit and is solved exactly by the greedy density rule)
+and the classical 0/1 dynamic program (for all-or-nothing placement)
+are provided.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class KnapsackItem:
+    """One content in the capacity-constrained placement problem.
+
+    Attributes
+    ----------
+    content_id:
+        Catalog index ``k``.
+    weight:
+        Storage the MFG-CP allocation would occupy (MB).
+    value:
+        Utility contribution of caching the content fully.
+    """
+
+    content_id: int
+    weight: float
+    value: float
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ValueError(f"weight must be positive, got {self.weight}")
+        if self.value < 0:
+            raise ValueError(f"value must be non-negative, got {self.value}")
+
+    @property
+    def density(self) -> float:
+        """Value per MB — the greedy selection key."""
+        return self.value / self.weight
+
+
+def solve_fractional_knapsack(
+    items: Sequence[KnapsackItem], capacity: float
+) -> Dict[int, float]:
+    """Exact greedy solution of the fractional knapsack.
+
+    Returns the caching fraction per content id in ``[0, 1]``.  Because
+    MFG-CP caching rates are continuous, fractional placement is
+    feasible, and sorting by value density is provably optimal.
+    """
+    if capacity < 0:
+        raise ValueError(f"capacity must be non-negative, got {capacity}")
+    _check_unique_ids(items)
+    fractions = {item.content_id: 0.0 for item in items}
+    remaining = capacity
+    for item in sorted(items, key=lambda it: -it.density):
+        if remaining <= 0:
+            break
+        take = min(item.weight, remaining)
+        fractions[item.content_id] = take / item.weight
+        remaining -= take
+    return fractions
+
+
+def solve_01_knapsack(
+    items: Sequence[KnapsackItem], capacity: float, resolution: float = 1.0
+) -> Tuple[List[int], float]:
+    """0/1 knapsack by dynamic programming over discretised capacity.
+
+    Parameters
+    ----------
+    resolution:
+        Capacity discretisation step in MB (weights are rounded up to
+        this step, keeping the solution feasible).
+
+    Returns
+    -------
+    tuple
+        The selected content ids (sorted) and the total value achieved.
+    """
+    if capacity < 0:
+        raise ValueError(f"capacity must be non-negative, got {capacity}")
+    if resolution <= 0:
+        raise ValueError(f"resolution must be positive, got {resolution}")
+    _check_unique_ids(items)
+
+    n_slots = int(np.floor(capacity / resolution))
+    if n_slots == 0 or not items:
+        return [], 0.0
+    weights = [max(1, int(np.ceil(item.weight / resolution))) for item in items]
+
+    best = np.zeros(n_slots + 1)
+    chosen = [[False] * (n_slots + 1) for _ in items]
+    for idx, item in enumerate(items):
+        w = weights[idx]
+        if w > n_slots:
+            continue
+        # Traverse capacities downward so each item is used at most once.
+        for cap in range(n_slots, w - 1, -1):
+            candidate = best[cap - w] + item.value
+            if candidate > best[cap]:
+                best[cap] = candidate
+                chosen[idx][cap] = True
+
+    # Backtrack.
+    selected: List[int] = []
+    cap = n_slots
+    for idx in range(len(items) - 1, -1, -1):
+        if chosen[idx][cap]:
+            selected.append(items[idx].content_id)
+            cap -= weights[idx]
+    selected.sort()
+    return selected, float(best[n_slots])
+
+
+def capacity_constrained_placement(
+    allocations: Dict[int, float],
+    values: Dict[int, float],
+    capacity: float,
+) -> Dict[int, float]:
+    """Scale per-content MFG-CP allocations to a capacity budget.
+
+    Parameters
+    ----------
+    allocations:
+        MB of storage each content's MFG-CP strategy would occupy.
+    values:
+        The per-content utility (e.g. ``V(0)`` from the solved
+        equilibrium); contents absent from ``values`` default to 0.
+    capacity:
+        The EDP's total cache capacity (MB).
+
+    Returns
+    -------
+    dict
+        MB actually granted per content; equals ``allocations`` when it
+        already fits, otherwise the fractional-knapsack optimum.
+    """
+    if capacity < 0:
+        raise ValueError(f"capacity must be non-negative, got {capacity}")
+    total = sum(allocations.values())
+    if total <= capacity:
+        return dict(allocations)
+    items = [
+        KnapsackItem(content_id=k, weight=w, value=max(values.get(k, 0.0), 0.0))
+        for k, w in allocations.items()
+        if w > 0
+    ]
+    fractions = solve_fractional_knapsack(items, capacity)
+    return {k: fractions.get(k, 0.0) * w for k, w in allocations.items()}
+
+
+def _check_unique_ids(items: Sequence[KnapsackItem]) -> None:
+    ids = [item.content_id for item in items]
+    if len(set(ids)) != len(ids):
+        raise ValueError("knapsack items must have unique content ids")

@@ -1,0 +1,208 @@
+"""MFG-CP framework driver, Algorithm 1.
+
+:class:`MFGCPSolver` runs the full joint caching-and-pricing framework:
+for each optimization epoch it records the requesters' demands, selects
+the content set ``K'`` that needs caching, refreshes popularity
+(Def. 1 / Eq. (3)) and timeliness (Def. 2), and invokes the iterative
+best-response scheme (Alg. 2) per content to obtain the equilibrium
+caching strategy and pricing policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.content.catalog import ContentCatalog
+from repro.content.popularity import PopularityTracker, ZipfPopularity
+from repro.content.requests import RequestProcess
+from repro.content.timeliness import TimelinessModel, TimelinessTracker
+from repro.core.best_response import BestResponseIterator
+from repro.core.equilibrium import EquilibriumResult
+from repro.core.knapsack import capacity_constrained_placement
+from repro.core.parameters import MFGCPConfig
+
+
+@dataclass(frozen=True)
+class EpochResult:
+    """One optimization epoch of Alg. 1.
+
+    Attributes
+    ----------
+    epoch:
+        Epoch index ``sigma``.
+    active_contents:
+        The content set ``K'`` actually optimised this epoch.
+    equilibria:
+        Per-content equilibrium results.
+    popularity:
+        The popularity vector used this epoch.
+    timeliness:
+        The timeliness vector used this epoch.
+    """
+
+    epoch: int
+    active_contents: List[int]
+    equilibria: Dict[int, EquilibriumResult]
+    popularity: np.ndarray
+    timeliness: np.ndarray
+
+    def total_utility(self) -> float:
+        """Accumulated utility summed over the optimised contents."""
+        return sum(
+            res.accumulated_utility()["total"] for res in self.equilibria.values()
+        )
+
+    def desired_occupancy(self) -> Dict[int, float]:
+        """Cache MB each content's equilibrium strategy would occupy.
+
+        The occupancy is the equilibrium cached amount
+        ``Q_k - E[q_k(T)]`` (at least 1 MB so the knapsack item is
+        well-posed).
+        """
+        return {
+            k: max(res.config.content_size - float(res.mean_field.mean_q[-1]), 1.0)
+            for k, res in self.equilibria.items()
+        }
+
+    def content_values(self) -> Dict[int, float]:
+        """Per-content utility used as the knapsack value."""
+        return {
+            k: max(res.accumulated_utility()["total"], 0.0)
+            for k, res in self.equilibria.items()
+        }
+
+    def capacity_allocation(self, capacity: float) -> Dict[int, float]:
+        """Section IV-C remark: the final capacity-feasible placement.
+
+        When the summed equilibrium occupancies exceed a per-EDP cache
+        capacity, the fractional knapsack scales them; otherwise the
+        equilibrium allocation passes through unchanged.
+        """
+        return capacity_constrained_placement(
+            self.desired_occupancy(), self.content_values(), capacity
+        )
+
+
+class MFGCPSolver:
+    """Top-level entry point for the MFG-CP framework.
+
+    For single-content studies (most of the paper's figures) call
+    :meth:`solve`; for the full multi-content Alg. 1 loop driven by a
+    request trace call :meth:`run_epochs`.
+    """
+
+    def __init__(self, config: MFGCPConfig) -> None:
+        self.config = config
+
+    # ------------------------------------------------------------------
+    # Single-content solve (the generic-player problem)
+    # ------------------------------------------------------------------
+    def solve(
+        self,
+        density0: Optional[np.ndarray] = None,
+        initial_policy_level: float = 0.5,
+    ) -> EquilibriumResult:
+        """Solve the mean-field equilibrium for the configured content."""
+        iterator = BestResponseIterator(self.config)
+        return iterator.solve(
+            density0=density0, initial_policy_level=initial_policy_level
+        )
+
+    # ------------------------------------------------------------------
+    # Multi-content Alg. 1 loop
+    # ------------------------------------------------------------------
+    def per_content_config(
+        self,
+        content_size: float,
+        popularity: float,
+        timeliness: float,
+        n_requests: float,
+    ) -> MFGCPConfig:
+        """The base config specialised for one content's demand."""
+        return replace(
+            self.config,
+            content_size=float(content_size),
+            popularity=float(np.clip(popularity, 0.0, 1.0)),
+            timeliness=float(timeliness),
+            n_requests=float(n_requests),
+        )
+
+    def run_epochs(
+        self,
+        catalog: ContentCatalog,
+        request_process: RequestProcess,
+        n_epochs: int = 1,
+        popularity_tracker: Optional[PopularityTracker] = None,
+        timeliness_tracker: Optional[TimelinessTracker] = None,
+        max_active_contents: Optional[int] = None,
+    ) -> List[EpochResult]:
+        """Algorithm 1: epoch loop over the content catalog.
+
+        Each epoch records one batch of requests per content (lines
+        4-5), refreshes popularity and timeliness (line 8), and solves
+        the per-content equilibrium (line 9).  Contents with no
+        requests are skipped, matching the ``K'`` selection rule.
+
+        Parameters
+        ----------
+        max_active_contents:
+            Optional cap on ``|K'|`` (most popular first) — the paper
+            notes the Zipf law keeps the effective content set small.
+        """
+        if n_epochs < 1:
+            raise ValueError(f"n_epochs must be positive, got {n_epochs}")
+        n_contents = len(catalog)
+        if request_process.n_contents != n_contents:
+            raise ValueError(
+                f"request process covers {request_process.n_contents} contents, "
+                f"catalog has {n_contents}"
+            )
+        if popularity_tracker is None:
+            popularity_tracker = PopularityTracker(
+                prior=ZipfPopularity(n_contents=n_contents)
+            )
+        if timeliness_tracker is None:
+            timeliness_tracker = TimelinessTracker(
+                model=request_process.timeliness_model, n_contents=n_contents
+            )
+
+        results: List[EpochResult] = []
+        for epoch in range(n_epochs):
+            # Lines 4-5: record the epoch's requests and pick K'.
+            batch = request_process.sample(
+                popularity_tracker.current, self.config.horizon
+            )
+            popularity = popularity_tracker.observe(batch.counts)
+            for k in range(n_contents):
+                timeliness_tracker.observe(k, batch.timeliness[k])
+            timeliness = timeliness_tracker.current
+
+            active = [k for k in range(n_contents) if batch.counts[k] > 0]
+            active.sort(key=lambda k: -popularity[k])
+            if max_active_contents is not None:
+                active = active[:max_active_contents]
+
+            # Lines 6-10: per-content mean-field best response.
+            equilibria: Dict[int, EquilibriumResult] = {}
+            for k in active:
+                cfg_k = self.per_content_config(
+                    content_size=catalog[k].size_mb,
+                    popularity=popularity[k],
+                    timeliness=timeliness[k],
+                    n_requests=float(batch.counts[k]) / self.config.horizon,
+                )
+                equilibria[k] = BestResponseIterator(cfg_k).solve()
+
+            results.append(
+                EpochResult(
+                    epoch=epoch,
+                    active_contents=active,
+                    equilibria=equilibria,
+                    popularity=popularity.copy(),
+                    timeliness=timeliness.copy(),
+                )
+            )
+        return results

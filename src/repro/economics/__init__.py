@@ -1,0 +1,44 @@
+"""Economic model for MFG-CP (Section III-A of the paper).
+
+Implements the three response cases and their smoothed probabilities
+(:mod:`repro.economics.cases`), the supply-demand trading price
+(:mod:`repro.economics.pricing`), the income / benefit / cost terms
+(:mod:`repro.economics.income`, :mod:`repro.economics.sharing`,
+:mod:`repro.economics.costs`), and the per-EDP utility function of
+Eq. (10) (:mod:`repro.economics.utility`).
+"""
+
+from repro.economics.cases import CaseProbabilities, smooth_step, smooth_step_derivative
+from repro.economics.pricing import PricingModel, finite_population_price, mean_field_price
+from repro.economics.income import trading_income
+from repro.economics.sharing import (
+    sharing_benefit,
+    sharing_cost,
+    mean_field_sharing_benefit,
+)
+from repro.economics.costs import placement_cost, staleness_cost
+from repro.economics.utility import (
+    EconomicParameters,
+    MarketContext,
+    UtilityBreakdown,
+    UtilityModel,
+)
+
+__all__ = [
+    "CaseProbabilities",
+    "smooth_step",
+    "smooth_step_derivative",
+    "PricingModel",
+    "finite_population_price",
+    "mean_field_price",
+    "trading_income",
+    "sharing_benefit",
+    "sharing_cost",
+    "mean_field_sharing_benefit",
+    "placement_cost",
+    "staleness_cost",
+    "EconomicParameters",
+    "MarketContext",
+    "UtilityBreakdown",
+    "UtilityModel",
+]

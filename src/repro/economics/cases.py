@@ -1,0 +1,131 @@
+"""Response-case probabilities (Section III-A).
+
+An EDP answering a request for content ``k`` faces three cases:
+
+* Case 1 — it has cached enough itself (remaining space
+  ``q <= alpha * Q_k``);
+* Case 2 — it lacks the content but an adjacent EDP has it;
+* Case 3 — neither has it, so the missing part comes from the cloud.
+
+The paper smooths the hard threshold with the logistic approximation
+``f(x) = 1 / (1 + e^{-2 l x})`` of the Heaviside step and defines
+
+    P1(q)        = f(alpha Q - q)
+    P2(q, q_-)   = f(q - alpha Q) * f(alpha Q - q_-)
+    P3(q, q_-)   = f(q - alpha Q) * f(q_- - alpha Q)
+
+so that P1 + P2 + P3 = P1 + (1 - P1-ish) * 1; exactly
+``P1 + f(q - alpha Q) = 1`` and the second factor splits case 2/3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+import numpy as np
+from scipy.special import expit
+
+ArrayLike = Union[float, np.ndarray]
+
+
+def smooth_step(x: ArrayLike, smoothing: float) -> np.ndarray:
+    """Logistic approximation ``f(x) = 1 / (1 + e^{-2 l x})`` of Heaviside.
+
+    Overflow-safe via :func:`scipy.special.expit`.
+
+    Parameters
+    ----------
+    x:
+        Argument (any shape).
+    smoothing:
+        Steepness ``l > 0``; larger values approach the hard step.
+    """
+    if smoothing <= 0:
+        raise ValueError(f"smoothing l must be positive, got {smoothing}")
+    return expit(2.0 * smoothing * np.asarray(x, dtype=float))
+
+
+def smooth_step_derivative(x: ArrayLike, smoothing: float) -> np.ndarray:
+    """Derivative ``f'(x) = 2 l e^{-2lx} (1 + e^{-2lx})^{-2}``.
+
+    Used in the Lipschitz-bound diagnostics of Lemma 1 (Eq. (24)).
+    """
+    f = smooth_step(x, smoothing)
+    return 2.0 * smoothing * f * (1.0 - f)
+
+
+@dataclass(frozen=True)
+class CaseProbabilities:
+    """The three case probabilities bound to ``alpha`` and ``l``.
+
+    Attributes
+    ----------
+    alpha:
+        The "enough" threshold: a content counts as sufficiently cached
+        when the remaining space is below ``alpha * Q_k`` (paper default
+        ``alpha = 20%``).
+    smoothing:
+        Logistic steepness ``l``.
+    """
+
+    alpha: float = 0.2
+    smoothing: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.alpha < 1.0:
+            raise ValueError(f"alpha must lie in (0, 1), got {self.alpha}")
+        if self.smoothing <= 0:
+            raise ValueError(f"smoothing must be positive, got {self.smoothing}")
+
+    def threshold(self, content_size: float) -> float:
+        """The remaining-space threshold ``alpha * Q_k`` in MB."""
+        if content_size <= 0:
+            raise ValueError(f"content_size must be positive, got {content_size}")
+        return self.alpha * content_size
+
+    def p1(self, q: ArrayLike, content_size: float) -> np.ndarray:
+        """P1: this EDP already cached enough (q below threshold)."""
+        return smooth_step(self.threshold(content_size) - np.asarray(q), self.smoothing)
+
+    def p2(self, q: ArrayLike, q_other: ArrayLike, content_size: float) -> np.ndarray:
+        """P2: this EDP lacks the content but a peer has it."""
+        thr = self.threshold(content_size)
+        return smooth_step(np.asarray(q) - thr, self.smoothing) * smooth_step(
+            thr - np.asarray(q_other), self.smoothing
+        )
+
+    def p3(self, q: ArrayLike, q_other: ArrayLike, content_size: float) -> np.ndarray:
+        """P3: neither this EDP nor the peer has enough cached."""
+        thr = self.threshold(content_size)
+        return smooth_step(np.asarray(q) - thr, self.smoothing) * smooth_step(
+            np.asarray(q_other) - thr, self.smoothing
+        )
+
+    def all(self, q: ArrayLike, q_other: ArrayLike, content_size: float) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """All three probabilities at once (single pass over inputs)."""
+        thr = self.threshold(content_size)
+        have = smooth_step(thr - np.asarray(q), self.smoothing)
+        lack = 1.0 - have
+        peer_has = smooth_step(thr - np.asarray(q_other), self.smoothing)
+        return have, lack * peer_has, lack * (1.0 - peer_has)
+
+    def dq_p1(self, q: ArrayLike, content_size: float) -> np.ndarray:
+        """Partial derivative of P1 w.r.t. ``q`` (used in Eq. (24))."""
+        return -smooth_step_derivative(
+            self.threshold(content_size) - np.asarray(q), self.smoothing
+        )
+
+    def dq_p2(self, q: ArrayLike, q_other: ArrayLike, content_size: float) -> np.ndarray:
+        """Partial derivative of P2 w.r.t. ``q``."""
+        thr = self.threshold(content_size)
+        return smooth_step_derivative(np.asarray(q) - thr, self.smoothing) * smooth_step(
+            thr - np.asarray(q_other), self.smoothing
+        )
+
+    def dq_p3(self, q: ArrayLike, q_other: ArrayLike, content_size: float) -> np.ndarray:
+        """Partial derivative of P3 w.r.t. ``q``."""
+        thr = self.threshold(content_size)
+        return smooth_step_derivative(np.asarray(q) - thr, self.smoothing) * smooth_step(
+            np.asarray(q_other) - thr, self.smoothing
+        )

@@ -1,0 +1,114 @@
+"""Placement and staleness costs, Eqs. (8)-(9).
+
+* Content placement cost (Eq. (8)) is the quadratic control cost
+
+      C^1 = w4 x + w5 x^2
+
+  capturing processing capacity / computation time consumed by caching.
+
+* Staleness cost (Eq. (9)) is a linear penalty on the total request
+  service delay:
+
+      C^2 = eta2 { Q x / H_c
+                   + sum_j [ P1 (Q - q)/H_j
+                             + P2 (Q - q_-)/H_j
+                             + P3 ( q/H_c + Q/H_j ) ] }.
+
+  The first term is the EDP's own download from the centre at backhaul
+  rate ``H_c``; the per-requester terms are the delivery delays in each
+  response case at the wireless rate ``H_j`` of Eq. (2).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+ArrayLike = Union[float, np.ndarray]
+
+
+def placement_cost(x: ArrayLike, w4: float, w5: float) -> np.ndarray:
+    """Eq. (8): quadratic placement cost ``w4 x + w5 x^2``."""
+    if w4 < 0 or w5 < 0:
+        raise ValueError(f"w4 and w5 must be non-negative, got w4={w4}, w5={w5}")
+    x = np.asarray(x, dtype=float)
+    return w4 * x + w5 * x**2
+
+
+def staleness_cost(
+    x: ArrayLike,
+    q: ArrayLike,
+    q_other: ArrayLike,
+    p1: ArrayLike,
+    p2: ArrayLike,
+    p3: ArrayLike,
+    n_requests: ArrayLike,
+    wireless_rate: ArrayLike,
+    backhaul_rate: float,
+    content_size: float,
+    eta2: float,
+) -> np.ndarray:
+    """Eq. (9) with the per-requester sum collapsed to the serving rate.
+
+    The mean-field reduction replaces the per-requester rates
+    ``H_{i,j}`` by the representative wireless rate of the generic
+    EDP's channel state (the finite-population simulator instead calls
+    this per requester with ``n_requests = 1`` and each link's rate).
+
+    Parameters
+    ----------
+    x:
+        Caching rate ``x_k(t)``.
+    q, q_other:
+        Own and representative-peer remaining space (MB).
+    p1, p2, p3:
+        Case probabilities.
+    n_requests:
+        ``|I_k(t)|``.
+    wireless_rate:
+        ``H(h)`` in MB per unit time; must be positive.
+    backhaul_rate:
+        Centre-to-EDP rate ``H_c`` in MB per unit time.
+    content_size:
+        ``Q_k`` (MB).
+    eta2:
+        Delay-to-money conversion.
+    """
+    if backhaul_rate <= 0:
+        raise ValueError(f"backhaul_rate must be positive, got {backhaul_rate}")
+    if content_size <= 0:
+        raise ValueError(f"content_size must be positive, got {content_size}")
+    if eta2 < 0:
+        raise ValueError(f"eta2 must be non-negative, got {eta2}")
+    wireless_rate = np.asarray(wireless_rate, dtype=float)
+    if np.any(wireless_rate <= 0):
+        raise ValueError("wireless_rate must be strictly positive")
+
+    x = np.asarray(x, dtype=float)
+    q = np.asarray(q, dtype=float)
+    q_other = np.asarray(q_other, dtype=float)
+    own_download = content_size * x / backhaul_rate
+    per_request = (
+        np.asarray(p1) * (content_size - q) / wireless_rate
+        + np.asarray(p2) * (content_size - q_other) / wireless_rate
+        + np.asarray(p3) * (q / backhaul_rate + content_size / wireless_rate)
+    )
+    return eta2 * (own_download + np.asarray(n_requests, dtype=float) * per_request)
+
+
+def staleness_cost_control_gradient(
+    backhaul_rate: float, content_size: float, eta2: float
+) -> float:
+    """``d C^2 / d x = eta2 Q / H_c`` — the control-coupled part of Eq. (9).
+
+    This constant is the ``eta Q_k / H_c`` term inside the optimal
+    control formula of Theorem 1 / Eq. (21).
+    """
+    if backhaul_rate <= 0:
+        raise ValueError(f"backhaul_rate must be positive, got {backhaul_rate}")
+    if content_size <= 0:
+        raise ValueError(f"content_size must be positive, got {content_size}")
+    if eta2 < 0:
+        raise ValueError(f"eta2 must be non-negative, got {eta2}")
+    return eta2 * content_size / backhaul_rate

@@ -1,0 +1,62 @@
+"""Trading income, Eq. (6).
+
+Revenue from selling content ``k`` to the ``|I_k(t)|`` current
+requesters at unit price ``p_k(t)``, weighted by the amount of data
+actually delivered in each response case:
+
+    Phi^1 = I p [ P1 (Q - q) + P2 (Q - q_-) + P3 Q ].
+
+In case 1 the EDP sells its own cached portion ``Q - q``; in case 2 it
+resells the portion obtained from the peer, ``Q - q_-``; in case 3 it
+downloads and sells the whole content ``Q``.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+ArrayLike = Union[float, np.ndarray]
+
+
+def trading_income(
+    n_requests: ArrayLike,
+    price: ArrayLike,
+    p1: ArrayLike,
+    p2: ArrayLike,
+    p3: ArrayLike,
+    q: ArrayLike,
+    q_other: ArrayLike,
+    content_size: float,
+) -> np.ndarray:
+    """Eq. (6) evaluated elementwise (grid- or scalar-valued inputs).
+
+    Parameters
+    ----------
+    n_requests:
+        ``|I_k(t)|``, the number of requesters currently asking for the
+        content.
+    price:
+        Unit trading price ``p_k(t)``.
+    p1, p2, p3:
+        The case probabilities (see
+        :class:`repro.economics.cases.CaseProbabilities`).
+    q:
+        This EDP's remaining space.
+    q_other:
+        The representative peer's remaining space (``q_{-,k}`` /
+        mean-field average ``q_bar_-``).
+    content_size:
+        ``Q_k`` in MB.
+    """
+    if content_size <= 0:
+        raise ValueError(f"content_size must be positive, got {content_size}")
+    n_requests = np.asarray(n_requests, dtype=float)
+    price = np.asarray(price, dtype=float)
+    sold = (
+        np.asarray(p1) * (content_size - np.asarray(q, dtype=float))
+        + np.asarray(p2) * (content_size - np.asarray(q_other, dtype=float))
+        + np.asarray(p3) * content_size
+    )
+    return n_requests * price * sold

@@ -1,0 +1,127 @@
+"""Dynamic supply-demand trading price, Eqs. (5), (16)-(17).
+
+The unit price EDP ``i`` charges for content ``k`` decreases with the
+average supply offered by the competitors:
+
+    p_{i,k}(t) = p_hat - eta1 * sum_{i' != i} Q_k x_{i',k}(t) / (M - 1)
+
+(Eq. (5), ``M >= 2``; a monopolist charges ``p_hat``).  Under the
+mean-field limit the competitor average becomes an integral against the
+population density (Eq. (17)):
+
+    p_k(t) ~= p_hat - eta1 * Q_k * E_lambda[ x*(S_k(t)) ].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+ArrayLike = Union[float, np.ndarray]
+
+
+def finite_population_price(
+    p_hat: float,
+    eta1: float,
+    content_size: float,
+    strategies: np.ndarray,
+    edp: int,
+    floor: float = 0.0,
+) -> float:
+    """Eq. (5): the price EDP ``edp`` can charge given all strategies.
+
+    Parameters
+    ----------
+    strategies:
+        Current caching rates ``x_{i',k}(t)`` of every EDP, shape
+        ``(M,)``.
+    edp:
+        Index ``i`` of the pricing EDP (excluded from the supply sum).
+    floor:
+        Prices are clamped below at this value; the paper's formula can
+        go negative for extreme supply, which would let "sellers pay
+        buyers" — we keep the economically meaningful floor at 0.
+    """
+    strategies = np.asarray(strategies, dtype=float)
+    if strategies.ndim != 1:
+        raise ValueError(f"strategies must be a vector, got ndim={strategies.ndim}")
+    m = strategies.shape[0]
+    if not 0 <= edp < m:
+        raise IndexError(f"EDP index {edp} out of range [0, {m})")
+    if m == 1:
+        return max(p_hat, floor)
+    competitor_supply = strategies.sum() - strategies[edp]
+    price = p_hat - eta1 * content_size * competitor_supply / (m - 1)
+    return max(float(price), floor)
+
+
+def mean_field_price(
+    p_hat: float,
+    eta1: float,
+    content_size: float,
+    mean_control: ArrayLike,
+    floor: float = 0.0,
+) -> np.ndarray:
+    """Eq. (17): mean-field price from the population-average control.
+
+    Parameters
+    ----------
+    mean_control:
+        ``E_lambda[x*] = \\int\\int lambda(S) x*(S) dh dq`` — scalar or a
+        time series of such averages.
+    """
+    price = p_hat - eta1 * content_size * np.asarray(mean_control, dtype=float)
+    return np.maximum(price, floor)
+
+
+@dataclass(frozen=True)
+class PricingModel:
+    """Pricing law bound to market parameters.
+
+    Attributes
+    ----------
+    p_hat:
+        Maximum unit price ``p_hat`` an EDP can charge.
+    eta1:
+        Supply-to-money conversion ``eta1``.
+    sharing_price:
+        The uniform usage-based unit price ``p_bar_k`` EDPs pay each
+        other for peer sharing (Section II-B).
+    floor:
+        Lower clamp for the trading price.
+    """
+
+    p_hat: float
+    eta1: float
+    sharing_price: float = 0.0
+    floor: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.p_hat <= 0:
+            raise ValueError(f"p_hat must be positive, got {self.p_hat}")
+        if self.eta1 < 0:
+            raise ValueError(f"eta1 must be non-negative, got {self.eta1}")
+        if self.sharing_price < 0:
+            raise ValueError(f"sharing_price must be non-negative, got {self.sharing_price}")
+
+    def finite(self, content_size: float, strategies: np.ndarray, edp: int) -> float:
+        """Eq. (5) bound to this model's parameters."""
+        return finite_population_price(
+            self.p_hat, self.eta1, content_size, strategies, edp, self.floor
+        )
+
+    def mean_field(self, content_size: float, mean_control: ArrayLike) -> np.ndarray:
+        """Eq. (17) bound to this model's parameters."""
+        return mean_field_price(
+            self.p_hat, self.eta1, content_size, mean_control, self.floor
+        )
+
+    def monopoly(self) -> float:
+        """Price with no competitors (``M = 1`` branch of Eq. (5))."""
+        return max(self.p_hat, self.floor)
+
+    def price_sensitivity(self, content_size: float) -> float:
+        """``|dp/dE[x]| = eta1 * Q_k`` — slope of price in mean supply."""
+        return self.eta1 * content_size

@@ -1,0 +1,120 @@
+"""Peer content sharing: benefit (Eq. (7)), cost, and mean-field form.
+
+An EDP that has cached enough of content ``k`` can sell the data to
+peers that lack it, at the uniform usage-based unit price ``p_bar_k``:
+
+    Phi^2_i = sum_{i' in M_i,k(t)} p_bar_k ( q_{i',k} - q_{i,k} )
+
+(the requesting peer's deficit relative to the sharer is the amount
+transferred).  Symmetrically, an EDP in case 2 pays the sharing cost
+
+    C^3_i = P2 * p_bar_k * ( q_{i,k} - q_{-,k} ).
+
+Section IV-B approximates the population-level benefit per qualified
+sharer as
+
+    Phi^2_bar = p_bar * Delta_q_bar * ( (M - M'_k) / M_k  -  1 )
+
+where ``M_k`` counts EDPs able to share and ``M'_k`` those stuck in
+case 3.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+ArrayLike = Union[float, np.ndarray]
+
+
+def sharing_benefit(
+    sharing_price: float,
+    requester_spaces: np.ndarray,
+    own_space: ArrayLike,
+) -> np.ndarray:
+    """Eq. (7): money earned by sharing with the peers in ``M_i,k(t)``.
+
+    Parameters
+    ----------
+    sharing_price:
+        Uniform unit price ``p_bar_k``.
+    requester_spaces:
+        Remaining spaces ``q_{i',k}`` of the peers buying from this EDP
+        (shape ``(n_peers,)``; empty means no sharing requests).
+    own_space:
+        This EDP's remaining space ``q_{i,k}``.
+
+    Notes
+    -----
+    Transfers are non-negative: a peer with *less* remaining space than
+    the sharer needs nothing, so each term is clamped at zero rather
+    than letting the sharer pay for the privilege.
+    """
+    if sharing_price < 0:
+        raise ValueError(f"sharing_price must be non-negative, got {sharing_price}")
+    requester_spaces = np.asarray(requester_spaces, dtype=float)
+    if requester_spaces.size == 0:
+        return np.zeros(np.shape(own_space))
+    deficits = np.maximum(requester_spaces - np.asarray(own_space, dtype=float), 0.0)
+    return sharing_price * deficits.sum(axis=0)
+
+
+def sharing_cost(
+    p2: ArrayLike,
+    sharing_price: float,
+    own_space: ArrayLike,
+    peer_space: ArrayLike,
+) -> np.ndarray:
+    """Case-2 remuneration paid to the sharing peer (Section III-A.5).
+
+    ``C^3 = P2 * p_bar * (q - q_-)``, clamped at zero transfer for the
+    same reason as :func:`sharing_benefit`.
+    """
+    if sharing_price < 0:
+        raise ValueError(f"sharing_price must be non-negative, got {sharing_price}")
+    transfer = np.maximum(
+        np.asarray(own_space, dtype=float) - np.asarray(peer_space, dtype=float), 0.0
+    )
+    return np.asarray(p2, dtype=float) * sharing_price * transfer
+
+
+def mean_field_sharing_benefit(
+    sharing_price: float,
+    mean_transfer: ArrayLike,
+    n_edps: int,
+    n_case3: ArrayLike,
+    n_qualified: ArrayLike,
+) -> np.ndarray:
+    """Section IV-B average sharing benefit per qualified sharer.
+
+    ``Phi^2_bar = p_bar * Delta_q_bar * ((M - M') / M_k - 1)``.
+
+    Parameters
+    ----------
+    mean_transfer:
+        Average transfer size ``Delta_q_bar(t)`` between EDPs.
+    n_edps:
+        Population size ``M``.
+    n_case3:
+        ``M'_k(t)``, EDPs that must go to the cloud.
+    n_qualified:
+        ``M_k(t)``, EDPs holding enough of the content to share.  Zero
+        qualified sharers means no sharing market: benefit is zero.
+    """
+    if sharing_price < 0:
+        raise ValueError(f"sharing_price must be non-negative, got {sharing_price}")
+    if n_edps < 1:
+        raise ValueError(f"n_edps must be positive, got {n_edps}")
+    n_case3 = np.asarray(n_case3, dtype=float)
+    n_qualified = np.asarray(n_qualified, dtype=float)
+    mean_transfer = np.asarray(mean_transfer, dtype=float)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        demand_ratio = np.where(
+            n_qualified > 0, (n_edps - n_case3) / np.maximum(n_qualified, 1e-300) - 1.0, 0.0
+        )
+    benefit = sharing_price * mean_transfer * demand_ratio
+    # A qualified sharer never pays to share: negative values arise only
+    # when sharers outnumber the whole non-case-3 population, where the
+    # correct economic reading is "no trades happen".
+    return np.maximum(benefit, 0.0)

@@ -1,0 +1,245 @@
+"""Per-EDP utility function, Eq. (10).
+
+The net profit of an EDP for content ``k`` at time ``t`` is
+
+    U_k(t) = Phi^1 + Phi^2 - C^1 - C^2 - C^3
+
+(trading income plus sharing benefit minus placement, staleness, and
+sharing costs).  :class:`UtilityModel` composes the term modules into a
+single evaluation that works elementwise over state grids — the same
+code path serves the HJB source term, the mean-field estimator, and the
+finite-population simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Union
+
+import numpy as np
+
+from repro.economics.cases import CaseProbabilities
+from repro.economics.costs import placement_cost, staleness_cost
+from repro.economics.income import trading_income
+from repro.economics.pricing import PricingModel
+from repro.economics.sharing import sharing_cost
+
+ArrayLike = Union[float, np.ndarray]
+
+
+@dataclass(frozen=True)
+class EconomicParameters:
+    """All monetary parameters of Section III-A in one place.
+
+    Attributes
+    ----------
+    w4, w5:
+        Placement-cost coefficients of Eq. (8).
+    eta2:
+        Delay-to-money conversion of Eq. (9).
+    backhaul_rate:
+        Centre-to-EDP rate ``H_c`` (MB per unit time).
+    cases:
+        Case-probability smoothing (``alpha``, ``l``).
+    pricing:
+        Trading and sharing price law.
+    include_sharing:
+        When False the sharing benefit and sharing cost are dropped —
+        this is exactly the paper's "MFG" baseline (a downgraded MFG-CP
+        without content sharing).
+    include_trading:
+        When False the trading income is dropped from the objective —
+        the pure cost-minimisation view used by the UDCS baseline,
+        which "ignores the pricing issue".
+    """
+
+    w4: float
+    w5: float
+    eta2: float
+    backhaul_rate: float
+    cases: CaseProbabilities = field(default_factory=CaseProbabilities)
+    pricing: PricingModel = field(default_factory=lambda: PricingModel(p_hat=0.05, eta1=0.02))
+    include_sharing: bool = True
+    include_trading: bool = True
+
+    def __post_init__(self) -> None:
+        if self.w4 < 0 or self.w5 <= 0:
+            raise ValueError(
+                f"need w4 >= 0 and w5 > 0 (quadratic cost), got w4={self.w4}, w5={self.w5}"
+            )
+        if self.eta2 < 0:
+            raise ValueError(f"eta2 must be non-negative, got {self.eta2}")
+        if self.backhaul_rate <= 0:
+            raise ValueError(f"backhaul_rate must be positive, got {self.backhaul_rate}")
+
+    def without_sharing(self) -> "EconomicParameters":
+        """A copy with peer sharing disabled (the MFG baseline)."""
+        return replace(self, include_sharing=False)
+
+
+@dataclass(frozen=True)
+class MarketContext:
+    """Market quantities an EDP cannot observe directly.
+
+    In MFG-CP these come from the mean-field estimator (Section IV-B);
+    in the finite-population game they are computed from the actual
+    states of the other EDPs.
+
+    Attributes
+    ----------
+    n_requests:
+        ``|I_k(t)|`` — requests currently addressed to this EDP.
+    price:
+        Unit trading price ``p_k(t)``.
+    q_other:
+        Representative peer remaining space ``q_{-,k}(t)`` /
+        mean-field average ``q_bar_-(t)``.
+    sharing_benefit:
+        The (average) sharing benefit ``Phi^2`` this EDP earns; for the
+        generic player the estimator supplies ``Phi^2_bar`` weighted by
+        the probability of being a qualified sharer.
+    """
+
+    n_requests: float
+    price: float
+    q_other: float
+    sharing_benefit: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.n_requests < 0:
+            raise ValueError(f"n_requests must be non-negative, got {self.n_requests}")
+
+
+@dataclass(frozen=True)
+class UtilityBreakdown:
+    """Eq. (10) term by term (all arrays share one broadcast shape)."""
+
+    trading_income: np.ndarray
+    sharing_benefit: np.ndarray
+    placement_cost: np.ndarray
+    staleness_cost: np.ndarray
+    sharing_cost: np.ndarray
+
+    @property
+    def total(self) -> np.ndarray:
+        """Net profit ``U_k(t)`` of Eq. (10)."""
+        return (
+            self.trading_income
+            + self.sharing_benefit
+            - self.placement_cost
+            - self.staleness_cost
+            - self.sharing_cost
+        )
+
+    def scaled(self, factor: float) -> "UtilityBreakdown":
+        """Every term multiplied by ``factor`` (e.g. a time-step ``dt``)."""
+        return UtilityBreakdown(
+            trading_income=self.trading_income * factor,
+            sharing_benefit=self.sharing_benefit * factor,
+            placement_cost=self.placement_cost * factor,
+            staleness_cost=self.staleness_cost * factor,
+            sharing_cost=self.sharing_cost * factor,
+        )
+
+
+@dataclass(frozen=True)
+class UtilityModel:
+    """Eq. (10) bound to one content of size ``Q_k``.
+
+    Parameters
+    ----------
+    params:
+        The economic parameter bundle.
+    content_size:
+        ``Q_k`` in MB.
+    """
+
+    params: EconomicParameters
+    content_size: float
+
+    def __post_init__(self) -> None:
+        if self.content_size <= 0:
+            raise ValueError(f"content_size must be positive, got {self.content_size}")
+
+    def evaluate(
+        self,
+        x: ArrayLike,
+        q: ArrayLike,
+        wireless_rate: ArrayLike,
+        ctx: MarketContext,
+    ) -> UtilityBreakdown:
+        """Instantaneous utility for state ``(q, h)`` and control ``x``.
+
+        All of ``x``, ``q`` and ``wireless_rate`` may be arrays with a
+        common broadcast shape (the PDE solvers pass full state grids).
+        """
+        p = self.params
+        p1, p2, p3 = p.cases.all(q, ctx.q_other, self.content_size)
+        if p.include_trading:
+            income = trading_income(
+                ctx.n_requests, ctx.price, p1, p2, p3, q, ctx.q_other, self.content_size
+            )
+        else:
+            income = np.zeros(np.broadcast(np.asarray(q), np.asarray(x)).shape)
+        place = placement_cost(x, p.w4, p.w5)
+        stale = staleness_cost(
+            x,
+            q,
+            ctx.q_other,
+            p1,
+            p2,
+            p3,
+            ctx.n_requests,
+            wireless_rate,
+            p.backhaul_rate,
+            self.content_size,
+            p.eta2,
+        )
+        if p.include_sharing:
+            # A generic EDP earns the population-average benefit only in
+            # the states where it is a qualified sharer (case-1 states).
+            benefit = p1 * ctx.sharing_benefit
+            share_cost = sharing_cost(
+                p2, p.pricing.sharing_price, q, ctx.q_other
+            )
+        else:
+            zeros = np.zeros(np.broadcast(np.asarray(q), np.asarray(x)).shape)
+            benefit = zeros
+            share_cost = zeros.copy()
+        shape = np.broadcast(
+            np.asarray(x), np.asarray(q), np.asarray(wireless_rate)
+        ).shape
+        return UtilityBreakdown(
+            trading_income=np.broadcast_to(np.asarray(income, dtype=float), shape).copy(),
+            sharing_benefit=np.broadcast_to(np.asarray(benefit, dtype=float), shape).copy(),
+            placement_cost=np.broadcast_to(np.asarray(place, dtype=float), shape).copy(),
+            staleness_cost=np.broadcast_to(np.asarray(stale, dtype=float), shape).copy(),
+            sharing_cost=np.broadcast_to(np.asarray(share_cost, dtype=float), shape).copy(),
+        )
+
+    def total(
+        self, x: ArrayLike, q: ArrayLike, wireless_rate: ArrayLike, ctx: MarketContext
+    ) -> np.ndarray:
+        """Shortcut for ``evaluate(...).total``."""
+        return self.evaluate(x, q, wireless_rate, ctx).total
+
+    def control_free_part(
+        self, q: ArrayLike, wireless_rate: ArrayLike, ctx: MarketContext
+    ) -> np.ndarray:
+        """Utility at ``x = 0`` — the part the control cannot influence.
+
+        Useful in the HJB solver: Eq. (10) is quadratic in ``x`` with
+        known coefficients, so the full Hamiltonian can be assembled
+        from this baseline plus the analytic control terms.
+        """
+        return self.total(0.0, q, wireless_rate, ctx)
+
+    def control_gradient_constants(self) -> "tuple[float, float]":
+        """Coefficients of the control-dependent utility terms.
+
+        ``U(x) = U(0) - (w4 + eta2 Q / H_c) x - w5 x^2``: returns the
+        linear coefficient ``w4 + eta2 Q / H_c`` and the quadratic
+        coefficient ``w5`` — the exact pieces of Theorem 1 / Eq. (21).
+        """
+        linear = self.params.w4 + self.params.eta2 * self.content_size / self.params.backhaul_rate
+        return linear, self.params.w5

@@ -1,0 +1,32 @@
+"""Finite-population stochastic differential game (Section III-B).
+
+The simulator plays the *original* M-player game that MFG-CP
+approximates: every EDP carries its own fading and cache-state SDEs,
+prices follow the finite-population Eq. (5), peer sharing pairs real
+EDPs, and utilities are measured with the full Eq. (10).  It is used
+to evaluate MFG-CP against the baselines (Figs. 12-14, Table II) and
+to validate the mean-field approximation and the approximate Nash
+property (:mod:`repro.game.nash`).
+"""
+
+from repro.game.state import PopulationState
+from repro.game.player import EDPGroup
+from repro.game.market import MarketStep, clear_market, finite_prices, match_sharing
+from repro.game.simulator import GameSimulator, SimulationReport
+from repro.game.multi_content import MultiContentGameSimulator, MultiContentReport
+from repro.game.nash import DeviationProbe, exploitability
+
+__all__ = [
+    "PopulationState",
+    "EDPGroup",
+    "MarketStep",
+    "clear_market",
+    "finite_prices",
+    "match_sharing",
+    "GameSimulator",
+    "SimulationReport",
+    "MultiContentGameSimulator",
+    "MultiContentReport",
+    "DeviationProbe",
+    "exploitability",
+]

@@ -1,0 +1,204 @@
+"""One decision step of the finite-population content market.
+
+Both game simulators (:mod:`repro.game.simulator` per content,
+:mod:`repro.game.multi_content` jointly over a catalog) clear the same
+market each step:
+
+1. finite-population prices, Eq. (5), one per EDP;
+2. the centre's sharing assignment — case-2 buyers matched to
+   qualified sharers, each sharer serving at most ``sharer_capacity``
+   buyers, the rest falling back to the cloud (case 3);
+3. the Eq. (10) money flows: trading income (Eq. (6)), placement cost
+   (Eq. (8)), staleness cost (Eq. (9)), and the sharing
+   benefit/cost transfers (Eq. (7)).
+
+:func:`clear_market` implements the step once; the simulators own only
+state evolution and bookkeeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.parameters import MFGCPConfig
+from repro.economics.costs import placement_cost
+
+
+@dataclass(frozen=True)
+class MarketStep:
+    """The cleared market for one decision step (all arrays ``(M,)``).
+
+    Attributes
+    ----------
+    prices:
+        Eq. (5) unit prices per EDP.
+    case1, case2, case3:
+        Response-case masks (each EDP in exactly one).
+    trading_income, placement_cost, staleness_cost:
+        Per-EDP money flow rates.
+    sharing_benefit, sharing_cost:
+        Peer-market transfers; population totals balance exactly.
+    """
+
+    prices: np.ndarray
+    case1: np.ndarray
+    case2: np.ndarray
+    case3: np.ndarray
+    trading_income: np.ndarray
+    placement_cost: np.ndarray
+    staleness_cost: np.ndarray
+    sharing_benefit: np.ndarray
+    sharing_cost: np.ndarray
+
+    @property
+    def utility(self) -> np.ndarray:
+        """Per-EDP instantaneous Eq. (10) utility."""
+        return (
+            self.trading_income
+            + self.sharing_benefit
+            - self.placement_cost
+            - self.staleness_cost
+            - self.sharing_cost
+        )
+
+
+def finite_prices(
+    config: MFGCPConfig, content_size: float, controls: np.ndarray
+) -> np.ndarray:
+    """Vectorised Eq. (5) prices for the whole population."""
+    controls = np.asarray(controls, dtype=float)
+    m = controls.shape[0]
+    if m == 1:
+        return np.array([config.p_hat])
+    competitor_supply = controls.sum() - controls
+    price = config.p_hat - config.eta1 * content_size * competitor_supply / (m - 1)
+    return np.maximum(price, 0.0)
+
+
+def match_sharing(
+    config: MFGCPConfig,
+    remaining: np.ndarray,
+    sharing_mask: np.ndarray,
+    threshold: float,
+    rng: np.random.Generator,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The centre's capacity-limited sharing assignment.
+
+    The paper: "the center will randomly assign a suitable EDP to
+    respond to the corresponding EDP's request" — buyers (EDPs lacking
+    the content and participating in sharing) are matched to qualified
+    sharers, each serving at most ``sharer_capacity`` buyers; unmatched
+    buyers fall back to the cloud.
+
+    Returns ``(case2_mask, buyer_indices, sharer_indices)`` with the
+    last two aligned (buyer ``i`` buys from sharer ``i``).
+    """
+    remaining = np.asarray(remaining, dtype=float)
+    n_edps = remaining.shape[0]
+    own_has = remaining <= threshold
+    pool = np.flatnonzero(own_has & sharing_mask)
+    buyers = np.flatnonzero(~own_has & sharing_mask)
+    case2 = np.zeros(n_edps, dtype=bool)
+    if pool.size == 0 or buyers.size == 0:
+        empty = np.empty(0, dtype=int)
+        return case2, empty, empty
+    n_served = min(buyers.size, config.sharer_capacity * pool.size)
+    served = rng.permutation(buyers)[:n_served]
+    # Round-robin over a shuffled pool keeps every sharer at or below
+    # its per-step capacity.
+    sharers = np.tile(rng.permutation(pool), config.sharer_capacity)[:n_served]
+    case2[served] = True
+    return case2, served, sharers
+
+
+def clear_market(
+    config: MFGCPConfig,
+    content_size: float,
+    requests: np.ndarray,
+    remaining: np.ndarray,
+    controls: np.ndarray,
+    wireless_rate: np.ndarray,
+    sharing_mask: np.ndarray,
+    rng: np.random.Generator,
+) -> MarketStep:
+    """Clear one decision step of the market for one content.
+
+    Parameters
+    ----------
+    config:
+        Market parameters (prices, costs, alpha, sharer capacity).
+    content_size:
+        ``Q_k`` in MB (passed separately so the multi-content game can
+        vary it per content).
+    requests:
+        Per-EDP request rates ``|I_k(t)|`` (scalar broadcastable).
+    remaining:
+        Per-EDP remaining space ``q_i``.
+    controls:
+        Per-EDP caching rates ``x_i``.
+    wireless_rate:
+        Per-EDP representative delivery rates ``H_i`` (must be > 0).
+    sharing_mask:
+        Which EDPs participate in paid peer sharing.
+    rng:
+        Generator used for the centre's sharing assignment.
+    """
+    remaining = np.asarray(remaining, dtype=float)
+    controls = np.asarray(controls, dtype=float)
+    n_edps = remaining.shape[0]
+    requests = np.broadcast_to(np.asarray(requests, dtype=float), (n_edps,))
+    wireless_rate = np.maximum(
+        np.broadcast_to(np.asarray(wireless_rate, dtype=float), (n_edps,)), 1e-9
+    )
+    threshold = config.alpha * content_size
+
+    prices = finite_prices(config, content_size, controls)
+    case2, served, sharers = match_sharing(
+        config, remaining, sharing_mask, threshold, rng
+    )
+    own_has = remaining <= threshold
+    # Peer state enters income/staleness only under the case-2 mask;
+    # default to own state elsewhere (multiplied by zero).
+    q_peer = remaining.copy()
+    if served.size:
+        q_peer[served] = remaining[sharers]
+    case1 = own_has
+    case3 = (~own_has) & (~case2)
+
+    sold = (
+        case1 * (content_size - remaining)
+        + case2 * (content_size - q_peer)
+        + case3 * content_size
+    )
+    income = requests * prices * sold
+    place = placement_cost(controls, config.w4, config.w5)
+    stale = config.eta2 * (
+        content_size * controls / config.backhaul_rate
+        + requests
+        * (
+            case1 * (content_size - remaining) / wireless_rate
+            + case2 * (content_size - q_peer) / wireless_rate
+            + case3 * (remaining / config.backhaul_rate + content_size / wireless_rate)
+        )
+    )
+    share_cost = np.zeros(n_edps)
+    share_benefit = np.zeros(n_edps)
+    if served.size:
+        transfer = np.maximum(remaining[served] - remaining[sharers], 0.0)
+        share_cost[served] = config.sharing_price * transfer
+        np.add.at(share_benefit, sharers, config.sharing_price * transfer)
+
+    return MarketStep(
+        prices=prices,
+        case1=case1,
+        case2=case2,
+        case3=case3,
+        trading_income=income,
+        placement_cost=np.asarray(place, dtype=float),
+        staleness_cost=stale,
+        sharing_benefit=share_benefit,
+        sharing_cost=share_cost,
+    )

@@ -1,0 +1,325 @@
+"""Multi-content game with per-EDP capacity coupling (Section IV-C).
+
+The per-content game of :mod:`repro.game.simulator` treats contents
+independently; the paper's Remark notes that a finite per-EDP cache
+capacity couples them, and resolves the coupling with a knapsack over
+contents.  This simulator plays the joint game:
+
+* every EDP carries one remaining-space state per catalog content plus
+  its fading state;
+* each scheme decides per-content caching rates (model-based schemes
+  solve one mean-field equilibrium per content during ``prepare``);
+* when an EDP's desired caching would overflow its capacity, the
+  fractional knapsack of :mod:`repro.core.knapsack` scales its rates —
+  each content's value is its popularity-weighted demand, each weight
+  the storage the rate would claim this step;
+* per-content markets (pricing Eq. (5), sharing, staleness) then clear
+  exactly as in the single-content game.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.baselines.base import CachingScheme
+from repro.content.catalog import ContentCatalog
+from repro.core.knapsack import KnapsackItem, solve_fractional_knapsack
+from repro.core.parameters import MFGCPConfig
+from repro.game.market import clear_market
+from repro.game.player import build_groups
+from repro.game.state import PopulationState
+
+SchemeFactory = Callable[[], CachingScheme]
+
+
+@dataclass(frozen=True)
+class MultiContentReport:
+    """Results of a capacity-coupled multi-content run.
+
+    Attributes
+    ----------
+    times:
+        Reporting time axis.
+    per_edp_total:
+        Accumulated Eq. (10) utility summed over contents, per EDP.
+    per_content_utility:
+        Accumulated population-mean utility per content.
+    capacity_utilisation:
+        Mean fraction of per-EDP capacity occupied, per reporting time
+        (NaN-free; zero when capacity is unlimited).
+    throttled_fraction:
+        Fraction of EDPs whose decisions were knapsack-throttled, per
+        reporting time.
+    scheme_names:
+        Per-EDP scheme label.
+    """
+
+    times: np.ndarray
+    per_edp_total: np.ndarray
+    per_content_utility: np.ndarray
+    capacity_utilisation: np.ndarray
+    throttled_fraction: np.ndarray
+    scheme_names: np.ndarray
+
+    def total_utility(self, scheme_name: Optional[str] = None) -> float:
+        """Mean accumulated utility, optionally for one scheme."""
+        if scheme_name is None:
+            return float(self.per_edp_total.mean())
+        mask = self.scheme_names == scheme_name
+        if not mask.any():
+            raise KeyError(f"no EDPs ran scheme {scheme_name!r}")
+        return float(self.per_edp_total[mask].mean())
+
+
+class MultiContentGameSimulator:
+    """The joint K-content, M-player game under a cache-capacity budget.
+
+    Parameters
+    ----------
+    config:
+        Base configuration; per-content configurations are derived by
+        substituting each content's size, popularity, and demand.
+    catalog:
+        The content catalog.
+    popularity:
+        Per-content popularity vector (a distribution over contents).
+    assignments:
+        ``(scheme_factory, count)`` pairs; a *factory* (not an
+        instance) because each content needs its own prepared scheme.
+    capacity:
+        Per-EDP total cache capacity in MB; ``None`` disables the
+        constraint (recovers independent per-content games).
+    rng:
+        Random generator.
+    """
+
+    def __init__(
+        self,
+        config: MFGCPConfig,
+        catalog: ContentCatalog,
+        popularity: Sequence[float],
+        assignments: Sequence[Tuple[SchemeFactory, int]],
+        capacity: Optional[float] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self.config = config
+        self.catalog = catalog
+        self.popularity = np.asarray(popularity, dtype=float)
+        if self.popularity.shape != (len(catalog),):
+            raise ValueError(
+                f"popularity must have one entry per content, got "
+                f"{self.popularity.shape} for {len(catalog)} contents"
+            )
+        if np.any(self.popularity < 0) or self.popularity.sum() <= 0:
+            raise ValueError("popularity must be non-negative with positive mass")
+        if capacity is not None and capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.rng = rng if rng is not None else np.random.default_rng()
+
+        instantiated = [
+            ([factory() for _ in range(len(catalog))], count)
+            for factory, count in assignments
+        ]
+        # One group per assignment; group.scheme holds the per-content
+        # scheme list via closure below.
+        self._scheme_lists = [schemes for schemes, _ in instantiated]
+        self.groups, self.n_edps = build_groups(
+            [(schemes[0], count) for schemes, count in instantiated]
+        )
+        self._prepared = False
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+    def content_config(self, k: int) -> MFGCPConfig:
+        """The per-content configuration of content ``k``."""
+        self.catalog.validate_index(k)
+        share = float(self.popularity[k] / self.popularity.sum())
+        return replace(
+            self.config,
+            content_size=self.catalog[k].size_mb,
+            popularity=float(np.clip(self.popularity[k], 0.0, 1.0)),
+            n_requests=self.config.n_requests * share * len(self.catalog),
+        )
+
+    def prepare(self) -> None:
+        """Prepare every (group, content) scheme instance."""
+        for schemes in self._scheme_lists:
+            for k, scheme in enumerate(schemes):
+                scheme.prepare(self.content_config(k), self.rng)
+        self._prepared = True
+
+    # ------------------------------------------------------------------
+    # Capacity projection
+    # ------------------------------------------------------------------
+    def _apply_capacity(
+        self, controls: np.ndarray, remaining: np.ndarray, dt: float
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Project per-content controls onto the capacity budget.
+
+        Returns the projected controls and a boolean mask of throttled
+        EDPs.  For each overflowing EDP the fractional knapsack keeps
+        the caching claims of the most valuable contents (value =
+        popularity-weighted demand, the income driver).
+        """
+        if self.capacity is None:
+            return controls, np.zeros(self.n_edps, dtype=bool)
+        sizes = self.catalog.sizes
+        cached = np.maximum(sizes[None, :] - remaining, 0.0)
+        # Storage each content's caching would claim this step.
+        drift = self.config.caching_drift()
+        claims = np.maximum(
+            -sizes[None, :]
+            * drift.rate(controls, self.popularity[None, :], self.config.timeliness)
+            * dt,
+            0.0,
+        )
+        headroom = self.capacity - cached.sum(axis=1)
+        overflow = claims.sum(axis=1) > np.maximum(headroom, 0.0)
+        throttled = overflow.copy()
+        projected = controls.copy()
+        for i in np.flatnonzero(overflow):
+            budget = max(float(headroom[i]), 0.0)
+            items = [
+                KnapsackItem(
+                    content_id=k,
+                    weight=float(claims[i, k]),
+                    value=float(self.popularity[k] * sizes[k]),
+                )
+                for k in range(len(self.catalog))
+                if claims[i, k] > 0
+            ]
+            if not items:
+                continue
+            fractions = solve_fractional_knapsack(items, budget)
+            for item in items:
+                projected[i, item.content_id] *= fractions[item.content_id]
+        return projected, throttled
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self) -> MultiContentReport:
+        """Simulate the joint game over the horizon."""
+        if not self._prepared:
+            self.prepare()
+        cfg = self.config
+        rng = self.rng
+        n_contents = len(self.catalog)
+        sizes = self.catalog.sizes
+
+        # Initial states: the configured law per content, shared fading.
+        base_state = PopulationState.initial(cfg, rng, n_edps=self.n_edps)
+        fading = base_state.fading
+        remaining = np.empty((self.n_edps, n_contents))
+        for k in range(n_contents):
+            mean_frac, std_frac = cfg.initial_mean_fraction, cfg.initial_std_fraction
+            remaining[:, k] = np.clip(
+                rng.normal(mean_frac * sizes[k], std_frac * sizes[k], self.n_edps),
+                0.0,
+                sizes[k],
+            )
+        if self.capacity is not None:
+            # Scale initial holdings into the budget if they overflow.
+            cached = np.maximum(sizes[None, :] - remaining, 0.0)
+            totals = cached.sum(axis=1)
+            over = totals > self.capacity
+            if over.any():
+                scale = np.where(over, self.capacity / np.maximum(totals, 1e-12), 1.0)
+                cached = cached * scale[:, None]
+                remaining = sizes[None, :] - cached
+
+        times = cfg.time_axis()
+        n_steps = cfg.n_time_steps
+        dt = times[1] - times[0]
+        ou = cfg.ou_process(rng)
+        drift = cfg.caching_drift()
+        sharing_mask = np.zeros(self.n_edps, dtype=bool)
+        for group, schemes in zip(self.groups, self._scheme_lists):
+            sharing_mask[group.indices] = schemes[0].participates_in_sharing
+
+        scheme_names = np.empty(self.n_edps, dtype=object)
+        for group in self.groups:
+            scheme_names[group.indices] = group.scheme.name
+
+        per_edp_total = np.zeros(self.n_edps)
+        per_content = np.zeros(n_contents)
+        capacity_util = np.zeros(n_steps + 1)
+        throttled_frac = np.zeros(n_steps + 1)
+
+        for step in range(n_steps + 1):
+            t = times[step]
+            # Per-content decisions.
+            controls = np.zeros((self.n_edps, n_contents))
+            for group, schemes in zip(self.groups, self._scheme_lists):
+                idx = group.indices
+                for k in range(n_contents):
+                    decision = schemes[k].decide(t, fading[idx], remaining[idx, k])
+                    controls[idx, k] = decision.caching_rates
+            controls, throttled = self._apply_capacity(controls, remaining, dt)
+            throttled_frac[step] = float(throttled.mean())
+            if self.capacity is not None:
+                cached_now = np.maximum(sizes[None, :] - remaining, 0.0).sum(axis=1)
+                capacity_util[step] = float((cached_now / self.capacity).mean())
+
+            if step == n_steps:
+                break
+
+            rate = np.maximum(
+                np.asarray(cfg.channel.rate_of_fading(fading), dtype=float), 1e-9
+            )
+            demand_scale = float(np.exp(-cfg.demand_decay * t))
+            for k in range(n_contents):
+                utility_k = self._content_market(
+                    k, controls[:, k], remaining[:, k], rate,
+                    sharing_mask, demand_scale,
+                )
+                per_edp_total += utility_k * dt
+                per_content[k] += float(utility_k.mean()) * dt
+
+            # State transitions.
+            for k in range(n_contents):
+                drift_q = sizes[k] * drift.rate(
+                    controls[:, k], self.popularity[k], cfg.timeliness
+                )
+                noise = rng.normal(0.0, cfg.caching.noise * np.sqrt(dt), self.n_edps)
+                remaining[:, k] = np.clip(
+                    remaining[:, k] + drift_q * dt + noise, 0.0, sizes[k]
+                )
+            mean_h, std_h = ou.transition_moments(fading, dt)
+            fading = rng.normal(mean_h, std_h)
+
+        return MultiContentReport(
+            times=times,
+            per_edp_total=per_edp_total,
+            per_content_utility=per_content,
+            capacity_utilisation=capacity_util,
+            throttled_fraction=throttled_frac,
+            scheme_names=scheme_names,
+        )
+
+    # ------------------------------------------------------------------
+    # One content's market for one step
+    # ------------------------------------------------------------------
+    def _content_market(
+        self,
+        k: int,
+        controls: np.ndarray,
+        remaining: np.ndarray,
+        rate: np.ndarray,
+        sharing_mask: np.ndarray,
+        demand_scale: float,
+    ) -> np.ndarray:
+        """Instantaneous Eq. (10) utilities for content ``k``."""
+        cfg = self.config
+        size = self.catalog[k].size_mb
+        share = float(self.popularity[k] / self.popularity.sum())
+        requests = cfg.n_requests * share * len(self.catalog) * demand_scale
+        step = clear_market(
+            cfg, size, requests, remaining, controls, rate, sharing_mask, self.rng
+        )
+        return step.utility

@@ -1,0 +1,102 @@
+"""Approximate Nash equilibrium verification.
+
+Theorem 2 proves the MFG has a unique equilibrium; in the *finite*
+game the mean-field policy is only an epsilon-Nash strategy.  This
+module measures the epsilon empirically: hold ``M - 1`` EDPs on the
+equilibrium policy, let one tagged EDP deviate to alternative
+strategies under common random numbers, and report the best deviation
+gain (the exploitability).  A small, M-decreasing exploitability is
+the finite-population signature of Def. 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.base import CachingScheme, SchemeDecision
+from repro.baselines.mfg_cp import MFGCPScheme
+from repro.core.equilibrium import EquilibriumResult
+from repro.core.parameters import MFGCPConfig
+from repro.game.simulator import GameSimulator
+
+
+class ConstantScheme(CachingScheme):
+    """A fixed caching rate — the simplest deviation strategy."""
+
+    participates_in_sharing = True
+
+    def __init__(self, level: float) -> None:
+        if not 0.0 <= level <= 1.0:
+            raise ValueError(f"level must lie in [0, 1], got {level}")
+        self.level = float(level)
+        self.name = f"const-{level:.2f}"
+
+    def decide(self, t: float, fading: np.ndarray, remaining: np.ndarray) -> SchemeDecision:
+        del t, fading
+        return SchemeDecision(
+            caching_rates=np.full(np.asarray(remaining).shape[0], self.level)
+        )
+
+
+@dataclass(frozen=True)
+class DeviationProbe:
+    """Result of probing one deviation strategy."""
+
+    deviation_name: str
+    equilibrium_utility: float
+    deviation_utility: float
+
+    @property
+    def gain(self) -> float:
+        """Utility gained by deviating (positive = profitable)."""
+        return self.deviation_utility - self.equilibrium_utility
+
+
+def exploitability(
+    config: MFGCPConfig,
+    equilibrium: EquilibriumResult,
+    deviation_levels: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 1.0),
+    n_edps: Optional[int] = None,
+    seed: int = 0,
+) -> List[DeviationProbe]:
+    """Probe unilateral deviations against the equilibrium population.
+
+    For each deviation level, two runs share the same seed (common
+    random numbers): one with the tagged EDP on the equilibrium policy,
+    one with it on the constant deviation.  The tagged EDP is always
+    index 0 of a dedicated single-EDP group.
+
+    Returns one :class:`DeviationProbe` per level; ``max(p.gain for p)``
+    is the empirical exploitability epsilon.
+    """
+    m = config.n_edps if n_edps is None else int(n_edps)
+    if m < 2:
+        raise ValueError(f"need at least 2 EDPs to probe deviations, got {m}")
+
+    def tagged_utility(tagged_scheme: CachingScheme) -> float:
+        rng = np.random.default_rng(seed)
+        sim = GameSimulator(
+            config,
+            assignments=[
+                (tagged_scheme, 1),
+                (MFGCPScheme(equilibrium=equilibrium), m - 1),
+            ],
+            rng=rng,
+        )
+        report = sim.run()
+        return float(report.per_edp["total"][0])
+
+    base_utility = tagged_utility(MFGCPScheme(equilibrium=equilibrium))
+    probes = []
+    for level in deviation_levels:
+        probes.append(
+            DeviationProbe(
+                deviation_name=f"const-{level:.2f}",
+                equilibrium_utility=base_utility,
+                deviation_utility=tagged_utility(ConstantScheme(level)),
+            )
+        )
+    return probes

@@ -1,0 +1,70 @@
+"""Scheme-controlled EDP groups.
+
+A simulation run partitions the population into groups, each governed
+by one :class:`repro.baselines.base.CachingScheme`.  Homogeneous runs
+(the paper's per-scheme comparisons) use a single group; mixed runs
+let schemes compete inside one market.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.baselines.base import CachingScheme
+
+
+@dataclass
+class EDPGroup:
+    """A contiguous block of EDP indices controlled by one scheme.
+
+    Attributes
+    ----------
+    scheme:
+        The deciding scheme.
+    indices:
+        The EDP indices this scheme controls.
+    """
+
+    scheme: CachingScheme
+    indices: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.indices = np.asarray(self.indices, dtype=int)
+        if self.indices.ndim != 1 or self.indices.size == 0:
+            raise ValueError("a group needs at least one EDP index")
+
+    @property
+    def size(self) -> int:
+        return self.indices.shape[0]
+
+
+def build_groups(
+    assignments: Sequence[Tuple[CachingScheme, int]],
+) -> Tuple[List[EDPGroup], int]:
+    """Lay out groups as contiguous index blocks.
+
+    Parameters
+    ----------
+    assignments:
+        ``(scheme, count)`` pairs; counts must be positive.
+
+    Returns
+    -------
+    tuple
+        The group list and the total population size.
+    """
+    if not assignments:
+        raise ValueError("need at least one scheme assignment")
+    groups: List[EDPGroup] = []
+    offset = 0
+    for scheme, count in assignments:
+        if count < 1:
+            raise ValueError(f"scheme {scheme.name!r} assigned {count} EDPs")
+        groups.append(
+            EDPGroup(scheme=scheme, indices=np.arange(offset, offset + count))
+        )
+        offset += count
+    return groups, offset

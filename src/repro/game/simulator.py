@@ -1,0 +1,364 @@
+"""Finite-population stochastic differential game simulator (Alg. 1).
+
+Plays the original M-player game of Section III-B for one content:
+
+* every EDP's fading follows the OU law of Eq. (1) (exact transitions)
+  and its cache state the SDE of Eq. (4) (Euler-Maruyama, reflected
+  into ``[0, Q_k]``);
+* trading prices follow the finite-population Eq. (5) — each EDP's
+  price reacts to the *actual* strategies of its ``M - 1`` competitors;
+* peer sharing pairs each EDP with a randomly assigned peer (the paper:
+  "the center will randomly assign a suitable EDP"), with real money
+  flowing from case-2 buyers to their sharers;
+* utilities are measured with the full Eq. (10) for every scheme, so
+  comparisons across schemes (Figs. 12-14) are apples-to-apples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.baselines.base import CachingScheme
+from repro.core.parameters import MFGCPConfig
+from repro.game.market import clear_market
+from repro.game.player import EDPGroup, build_groups
+from repro.game.state import PopulationState
+
+TERM_NAMES = (
+    "trading_income",
+    "sharing_benefit",
+    "placement_cost",
+    "staleness_cost",
+    "sharing_cost",
+)
+
+
+@dataclass(frozen=True)
+class SimulationReport:
+    """Everything a finite-population run produced.
+
+    Attributes
+    ----------
+    config:
+        The configuration simulated.
+    times:
+        Reporting time axis, shape ``(n_steps + 1,)``.
+    scheme_names:
+        Per-EDP scheme label, shape ``(M,)`` (numpy array of str).
+    per_edp:
+        Accumulated Eq. (10) terms per EDP: dict of term name to
+        ``(M,)`` arrays; ``total`` included.
+    series:
+        Population time series: ``mean_remaining``, ``mean_control``,
+        ``mean_price``, ``utility_rate`` and the response-case
+        occupancies ``case1_fraction`` / ``case2_fraction`` /
+        ``case3_fraction`` — each ``(n_steps + 1,)`` (the last decision
+        step's values are repeated at ``T``).
+    group_series:
+        Per-scheme mean remaining-space series.
+    final_state:
+        The population state at the horizon.
+    tracked_remaining:
+        Per-step cache states of the tracked EDPs, shape
+        ``(n_steps + 1, n_tracked)``; ``None`` when no EDPs were
+        tracked.
+    """
+
+    config: MFGCPConfig
+    times: np.ndarray
+    scheme_names: np.ndarray
+    per_edp: Dict[str, np.ndarray]
+    series: Dict[str, np.ndarray]
+    group_series: Dict[str, np.ndarray]
+    final_state: PopulationState
+    tracked_remaining: Optional[np.ndarray] = None
+
+    def schemes(self) -> List[str]:
+        """Distinct scheme names, in first-appearance order."""
+        seen: List[str] = []
+        for name in self.scheme_names:
+            if name not in seen:
+                seen.append(str(name))
+        return seen
+
+    def mask(self, scheme_name: str) -> np.ndarray:
+        """Boolean mask of the EDPs controlled by a scheme."""
+        mask = self.scheme_names == scheme_name
+        if not mask.any():
+            raise KeyError(f"no EDPs ran scheme {scheme_name!r}")
+        return mask
+
+    def scheme_summary(self, scheme_name: str) -> Dict[str, float]:
+        """Mean accumulated Eq. (10) terms over one scheme's EDPs."""
+        mask = self.mask(scheme_name)
+        return {
+            name: float(values[mask].mean()) for name, values in self.per_edp.items()
+        }
+
+    def total_utility(self, scheme_name: str) -> float:
+        """Mean accumulated utility of a scheme's EDPs."""
+        return self.scheme_summary(scheme_name)["total"]
+
+    def comparison_rows(self) -> List[Tuple[str, float, float, float]]:
+        """(scheme, utility, trading income, staleness cost) rows."""
+        rows = []
+        for name in self.schemes():
+            summary = self.scheme_summary(name)
+            rows.append(
+                (
+                    name,
+                    summary["total"],
+                    summary["trading_income"],
+                    summary["staleness_cost"],
+                )
+            )
+        return rows
+
+
+class GameSimulator:
+    """The M-player game bound to one configuration.
+
+    Parameters
+    ----------
+    config:
+        Model parameters (content, economics, SDEs, horizon).
+    assignments:
+        ``(scheme, count)`` pairs partitioning the population.  A
+        single pair gives the paper's homogeneous per-scheme runs.
+    rng:
+        Random generator; all stochasticity (initial states, noise,
+        peer assignment, request counts) flows through it.
+    stochastic_requests:
+        When True, per-step request counts are Poisson draws around the
+        configured rate; when False (default) the deterministic rate is
+        used, matching the mean-field solver's assumption.
+    track_indices:
+        Optional EDP indices whose cache-state trajectories are
+        recorded per step (the finite-sample counterpart of the Fig. 9
+        curves).
+    topology:
+        Optional :class:`repro.network.topology.NetworkTopology` with
+        exactly ``M`` EDPs.  When given, each EDP's wireless delivery
+        rate uses its *own* mean distance to the requesters it serves
+        (instead of the configured representative distance), so densely
+        loaded or remote EDPs pay realistic delay penalties.
+    """
+
+    def __init__(
+        self,
+        config: MFGCPConfig,
+        assignments: Sequence[Tuple[CachingScheme, int]],
+        rng: Optional[np.random.Generator] = None,
+        stochastic_requests: bool = False,
+        track_indices: Optional[Sequence[int]] = None,
+        topology=None,
+    ) -> None:
+        self.config = config
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.groups, self.n_edps = build_groups(assignments)
+        self.stochastic_requests = stochastic_requests
+        self._distances = (
+            None if topology is None else self._per_edp_distances(topology)
+        )
+        if track_indices is not None:
+            tracked = np.asarray(track_indices, dtype=int)
+            if tracked.size and (tracked.min() < 0 or tracked.max() >= self.n_edps):
+                raise ValueError(
+                    f"track_indices must lie in [0, {self.n_edps}), got {tracked}"
+                )
+            self.track_indices: Optional[np.ndarray] = tracked
+        else:
+            self.track_indices = None
+        self._prepared = False
+
+    def prepare(self) -> None:
+        """Run every scheme's one-off setup (MFG solves happen here)."""
+        for group in self.groups:
+            group.scheme.prepare(self.config, self.rng)
+        self._prepared = True
+
+    # ------------------------------------------------------------------
+    # Per-step market mechanics
+    # ------------------------------------------------------------------
+    def _decide_all(self, t: float, state: PopulationState) -> np.ndarray:
+        controls = np.zeros(self.n_edps)
+        for group in self.groups:
+            decision = group.scheme.decide(
+                t, state.fading[group.indices], state.remaining[group.indices]
+            )
+            controls[group.indices] = decision.caching_rates
+        return controls
+
+    def _per_edp_distances(self, topology) -> np.ndarray:
+        """Mean serving distance per EDP from an explicit topology."""
+        if topology.config.n_edps != self.n_edps:
+            raise ValueError(
+                f"topology has {topology.config.n_edps} EDPs, the simulation "
+                f"has {self.n_edps}"
+            )
+        distances = np.full(self.n_edps, topology.mean_association_distance())
+        if distances[0] <= 0.0:
+            distances[:] = self.config.channel.mean_distance
+        pairwise = topology.edp_requester_distances()
+        for edp, requesters in topology.served_requesters().items():
+            if requesters:
+                distances[edp] = float(pairwise[edp, requesters].mean())
+        return distances
+
+    def _wireless_rates(self, fading: np.ndarray) -> np.ndarray:
+        """Per-EDP representative delivery rates for the current fading."""
+        ch = self.config.channel
+        if self._distances is None:
+            return np.asarray(ch.rate_of_fading(fading), dtype=float)
+        return np.asarray(
+            ch.rate_model().effective_rate_of_fading(
+                fading,
+                self._distances,
+                ch.transmission_power,
+                ch.path_loss_exponent,
+                ch.mean_interference,
+            ),
+            dtype=float,
+        )
+
+    def _sharing_mask(self) -> np.ndarray:
+        mask = np.zeros(self.n_edps, dtype=bool)
+        for group in self.groups:
+            mask[group.indices] = group.scheme.participates_in_sharing
+        return mask
+
+    def run(self, state0: Optional[PopulationState] = None) -> SimulationReport:
+        """Simulate the full horizon and report utilities.
+
+        Parameters
+        ----------
+        state0:
+            Initial population state; defaults to the configured
+            truncated-normal cache states and stationary fading.
+        """
+        if not self._prepared:
+            self.prepare()
+        cfg = self.config
+        rng = self.rng
+        state = (
+            PopulationState.initial(cfg, rng, n_edps=self.n_edps)
+            if state0 is None
+            else state0.copy()
+        )
+        if state.n_edps != self.n_edps:
+            raise ValueError(
+                f"initial state has {state.n_edps} EDPs, expected {self.n_edps}"
+            )
+
+        times = cfg.time_axis()
+        n_steps = cfg.n_time_steps
+        dt = times[1] - times[0]
+        sharing_mask = self._sharing_mask()
+        ou = cfg.ou_process(rng)
+        drift = cfg.caching_drift()
+
+        acc = {name: np.zeros(self.n_edps) for name in TERM_NAMES}
+        series = {
+            name: np.zeros(n_steps + 1)
+            for name in (
+                "mean_remaining",
+                "mean_control",
+                "mean_price",
+                "utility_rate",
+                "case1_fraction",
+                "case2_fraction",
+                "case3_fraction",
+            )
+        }
+        tracked_path = (
+            np.zeros((n_steps + 1, self.track_indices.size))
+            if self.track_indices is not None
+            else None
+        )
+        group_series = {
+            group.scheme.name: np.zeros(n_steps + 1) for group in self.groups
+        }
+
+        scheme_names = np.empty(self.n_edps, dtype=object)
+        for group in self.groups:
+            scheme_names[group.indices] = group.scheme.name
+
+        for step in range(n_steps + 1):
+            t = times[step]
+            controls = self._decide_all(t, state)
+            rate_now = float(cfg.n_requests_at(t))
+            if self.stochastic_requests:
+                requests = rng.poisson(rate_now * dt, size=self.n_edps) / dt
+            else:
+                requests = np.full(self.n_edps, rate_now)
+
+            q = state.remaining
+            rate = self._wireless_rates(state.fading)
+            market = clear_market(
+                cfg,
+                cfg.content_size,
+                requests,
+                q,
+                controls,
+                rate,
+                sharing_mask,
+                rng,
+            )
+
+            # Record series before the state moves.
+            series["mean_remaining"][step] = float(q.mean())
+            series["mean_control"][step] = float(controls.mean())
+            series["mean_price"][step] = float(market.prices.mean())
+            series["utility_rate"][step] = float(market.utility.mean())
+            series["case1_fraction"][step] = float(market.case1.mean())
+            series["case2_fraction"][step] = float(market.case2.mean())
+            series["case3_fraction"][step] = float(market.case3.mean())
+            if tracked_path is not None:
+                tracked_path[step] = q[self.track_indices]
+            for group in self.groups:
+                group_series[group.scheme.name][step] = float(
+                    q[group.indices].mean()
+                )
+
+            if step == n_steps:
+                break
+
+            # Accumulate the running terms over [t, t + dt].
+            acc["trading_income"] += market.trading_income * dt
+            acc["sharing_benefit"] += market.sharing_benefit * dt
+            acc["placement_cost"] += market.placement_cost * dt
+            acc["staleness_cost"] += market.staleness_cost * dt
+            acc["sharing_cost"] += market.sharing_cost * dt
+
+            # State transitions: Eq. (4) Euler-Maruyama + exact OU.
+            drift_q = cfg.content_size * drift.rate(
+                controls, cfg.popularity, cfg.timeliness
+            )
+            noise_q = rng.normal(0.0, cfg.caching.noise * np.sqrt(dt), self.n_edps)
+            state.remaining = np.clip(
+                q + drift_q * dt + noise_q, 0.0, cfg.content_size
+            )
+            mean_h, std_h = ou.transition_moments(state.fading, dt)
+            state.fading = rng.normal(mean_h, std_h)
+
+        per_edp: Dict[str, np.ndarray] = {k: v for k, v in acc.items()}
+        per_edp["total"] = (
+            acc["trading_income"]
+            + acc["sharing_benefit"]
+            - acc["placement_cost"]
+            - acc["staleness_cost"]
+            - acc["sharing_cost"]
+        )
+        return SimulationReport(
+            config=cfg,
+            times=times,
+            scheme_names=scheme_names,
+            per_edp=per_edp,
+            series=series,
+            group_series=group_series,
+            final_state=state,
+            tracked_remaining=tracked_path,
+        )

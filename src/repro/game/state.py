@@ -1,0 +1,91 @@
+"""Population state of the finite M-player game.
+
+Each EDP ``i`` carries the 2-tuple state of Section III-B,
+``S_i(t) = (h_i(t), q_i(t))``, stored as flat arrays over the
+population for vectorised SDE stepping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.parameters import MFGCPConfig
+
+
+@dataclass
+class PopulationState:
+    """Mutable per-EDP state arrays.
+
+    Attributes
+    ----------
+    fading:
+        Channel fading coefficients ``h_i``, shape ``(M,)``.
+    remaining:
+        Remaining cache spaces ``q_i`` in MB, shape ``(M,)``.
+    """
+
+    fading: np.ndarray
+    remaining: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.fading = np.asarray(self.fading, dtype=float).copy()
+        self.remaining = np.asarray(self.remaining, dtype=float).copy()
+        if self.fading.shape != self.remaining.shape or self.fading.ndim != 1:
+            raise ValueError(
+                f"fading {self.fading.shape} and remaining {self.remaining.shape} "
+                "must be matching 1-D arrays"
+            )
+
+    @property
+    def n_edps(self) -> int:
+        """Population size ``M``."""
+        return self.fading.shape[0]
+
+    def copy(self) -> "PopulationState":
+        """An independent copy of the state."""
+        return PopulationState(fading=self.fading, remaining=self.remaining)
+
+    @classmethod
+    def initial(
+        cls,
+        config: MFGCPConfig,
+        rng: np.random.Generator,
+        n_edps: Optional[int] = None,
+        mean_q: Optional[float] = None,
+        std_q: Optional[float] = None,
+    ) -> "PopulationState":
+        """Draw the paper's initial population.
+
+        Cache states follow the configured truncated normal; fading
+        starts in the OU stationary law.
+        """
+        m = config.n_edps if n_edps is None else int(n_edps)
+        if m < 1:
+            raise ValueError(f"need at least one EDP, got {m}")
+        mq, sq = config.initial_density_moments()
+        mean_q = mq if mean_q is None else float(mean_q)
+        std_q = sq if std_q is None else float(std_q)
+        remaining = np.clip(
+            rng.normal(mean_q, std_q, size=m), 0.0, config.content_size
+        )
+        ou_mean, ou_std = config.ou_process().stationary_moments()
+        fading = rng.normal(ou_mean, max(ou_std, 1e-12), size=m)
+        return cls(fading=fading, remaining=remaining)
+
+    def empirical_density_q(self, bins: np.ndarray) -> np.ndarray:
+        """Histogram density of remaining space over given bin edges.
+
+        Used to compare the finite population against the FPK density.
+        """
+        bins = np.asarray(bins, dtype=float)
+        if bins.ndim != 1 or bins.shape[0] < 2:
+            raise ValueError("bins must be a 1-D array of at least 2 edges")
+        counts, _ = np.histogram(self.remaining, bins=bins)
+        widths = np.diff(bins)
+        total = counts.sum()
+        if total == 0:
+            return np.zeros_like(widths)
+        return counts / (total * widths)

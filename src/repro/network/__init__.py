@@ -1,0 +1,28 @@
+"""Wireless network substrate for MFG-CP.
+
+Implements the paper's Section II-A network model:
+
+* random placement of EDPs and requesters and nearest-EDP association
+  (:mod:`repro.network.topology`),
+* channel gain ``|g|^2 = |h|^2 d^{-tau}`` combining OU fading with
+  distance path loss (:mod:`repro.network.channel`), and
+* the SINR-based achievable wireless rate of Eq. (2)
+  (:mod:`repro.network.rate`).
+"""
+
+from repro.network.topology import NetworkTopology, PlacementConfig
+from repro.network.channel import ChannelModel, channel_gain
+from repro.network.rate import RateModel, sinr, transmission_rate
+from repro.network.interference import calibrate_channel, mean_interference
+
+__all__ = [
+    "NetworkTopology",
+    "PlacementConfig",
+    "ChannelModel",
+    "channel_gain",
+    "RateModel",
+    "sinr",
+    "transmission_rate",
+    "calibrate_channel",
+    "mean_interference",
+]

@@ -1,0 +1,86 @@
+"""Mean-field interference calibration.
+
+The state grid of the mean-field game carries a single fading
+coordinate per EDP, so the per-link interference sum of Eq. (2) must be
+summarised by a constant (its population average).  This module
+estimates that constant from an actual topology:
+
+    E[I_j] = sum_{i' != serving(j)}  E[|h|^2] * G_{i'} * d_{i',j}^{-tau}
+
+with ``E[|h|^2] = mean^2 + std^2`` of the stationary OU fading law, and
+returns a :class:`repro.core.parameters.ChannelParameters` copy whose
+``mean_distance`` and ``mean_interference`` reflect the topology — so
+grid-level rates match what the deployed network would deliver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.network.topology import NetworkTopology
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (parameters
+    # imports network.rate, so this module must not import parameters
+    # at runtime; the functions only use ChannelParameters duck-typed).
+    from repro.core.parameters import ChannelParameters
+
+
+def mean_interference(
+    topology: NetworkTopology, channel: "ChannelParameters"
+) -> float:
+    """Average received interference power at a requester.
+
+    Averages, over requesters, the expected power received from every
+    EDP except the serving one, under the stationary fading law.
+    """
+    ou_mean, ou_std = channel.process().stationary_moments()
+    expected_h2 = ou_mean**2 + ou_std**2
+
+    distances = topology.edp_requester_distances()
+    received = (
+        expected_h2
+        * channel.transmission_power
+        * distances ** (-channel.path_loss_exponent)
+    )
+    total = received.sum(axis=0)
+    serving = topology.serving_edp()
+    j = np.arange(distances.shape[1])
+    interference = total - received[serving, j]
+    return float(interference.mean()) if interference.size else 0.0
+
+
+def calibrate_channel(
+    topology: NetworkTopology,
+    channel: "ChannelParameters",
+    min_rate: float = 0.0,
+) -> "ChannelParameters":
+    """A channel parameter set whose mean-field reductions match a topology.
+
+    Sets ``mean_distance`` to the topology's average association
+    distance and ``mean_interference`` to :func:`mean_interference`.
+
+    Parameters
+    ----------
+    min_rate:
+        Minimum acceptable representative rate (same unit as the
+        bandwidth, MB per unit time).  Dense interference-limited
+        deployments saturate the SINR and can leave the representative
+        rate below what the delay economics assume; pass the backhaul
+        rate (or another floor) to fail fast in that regime.
+    """
+    calibrated = replace(
+        channel,
+        mean_distance=max(topology.mean_association_distance(), channel.mean_distance * 1e-6),
+        mean_interference=mean_interference(topology, channel),
+    )
+    rate = float(calibrated.rate_of_fading(np.array(calibrated.mean)))
+    if rate < min_rate:
+        raise ValueError(
+            f"calibrated representative rate {rate:.3f} is below the required "
+            f"minimum {min_rate:.3f}; the deployment is interference-dominated "
+            "at these radio parameters"
+        )
+    return calibrated

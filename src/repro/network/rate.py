@@ -1,0 +1,113 @@
+"""Achievable wireless transmission rate, Eq. (2).
+
+The downlink rate from EDP ``i`` to requester ``j`` is the Shannon
+capacity under interference from all other EDPs:
+
+    H_{i,j}(t) = B log2( 1 + |g_{i,j}|^2 G_i
+                         / (rho^2 + sum_{i' != i} |g_{i',j}|^2 G_{i'}) ).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def sinr(gains: np.ndarray, powers: np.ndarray, noise_power: float) -> np.ndarray:
+    """Per-link SINR matrix from the squared-gain matrix.
+
+    Parameters
+    ----------
+    gains:
+        Squared channel gains ``|g_{i,j}|^2`` of shape
+        ``(n_edps, n_requesters)``.
+    powers:
+        Transmission powers ``G_i`` of shape ``(n_edps,)``.
+    noise_power:
+        Noise power ``rho^2`` (> 0).
+
+    Returns
+    -------
+    numpy.ndarray
+        Matrix ``sinr[i, j]`` where the interference for link ``(i, j)``
+        is the received power at ``j`` from every other EDP.
+    """
+    gains = np.asarray(gains, dtype=float)
+    powers = np.asarray(powers, dtype=float)
+    if gains.ndim != 2:
+        raise ValueError(f"gains must be a 2-D matrix, got ndim={gains.ndim}")
+    if powers.shape != (gains.shape[0],):
+        raise ValueError(
+            f"powers shape {powers.shape} does not match {gains.shape[0]} EDPs"
+        )
+    if noise_power <= 0:
+        raise ValueError(f"noise_power must be positive, got {noise_power}")
+    received = gains * powers[:, None]
+    total_per_requester = received.sum(axis=0)
+    interference = total_per_requester[None, :] - received
+    return received / (noise_power + interference)
+
+
+def transmission_rate(
+    gains: np.ndarray, powers: np.ndarray, noise_power: float, bandwidth: float
+) -> np.ndarray:
+    """Shannon rate matrix of Eq. (2): ``B log2(1 + SINR)``."""
+    if bandwidth <= 0:
+        raise ValueError(f"bandwidth must be positive, got {bandwidth}")
+    return bandwidth * np.log2(1.0 + sinr(gains, powers, noise_power))
+
+
+@dataclass(frozen=True)
+class RateModel:
+    """Eq. (2) bound to fixed radio parameters.
+
+    Attributes
+    ----------
+    bandwidth:
+        Transmission bandwidth ``B`` (Hz; the paper uses 10 MHz).  When
+        the economic model works in MB/s, pass the bandwidth already
+        converted so the produced rates carry the desired unit.
+    noise_power:
+        Noise power ``rho^2``.
+    """
+
+    bandwidth: float
+    noise_power: float
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ValueError(f"bandwidth must be positive, got {self.bandwidth}")
+        if self.noise_power <= 0:
+            raise ValueError(f"noise_power must be positive, got {self.noise_power}")
+
+    def rates(self, gains: np.ndarray, powers: np.ndarray) -> np.ndarray:
+        """Rate matrix for the current channel gains."""
+        return transmission_rate(gains, powers, self.noise_power, self.bandwidth)
+
+    def interference_free_rate(self, gain: float, power: float) -> float:
+        """Single-link rate with no interferers (upper bound)."""
+        if gain < 0 or power < 0:
+            raise ValueError("gain and power must be non-negative")
+        return float(self.bandwidth * np.log2(1.0 + gain * power / self.noise_power))
+
+    def effective_rate_of_fading(
+        self,
+        fading: np.ndarray,
+        distance: float,
+        power: float,
+        path_loss_exponent: float,
+        interference: float = 0.0,
+    ) -> np.ndarray:
+        """Rate as a scalar function of the fading coefficient ``h``.
+
+        This is the reduction used on the mean-field grid, where the
+        generic EDP's state carries a single ``h`` value: interference
+        is summarised by a constant (its mean-field average) instead of
+        per-link terms.
+        """
+        fading = np.asarray(fading, dtype=float)
+        gain = np.abs(fading) ** 2 * distance ** (-path_loss_exponent)
+        return self.bandwidth * np.log2(
+            1.0 + gain * power / (self.noise_power + interference)
+        )

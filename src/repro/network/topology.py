@@ -1,0 +1,137 @@
+"""EDP / requester placement and association.
+
+The paper's evaluation places EDPs and requesters "randomly distributed
+within a certain range" and associates each requester with its
+geographically nearest EDP (Section II-A).  :class:`NetworkTopology`
+implements that placement, the pairwise distance matrix consumed by the
+path-loss model, and adjacency queries used by the peer-sharing logic
+(EDPs "give priority to adjacent EDPs" when buying uncached data).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PlacementConfig:
+    """Geometry of the simulated MEC area.
+
+    Attributes
+    ----------
+    area_size:
+        Side length of the square deployment area (metres).
+    n_edps:
+        Number of EDPs ``M``.
+    n_requesters:
+        Number of requesters ``J``.
+    min_distance:
+        Distances are floored at this value so the ``d^{-tau}`` path
+        loss never diverges for co-located nodes.
+    """
+
+    area_size: float = 1000.0
+    n_edps: int = 300
+    n_requesters: int = 600
+    min_distance: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.area_size <= 0:
+            raise ValueError(f"area_size must be positive, got {self.area_size}")
+        if self.n_edps < 1:
+            raise ValueError(f"need at least one EDP, got {self.n_edps}")
+        if self.n_requesters < 0:
+            raise ValueError(f"n_requesters must be non-negative, got {self.n_requesters}")
+        if self.min_distance <= 0:
+            raise ValueError(f"min_distance must be positive, got {self.min_distance}")
+
+
+@dataclass
+class NetworkTopology:
+    """Random uniform placement with nearest-EDP association.
+
+    Construction samples positions once; the topology is static for a
+    simulation run, matching the paper's fixed-distance assumption in
+    Fig. 3 ("we set the fixed distance between EDPs and requesters") —
+    requester mobility is instead captured by the OU fading process.
+    """
+
+    config: PlacementConfig
+    rng: np.random.Generator = field(default_factory=np.random.default_rng)
+    edp_positions: np.ndarray = field(init=False)
+    requester_positions: np.ndarray = field(init=False)
+
+    def __post_init__(self) -> None:
+        size = self.config.area_size
+        self.edp_positions = self.rng.uniform(0.0, size, size=(self.config.n_edps, 2))
+        self.requester_positions = self.rng.uniform(
+            0.0, size, size=(self.config.n_requesters, 2)
+        )
+
+    # ------------------------------------------------------------------
+    # Distances
+    # ------------------------------------------------------------------
+    def edp_requester_distances(self) -> np.ndarray:
+        """Matrix ``d[i, j]`` of EDP-to-requester distances (metres)."""
+        diff = self.edp_positions[:, None, :] - self.requester_positions[None, :, :]
+        dist = np.linalg.norm(diff, axis=-1)
+        return np.maximum(dist, self.config.min_distance)
+
+    def edp_edp_distances(self) -> np.ndarray:
+        """Matrix of pairwise EDP distances with zero diagonal."""
+        diff = self.edp_positions[:, None, :] - self.edp_positions[None, :, :]
+        dist = np.linalg.norm(diff, axis=-1)
+        off_diag = ~np.eye(self.config.n_edps, dtype=bool)
+        dist[off_diag] = np.maximum(dist[off_diag], self.config.min_distance)
+        return dist
+
+    # ------------------------------------------------------------------
+    # Association
+    # ------------------------------------------------------------------
+    def serving_edp(self) -> np.ndarray:
+        """For each requester, the index of its nearest EDP."""
+        return np.argmin(self.edp_requester_distances(), axis=0)
+
+    def served_requesters(self) -> Dict[int, List[int]]:
+        """Map from each EDP index to its set ``J_i`` of requesters."""
+        assignment = self.serving_edp()
+        served: Dict[int, List[int]] = {i: [] for i in range(self.config.n_edps)}
+        for j, i in enumerate(assignment):
+            served[int(i)].append(j)
+        return served
+
+    def load_per_edp(self) -> np.ndarray:
+        """Number of requesters served by each EDP."""
+        counts = np.zeros(self.config.n_edps, dtype=int)
+        np.add.at(counts, self.serving_edp(), 1)
+        return counts
+
+    # ------------------------------------------------------------------
+    # Adjacency (peer sharing)
+    # ------------------------------------------------------------------
+    def adjacent_edps(self, edp: int, radius: Optional[float] = None, k: Optional[int] = None) -> np.ndarray:
+        """EDPs adjacent to ``edp`` for peer content sharing.
+
+        Either all peers within ``radius`` metres or the ``k`` nearest
+        peers (when ``radius`` is None).  Defaults to the 5 nearest.
+        """
+        if edp < 0 or edp >= self.config.n_edps:
+            raise IndexError(f"EDP index {edp} out of range [0, {self.config.n_edps})")
+        dist = self.edp_edp_distances()[edp]
+        dist[edp] = np.inf
+        if radius is not None:
+            return np.flatnonzero(dist <= radius)
+        k = 5 if k is None else k
+        k = min(k, self.config.n_edps - 1)
+        return np.argsort(dist)[:k]
+
+    def mean_association_distance(self) -> float:
+        """Average distance between a requester and its serving EDP."""
+        if self.config.n_requesters == 0:
+            return 0.0
+        dist = self.edp_requester_distances()
+        serving = self.serving_edp()
+        return float(dist[serving, np.arange(self.config.n_requesters)].mean())

@@ -1,0 +1,29 @@
+"""Stochastic process substrate for MFG-CP.
+
+This subpackage implements the two stochastic differential equations
+that drive the paper's system model:
+
+* the mean-reverting Ornstein-Uhlenbeck channel fading process,
+  Eq. (1) of the paper (:mod:`repro.sde.ornstein_uhlenbeck`), and
+* the remaining-cache-space dynamics, Eq. (4)
+  (:mod:`repro.sde.caching_state`),
+
+together with the generic building blocks they share: standard
+Brownian-motion sampling (:mod:`repro.sde.brownian`) and a vectorised
+Euler-Maruyama integrator (:mod:`repro.sde.euler_maruyama`).
+"""
+
+from repro.sde.brownian import BrownianMotion, brownian_increments
+from repro.sde.euler_maruyama import EulerMaruyamaIntegrator, SDEPath
+from repro.sde.ornstein_uhlenbeck import OrnsteinUhlenbeckProcess
+from repro.sde.caching_state import CachingStateProcess, CachingDrift
+
+__all__ = [
+    "BrownianMotion",
+    "brownian_increments",
+    "EulerMaruyamaIntegrator",
+    "SDEPath",
+    "OrnsteinUhlenbeckProcess",
+    "CachingStateProcess",
+    "CachingDrift",
+]

@@ -1,0 +1,101 @@
+"""Standard Brownian motion sampling.
+
+The random diffusion terms ``W_{i,j}(t)`` and ``W_i(t)`` in Eqs. (1)
+and (4) of the paper are standard Brownian motions.  This module
+provides vectorised increment and path sampling used by every SDE
+simulator in the repository.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+Shape = Union[int, Tuple[int, ...]]
+
+
+def brownian_increments(
+    n_steps: int,
+    dt: float,
+    n_paths: Shape = 1,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """Sample increments ``dW ~ N(0, dt)`` of a standard Brownian motion.
+
+    Parameters
+    ----------
+    n_steps:
+        Number of time steps.
+    dt:
+        Step length; must be positive.
+    n_paths:
+        Number of independent paths (int or shape tuple).
+    rng:
+        Optional numpy generator for reproducibility.
+
+    Returns
+    -------
+    numpy.ndarray
+        Array of shape ``(n_steps, *n_paths)`` of independent Gaussian
+        increments with variance ``dt``.
+    """
+    if n_steps < 0:
+        raise ValueError(f"n_steps must be non-negative, got {n_steps}")
+    if dt <= 0:
+        raise ValueError(f"dt must be positive, got {dt}")
+    rng = rng if rng is not None else np.random.default_rng()
+    path_shape = (n_paths,) if isinstance(n_paths, int) else tuple(n_paths)
+    return rng.normal(0.0, np.sqrt(dt), size=(n_steps, *path_shape))
+
+
+class BrownianMotion:
+    """A standard Brownian motion ``W(t)`` with ``W(0) = 0``.
+
+    The class memoises nothing; each call to :meth:`sample_path` draws a
+    fresh path from the supplied generator, so the same instance can be
+    shared by many simulators.
+
+    Examples
+    --------
+    >>> bm = BrownianMotion(rng=np.random.default_rng(0))
+    >>> path = bm.sample_path(n_steps=100, dt=0.01)
+    >>> path.shape
+    (101, 1)
+    """
+
+    def __init__(self, rng: Optional[np.random.Generator] = None) -> None:
+        self._rng = rng if rng is not None else np.random.default_rng()
+
+    @property
+    def rng(self) -> np.random.Generator:
+        """The underlying random generator."""
+        return self._rng
+
+    def increments(self, n_steps: int, dt: float, n_paths: Shape = 1) -> np.ndarray:
+        """Sample ``n_steps`` increments for ``n_paths`` paths."""
+        return brownian_increments(n_steps, dt, n_paths, rng=self._rng)
+
+    def sample_path(self, n_steps: int, dt: float, n_paths: Shape = 1) -> np.ndarray:
+        """Sample full paths including the ``W(0) = 0`` starting point.
+
+        Returns an array of shape ``(n_steps + 1, *n_paths)``.
+        """
+        dw = self.increments(n_steps, dt, n_paths)
+        path = np.empty((n_steps + 1, *dw.shape[1:]))
+        path[0] = 0.0
+        np.cumsum(dw, axis=0, out=path[1:])
+        return path
+
+    def bridge_pin(self, path: np.ndarray, terminal: float) -> np.ndarray:
+        """Pin an existing path to ``terminal`` at its final time.
+
+        Produces a Brownian-bridge-like path, useful in tests that need
+        a path with a known endpoint.  The input path is not modified.
+        """
+        if path.ndim < 1 or path.shape[0] < 2:
+            raise ValueError("path must contain at least two time points")
+        n = path.shape[0] - 1
+        ramp = np.arange(n + 1, dtype=float) / n
+        ramp = ramp.reshape((-1,) + (1,) * (path.ndim - 1))
+        return path + (terminal - path[-1]) * ramp

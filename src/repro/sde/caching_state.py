@@ -1,0 +1,177 @@
+"""Remaining-cache-space dynamics, Eq. (4) of the paper.
+
+For a content ``k`` of size ``Q_k`` the remaining space evolves as
+
+    dq(t) = Q_k * [ -w1 x(t) - w2 Pi(t) + w3 xi^{L(t)} ] dt + rho_q dW(t),
+
+where ``x(t)`` is the EDP's caching rate, ``Pi(t)`` the content
+popularity (Def. 1), ``L(t)`` the content timeliness (Def. 2), and
+``xi in (0, 1)`` tunes the urgency response.  The first term models
+space consumed by active caching; the remaining terms model discarding
+driven by low popularity and low urgency.
+
+The drift is factored into :class:`CachingDrift` so that the HJB/FPK
+solvers, the finite-population simulator, and the tests all share a
+single implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Union
+
+import numpy as np
+
+from repro.sde.euler_maruyama import EulerMaruyamaIntegrator, SDEPath
+
+ControlFn = Callable[[float, np.ndarray], np.ndarray]
+ArrayLike = Union[float, np.ndarray]
+
+
+@dataclass(frozen=True)
+class CachingDrift:
+    """The deterministic drift of Eq. (4), per unit content size.
+
+    Attributes
+    ----------
+    w1, w2, w3:
+        The positive proportion coefficients of Eq. (4).
+    xi:
+        Urgency steepness ``xi in (0, 1)``.
+    """
+
+    w1: float
+    w2: float
+    w3: float
+    xi: float
+
+    def __post_init__(self) -> None:
+        for name in ("w1", "w2", "w3"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        if not 0.0 < self.xi < 1.0:
+            raise ValueError(f"xi must lie in (0, 1), got {self.xi}")
+
+    def rate(self, x: ArrayLike, popularity: ArrayLike, timeliness: ArrayLike) -> np.ndarray:
+        """Dimensionless drift ``-w1 x - w2 Pi + w3 xi^L``.
+
+        Multiply by ``Q_k`` to obtain the drift of ``q`` in MB per unit
+        time.
+        """
+        x = np.asarray(x, dtype=float)
+        return (
+            -self.w1 * x
+            - self.w2 * np.asarray(popularity, dtype=float)
+            + self.w3 * np.power(self.xi, np.asarray(timeliness, dtype=float))
+        )
+
+    def discard_rate(self, popularity: ArrayLike, timeliness: ArrayLike) -> np.ndarray:
+        """Control-independent part of the drift (the discarding terms)."""
+        return self.rate(0.0, popularity, timeliness)
+
+    def equilibrium_control(self, popularity: ArrayLike, timeliness: ArrayLike) -> np.ndarray:
+        """The caching rate that exactly balances discarding.
+
+        Solving ``rate(x, Pi, L) = 0`` for ``x`` gives the control at
+        which the remaining space (ignoring noise) stays constant; the
+        value is clipped to the feasible set ``[0, 1]``.
+        """
+        if self.w1 == 0:
+            raise ZeroDivisionError("equilibrium control undefined when w1 == 0")
+        balance = self.discard_rate(popularity, timeliness) / self.w1
+        return np.clip(balance, 0.0, 1.0)
+
+
+@dataclass
+class CachingStateProcess:
+    """The caching-state SDE of Eq. (4) for one content of size ``Q_k``.
+
+    Parameters
+    ----------
+    content_size:
+        ``Q_k`` in MB; also the upper bound of the remaining space.
+    drift:
+        Shared :class:`CachingDrift` coefficients.
+    noise:
+        Diffusion coefficient ``rho_q``.
+    popularity / timeliness:
+        Either constants or callables of time, letting the simulator
+        inject the live trace-driven values of Defs. 1-2.
+    rng:
+        Random generator for path sampling.
+    """
+
+    content_size: float
+    drift: CachingDrift
+    noise: float
+    popularity: Union[float, Callable[[float], float]] = 0.5
+    timeliness: Union[float, Callable[[float], float]] = 1.0
+    rng: np.random.Generator = field(default_factory=np.random.default_rng)
+
+    def __post_init__(self) -> None:
+        if self.content_size <= 0:
+            raise ValueError(f"content_size must be positive, got {self.content_size}")
+        if self.noise < 0:
+            raise ValueError(f"noise must be non-negative, got {self.noise}")
+
+    def _popularity_at(self, t: float) -> float:
+        return self.popularity(t) if callable(self.popularity) else float(self.popularity)
+
+    def _timeliness_at(self, t: float) -> float:
+        return self.timeliness(t) if callable(self.timeliness) else float(self.timeliness)
+
+    def drift_at(self, t: float, q: np.ndarray, x: ArrayLike) -> np.ndarray:
+        """Drift of ``q`` in MB per unit time under control ``x``."""
+        del q  # Eq. (4)'s drift does not depend on q itself
+        return self.content_size * self.drift.rate(
+            x, self._popularity_at(t), self._timeliness_at(t)
+        )
+
+    def clip(self, q: np.ndarray) -> np.ndarray:
+        """Project the state into the physical range ``[0, Q_k]``."""
+        return np.clip(q, 0.0, self.content_size)
+
+    def integrator(self, control: ControlFn) -> EulerMaruyamaIntegrator:
+        """Build an integrator for a given feedback control ``x(t, q)``."""
+
+        def drift_fn(t: float, q: np.ndarray) -> np.ndarray:
+            return self.drift_at(t, q, control(t, q))
+
+        def diffusion_fn(t: float, q: np.ndarray) -> np.ndarray:
+            del t
+            return np.full_like(np.asarray(q, dtype=float), self.noise)
+
+        return EulerMaruyamaIntegrator(
+            drift=drift_fn, diffusion=diffusion_fn, clip=self.clip, rng=self.rng
+        )
+
+    def sample_path(
+        self,
+        q0: ArrayLike,
+        control: ControlFn,
+        t1: float,
+        n_steps: int,
+        t0: float = 0.0,
+        increments: Optional[np.ndarray] = None,
+    ) -> SDEPath:
+        """Simulate Eq. (4) under a feedback control ``x(t, q)``.
+
+        ``q0`` may be a scalar or a batch; the path is reflected into
+        ``[0, Q_k]`` after every step (remaining space is physical).
+        """
+        q0 = np.atleast_1d(np.asarray(q0, dtype=float))
+        if np.any(q0 < 0) or np.any(q0 > self.content_size):
+            raise ValueError(
+                f"initial state must lie in [0, {self.content_size}], got {q0}"
+            )
+        return self.integrator(control).integrate(
+            q0, t0=t0, t1=t1, n_steps=n_steps, increments=increments
+        )
+
+    def constant_control_path(
+        self, q0: ArrayLike, x: float, t1: float, n_steps: int, t0: float = 0.0
+    ) -> SDEPath:
+        """Convenience wrapper for a constant caching rate."""
+        if not 0.0 <= x <= 1.0:
+            raise ValueError(f"caching rate must lie in [0, 1], got {x}")
+        return self.sample_path(q0, lambda t, q: np.full_like(q, x), t1, n_steps, t0)

@@ -1,0 +1,70 @@
+"""Tests for the convergence diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.convergence import (
+    fixed_point_rate,
+    is_monotone_tail,
+    iterations_to_tolerance,
+)
+from repro.core.equilibrium import ConvergenceReport, IterationRecord
+
+
+def report_from_changes(changes):
+    history = [
+        IterationRecord(i + 1, c, 0.0, 0.5, 0.5) for i, c in enumerate(changes)
+    ]
+    return ConvergenceReport(
+        converged=True,
+        n_iterations=len(changes),
+        final_policy_change=changes[-1],
+        history=history,
+    )
+
+
+class TestFixedPointRate:
+    def test_geometric_series_recovered(self):
+        report = report_from_changes([1.0 * 0.6**k for k in range(8)])
+        assert fixed_point_rate(report) == pytest.approx(0.6, rel=1e-6)
+
+    def test_contraction_below_one(self, solved_equilibrium):
+        rate = fixed_point_rate(solved_equilibrium.report)
+        assert rate < 1.0
+
+    def test_short_history_nan(self):
+        report = report_from_changes([0.5, 0.25])
+        assert np.isnan(fixed_point_rate(report))
+
+
+class TestIterationsToTolerance:
+    def test_finds_first_crossing(self):
+        report = report_from_changes([1.0, 0.5, 0.05, 0.01])
+        assert iterations_to_tolerance(report, 0.1) == 3
+
+    def test_never_reached(self):
+        report = report_from_changes([1.0, 0.9])
+        assert iterations_to_tolerance(report, 0.1) == -1
+
+    def test_rejects_bad_tolerance(self):
+        report = report_from_changes([1.0])
+        with pytest.raises(ValueError, match="tolerance"):
+            iterations_to_tolerance(report, 0.0)
+
+
+class TestMonotoneTail:
+    def test_decreasing_tail(self):
+        assert is_monotone_tail([5, 4, 3, 2, 1], tail=3)
+
+    def test_non_monotone_tail(self):
+        assert not is_monotone_tail([5, 4, 3, 4, 1], tail=3)
+
+    def test_increasing_mode(self):
+        assert is_monotone_tail([1, 2, 3], tail=3, decreasing=False)
+
+    def test_short_series_passes(self):
+        assert is_monotone_tail([1.0], tail=5)
+
+    def test_rejects_tiny_tail(self):
+        with pytest.raises(ValueError, match="tail"):
+            is_monotone_tail([1, 2, 3], tail=1)

@@ -1,0 +1,88 @@
+"""Tests for the experiment harness (light checks; benches run full)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import experiments
+from repro.core.parameters import MFGCPConfig
+
+
+class TestFactories:
+    def test_default_config_fast(self):
+        cfg = experiments.default_config()
+        assert cfg == MFGCPConfig.fast()
+
+    def test_default_config_full(self):
+        cfg = experiments.default_config(fast=False)
+        assert cfg == MFGCPConfig.paper_default()
+
+    @pytest.mark.parametrize("name", experiments.SCHEME_ORDER)
+    def test_make_scheme_names(self, name):
+        assert experiments.make_scheme(name).name == name
+
+    def test_make_scheme_unknown(self):
+        with pytest.raises(KeyError, match="unknown scheme"):
+            experiments.make_scheme("nope")
+
+
+class TestFig3Harness:
+    def test_series_structure(self):
+        data = experiments.fig3_channel_evolution(
+            long_term_means=(5.0,), volatilities=(0.5,), n_steps=200
+        )
+        assert "time" in data
+        assert "mean=5.0, vol=0.5" in data
+        assert data["mean=5.0, vol=0.5"].shape == data["time"].shape
+
+
+class TestEquilibriumHarnesses:
+    def test_fig4_reuses_injected_result(self, solved_equilibrium):
+        data = experiments.fig4_meanfield_evolution(result=solved_equilibrium)
+        assert data["density"].shape == (
+            solved_equilibrium.grid.n_t + 1,
+            solved_equilibrium.grid.n_q,
+        )
+
+    def test_fig5_profiles(self, solved_equilibrium):
+        data = experiments.fig5_policy_evolution(
+            result=solved_equilibrium, caching_states=(10.0, 50.0)
+        )
+        assert "q=10" in data
+        assert data["q=10"].shape == solved_equilibrium.grid.t.shape
+
+    def test_fig9_convergence_structure(self, solved_equilibrium):
+        data = experiments.fig9_convergence(
+            initial_states=(30.0, 90.0), result=solved_equilibrium
+        )
+        assert set(data) == {30.0, 90.0}
+        assert data[30.0]["caching_state"][0] == 30.0
+
+
+class TestSimulationHarnesses:
+    def test_run_scheme_summary_keys(self, fast_config):
+        summary = experiments.run_scheme_summary("RR", fast_config, 10, seeds=(0,))
+        assert {"total", "trading_income", "mean_control"} <= set(summary)
+
+    def test_run_scheme_summary_requires_seeds(self, fast_config):
+        with pytest.raises(ValueError, match="seed"):
+            experiments.run_scheme_summary("RR", fast_config, 10, seeds=())
+
+    def test_run_scheme_report(self, fast_config):
+        report = experiments.run_scheme("RR", fast_config, 10, seed=0)
+        assert report.schemes() == ["RR"]
+
+    def test_table2_structure(self, fast_config):
+        rows = experiments.table2_computation_time(
+            population_sizes=(5, 10),
+            schemes=("RR",),
+            catalog_size=2,
+            repeats=1,
+        )
+        assert [(r[0], r[1]) for r in rows] == [("RR", 5), ("RR", 10)]
+        assert all(r[2] > 0 for r in rows)
+
+    def test_table2_validation(self):
+        with pytest.raises(ValueError, match="catalog_size"):
+            experiments.table2_computation_time(catalog_size=0)
+        with pytest.raises(ValueError, match="repeats"):
+            experiments.table2_computation_time(repeats=0)

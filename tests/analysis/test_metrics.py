@@ -1,0 +1,81 @@
+"""Tests for the analysis metrics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import (
+    accumulate,
+    mean_field_gap,
+    scheme_comparison,
+    utility_ratio,
+)
+from repro.baselines.mfg_cp import MFGCPScheme
+from repro.game.simulator import GameSimulator
+
+
+class TestAccumulate:
+    def test_constant_rate(self):
+        times = np.linspace(0, 2, 21)
+        assert accumulate(np.full(21, 3.0), times) == pytest.approx(6.0)
+
+    def test_linear_rate(self):
+        times = np.linspace(0, 1, 101)
+        assert accumulate(times.copy(), times) == pytest.approx(0.5, rel=1e-6)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="differ"):
+            accumulate(np.zeros(3), np.zeros(4))
+
+
+@pytest.fixture(scope="module")
+def mfgcp_reports(solved_equilibrium):
+    """Two homogeneous runs sharing one equilibrium solve."""
+    cfg = solved_equilibrium.config
+    reports = {}
+    for seed, label in ((0, "MFG-CP"),):
+        sim = GameSimulator(
+            cfg,
+            [(MFGCPScheme(equilibrium=solved_equilibrium), 50)],
+            rng=np.random.default_rng(seed),
+        )
+        reports[label] = sim.run()
+    return reports
+
+
+class TestSchemeComparison:
+    def test_rows_sorted_by_utility(self, mfgcp_reports):
+        rows = scheme_comparison(mfgcp_reports)
+        assert len(rows) == 1
+        name, utility, income, staleness = rows[0]
+        assert name == "MFG-CP"
+        assert income > 0.0
+        assert staleness > 0.0
+
+    def test_utility_ratio_identity(self, mfgcp_reports):
+        assert utility_ratio(mfgcp_reports, "MFG-CP", "MFG-CP") == pytest.approx(1.0)
+
+    def test_utility_ratio_rejects_nonpositive_baseline(self):
+        class Fixed:
+            def __init__(self, value):
+                self.value = value
+
+            def total_utility(self, name):
+                return self.value
+
+        reports = {"good": Fixed(10.0), "bad": Fixed(0.0)}
+        with pytest.raises(ValueError, match="non-positive"):
+            utility_ratio(reports, "good", "bad")
+        assert utility_ratio(
+            {"good": Fixed(10.0), "base": Fixed(5.0)}, "good", "base"
+        ) == pytest.approx(2.0)
+
+
+class TestMeanFieldGap:
+    def test_gap_small_for_equilibrium_population(
+        self, solved_equilibrium, mfgcp_reports
+    ):
+        gap = mean_field_gap(solved_equilibrium, mfgcp_reports["MFG-CP"])
+        # The finite population tracks the mean field closely.
+        assert gap["mean_q_rmse"] < 5.0
+        assert gap["price_rmse"] < 0.02
+        assert gap["mean_q_max_gap"] >= gap["mean_q_rmse"]

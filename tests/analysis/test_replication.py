@@ -1,0 +1,90 @@
+"""Tests for Monte-Carlo replication and confidence intervals."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.replication import (
+    ReplicatedStatistic,
+    replicate,
+    replicate_scheme_utility,
+    summarise,
+)
+
+
+class TestSummarise:
+    def test_known_interval(self):
+        stat = summarise("x", [1.0, 2.0, 3.0, 4.0, 5.0], confidence=0.95)
+        assert stat.mean == pytest.approx(3.0)
+        assert stat.n == 5
+        # t_{0.975, 4} ~ 2.776; sem = std/sqrt(5).
+        sem = np.std([1, 2, 3, 4, 5], ddof=1) / np.sqrt(5)
+        assert stat.half_width == pytest.approx(2.7764 * sem, rel=1e-3)
+        assert stat.ci_low < stat.mean < stat.ci_high
+
+    def test_interval_shrinks_with_samples(self):
+        rng = np.random.default_rng(0)
+        small = summarise("x", rng.normal(0, 1, 5))
+        large = summarise("x", rng.normal(0, 1, 100))
+        assert large.half_width < small.half_width
+
+    def test_coverage_on_gaussian(self):
+        # ~95% of 95% CIs should contain the true mean.
+        rng = np.random.default_rng(1)
+        hits = 0
+        trials = 300
+        for _ in range(trials):
+            stat = summarise("x", rng.normal(10.0, 2.0, 10))
+            hits += stat.ci_low <= 10.0 <= stat.ci_high
+        assert 0.88 <= hits / trials <= 0.99
+
+    def test_overlap(self):
+        a = summarise("a", [1.0, 1.1, 0.9, 1.0])
+        b = summarise("b", [1.05, 1.0, 0.95, 1.1])
+        c = summarise("c", [5.0, 5.1, 4.9, 5.0])
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+    def test_describe(self):
+        stat = summarise("util", [1.0, 2.0, 3.0])
+        assert "util" in stat.describe()
+        assert "95% CI" in stat.describe()
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            summarise("x", [1.0])
+        with pytest.raises(ValueError, match="confidence"):
+            summarise("x", [1.0, 2.0], confidence=1.0)
+
+
+class TestReplicate:
+    def test_collects_all_outputs(self):
+        def experiment(seed):
+            rng = np.random.default_rng(seed)
+            return {"a": rng.normal(), "b": rng.normal() + 10.0}
+
+        stats_by_name = replicate(experiment, seeds=range(10))
+        assert set(stats_by_name) == {"a", "b"}
+        assert stats_by_name["b"].mean > stats_by_name["a"].mean
+
+    def test_rejects_inconsistent_keys(self):
+        def experiment(seed):
+            return {"a": 1.0} if seed == 0 else {"b": 1.0}
+
+        with pytest.raises(ValueError, match="keys"):
+            replicate(experiment, seeds=[0, 1])
+
+    def test_rejects_single_seed(self):
+        with pytest.raises(ValueError, match="seeds"):
+            replicate(lambda s: {"a": 1.0}, seeds=[0])
+
+
+class TestReplicateSchemeUtility:
+    def test_rr_utility_ci(self, fast_config):
+        stat = replicate_scheme_utility("RR", fast_config, 20, seeds=(0, 1, 2, 3))
+        assert stat.n == 4
+        assert np.isfinite(stat.mean)
+        assert stat.ci_low < stat.mean < stat.ci_high
+
+    def test_requires_multiple_seeds(self, fast_config):
+        with pytest.raises(ValueError, match="seeds"):
+            replicate_scheme_utility("RR", fast_config, 10, seeds=(0,))

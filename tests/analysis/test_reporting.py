@@ -1,0 +1,59 @@
+"""Tests for the plain-text reporting helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.reporting import format_series, format_table, print_table
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        text = format_table(["a", "bb"], [["x", 1.5], ["y", 2.25]], precision=2)
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert "-+-" in lines[1]
+        assert "1.50" in lines[2]
+        assert "2.25" in lines[3]
+
+    def test_title(self):
+        text = format_table(["a"], [["x"]], title="My table")
+        assert text.splitlines()[0] == "My table"
+
+    def test_integers_not_decorated(self):
+        text = format_table(["n"], [[42]])
+        assert "42" in text
+        assert "42.0" not in text
+
+    def test_alignment_uniform_width(self):
+        text = format_table(["col"], [["short"], ["a-much-longer-cell"]])
+        lines = text.splitlines()
+        assert len(lines[2]) == len(lines[3])
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError, match="cells"):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_print_table_writes(self, capsys):
+        print_table(["a"], [[1]])
+        assert "a" in capsys.readouterr().out
+
+
+class TestFormatSeries:
+    def test_basic(self):
+        text = format_series("U(t)", [0.0, 0.5, 1.0], [1.0, 2.0, 3.0])
+        lines = text.splitlines()
+        assert lines[0] == "U(t)"
+        assert len(lines) == 4
+        assert "t=0.500" in lines[2]
+
+    def test_subsampling(self):
+        text = format_series("s", np.linspace(0, 1, 11), np.zeros(11), every=5)
+        assert len(text.splitlines()) == 4  # name + 3 samples
+
+    def test_rejects_mismatched(self):
+        with pytest.raises(ValueError, match="differ"):
+            format_series("s", [0.0, 1.0], [1.0])
+
+    def test_rejects_bad_stride(self):
+        with pytest.raises(ValueError, match="every"):
+            format_series("s", [0.0], [1.0], every=0)

@@ -1,0 +1,96 @@
+"""Tests for the equilibrium sensitivity analysis."""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.analysis.sensitivity import (
+    SensitivityRow,
+    equilibrium_outputs,
+    format_sensitivity,
+    sensitivity_analysis,
+)
+from repro.core.parameters import MFGCPConfig
+
+
+@pytest.fixture(scope="module")
+def tiny_config():
+    return replace(
+        MFGCPConfig.fast(), n_time_steps=25, n_h=7, n_q=17, max_iterations=15
+    )
+
+
+@pytest.fixture(scope="module")
+def rows(tiny_config):
+    return sensitivity_analysis(
+        config=tiny_config, parameters=("p_hat", "eta1", "w5"), rel_step=0.15
+    )
+
+
+class TestEquilibriumOutputs:
+    def test_keys(self, solved_equilibrium):
+        outputs = equilibrium_outputs(solved_equilibrium)
+        assert set(outputs) == {
+            "total_utility",
+            "trading_income",
+            "final_mean_q",
+            "min_price",
+        }
+        assert outputs["min_price"] <= solved_equilibrium.config.p_hat
+
+
+class TestSensitivityAnalysis:
+    def test_row_structure(self, rows):
+        assert [r.parameter for r in rows] == ["p_hat", "eta1", "w5"]
+        for row in rows:
+            assert row.base_value > 0
+            assert set(row.elasticities) == {
+                "total_utility",
+                "trading_income",
+                "final_mean_q",
+                "min_price",
+            }
+            assert all(np.isfinite(v) for v in row.elasticities.values())
+
+    def test_price_cap_raises_income(self, rows):
+        # A higher maximum price raises the trading income.
+        p_hat_row = next(r for r in rows if r.parameter == "p_hat")
+        assert p_hat_row.elasticities["trading_income"] > 0
+
+    def test_eta1_depresses_price(self, rows):
+        eta1_row = next(r for r in rows if r.parameter == "eta1")
+        assert eta1_row.elasticities["min_price"] < 0
+
+    def test_w5_suppresses_caching(self, rows):
+        # More expensive placement => less caching => more remaining q.
+        w5_row = next(r for r in rows if r.parameter == "w5")
+        assert w5_row.elasticities["final_mean_q"] > 0
+
+    def test_dominant_output(self, rows):
+        row = rows[0]
+        dom = row.dominant_output()
+        assert abs(row.elasticities[dom]) == max(
+            abs(v) for v in row.elasticities.values()
+        )
+
+    def test_validation(self, tiny_config):
+        with pytest.raises(ValueError, match="rel_step"):
+            sensitivity_analysis(config=tiny_config, rel_step=0.0)
+        with pytest.raises(AttributeError, match="no field"):
+            sensitivity_analysis(config=tiny_config, parameters=("nope",))
+        with pytest.raises(KeyError, match="unknown outputs"):
+            sensitivity_analysis(
+                config=tiny_config, parameters=("p_hat",), outputs=("nope",)
+            )
+
+
+class TestFormatting:
+    def test_format_sensitivity(self, rows):
+        text = format_sensitivity(rows)
+        assert "p_hat" in text
+        assert "dtotal_utility" in text
+
+    def test_format_empty_rejected(self):
+        with pytest.raises(ValueError, match="no sensitivity rows"):
+            format_sensitivity([])

@@ -1,0 +1,129 @@
+"""Tests for the caching schemes (MFG-CP and the four baselines)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.base import SchemeDecision
+from repro.baselines.mfg_cp import MFGCPScheme
+from repro.baselines.mfg_nosharing import MFGNoSharingScheme
+from repro.baselines.most_popular import MostPopularScheme
+from repro.baselines.random_replacement import RandomReplacementScheme
+from repro.baselines.udcs import UDCSScheme
+
+
+class TestSchemeDecision:
+    def test_clips_tiny_overshoot(self):
+        decision = SchemeDecision(caching_rates=np.array([1.0 + 1e-12]))
+        assert decision.caching_rates[0] == 1.0
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            SchemeDecision(caching_rates=np.array([1.5]))
+
+
+class TestRandomReplacement:
+    def test_requires_prepare(self):
+        scheme = RandomReplacementScheme()
+        with pytest.raises(RuntimeError, match="prepare"):
+            scheme.decide(0.0, np.zeros(3), np.zeros(3))
+
+    def test_decisions_uniform(self, fast_config):
+        scheme = RandomReplacementScheme()
+        scheme.prepare(fast_config, np.random.default_rng(0))
+        rates = scheme.decide(0.0, np.zeros(2000), np.zeros(2000)).caching_rates
+        assert np.all(rates >= 0.0)
+        assert np.all(rates <= 1.0)
+        assert rates.mean() == pytest.approx(0.5, abs=0.05)
+
+    def test_own_rng_kept(self, fast_config):
+        gen = np.random.default_rng(5)
+        scheme = RandomReplacementScheme(rng=gen)
+        scheme.prepare(fast_config, np.random.default_rng(99))
+        assert scheme._rng is gen
+
+    def test_sharing_participant(self):
+        assert RandomReplacementScheme.participates_in_sharing is True
+
+
+class TestMostPopular:
+    def test_caches_popular_until_threshold(self, fast_config):
+        scheme = MostPopularScheme(popularity_threshold=0.1)
+        scheme.prepare(fast_config, np.random.default_rng(0))  # popularity 0.3
+        remaining = np.array([50.0, 15.0])  # threshold alpha*Q = 20
+        rates = scheme.decide(0.0, np.zeros(2), remaining).caching_rates
+        assert rates[0] == 1.0   # still lacking -> full rate
+        assert rates[1] == 0.0   # already cached enough -> stop
+
+    def test_ignores_unpopular_content(self, fast_config):
+        scheme = MostPopularScheme(popularity_threshold=0.9)
+        scheme.prepare(fast_config, np.random.default_rng(0))
+        rates = scheme.decide(0.0, np.zeros(3), np.full(3, 80.0)).caching_rates
+        assert np.all(rates == 0.0)
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError, match="popularity_threshold"):
+            MostPopularScheme(popularity_threshold=1.5)
+
+
+class TestMFGCPScheme:
+    def test_prepare_solves_once(self, fast_config):
+        scheme = MFGCPScheme()
+        with pytest.raises(RuntimeError, match="prepare"):
+            _ = scheme.equilibrium
+        scheme.prepare(fast_config, np.random.default_rng(0))
+        first = scheme.equilibrium
+        scheme.prepare(fast_config, np.random.default_rng(1))
+        assert scheme.equilibrium is first  # idempotent
+
+    def test_injected_equilibrium_reused(self, fast_config, solved_equilibrium):
+        scheme = MFGCPScheme(equilibrium=solved_equilibrium)
+        scheme.prepare(fast_config, np.random.default_rng(0))
+        assert scheme.equilibrium is solved_equilibrium
+
+    def test_decide_matches_policy_lookup(self, fast_config, solved_equilibrium):
+        scheme = MFGCPScheme(equilibrium=solved_equilibrium)
+        scheme.prepare(fast_config, np.random.default_rng(0))
+        h = np.array([5.0, 5.2])
+        q = np.array([40.0, 80.0])
+        rates = scheme.decide(0.3, h, q).caching_rates
+        for i in range(2):
+            assert rates[i] == pytest.approx(
+                solved_equilibrium.policy(0.3, h[i], q[i])
+            )
+
+    def test_sharing_participant(self):
+        assert MFGCPScheme.participates_in_sharing is True
+
+
+class TestMFGNoSharing:
+    def test_solver_config_strips_sharing(self, fast_config):
+        scheme = MFGNoSharingScheme()
+        cfg = scheme._solver_config(fast_config)
+        assert cfg.include_sharing is False
+        assert scheme.participates_in_sharing is False
+
+    def test_name(self):
+        assert MFGNoSharingScheme.name == "MFG"
+
+
+class TestUDCS:
+    def test_solver_config_cost_only(self, fast_config):
+        scheme = UDCSScheme()
+        cfg = scheme._solver_config(fast_config)
+        assert cfg.include_trading is False
+        assert cfg.include_sharing is False
+        assert scheme.participates_in_sharing is False
+
+    def test_udcs_still_caches(self, fast_config):
+        # Cost-only objective: caching is driven by the delay penalty.
+        scheme = UDCSScheme()
+        scheme.prepare(fast_config, np.random.default_rng(0))
+        rates = scheme.decide(
+            0.0, np.full(3, 5.0), np.array([40.0, 70.0, 95.0])
+        ).caching_rates
+        assert rates.max() > 0.1
+
+    def test_describe(self):
+        text = UDCSScheme().describe()
+        assert "UDCS" in text
+        assert "no sharing" in text

@@ -1,0 +1,29 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.core.best_response import BestResponseIterator
+from repro.core.parameters import MFGCPConfig
+
+
+@pytest.fixture
+def rng():
+    """A deterministic generator for test reproducibility."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def fast_config():
+    """The coarse-grid configuration used by most solver tests."""
+    return MFGCPConfig.fast()
+
+
+@pytest.fixture(scope="session")
+def solved_equilibrium():
+    """One shared equilibrium solve on the fast configuration.
+
+    Session-scoped because the solve costs a few hundred ms and many
+    tests only need to *inspect* a valid equilibrium.
+    """
+    return BestResponseIterator(MFGCPConfig.fast()).solve()

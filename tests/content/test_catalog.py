@@ -1,0 +1,59 @@
+"""Tests for the content catalog."""
+
+import numpy as np
+import pytest
+
+from repro.content.catalog import Content, ContentCatalog
+
+
+class TestContent:
+    def test_fields(self):
+        c = Content(content_id=3, size_mb=50.0, name="news", update_period=2.0)
+        assert c.content_id == 3
+        assert c.size_mb == 50.0
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ValueError, match="size_mb"):
+            Content(content_id=0, size_mb=0.0)
+
+    def test_rejects_nonpositive_period(self):
+        with pytest.raises(ValueError, match="update_period"):
+            Content(content_id=0, size_mb=1.0, update_period=0.0)
+
+
+class TestContentCatalog:
+    def test_uniform_catalog(self):
+        catalog = ContentCatalog.uniform(5, size_mb=80.0)
+        assert len(catalog) == 5
+        assert np.all(catalog.sizes == 80.0)
+        assert catalog.total_size == 400.0
+
+    def test_uniform_with_names(self):
+        catalog = ContentCatalog.uniform(2, names=["a", "b"])
+        assert [c.name for c in catalog] == ["a", "b"]
+
+    def test_uniform_name_count_mismatch(self):
+        with pytest.raises(ValueError, match="names"):
+            ContentCatalog.uniform(2, names=["only-one"])
+
+    def test_uniform_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one"):
+            ContentCatalog.uniform(0)
+
+    def test_from_sizes(self):
+        catalog = ContentCatalog.from_sizes([10.0, 20.0, 30.0])
+        assert list(catalog.sizes) == [10.0, 20.0, 30.0]
+        assert catalog[1].content_id == 1
+
+    def test_iteration_and_indexing(self):
+        catalog = ContentCatalog.uniform(3)
+        assert [c.content_id for c in catalog] == [0, 1, 2]
+        assert catalog[2].content_id == 2
+
+    def test_validate_index(self):
+        catalog = ContentCatalog.uniform(3)
+        assert catalog.validate_index(0) == 0
+        with pytest.raises(IndexError):
+            catalog.validate_index(3)
+        with pytest.raises(IndexError):
+            catalog.validate_index(-1)

@@ -1,0 +1,124 @@
+"""Tests for Zipf popularity and the Eq. (3) update."""
+
+import numpy as np
+import pytest
+
+from repro.content.popularity import PopularityTracker, ZipfPopularity, zipf_distribution
+
+
+class TestZipfDistribution:
+    def test_normalised(self):
+        assert zipf_distribution(10, 0.8).sum() == pytest.approx(1.0)
+
+    def test_decreasing_in_rank(self):
+        dist = zipf_distribution(10, 0.8)
+        assert np.all(np.diff(dist) < 0)
+
+    def test_steeper_exponent_concentrates(self):
+        flat = zipf_distribution(10, 0.2)
+        steep = zipf_distribution(10, 2.0)
+        assert steep[0] > flat[0]
+
+    def test_single_content(self):
+        assert zipf_distribution(1, 1.0)[0] == 1.0
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError, match="at least one"):
+            zipf_distribution(0, 1.0)
+        with pytest.raises(ValueError, match="exponent"):
+            zipf_distribution(5, 0.0)
+
+
+class TestZipfPopularity:
+    def test_initial_matches_distribution(self):
+        pop = ZipfPopularity(n_contents=5, exponent=0.8)
+        assert np.allclose(pop.initial(), zipf_distribution(5, 0.8))
+
+    def test_updated_is_probability(self):
+        pop = ZipfPopularity(n_contents=4)
+        updated = pop.updated([10, 0, 3, 1])
+        assert updated.sum() == pytest.approx(1.0)
+        assert np.all(updated >= 0)
+
+    def test_eq3_exact_value(self):
+        pop = ZipfPopularity(n_contents=2, exponent=1.0)
+        prior = pop.initial()  # [2/3, 1/3]
+        updated = pop.updated([0.0, 4.0])
+        # Eq. (3): (K*prior + counts) / (K + sum counts).
+        assert updated[0] == pytest.approx((2 * prior[0]) / (2 + 4))
+        assert updated[1] == pytest.approx((2 * prior[1] + 4) / (2 + 4))
+
+    def test_zero_counts_recover_prior(self):
+        pop = ZipfPopularity(n_contents=6)
+        assert np.allclose(pop.updated(np.zeros(6)), pop.initial())
+
+    def test_heavy_requests_dominate_prior(self):
+        pop = ZipfPopularity(n_contents=3)
+        counts = np.array([0.0, 1e6, 0.0])
+        assert pop.updated(counts)[1] > 0.99
+
+    def test_rejects_bad_counts(self):
+        pop = ZipfPopularity(n_contents=3)
+        with pytest.raises(ValueError, match="shape"):
+            pop.updated([1.0, 2.0])
+        with pytest.raises(ValueError, match="non-negative"):
+            pop.updated([1.0, -2.0, 0.0])
+
+    def test_rejects_bad_construction(self):
+        with pytest.raises(ValueError):
+            ZipfPopularity(n_contents=0)
+
+
+class TestPopularityTracker:
+    def make(self, forgetting=1.0):
+        return PopularityTracker(
+            prior=ZipfPopularity(n_contents=4), forgetting=forgetting
+        )
+
+    def test_starts_at_prior(self):
+        tracker = self.make()
+        assert np.allclose(tracker.current, tracker.prior.initial())
+
+    def test_observe_accumulates(self):
+        tracker = self.make()
+        tracker.observe([0, 10, 0, 0])
+        first = tracker.current[1]
+        tracker.observe([0, 10, 0, 0])
+        assert tracker.current[1] > first
+
+    def test_forgetting_discounts_history(self):
+        sticky = self.make(forgetting=1.0)
+        leaky = self.make(forgetting=0.1)
+        for tracker in (sticky, leaky):
+            tracker.observe([100, 0, 0, 0])
+            tracker.observe([0, 100, 0, 0])
+        # The leaky tracker weights the new batch more heavily.
+        assert leaky.current[1] > sticky.current[1]
+
+    def test_reset(self):
+        tracker = self.make()
+        tracker.observe([5, 5, 5, 5])
+        tracker.reset()
+        assert np.allclose(tracker.current, tracker.prior.initial())
+
+    def test_rank_order_and_top(self):
+        tracker = self.make()
+        tracker.observe([0, 0, 50, 0])
+        assert tracker.rank_order()[0] == 2
+        assert list(tracker.top(1)) == [2]
+        assert len(tracker.top(0)) == 0
+
+    def test_rejects_bad_observation(self):
+        tracker = self.make()
+        with pytest.raises(ValueError, match="shape"):
+            tracker.observe([1.0])
+        with pytest.raises(ValueError, match="non-negative"):
+            tracker.observe([-1.0, 0, 0, 0])
+
+    def test_rejects_bad_forgetting(self):
+        with pytest.raises(ValueError, match="forgetting"):
+            self.make(forgetting=0.0)
+
+    def test_rejects_negative_top(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            self.make().top(-1)

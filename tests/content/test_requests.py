@@ -1,0 +1,104 @@
+"""Tests for the requester demand process."""
+
+import numpy as np
+import pytest
+
+from repro.content.requests import RequestBatch, RequestProcess
+from repro.content.timeliness import TimelinessModel
+
+
+def make(n_contents=4, rate=10.0, seed=0):
+    return RequestProcess(
+        n_contents=n_contents,
+        rate_per_edp=rate,
+        timeliness_model=TimelinessModel(l_max=3.0),
+        rng=np.random.default_rng(seed),
+    )
+
+
+class TestIntensities:
+    def test_sum_matches_rate_times_dt(self):
+        proc = make(rate=10.0)
+        lam = proc.intensities([0.4, 0.3, 0.2, 0.1], dt=0.5)
+        assert lam.sum() == pytest.approx(5.0)
+
+    def test_proportional_to_popularity(self):
+        proc = make()
+        lam = proc.intensities([0.4, 0.3, 0.2, 0.1], dt=1.0)
+        assert lam[0] / lam[3] == pytest.approx(4.0)
+
+    def test_unnormalised_popularity_ok(self):
+        proc = make()
+        lam = proc.intensities([4.0, 3.0, 2.0, 1.0], dt=1.0)
+        assert lam.sum() == pytest.approx(10.0)
+
+    def test_rejects_bad_popularity(self):
+        proc = make()
+        with pytest.raises(ValueError, match="popularity"):
+            proc.intensities([0.5, 0.5], dt=1.0)
+        with pytest.raises(ValueError, match="positive mass"):
+            proc.intensities([0.0, 0.0, 0.0, 0.0], dt=1.0)
+
+    def test_rejects_bad_dt(self):
+        with pytest.raises(ValueError, match="dt"):
+            make().intensities([1, 1, 1, 1], dt=0.0)
+
+
+class TestSampling:
+    def test_sample_counts_consistent_with_timeliness(self):
+        batch = make(rate=50.0).sample([1, 1, 1, 1], dt=1.0)
+        for k in range(4):
+            assert len(batch.timeliness[k]) == batch.counts[k]
+
+    def test_sample_mean_count(self):
+        proc = make(rate=20.0, seed=1)
+        totals = [proc.sample([1, 1, 1, 1], dt=1.0).total for _ in range(300)]
+        assert np.mean(totals) == pytest.approx(20.0, rel=0.1)
+
+    def test_population_matrix_shape(self):
+        counts = make().sample_population([1, 1, 1, 1], dt=1.0, n_edps=7)
+        assert counts.shape == (7, 4)
+        assert counts.dtype.kind in "iu"
+
+    def test_population_rejects_bad_edps(self):
+        with pytest.raises(ValueError, match="EDP"):
+            make().sample_population([1, 1, 1, 1], dt=1.0, n_edps=0)
+
+    def test_expected_requests(self):
+        proc = make(rate=8.0)
+        assert np.allclose(
+            proc.expected_requests([1, 1, 1, 1], 1.0), np.full(4, 2.0)
+        )
+
+
+class TestRequestBatch:
+    def test_total(self):
+        batch = RequestBatch(
+            counts=np.array([2, 0]),
+            timeliness=[np.array([1.0, 2.0]), np.array([])],
+        )
+        assert batch.total == 2
+
+    def test_mean_timeliness(self):
+        batch = RequestBatch(
+            counts=np.array([2, 0]),
+            timeliness=[np.array([1.0, 3.0]), np.array([])],
+        )
+        assert batch.mean_timeliness(0) == pytest.approx(2.0)
+        assert batch.mean_timeliness(1, default=1.5) == 1.5
+
+    def test_rejects_inconsistent_batch(self):
+        with pytest.raises(ValueError, match="requirements"):
+            RequestBatch(counts=np.array([2]), timeliness=[np.array([1.0])])
+        with pytest.raises(ValueError, match="groups"):
+            RequestBatch(counts=np.array([1, 1]), timeliness=[np.array([1.0])])
+
+
+class TestValidation:
+    def test_rejects_no_contents(self):
+        with pytest.raises(ValueError, match="content"):
+            make(n_contents=0)
+
+    def test_rejects_negative_rate(self):
+        with pytest.raises(ValueError, match="rate_per_edp"):
+            make(rate=-1.0)

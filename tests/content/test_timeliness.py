@@ -1,0 +1,90 @@
+"""Tests for content timeliness (Def. 2)."""
+
+import numpy as np
+import pytest
+
+from repro.content.timeliness import TimelinessModel, TimelinessTracker
+
+
+class TestTimelinessModel:
+    def test_samples_in_range(self, rng):
+        model = TimelinessModel(l_max=3.0)
+        samples = model.sample(1000, rng)
+        assert np.all(samples >= 0.0)
+        assert np.all(samples <= 3.0)
+
+    def test_mean_formula(self):
+        model = TimelinessModel(l_max=4.0, shape_a=2.0, shape_b=6.0)
+        assert model.mean() == pytest.approx(4.0 * 2.0 / 8.0)
+
+    def test_sample_mean_matches(self, rng):
+        model = TimelinessModel(l_max=3.0, shape_a=5.0, shape_b=2.0)
+        samples = model.sample(20000, rng)
+        assert samples.mean() == pytest.approx(model.mean(), rel=0.02)
+
+    def test_zero_samples(self, rng):
+        assert TimelinessModel().sample(0, rng).shape == (0,)
+
+    def test_rejects_negative_count(self, rng):
+        with pytest.raises(ValueError, match="non-negative"):
+            TimelinessModel().sample(-1, rng)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="l_max"):
+            TimelinessModel(l_max=0.0)
+        with pytest.raises(ValueError, match="Beta"):
+            TimelinessModel(shape_a=0.0)
+
+
+class TestTimelinessTracker:
+    def make(self, initial=None):
+        return TimelinessTracker(
+            model=TimelinessModel(l_max=3.0), n_contents=3, initial=initial
+        )
+
+    def test_defaults_to_model_mean(self):
+        tracker = self.make()
+        assert np.allclose(tracker.current, 1.5)
+
+    def test_explicit_initial(self):
+        tracker = self.make(initial=[0.5, 1.0, 2.5])
+        assert np.allclose(tracker.current, [0.5, 1.0, 2.5])
+
+    def test_observe_sets_average(self):
+        tracker = self.make()
+        value = tracker.observe(1, [1.0, 2.0, 3.0])
+        assert value == pytest.approx(2.0)
+        assert tracker.current[1] == pytest.approx(2.0)
+
+    def test_empty_observation_keeps_value(self):
+        tracker = self.make(initial=[0.5, 1.0, 2.5])
+        assert tracker.observe(0, []) == pytest.approx(0.5)
+
+    def test_urgency_factor(self):
+        tracker = self.make(initial=[0.0, 1.0, 2.0])
+        factors = tracker.urgency_factor(xi=0.1)
+        assert np.allclose(factors, [1.0, 0.1, 0.01])
+
+    def test_urgency_factor_rejects_bad_xi(self):
+        with pytest.raises(ValueError, match="xi"):
+            self.make().urgency_factor(1.0)
+
+    def test_rejects_out_of_range_requirements(self):
+        tracker = self.make()
+        with pytest.raises(ValueError, match="l_max"):
+            tracker.observe(0, [5.0])
+
+    def test_rejects_bad_content_index(self):
+        with pytest.raises(IndexError):
+            self.make().observe(3, [1.0])
+
+    def test_rejects_bad_initial(self):
+        with pytest.raises(ValueError, match="initial"):
+            self.make(initial=[1.0])
+        with pytest.raises(ValueError, match="l_max"):
+            self.make(initial=[1.0, 9.0, 1.0])
+
+    def test_current_is_a_copy(self):
+        tracker = self.make()
+        tracker.current[0] = 99.0
+        assert tracker.current[0] != 99.0

@@ -1,0 +1,143 @@
+"""Tests for the YouTube-style trace generator and loader."""
+
+import numpy as np
+import pytest
+
+from repro.content.trace import (
+    DEFAULT_CATEGORIES,
+    SyntheticYouTubeTrace,
+    TraceRecord,
+    load_trace_csv,
+    trace_to_popularity,
+)
+
+
+def make(n=500, seed=0, **kw):
+    return SyntheticYouTubeTrace(n_videos=n, rng=np.random.default_rng(seed), **kw)
+
+
+class TestSyntheticTrace:
+    def test_record_schema(self):
+        records = make(n=50).generate()
+        assert len(records) == 50
+        rec = records[0]
+        assert rec.video_id.startswith("vid")
+        assert rec.category in DEFAULT_CATEGORIES
+        assert rec.views >= 1
+        assert rec.likes <= rec.views
+        assert rec.comment_count <= rec.views
+        assert len(rec.tags) >= 1
+
+    def test_category_shares_sum_to_one(self):
+        shares = make().category_shares()
+        assert sum(shares.values()) == pytest.approx(1.0)
+        assert len(shares) == len(DEFAULT_CATEGORIES)
+
+    def test_total_views_approximate(self):
+        trace = make(n=2000, total_views=1e6, seed=1)
+        records = trace.generate()
+        total = sum(r.views for r in records)
+        # Log-normal noise spreads the total; order of magnitude holds.
+        assert 0.3e6 < total < 3e6
+
+    def test_deterministic_for_seed(self):
+        r1 = make(n=20, seed=5).generate()
+        r2 = make(n=20, seed=5).generate()
+        assert [r.views for r in r1] == [r.views for r in r2]
+
+    def test_demand_is_zipf_concentrated(self):
+        records = make(n=5000, zipf_exponent=1.2, seed=2).generate()
+        _, shares = trace_to_popularity(records)
+        # Top category clearly dominates the tail under a steep Zipf.
+        assert shares[0] > 3 * shares[-1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="n_videos"):
+            make(n=0)
+        with pytest.raises(ValueError, match="zipf_exponent"):
+            make(zipf_exponent=0.0)
+        with pytest.raises(ValueError, match="total_views"):
+            make(total_views=0.0)
+        with pytest.raises(ValueError, match="category"):
+            SyntheticYouTubeTrace(n_videos=5, categories=[])
+
+
+class TestTraceRecord:
+    def test_rejects_negative_counts(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            TraceRecord(
+                video_id="x", category="Music", tags=(), views=-1,
+                likes=0, comment_count=0, publish_time=0.0,
+            )
+
+
+class TestTraceToPopularity:
+    def test_ordering_and_normalisation(self):
+        records = [
+            TraceRecord("a", "cat1", (), 100, 0, 0, 0.0),
+            TraceRecord("b", "cat2", (), 300, 0, 0, 0.0),
+            TraceRecord("c", "cat1", (), 50, 0, 0, 0.0),
+        ]
+        labels, shares = trace_to_popularity(records)
+        assert labels == ["cat2", "cat1"]
+        assert shares.sum() == pytest.approx(1.0)
+        assert shares[0] == pytest.approx(300 / 450)
+
+    def test_truncation(self):
+        records = [
+            TraceRecord(str(i), f"cat{i}", (), 10 * (i + 1), 0, 0, 0.0)
+            for i in range(5)
+        ]
+        labels, shares = trace_to_popularity(records, n_contents=2)
+        assert len(labels) == 2
+        assert shares.sum() == pytest.approx(1.0)
+
+    def test_rejects_empty_trace(self):
+        with pytest.raises(ValueError, match="no records"):
+            trace_to_popularity([])
+
+    def test_rejects_bad_n_contents(self):
+        records = [TraceRecord("a", "c", (), 1, 0, 0, 0.0)]
+        with pytest.raises(ValueError, match="n_contents"):
+            trace_to_popularity(records, n_contents=0)
+
+
+class TestCSVLoader:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text(
+            "video_id,category_id,tags,views,likes,comment_count,description\n"
+            'v1,10,"music|live",1000,30,5,hello\n'
+            "v2,24,,500,10,2,\n"
+        )
+        records = load_trace_csv(path)
+        assert len(records) == 2
+        assert records[0].category == "10"
+        assert records[0].views == 1000
+        assert records[0].tags == ("music", "live")
+        assert records[1].tags == ()
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_trace_csv(tmp_path / "absent.csv")
+
+    def test_missing_column(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("foo,bar\n1,2\n")
+        with pytest.raises(ValueError, match="category_id"):
+            load_trace_csv(path)
+
+    def test_malformed_views(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("video_id,category_id,views\nv1,10,not-a-number\n")
+        with pytest.raises(ValueError, match="malformed"):
+            load_trace_csv(path)
+
+    def test_feeds_popularity(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text(
+            "video_id,category_id,views\nv1,10,100\nv2,24,400\n"
+        )
+        labels, shares = trace_to_popularity(load_trace_csv(path))
+        assert labels == ["24", "10"]
+        assert shares[0] == pytest.approx(0.8)

@@ -1,0 +1,71 @@
+"""Tests for time-windowed trace demand (popularity drift)."""
+
+import numpy as np
+import pytest
+
+from repro.content.trace import SyntheticYouTubeTrace, TraceRecord, trace_windows
+
+
+def rec(category, views, t):
+    return TraceRecord(
+        video_id=f"{category}-{t}", category=category, tags=(), views=views,
+        likes=0, comment_count=0, publish_time=t,
+    )
+
+
+class TestTraceWindows:
+    def test_shared_category_axis(self):
+        records = [rec("a", 100, 0.0), rec("b", 50, 0.0), rec("b", 300, 10.0)]
+        windows = trace_windows(records, n_windows=2)
+        assert len(windows) == 2
+        labels0, share0 = windows[0]
+        labels1, share1 = windows[1]
+        assert labels0 == labels1  # common axis
+
+    def test_window_shares_normalised(self):
+        rng = np.random.default_rng(0)
+        records = SyntheticYouTubeTrace(n_videos=400, rng=rng).generate()
+        for _, share in trace_windows(records, n_windows=4):
+            assert share.sum() == pytest.approx(1.0)
+            assert np.all(share >= 0.0)
+
+    def test_demand_drift_captured(self):
+        # Category 'a' dominates early, 'b' late.
+        records = [rec("a", 1000, 0.0), rec("b", 10, 0.1),
+                   rec("a", 10, 9.9), rec("b", 1000, 10.0)]
+        windows = trace_windows(records, n_windows=2)
+        labels, early = windows[0]
+        _, late = windows[1]
+        ia, ib = labels.index("a"), labels.index("b")
+        assert early[ia] > early[ib]
+        assert late[ib] > late[ia]
+
+    def test_empty_window_uniform(self):
+        records = [rec("a", 100, 0.0), rec("b", 100, 0.0)]
+        windows = trace_windows(records, n_windows=3)
+        # Later windows hold no records -> uniform prior.
+        _, share = windows[2]
+        assert np.allclose(share, 0.5)
+
+    def test_truncation_to_top_contents(self):
+        records = [rec(f"c{i}", 10 * (i + 1), float(i)) for i in range(6)]
+        windows = trace_windows(records, n_windows=2, n_contents=3)
+        labels, _ = windows[0]
+        assert len(labels) == 3
+
+    def test_single_window_matches_global(self):
+        from repro.content.trace import trace_to_popularity
+
+        rng = np.random.default_rng(1)
+        records = SyntheticYouTubeTrace(n_videos=300, rng=rng).generate()
+        labels_g, share_g = trace_to_popularity(records)
+        windows = trace_windows(records, n_windows=1)
+        labels_w, share_w = windows[0]
+        assert labels_w == labels_g
+        assert np.allclose(share_w, share_g)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="n_windows"):
+            trace_windows([rec("a", 1, 0.0)], n_windows=0)
+        with pytest.raises(ValueError, match="no records"):
+            trace_windows([], n_windows=2)

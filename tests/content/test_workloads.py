@@ -1,0 +1,86 @@
+"""Tests for the canned workload scenarios."""
+
+import numpy as np
+import pytest
+
+from repro.content.workloads import (
+    Workload,
+    news_cycle,
+    traffic_information,
+    video_marketplace,
+)
+from repro.content.catalog import ContentCatalog
+from repro.content.requests import RequestProcess
+from repro.content.timeliness import TimelinessModel
+
+
+class TestWorkloadContainer:
+    def test_popularity_must_be_distribution(self):
+        catalog = ContentCatalog.uniform(2)
+        timeliness = TimelinessModel()
+        requests = RequestProcess(
+            n_contents=2, rate_per_edp=1.0, timeliness_model=timeliness
+        )
+        with pytest.raises(ValueError, match="distribution"):
+            Workload(
+                name="x", catalog=catalog, popularity=np.array([0.9, 0.9]),
+                timeliness_model=timeliness, requests=requests,
+            )
+        with pytest.raises(ValueError, match="shape"):
+            Workload(
+                name="x", catalog=catalog, popularity=np.array([1.0]),
+                timeliness_model=timeliness, requests=requests,
+            )
+
+    def test_tracker_seeded_with_demand(self):
+        workload = video_marketplace(n_contents=4, seed=1)
+        tracker = workload.tracker()
+        # The seeded tracker's ranking follows the workload's demand.
+        assert tracker.rank_order()[0] == int(np.argmax(workload.popularity))
+
+
+class TestVideoMarketplace:
+    def test_structure(self):
+        workload = video_marketplace(n_contents=5, seed=2)
+        assert workload.name == "video-marketplace"
+        assert len(workload.catalog) == 5
+        assert workload.popularity.sum() == pytest.approx(1.0)
+        assert workload.requests.n_contents == 5
+
+    def test_relaxed_timeliness(self):
+        workload = video_marketplace(seed=3)
+        # Lax demand: mean urgency below the midpoint.
+        assert workload.timeliness_model.mean() < 1.5
+
+
+class TestTrafficInformation:
+    def test_structure(self):
+        workload = traffic_information(n_roads=4, seed=0)
+        assert len(workload.catalog) == 4
+        assert all(c.size_mb == 20.0 for c in workload.catalog)
+        assert all(c.update_period == 1.0 for c in workload.catalog)
+
+    def test_urgent_timeliness(self):
+        workload = traffic_information(seed=0)
+        assert workload.timeliness_model.mean() > 1.5
+
+    def test_near_uniform_demand(self):
+        workload = traffic_information(n_roads=6, seed=1)
+        assert workload.popularity.max() / workload.popularity.min() < 1.5
+
+
+class TestNewsCycle:
+    def test_structure(self):
+        workload, drift = news_cycle(n_contents=4, n_windows=3, seed=0)
+        assert len(drift) == 3
+        assert np.allclose(workload.popularity, drift[0])
+        for share in drift:
+            assert share.shape == (len(workload.catalog),)
+            assert share.sum() == pytest.approx(1.0)
+
+    def test_drift_feeds_tracker(self):
+        workload, drift = news_cycle(n_contents=4, n_windows=2, seed=1)
+        tracker = workload.tracker(forgetting=0.5)
+        before = tracker.current.copy()
+        tracker.observe(drift[1] * 500.0)
+        assert not np.allclose(tracker.current, before)

@@ -1,0 +1,159 @@
+"""Tests for the discretised state space."""
+
+import numpy as np
+import pytest
+
+from repro.core.grid import StateGrid
+
+
+def make(n_t=10, n_h=5, n_q=9, q_max=100.0):
+    return StateGrid.regular(
+        horizon=1.0, n_time_steps=n_t, h_bounds=(4.0, 6.0), n_h=n_h,
+        q_max=q_max, n_q=n_q,
+    )
+
+
+class TestConstruction:
+    def test_regular_axes(self):
+        grid = make()
+        assert grid.t[0] == 0.0 and grid.t[-1] == 1.0
+        assert grid.h[0] == 4.0 and grid.h[-1] == 6.0
+        assert grid.q[0] == 0.0 and grid.q[-1] == 100.0
+
+    def test_shapes_and_spacings(self):
+        grid = make(n_t=10, n_h=5, n_q=9)
+        assert grid.n_t == 10
+        assert grid.shape == (5, 9)
+        assert grid.path_shape == (11, 5, 9)
+        assert grid.dt == pytest.approx(0.1)
+        assert grid.dh == pytest.approx(0.5)
+        assert grid.dq == pytest.approx(12.5)
+
+    def test_rejects_nonuniform_axes(self):
+        with pytest.raises(ValueError, match="uniform"):
+            StateGrid(
+                t=np.array([0.0, 0.1, 0.3]),
+                h=np.linspace(4, 6, 5),
+                q=np.linspace(0, 100, 9),
+            )
+
+    def test_rejects_decreasing_axis(self):
+        with pytest.raises(ValueError, match="increasing"):
+            StateGrid(
+                t=np.linspace(0, 1, 5),
+                h=np.array([6.0, 4.0]),
+                q=np.linspace(0, 100, 9),
+            )
+
+    def test_rejects_degenerate_bounds(self):
+        with pytest.raises(ValueError, match="empty h range"):
+            make_bad = StateGrid.regular(1.0, 5, (6.0, 4.0), 5, 100.0, 9)
+
+    def test_rejects_bad_horizon(self):
+        with pytest.raises(ValueError, match="horizon"):
+            StateGrid.regular(0.0, 5, (4.0, 6.0), 5, 100.0, 9)
+
+
+class TestMeshes:
+    def test_h_mesh_constant_columns(self):
+        grid = make()
+        mesh = grid.h_mesh()
+        assert mesh.shape == grid.shape
+        assert np.all(mesh[:, 0] == grid.h)
+        assert np.all(mesh[:, 0] == mesh[:, -1])
+
+    def test_q_mesh_constant_rows(self):
+        grid = make()
+        mesh = grid.q_mesh()
+        assert np.all(mesh[0, :] == grid.q)
+        assert np.all(mesh[0, :] == mesh[-1, :])
+
+
+class TestQuadrature:
+    def test_weights_sum_to_area(self):
+        grid = make()
+        area = (grid.h[-1] - grid.h[0]) * (grid.q[-1] - grid.q[0])
+        assert grid.cell_weights().sum() == pytest.approx(area)
+
+    def test_integrate_constant(self):
+        grid = make()
+        area = 2.0 * 100.0
+        assert grid.integrate(np.ones(grid.shape)) == pytest.approx(area)
+
+    def test_integrate_bilinear_exact(self):
+        # Trapezoid integration is exact for bilinear functions.
+        grid = make()
+        field = grid.h_mesh() * grid.q_mesh()
+        exact = (6.0**2 - 4.0**2) / 2 * (100.0**2) / 2
+        assert grid.integrate(field) == pytest.approx(exact)
+
+    def test_normalize_unit_mass(self):
+        grid = make()
+        density = grid.normalize(np.random.default_rng(0).uniform(0, 1, grid.shape))
+        assert grid.integrate(density) == pytest.approx(1.0)
+
+    def test_normalize_rejects_negative(self):
+        grid = make()
+        field = np.ones(grid.shape)
+        field[0, 0] = -1.0
+        with pytest.raises(ValueError, match="non-negative"):
+            grid.normalize(field)
+
+    def test_normalize_rejects_zero_mass(self):
+        grid = make()
+        with pytest.raises(ValueError, match="zero mass"):
+            grid.normalize(np.zeros(grid.shape))
+
+    def test_expectation(self):
+        grid = make()
+        density = grid.normalize(np.ones(grid.shape))
+        # E[q] under the uniform law is Q/2.
+        assert grid.expectation(density, grid.q_mesh()) == pytest.approx(50.0, rel=1e-6)
+
+    def test_marginals_integrate_to_one(self):
+        grid = make()
+        density = grid.normalize(np.random.default_rng(1).uniform(0, 1, grid.shape))
+        mq = grid.marginal_q(density)
+        mh = grid.marginal_h(density)
+        # Trapezoid over the marginals recovers total mass.
+        wq = np.full(grid.n_q, grid.dq)
+        wq[0] = wq[-1] = grid.dq / 2
+        wh = np.full(grid.n_h, grid.dh)
+        wh[0] = wh[-1] = grid.dh / 2
+        assert (mq * wq).sum() == pytest.approx(1.0)
+        assert (mh * wh).sum() == pytest.approx(1.0)
+
+    def test_shape_validation(self):
+        grid = make()
+        with pytest.raises(ValueError, match="shape"):
+            grid.integrate(np.ones((2, 2)))
+        with pytest.raises(ValueError, match="shape"):
+            grid.marginal_q(np.ones((2, 2)))
+
+
+class TestLookup:
+    def test_nearest_time_index(self):
+        grid = make(n_t=10)
+        assert grid.nearest_time_index(0.0) == 0
+        assert grid.nearest_time_index(0.51) == 5
+        assert grid.nearest_time_index(2.0) == 10
+
+    def test_locate_clips_to_grid(self):
+        grid = make()
+        assert grid.locate(4.0, 0.0) == (0, 0)
+        assert grid.locate(100.0, 1e9) == (grid.n_h - 1, grid.n_q - 1)
+        assert grid.locate(-100.0, -5.0) == (0, 0)
+
+    def test_interp_weights_interior(self):
+        grid = make(n_h=5, n_q=9)
+        ih, iq, fh, fq = grid.interp_weights(4.25, 6.25)
+        assert (ih, iq) == (0, 0)
+        assert fh == pytest.approx(0.5)
+        assert fq == pytest.approx(0.5)
+
+    def test_interp_weights_clipped(self):
+        grid = make()
+        ih, iq, fh, fq = grid.interp_weights(1e9, 1e9)
+        assert ih == grid.n_h - 2
+        assert iq == grid.n_q - 2
+        assert fh == pytest.approx(1.0, abs=1e-9)

@@ -1,0 +1,161 @@
+"""Tests for the capacity-constrained knapsack extension."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.knapsack import (
+    KnapsackItem,
+    capacity_constrained_placement,
+    solve_01_knapsack,
+    solve_fractional_knapsack,
+)
+
+
+def items_from(weights, values):
+    return [
+        KnapsackItem(content_id=i, weight=w, value=v)
+        for i, (w, v) in enumerate(zip(weights, values))
+    ]
+
+
+def brute_force_01(items, capacity):
+    best_value, best_set = 0.0, []
+    for r in range(len(items) + 1):
+        for combo in itertools.combinations(items, r):
+            weight = sum(it.weight for it in combo)
+            value = sum(it.value for it in combo)
+            if weight <= capacity and value > best_value:
+                best_value = value
+                best_set = sorted(it.content_id for it in combo)
+    return best_set, best_value
+
+
+class TestKnapsackItem:
+    def test_density(self):
+        assert KnapsackItem(0, weight=4.0, value=8.0).density == 2.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="weight"):
+            KnapsackItem(0, weight=0.0, value=1.0)
+        with pytest.raises(ValueError, match="value"):
+            KnapsackItem(0, weight=1.0, value=-1.0)
+
+
+class TestFractionalKnapsack:
+    def test_everything_fits(self):
+        items = items_from([10, 20], [5, 5])
+        fractions = solve_fractional_knapsack(items, capacity=100.0)
+        assert fractions == {0: 1.0, 1: 1.0}
+
+    def test_greedy_takes_best_density_first(self):
+        items = items_from([10, 10], [1, 9])
+        fractions = solve_fractional_knapsack(items, capacity=10.0)
+        assert fractions[1] == 1.0
+        assert fractions[0] == 0.0
+
+    def test_partial_item_at_boundary(self):
+        items = items_from([10, 10], [9, 1])
+        fractions = solve_fractional_knapsack(items, capacity=15.0)
+        assert fractions[0] == 1.0
+        assert fractions[1] == pytest.approx(0.5)
+
+    def test_capacity_respected(self):
+        rng = np.random.default_rng(0)
+        items = items_from(rng.uniform(1, 10, 8), rng.uniform(0, 5, 8))
+        fractions = solve_fractional_knapsack(items, capacity=20.0)
+        used = sum(fractions[it.content_id] * it.weight for it in items)
+        assert used <= 20.0 + 1e-9
+
+    def test_zero_capacity(self):
+        items = items_from([5.0], [1.0])
+        assert solve_fractional_knapsack(items, 0.0) == {0: 0.0}
+
+    def test_upper_bounds_01_solution(self):
+        rng = np.random.default_rng(1)
+        for _ in range(5):
+            items = items_from(rng.uniform(1, 8, 6), rng.uniform(0, 5, 6))
+            cap = float(rng.uniform(5, 20))
+            fractions = solve_fractional_knapsack(items, cap)
+            frac_value = sum(fractions[it.content_id] * it.value for it in items)
+            _, best01 = brute_force_01(items, cap)
+            assert frac_value >= best01 - 1e-9
+
+    def test_rejects_duplicates_and_bad_capacity(self):
+        items = [KnapsackItem(0, 1.0, 1.0), KnapsackItem(0, 2.0, 2.0)]
+        with pytest.raises(ValueError, match="unique"):
+            solve_fractional_knapsack(items, 10.0)
+        with pytest.raises(ValueError, match="capacity"):
+            solve_fractional_knapsack([], -1.0)
+
+
+class TestZeroOneKnapsack:
+    def test_matches_brute_force(self):
+        rng = np.random.default_rng(2)
+        for _ in range(10):
+            weights = rng.integers(1, 8, size=6).astype(float)
+            values = rng.uniform(0, 5, 6)
+            items = items_from(weights, values)
+            cap = float(rng.integers(4, 20))
+            selected, value = solve_01_knapsack(items, cap, resolution=1.0)
+            bf_set, bf_value = brute_force_01(items, cap)
+            assert value == pytest.approx(bf_value)
+            chosen_weight = sum(
+                it.weight for it in items if it.content_id in selected
+            )
+            assert chosen_weight <= cap + 1e-9
+
+    def test_empty_inputs(self):
+        assert solve_01_knapsack([], 10.0) == ([], 0.0)
+        items = items_from([5.0], [1.0])
+        assert solve_01_knapsack(items, 0.5, resolution=1.0) == ([], 0.0)
+
+    def test_oversized_item_skipped(self):
+        items = items_from([100.0, 2.0], [50.0, 1.0])
+        selected, value = solve_01_knapsack(items, 10.0)
+        assert selected == [1]
+        assert value == pytest.approx(1.0)
+
+    def test_resolution_rounds_weights_up(self):
+        # Weight 1.2 rounds to 2 units at resolution 1, so capacity 3
+        # fits only one such item.
+        items = items_from([1.2, 1.2], [1.0, 1.0])
+        selected, _ = solve_01_knapsack(items, 3.0, resolution=1.0)
+        assert len(selected) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="capacity"):
+            solve_01_knapsack([], -1.0)
+        with pytest.raises(ValueError, match="resolution"):
+            solve_01_knapsack([], 1.0, resolution=0.0)
+
+
+class TestCapacityConstrainedPlacement:
+    def test_passthrough_when_fits(self):
+        allocations = {0: 10.0, 1: 20.0}
+        granted = capacity_constrained_placement(allocations, {0: 1.0, 1: 2.0}, 50.0)
+        assert granted == allocations
+
+    def test_scales_down_when_over(self):
+        allocations = {0: 40.0, 1: 40.0}
+        values = {0: 10.0, 1: 1.0}
+        granted = capacity_constrained_placement(allocations, values, 40.0)
+        assert granted[0] == pytest.approx(40.0)
+        assert granted[1] == pytest.approx(0.0)
+
+    def test_missing_values_default_zero(self):
+        allocations = {0: 40.0, 1: 40.0}
+        granted = capacity_constrained_placement(allocations, {0: 5.0}, 40.0)
+        assert granted[0] == pytest.approx(40.0)
+
+    def test_total_within_capacity(self):
+        rng = np.random.default_rng(3)
+        allocations = {k: float(w) for k, w in enumerate(rng.uniform(5, 30, 6))}
+        values = {k: float(v) for k, v in enumerate(rng.uniform(0, 5, 6))}
+        granted = capacity_constrained_placement(allocations, values, 50.0)
+        assert sum(granted.values()) <= 50.0 + 1e-9
+
+    def test_rejects_negative_capacity(self):
+        with pytest.raises(ValueError, match="capacity"):
+            capacity_constrained_placement({}, {}, -1.0)

@@ -1,0 +1,133 @@
+"""Tests for the finite-difference operators."""
+
+import numpy as np
+import pytest
+
+from repro.core.operators import (
+    central_gradient,
+    conservative_advection,
+    conservative_diffusion,
+    second_derivative,
+    stable_time_step,
+    upwind_gradient,
+)
+
+
+def linear_field(nh=6, nq=8, ah=2.0, aq=3.0):
+    h = np.arange(nh)[:, None] * 0.5
+    q = np.arange(nq)[None, :] * 1.5
+    return ah * h + aq * q
+
+
+class TestGradients:
+    def test_central_exact_on_linear(self):
+        field = linear_field()
+        gh = central_gradient(field, 0.5, axis=0)
+        gq = central_gradient(field, 1.5, axis=1)
+        assert np.allclose(gh, 2.0)
+        assert np.allclose(gq, 3.0)
+
+    def test_upwind_exact_on_linear_both_signs(self):
+        field = linear_field()
+        for vel in (+1.0, -1.0):
+            gh = upwind_gradient(field, 0.5, np.full(field.shape, vel), axis=0)
+            assert np.allclose(gh, 2.0)
+
+    def test_upwind_selects_direction(self):
+        # A kinked field distinguishes forward from backward differences.
+        field = np.zeros((1, 5))
+        field[0] = [0.0, 0.0, 1.0, 0.0, 0.0]
+        back = upwind_gradient(field, 1.0, np.ones((1, 5)), axis=1)
+        fwd = upwind_gradient(field, 1.0, -np.ones((1, 5)), axis=1)
+        # At the peak: backward difference sees +1, forward sees -1.
+        assert back[0, 2] == pytest.approx(1.0)
+        assert fwd[0, 2] == pytest.approx(-1.0)
+
+    def test_second_derivative_on_quadratic(self):
+        q = np.arange(9)[None, :] * 2.0
+        field = np.tile(q**2, (3, 1))
+        lap = second_derivative(field, 2.0, axis=1)
+        # Interior exactly 2; boundaries use the Neumann closure.
+        assert np.allclose(lap[:, 1:-1], 2.0)
+
+    def test_rejects_bad_axis(self):
+        with pytest.raises(ValueError, match="axis"):
+            central_gradient(np.ones((3, 3)), 1.0, axis=2)
+        with pytest.raises(ValueError, match="axis"):
+            upwind_gradient(np.ones((3, 3)), 1.0, np.ones((3, 3)), axis=-1)
+
+    def test_rejects_bad_spacing(self):
+        with pytest.raises(ValueError, match="spacing"):
+            central_gradient(np.ones((3, 3)), 0.0, axis=0)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            second_derivative(np.ones(5), 1.0, axis=0)
+
+
+class TestConservativeOperators:
+    def test_advection_conserves_mass(self):
+        rng = np.random.default_rng(0)
+        density = rng.uniform(0, 1, (6, 10))
+        velocity = rng.uniform(-2, 2, (6, 10))
+        for axis in (0, 1):
+            update = conservative_advection(density, velocity, 0.7, axis=axis)
+            assert abs(update.sum()) < 1e-12
+
+    def test_advection_moves_mass_downstream(self):
+        density = np.zeros((1, 9))
+        density[0, 4] = 1.0
+        update = conservative_advection(density, np.ones((1, 9)), 1.0, axis=1)
+        # Positive velocity drains cell 4 into cell 5.
+        assert update[0, 4] < 0
+        assert update[0, 5] > 0
+        assert update[0, 3] == 0.0
+
+    def test_diffusion_conserves_mass(self):
+        rng = np.random.default_rng(1)
+        density = rng.uniform(0, 1, (6, 10))
+        for axis in (0, 1):
+            update = conservative_diffusion(density, 0.5, 0.7, axis=axis)
+            assert abs(update.sum()) < 1e-12
+
+    def test_diffusion_flattens_peak(self):
+        density = np.zeros((1, 9))
+        density[0, 4] = 1.0
+        update = conservative_diffusion(density, 1.0, 1.0, axis=1)
+        assert update[0, 4] < 0
+        assert update[0, 3] > 0 and update[0, 5] > 0
+
+    def test_diffusion_zero_diffusivity_is_noop(self):
+        density = np.random.default_rng(2).uniform(0, 1, (4, 4))
+        assert np.allclose(conservative_diffusion(density, 0.0, 1.0, 1), 0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="spacing"):
+            conservative_advection(np.ones((2, 2)), np.ones((2, 2)), 0.0, 1)
+        with pytest.raises(ValueError, match="diffusivity"):
+            conservative_diffusion(np.ones((2, 2)), -1.0, 1.0, 1)
+        with pytest.raises(ValueError, match="axis"):
+            conservative_advection(np.ones((2, 2)), np.ones((2, 2)), 1.0, 3)
+
+
+class TestStableTimeStep:
+    def test_advection_limit(self):
+        dt = stable_time_step(2.0, 0.0, 0.5, 1.0, 0.0, 0.0, safety=1.0)
+        assert dt == pytest.approx(0.25)
+
+    def test_diffusion_limit(self):
+        dt = stable_time_step(0.0, 0.0, 0.5, 1.0, 1.0, 0.0, safety=1.0)
+        assert dt == pytest.approx(0.125)
+
+    def test_most_restrictive_wins(self):
+        dt = stable_time_step(10.0, 10.0, 0.1, 0.1, 1.0, 1.0, safety=1.0)
+        assert dt == pytest.approx(min(0.01, 0.005))
+
+    def test_no_dynamics_unbounded(self):
+        assert stable_time_step(0.0, 0.0, 1.0, 1.0, 0.0, 0.0) == np.inf
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="spacings"):
+            stable_time_step(1.0, 1.0, 0.0, 1.0, 1.0, 1.0)
+        with pytest.raises(ValueError, match="safety"):
+            stable_time_step(1.0, 1.0, 1.0, 1.0, 1.0, 1.0, safety=0.0)

@@ -1,0 +1,87 @@
+"""Tests for the numerical verification of Lemmas 1-2 and Theorem 2."""
+
+import numpy as np
+import pytest
+
+from repro.core import theory
+from repro.core.best_response import build_grid
+from repro.core.parameters import MFGCPConfig
+
+
+class TestLemma1:
+    def test_hypotheses_hold_for_default_config(self, fast_config):
+        report = theory.verify_lemma1(fast_config)
+        assert report.satisfied
+        assert report.control_space_compact
+
+    def test_drift_lipschitz_is_half_reversion(self, fast_config):
+        report = theory.verify_lemma1(fast_config)
+        assert report.drift_lipschitz == pytest.approx(
+            0.5 * fast_config.channel.reversion
+        )
+
+    def test_drift_bound_dominates_components(self, fast_config):
+        report = theory.verify_lemma1(fast_config)
+        # DF2 at full caching already gives |drift| ~ Q*(w1 - c).
+        df2_max = abs(float(fast_config.drift_rate(np.array(1.0))))
+        assert report.drift_bound >= df2_max
+
+    def test_bounds_positive_and_finite(self, fast_config):
+        report = theory.verify_lemma1(fast_config)
+        for value in (
+            report.drift_bound,
+            report.utility_bound,
+            report.utility_gradient_bound,
+        ):
+            assert np.isfinite(value)
+            assert value > 0.0
+
+    def test_reuses_supplied_grid(self, fast_config):
+        grid = build_grid(fast_config)
+        report = theory.verify_lemma1(fast_config, grid=grid)
+        assert report.satisfied
+
+    def test_rejects_too_few_controls(self, fast_config):
+        with pytest.raises(ValueError, match="control samples"):
+            theory.verify_lemma1(fast_config, n_controls=1)
+
+
+class TestLemma2:
+    def test_coefficients_match_eq25(self, fast_config):
+        report = theory.verify_lemma2(fast_config)
+        expected = (
+            0.5 * fast_config.channel.volatility**2
+            + 0.5 * fast_config.caching.noise**2
+        )
+        assert report.a_diagonal == pytest.approx(expected)
+        assert report.a_symmetric
+        assert report.c_inf_norm == 0.0
+        assert report.d_l2_norm == 0.0
+
+    def test_satisfied_for_default_config(self, fast_config):
+        assert theory.verify_lemma2(fast_config).satisfied
+
+    def test_b_bound_comes_from_lemma1(self, fast_config):
+        lemma1 = theory.verify_lemma1(fast_config)
+        lemma2 = theory.verify_lemma2(fast_config)
+        assert lemma2.b_inf_norm == pytest.approx(lemma1.drift_bound)
+
+
+class TestTheorem2:
+    def test_contraction_observed_on_solved_equilibrium(self, solved_equilibrium):
+        report = theory.verify_theorem2(solved_equilibrium)
+        assert report.converged
+        assert report.contraction_observed
+        assert report.empirical_contraction_rate < 1.0
+
+    def test_rate_matches_history(self, solved_equilibrium):
+        from repro.analysis.convergence import fixed_point_rate
+
+        report = theory.verify_theorem2(solved_equilibrium)
+        assert report.empirical_contraction_rate == pytest.approx(
+            fixed_point_rate(solved_equilibrium.report)
+        )
+
+    def test_iterations_recorded(self, solved_equilibrium):
+        report = theory.verify_theorem2(solved_equilibrium)
+        assert report.n_iterations == solved_equilibrium.report.n_iterations

@@ -1,0 +1,113 @@
+"""Tests for the smoothed case probabilities (Section III-A)."""
+
+import numpy as np
+import pytest
+
+from repro.economics.cases import CaseProbabilities, smooth_step, smooth_step_derivative
+
+
+class TestSmoothStep:
+    def test_midpoint(self):
+        assert float(smooth_step(0.0, 1.0)) == pytest.approx(0.5)
+
+    def test_limits(self):
+        assert float(smooth_step(100.0, 1.0)) == pytest.approx(1.0)
+        assert float(smooth_step(-100.0, 1.0)) == pytest.approx(0.0)
+
+    def test_symmetry(self):
+        # f(x) + f(-x) = 1.
+        x = np.linspace(-10, 10, 31)
+        assert np.allclose(smooth_step(x, 0.5) + smooth_step(-x, 0.5), 1.0)
+
+    def test_steepness(self):
+        gentle = smooth_step(1.0, 0.1)
+        steep = smooth_step(1.0, 5.0)
+        assert steep > gentle
+
+    def test_overflow_safe(self):
+        assert np.isfinite(smooth_step(1e6, 10.0))
+        assert np.isfinite(smooth_step(-1e6, 10.0))
+
+    def test_derivative_formula(self):
+        # Finite-difference check of f'.
+        x = np.linspace(-3, 3, 13)
+        eps = 1e-6
+        numeric = (smooth_step(x + eps, 0.7) - smooth_step(x - eps, 0.7)) / (2 * eps)
+        assert np.allclose(smooth_step_derivative(x, 0.7), numeric, atol=1e-5)
+
+    def test_derivative_peak_at_zero(self):
+        assert smooth_step_derivative(0.0, 1.0) == pytest.approx(0.5)
+
+    def test_rejects_bad_smoothing(self):
+        with pytest.raises(ValueError, match="smoothing"):
+            smooth_step(0.0, 0.0)
+
+
+class TestCaseProbabilities:
+    def make(self, alpha=0.2, smoothing=0.5):
+        return CaseProbabilities(alpha=alpha, smoothing=smoothing)
+
+    def test_threshold(self):
+        assert self.make().threshold(100.0) == pytest.approx(20.0)
+
+    def test_p1_high_when_cached(self):
+        cases = self.make(smoothing=1.0)
+        assert float(cases.p1(0.0, 100.0)) > 0.99
+        assert float(cases.p1(100.0, 100.0)) < 0.01
+
+    def test_partition_of_unity(self):
+        # P1 + P2 + P3 = 1 exactly, for any states.
+        cases = self.make()
+        q = np.linspace(0, 100, 21)
+        q_other = np.linspace(100, 0, 21)
+        p1, p2, p3 = cases.all(q, q_other, 100.0)
+        assert np.allclose(p1 + p2 + p3, 1.0)
+
+    def test_all_matches_individual(self):
+        cases = self.make()
+        q, q_other = 35.0, 10.0
+        p1, p2, p3 = cases.all(q, q_other, 100.0)
+        assert float(p1) == pytest.approx(float(cases.p1(q, 100.0)))
+        assert float(p2) == pytest.approx(float(cases.p2(q, q_other, 100.0)))
+        assert float(p3) == pytest.approx(float(cases.p3(q, q_other, 100.0)))
+
+    def test_case2_needs_peer_with_content(self):
+        cases = self.make(smoothing=1.0)
+        # Self lacks, peer has.
+        assert float(cases.p2(80.0, 5.0, 100.0)) > 0.95
+        # Self lacks, peer also lacks.
+        assert float(cases.p2(80.0, 80.0, 100.0)) < 0.05
+
+    def test_case3_both_lack(self):
+        cases = self.make(smoothing=1.0)
+        assert float(cases.p3(80.0, 80.0, 100.0)) > 0.95
+
+    def test_probabilities_in_unit_interval(self):
+        cases = self.make(smoothing=0.05)
+        rng = np.random.default_rng(0)
+        q = rng.uniform(0, 100, 50)
+        q_other = rng.uniform(0, 100, 50)
+        for p in cases.all(q, q_other, 100.0):
+            assert np.all(p >= 0.0)
+            assert np.all(p <= 1.0)
+
+    def test_dq_derivatives_match_finite_difference(self):
+        cases = self.make(smoothing=0.3)
+        q, q_other, size = 25.0, 60.0, 100.0
+        eps = 1e-6
+        d1 = (cases.p1(q + eps, size) - cases.p1(q - eps, size)) / (2 * eps)
+        d2 = (cases.p2(q + eps, q_other, size) - cases.p2(q - eps, q_other, size)) / (2 * eps)
+        d3 = (cases.p3(q + eps, q_other, size) - cases.p3(q - eps, q_other, size)) / (2 * eps)
+        assert float(cases.dq_p1(q, size)) == pytest.approx(float(d1), abs=1e-5)
+        assert float(cases.dq_p2(q, q_other, size)) == pytest.approx(float(d2), abs=1e-5)
+        assert float(cases.dq_p3(q, q_other, size)) == pytest.approx(float(d3), abs=1e-5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="alpha"):
+            CaseProbabilities(alpha=0.0)
+        with pytest.raises(ValueError, match="alpha"):
+            CaseProbabilities(alpha=1.0)
+        with pytest.raises(ValueError, match="smoothing"):
+            CaseProbabilities(smoothing=0.0)
+        with pytest.raises(ValueError, match="content_size"):
+            self.make().threshold(0.0)

@@ -1,0 +1,110 @@
+"""Tests for the placement and staleness cost terms (Eqs. (8)-(9))."""
+
+import numpy as np
+import pytest
+
+from repro.economics.costs import (
+    placement_cost,
+    staleness_cost,
+    staleness_cost_control_gradient,
+)
+
+
+class TestPlacementCost:
+    def test_quadratic_formula(self):
+        assert float(placement_cost(0.5, 2.0, 90.0)) == pytest.approx(
+            2.0 * 0.5 + 90.0 * 0.25
+        )
+
+    def test_zero_control_is_free(self):
+        assert float(placement_cost(0.0, 2.0, 90.0)) == 0.0
+
+    def test_convex_in_control(self):
+        x = np.linspace(0, 1, 11)
+        costs = placement_cost(x, 2.0, 90.0)
+        assert np.all(np.diff(costs, 2) > 0)
+
+    def test_rejects_negative_coefficients(self):
+        with pytest.raises(ValueError, match="w4"):
+            placement_cost(0.5, -1.0, 90.0)
+
+
+class TestStalenessCost:
+    def base_kwargs(self):
+        return dict(
+            x=0.5, q=50.0, q_other=10.0, p1=0.0, p2=0.0, p3=0.0,
+            n_requests=5.0, wireless_rate=50.0, backhaul_rate=20.0,
+            content_size=100.0, eta2=10.0,
+        )
+
+    def test_own_download_term(self):
+        # With all case probabilities zero only the EDP's own download
+        # delay remains: eta2 * Q x / H_c.
+        cost = staleness_cost(**self.base_kwargs())
+        assert float(cost) == pytest.approx(10.0 * 100.0 * 0.5 / 20.0)
+
+    def test_case1_delivery_term(self):
+        kwargs = self.base_kwargs()
+        kwargs.update(x=0.0, p1=1.0)
+        cost = staleness_cost(**kwargs)
+        assert float(cost) == pytest.approx(10.0 * 5.0 * (100.0 - 50.0) / 50.0)
+
+    def test_case3_has_backhaul_and_delivery(self):
+        kwargs = self.base_kwargs()
+        kwargs.update(x=0.0, p3=1.0)
+        cost = staleness_cost(**kwargs)
+        expected = 10.0 * 5.0 * (50.0 / 20.0 + 100.0 / 50.0)
+        assert float(cost) == pytest.approx(expected)
+
+    def test_case3_costlier_than_case1(self):
+        kwargs1 = self.base_kwargs()
+        kwargs1.update(x=0.0, p1=1.0)
+        kwargs3 = self.base_kwargs()
+        kwargs3.update(x=0.0, p3=1.0)
+        assert float(staleness_cost(**kwargs3)) > float(staleness_cost(**kwargs1))
+
+    def test_grid_broadcasting(self):
+        kwargs = self.base_kwargs()
+        kwargs.update(
+            q=np.linspace(0, 100, 5)[None, :],
+            wireless_rate=np.array([[40.0], [60.0]]),
+            p1=1.0,
+            x=0.0,
+        )
+        cost = staleness_cost(**kwargs)
+        assert cost.shape == (2, 5)
+        # Faster links deliver with less delay.
+        assert np.all(cost[1] <= cost[0])
+
+    def test_validation(self):
+        kwargs = self.base_kwargs()
+        kwargs["backhaul_rate"] = 0.0
+        with pytest.raises(ValueError, match="backhaul_rate"):
+            staleness_cost(**kwargs)
+        kwargs = self.base_kwargs()
+        kwargs["wireless_rate"] = 0.0
+        with pytest.raises(ValueError, match="wireless_rate"):
+            staleness_cost(**kwargs)
+        kwargs = self.base_kwargs()
+        kwargs["eta2"] = -1.0
+        with pytest.raises(ValueError, match="eta2"):
+            staleness_cost(**kwargs)
+
+
+class TestControlGradient:
+    def test_matches_finite_difference(self):
+        # d C^2 / dx is constant: eta2 * Q / H_c.
+        grad = staleness_cost_control_gradient(20.0, 100.0, 10.0)
+        assert grad == pytest.approx(50.0)
+        kwargs = dict(
+            q=50.0, q_other=10.0, p1=0.3, p2=0.3, p3=0.4, n_requests=5.0,
+            wireless_rate=50.0, backhaul_rate=20.0, content_size=100.0, eta2=10.0,
+        )
+        eps = 1e-6
+        up = staleness_cost(x=0.5 + eps, **kwargs)
+        down = staleness_cost(x=0.5 - eps, **kwargs)
+        assert float((up - down) / (2 * eps)) == pytest.approx(grad, rel=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="backhaul_rate"):
+            staleness_cost_control_gradient(0.0, 100.0, 1.0)

@@ -1,0 +1,48 @@
+"""Tests for the trading income term (Eq. (6))."""
+
+import numpy as np
+import pytest
+
+from repro.economics.income import trading_income
+
+
+class TestTradingIncome:
+    def test_pure_case1_sells_cached_portion(self):
+        income = trading_income(
+            n_requests=5.0, price=0.5, p1=1.0, p2=0.0, p3=0.0,
+            q=30.0, q_other=50.0, content_size=100.0,
+        )
+        assert float(income) == pytest.approx(5.0 * 0.5 * 70.0)
+
+    def test_pure_case2_sells_peer_portion(self):
+        income = trading_income(5.0, 0.5, 0.0, 1.0, 0.0, 30.0, 10.0, 100.0)
+        assert float(income) == pytest.approx(5.0 * 0.5 * 90.0)
+
+    def test_pure_case3_sells_whole_content(self):
+        income = trading_income(5.0, 0.5, 0.0, 0.0, 1.0, 30.0, 50.0, 100.0)
+        assert float(income) == pytest.approx(5.0 * 0.5 * 100.0)
+
+    def test_mixed_cases_are_convex_combination(self):
+        full = trading_income(1.0, 1.0, 0.5, 0.3, 0.2, 40.0, 20.0, 100.0)
+        expected = 0.5 * 60.0 + 0.3 * 80.0 + 0.2 * 100.0
+        assert float(full) == pytest.approx(expected)
+
+    def test_zero_requests_zero_income(self):
+        assert float(trading_income(0.0, 1.0, 1.0, 0.0, 0.0, 0.0, 0.0, 100.0)) == 0.0
+
+    def test_income_scales_linearly_in_price(self):
+        base = trading_income(3.0, 0.4, 0.6, 0.2, 0.2, 50.0, 50.0, 100.0)
+        double = trading_income(3.0, 0.8, 0.6, 0.2, 0.2, 50.0, 50.0, 100.0)
+        assert float(double) == pytest.approx(2 * float(base))
+
+    def test_grid_broadcasting(self):
+        q = np.linspace(0, 100, 5)[None, :]
+        p1 = np.ones((3, 5))
+        income = trading_income(2.0, 0.5, p1, 0.0, 0.0, q, 50.0, 100.0)
+        assert income.shape == (3, 5)
+        # In pure case 1 income falls as remaining space grows.
+        assert np.all(np.diff(income, axis=1) < 0)
+
+    def test_rejects_nonpositive_content_size(self):
+        with pytest.raises(ValueError, match="content_size"):
+            trading_income(1.0, 1.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0)

@@ -1,0 +1,108 @@
+"""Tests for the supply-demand pricing law (Eqs. (5), (17))."""
+
+import numpy as np
+import pytest
+
+from repro.economics.pricing import (
+    PricingModel,
+    finite_population_price,
+    mean_field_price,
+)
+
+
+class TestFinitePopulationPrice:
+    def test_monopoly_charges_p_hat(self):
+        price = finite_population_price(0.8, 0.01, 100.0, np.array([0.5]), 0)
+        assert price == pytest.approx(0.8)
+
+    def test_eq5_formula(self):
+        strategies = np.array([0.2, 0.4, 0.6])
+        price = finite_population_price(0.8, 1e-3, 100.0, strategies, 0)
+        expected = 0.8 - 1e-3 * 100.0 * (0.4 + 0.6) / 2
+        assert price == pytest.approx(expected)
+
+    def test_own_strategy_excluded(self):
+        base = np.array([0.0, 0.5, 0.5])
+        changed = np.array([1.0, 0.5, 0.5])
+        p0 = finite_population_price(0.8, 1e-3, 100.0, base, 0)
+        p1 = finite_population_price(0.8, 1e-3, 100.0, changed, 0)
+        assert p0 == pytest.approx(p1)
+
+    def test_more_supply_lowers_price(self):
+        low = finite_population_price(0.8, 1e-3, 100.0, np.array([0.0, 0.1, 0.1]), 0)
+        high = finite_population_price(0.8, 1e-3, 100.0, np.array([0.0, 0.9, 0.9]), 0)
+        assert high < low
+
+    def test_floor_applies(self):
+        price = finite_population_price(
+            0.1, 1.0, 100.0, np.array([0.0, 1.0]), 0, floor=0.0
+        )
+        assert price == 0.0
+
+    def test_rejects_bad_index(self):
+        with pytest.raises(IndexError):
+            finite_population_price(0.8, 1e-3, 100.0, np.array([0.5, 0.5]), 2)
+
+    def test_rejects_matrix_strategies(self):
+        with pytest.raises(ValueError, match="vector"):
+            finite_population_price(0.8, 1e-3, 100.0, np.zeros((2, 2)), 0)
+
+
+class TestMeanFieldPrice:
+    def test_eq17_formula(self):
+        price = mean_field_price(0.8, 2e-3, 100.0, 0.5)
+        assert float(price) == pytest.approx(0.8 - 2e-3 * 100.0 * 0.5)
+
+    def test_vectorised_over_time(self):
+        controls = np.array([0.0, 0.5, 1.0])
+        prices = mean_field_price(0.8, 2e-3, 100.0, controls)
+        assert prices.shape == (3,)
+        assert np.all(np.diff(prices) < 0)
+
+    def test_never_exceeds_p_hat(self):
+        prices = mean_field_price(0.8, 2e-3, 100.0, np.linspace(0, 1, 11))
+        assert np.all(prices <= 0.8)
+
+    def test_floor(self):
+        price = mean_field_price(0.1, 1.0, 100.0, 1.0, floor=0.05)
+        assert float(price) == 0.05
+
+    def test_matches_finite_population_limit(self):
+        # Eq. (17) is the M -> infinity limit of Eq. (5) with everyone
+        # at the same control level.
+        level = 0.6
+        mf = float(mean_field_price(0.8, 2e-3, 100.0, level))
+        m = 5000
+        finite = finite_population_price(
+            0.8, 2e-3, 100.0, np.full(m, level), 0
+        )
+        assert finite == pytest.approx(mf, abs=1e-6)
+
+
+class TestPricingModel:
+    def make(self):
+        return PricingModel(p_hat=0.8, eta1=2e-3, sharing_price=0.3)
+
+    def test_wrappers_delegate(self):
+        model = self.make()
+        strategies = np.array([0.1, 0.9])
+        assert model.finite(100.0, strategies, 0) == pytest.approx(
+            finite_population_price(0.8, 2e-3, 100.0, strategies, 0)
+        )
+        assert float(model.mean_field(100.0, 0.4)) == pytest.approx(
+            float(mean_field_price(0.8, 2e-3, 100.0, 0.4))
+        )
+
+    def test_monopoly(self):
+        assert self.make().monopoly() == 0.8
+
+    def test_sensitivity(self):
+        assert self.make().price_sensitivity(100.0) == pytest.approx(0.2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="p_hat"):
+            PricingModel(p_hat=0.0, eta1=1e-3)
+        with pytest.raises(ValueError, match="eta1"):
+            PricingModel(p_hat=0.8, eta1=-1e-3)
+        with pytest.raises(ValueError, match="sharing_price"):
+            PricingModel(p_hat=0.8, eta1=1e-3, sharing_price=-1.0)

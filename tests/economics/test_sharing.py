@@ -1,0 +1,83 @@
+"""Tests for the peer-sharing benefit and cost terms."""
+
+import numpy as np
+import pytest
+
+from repro.economics.sharing import (
+    mean_field_sharing_benefit,
+    sharing_benefit,
+    sharing_cost,
+)
+
+
+class TestSharingBenefit:
+    def test_eq7_sums_deficits(self):
+        benefit = sharing_benefit(0.3, np.array([50.0, 70.0]), own_space=20.0)
+        assert float(benefit) == pytest.approx(0.3 * (30.0 + 50.0))
+
+    def test_transfers_clamped_at_zero(self):
+        # A peer with less remaining space than the sharer buys nothing.
+        benefit = sharing_benefit(0.3, np.array([10.0]), own_space=20.0)
+        assert float(benefit) == 0.0
+
+    def test_no_requesters_no_benefit(self):
+        assert float(sharing_benefit(0.3, np.array([]), 20.0)) == 0.0
+
+    def test_rejects_negative_price(self):
+        with pytest.raises(ValueError, match="sharing_price"):
+            sharing_benefit(-0.1, np.array([50.0]), 20.0)
+
+
+class TestSharingCost:
+    def test_case2_cost_formula(self):
+        cost = sharing_cost(p2=0.5, sharing_price=0.3, own_space=60.0, peer_space=10.0)
+        assert float(cost) == pytest.approx(0.5 * 0.3 * 50.0)
+
+    def test_clamped_transfer(self):
+        cost = sharing_cost(1.0, 0.3, own_space=10.0, peer_space=60.0)
+        assert float(cost) == 0.0
+
+    def test_vectorised(self):
+        p2 = np.array([0.0, 1.0])
+        cost = sharing_cost(p2, 0.3, np.array([50.0, 50.0]), 10.0)
+        assert cost[0] == 0.0
+        assert cost[1] == pytest.approx(0.3 * 40.0)
+
+    def test_rejects_negative_price(self):
+        with pytest.raises(ValueError, match="sharing_price"):
+            sharing_cost(1.0, -0.3, 50.0, 10.0)
+
+
+class TestMeanFieldSharingBenefit:
+    def test_formula(self):
+        # p_bar * transfer * ((M - M') / M_k - 1).
+        benefit = mean_field_sharing_benefit(
+            0.3, mean_transfer=40.0, n_edps=100, n_case3=20.0, n_qualified=20.0
+        )
+        assert float(benefit) == pytest.approx(0.3 * 40.0 * (80.0 / 20.0 - 1.0))
+
+    def test_zero_qualified_means_no_market(self):
+        benefit = mean_field_sharing_benefit(0.3, 40.0, 100, 20.0, 0.0)
+        assert float(benefit) == 0.0
+
+    def test_never_negative(self):
+        # More sharers than non-case-3 EDPs => ratio below 1 => clamp 0.
+        benefit = mean_field_sharing_benefit(0.3, 40.0, 100, 50.0, 90.0)
+        assert float(benefit) == 0.0
+
+    def test_vectorised_over_time(self):
+        benefit = mean_field_sharing_benefit(
+            0.3,
+            np.array([40.0, 10.0]),
+            100,
+            np.array([20.0, 10.0]),
+            np.array([20.0, 30.0]),
+        )
+        assert benefit.shape == (2,)
+        assert np.all(benefit >= 0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="sharing_price"):
+            mean_field_sharing_benefit(-0.1, 40.0, 100, 10.0, 10.0)
+        with pytest.raises(ValueError, match="n_edps"):
+            mean_field_sharing_benefit(0.1, 40.0, 0, 10.0, 10.0)

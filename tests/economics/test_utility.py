@@ -1,0 +1,134 @@
+"""Tests for the composed utility function (Eq. (10))."""
+
+import numpy as np
+import pytest
+
+from repro.economics.cases import CaseProbabilities
+from repro.economics.pricing import PricingModel
+from repro.economics.utility import (
+    EconomicParameters,
+    MarketContext,
+    UtilityModel,
+)
+
+
+def make_params(include_sharing=True, include_trading=True):
+    return EconomicParameters(
+        w4=2.0,
+        w5=90.0,
+        eta2=10.0,
+        backhaul_rate=20.0,
+        cases=CaseProbabilities(alpha=0.2, smoothing=0.1),
+        pricing=PricingModel(p_hat=0.8, eta1=2e-3, sharing_price=0.3),
+        include_sharing=include_sharing,
+        include_trading=include_trading,
+    )
+
+
+def make_model(**kw):
+    return UtilityModel(params=make_params(**kw), content_size=100.0)
+
+
+def make_ctx(n_requests=5.0, price=0.6, q_other=50.0, sharing_benefit=2.0):
+    return MarketContext(
+        n_requests=n_requests,
+        price=price,
+        q_other=q_other,
+        sharing_benefit=sharing_benefit,
+    )
+
+
+class TestUtilityModel:
+    def test_total_is_breakdown_identity(self):
+        model = make_model()
+        breakdown = model.evaluate(0.5, 40.0, 50.0, make_ctx())
+        manual = (
+            breakdown.trading_income
+            + breakdown.sharing_benefit
+            - breakdown.placement_cost
+            - breakdown.staleness_cost
+            - breakdown.sharing_cost
+        )
+        assert np.allclose(breakdown.total, manual)
+
+    def test_total_shortcut(self):
+        model = make_model()
+        ctx = make_ctx()
+        assert np.allclose(
+            model.total(0.5, 40.0, 50.0, ctx),
+            model.evaluate(0.5, 40.0, 50.0, ctx).total,
+        )
+
+    def test_sharing_disabled_zeroes_terms(self):
+        model = make_model(include_sharing=False)
+        breakdown = model.evaluate(0.5, 40.0, 50.0, make_ctx(sharing_benefit=5.0))
+        assert np.all(breakdown.sharing_benefit == 0.0)
+        assert np.all(breakdown.sharing_cost == 0.0)
+
+    def test_trading_disabled_zeroes_income(self):
+        model = make_model(include_trading=False)
+        breakdown = model.evaluate(0.5, 40.0, 50.0, make_ctx())
+        assert np.all(breakdown.trading_income == 0.0)
+        # Costs survive: this is the UDCS objective.
+        assert np.all(breakdown.placement_cost > 0.0)
+
+    def test_sharing_benefit_weighted_by_case1(self):
+        model = make_model()
+        ctx = make_ctx(sharing_benefit=10.0)
+        cached = model.evaluate(0.0, 0.0, 50.0, ctx)     # qualified sharer
+        uncached = model.evaluate(0.0, 100.0, 50.0, ctx)  # cannot share
+        assert float(cached.sharing_benefit) > float(uncached.sharing_benefit)
+
+    def test_grid_evaluation_shapes(self):
+        model = make_model()
+        q = np.linspace(0, 100, 7)[None, :]
+        rate = np.linspace(30, 60, 4)[:, None]
+        x = np.full((4, 7), 0.5)
+        breakdown = model.evaluate(x, q, rate, make_ctx())
+        assert breakdown.total.shape == (4, 7)
+        for name in (
+            "trading_income",
+            "sharing_benefit",
+            "placement_cost",
+            "staleness_cost",
+            "sharing_cost",
+        ):
+            assert getattr(breakdown, name).shape == (4, 7)
+
+    def test_control_free_part(self):
+        model = make_model()
+        ctx = make_ctx()
+        assert np.allclose(
+            model.control_free_part(40.0, 50.0, ctx),
+            model.total(0.0, 40.0, 50.0, ctx),
+        )
+
+    def test_control_gradient_constants_match_finite_difference(self):
+        model = make_model()
+        linear, quad = model.control_gradient_constants()
+        ctx = make_ctx()
+        # U(x) = U(0) - linear x - quad x^2.
+        for x in (0.2, 0.7):
+            predicted = float(model.total(0.0, 40.0, 50.0, ctx)) - linear * x - quad * x**2
+            actual = float(model.total(x, 40.0, 50.0, ctx))
+            assert actual == pytest.approx(predicted, rel=1e-9)
+
+    def test_scaled_breakdown(self):
+        model = make_model()
+        breakdown = model.evaluate(0.5, 40.0, 50.0, make_ctx())
+        scaled = breakdown.scaled(0.5)
+        assert np.allclose(scaled.total, 0.5 * breakdown.total)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="content_size"):
+            UtilityModel(params=make_params(), content_size=0.0)
+        with pytest.raises(ValueError, match="w4"):
+            EconomicParameters(w4=-1.0, w5=1.0, eta2=1.0, backhaul_rate=1.0)
+        with pytest.raises(ValueError, match="n_requests"):
+            MarketContext(n_requests=-1.0, price=0.5, q_other=50.0)
+
+    def test_without_sharing_copy(self):
+        params = make_params()
+        stripped = params.without_sharing()
+        assert stripped.include_sharing is False
+        assert params.include_sharing is True

@@ -1,0 +1,135 @@
+"""Unit tests for the shared market-clearing step."""
+
+import numpy as np
+import pytest
+
+from repro.core.parameters import MFGCPConfig
+from repro.economics.pricing import finite_population_price
+from repro.game.market import MarketStep, clear_market, finite_prices, match_sharing
+
+
+@pytest.fixture
+def cfg(fast_config):
+    return fast_config
+
+
+def run_market(cfg, remaining, controls, sharing=None, requests=5.0, seed=0):
+    remaining = np.asarray(remaining, dtype=float)
+    m = remaining.shape[0]
+    controls = np.broadcast_to(np.asarray(controls, dtype=float), (m,))
+    sharing = (
+        np.ones(m, dtype=bool) if sharing is None else np.asarray(sharing, dtype=bool)
+    )
+    return clear_market(
+        cfg,
+        cfg.content_size,
+        requests,
+        remaining,
+        controls,
+        np.full(m, 40.0),
+        sharing,
+        np.random.default_rng(seed),
+    )
+
+
+class TestFinitePrices:
+    def test_matches_economics_module(self, cfg):
+        controls = np.array([0.2, 0.8, 0.5])
+        prices = finite_prices(cfg, cfg.content_size, controls)
+        for i in range(3):
+            assert prices[i] == pytest.approx(
+                finite_population_price(
+                    cfg.p_hat, cfg.eta1, cfg.content_size, controls, i
+                )
+            )
+
+    def test_monopoly(self, cfg):
+        assert finite_prices(cfg, 100.0, np.array([0.9]))[0] == cfg.p_hat
+
+
+class TestMatchSharing:
+    def test_no_pool_no_case2(self, cfg):
+        remaining = np.array([90.0, 80.0, 70.0])  # nobody qualified
+        case2, served, sharers = match_sharing(
+            cfg, remaining, np.ones(3, dtype=bool), 20.0, np.random.default_rng(0)
+        )
+        assert not case2.any()
+        assert served.size == 0
+
+    def test_capacity_respected(self, cfg):
+        from dataclasses import replace
+
+        tight = replace(cfg, sharer_capacity=2)
+        remaining = np.array([10.0] + [80.0] * 9)  # 1 sharer, 9 buyers
+        case2, served, sharers = match_sharing(
+            tight, remaining, np.ones(10, dtype=bool), 20.0,
+            np.random.default_rng(1),
+        )
+        assert case2.sum() == 2  # one sharer times capacity 2
+        assert np.all(sharers == 0)
+
+    def test_sharers_never_buyers(self, cfg):
+        remaining = np.array([10.0, 15.0, 80.0, 90.0])
+        case2, served, sharers = match_sharing(
+            cfg, remaining, np.ones(4, dtype=bool), 20.0, np.random.default_rng(2)
+        )
+        assert set(served).isdisjoint({0, 1})
+        assert set(sharers) <= {0, 1}
+
+    def test_non_participants_excluded(self, cfg):
+        remaining = np.array([10.0, 80.0])
+        sharing = np.array([False, True])  # the only sharer opted out
+        case2, served, _ = match_sharing(
+            cfg, remaining, sharing, 20.0, np.random.default_rng(3)
+        )
+        assert served.size == 0
+
+
+class TestClearMarket:
+    def test_utility_identity(self, cfg):
+        step = run_market(cfg, [10.0, 50.0, 90.0], 0.5)
+        manual = (
+            step.trading_income
+            + step.sharing_benefit
+            - step.placement_cost
+            - step.staleness_cost
+            - step.sharing_cost
+        )
+        assert np.allclose(step.utility, manual)
+
+    def test_cases_partition(self, cfg):
+        step = run_market(cfg, np.linspace(0, 100, 12), 0.5)
+        total = step.case1.astype(int) + step.case2.astype(int) + step.case3.astype(int)
+        assert np.all(total == 1)
+
+    def test_sharing_flows_balance(self, cfg):
+        step = run_market(cfg, np.linspace(0, 100, 20), 0.5, seed=4)
+        assert step.sharing_benefit.sum() == pytest.approx(
+            step.sharing_cost.sum(), rel=1e-12
+        )
+
+    def test_case1_income_sells_cached_portion(self, cfg):
+        # A fully-cached monopolist: income = requests * p_hat * Q.
+        step = run_market(cfg, [0.0], 0.0, requests=5.0)
+        assert step.case1[0]
+        assert step.trading_income[0] == pytest.approx(
+            5.0 * cfg.p_hat * cfg.content_size
+        )
+
+    def test_case3_pays_backhaul_delay(self, cfg):
+        # One lacking EDP with no sharers: case 3 with the q/H_c term.
+        step = run_market(cfg, [90.0], 0.0, requests=5.0)
+        assert step.case3[0]
+        expected = cfg.eta2 * 5.0 * (90.0 / cfg.backhaul_rate + cfg.content_size / 40.0)
+        assert step.staleness_cost[0] == pytest.approx(expected)
+
+    def test_zero_requests_zero_income(self, cfg):
+        step = run_market(cfg, [50.0, 60.0], 0.3, requests=0.0)
+        assert np.all(step.trading_income == 0.0)
+        # Placement cost survives (the EDP still caches).
+        assert np.all(step.placement_cost > 0.0)
+
+    def test_deterministic_for_seed(self, cfg):
+        a = run_market(cfg, np.linspace(0, 100, 15), 0.5, seed=9)
+        b = run_market(cfg, np.linspace(0, 100, 15), 0.5, seed=9)
+        assert np.array_equal(a.utility, b.utility)

@@ -1,0 +1,58 @@
+"""Tests for the approximate-Nash verification utilities."""
+
+import numpy as np
+import pytest
+
+from repro.game.nash import ConstantScheme, DeviationProbe, exploitability
+
+
+class TestConstantScheme:
+    def test_decides_constant(self):
+        scheme = ConstantScheme(0.4)
+        decision = scheme.decide(0.0, np.zeros(7), np.zeros(7))
+        assert np.all(decision.caching_rates == 0.4)
+
+    def test_name_encodes_level(self):
+        assert ConstantScheme(0.25).name == "const-0.25"
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match="level"):
+            ConstantScheme(1.5)
+
+
+class TestDeviationProbe:
+    def test_gain(self):
+        probe = DeviationProbe(
+            deviation_name="x", equilibrium_utility=10.0, deviation_utility=8.0
+        )
+        assert probe.gain == pytest.approx(-2.0)
+
+
+class TestExploitability:
+    def test_equilibrium_hard_to_exploit(self, fast_config, solved_equilibrium):
+        probes = exploitability(
+            fast_config,
+            solved_equilibrium,
+            deviation_levels=(0.0, 0.5, 1.0),
+            n_edps=40,
+            seed=0,
+        )
+        assert len(probes) == 3
+        base = probes[0].equilibrium_utility
+        # Def. 3 (epsilon-Nash): no constant deviation should beat the
+        # equilibrium policy by more than a modest epsilon relative to
+        # the achieved utility.
+        epsilon = max(p.gain for p in probes)
+        assert epsilon < 0.25 * abs(base) + 5.0, (
+            f"deviation gain {epsilon:.2f} too large vs base {base:.2f}"
+        )
+
+    def test_probe_names(self, fast_config, solved_equilibrium):
+        probes = exploitability(
+            fast_config, solved_equilibrium, deviation_levels=(0.3,), n_edps=10
+        )
+        assert probes[0].deviation_name == "const-0.30"
+
+    def test_requires_two_edps(self, fast_config, solved_equilibrium):
+        with pytest.raises(ValueError, match="at least 2"):
+            exploitability(fast_config, solved_equilibrium, n_edps=1)

@@ -1,0 +1,37 @@
+"""Tests for scheme-controlled EDP groups."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.random_replacement import RandomReplacementScheme
+from repro.game.player import EDPGroup, build_groups
+
+
+class TestEDPGroup:
+    def test_size(self):
+        group = EDPGroup(
+            scheme=RandomReplacementScheme(), indices=np.arange(5)
+        )
+        assert group.size == 5
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one"):
+            EDPGroup(scheme=RandomReplacementScheme(), indices=np.array([]))
+
+
+class TestBuildGroups:
+    def test_contiguous_layout(self):
+        a, b = RandomReplacementScheme(), RandomReplacementScheme()
+        groups, total = build_groups([(a, 3), (b, 2)])
+        assert total == 5
+        assert list(groups[0].indices) == [0, 1, 2]
+        assert list(groups[1].indices) == [3, 4]
+        assert groups[0].scheme is a
+
+    def test_rejects_empty_assignments(self):
+        with pytest.raises(ValueError, match="at least one"):
+            build_groups([])
+
+    def test_rejects_zero_count(self):
+        with pytest.raises(ValueError, match="assigned"):
+            build_groups([(RandomReplacementScheme(), 0)])

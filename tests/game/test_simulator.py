@@ -1,0 +1,269 @@
+"""Tests for the finite-population game simulator."""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.baselines.mfg_nosharing import MFGNoSharingScheme
+from repro.baselines.most_popular import MostPopularScheme
+from repro.baselines.random_replacement import RandomReplacementScheme
+from repro.game.nash import ConstantScheme
+from repro.game.simulator import GameSimulator
+from repro.game.state import PopulationState
+
+
+def make_sim(config, schemes=None, n=40, seed=0, **kw):
+    schemes = schemes or [(RandomReplacementScheme(), n)]
+    return GameSimulator(config, schemes, rng=np.random.default_rng(seed), **kw)
+
+
+class TestRunBasics:
+    def test_report_shapes(self, fast_config):
+        report = make_sim(fast_config, n=40).run()
+        n_steps = fast_config.n_time_steps
+        assert report.times.shape == (n_steps + 1,)
+        for series in report.series.values():
+            assert series.shape == (n_steps + 1,)
+        for values in report.per_edp.values():
+            assert values.shape == (40,)
+
+    def test_utility_identity(self, fast_config):
+        report = make_sim(fast_config).run()
+        per = report.per_edp
+        manual = (
+            per["trading_income"]
+            + per["sharing_benefit"]
+            - per["placement_cost"]
+            - per["staleness_cost"]
+            - per["sharing_cost"]
+        )
+        assert np.allclose(per["total"], manual, atol=1e-9)
+
+    def test_final_state_within_bounds(self, fast_config):
+        report = make_sim(fast_config).run()
+        assert np.all(report.final_state.remaining >= 0.0)
+        assert np.all(report.final_state.remaining <= fast_config.content_size)
+
+    def test_prices_within_market_bounds(self, fast_config):
+        report = make_sim(fast_config).run()
+        assert np.all(report.series["mean_price"] <= fast_config.p_hat + 1e-9)
+        assert np.all(report.series["mean_price"] >= 0.0)
+
+    def test_reproducible_for_seed(self, fast_config):
+        r1 = make_sim(fast_config, seed=3).run()
+        r2 = make_sim(fast_config, seed=3).run()
+        assert np.allclose(r1.per_edp["total"], r2.per_edp["total"])
+
+    def test_custom_initial_state(self, fast_config, rng):
+        sim = make_sim(fast_config, n=20)
+        state0 = PopulationState.initial(fast_config, rng, n_edps=20, mean_q=30.0, std_q=1.0)
+        report = sim.run(state0)
+        assert report.series["mean_remaining"][0] == pytest.approx(30.0, abs=1.0)
+
+    def test_rejects_mismatched_initial_state(self, fast_config, rng):
+        sim = make_sim(fast_config, n=20)
+        state0 = PopulationState.initial(fast_config, rng, n_edps=5)
+        with pytest.raises(ValueError, match="EDPs"):
+            sim.run(state0)
+
+    def test_stochastic_requests_mode(self, fast_config):
+        report = make_sim(fast_config, stochastic_requests=True).run()
+        assert np.all(np.isfinite(report.per_edp["total"]))
+
+    def test_single_edp_market(self, fast_config):
+        cfg = replace(fast_config, n_edps=1)
+        report = make_sim(cfg, schemes=[(ConstantScheme(0.5), 1)]).run()
+        # A monopolist always charges p_hat.
+        assert np.allclose(report.series["mean_price"], cfg.p_hat)
+
+
+class TestSharingMechanics:
+    def test_sharing_flows_balance(self, fast_config):
+        # Money is conserved in the sharing market: total benefit paid
+        # out equals total cost paid in.
+        report = make_sim(fast_config, n=60, seed=1).run()
+        assert report.per_edp["sharing_benefit"].sum() == pytest.approx(
+            report.per_edp["sharing_cost"].sum(), rel=1e-9
+        )
+
+    def test_non_sharing_scheme_never_shares(self, fast_config):
+        scheme = MFGNoSharingScheme()
+        report = make_sim(fast_config, schemes=[(scheme, 30)], seed=2).run()
+        assert np.all(report.per_edp["sharing_benefit"] == 0.0)
+        assert np.all(report.per_edp["sharing_cost"] == 0.0)
+
+    def test_mixed_population_sharing_only_among_participants(self, fast_config):
+        sharing = ConstantScheme(0.9)
+        non_sharing = MFGNoSharingScheme()
+        report = make_sim(
+            fast_config,
+            schemes=[(sharing, 30), (non_sharing, 30)],
+            seed=3,
+        ).run()
+        mask_ns = report.mask("MFG")
+        assert np.all(report.per_edp["sharing_benefit"][mask_ns] == 0.0)
+        assert np.all(report.per_edp["sharing_cost"][mask_ns] == 0.0)
+
+    def test_sharer_capacity_limits_case2(self, fast_config):
+        # With capacity 1 vs capacity 10 the same population serves
+        # fewer buyers, so staleness (case-3 fallbacks) increases.
+        low = replace(fast_config, sharer_capacity=1)
+        high = replace(fast_config, sharer_capacity=10)
+        stale = {}
+        for name, cfg in (("low", low), ("high", high)):
+            report = make_sim(cfg, schemes=[(ConstantScheme(0.9), 50)], seed=4).run()
+            stale[name] = report.per_edp["staleness_cost"].mean()
+        assert stale["low"] >= stale["high"]
+
+
+class TestCaseSeriesAndTracking:
+    def test_case_fractions_partition(self, fast_config):
+        report = make_sim(fast_config, n=40, seed=8).run()
+        total = (
+            report.series["case1_fraction"]
+            + report.series["case2_fraction"]
+            + report.series["case3_fraction"]
+        )
+        # Every decision step assigns each EDP exactly one case.
+        assert np.allclose(total[:-1], 1.0)
+
+    def test_caching_population_moves_into_case1(self, fast_config):
+        report = make_sim(
+            fast_config, schemes=[(ConstantScheme(1.0), 40)], seed=9
+        ).run()
+        c1 = report.series["case1_fraction"]
+        assert c1[-2] > c1[0]
+
+    def test_tracked_trajectories(self, fast_config, rng):
+        sim = make_sim(fast_config, n=20, seed=10, track_indices=[0, 5, 19])
+        state0 = PopulationState.initial(fast_config, rng, n_edps=20)
+        report = sim.run(state0)
+        assert report.tracked_remaining is not None
+        assert report.tracked_remaining.shape == (
+            fast_config.n_time_steps + 1,
+            3,
+        )
+        assert report.tracked_remaining[0, 0] == pytest.approx(state0.remaining[0])
+
+    def test_tracking_disabled_by_default(self, fast_config):
+        report = make_sim(fast_config).run()
+        assert report.tracked_remaining is None
+
+    def test_track_indices_validated(self, fast_config):
+        from repro.game.simulator import GameSimulator
+
+        with pytest.raises(ValueError, match="track_indices"):
+            GameSimulator(
+                fast_config,
+                [(RandomReplacementScheme(), 5)],
+                track_indices=[7],
+            )
+
+
+class TestTopologyIntegration:
+    def make_topology(self, n_edps, n_requesters=60, seed=0, area=800.0):
+        from repro.network.topology import NetworkTopology, PlacementConfig
+
+        return NetworkTopology(
+            config=PlacementConfig(
+                area_size=area, n_edps=n_edps, n_requesters=n_requesters
+            ),
+            rng=np.random.default_rng(seed),
+        )
+
+    def test_topology_population_mismatch(self, fast_config):
+        from repro.game.simulator import GameSimulator
+
+        topo = self.make_topology(n_edps=5)
+        with pytest.raises(ValueError, match="EDPs"):
+            GameSimulator(
+                fast_config,
+                [(RandomReplacementScheme(), 10)],
+                topology=topo,
+            )
+
+    def test_topology_run_finite(self, fast_config):
+        from repro.game.simulator import GameSimulator
+
+        topo = self.make_topology(n_edps=20)
+        sim = GameSimulator(
+            fast_config,
+            [(RandomReplacementScheme(), 20)],
+            rng=np.random.default_rng(0),
+            topology=topo,
+        )
+        report = sim.run()
+        assert np.all(np.isfinite(report.per_edp["total"]))
+
+    def test_per_edp_distances_reflect_load(self, fast_config):
+        from repro.game.simulator import GameSimulator
+
+        topo = self.make_topology(n_edps=8, n_requesters=80, seed=1)
+        sim = GameSimulator(
+            fast_config,
+            [(RandomReplacementScheme(), 8)],
+            topology=topo,
+        )
+        assert sim._distances.shape == (8,)
+        assert np.all(sim._distances > 0)
+        # Distances differ across EDPs (heterogeneous geometry).
+        assert np.ptp(sim._distances) > 0
+
+    def test_farther_population_pays_more_staleness(self, fast_config):
+        # Scale the same geometry up: everyone is farther from their
+        # requesters, so the delay penalty grows.
+        from repro.game.simulator import GameSimulator
+        from repro.game.state import PopulationState
+
+        totals = {}
+        for label, area in (("near", 300.0), ("far", 3000.0)):
+            topo = self.make_topology(n_edps=15, n_requesters=60, seed=2, area=area)
+            rng = np.random.default_rng(5)
+            sim = GameSimulator(
+                fast_config,
+                [(RandomReplacementScheme(np.random.default_rng(9)), 15)],
+                rng=rng,
+                topology=topo,
+            )
+            state0 = PopulationState.initial(
+                fast_config, np.random.default_rng(3), n_edps=15
+            )
+            totals[label] = sim.run(state0).per_edp["staleness_cost"].mean()
+        assert totals["far"] > totals["near"]
+
+
+class TestReport:
+    def test_schemes_listing(self, fast_config):
+        report = make_sim(
+            fast_config,
+            schemes=[(RandomReplacementScheme(), 10), (MostPopularScheme(), 10)],
+        ).run()
+        assert report.schemes() == ["RR", "MPC"]
+
+    def test_mask_and_summary(self, fast_config):
+        report = make_sim(
+            fast_config,
+            schemes=[(RandomReplacementScheme(), 10), (MostPopularScheme(), 5)],
+        ).run()
+        assert report.mask("MPC").sum() == 5
+        summary = report.scheme_summary("RR")
+        assert set(summary) >= {"total", "trading_income", "staleness_cost"}
+        with pytest.raises(KeyError):
+            report.mask("unknown")
+
+    def test_comparison_rows(self, fast_config):
+        report = make_sim(
+            fast_config,
+            schemes=[(RandomReplacementScheme(), 10), (MostPopularScheme(), 5)],
+        ).run()
+        rows = report.comparison_rows()
+        assert len(rows) == 2
+        assert rows[0][0] in ("RR", "MPC")
+
+    def test_group_series_tracks_means(self, fast_config):
+        report = make_sim(fast_config, schemes=[(ConstantScheme(1.0), 25)]).run()
+        series = report.group_series["const-1.00"]
+        assert series.shape == report.times.shape
+        # Full-rate caching drains remaining space on average.
+        assert series[-1] < series[0]

@@ -1,0 +1,65 @@
+"""Tests for the finite-population state."""
+
+import numpy as np
+import pytest
+
+from repro.core.parameters import MFGCPConfig
+from repro.game.state import PopulationState
+
+
+class TestPopulationState:
+    def test_initial_respects_bounds(self, fast_config, rng):
+        state = PopulationState.initial(fast_config, rng, n_edps=500)
+        assert state.n_edps == 500
+        assert np.all(state.remaining >= 0.0)
+        assert np.all(state.remaining <= fast_config.content_size)
+
+    def test_initial_moments(self, fast_config, rng):
+        state = PopulationState.initial(fast_config, rng, n_edps=20000)
+        mean, std = fast_config.initial_density_moments()
+        assert state.remaining.mean() == pytest.approx(mean, rel=0.02)
+        # Truncation shaves a little off the nominal std.
+        assert state.remaining.std() == pytest.approx(std, rel=0.1)
+
+    def test_initial_custom_moments(self, fast_config, rng):
+        state = PopulationState.initial(
+            fast_config, rng, n_edps=5000, mean_q=30.0, std_q=2.0
+        )
+        assert state.remaining.mean() == pytest.approx(30.0, abs=0.5)
+
+    def test_initial_fading_stationary(self, fast_config, rng):
+        state = PopulationState.initial(fast_config, rng, n_edps=20000)
+        mean, std = fast_config.ou_process().stationary_moments()
+        assert state.fading.mean() == pytest.approx(mean, abs=0.05)
+        assert state.fading.std() == pytest.approx(std, rel=0.1)
+
+    def test_defaults_to_config_population(self, fast_config, rng):
+        state = PopulationState.initial(fast_config, rng)
+        assert state.n_edps == fast_config.n_edps
+
+    def test_copy_is_independent(self, fast_config, rng):
+        state = PopulationState.initial(fast_config, rng, n_edps=10)
+        clone = state.copy()
+        clone.remaining[:] = 0.0
+        assert state.remaining.max() > 0.0
+
+    def test_empirical_density_normalised(self, fast_config, rng):
+        state = PopulationState.initial(fast_config, rng, n_edps=1000)
+        bins = np.linspace(0, 100, 21)
+        density = state.empirical_density_q(bins)
+        assert (density * np.diff(bins)).sum() == pytest.approx(1.0)
+
+    def test_empirical_density_empty_bins(self):
+        state = PopulationState(fading=np.array([5.0]), remaining=np.array([50.0]))
+        density = state.empirical_density_q(np.array([90.0, 100.0]))
+        assert np.all(density == 0.0)
+
+    def test_validation(self, fast_config, rng):
+        with pytest.raises(ValueError, match="matching"):
+            PopulationState(fading=np.zeros(3), remaining=np.zeros(4))
+        with pytest.raises(ValueError, match="at least one"):
+            PopulationState.initial(fast_config, rng, n_edps=0)
+        with pytest.raises(ValueError, match="bins"):
+            PopulationState(
+                fading=np.zeros(2), remaining=np.zeros(2)
+            ).empirical_density_q(np.array([1.0]))

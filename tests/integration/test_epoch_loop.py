@@ -1,0 +1,87 @@
+"""Integration: trace-driven Alg. 1 epochs over a content catalog."""
+
+import numpy as np
+import pytest
+
+from repro.content.catalog import ContentCatalog
+from repro.content.popularity import PopularityTracker, ZipfPopularity
+from repro.content.requests import RequestProcess
+from repro.content.timeliness import TimelinessModel
+from repro.content.trace import SyntheticYouTubeTrace, trace_to_popularity
+from repro.core.solver import MFGCPSolver
+
+
+@pytest.fixture(scope="module")
+def epoch_run(fast_config=None):
+    from repro.core.parameters import MFGCPConfig
+
+    config = MFGCPConfig.fast()
+    rng = np.random.default_rng(7)
+    trace = SyntheticYouTubeTrace(n_videos=800, rng=rng)
+    labels, shares = trace_to_popularity(trace.generate(), n_contents=5)
+    catalog = ContentCatalog.uniform(5, size_mb=100.0, names=labels)
+    tracker = PopularityTracker(prior=ZipfPopularity(n_contents=5))
+    tracker.observe(shares * 500.0)
+    requests = RequestProcess(
+        n_contents=5,
+        rate_per_edp=40.0,
+        timeliness_model=TimelinessModel(l_max=3.0),
+        rng=rng,
+    )
+    solver = MFGCPSolver(config)
+    epochs = solver.run_epochs(
+        catalog,
+        requests,
+        n_epochs=2,
+        popularity_tracker=tracker,
+        max_active_contents=2,
+    )
+    return catalog, epochs
+
+
+class TestTraceDrivenEpochs:
+    def test_two_epochs_produced(self, epoch_run):
+        _, epochs = epoch_run
+        assert [e.epoch for e in epochs] == [0, 1]
+
+    def test_active_set_bounded(self, epoch_run):
+        _, epochs = epoch_run
+        for epoch in epochs:
+            assert 1 <= len(epoch.active_contents) <= 2
+
+    def test_equilibria_converged(self, epoch_run):
+        _, epochs = epoch_run
+        for epoch in epochs:
+            for res in epoch.equilibria.values():
+                assert res.report.n_iterations >= 1
+                assert res.report.final_policy_change < 0.05
+
+    def test_popular_content_prices_lower(self, epoch_run):
+        # More popular content attracts more caching supply, which
+        # depresses its mean price relative to p_hat (Eq. (17)).
+        _, epochs = epoch_run
+        epoch = epochs[0]
+        top = epoch.active_contents[0]
+        res = epoch.equilibria[top]
+        assert res.mean_field.price.min() < res.config.p_hat
+
+    def test_popularity_is_distribution_every_epoch(self, epoch_run):
+        _, epochs = epoch_run
+        for epoch in epochs:
+            assert epoch.popularity.sum() == pytest.approx(1.0)
+            assert np.all(epoch.popularity >= 0.0)
+
+    def test_timeliness_within_model_range(self, epoch_run):
+        _, epochs = epoch_run
+        for epoch in epochs:
+            assert np.all(epoch.timeliness >= 0.0)
+            assert np.all(epoch.timeliness <= 3.0)
+
+    def test_per_content_requests_scale_with_popularity(self, epoch_run):
+        _, epochs = epoch_run
+        epoch = epochs[0]
+        if len(epoch.active_contents) >= 2:
+            top, second = epoch.active_contents[:2]
+            top_requests = epoch.equilibria[top].mean_field.n_requests[0]
+            second_requests = epoch.equilibria[second].mean_field.n_requests[0]
+            assert top_requests >= second_requests

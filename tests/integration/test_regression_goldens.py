@@ -1,0 +1,56 @@
+"""Regression goldens: pin the headline equilibrium statistics.
+
+These values were recorded from the calibrated default configuration
+(EXPERIMENTS.md documents the same numbers).  Tolerances are loose
+enough to survive BLAS/numpy version drift but tight enough to catch
+an accidental change to the model, calibration, or solvers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.mfg_cp import MFGCPScheme
+from repro.game.simulator import GameSimulator
+
+
+class TestEquilibriumGoldens:
+    def test_convergence_envelope(self, solved_equilibrium):
+        report = solved_equilibrium.report
+        assert report.converged
+        assert 5 <= report.n_iterations <= 30
+
+    def test_final_mean_cache_state(self, solved_equilibrium):
+        # Recorded: 34.1 MB remaining out of 100 MB.
+        assert solved_equilibrium.mean_field.mean_q[-1] == pytest.approx(34.1, abs=3.0)
+
+    def test_total_utility(self, solved_equilibrium):
+        # Recorded: 98.5.
+        total = solved_equilibrium.accumulated_utility()["total"]
+        assert total == pytest.approx(98.5, abs=10.0)
+
+    def test_price_floor(self, solved_equilibrium):
+        # Recorded: minimum price 0.600 under peak supply.
+        assert solved_equilibrium.mean_field.price.min() == pytest.approx(0.60, abs=0.04)
+
+    def test_peak_population_control(self, solved_equilibrium):
+        # Recorded: peak E[x*] ~ 1.0 at the start of the epoch.
+        assert solved_equilibrium.mean_field.mean_control.max() > 0.9
+
+    def test_staleness_income_balance(self, solved_equilibrium):
+        acc = solved_equilibrium.accumulated_utility()
+        # Recorded: income 345.6, staleness 218.7.
+        assert acc["trading_income"] == pytest.approx(345.6, rel=0.1)
+        assert acc["staleness_cost"] == pytest.approx(218.7, rel=0.15)
+
+
+class TestSimulationGoldens:
+    def test_mfgcp_population_utility(self, solved_equilibrium):
+        sim = GameSimulator(
+            solved_equilibrium.config,
+            [(MFGCPScheme(equilibrium=solved_equilibrium), 100)],
+            rng=np.random.default_rng(0),
+        )
+        total = sim.run().total_utility("MFG-CP")
+        # Recorded: ~104 at M = 100, seed 0 (sharing adds a few units
+        # of delay savings over the mean-field prediction).
+        assert total == pytest.approx(104.0, abs=15.0)

@@ -1,0 +1,92 @@
+"""Tests for the channel gain model."""
+
+import numpy as np
+import pytest
+
+from repro.network.channel import ChannelModel, channel_gain
+from repro.sde.ornstein_uhlenbeck import OrnsteinUhlenbeckProcess
+
+
+def make_model(seed=0, distances=None, tau=3.0):
+    distances = np.full((3, 4), 50.0) if distances is None else distances
+    return ChannelModel(
+        fading_process=OrnsteinUhlenbeckProcess(
+            reversion=4.0, mean=5.0, volatility=0.5,
+            rng=np.random.default_rng(seed),
+        ),
+        distances=distances,
+        path_loss_exponent=tau,
+    )
+
+
+class TestChannelGain:
+    def test_formula(self):
+        gain = channel_gain(2.0, 10.0, 3.0)
+        assert float(gain) == pytest.approx(4.0 * 10.0 ** -3)
+
+    def test_negative_fading_enters_squared(self):
+        assert channel_gain(-2.0, 10.0, 3.0) == channel_gain(2.0, 10.0, 3.0)
+
+    def test_gain_decreases_with_distance(self):
+        near = channel_gain(1.0, 10.0, 3.0)
+        far = channel_gain(1.0, 100.0, 3.0)
+        assert near > far
+
+    def test_rejects_nonpositive_distance(self):
+        with pytest.raises(ValueError, match="distances"):
+            channel_gain(1.0, 0.0, 3.0)
+
+    def test_broadcasting(self):
+        gains = channel_gain(np.ones((2, 3)), np.full((2, 3), 10.0), 2.0)
+        assert gains.shape == (2, 3)
+
+
+class TestChannelModel:
+    def test_initial_fading_from_stationary_law(self):
+        model = make_model()
+        mean, std = model.fading_process.stationary_moments()
+        # 12 links is few, but all should be within ~5 sigma.
+        assert np.all(np.abs(model.fading - mean) < 6 * std)
+
+    def test_explicit_initial_fading(self):
+        init = np.full((3, 4), 7.0)
+        model = ChannelModel(
+            fading_process=OrnsteinUhlenbeckProcess(
+                reversion=4.0, mean=5.0, volatility=0.5
+            ),
+            distances=np.full((3, 4), 50.0),
+            initial_fading=init,
+        )
+        assert np.all(model.fading == 7.0)
+
+    def test_initial_fading_shape_mismatch(self):
+        with pytest.raises(ValueError, match="initial_fading"):
+            ChannelModel(
+                fading_process=OrnsteinUhlenbeckProcess(
+                    reversion=4.0, mean=5.0, volatility=0.5
+                ),
+                distances=np.full((3, 4), 50.0),
+                initial_fading=np.zeros((2, 2)),
+            )
+
+    def test_advance_reverts_toward_mean(self):
+        model = make_model(seed=1)
+        model.fading = np.full((3, 4), 20.0)
+        model.advance(10.0)
+        assert np.all(np.abs(model.fading - 5.0) < 2.0)
+
+    def test_gains_shape_and_positivity(self):
+        model = make_model()
+        gains = model.gains()
+        assert gains.shape == (3, 4)
+        assert np.all(gains >= 0.0)
+
+    def test_single_link_gain(self):
+        model = make_model()
+        assert model.gain(1, 2) == pytest.approx(
+            float(model.fading[1, 2]) ** 2 * 50.0 ** -3
+        )
+
+    def test_rejects_nonpositive_distances(self):
+        with pytest.raises(ValueError, match="distances"):
+            make_model(distances=np.zeros((2, 2)))

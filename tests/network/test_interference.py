@@ -1,0 +1,94 @@
+"""Tests for mean-field interference calibration."""
+
+import numpy as np
+import pytest
+
+from repro.core.parameters import ChannelParameters
+from repro.network.interference import calibrate_channel, mean_interference
+from repro.network.topology import NetworkTopology, PlacementConfig
+
+
+def make_topology(n_edps=8, n_requesters=20, seed=0, area=500.0):
+    return NetworkTopology(
+        config=PlacementConfig(
+            area_size=area, n_edps=n_edps, n_requesters=n_requesters
+        ),
+        rng=np.random.default_rng(seed),
+    )
+
+
+class TestMeanInterference:
+    def test_positive_for_multicell(self):
+        value = mean_interference(make_topology(), ChannelParameters())
+        assert value > 0.0
+
+    def test_zero_for_single_edp(self):
+        value = mean_interference(
+            make_topology(n_edps=1), ChannelParameters()
+        )
+        assert value == 0.0
+
+    def test_grows_with_density(self):
+        sparse = mean_interference(make_topology(n_edps=4), ChannelParameters())
+        dense = mean_interference(make_topology(n_edps=40), ChannelParameters())
+        assert dense > sparse
+
+    def test_scales_with_power(self):
+        base = ChannelParameters()
+        doubled = ChannelParameters(transmission_power=2.0)
+        topo = make_topology()
+        assert mean_interference(topo, doubled) == pytest.approx(
+            2.0 * mean_interference(topo, base)
+        )
+
+    def test_manual_two_edp_geometry(self):
+        # Two EDPs, one requester: interference is exactly the non-serving
+        # EDP's expected received power.
+        topo = make_topology(n_edps=2, n_requesters=1, seed=3)
+        ch = ChannelParameters()
+        ou_mean, ou_std = ch.process().stationary_moments()
+        expected_h2 = ou_mean**2 + ou_std**2
+        dist = topo.edp_requester_distances()[:, 0]
+        serving = topo.serving_edp()[0]
+        other = 1 - serving
+        manual = expected_h2 * ch.transmission_power * dist[other] ** (-3.0)
+        assert mean_interference(topo, ch) == pytest.approx(manual)
+
+
+class TestCalibrateChannel:
+    def test_sets_topology_quantities(self):
+        topo = make_topology()
+        base = ChannelParameters()
+        calibrated = calibrate_channel(topo, base)
+        assert calibrated.mean_distance == pytest.approx(
+            topo.mean_association_distance()
+        )
+        assert calibrated.mean_interference == pytest.approx(
+            mean_interference(topo, base)
+        )
+
+    def test_calibrated_rate_positive(self):
+        calibrated = calibrate_channel(make_topology(), ChannelParameters())
+        rate = float(calibrated.rate_of_fading(np.array(calibrated.mean)))
+        assert rate > 0.0
+
+    def test_interference_lowers_grid_rate(self):
+        topo = make_topology(n_edps=30)
+        base = ChannelParameters()
+        calibrated = calibrate_channel(topo, base)
+        # At the same representative distance, interference cuts rate.
+        from dataclasses import replace
+
+        no_interf = replace(calibrated, mean_interference=0.0)
+        h = np.array(base.mean)
+        assert float(calibrated.rate_of_fading(h)) < float(no_interf.rate_of_fading(h))
+
+    def test_rejects_rate_below_floor(self):
+        # A dense deployment saturates the SINR; requiring the backhaul
+        # rate as a floor flags the interference-dominated regime.
+        topo = make_topology(n_edps=60, area=50.0)
+        base = ChannelParameters()
+        calibrated = calibrate_channel(topo, base)  # no floor: fine
+        rate = float(calibrated.rate_of_fading(np.array(base.mean)))
+        with pytest.raises(ValueError, match="interference-dominated"):
+            calibrate_channel(topo, base, min_rate=rate + 1.0)

@@ -1,0 +1,101 @@
+"""Tests for the SINR transmission-rate model (Eq. (2))."""
+
+import numpy as np
+import pytest
+
+from repro.network.rate import RateModel, sinr, transmission_rate
+
+
+class TestSINR:
+    def test_single_edp_no_interference(self):
+        gains = np.array([[2.0, 4.0]])
+        powers = np.array([3.0])
+        s = sinr(gains, powers, noise_power=1.5)
+        assert np.allclose(s, gains * 3.0 / 1.5)
+
+    def test_two_edps_interfere(self):
+        gains = np.array([[1.0], [2.0]])
+        powers = np.array([1.0, 1.0])
+        s = sinr(gains, powers, noise_power=0.5)
+        # Link 0 sees EDP 1's signal as interference and vice versa.
+        assert s[0, 0] == pytest.approx(1.0 / (0.5 + 2.0))
+        assert s[1, 0] == pytest.approx(2.0 / (0.5 + 1.0))
+
+    def test_interference_lowers_sinr(self):
+        gains = np.array([[1.0], [0.0]])
+        powers = np.array([1.0, 1.0])
+        clean = sinr(gains, powers, 0.5)[0, 0]
+        gains_busy = np.array([[1.0], [5.0]])
+        busy = sinr(gains_busy, powers, 0.5)[0, 0]
+        assert busy < clean
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError, match="2-D"):
+            sinr(np.ones(3), np.ones(3), 1.0)
+        with pytest.raises(ValueError, match="powers"):
+            sinr(np.ones((2, 3)), np.ones(3), 1.0)
+
+    def test_rejects_nonpositive_noise(self):
+        with pytest.raises(ValueError, match="noise_power"):
+            sinr(np.ones((2, 3)), np.ones(2), 0.0)
+
+
+class TestTransmissionRate:
+    def test_shannon_formula(self):
+        gains = np.array([[1.0]])
+        powers = np.array([1.0])
+        rate = transmission_rate(gains, powers, noise_power=1.0, bandwidth=10.0)
+        assert rate[0, 0] == pytest.approx(10.0 * np.log2(2.0))
+
+    def test_rate_non_negative(self):
+        rng = np.random.default_rng(0)
+        gains = rng.uniform(0.0, 1.0, size=(4, 6))
+        rates = transmission_rate(gains, np.ones(4), 1e-3, 5.0)
+        assert np.all(rates >= 0.0)
+
+    def test_rejects_nonpositive_bandwidth(self):
+        with pytest.raises(ValueError, match="bandwidth"):
+            transmission_rate(np.ones((1, 1)), np.ones(1), 1.0, 0.0)
+
+
+class TestRateModel:
+    def make(self):
+        return RateModel(bandwidth=14.0, noise_power=2e-5)
+
+    def test_interference_free_rate(self):
+        model = self.make()
+        rate = model.interference_free_rate(gain=2e-5, power=1.0)
+        assert rate == pytest.approx(14.0 * np.log2(2.0))
+
+    def test_interference_free_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            self.make().interference_free_rate(-1.0, 1.0)
+
+    def test_effective_rate_monotone_in_fading(self):
+        model = self.make()
+        h = np.linspace(1.0, 10.0, 20)
+        rates = model.effective_rate_of_fading(
+            h, distance=50.0, power=1.0, path_loss_exponent=3.0
+        )
+        assert np.all(np.diff(rates) > 0)
+
+    def test_effective_rate_interference_penalty(self):
+        model = self.make()
+        clean = model.effective_rate_of_fading(5.0, 50.0, 1.0, 3.0)
+        noisy = model.effective_rate_of_fading(5.0, 50.0, 1.0, 3.0, interference=1e-4)
+        assert noisy < clean
+
+    def test_rates_wrapper_matches_function(self):
+        model = self.make()
+        gains = np.array([[1e-5, 2e-5], [3e-5, 4e-5]])
+        powers = np.array([1.0, 2.0])
+        assert np.allclose(
+            model.rates(gains, powers),
+            transmission_rate(gains, powers, 2e-5, 14.0),
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="bandwidth"):
+            RateModel(bandwidth=0.0, noise_power=1.0)
+        with pytest.raises(ValueError, match="noise_power"):
+            RateModel(bandwidth=1.0, noise_power=0.0)

@@ -1,0 +1,108 @@
+"""Tests for EDP/requester placement and association."""
+
+import numpy as np
+import pytest
+
+from repro.network.topology import NetworkTopology, PlacementConfig
+
+
+def make(n_edps=10, n_requesters=25, area=500.0, seed=0, min_distance=1.0):
+    return NetworkTopology(
+        config=PlacementConfig(
+            area_size=area,
+            n_edps=n_edps,
+            n_requesters=n_requesters,
+            min_distance=min_distance,
+        ),
+        rng=np.random.default_rng(seed),
+    )
+
+
+class TestPlacement:
+    def test_positions_inside_area(self):
+        topo = make(area=100.0)
+        for pos in (topo.edp_positions, topo.requester_positions):
+            assert np.all(pos >= 0.0)
+            assert np.all(pos <= 100.0)
+
+    def test_position_counts(self):
+        topo = make(n_edps=7, n_requesters=13)
+        assert topo.edp_positions.shape == (7, 2)
+        assert topo.requester_positions.shape == (13, 2)
+
+    def test_distances_floored(self):
+        topo = make(min_distance=5.0)
+        assert np.all(topo.edp_requester_distances() >= 5.0)
+
+    def test_edp_distances_zero_diagonal(self):
+        dist = make().edp_edp_distances()
+        assert np.all(np.diag(dist) == 0.0)
+        off = dist[~np.eye(dist.shape[0], dtype=bool)]
+        assert np.all(off >= 1.0)
+
+
+class TestAssociation:
+    def test_serving_edp_is_nearest(self):
+        topo = make(n_edps=5, n_requesters=10)
+        dist = topo.edp_requester_distances()
+        serving = topo.serving_edp()
+        for j in range(10):
+            assert dist[serving[j], j] == dist[:, j].min()
+
+    def test_served_requesters_partition(self):
+        topo = make(n_edps=5, n_requesters=20)
+        served = topo.served_requesters()
+        all_requesters = sorted(j for lst in served.values() for j in lst)
+        assert all_requesters == list(range(20))
+
+    def test_load_sums_to_population(self):
+        topo = make(n_edps=4, n_requesters=30)
+        assert topo.load_per_edp().sum() == 30
+
+    def test_mean_association_distance_positive(self):
+        assert make().mean_association_distance() > 0.0
+
+    def test_mean_association_distance_empty(self):
+        assert make(n_requesters=0).mean_association_distance() == 0.0
+
+
+class TestAdjacency:
+    def test_k_nearest_default(self):
+        peers = make(n_edps=10).adjacent_edps(0)
+        assert len(peers) == 5
+        assert 0 not in peers
+
+    def test_k_capped_by_population(self):
+        peers = make(n_edps=3).adjacent_edps(0, k=10)
+        assert len(peers) == 2
+
+    def test_radius_query(self):
+        topo = make(n_edps=10, area=100.0)
+        peers = topo.adjacent_edps(0, radius=1e9)
+        assert len(peers) == 9
+
+    def test_radius_zero_gives_none(self):
+        topo = make(n_edps=10)
+        assert len(topo.adjacent_edps(0, radius=0.5)) == 0
+
+    def test_rejects_bad_index(self):
+        with pytest.raises(IndexError):
+            make(n_edps=3).adjacent_edps(3)
+
+
+class TestValidation:
+    def test_rejects_bad_area(self):
+        with pytest.raises(ValueError, match="area_size"):
+            PlacementConfig(area_size=0.0)
+
+    def test_rejects_no_edps(self):
+        with pytest.raises(ValueError, match="EDP"):
+            PlacementConfig(n_edps=0)
+
+    def test_rejects_negative_requesters(self):
+        with pytest.raises(ValueError, match="n_requesters"):
+            PlacementConfig(n_requesters=-1)
+
+    def test_rejects_bad_min_distance(self):
+        with pytest.raises(ValueError, match="min_distance"):
+            PlacementConfig(min_distance=0.0)

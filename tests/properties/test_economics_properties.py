@@ -1,0 +1,120 @@
+"""Property-based tests for the economic model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.economics.cases import CaseProbabilities
+from repro.economics.costs import placement_cost, staleness_cost
+from repro.economics.income import trading_income
+from repro.economics.pricing import finite_population_price, mean_field_price
+from repro.economics.sharing import mean_field_sharing_benefit
+
+finite = dict(allow_nan=False, allow_infinity=False)
+
+
+class TestCaseProperties:
+    @given(
+        alpha=st.floats(0.05, 0.95, **finite),
+        smoothing=st.floats(0.01, 5.0, **finite),
+        q=st.floats(0.0, 100.0, **finite),
+        q_other=st.floats(0.0, 100.0, **finite),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_partition_of_unity(self, alpha, smoothing, q, q_other):
+        cases = CaseProbabilities(alpha=alpha, smoothing=smoothing)
+        p1, p2, p3 = cases.all(q, q_other, 100.0)
+        for p in (p1, p2, p3):
+            assert -1e-12 <= float(p) <= 1.0 + 1e-12
+        assert float(p1 + p2 + p3) == pytest.approx(1.0, abs=1e-9)
+
+    @given(
+        q=st.floats(0.0, 100.0, **finite),
+        q_lo=st.floats(0.0, 100.0, **finite),
+        q_hi=st.floats(0.0, 100.0, **finite),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_p2_monotone_in_peer_state(self, q, q_lo, q_hi):
+        # A peer with more cached content (smaller remaining space)
+        # can only make case 2 more likely.
+        cases = CaseProbabilities(alpha=0.2, smoothing=0.5)
+        lo, hi = sorted((q_lo, q_hi))
+        assert float(cases.p2(q, lo, 100.0)) >= float(cases.p2(q, hi, 100.0)) - 1e-12
+
+
+class TestPricingProperties:
+    @given(
+        p_hat=st.floats(0.01, 10.0, **finite),
+        eta1=st.floats(0.0, 0.1, **finite),
+        controls=st.lists(st.floats(0.0, 1.0, **finite), min_size=2, max_size=20),
+        edp=st.integers(0, 19),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_price_never_exceeds_p_hat(self, p_hat, eta1, controls, edp):
+        strategies = np.array(controls)
+        edp = edp % strategies.shape[0]
+        price = finite_population_price(p_hat, eta1, 100.0, strategies, edp)
+        assert 0.0 <= price <= p_hat + 1e-12
+
+    @given(
+        p_hat=st.floats(0.01, 10.0, **finite),
+        eta1=st.floats(0.0, 0.1, **finite),
+        mc1=st.floats(0.0, 1.0, **finite),
+        mc2=st.floats(0.0, 1.0, **finite),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_mean_field_price_monotone_in_supply(self, p_hat, eta1, mc1, mc2):
+        lo, hi = sorted((mc1, mc2))
+        p_lo = float(mean_field_price(p_hat, eta1, 100.0, lo))
+        p_hi = float(mean_field_price(p_hat, eta1, 100.0, hi))
+        assert p_hi <= p_lo + 1e-12
+
+
+class TestIncomeAndCostProperties:
+    @given(
+        n=st.floats(0.0, 50.0, **finite),
+        price=st.floats(0.0, 5.0, **finite),
+        q=st.floats(0.0, 100.0, **finite),
+        q_other=st.floats(0.0, 100.0, **finite),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_income_non_negative(self, n, price, q, q_other):
+        cases = CaseProbabilities(alpha=0.2, smoothing=0.5)
+        p1, p2, p3 = cases.all(q, q_other, 100.0)
+        income = trading_income(n, price, p1, p2, p3, q, q_other, 100.0)
+        assert float(income) >= -1e-9
+
+    @given(x1=st.floats(0.0, 1.0, **finite), x2=st.floats(0.0, 1.0, **finite))
+    @settings(max_examples=100, deadline=None)
+    def test_placement_cost_monotone(self, x1, x2):
+        lo, hi = sorted((x1, x2))
+        assert float(placement_cost(hi, 2.0, 90.0)) >= float(
+            placement_cost(lo, 2.0, 90.0)
+        )
+
+    @given(
+        x=st.floats(0.0, 1.0, **finite),
+        q=st.floats(0.0, 100.0, **finite),
+        q_other=st.floats(0.0, 100.0, **finite),
+        n=st.floats(0.0, 20.0, **finite),
+        rate=st.floats(1.0, 100.0, **finite),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_staleness_non_negative(self, x, q, q_other, n, rate):
+        cases = CaseProbabilities(alpha=0.2, smoothing=0.5)
+        p1, p2, p3 = cases.all(q, q_other, 100.0)
+        cost = staleness_cost(
+            x, q, q_other, p1, p2, p3, n, rate, 20.0, 100.0, 10.0
+        )
+        assert float(cost) >= -1e-9
+
+    @given(
+        transfer=st.floats(0.0, 100.0, **finite),
+        case3=st.floats(0.0, 100.0, **finite),
+        qualified=st.floats(0.0, 100.0, **finite),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_sharing_benefit_non_negative(self, transfer, case3, qualified):
+        benefit = mean_field_sharing_benefit(0.3, transfer, 100, case3, qualified)
+        assert float(benefit) >= 0.0

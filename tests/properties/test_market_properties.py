@@ -1,0 +1,95 @@
+"""Property-based tests for the shared market-clearing step."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.parameters import MFGCPConfig
+from repro.game.market import clear_market
+
+finite = dict(allow_nan=False, allow_infinity=False)
+
+_CFG = MFGCPConfig.fast()
+
+
+def run(seed, levels, states, requests, sharing_bits):
+    m = len(states)
+    return clear_market(
+        _CFG,
+        _CFG.content_size,
+        requests,
+        np.asarray(states, dtype=float),
+        np.asarray(levels[:m], dtype=float),
+        np.full(m, 40.0),
+        np.asarray(sharing_bits[:m], dtype=bool),
+        np.random.default_rng(seed),
+    )
+
+
+population = st.lists(st.floats(0.0, 100.0, **finite), min_size=1, max_size=25)
+
+
+class TestMarketInvariants:
+    @given(
+        seed=st.integers(0, 10_000),
+        states=population,
+        level=st.floats(0.0, 1.0, **finite),
+        requests=st.floats(0.0, 20.0, **finite),
+        bits=st.lists(st.booleans(), min_size=25, max_size=25),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_flows_balance_and_cases_partition(
+        self, seed, states, level, requests, bits
+    ):
+        m = len(states)
+        step = run(seed, [level] * 25, states, requests, bits)
+        # Money conservation in the peer market.
+        assert step.sharing_benefit.sum() == pytest.approx(
+            step.sharing_cost.sum(), abs=1e-9
+        )
+        # Exactly one case per EDP.
+        total = (
+            step.case1.astype(int) + step.case2.astype(int) + step.case3.astype(int)
+        )
+        assert np.all(total == 1)
+        # No negative money flows anywhere.
+        for arr in (
+            step.trading_income,
+            step.placement_cost,
+            step.staleness_cost,
+            step.sharing_benefit,
+            step.sharing_cost,
+        ):
+            assert np.all(arr >= -1e-9)
+
+    @given(
+        seed=st.integers(0, 10_000),
+        states=population,
+        level=st.floats(0.0, 1.0, **finite),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_non_participants_never_in_case2(self, seed, states, level):
+        m = len(states)
+        step = run(seed, [level] * 25, states, 5.0, [False] * 25)
+        assert not step.case2.any()
+        assert np.all(step.sharing_benefit == 0.0)
+
+    @given(seed=st.integers(0, 10_000), states=population)
+    @settings(max_examples=80, deadline=None)
+    def test_prices_within_market_bounds(self, seed, states):
+        step = run(seed, [0.5] * 25, states, 5.0, [True] * 25)
+        assert np.all(step.prices >= 0.0)
+        assert np.all(step.prices <= _CFG.p_hat + 1e-12)
+
+    @given(
+        seed=st.integers(0, 10_000),
+        states=population,
+        capacity_bits=st.lists(st.booleans(), min_size=25, max_size=25),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_sharer_capacity_never_exceeded(self, seed, states, capacity_bits):
+        step = run(seed, [0.5] * 25, states, 5.0, [True] * 25)
+        threshold = _CFG.alpha * _CFG.content_size
+        n_sharers = int((np.asarray(states) <= threshold).sum())
+        assert step.case2.sum() <= _CFG.sharer_capacity * n_sharers

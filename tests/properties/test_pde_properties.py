@@ -1,0 +1,114 @@
+"""Property-based tests for the PDE solvers (both backends)."""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.best_response import build_grid
+from repro.core.fpk import FPKSolver, initial_density
+from repro.core.hjb import HJBSolver
+from repro.core.mean_field import MeanFieldEstimator
+from repro.core.parameters import MFGCPConfig
+from repro.core.semilagrangian import SLFPKSolver
+
+finite = dict(allow_nan=False, allow_infinity=False)
+
+
+def tiny_config():
+    """A very coarse config so property examples stay cheap."""
+    return replace(
+        MFGCPConfig.fast(), n_time_steps=20, n_h=7, n_q=15, max_iterations=5
+    )
+
+
+_CFG = tiny_config()
+_GRID = build_grid(_CFG)
+_FPK = FPKSolver(_CFG, _GRID)
+_SL_FPK = SLFPKSolver(_CFG, _GRID)
+_HJB = HJBSolver(_CFG, _GRID)
+_MF = MeanFieldEstimator(_CFG, _GRID).constant_guess()
+
+
+class TestFPKProperties:
+    @given(
+        level=st.floats(0.0, 1.0, **finite),
+        mean_frac=st.floats(0.2, 0.8, **finite),
+        std_frac=st.floats(0.03, 0.2, **finite),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_mass_and_positivity_any_constant_policy(self, level, mean_frac, std_frac):
+        density0 = initial_density(
+            _GRID, _CFG,
+            mean_q=mean_frac * _CFG.content_size,
+            std_q=std_frac * _CFG.content_size,
+        )
+        path = _FPK.solve(np.full(_GRID.path_shape, level), density0)
+        assert np.all(path >= 0.0)
+        assert _GRID.integrate(path[-1]) == pytest.approx(1.0, abs=1e-9)
+
+    @given(level=st.floats(0.0, 1.0, **finite), seed=st.integers(0, 1000))
+    @settings(max_examples=15, deadline=None)
+    def test_backends_agree_on_mean_state(self, level, seed):
+        rng = np.random.default_rng(seed)
+        # A random but smooth-in-time policy path shared by both solvers.
+        wobble = 0.2 * rng.uniform(-1, 1)
+        policy = np.clip(
+            level + wobble * np.sin(np.linspace(0, 3, _GRID.n_t + 1)), 0.0, 1.0
+        )[:, None, None] * np.ones(_GRID.shape)
+        density0 = initial_density(_GRID, _CFG)
+        fd_path = _FPK.solve(policy, density0)
+        sl_path = _SL_FPK.solve(policy, density0)
+        fd_mean = _GRID.expectation(fd_path[-1], _GRID.q_mesh())
+        sl_mean = _GRID.expectation(sl_path[-1], _GRID.q_mesh())
+        assert fd_mean == pytest.approx(sl_mean, abs=6.0)
+
+    @given(level=st.floats(0.0, 1.0, **finite))
+    @settings(max_examples=15, deadline=None)
+    def test_more_caching_lowers_mean_state(self, level):
+        density0 = initial_density(_GRID, _CFG)
+        lo = _FPK.solve(np.full(_GRID.path_shape, 0.0), density0)
+        hi = _FPK.solve(np.full(_GRID.path_shape, max(level, 0.3)), density0)
+        mean_lo = _GRID.expectation(lo[-1], _GRID.q_mesh())
+        mean_hi = _GRID.expectation(hi[-1], _GRID.q_mesh())
+        assert mean_hi <= mean_lo + 1e-6
+
+
+class TestHJBProperties:
+    @given(offset=st.floats(0.0, 50.0, **finite))
+    @settings(max_examples=15, deadline=None)
+    def test_comparison_principle_terminal_shift(self, offset):
+        # V solved from terminal condition G + c dominates V from G
+        # pointwise (monotone scheme + constant shift invariance).
+        base = _HJB.solve(_MF, terminal_value=np.zeros(_GRID.shape))
+        shifted = _HJB.solve(
+            _MF, terminal_value=np.full(_GRID.shape, offset)
+        )
+        assert np.all(shifted.value[0] >= base.value[0] - 1e-8)
+        # For a constant shift the gap is exactly the shift.
+        assert np.allclose(shifted.value[0] - base.value[0], offset, atol=1e-6)
+
+    @given(
+        lo=st.floats(0.0, 40.0, **finite),
+        hi=st.floats(0.0, 40.0, **finite),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_comparison_principle_random_terminals(self, lo, hi, seed):
+        rng = np.random.default_rng(seed)
+        g1 = rng.uniform(0.0, min(lo, hi) + 1e-6, _GRID.shape)
+        g2 = g1 + rng.uniform(0.0, abs(hi - lo) + 1e-6, _GRID.shape)
+        v1 = _HJB.solve(_MF, terminal_value=g1).value[0]
+        v2 = _HJB.solve(_MF, terminal_value=g2).value[0]
+        assert np.all(v2 >= v1 - 1e-8)
+
+    @given(seed=st.integers(0, 1000))
+    @settings(max_examples=10, deadline=None)
+    def test_policy_always_feasible(self, seed):
+        rng = np.random.default_rng(seed)
+        terminal = rng.uniform(0.0, 30.0, _GRID.shape)
+        table = _HJB.solve(_MF, terminal_value=terminal).policy.table
+        assert np.all(table >= 0.0)
+        assert np.all(table <= 1.0)

@@ -1,0 +1,94 @@
+"""Property-based tests for the stochastic substrates."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sde.caching_state import CachingDrift
+from repro.sde.ornstein_uhlenbeck import OrnsteinUhlenbeckProcess
+
+finite = dict(allow_nan=False, allow_infinity=False)
+
+
+class TestOUProperties:
+    @given(
+        reversion=st.floats(0.1, 20.0, **finite),
+        mean=st.floats(-10.0, 10.0, **finite),
+        vol=st.floats(0.0, 5.0, **finite),
+        h0=st.floats(-20.0, 20.0, **finite),
+        dt=st.floats(0.0, 50.0, **finite),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_transition_mean_between_start_and_target(
+        self, reversion, mean, vol, h0, dt
+    ):
+        ou = OrnsteinUhlenbeckProcess(reversion=reversion, mean=mean, volatility=vol)
+        m, s = ou.transition_moments(np.array(h0), dt)
+        lo, hi = sorted((h0, mean))
+        assert lo - 1e-9 <= float(m) <= hi + 1e-9
+        assert s >= 0.0
+
+    @given(
+        reversion=st.floats(0.1, 20.0, **finite),
+        vol=st.floats(1e-3, 5.0, **finite),
+        dt1=st.floats(1e-3, 10.0, **finite),
+        dt2=st.floats(1e-3, 10.0, **finite),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_transition_std_monotone_in_time(self, reversion, vol, dt1, dt2):
+        ou = OrnsteinUhlenbeckProcess(reversion=reversion, mean=0.0, volatility=vol)
+        _, s1 = ou.transition_moments(np.array(0.0), min(dt1, dt2))
+        _, s2 = ou.transition_moments(np.array(0.0), max(dt1, dt2))
+        assert s1 <= s2 + 1e-12
+
+    @given(
+        reversion=st.floats(0.1, 20.0, **finite),
+        vol=st.floats(1e-3, 5.0, **finite),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_stationary_std_bounds_transition_std(self, reversion, vol):
+        ou = OrnsteinUhlenbeckProcess(reversion=reversion, mean=0.0, volatility=vol)
+        _, stationary = ou.stationary_moments()
+        _, transition = ou.transition_moments(np.array(0.0), 1e6)
+        assert transition == pytest.approx(stationary, rel=1e-6)
+
+
+class TestCachingDriftProperties:
+    drift_args = dict(
+        w1=st.floats(0.0, 5.0, **finite),
+        w2=st.floats(0.0, 5.0, **finite),
+        w3=st.floats(0.0, 20.0, **finite),
+        xi=st.floats(0.01, 0.99, **finite),
+        x=st.floats(0.0, 1.0, **finite),
+        pop=st.floats(0.0, 1.0, **finite),
+        timeliness=st.floats(0.0, 5.0, **finite),
+    )
+
+    @given(**drift_args)
+    @settings(max_examples=150, deadline=None)
+    def test_rate_bounded(self, w1, w2, w3, xi, x, pop, timeliness):
+        drift = CachingDrift(w1=w1, w2=w2, w3=w3, xi=xi)
+        rate = float(drift.rate(x, pop, timeliness))
+        assert -(w1 + w2) - 1e-9 <= rate <= w3 + 1e-9
+
+    @given(**drift_args)
+    @settings(max_examples=150, deadline=None)
+    def test_rate_decreasing_in_control(self, w1, w2, w3, xi, x, pop, timeliness):
+        drift = CachingDrift(w1=w1, w2=w2, w3=w3, xi=xi)
+        r_low = float(drift.rate(0.0, pop, timeliness))
+        r_high = float(drift.rate(x, pop, timeliness))
+        assert r_high <= r_low + 1e-12
+
+    @given(
+        w2=st.floats(0.0, 5.0, **finite),
+        w3=st.floats(0.0, 20.0, **finite),
+        xi=st.floats(0.01, 0.99, **finite),
+        pop=st.floats(0.0, 1.0, **finite),
+        timeliness=st.floats(0.0, 5.0, **finite),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_equilibrium_control_feasible(self, w2, w3, xi, pop, timeliness):
+        drift = CachingDrift(w1=1.0, w2=w2, w3=w3, xi=xi)
+        x_eq = float(drift.equilibrium_control(pop, timeliness))
+        assert 0.0 <= x_eq <= 1.0

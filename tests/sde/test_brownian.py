@@ -1,0 +1,75 @@
+"""Tests for Brownian motion sampling."""
+
+import numpy as np
+import pytest
+
+from repro.sde.brownian import BrownianMotion, brownian_increments
+
+
+class TestBrownianIncrements:
+    def test_shape_scalar_paths(self, rng):
+        dw = brownian_increments(50, 0.01, n_paths=3, rng=rng)
+        assert dw.shape == (50, 3)
+
+    def test_shape_tuple_paths(self, rng):
+        dw = brownian_increments(10, 0.1, n_paths=(4, 5), rng=rng)
+        assert dw.shape == (10, 4, 5)
+
+    def test_variance_matches_dt(self, rng):
+        dt = 0.04
+        dw = brownian_increments(20000, dt, rng=rng)
+        assert np.var(dw) == pytest.approx(dt, rel=0.05)
+
+    def test_zero_mean(self, rng):
+        dw = brownian_increments(20000, 0.01, rng=rng)
+        assert abs(dw.mean()) < 3 * np.sqrt(0.01 / 20000)
+
+    def test_rejects_negative_steps(self, rng):
+        with pytest.raises(ValueError, match="n_steps"):
+            brownian_increments(-1, 0.01, rng=rng)
+
+    def test_rejects_nonpositive_dt(self, rng):
+        with pytest.raises(ValueError, match="dt"):
+            brownian_increments(10, 0.0, rng=rng)
+
+    def test_zero_steps_allowed(self, rng):
+        dw = brownian_increments(0, 0.01, rng=rng)
+        assert dw.shape == (0, 1)
+
+
+class TestBrownianMotion:
+    def test_path_starts_at_zero(self, rng):
+        path = BrownianMotion(rng).sample_path(100, 0.01, n_paths=2)
+        assert np.all(path[0] == 0.0)
+
+    def test_path_has_step_plus_one_points(self, rng):
+        path = BrownianMotion(rng).sample_path(42, 0.01)
+        assert path.shape == (43, 1)
+
+    def test_path_is_cumsum_of_increments(self, rng):
+        bm = BrownianMotion(np.random.default_rng(0))
+        bm2 = BrownianMotion(np.random.default_rng(0))
+        inc = bm.increments(30, 0.1, n_paths=1)
+        path = bm2.sample_path(30, 0.1, n_paths=1)
+        assert np.allclose(path[1:], np.cumsum(inc, axis=0))
+
+    def test_terminal_variance_scales_with_time(self, rng):
+        path = BrownianMotion(rng).sample_path(100, 0.01, n_paths=4000)
+        # W(1) ~ N(0, 1).
+        assert np.var(path[-1]) == pytest.approx(1.0, rel=0.1)
+
+    def test_bridge_pin_hits_terminal(self, rng):
+        bm = BrownianMotion(rng)
+        path = bm.sample_path(50, 0.02, n_paths=3)
+        pinned = bm.bridge_pin(path, terminal=2.5)
+        assert np.allclose(pinned[-1], 2.5)
+        assert np.allclose(pinned[0], path[0])
+
+    def test_bridge_pin_rejects_short_path(self, rng):
+        bm = BrownianMotion(rng)
+        with pytest.raises(ValueError, match="two time points"):
+            bm.bridge_pin(np.array([1.0]), terminal=0.0)
+
+    def test_rng_property(self):
+        gen = np.random.default_rng(3)
+        assert BrownianMotion(gen).rng is gen

@@ -1,0 +1,124 @@
+"""Tests for the caching-state SDE (Eq. (4))."""
+
+import numpy as np
+import pytest
+
+from repro.sde.caching_state import CachingDrift, CachingStateProcess
+
+
+def make_drift(w1=1.0, w2=0.05, w3=10.0, xi=0.1):
+    return CachingDrift(w1=w1, w2=w2, w3=w3, xi=xi)
+
+
+def make_process(q=100.0, noise=0.0, popularity=0.3, timeliness=2.0, seed=0):
+    return CachingStateProcess(
+        content_size=q,
+        drift=make_drift(),
+        noise=noise,
+        popularity=popularity,
+        timeliness=timeliness,
+        rng=np.random.default_rng(seed),
+    )
+
+
+class TestCachingDrift:
+    def test_rate_formula(self):
+        drift = make_drift()
+        rate = drift.rate(0.5, popularity=0.4, timeliness=1.0)
+        expected = -1.0 * 0.5 - 0.05 * 0.4 + 10.0 * 0.1
+        assert float(rate) == pytest.approx(expected)
+
+    def test_caching_reduces_remaining_space(self):
+        drift = make_drift()
+        assert drift.rate(1.0, 0.3, 2.0) < drift.rate(0.0, 0.3, 2.0)
+
+    def test_popularity_slows_discarding(self):
+        drift = make_drift()
+        assert drift.rate(0.0, 0.9, 2.0) < drift.rate(0.0, 0.1, 2.0)
+
+    def test_urgency_slows_discarding(self):
+        # Larger L => smaller xi^L => smaller discard increment.
+        drift = make_drift()
+        assert drift.rate(0.0, 0.3, 3.0) < drift.rate(0.0, 0.3, 0.5)
+
+    def test_discard_rate_is_rate_at_zero_control(self):
+        drift = make_drift()
+        assert drift.discard_rate(0.3, 2.0) == drift.rate(0.0, 0.3, 2.0)
+
+    def test_equilibrium_control_balances_drift(self):
+        drift = make_drift()
+        x_eq = drift.equilibrium_control(0.3, 2.0)
+        assert float(drift.rate(x_eq, 0.3, 2.0)) == pytest.approx(0.0, abs=1e-12)
+
+    def test_equilibrium_control_clipped(self):
+        # Huge discard term would require x > 1; clipped to 1.
+        drift = CachingDrift(w1=0.01, w2=0.0, w3=10.0, xi=0.5)
+        assert float(drift.equilibrium_control(0.0, 0.0)) == 1.0
+
+    def test_equilibrium_control_zero_w1_raises(self):
+        drift = CachingDrift(w1=0.0, w2=0.05, w3=10.0, xi=0.1)
+        with pytest.raises(ZeroDivisionError):
+            drift.equilibrium_control(0.3, 2.0)
+
+    @pytest.mark.parametrize("xi", [0.0, 1.0, -0.5, 2.0])
+    def test_rejects_bad_xi(self, xi):
+        with pytest.raises(ValueError, match="xi"):
+            make_drift(xi=xi)
+
+    def test_rejects_negative_coefficients(self):
+        with pytest.raises(ValueError, match="w1"):
+            make_drift(w1=-1.0)
+
+
+class TestCachingStateProcess:
+    def test_deterministic_path_follows_drift(self):
+        proc = make_process()
+        path = proc.constant_control_path(q0=70.0, x=0.5, t1=1.0, n_steps=100)
+        rate = float(proc.drift.rate(0.5, 0.3, 2.0))
+        expected = np.clip(70.0 + 100.0 * rate * 1.0, 0.0, 100.0)
+        assert path.terminal.item() == pytest.approx(expected, rel=1e-6)
+
+    def test_state_clipped_to_physical_range(self):
+        proc = make_process(noise=5.0, seed=1)
+        path = proc.constant_control_path(q0=5.0, x=1.0, t1=2.0, n_steps=400)
+        assert np.all(path.values >= 0.0)
+        assert np.all(path.values <= 100.0)
+
+    def test_callable_popularity_and_timeliness(self):
+        proc = CachingStateProcess(
+            content_size=100.0,
+            drift=make_drift(),
+            noise=0.0,
+            popularity=lambda t: 0.3 + 0.1 * t,
+            timeliness=lambda t: 2.0,
+        )
+        d0 = proc.drift_at(0.0, np.array([50.0]), 0.5)
+        d1 = proc.drift_at(1.0, np.array([50.0]), 0.5)
+        assert d1 < d0  # higher popularity slows discarding
+
+    def test_feedback_control(self):
+        proc = make_process()
+        # Bang-bang feedback: cache only while above half full.
+        path = proc.sample_path(
+            q0=90.0,
+            control=lambda t, q: (q > 50.0).astype(float),
+            t1=2.0,
+            n_steps=400,
+        )
+        assert path.terminal.item() < 90.0
+
+    def test_rejects_out_of_range_initial_state(self):
+        with pytest.raises(ValueError, match="initial state"):
+            make_process().sample_path(150.0, lambda t, q: q * 0, 1.0, 10)
+
+    def test_rejects_bad_constant_control(self):
+        with pytest.raises(ValueError, match="caching rate"):
+            make_process().constant_control_path(50.0, 1.5, 1.0, 10)
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ValueError, match="content_size"):
+            make_process(q=0.0)
+
+    def test_rejects_negative_noise(self):
+        with pytest.raises(ValueError, match="noise"):
+            make_process(noise=-1.0)

@@ -1,0 +1,112 @@
+"""Tests for the Euler-Maruyama integrator and SDEPath container."""
+
+import numpy as np
+import pytest
+
+from repro.sde.euler_maruyama import EulerMaruyamaIntegrator, SDEPath
+
+
+def _ode(drift):
+    """Noise-free integrator for checking the drift handling."""
+    return EulerMaruyamaIntegrator(
+        drift=drift,
+        diffusion=lambda t, x: np.zeros_like(x),
+        rng=np.random.default_rng(0),
+    )
+
+
+class TestIntegration:
+    def test_linear_ode_exact_growth(self):
+        # dx = a dt  =>  x(T) = x0 + a T.
+        path = _ode(lambda t, x: np.full_like(x, 2.0)).integrate(
+            np.array([1.0]), 0.0, 3.0, n_steps=300
+        )
+        assert path.terminal.item() == pytest.approx(7.0, abs=1e-9)
+
+    def test_exponential_ode_accuracy(self):
+        # dx = x dt  =>  x(1) = e.
+        path = _ode(lambda t, x: x).integrate(np.array([1.0]), 0.0, 1.0, 2000)
+        assert path.terminal.item() == pytest.approx(np.e, rel=1e-3)
+
+    def test_time_dependent_drift(self):
+        # dx = t dt  =>  x(2) = 2 (midpoint error is O(dt)).
+        path = _ode(lambda t, x: np.full_like(x, t)).integrate(
+            np.array([0.0]), 0.0, 2.0, 4000
+        )
+        assert path.terminal.item() == pytest.approx(2.0, rel=1e-3)
+
+    def test_clip_is_applied_each_step(self):
+        integ = EulerMaruyamaIntegrator(
+            drift=lambda t, x: np.full_like(x, -10.0),
+            diffusion=lambda t, x: np.zeros_like(x),
+            clip=lambda x: np.clip(x, 0.0, 1.0),
+        )
+        path = integ.integrate(np.array([1.0]), 0.0, 1.0, 100)
+        assert np.all(path.values >= 0.0)
+        assert path.terminal.item() == 0.0
+
+    def test_common_random_numbers_reproduce(self):
+        inc = np.random.default_rng(1).normal(0, 0.1, size=(50, 2))
+
+        def make():
+            return EulerMaruyamaIntegrator(
+                drift=lambda t, x: -x, diffusion=lambda t, x: np.ones_like(x)
+            )
+
+        p1 = make().integrate(np.array([1.0, 2.0]), 0.0, 1.0, 50, increments=inc)
+        p2 = make().integrate(np.array([1.0, 2.0]), 0.0, 1.0, 50, increments=inc)
+        assert np.array_equal(p1.values, p2.values)
+
+    def test_diffusion_contributes_variance(self):
+        integ = EulerMaruyamaIntegrator(
+            drift=lambda t, x: np.zeros_like(x),
+            diffusion=lambda t, x: np.ones_like(x),
+            rng=np.random.default_rng(2),
+        )
+        path = integ.integrate(np.zeros(5000), 0.0, 1.0, 50)
+        assert np.var(path.terminal) == pytest.approx(1.0, rel=0.1)
+
+    def test_step_advances_once(self):
+        integ = _ode(lambda t, x: np.full_like(x, 3.0))
+        out = integ.step(0.0, np.array([1.0]), 0.5, np.array([0.0]))
+        assert out[0] == pytest.approx(2.5)
+
+    def test_rejects_bad_steps(self):
+        with pytest.raises(ValueError, match="n_steps"):
+            _ode(lambda t, x: x).integrate(np.array([0.0]), 0.0, 1.0, 0)
+
+    def test_rejects_reversed_times(self):
+        with pytest.raises(ValueError, match="t1 > t0"):
+            _ode(lambda t, x: x).integrate(np.array([0.0]), 1.0, 0.0, 10)
+
+    def test_rejects_mismatched_increments(self):
+        with pytest.raises(ValueError, match="increments"):
+            _ode(lambda t, x: x).integrate(
+                np.array([0.0]), 0.0, 1.0, 10, increments=np.zeros((5, 1))
+            )
+
+
+class TestSDEPath:
+    def _path(self):
+        times = np.linspace(0.0, 1.0, 11)
+        values = np.tile(np.arange(11.0)[:, None], (1, 3))
+        return SDEPath(times=times, values=values)
+
+    def test_properties(self):
+        path = self._path()
+        assert path.n_steps == 10
+        assert path.n_paths == 3
+        assert np.all(path.terminal == 10.0)
+
+    def test_mean_and_std(self):
+        path = self._path()
+        assert np.allclose(path.mean_path(), np.arange(11.0))
+        assert np.allclose(path.std_path(), 0.0)
+
+    def test_at_nearest_time(self):
+        path = self._path()
+        assert np.all(path.at(0.52) == 5.0)
+
+    def test_rejects_mismatched_shapes(self):
+        with pytest.raises(ValueError, match="disagree"):
+            SDEPath(times=np.linspace(0, 1, 5), values=np.zeros((4, 2)))

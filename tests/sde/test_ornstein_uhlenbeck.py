@@ -1,0 +1,96 @@
+"""Tests for the OU channel fading process (Eq. (1))."""
+
+import numpy as np
+import pytest
+
+from repro.sde.ornstein_uhlenbeck import OrnsteinUhlenbeckProcess
+
+
+def make(reversion=4.0, mean=5.0, vol=0.5, seed=0):
+    return OrnsteinUhlenbeckProcess(
+        reversion=reversion, mean=mean, volatility=vol,
+        rng=np.random.default_rng(seed),
+    )
+
+
+class TestMoments:
+    def test_rate_is_half_reversion(self):
+        assert make(reversion=4.0).rate == 2.0
+
+    def test_transition_mean_decays_to_long_term(self):
+        ou = make()
+        mean, _ = ou.transition_moments(np.array(9.0), dt=100.0)
+        assert float(mean) == pytest.approx(5.0, abs=1e-6)
+
+    def test_transition_mean_exact_formula(self):
+        ou = make()
+        mean, _ = ou.transition_moments(np.array(9.0), dt=0.5)
+        expected = 5.0 + 4.0 * np.exp(-2.0 * 0.5)
+        assert float(mean) == pytest.approx(expected)
+
+    def test_transition_variance_grows_to_stationary(self):
+        ou = make()
+        _, std_small = ou.transition_moments(5.0, dt=0.01)
+        _, std_large = ou.transition_moments(5.0, dt=100.0)
+        _, stat_std = ou.stationary_moments()
+        assert std_small < std_large
+        assert std_large == pytest.approx(stat_std, rel=1e-6)
+
+    def test_zero_dt_transition_is_degenerate(self):
+        mean, std = make().transition_moments(np.array(7.0), dt=0.0)
+        assert float(mean) == 7.0
+        assert std == 0.0
+
+    def test_negative_dt_rejected(self):
+        with pytest.raises(ValueError, match="dt"):
+            make().transition_moments(5.0, dt=-1.0)
+
+    def test_stationary_interval_contains_mean(self):
+        lo, hi = make().stationary_interval()
+        assert lo < 5.0 < hi
+
+    def test_autocorrelation_time(self):
+        assert make(reversion=4.0).autocorrelation_time() == pytest.approx(0.5)
+
+
+class TestSimulation:
+    def test_mean_reversion_from_far_start(self):
+        ou = make(seed=3)
+        path = ou.sample_path(h0=20.0, t1=10.0, n_steps=2000, n_paths=200)
+        tail = path.values[-1]
+        assert tail.mean() == pytest.approx(5.0, abs=0.2)
+
+    def test_euler_matches_exact_moments(self):
+        ou = make(seed=4)
+        path = ou.sample_path(h0=8.0, t1=1.0, n_steps=2000, n_paths=4000)
+        exact_mean, exact_std = ou.transition_moments(np.array(8.0), dt=1.0)
+        assert path.terminal.mean() == pytest.approx(float(exact_mean), abs=0.05)
+        assert path.terminal.std() == pytest.approx(exact_std, rel=0.1)
+
+    def test_exact_sample_distribution(self):
+        ou = make(seed=5)
+        samples = ou.exact_sample(np.array(8.0), dt=1.0, size=20000)
+        mean, std = ou.transition_moments(np.array(8.0), dt=1.0)
+        assert samples.mean() == pytest.approx(float(mean), abs=0.02)
+        assert samples.std() == pytest.approx(std, rel=0.05)
+
+    def test_higher_volatility_noisier_paths(self):
+        quiet = make(vol=0.1, seed=6).sample_path(5.0, 10.0, 2000)
+        loud = make(vol=1.0, seed=6).sample_path(5.0, 10.0, 2000)
+        assert np.std(loud.values) > np.std(quiet.values)
+
+    def test_drift_and_diffusion_callables(self):
+        ou = make()
+        h = np.array([3.0, 5.0, 7.0])
+        assert np.allclose(ou.drift(0.0, h), 2.0 * (5.0 - h))
+        assert np.allclose(ou.diffusion(0.0, h), 0.5)
+
+
+class TestValidation:
+    def test_rejects_nonpositive_reversion(self):
+        with pytest.raises(ValueError, match="reversion"):
+            make(reversion=0.0)
+
+    def test_rejects_negative_volatility(self):
+        with pytest.raises(ValueError, match="volatility"):
+            make(vol=-0.1)

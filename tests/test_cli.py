@@ -1,0 +1,126 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+    def test_solve_flags(self):
+        args = build_parser().parse_args(
+            ["solve", "--fast", "--eta1", "0.003", "--no-sharing"]
+        )
+        assert args.fast
+        assert args.eta1 == 0.003
+        assert args.no_sharing
+
+
+class TestSolveCommand:
+    def test_prints_equilibrium(self, capsys):
+        assert main(["solve", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "converged" in out
+        assert "Equilibrium market paths" in out
+        assert "Utility decomposition" in out
+
+    def test_overrides_apply(self, capsys):
+        assert main(["solve", "--fast", "--content-size", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "converged" in out
+
+
+class TestSimulateCommand:
+    def test_comparison_rows(self, capsys):
+        assert main(["simulate", "--fast", "--schemes", "RR,MPC", "--edps", "15"]) == 0
+        out = capsys.readouterr().out
+        assert "RR" in out
+        assert "MPC" in out
+        assert "Finite-population comparison" in out
+
+    def test_empty_schemes_is_error(self, capsys):
+        assert main(["simulate", "--fast", "--schemes", ","]) == 2
+
+
+class TestExperimentCommand:
+    def test_fig3(self, capsys):
+        assert main(["experiment", "fig3"]) == 0
+        assert "OU channel evolution" in capsys.readouterr().out
+
+    def test_fig5(self, capsys):
+        assert main(["experiment", "fig5"]) == 0
+        assert "policy evolution" in capsys.readouterr().out
+
+    def test_fig8(self, capsys):
+        assert main(["experiment", "fig8"]) == 0
+        assert "w5 sweep" in capsys.readouterr().out
+
+    def test_fig4(self, capsys):
+        assert main(["experiment", "fig4"]) == 0
+        assert "mean-field evolution" in capsys.readouterr().out
+
+    def test_fig9(self, capsys):
+        assert main(["experiment", "fig9"]) == 0
+        assert "convergence" in capsys.readouterr().out
+
+    def test_fig10(self, capsys):
+        assert main(["experiment", "fig10"]) == 0
+        assert "initial distribution" in capsys.readouterr().out
+
+    def test_fig11(self, capsys):
+        assert main(["experiment", "fig11"]) == 0
+        out = capsys.readouterr().out
+        assert "eta1 sweep" in out
+        assert "income(T)" in out
+
+
+class TestTraceCommand:
+    def test_writes_csv_roundtrip(self, tmp_path, capsys):
+        out_file = tmp_path / "trace.csv"
+        assert main(["trace", "--videos", "40", "--out", str(out_file)]) == 0
+        assert "wrote 40 records" in capsys.readouterr().out
+
+        from repro.content.trace import load_trace_csv, trace_to_popularity
+
+        records = load_trace_csv(out_file, category_column="category_id")
+        assert len(records) == 40
+        labels, shares = trace_to_popularity(records)
+        assert shares.sum() == pytest.approx(1.0)
+
+
+class TestExportCommand:
+    def test_writes_artifacts(self, tmp_path, capsys):
+        out_dir = tmp_path / "artifacts"
+        assert main(["export", "--fast", "--out", str(out_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "converged" in out
+        assert (out_dir / "market_paths.csv").exists()
+        assert (out_dir / "summary.json").exists()
+
+
+class TestStationaryCommand:
+    def test_prints_stationary_market(self, capsys):
+        assert main(["stationary", "--fast", "--discount", "1.5"]) == 0
+        out = capsys.readouterr().out
+        assert "stationary equilibrium converged" in out
+        assert "stationary price" in out
+
+    def test_rejects_bad_discount(self):
+        with pytest.raises(ValueError, match="discount"):
+            main(["stationary", "--fast", "--discount", "0"])
+
+
+class TestVerifyCommand:
+    def test_conditions_hold(self, capsys):
+        assert main(["verify", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "Lemma 1 satisfied" in out
+        assert "Theorem 2: contraction observed" in out
