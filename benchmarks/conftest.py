@@ -4,17 +4,51 @@ Each bench regenerates one figure or table of the paper's evaluation
 section (see DESIGN.md §4) and prints the same rows/series the paper
 reports.  Benches that only need the default single-content
 equilibrium share one session-scoped solve.
+
+Telemetry
+---------
+Run the suite with ``--telemetry-dir DIR`` to let benches that request
+the ``bench_telemetry`` fixture stream per-stage timings to
+``DIR/<bench-name>.jsonl`` — machine-readable span trees and iteration
+events next to the printed output (summarise with
+``python -m repro.cli report DIR/<bench-name>.jsonl``).  Without the
+flag the fixture is the shared null observer and costs nothing.
 """
+
+import os
 
 import pytest
 
 from repro.analysis import experiments
+from repro.obs import NULL_TELEMETRY, SolverTelemetry
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--telemetry-dir",
+        default=None,
+        help="write per-bench telemetry JSONL files into this directory",
+    )
 
 
 @pytest.fixture(scope="session")
 def equilibrium():
     """The default-config equilibrium shared by Figs. 4, 5 and 9."""
     return experiments.solve_equilibrium()
+
+
+@pytest.fixture
+def bench_telemetry(request):
+    """A per-bench telemetry observer (null unless --telemetry-dir given)."""
+    directory = request.config.getoption("--telemetry-dir")
+    if directory is None:
+        yield NULL_TELEMETRY
+        return
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{request.node.name}.jsonl")
+    telemetry = SolverTelemetry.to_jsonl(path)
+    yield telemetry
+    telemetry.close()
 
 
 def run_once(benchmark, fn, *args, **kwargs):

@@ -90,6 +90,21 @@ from repro.game.multi_content import MultiContentGameSimulator, MultiContentRepo
 from repro.game.state import PopulationState
 from repro.game.nash import ConstantScheme, DeviationProbe, exploitability
 
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    JsonlSink,
+    MetricsRegistry,
+    NULL_TELEMETRY,
+    NullSink,
+    SolverTelemetry,
+    SpanRecorder,
+    load_run,
+    read_events,
+    render_report,
+)
+
 from repro.baselines.base import CachingScheme, SchemeDecision
 from repro.baselines.mfg_cp import MFGCPScheme
 from repro.baselines.mfg_nosharing import MFGNoSharingScheme
@@ -182,6 +197,19 @@ __all__ = [
     "ConstantScheme",
     "DeviationProbe",
     "exploitability",
+    # observability
+    "SolverTelemetry",
+    "NULL_TELEMETRY",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "SpanRecorder",
+    "JsonlSink",
+    "NullSink",
+    "read_events",
+    "load_run",
+    "render_report",
     # baselines
     "CachingScheme",
     "SchemeDecision",

@@ -15,7 +15,6 @@ makes every figure reproducible from library code alone:
 
 from __future__ import annotations
 
-import time
 from dataclasses import replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -31,6 +30,7 @@ from repro.core.best_response import BestResponseIterator
 from repro.core.equilibrium import EquilibriumResult
 from repro.core.parameters import MFGCPConfig
 from repro.game.simulator import GameSimulator, SimulationReport
+from repro.obs.telemetry import NULL_TELEMETRY, SolverTelemetry
 from repro.sde.ornstein_uhlenbeck import OrnsteinUhlenbeckProcess
 
 SCHEME_ORDER = ("MFG-CP", "MFG", "UDCS", "MPC", "RR")
@@ -94,10 +94,13 @@ def fig3_channel_evolution(
 # ----------------------------------------------------------------------
 # Figs. 4-5 — mean-field density and policy at equilibrium
 # ----------------------------------------------------------------------
-def solve_equilibrium(config: Optional[MFGCPConfig] = None) -> EquilibriumResult:
+def solve_equilibrium(
+    config: Optional[MFGCPConfig] = None,
+    telemetry: Optional[SolverTelemetry] = None,
+) -> EquilibriumResult:
     """Solve the single-content equilibrium used by Figs. 4-11."""
     cfg = default_config() if config is None else config
-    return BestResponseIterator(cfg).solve()
+    return BestResponseIterator(cfg, telemetry=telemetry).solve()
 
 
 def fig4_meanfield_evolution(
@@ -275,10 +278,16 @@ def run_scheme(
     config: MFGCPConfig,
     n_edps: int,
     seed: int = 7,
+    telemetry: Optional[SolverTelemetry] = None,
 ) -> SimulationReport:
     """One homogeneous-population run of a named scheme."""
     scheme = make_scheme(name)
-    sim = GameSimulator(config, [(scheme, n_edps)], rng=np.random.default_rng(seed))
+    sim = GameSimulator(
+        config,
+        [(scheme, n_edps)],
+        rng=np.random.default_rng(seed),
+        telemetry=telemetry,
+    )
     return sim.run()
 
 
@@ -287,6 +296,7 @@ def run_scheme_summary(
     config: MFGCPConfig,
     n_edps: int,
     seeds: Sequence[int] = (7, 8, 9),
+    telemetry: Optional[SolverTelemetry] = None,
     ) -> Dict[str, float]:
     """Seed-averaged accumulated Eq. (10) terms for one scheme.
 
@@ -301,7 +311,10 @@ def run_scheme_summary(
     totals: Dict[str, float] = {}
     for seed in seeds:
         sim = GameSimulator(
-            config, [(scheme, n_edps)], rng=np.random.default_rng(seed)
+            config,
+            [(scheme, n_edps)],
+            rng=np.random.default_rng(seed),
+            telemetry=telemetry,
         )
         report = sim.run()
         summary = report.scheme_summary(name)
@@ -571,6 +584,7 @@ def table2_computation_time(
     catalog_size: int = 20,
     repeats: int = 3,
     seed: int = 7,
+    telemetry: Optional[SolverTelemetry] = None,
 ) -> List[Tuple[str, int, float]]:
     """Rows ``(scheme, M, seconds)`` for the per-epoch decision cost.
 
@@ -581,12 +595,22 @@ def table2_computation_time(
     O(M K psi) remark) — then answers per-content decisions with
     vectorised policy lookups.  RR and MPC decide per EDP and per
     content, so their cost grows linearly with the population.
+
+    Timing runs through the :mod:`repro.obs` span layer: each repeat
+    is one ``table2_epoch`` span and the reported number is the best
+    span duration over ``repeats`` (best-of-N suppresses scheduler
+    noise, exactly as the previous hand-rolled ``perf_counter`` loop
+    did).  Pass ``telemetry`` to also stream the spans to a sink; by
+    default a throwaway in-memory recorder measures the wall time.
     """
     cfg = default_config() if config is None else config
     if catalog_size < 1:
         raise ValueError(f"catalog_size must be positive, got {catalog_size}")
     if repeats < 1:
         raise ValueError(f"repeats must be positive, got {repeats}")
+    # The spans must tick even when the caller passed no sink, because
+    # the measured durations ARE the experiment's output.
+    tele = telemetry if telemetry is not None else SolverTelemetry.in_memory()
     rows: List[Tuple[str, int, float]] = []
     for name in schemes:
         for m in population_sizes:
@@ -597,11 +621,16 @@ def table2_computation_time(
             for rep in range(repeats):
                 rng = np.random.default_rng(seed + rep)
                 scheme = make_scheme(name)
-                start = time.perf_counter()
-                scheme.prepare(cfg, rng)
-                for t in cfg.time_axis():
-                    for _k in range(catalog_size):
-                        scheme.decide(float(t), fading, remaining)
-                best = min(best, time.perf_counter() - start)
+                if telemetry is not None:
+                    scheme.bind_telemetry(telemetry)
+                with tele.span("table2_epoch") as span:
+                    scheme.prepare(cfg, rng)
+                    for t in cfg.time_axis():
+                        for _k in range(catalog_size):
+                            scheme.decide(float(t), fading, remaining)
+                best = min(best, span.duration)
+            tele.event(
+                "table2_timing", scheme=name, n_edps=int(m), seconds=float(best)
+            )
             rows.append((name, int(m), best))
     return rows

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.parameters import MFGCPConfig
+from repro.obs.telemetry import NULL_TELEMETRY, SolverTelemetry
 
 
 @dataclass(frozen=True)
@@ -46,6 +47,17 @@ class CachingScheme(abc.ABC):
 
     name: str = "scheme"
     participates_in_sharing: bool = True
+    telemetry: SolverTelemetry = NULL_TELEMETRY
+
+    def bind_telemetry(self, telemetry: SolverTelemetry) -> None:
+        """Attach an observer; the simulator binds its own on prepare."""
+        self.telemetry = telemetry
+
+    def record_decide(self, n_edps: int) -> None:
+        """Count one ``decide`` call over ``n_edps`` EDPs (no-op when off)."""
+        if self.telemetry.enabled:
+            self.telemetry.inc(f"scheme.{self.name}.decide_calls")
+            self.telemetry.inc(f"scheme.{self.name}.edp_decisions", float(n_edps))
 
     def prepare(self, config: MFGCPConfig, rng: np.random.Generator) -> None:
         """One-off setup before a simulation run.

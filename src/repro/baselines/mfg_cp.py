@@ -49,10 +49,15 @@ class MFGCPScheme(CachingScheme):
     def prepare(self, config: MFGCPConfig, rng: np.random.Generator) -> None:
         del rng
         if self._equilibrium is None:
-            self._equilibrium = BestResponseIterator(self._solver_config(config)).solve()
+            with self.telemetry.span("prepare_equilibrium"):
+                self._equilibrium = BestResponseIterator(
+                    self._solver_config(config), telemetry=self.telemetry
+                ).solve()
 
     def decide(self, t: float, fading: np.ndarray, remaining: np.ndarray) -> SchemeDecision:
+        fading = np.asarray(fading, dtype=float)
+        self.record_decide(fading.size)
         rates = self.equilibrium.policy.batch(
-            t, np.asarray(fading, dtype=float), np.asarray(remaining, dtype=float)
+            t, fading, np.asarray(remaining, dtype=float)
         )
         return SchemeDecision(caching_rates=rates)

@@ -51,6 +51,7 @@ class MostPopularScheme(CachingScheme):
     def decide(self, t: float, fading: np.ndarray, remaining: np.ndarray) -> SchemeDecision:
         del t, fading
         remaining = np.asarray(remaining, dtype=float)
+        self.record_decide(remaining.shape[0])
         rates = np.empty(remaining.shape[0])
         # Per-EDP loop: each EDP inspects its own cache fill state.
         for i in range(remaining.shape[0]):

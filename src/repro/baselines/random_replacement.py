@@ -37,6 +37,7 @@ class RandomReplacementScheme(CachingScheme):
         if self._rng is None:
             raise RuntimeError("prepare() must be called before decide()")
         remaining = np.asarray(remaining, dtype=float)
+        self.record_decide(remaining.shape[0])
         rates = np.empty(remaining.shape[0])
         # One draw per EDP, as in the paper's per-EDP decision loop.
         for i in range(remaining.shape[0]):

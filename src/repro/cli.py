@@ -11,15 +11,24 @@ Subcommands
 ``experiment``
     Regenerate a paper figure/table by name (``fig3`` ... ``fig14``,
     ``table2``) through the experiment harness.
+``report``
+    Summarise a telemetry JSONL run: span tree, iteration table, and
+    top metrics (see ``docs/observability.md``).
 ``trace``
     Generate a synthetic YouTube-trending trace CSV.
 ``verify``
     Evaluate the Lemma 1/2 hypotheses and the Theorem 2 contraction
     diagnostics for a configuration.
 
+``solve``, ``simulate`` and ``experiment`` accept
+``--telemetry PATH.jsonl`` to stream solver events (per-iteration
+residuals, stage timings, step counters) to a JSON-lines file.
+
 Examples
 --------
     python -m repro.cli solve --fast
+    python -m repro.cli solve --fast --telemetry run.jsonl
+    python -m repro.cli report run.jsonl
     python -m repro.cli simulate --schemes MFG-CP,MFG --edps 60
     python -m repro.cli experiment fig14
     python -m repro.cli trace --videos 500 --out /tmp/trace.csv
@@ -29,6 +38,7 @@ from __future__ import annotations
 
 import argparse
 import csv
+import os
 import sys
 from dataclasses import replace
 from typing import List, Optional, Sequence
@@ -41,6 +51,8 @@ from repro.content.trace import SyntheticYouTubeTrace
 from repro.core.parameters import MFGCPConfig
 from repro.core.solver import MFGCPSolver
 from repro.core import theory
+from repro.obs.report import load_run, render_report
+from repro.obs.telemetry import NULL_TELEMETRY, SolverTelemetry
 
 EXPERIMENT_NAMES = (
     "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
@@ -67,11 +79,18 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--no-sharing", action="store_true",
                        help="disable peer sharing (the MFG baseline model)")
 
+    def add_telemetry_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--telemetry", metavar="PATH.jsonl", default=None,
+                       help="stream solver telemetry events to a JSONL file "
+                            "(summarise later with 'repro report')")
+
     p_solve = sub.add_parser("solve", help="solve one mean-field equilibrium")
     add_config_args(p_solve)
+    add_telemetry_arg(p_solve)
 
     p_sim = sub.add_parser("simulate", help="finite-population scheme comparison")
     add_config_args(p_sim)
+    add_telemetry_arg(p_sim)
     p_sim.add_argument("--schemes", default="MFG-CP,MFG,UDCS,MPC,RR",
                        help="comma-separated scheme names")
     p_sim.add_argument("--edps", type=int, default=60, help="population size M")
@@ -79,6 +98,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_exp = sub.add_parser("experiment", help="regenerate a paper figure/table")
     p_exp.add_argument("name", choices=EXPERIMENT_NAMES)
+    add_telemetry_arg(p_exp)
+
+    p_report = sub.add_parser(
+        "report", help="summarise a telemetry JSONL run"
+    )
+    p_report.add_argument("path", help="telemetry JSONL file to summarise")
 
     p_trace = sub.add_parser("trace", help="generate a synthetic trending trace")
     p_trace.add_argument("--videos", type=int, default=1000)
@@ -117,9 +142,25 @@ def _config_from_args(args: argparse.Namespace) -> MFGCPConfig:
     return replace(config, **overrides) if overrides else config
 
 
+def _telemetry_from_args(args: argparse.Namespace) -> SolverTelemetry:
+    """The observer implied by ``--telemetry`` (the null one without)."""
+    path = getattr(args, "telemetry", None)
+    if path is None:
+        return NULL_TELEMETRY
+    return SolverTelemetry.to_jsonl(path)
+
+
+def _close_telemetry(args: argparse.Namespace, telemetry: SolverTelemetry) -> None:
+    telemetry.close()
+    if telemetry.enabled:
+        print(f"telemetry written to {args.telemetry}")
+
+
 def _cmd_solve(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
-    result = MFGCPSolver(config).solve()
+    telemetry = _telemetry_from_args(args)
+    result = MFGCPSolver(config, telemetry=telemetry).solve()
+    _close_telemetry(args, telemetry)
     print(result.report.describe())
     t = result.grid.t
     stride = max(1, len(t) // 8)
@@ -146,15 +187,17 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     if not names:
         print("error: no schemes given", file=sys.stderr)
         return 2
+    telemetry = _telemetry_from_args(args)
     rows = []
     for name in names:
         summary = experiments.run_scheme_summary(
-            name, config, args.edps, seeds=(args.seed,)
+            name, config, args.edps, seeds=(args.seed,), telemetry=telemetry
         )
         rows.append(
             (name, summary["total"], summary["trading_income"],
              summary["staleness_cost"])
         )
+    _close_telemetry(args, telemetry)
     rows.sort(key=lambda r: -r[1])
     print(format_table(
         ["scheme", "utility", "trading income", "staleness cost"],
@@ -165,6 +208,14 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
+    telemetry = _telemetry_from_args(args)
+    with telemetry.span(f"experiment_{args.name}"):
+        code = _run_experiment(args, telemetry)
+    _close_telemetry(args, telemetry)
+    return code
+
+
+def _run_experiment(args: argparse.Namespace, telemetry: SolverTelemetry) -> int:
     name = args.name
     if name == "fig3":
         data = experiments.fig3_channel_evolution()
@@ -177,7 +228,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
                            title="Fig. 3 - OU channel evolution"))
         return 0
     if name in ("fig4", "fig5", "fig9"):
-        result = experiments.solve_equilibrium()
+        result = experiments.solve_equilibrium(telemetry=telemetry)
         if name == "fig4":
             data = experiments.fig4_meanfield_evolution(result=result)
             rows = [
@@ -268,12 +319,32 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         ))
         return 0
     # table2
-    rows = experiments.table2_computation_time()
+    rows = experiments.table2_computation_time(
+        telemetry=telemetry if telemetry.enabled else None
+    )
     print(format_table(
         ["scheme", "M", "seconds"],
         [(s, m, sec) for s, m, sec in rows],
         title="Table II - computation time",
     ))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    try:
+        summary = load_run(args.path)
+    except (OSError, ValueError) as err:
+        print(f"error: cannot read telemetry run {args.path!r}: {err}",
+              file=sys.stderr)
+        return 2
+    try:
+        print(render_report(summary))
+    except BrokenPipeError:
+        # Report output is routinely piped into `head`/`less`; exit
+        # quietly when the reader closes the pipe early.  Re-point
+        # stdout at /dev/null so the interpreter's exit-time flush
+        # does not raise a second BrokenPipeError.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
     return 0
 
 
@@ -364,6 +435,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "solve": _cmd_solve,
         "simulate": _cmd_simulate,
         "experiment": _cmd_experiment,
+        "report": _cmd_report,
         "trace": _cmd_trace,
         "verify": _cmd_verify,
         "export": _cmd_export,

@@ -26,6 +26,7 @@ from repro.core.hjb import HJBSolver
 from repro.core.mean_field import MeanFieldEstimator
 from repro.core.parameters import MFGCPConfig
 from repro.core.policy import CachingPolicy
+from repro.obs.telemetry import NULL_TELEMETRY, SolverTelemetry
 
 
 def build_grid(config: MFGCPConfig) -> StateGrid:
@@ -53,12 +54,18 @@ def build_grid(config: MFGCPConfig) -> StateGrid:
 class BestResponseIterator:
     """Algorithm 2 bound to one configuration."""
 
-    def __init__(self, config: MFGCPConfig, grid: Optional[StateGrid] = None) -> None:
+    def __init__(
+        self,
+        config: MFGCPConfig,
+        grid: Optional[StateGrid] = None,
+        telemetry: Optional[SolverTelemetry] = None,
+    ) -> None:
         self.config = config
         self.grid = grid if grid is not None else build_grid(config)
         self.hjb = HJBSolver(config, self.grid)
         self.fpk = FPKSolver(config, self.grid)
         self.estimator = MeanFieldEstimator(config, self.grid)
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
 
     def initial_policy(self, level: float = 0.5) -> np.ndarray:
         """The bootstrap policy table ``x^0`` (constant caching rate)."""
@@ -89,6 +96,7 @@ class BestResponseIterator:
         """
         cfg = self.config
         grid = self.grid
+        tele = self.telemetry
         if density0 is None:
             density0 = initial_density(grid, cfg)
 
@@ -104,26 +112,43 @@ class BestResponseIterator:
             policy_table = np.clip(policy_table, 0.0, 1.0)
         else:
             policy_table = self.initial_policy(initial_policy_level)
-        density_path = self.fpk.solve(policy_table, density0)
-        mean_field = self.estimator.estimate(density_path, policy_table)
+
+        solve_span = tele.span("solve")
+        solve_span.__enter__()
+        tele.event(
+            "solve_start",
+            max_iterations=cfg.max_iterations,
+            tolerance=cfg.tolerance,
+            damping=cfg.damping,
+            grid_shape=list(grid.path_shape),
+        )
+        with tele.span("bootstrap"):
+            density_path = self.fpk.solve(policy_table, density0)
+            mean_field = self.estimator.estimate(density_path, policy_table)
 
         history = []
         converged = False
         policy_change = np.inf
         solution = None
         for iteration in range(1, cfg.max_iterations + 1):
-            solution = self.hjb.solve(mean_field)
-            new_table = solution.policy.table
-            policy_change = float(np.max(np.abs(new_table - policy_table)))
+            with tele.span("iteration"):
+                with tele.span("hjb") as sp_hjb:
+                    solution = self.hjb.solve(mean_field)
+                new_table = solution.policy.table
+                policy_change = float(np.max(np.abs(new_table - policy_table)))
 
-            # Damped best-response update (contraction mapping).
-            policy_table = (
-                (1.0 - cfg.damping) * policy_table + cfg.damping * new_table
-            )
-            density_path = self.fpk.solve(policy_table, density0)
-            new_mean_field = self.estimator.estimate(density_path, policy_table)
-            mf_change = mean_field.distance(new_mean_field)
-            mean_field = new_mean_field
+                # Damped best-response update (contraction mapping).
+                policy_table = (
+                    (1.0 - cfg.damping) * policy_table + cfg.damping * new_table
+                )
+                with tele.span("fpk") as sp_fpk:
+                    density_path = self.fpk.solve(policy_table, density0)
+                with tele.span("mean_field") as sp_mf:
+                    new_mean_field = self.estimator.estimate(
+                        density_path, policy_table
+                    )
+                mf_change = mean_field.distance(new_mean_field)
+                mean_field = new_mean_field
 
             history.append(
                 IterationRecord(
@@ -134,6 +159,21 @@ class BestResponseIterator:
                     mean_control=float(mean_field.mean_control.mean()),
                 )
             )
+            if tele.enabled:
+                tele.inc("solver.iterations")
+                tele.observe("solver.hjb_seconds", sp_hjb.duration)
+                tele.observe("solver.fpk_seconds", sp_fpk.duration)
+                tele.event(
+                    "iteration",
+                    iteration=iteration,
+                    policy_change=policy_change,
+                    mean_field_change=mf_change,
+                    mean_price=float(mean_field.price.mean()),
+                    mean_control=float(mean_field.mean_control.mean()),
+                    hjb_s=sp_hjb.duration,
+                    fpk_s=sp_fpk.duration,
+                    mean_field_s=sp_mf.duration,
+                )
             if policy_change < cfg.tolerance:
                 converged = True
                 break
@@ -145,6 +185,17 @@ class BestResponseIterator:
             final_policy_change=policy_change,
             history=history,
         )
+        solve_span.__exit__(None, None, None)
+        if tele.enabled:
+            tele.gauge("solver.final_policy_change", policy_change)
+            tele.gauge("solver.n_iterations", float(len(history)))
+            tele.event(
+                "solve_end",
+                converged=converged,
+                n_iterations=len(history),
+                final_policy_change=policy_change,
+                solve_s=solve_span.duration,
+            )
         return EquilibriumResult(
             config=cfg,
             grid=grid,

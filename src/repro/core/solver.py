@@ -23,6 +23,7 @@ from repro.core.best_response import BestResponseIterator
 from repro.core.equilibrium import EquilibriumResult
 from repro.core.knapsack import capacity_constrained_placement
 from repro.core.parameters import MFGCPConfig
+from repro.obs.telemetry import NULL_TELEMETRY, SolverTelemetry
 
 
 @dataclass(frozen=True)
@@ -94,8 +95,13 @@ class MFGCPSolver:
     request trace call :meth:`run_epochs`.
     """
 
-    def __init__(self, config: MFGCPConfig) -> None:
+    def __init__(
+        self,
+        config: MFGCPConfig,
+        telemetry: Optional[SolverTelemetry] = None,
+    ) -> None:
         self.config = config
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
 
     # ------------------------------------------------------------------
     # Single-content solve (the generic-player problem)
@@ -106,7 +112,7 @@ class MFGCPSolver:
         initial_policy_level: float = 0.5,
     ) -> EquilibriumResult:
         """Solve the mean-field equilibrium for the configured content."""
-        iterator = BestResponseIterator(self.config)
+        iterator = BestResponseIterator(self.config, telemetry=self.telemetry)
         return iterator.solve(
             density0=density0, initial_policy_level=initial_policy_level
         )
@@ -169,33 +175,58 @@ class MFGCPSolver:
                 model=request_process.timeliness_model, n_contents=n_contents
             )
 
+        tele = self.telemetry
         results: List[EpochResult] = []
         for epoch in range(n_epochs):
-            # Lines 4-5: record the epoch's requests and pick K'.
-            batch = request_process.sample(
-                popularity_tracker.current, self.config.horizon
-            )
-            popularity = popularity_tracker.observe(batch.counts)
-            for k in range(n_contents):
-                timeliness_tracker.observe(k, batch.timeliness[k])
-            timeliness = timeliness_tracker.current
+            with tele.span("epoch") as epoch_span:
+                # Lines 4-5: record the epoch's requests and pick K'.
+                with tele.span("requests"):
+                    batch = request_process.sample(
+                        popularity_tracker.current, self.config.horizon
+                    )
+                    popularity = popularity_tracker.observe(batch.counts)
+                    for k in range(n_contents):
+                        timeliness_tracker.observe(k, batch.timeliness[k])
+                    timeliness = timeliness_tracker.current
 
-            active = [k for k in range(n_contents) if batch.counts[k] > 0]
-            active.sort(key=lambda k: -popularity[k])
-            if max_active_contents is not None:
-                active = active[:max_active_contents]
+                active = [k for k in range(n_contents) if batch.counts[k] > 0]
+                active.sort(key=lambda k: -popularity[k])
+                if max_active_contents is not None:
+                    active = active[:max_active_contents]
 
-            # Lines 6-10: per-content mean-field best response.
-            equilibria: Dict[int, EquilibriumResult] = {}
-            for k in active:
-                cfg_k = self.per_content_config(
-                    content_size=catalog[k].size_mb,
-                    popularity=popularity[k],
-                    timeliness=timeliness[k],
-                    n_requests=float(batch.counts[k]) / self.config.horizon,
+                # Lines 6-10: per-content mean-field best response.
+                equilibria: Dict[int, EquilibriumResult] = {}
+                for k in active:
+                    cfg_k = self.per_content_config(
+                        content_size=catalog[k].size_mb,
+                        popularity=popularity[k],
+                        timeliness=timeliness[k],
+                        n_requests=float(batch.counts[k]) / self.config.horizon,
+                    )
+                    with tele.span("content") as content_span:
+                        equilibria[k] = BestResponseIterator(
+                            cfg_k, telemetry=tele
+                        ).solve()
+                    if tele.enabled:
+                        tele.inc("epochs.content_solves")
+                        tele.event(
+                            "content_solve",
+                            epoch=epoch,
+                            content=int(k),
+                            popularity=float(popularity[k]),
+                            n_iterations=equilibria[k].report.n_iterations,
+                            converged=equilibria[k].report.converged,
+                            solve_s=content_span.duration,
+                        )
+
+            if tele.enabled:
+                tele.inc("epochs.completed")
+                tele.event(
+                    "epoch",
+                    epoch=epoch,
+                    n_active=len(active),
+                    epoch_s=epoch_span.duration,
                 )
-                equilibria[k] = BestResponseIterator(cfg_k).solve()
-
             results.append(
                 EpochResult(
                     epoch=epoch,

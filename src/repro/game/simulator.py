@@ -26,6 +26,7 @@ from repro.core.parameters import MFGCPConfig
 from repro.game.market import clear_market
 from repro.game.player import EDPGroup, build_groups
 from repro.game.state import PopulationState
+from repro.obs.telemetry import NULL_TELEMETRY, SolverTelemetry
 
 TERM_NAMES = (
     "trading_income",
@@ -145,6 +146,11 @@ class GameSimulator:
         rate uses its *own* mean distance to the requesters it serves
         (instead of the configured representative distance), so densely
         loaded or remote EDPs pay realistic delay penalties.
+    telemetry:
+        Optional :class:`repro.obs.SolverTelemetry` observer.  The
+        simulator records prepare/run spans, per-step counters, and
+        binds the observer to every scheme (so MFG-CP's one-off
+        equilibrium solve shows up in the same span tree).
     """
 
     def __init__(
@@ -155,8 +161,10 @@ class GameSimulator:
         stochastic_requests: bool = False,
         track_indices: Optional[Sequence[int]] = None,
         topology=None,
+        telemetry: Optional[SolverTelemetry] = None,
     ) -> None:
         self.config = config
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.rng = rng if rng is not None else np.random.default_rng()
         self.groups, self.n_edps = build_groups(assignments)
         self.stochastic_requests = stochastic_requests
@@ -176,8 +184,11 @@ class GameSimulator:
 
     def prepare(self) -> None:
         """Run every scheme's one-off setup (MFG solves happen here)."""
-        for group in self.groups:
-            group.scheme.prepare(self.config, self.rng)
+        with self.telemetry.span("sim_prepare"):
+            for group in self.groups:
+                if self.telemetry.enabled:
+                    group.scheme.bind_telemetry(self.telemetry)
+                group.scheme.prepare(self.config, self.rng)
         self._prepared = True
 
     # ------------------------------------------------------------------
@@ -243,6 +254,9 @@ class GameSimulator:
             self.prepare()
         cfg = self.config
         rng = self.rng
+        tele = self.telemetry
+        run_span = tele.span("sim_run")
+        run_span.__enter__()
         state = (
             PopulationState.initial(cfg, rng, n_edps=self.n_edps)
             if state0 is None
@@ -323,6 +337,10 @@ class GameSimulator:
                     q[group.indices].mean()
                 )
 
+            if tele.enabled:
+                tele.inc("sim.steps")
+                tele.inc("sim.edp_steps", float(self.n_edps))
+
             if step == n_steps:
                 break
 
@@ -352,6 +370,15 @@ class GameSimulator:
             - acc["staleness_cost"]
             - acc["sharing_cost"]
         )
+        run_span.__exit__(None, None, None)
+        if tele.enabled:
+            tele.event(
+                "sim_end",
+                n_edps=self.n_edps,
+                n_steps=n_steps,
+                schemes=[group.scheme.name for group in self.groups],
+                run_s=run_span.duration,
+            )
         return SimulationReport(
             config=cfg,
             times=times,

@@ -1,0 +1,49 @@
+"""Observability layer: metrics, span timers, and telemetry events.
+
+The :class:`~repro.obs.telemetry.SolverTelemetry` facade is the single
+object threaded through the solver pipeline (``BestResponseIterator``,
+``MFGCPSolver``, ``GameSimulator``, the baselines, and the experiment
+harness).  It is disabled by default (:data:`NULL_TELEMETRY`) at
+near-zero cost; enable it with ``SolverTelemetry.to_jsonl(path)`` or
+the CLI's ``--telemetry PATH.jsonl`` flag, then summarise the run with
+``repro report PATH.jsonl``.
+
+See ``docs/observability.md`` for the event schema and span semantics.
+"""
+
+from repro.obs.events import JsonlSink, NULL_SINK, NullSink, read_events
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.report import (
+    RunSummary,
+    load_run,
+    render_iteration_table,
+    render_metrics,
+    render_report,
+    render_span_tree,
+)
+from repro.obs.spans import NULL_SPAN, NullSpan, Span, SpanNode, SpanRecorder
+from repro.obs.telemetry import NULL_TELEMETRY, SolverTelemetry
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "SpanNode",
+    "SpanRecorder",
+    "NullSpan",
+    "NULL_SPAN",
+    "JsonlSink",
+    "NullSink",
+    "NULL_SINK",
+    "read_events",
+    "SolverTelemetry",
+    "NULL_TELEMETRY",
+    "RunSummary",
+    "load_run",
+    "render_report",
+    "render_span_tree",
+    "render_iteration_table",
+    "render_metrics",
+]

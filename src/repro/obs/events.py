@@ -1,0 +1,124 @@
+"""Event sinks: where telemetry records go.
+
+Events are flat JSON-serialisable dicts with an ``ev`` kind field and
+a monotone ``seq`` number (no wall-clock timestamps — durations are
+carried explicitly, which keeps event files diffable across runs of
+the same configuration up to timing noise).
+
+Two sinks ship:
+
+* :class:`NullSink` — the default; ``emit`` is a no-op, so disabled
+  telemetry costs one method call on the cold paths and nothing on the
+  hot paths (the telemetry facade checks ``enabled`` first).
+* :class:`JsonlSink` — one compact JSON object per line, appended to a
+  file.  ``repro report`` reads these back with :func:`read_events`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, IO, List, Optional, Union
+
+
+class NullSink:
+    """Swallows every event; the disabled default."""
+
+    enabled = False
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        pass
+
+    def flush(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+NULL_SINK = NullSink()
+
+
+class JsonlSink:
+    """Writes one JSON object per line to a path or open handle.
+
+    Parameters
+    ----------
+    target:
+        A filesystem path (opened for writing, parent directories
+        created) or an already-open text handle (left open on
+        ``close``; useful for tests writing into ``io.StringIO``).
+    """
+
+    enabled = True
+
+    def __init__(self, target: Union[str, "os.PathLike[str]", IO[str]]) -> None:
+        if hasattr(target, "write"):
+            self._handle: IO[str] = target  # type: ignore[assignment]
+            self._owns_handle = False
+        else:
+            path = os.fspath(target)
+            parent = os.path.dirname(path)
+            if parent:
+                os.makedirs(parent, exist_ok=True)
+            self._handle = open(path, "w", encoding="utf-8")
+            self._owns_handle = True
+        self._closed = False
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        if self._closed:
+            raise ValueError("sink is closed")
+        self._handle.write(json.dumps(event, separators=(",", ":")))
+        self._handle.write("\n")
+
+    def flush(self) -> None:
+        if not self._closed:
+            self._handle.flush()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._handle.flush()
+        if self._owns_handle:
+            self._handle.close()
+        self._closed = True
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def read_events(
+    source: Union[str, "os.PathLike[str]", IO[str]],
+    kind: Optional[str] = None,
+) -> List[Dict[str, Any]]:
+    """Load a JSONL event stream back into dicts.
+
+    Parameters
+    ----------
+    source:
+        Path or open text handle.
+    kind:
+        Optional ``ev`` filter (e.g. ``"iteration"``).
+    """
+    if hasattr(source, "read"):
+        lines = source.read().splitlines()  # type: ignore[union-attr]
+    else:
+        with open(os.fspath(source), "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+    events = []
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as err:
+            raise ValueError(f"line {lineno} is not valid JSON: {err}") from err
+        if not isinstance(event, dict):
+            raise ValueError(f"line {lineno} is not a JSON object: {event!r}")
+        if kind is None or event.get("ev") == kind:
+            events.append(event)
+    return events

@@ -1,0 +1,177 @@
+"""Metric primitives and the registry that names them.
+
+Three instrument kinds cover what the solver pipeline needs:
+
+* :class:`Counter` — monotone event counts (simulation steps, scheme
+  decisions, HJB sweeps);
+* :class:`Gauge` — last-written values (final residual, iteration
+  count);
+* :class:`Histogram` — observation distributions with percentile
+  summaries (per-iteration stage timings).
+
+A :class:`MetricsRegistry` owns one instrument per name and merges
+with other registries (used when per-content solves each carry their
+own registry and the epoch driver folds them together).  Everything is
+plain python + numpy; no locks — telemetry is single-threaded by
+design (one registry per solver call chain).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple, Union
+
+import numpy as np
+
+Instrument = Union["Counter", "Gauge", "Histogram"]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter increments must be non-negative, got {amount}")
+        self.value += amount
+
+    def merge(self, other: "Counter") -> None:
+        self.value += other.value
+
+    def snapshot(self) -> Dict[str, float]:
+        return {"value": float(self.value)}
+
+
+class Gauge:
+    """The most recent value written for a name."""
+
+    __slots__ = ("name", "value", "n_writes")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = float("nan")
+        self.n_writes = 0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+        self.n_writes += 1
+
+    def merge(self, other: "Gauge") -> None:
+        # Last writer wins; an unwritten gauge never overwrites.
+        if other.n_writes > 0:
+            self.value = other.value
+        self.n_writes += other.n_writes
+
+    def snapshot(self) -> Dict[str, float]:
+        return {"value": float(self.value), "n_writes": float(self.n_writes)}
+
+
+class Histogram:
+    """A distribution of observations with percentile summaries.
+
+    Observations are stored exactly (python floats); the solver emits
+    at most a few thousand per run, so exact percentiles are cheaper
+    than maintaining bucket boundaries that fit every workload.
+    """
+
+    __slots__ = ("name", "values")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.values: List[float] = []
+
+    def record(self, value: float) -> None:
+        self.values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def total(self) -> float:
+        return float(sum(self.values))
+
+    def percentile(self, p: float) -> float:
+        """The ``p``-th percentile (0-100) of the observations."""
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile must lie in [0, 100], got {p}")
+        if not self.values:
+            raise ValueError(f"histogram {self.name!r} has no observations")
+        return float(np.percentile(np.asarray(self.values, dtype=float), p))
+
+    def merge(self, other: "Histogram") -> None:
+        self.values.extend(other.values)
+
+    def snapshot(self) -> Dict[str, float]:
+        if not self.values:
+            return {"count": 0.0}
+        arr = np.asarray(self.values, dtype=float)
+        return {
+            "count": float(arr.size),
+            "sum": float(arr.sum()),
+            "mean": float(arr.mean()),
+            "min": float(arr.min()),
+            "max": float(arr.max()),
+            "p50": float(np.percentile(arr, 50)),
+            "p90": float(np.percentile(arr, 90)),
+            "p99": float(np.percentile(arr, 99)),
+        }
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use.
+
+    A name is bound to exactly one instrument kind; asking for the same
+    name as a different kind raises, which catches typo'd re-use early.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, Instrument] = {}
+
+    def _get(self, name: str, kind: type) -> Instrument:
+        inst = self._instruments.get(name)
+        if inst is None:
+            inst = kind(name)
+            self._instruments[name] = inst
+        elif not isinstance(inst, kind):
+            raise TypeError(
+                f"metric {name!r} is a {type(inst).__name__}, "
+                f"not a {kind.__name__}"
+            )
+        return inst
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def __iter__(self) -> Iterator[Tuple[str, Instrument]]:
+        return iter(sorted(self._instruments.items()))
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry into this one (kind-checked per name)."""
+        for name, inst in other._instruments.items():
+            self._get(name, type(inst)).merge(inst)
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """A JSON-serialisable view: name -> {kind, ...stats}."""
+        out: Dict[str, Dict[str, object]] = {}
+        for name, inst in self:
+            entry: Dict[str, object] = {"kind": type(inst).__name__.lower()}
+            entry.update(inst.snapshot())
+            out[name] = entry
+        return out

@@ -1,0 +1,167 @@
+"""Offline summariser for telemetry JSONL runs (``repro report``).
+
+Reads an event stream produced by :class:`~repro.obs.telemetry.SolverTelemetry`
+and reconstructs the three views the CLI prints:
+
+* the aggregated wall-time **span tree** (where the seconds went);
+* the **iteration table** of Alg. 2 fixed-point diagnostics with
+  per-stage timings;
+* the **top metrics** from the final registry snapshot.
+
+Everything here is pure data transformation over dicts, so the report
+is reproducible from the file alone — no live solver state needed.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, IO, List, Optional, Tuple, Union
+
+from repro.obs.events import read_events
+
+
+def _format_table(*args, **kwargs):
+    # Imported lazily: repro.analysis pulls in the game/baseline stack,
+    # which itself imports repro.obs — a module-level import would be
+    # circular during package initialisation.
+    from repro.analysis.reporting import format_table
+
+    return format_table(*args, **kwargs)
+
+
+@dataclass
+class RunSummary:
+    """Everything parsed out of one telemetry JSONL file."""
+
+    events: List[Dict[str, Any]]
+    span_totals: Dict[str, Tuple[int, float]] = field(default_factory=dict)
+    iterations: List[Dict[str, Any]] = field(default_factory=list)
+    solve_ends: List[Dict[str, Any]] = field(default_factory=list)
+    metrics: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+
+    @property
+    def n_events(self) -> int:
+        return len(self.events)
+
+    def final_solve(self) -> Optional[Dict[str, Any]]:
+        """The last ``solve_end`` event, if any solve completed."""
+        return self.solve_ends[-1] if self.solve_ends else None
+
+
+def load_run(source: Union[str, "os.PathLike[str]", IO[str]]) -> RunSummary:
+    """Parse a JSONL event stream into a :class:`RunSummary`."""
+    events = read_events(source)
+    summary = RunSummary(events=events)
+    for event in events:
+        kind = event.get("ev")
+        if kind == "span":
+            path = str(event.get("path", ""))
+            count, total = summary.span_totals.get(path, (0, 0.0))
+            summary.span_totals[path] = (
+                count + 1,
+                total + float(event.get("dur_s", 0.0)),
+            )
+        elif kind == "iteration":
+            summary.iterations.append(event)
+        elif kind == "solve_end":
+            summary.solve_ends.append(event)
+        elif kind == "metrics":
+            # Later snapshots supersede earlier ones (one per close()).
+            summary.metrics = dict(event.get("metrics", {}))
+    return summary
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def render_span_tree(summary: RunSummary) -> str:
+    """Indent the aggregated span paths into a wall-time tree."""
+    if not summary.span_totals:
+        return "(no spans recorded)"
+    lines = ["span tree (total wall seconds, calls, mean ms)"]
+    for path in sorted(summary.span_totals):
+        count, total = summary.span_totals[path]
+        depth = path.count("/")
+        name = path.rsplit("/", 1)[-1]
+        mean_ms = (total / count) * 1e3 if count else 0.0
+        lines.append(
+            f"  {'  ' * depth}{name:<{max(1, 30 - 2 * depth)}} "
+            f"{total:>9.4f}s  x{count:<5d} avg {mean_ms:8.2f} ms"
+        )
+    return "\n".join(lines)
+
+
+def render_iteration_table(summary: RunSummary, max_rows: int = 40) -> str:
+    """The Alg. 2 per-iteration convergence + timing table."""
+    if not summary.iterations:
+        return "(no iteration events recorded)"
+    rows = []
+    iterations = summary.iterations
+    stride = max(1, len(iterations) // max_rows)
+    shown = list(iterations[::stride])
+    if shown[-1] is not iterations[-1]:
+        shown.append(iterations[-1])  # always include the final iterate
+    for it in shown:
+        rows.append(
+            (
+                int(it.get("iteration", 0)),
+                float(it.get("policy_change", float("nan"))),
+                float(it.get("mean_field_change", float("nan"))),
+                f"{1e3 * float(it.get('hjb_s', 0.0)):.2f}",
+                f"{1e3 * float(it.get('fpk_s', 0.0)):.2f}",
+                f"{1e3 * float(it.get('mean_field_s', 0.0)):.2f}",
+            )
+        )
+    table = _format_table(
+        ["iter", "policy delta", "mf delta", "hjb ms", "fpk ms", "mf ms"],
+        rows,
+        precision=6,
+        title="iteration convergence",
+    )
+    end = summary.final_solve()
+    if end is not None:
+        status = "converged" if end.get("converged") else "NOT converged"
+        table += (
+            f"\n{status} after {int(end.get('n_iterations', 0))} iterations "
+            f"(final policy change {float(end.get('final_policy_change', 0.0)):.3e})"
+        )
+    return table
+
+
+def render_metrics(summary: RunSummary, top: int = 15) -> str:
+    """The top metrics from the final registry snapshot."""
+    if not summary.metrics:
+        return "(no metrics recorded)"
+    rows: List[Tuple[str, str, str]] = []
+    for name in sorted(summary.metrics):
+        entry = summary.metrics[name]
+        kind = str(entry.get("kind", "?"))
+        if kind == "histogram":
+            if entry.get("count"):
+                detail = (
+                    f"n={int(entry['count'])} mean={entry['mean']:.4g} "
+                    f"p50={entry['p50']:.4g} p90={entry['p90']:.4g} "
+                    f"max={entry['max']:.4g}"
+                )
+            else:
+                detail = "n=0"
+        else:
+            detail = f"{entry.get('value', float('nan')):.6g}"
+        rows.append((name, kind, detail))
+    rows = rows[:top]
+    return _format_table(["metric", "kind", "value"], rows, title="metrics")
+
+
+def render_report(summary: RunSummary) -> str:
+    """The full ``repro report`` body for one run."""
+    sections = [
+        f"telemetry run: {summary.n_events} events",
+        "",
+        render_span_tree(summary),
+        "",
+        render_iteration_table(summary),
+        "",
+        render_metrics(summary),
+    ]
+    return "\n".join(sections)

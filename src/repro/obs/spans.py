@@ -1,0 +1,158 @@
+"""Nestable wall-clock span timers that aggregate into a tree.
+
+A span measures one stage of work (``hjb``, ``fpk``, one epoch, one
+content solve).  Spans nest: entering a span while another is open
+attaches it as a child, so repeated stages aggregate into a wall-time
+tree keyed by path (``solve/iteration/hjb``).  The recorder keeps
+total seconds and call counts per path — the structure ``repro report``
+renders and every future performance PR measures against.
+
+The context managers are intentionally tiny: two ``perf_counter``
+calls and two dict operations per span.  The disabled fast path lives
+one layer up (:mod:`repro.obs.telemetry` hands out a shared no-op span
+when telemetry is off), so solver hot loops pay a single attribute
+check when observability is disabled.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterator, List, Optional, Tuple
+
+
+class SpanNode:
+    """Aggregated timings for one path in the span tree."""
+
+    __slots__ = ("name", "count", "total_s", "children")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total_s = 0.0
+        self.children: Dict[str, "SpanNode"] = {}
+
+    def child(self, name: str) -> "SpanNode":
+        node = self.children.get(name)
+        if node is None:
+            node = SpanNode(name)
+            self.children[name] = node
+        return node
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.count if self.count else 0.0
+
+    def walk(self, prefix: str = "") -> Iterator[Tuple[str, "SpanNode"]]:
+        """Yield ``(path, node)`` pairs depth-first."""
+        path = f"{prefix}/{self.name}" if prefix else self.name
+        yield path, self
+        for child in self.children.values():
+            yield from child.walk(path)
+
+
+class Span:
+    """One live measurement; use as a context manager.
+
+    After ``__exit__`` the measured wall time is available as
+    :attr:`duration` — callers that need the number (e.g. the Table II
+    best-of-N timing) read it instead of re-timing.
+    """
+
+    __slots__ = ("name", "duration", "_recorder", "_start", "_node")
+
+    def __init__(self, recorder: "SpanRecorder", name: str) -> None:
+        self.name = name
+        self.duration = 0.0
+        self._recorder = recorder
+        self._start = 0.0
+        self._node: Optional[SpanNode] = None
+
+    def __enter__(self) -> "Span":
+        self._node = self._recorder._push(self.name)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.duration = time.perf_counter() - self._start
+        self._recorder._pop(self._node, self.duration)
+        return None
+
+
+class NullSpan:
+    """The shared no-op span handed out when telemetry is disabled."""
+
+    __slots__ = ()
+    name = ""
+    duration = 0.0
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+NULL_SPAN = NullSpan()
+
+
+class SpanRecorder:
+    """Aggregates nested spans into a wall-time tree.
+
+    Not thread-safe: one recorder belongs to one solver call chain,
+    matching how telemetry objects are threaded through the pipeline.
+    """
+
+    def __init__(self) -> None:
+        self.root = SpanNode("")
+        self._stack: List[SpanNode] = [self.root]
+
+    def span(self, name: str) -> Span:
+        if "/" in name:
+            raise ValueError(f"span names must not contain '/', got {name!r}")
+        return Span(self, name)
+
+    def _push(self, name: str) -> SpanNode:
+        node = self._stack[-1].child(name)
+        self._stack.append(node)
+        return node
+
+    def _pop(self, node: SpanNode, duration: float) -> None:
+        popped = self._stack.pop()
+        if popped is not node:  # pragma: no cover - misuse guard
+            raise RuntimeError(
+                f"span {node.name!r} exited out of order (open: {popped.name!r})"
+            )
+        node.count += 1
+        node.total_s += duration
+
+    @property
+    def current_path(self) -> str:
+        """The '/'-joined path of open spans (empty at top level)."""
+        return "/".join(n.name for n in self._stack[1:])
+
+    def rows(self) -> List[Tuple[str, int, float]]:
+        """Flat ``(path, count, total seconds)`` rows, depth-first."""
+        out = []
+        for child in self.root.children.values():
+            out.extend(
+                (path, node.count, node.total_s) for path, node in child.walk()
+            )
+        return out
+
+    def render(self, min_seconds: float = 0.0) -> str:
+        """An indented wall-time tree (used by reports and debugging)."""
+        lines: List[str] = []
+
+        def emit(node: SpanNode, depth: int) -> None:
+            if node.count and node.total_s >= min_seconds:
+                lines.append(
+                    f"{'  ' * depth}{node.name:<{max(1, 28 - 2 * depth)}} "
+                    f"{node.total_s:>9.4f}s  x{node.count}"
+                    f"  (avg {node.mean_s * 1e3:.2f} ms)"
+                )
+            for child in node.children.values():
+                emit(child, depth + 1)
+
+        for child in self.root.children.values():
+            emit(child, 0)
+        return "\n".join(lines)

@@ -1,0 +1,168 @@
+"""The :class:`SolverTelemetry` observer threaded through the pipeline.
+
+One telemetry object bundles the three observability primitives —
+a :class:`~repro.obs.metrics.MetricsRegistry`, a
+:class:`~repro.obs.spans.SpanRecorder`, and an event sink — behind a
+facade the solvers call unconditionally:
+
+>>> tele = SolverTelemetry.null()          # disabled (the default)
+>>> with tele.span("hjb"):                 # no-op singleton span
+...     pass
+>>> tele.event("iteration", iteration=1)   # returns immediately
+
+Disabled telemetry (the :data:`NULL_TELEMETRY` default) costs a single
+attribute check per call site, so hot numerical loops keep their seed
+wall time.  Enabled telemetry records spans into the wall-time tree,
+mirrors every finished span as a ``span`` event on the sink, and dumps
+the metric registry as a final ``metrics`` event on ``close()``.
+
+No wall-clock timestamps are ever attached and no solver *result*
+changes in any way: the event stream is a pure side channel.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, IO, Optional, Union
+
+from repro.obs.events import JsonlSink, NULL_SINK, NullSink
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.spans import NULL_SPAN, NullSpan, Span, SpanRecorder
+
+
+class _RecordingSpan:
+    """A span that also mirrors itself onto the event sink on exit."""
+
+    __slots__ = ("_telemetry", "_span")
+
+    def __init__(self, telemetry: "SolverTelemetry", span: Span) -> None:
+        self._telemetry = telemetry
+        self._span = span
+
+    @property
+    def name(self) -> str:
+        return self._span.name
+
+    @property
+    def duration(self) -> float:
+        return self._span.duration
+
+    def __enter__(self) -> "_RecordingSpan":
+        self._span.__enter__()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        tele = self._telemetry
+        path = tele.spans.current_path
+        self._span.__exit__(exc_type, exc, tb)
+        tele.event("span", path=path, dur_s=self._span.duration)
+        return None
+
+
+class SolverTelemetry:
+    """Observer handed to solvers, simulators, and experiment drivers.
+
+    Parameters
+    ----------
+    sink:
+        Event destination.  ``None`` (with ``enabled`` unset) leaves
+        telemetry disabled.
+    enabled:
+        Force-enable without a sink — spans and metrics are recorded
+        in memory and can be inspected programmatically (the Table II
+        timing path uses this).
+    """
+
+    def __init__(
+        self,
+        sink: Optional[Union[NullSink, JsonlSink]] = None,
+        enabled: Optional[bool] = None,
+    ) -> None:
+        self.sink = sink if sink is not None else NULL_SINK
+        self.enabled = bool(self.sink.enabled) if enabled is None else bool(enabled)
+        self.metrics = MetricsRegistry()
+        self.spans = SpanRecorder()
+        self._seq = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def null(cls) -> "SolverTelemetry":
+        """A fresh disabled instance (see also :data:`NULL_TELEMETRY`)."""
+        return cls()
+
+    @classmethod
+    def in_memory(cls) -> "SolverTelemetry":
+        """Enabled without a sink: spans/metrics recorded, no events."""
+        return cls(enabled=True)
+
+    @classmethod
+    def to_jsonl(
+        cls, target: Union[str, "os.PathLike[str]", IO[str]]
+    ) -> "SolverTelemetry":
+        """Enabled, streaming events to a JSON-lines file or handle."""
+        return cls(sink=JsonlSink(target))
+
+    # ------------------------------------------------------------------
+    # Recording API (called from solver hot paths)
+    # ------------------------------------------------------------------
+    def span(self, name: str) -> Union[NullSpan, _RecordingSpan]:
+        """A context-manager span; the shared no-op when disabled."""
+        if not self.enabled:
+            return NULL_SPAN
+        return _RecordingSpan(self, self.spans.span(name))
+
+    def event(self, kind: str, **fields: Any) -> None:
+        """Emit one event dict (``ev`` + ``seq`` + the given fields)."""
+        if not self.enabled:
+            return
+        self._seq += 1
+        event: Dict[str, Any] = {"ev": kind, "seq": self._seq}
+        event.update(fields)
+        self.sink.emit(event)
+
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        """Increment a counter (no-op when disabled)."""
+        if self.enabled:
+            self.metrics.counter(name).inc(amount)
+
+    def gauge(self, name: str, value: float) -> None:
+        """Write a gauge (no-op when disabled)."""
+        if self.enabled:
+            self.metrics.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Record a histogram observation (no-op when disabled)."""
+        if self.enabled:
+            self.metrics.histogram(name).record(value)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def counter_value(self, name: str) -> float:
+        """Convenience accessor for tests and reports."""
+        return self.metrics.counter(name).value if name in self.metrics else 0.0
+
+    def flush(self) -> None:
+        self.sink.flush()
+
+    def close(self) -> None:
+        """Dump the metrics snapshot as a final event and close the sink."""
+        if self._closed:
+            return
+        if self.enabled and len(self.metrics):
+            self.event("metrics", metrics=self.metrics.snapshot())
+        self.sink.close()
+        self._closed = True
+
+    def __enter__(self) -> "SolverTelemetry":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+NULL_TELEMETRY = SolverTelemetry()
+"""The shared disabled instance used as the default everywhere."""

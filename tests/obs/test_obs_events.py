@@ -1,0 +1,123 @@
+"""Tests for the event sinks and JSONL round-trips."""
+
+import io
+
+import pytest
+
+from repro.obs import JsonlSink, NULL_SINK, SolverTelemetry, read_events
+
+
+class TestJsonlSink:
+    def test_roundtrip_through_file(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with JsonlSink(path) as sink:
+            sink.emit({"ev": "a", "x": 1})
+            sink.emit({"ev": "b", "y": [1, 2]})
+        events = read_events(path)
+        assert events == [{"ev": "a", "x": 1}, {"ev": "b", "y": [1, 2]}]
+
+    def test_kind_filter(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with JsonlSink(path) as sink:
+            sink.emit({"ev": "keep"})
+            sink.emit({"ev": "drop"})
+            sink.emit({"ev": "keep"})
+        assert len(read_events(path, kind="keep")) == 2
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "run.jsonl"
+        with JsonlSink(path) as sink:
+            sink.emit({"ev": "a"})
+        assert read_events(path) == [{"ev": "a"}]
+
+    def test_handle_target_left_open(self):
+        buf = io.StringIO()
+        sink = JsonlSink(buf)
+        sink.emit({"ev": "a"})
+        sink.close()
+        assert not buf.closed
+        buf.seek(0)
+        assert read_events(buf) == [{"ev": "a"}]
+
+    def test_emit_after_close_raises(self, tmp_path):
+        sink = JsonlSink(tmp_path / "run.jsonl")
+        sink.close()
+        with pytest.raises(ValueError, match="closed"):
+            sink.emit({"ev": "a"})
+
+    def test_bad_json_line_reports_line_number(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"ev": "ok"}\nnot json\n')
+        with pytest.raises(ValueError, match="line 2"):
+            read_events(path)
+
+    def test_non_object_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("[1, 2]\n")
+        with pytest.raises(ValueError, match="not a JSON object"):
+            read_events(path)
+
+
+class TestNullSink:
+    def test_noop(self):
+        NULL_SINK.emit({"ev": "ignored"})
+        NULL_SINK.flush()
+        NULL_SINK.close()
+        assert not NULL_SINK.enabled
+
+
+class TestTelemetryEvents:
+    def test_sequence_numbers_are_monotone(self):
+        buf = io.StringIO()
+        tele = SolverTelemetry.to_jsonl(buf)
+        tele.event("a")
+        tele.event("b")
+        tele.close()
+        buf.seek(0)
+        events = read_events(buf)
+        assert [e["seq"] for e in events] == [1, 2]
+
+    def test_no_wallclock_timestamps(self):
+        buf = io.StringIO()
+        tele = SolverTelemetry.to_jsonl(buf)
+        with tele.span("stage"):
+            pass
+        tele.event("custom", value=3)
+        tele.close()
+        buf.seek(0)
+        for event in read_events(buf):
+            assert "time" not in event and "timestamp" not in event
+
+    def test_disabled_telemetry_emits_nothing(self):
+        tele = SolverTelemetry.null()
+        tele.event("a")
+        tele.inc("c")
+        tele.gauge("g", 1.0)
+        tele.observe("h", 1.0)
+        with tele.span("s") as span:
+            pass
+        assert span.duration == 0.0
+        assert len(tele.metrics) == 0
+        tele.close()
+
+    def test_metrics_snapshot_emitted_on_close(self):
+        buf = io.StringIO()
+        tele = SolverTelemetry.to_jsonl(buf)
+        tele.inc("hits", 4)
+        tele.close()
+        buf.seek(0)
+        snapshots = read_events(buf, kind="metrics")
+        assert len(snapshots) == 1
+        assert snapshots[0]["metrics"]["hits"]["value"] == 4.0
+
+    def test_span_events_carry_full_path(self):
+        buf = io.StringIO()
+        tele = SolverTelemetry.to_jsonl(buf)
+        with tele.span("outer"):
+            with tele.span("inner"):
+                pass
+        tele.close()
+        buf.seek(0)
+        paths = [e["path"] for e in read_events(buf, kind="span")]
+        # Children close (and emit) before their parents.
+        assert paths == ["outer/inner", "outer"]

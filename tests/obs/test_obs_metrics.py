@@ -1,0 +1,115 @@
+"""Tests for the metric primitives and registry."""
+
+import numpy as np
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_increments(self):
+        c = Counter("n")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == pytest.approx(3.5)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            Counter("n").inc(-1.0)
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        g = Gauge("g")
+        g.set(1.0)
+        g.set(7.0)
+        assert g.value == 7.0
+        assert g.n_writes == 2
+
+    def test_unwritten_is_nan(self):
+        assert np.isnan(Gauge("g").value)
+
+
+class TestHistogram:
+    def test_percentiles(self):
+        h = Histogram("h")
+        for v in range(1, 101):
+            h.record(float(v))
+        assert h.count == 100
+        assert h.percentile(0) == 1.0
+        assert h.percentile(100) == 100.0
+        assert h.percentile(50) == pytest.approx(50.5)
+
+    def test_percentile_requires_observations(self):
+        with pytest.raises(ValueError, match="no observations"):
+            Histogram("h").percentile(50)
+
+    def test_percentile_range_checked(self):
+        h = Histogram("h")
+        h.record(1.0)
+        with pytest.raises(ValueError, match=r"\[0, 100\]"):
+            h.percentile(101)
+
+    def test_snapshot_summary(self):
+        h = Histogram("h")
+        for v in (1.0, 2.0, 3.0, 4.0):
+            h.record(v)
+        snap = h.snapshot()
+        assert snap["count"] == 4
+        assert snap["sum"] == pytest.approx(10.0)
+        assert snap["mean"] == pytest.approx(2.5)
+        assert snap["min"] == 1.0 and snap["max"] == 4.0
+
+
+class TestRegistry:
+    def test_same_name_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+
+    def test_kind_collision_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(TypeError, match="Counter"):
+            reg.gauge("a")
+
+    def test_merge_combines_all_kinds(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("n").inc(2)
+        b.counter("n").inc(3)
+        b.counter("only_b").inc(1)
+        a.gauge("g").set(1.0)
+        b.gauge("g").set(9.0)
+        a.histogram("h").record(1.0)
+        b.histogram("h").record(3.0)
+
+        a.merge(b)
+        assert a.counter("n").value == 5
+        assert a.counter("only_b").value == 1
+        assert a.gauge("g").value == 9.0  # other's write is newer
+        assert a.histogram("h").count == 2
+
+    def test_merge_unwritten_gauge_does_not_clobber(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.gauge("g").set(4.0)
+        b.gauge("g")  # created, never written
+        a.merge(b)
+        assert a.gauge("g").value == 4.0
+
+    def test_merge_kind_mismatch_raises(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("x")
+        b.gauge("x")
+        with pytest.raises(TypeError):
+            a.merge(b)
+
+    def test_snapshot_is_sorted_and_serialisable(self):
+        import json
+
+        reg = MetricsRegistry()
+        reg.counter("b").inc()
+        reg.gauge("a").set(2.0)
+        reg.histogram("c").record(1.5)
+        snap = reg.snapshot()
+        assert list(snap) == ["a", "b", "c"]
+        assert snap["b"]["kind"] == "counter"
+        json.dumps(snap)  # must not raise

@@ -1,0 +1,121 @@
+"""Tests for the offline run summariser (``repro report`` internals)."""
+
+import io
+
+from repro.obs import SolverTelemetry, load_run
+from repro.obs.report import (
+    render_iteration_table,
+    render_metrics,
+    render_report,
+    render_span_tree,
+)
+
+
+def _sample_run(tmp_path):
+    """Write a small synthetic run and load it back."""
+    path = tmp_path / "run.jsonl"
+    tele = SolverTelemetry.to_jsonl(path)
+    with tele.span("solve"):
+        for i in range(1, 4):
+            with tele.span("iteration"):
+                with tele.span("hjb"):
+                    pass
+            tele.event(
+                "iteration",
+                iteration=i,
+                policy_change=0.5 / i,
+                mean_field_change=1.0 / i,
+                hjb_s=0.01,
+                fpk_s=0.02,
+                mean_field_s=0.001,
+            )
+    tele.event(
+        "solve_end", converged=True, n_iterations=3, final_policy_change=0.5 / 3
+    )
+    tele.inc("solver.iterations", 3)
+    tele.close()
+    return path
+
+
+class TestLoadRun:
+    def test_jsonl_roundtrip_aggregates(self, tmp_path):
+        summary = load_run(_sample_run(tmp_path))
+        assert summary.n_events > 0
+        assert len(summary.iterations) == 3
+        assert summary.final_solve()["n_iterations"] == 3
+        # Span events aggregate by path.
+        count, total = summary.span_totals["solve/iteration"]
+        assert count == 3
+        assert total >= 0.0
+        assert "solve/iteration/hjb" in summary.span_totals
+        assert summary.metrics["solver.iterations"]["value"] == 3.0
+
+    def test_load_from_handle(self, tmp_path):
+        path = _sample_run(tmp_path)
+        with open(path, "r", encoding="utf-8") as handle:
+            summary = load_run(handle)
+        assert len(summary.iterations) == 3
+
+
+class TestRendering:
+    def test_span_tree_lists_paths(self, tmp_path):
+        summary = load_run(_sample_run(tmp_path))
+        text = render_span_tree(summary)
+        assert "solve" in text
+        assert "iteration" in text
+        assert "hjb" in text
+
+    def test_iteration_table_has_rows_and_status(self, tmp_path):
+        summary = load_run(_sample_run(tmp_path))
+        text = render_iteration_table(summary)
+        assert "policy delta" in text
+        assert "converged after 3 iterations" in text
+
+    def test_iteration_table_always_shows_final_row(self, tmp_path):
+        path = tmp_path / "long.jsonl"
+        tele = SolverTelemetry.to_jsonl(path)
+        for i in range(1, 101):
+            tele.event("iteration", iteration=i, policy_change=1.0 / i,
+                       mean_field_change=0.0)
+        tele.close()
+        text = render_iteration_table(load_run(path), max_rows=10)
+        assert "100" in text.splitlines()[-1].split("|")[0]
+
+    def test_metrics_table(self, tmp_path):
+        summary = load_run(_sample_run(tmp_path))
+        text = render_metrics(summary)
+        assert "solver.iterations" in text
+
+    def test_full_report_handles_empty_run(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        text = render_report(load_run(path))
+        assert "(no spans recorded)" in text
+        assert "(no iteration events recorded)" in text
+        assert "(no metrics recorded)" in text
+
+    def test_full_report_combines_sections(self, tmp_path):
+        summary = load_run(_sample_run(tmp_path))
+        text = render_report(summary)
+        assert "span tree" in text
+        assert "iteration convergence" in text
+        assert "metrics" in text
+
+
+class TestInMemoryTelemetry:
+    def test_spans_recorded_without_sink(self):
+        tele = SolverTelemetry.in_memory()
+        with tele.span("work") as span:
+            pass
+        assert span.duration >= 0.0
+        assert tele.spans.rows()[0][0] == "work"
+
+    def test_report_from_stringio(self):
+        buf = io.StringIO()
+        tele = SolverTelemetry.to_jsonl(buf)
+        tele.event("iteration", iteration=1, policy_change=0.1,
+                   mean_field_change=0.2)
+        tele.close()
+        buf.seek(0)
+        summary = load_run(buf)
+        assert len(summary.iterations) == 1

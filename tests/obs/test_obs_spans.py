@@ -1,0 +1,86 @@
+"""Tests for the nestable span timers."""
+
+import pytest
+
+from repro.obs import NULL_SPAN, SpanRecorder
+from repro.obs.spans import NullSpan
+
+
+class TestSpanRecorder:
+    def test_nested_spans_build_a_tree(self):
+        rec = SpanRecorder()
+        with rec.span("solve"):
+            for _ in range(3):
+                with rec.span("iteration"):
+                    with rec.span("hjb"):
+                        pass
+                    with rec.span("fpk"):
+                        pass
+        paths = {path: (count, total) for path, count, total in rec.rows()}
+        assert set(paths) == {
+            "solve",
+            "solve/iteration",
+            "solve/iteration/hjb",
+            "solve/iteration/fpk",
+        }
+        assert paths["solve"][0] == 1
+        assert paths["solve/iteration"][0] == 3
+        assert paths["solve/iteration/hjb"][0] == 3
+
+    def test_parent_time_covers_children(self):
+        rec = SpanRecorder()
+        with rec.span("outer"):
+            with rec.span("inner"):
+                pass
+        rows = {path: total for path, _, total in rec.rows()}
+        assert rows["outer"] >= rows["outer/inner"]
+
+    def test_same_name_different_parents_kept_separate(self):
+        rec = SpanRecorder()
+        with rec.span("a"):
+            with rec.span("x"):
+                pass
+        with rec.span("b"):
+            with rec.span("x"):
+                pass
+        paths = {path for path, _, _ in rec.rows()}
+        assert "a/x" in paths and "b/x" in paths
+
+    def test_duration_available_after_exit(self):
+        rec = SpanRecorder()
+        with rec.span("timed") as span:
+            pass
+        assert span.duration >= 0.0
+
+    def test_current_path_tracks_stack(self):
+        rec = SpanRecorder()
+        assert rec.current_path == ""
+        with rec.span("a"):
+            with rec.span("b"):
+                assert rec.current_path == "a/b"
+            assert rec.current_path == "a"
+        assert rec.current_path == ""
+
+    def test_slash_in_name_rejected(self):
+        with pytest.raises(ValueError, match="must not contain"):
+            SpanRecorder().span("a/b")
+
+    def test_render_mentions_counts(self):
+        rec = SpanRecorder()
+        with rec.span("stage"):
+            pass
+        text = rec.render()
+        assert "stage" in text
+        assert "x1" in text
+
+
+class TestNullSpan:
+    def test_is_reusable_and_free(self):
+        assert isinstance(NULL_SPAN, NullSpan)
+        with NULL_SPAN as span:
+            assert span is NULL_SPAN
+        assert NULL_SPAN.duration == 0.0
+        # Re-entrant: the singleton carries no state.
+        with NULL_SPAN:
+            with NULL_SPAN:
+                pass

@@ -1,0 +1,185 @@
+"""Telemetry threaded through the solver pipeline.
+
+The key regression: the JSONL event stream and the in-result
+:class:`ConvergenceReport` are two views of the same fixed-point loop,
+so iteration counts and residuals must agree exactly.
+"""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.analysis import experiments
+from repro.core.best_response import BestResponseIterator
+from repro.core.parameters import MFGCPConfig
+from repro.core.solver import MFGCPSolver
+from repro.game.simulator import GameSimulator
+from repro.obs import SolverTelemetry, load_run, read_events
+
+
+@pytest.fixture()
+def telemetry_buffer():
+    return io.StringIO()
+
+
+class TestSolveTelemetry:
+    def test_iteration_events_agree_with_convergence_report(
+        self, fast_config, telemetry_buffer
+    ):
+        tele = SolverTelemetry.to_jsonl(telemetry_buffer)
+        result = BestResponseIterator(fast_config, telemetry=tele).solve()
+        tele.close()
+        telemetry_buffer.seek(0)
+        summary = load_run(telemetry_buffer)
+
+        report = result.report
+        # Same number of iterations...
+        assert len(summary.iterations) == report.n_iterations
+        end = summary.final_solve()
+        assert end["n_iterations"] == report.n_iterations
+        assert end["converged"] == report.converged
+        # ...and identical residuals, iteration by iteration.
+        assert end["final_policy_change"] == pytest.approx(
+            report.final_policy_change, rel=0, abs=0
+        )
+        for event, record in zip(summary.iterations, report.history):
+            assert event["iteration"] == record.iteration
+            assert event["policy_change"] == pytest.approx(record.policy_change)
+            assert event["mean_field_change"] == pytest.approx(
+                record.mean_field_change
+            )
+        # describe() and the event stream tell the same story.
+        assert f"after {end['n_iterations']} iterations" in report.describe()
+
+    def test_results_identical_with_and_without_telemetry(self, fast_config):
+        plain = BestResponseIterator(fast_config).solve()
+        tele = SolverTelemetry.to_jsonl(io.StringIO())
+        observed = BestResponseIterator(fast_config, telemetry=tele).solve()
+        tele.close()
+        np.testing.assert_array_equal(plain.policy.table, observed.policy.table)
+        np.testing.assert_array_equal(plain.density, observed.density)
+        assert plain.report.n_iterations == observed.report.n_iterations
+        assert plain.report.final_policy_change == observed.report.final_policy_change
+
+    def test_stage_timings_recorded(self, fast_config, telemetry_buffer):
+        tele = SolverTelemetry.to_jsonl(telemetry_buffer)
+        BestResponseIterator(fast_config, telemetry=tele).solve()
+        tele.close()
+        telemetry_buffer.seek(0)
+        summary = load_run(telemetry_buffer)
+        assert "solve/iteration/hjb" in summary.span_totals
+        assert "solve/iteration/fpk" in summary.span_totals
+        assert "solve/iteration/mean_field" in summary.span_totals
+        for event in summary.iterations:
+            assert event["hjb_s"] > 0.0
+            assert event["fpk_s"] > 0.0
+        hist = summary.metrics["solver.hjb_seconds"]
+        assert hist["count"] == len(summary.iterations)
+
+    def test_solver_facade_threads_telemetry(self, fast_config, telemetry_buffer):
+        tele = SolverTelemetry.to_jsonl(telemetry_buffer)
+        MFGCPSolver(fast_config, telemetry=tele).solve()
+        tele.close()
+        telemetry_buffer.seek(0)
+        assert read_events(telemetry_buffer, kind="solve_end")
+
+
+class TestSimulatorTelemetry:
+    def test_step_counters_and_scheme_counts(self, fast_config, telemetry_buffer):
+        from repro.baselines.random_replacement import RandomReplacementScheme
+
+        tele = SolverTelemetry.to_jsonl(telemetry_buffer)
+        sim = GameSimulator(
+            fast_config,
+            [(RandomReplacementScheme(), 8)],
+            rng=np.random.default_rng(0),
+            telemetry=tele,
+        )
+        sim.run()
+        tele.close()
+
+        n_steps = fast_config.n_time_steps
+        assert tele.counter_value("sim.steps") == n_steps + 1
+        assert tele.counter_value("sim.edp_steps") == 8 * (n_steps + 1)
+        # decide() is called once per step for the single group.
+        assert tele.counter_value("scheme.RR.decide_calls") == n_steps + 1
+        assert tele.counter_value("scheme.RR.edp_decisions") == 8 * (n_steps + 1)
+
+        telemetry_buffer.seek(0)
+        ends = read_events(telemetry_buffer, kind="sim_end")
+        assert len(ends) == 1
+        assert ends[0]["n_edps"] == 8
+
+    def test_mfgcp_prepare_solve_lands_in_span_tree(
+        self, fast_config, telemetry_buffer
+    ):
+        from repro.baselines.mfg_cp import MFGCPScheme
+
+        tele = SolverTelemetry.to_jsonl(telemetry_buffer)
+        sim = GameSimulator(
+            fast_config,
+            [(MFGCPScheme(), 5)],
+            rng=np.random.default_rng(0),
+            telemetry=tele,
+        )
+        sim.run()
+        tele.close()
+        telemetry_buffer.seek(0)
+        summary = load_run(telemetry_buffer)
+        assert "sim_prepare/prepare_equilibrium/solve" in summary.span_totals
+        assert "sim_run" in summary.span_totals
+
+
+class TestEpochTelemetry:
+    def test_epoch_and_content_events(self, telemetry_buffer):
+        from repro.content.catalog import ContentCatalog
+        from repro.content.requests import RequestProcess
+
+        cfg = MFGCPConfig.fast()
+        catalog = ContentCatalog.uniform(3, size_mb=cfg.content_size)
+        process = RequestProcess(
+            n_contents=3, rate_per_edp=40.0, rng=np.random.default_rng(2)
+        )
+        tele = SolverTelemetry.to_jsonl(telemetry_buffer)
+        results = MFGCPSolver(cfg, telemetry=tele).run_epochs(
+            catalog, process, n_epochs=2, max_active_contents=1
+        )
+        tele.close()
+        telemetry_buffer.seek(0)
+        epochs = read_events(telemetry_buffer, kind="epoch")
+        assert len(epochs) == 2
+        telemetry_buffer.seek(0)
+        solves = read_events(telemetry_buffer, kind="content_solve")
+        assert len(solves) == sum(len(r.active_contents) for r in results)
+
+
+class TestTable2Spans:
+    def test_timings_positive_and_streamed(self, telemetry_buffer):
+        tele = SolverTelemetry.to_jsonl(telemetry_buffer)
+        rows = experiments.table2_computation_time(
+            population_sizes=(5,),
+            schemes=("RR",),
+            config=MFGCPConfig.fast(),
+            catalog_size=2,
+            repeats=2,
+            telemetry=tele,
+        )
+        tele.close()
+        assert len(rows) == 1
+        scheme, m, seconds = rows[0]
+        assert scheme == "RR" and m == 5
+        assert seconds > 0.0
+        telemetry_buffer.seek(0)
+        timing_events = read_events(telemetry_buffer, kind="table2_timing")
+        assert timing_events[0]["seconds"] == pytest.approx(seconds)
+
+    def test_default_path_needs_no_telemetry(self):
+        rows = experiments.table2_computation_time(
+            population_sizes=(4,),
+            schemes=("RR",),
+            config=MFGCPConfig.fast(),
+            catalog_size=1,
+            repeats=1,
+        )
+        assert rows[0][2] > 0.0

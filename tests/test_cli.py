@@ -82,6 +82,75 @@ class TestExperimentCommand:
         assert "income(T)" in out
 
 
+class TestTelemetryFlag:
+    def test_solve_writes_jsonl(self, tmp_path, capsys):
+        out_file = tmp_path / "run.jsonl"
+        assert main(["solve", "--fast", "--telemetry", str(out_file)]) == 0
+        out = capsys.readouterr().out
+        assert "converged" in out
+        assert f"telemetry written to {out_file}" in out
+
+        from repro.obs import read_events
+
+        iterations = read_events(out_file, kind="iteration")
+        assert iterations, "solve should emit per-iteration events"
+        assert {"policy_change", "hjb_s", "fpk_s"} <= set(iterations[0])
+        assert read_events(out_file, kind="solve_end")
+
+    def test_solve_without_flag_writes_nothing(self, tmp_path, capsys):
+        assert main(["solve", "--fast"]) == 0
+        assert "telemetry written" not in capsys.readouterr().out
+        assert list(tmp_path.iterdir()) == []
+
+    def test_simulate_accepts_flag(self, tmp_path, capsys):
+        out_file = tmp_path / "sim.jsonl"
+        assert main([
+            "simulate", "--fast", "--schemes", "RR", "--edps", "5",
+            "--telemetry", str(out_file),
+        ]) == 0
+        from repro.obs import read_events
+
+        assert read_events(out_file, kind="sim_end")
+
+
+class TestReportCommand:
+    def test_report_summarises_a_solve_run(self, tmp_path, capsys):
+        out_file = tmp_path / "run.jsonl"
+        assert main(["solve", "--fast", "--telemetry", str(out_file)]) == 0
+        capsys.readouterr()
+
+        assert main(["report", str(out_file)]) == 0
+        out = capsys.readouterr().out
+        # The three report sections with their expected rows.
+        assert "span tree" in out
+        assert "hjb" in out and "fpk" in out
+        assert "iteration convergence" in out
+        assert "policy delta" in out
+        assert "converged after" in out
+        assert "metrics" in out
+        assert "solver.iterations" in out
+
+    def test_report_matches_solve_convergence(self, tmp_path, capsys):
+        out_file = tmp_path / "run.jsonl"
+        assert main(["solve", "--fast", "--telemetry", str(out_file)]) == 0
+        solve_out = capsys.readouterr().out
+        assert main(["report", str(out_file)]) == 0
+        report_out = capsys.readouterr().out
+        # "converged after N iterations" agrees between live solve and replay.
+        live = [l for l in solve_out.splitlines() if "converged after" in l][0]
+        replay = [l for l in report_out.splitlines() if "converged after" in l][0]
+        assert live.split("(")[0].strip() in replay
+
+    def test_report_missing_file_is_error(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path / "nope.jsonl")]) == 2
+        assert "cannot read telemetry run" in capsys.readouterr().err
+
+    def test_report_rejects_garbage(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("this is not json\n")
+        assert main(["report", str(bad)]) == 2
+
+
 class TestTraceCommand:
     def test_writes_csv_roundtrip(self, tmp_path, capsys):
         out_file = tmp_path / "trace.csv"
