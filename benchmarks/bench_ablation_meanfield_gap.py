@@ -14,10 +14,13 @@ from repro.analysis.reporting import print_table
 from conftest import run_once
 
 
-def test_ablation_meanfield_gap(benchmark):
+def test_ablation_meanfield_gap(benchmark, bench_executor):
     sizes = (25, 50, 100, 200)
     rows = run_once(
-        benchmark, experiments.ablation_meanfield_gap, population_sizes=sizes
+        benchmark,
+        experiments.ablation_meanfield_gap,
+        population_sizes=sizes,
+        executor=bench_executor,
     )
 
     print("\nAblation — mean-field gap vs population size M")

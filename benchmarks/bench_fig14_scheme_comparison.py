@@ -13,8 +13,13 @@ from repro.analysis.reporting import print_table
 from conftest import run_once
 
 
-def test_fig14_scheme_comparison(benchmark):
-    rows = run_once(benchmark, experiments.fig14_scheme_comparison, n_edps=100)
+def test_fig14_scheme_comparison(benchmark, bench_executor):
+    rows = run_once(
+        benchmark,
+        experiments.fig14_scheme_comparison,
+        n_edps=100,
+        executor=bench_executor,
+    )
 
     print("\nFig. 14 — scheme comparison (M = 100 EDPs)")
     print_table(["scheme", "utility", "trading income", "staleness cost"], rows)

@@ -16,13 +16,14 @@ from repro.analysis.reporting import print_table
 from conftest import run_once
 
 
-def test_table2_computation_time(benchmark, bench_telemetry):
+def test_table2_computation_time(benchmark, bench_telemetry, bench_executor):
     sizes = (50, 100, 200, 300)
     rows = run_once(
         benchmark,
         experiments.table2_computation_time,
         population_sizes=sizes,
         telemetry=bench_telemetry if bench_telemetry.enabled else None,
+        executor=bench_executor,
     )
 
     print("\nTable II — computation time (seconds)")

@@ -21,6 +21,7 @@ import pytest
 
 from repro.analysis import experiments
 from repro.obs import NULL_TELEMETRY, SolverTelemetry
+from repro.runtime import make_executor
 
 
 def pytest_addoption(parser):
@@ -29,12 +30,24 @@ def pytest_addoption(parser):
         default=None,
         help="write per-bench telemetry JSONL files into this directory",
     )
+    parser.addoption(
+        "--runtime-backend",
+        default="serial",
+        help="execution backend for benches that fan work out "
+             "('serial' or 'process[:N]'; results are bit-identical)",
+    )
 
 
 @pytest.fixture(scope="session")
 def equilibrium():
     """The default-config equilibrium shared by Figs. 4, 5 and 9."""
     return experiments.solve_equilibrium()
+
+
+@pytest.fixture
+def bench_executor(request):
+    """The executor implied by ``--runtime-backend`` (serial by default)."""
+    return make_executor(request.config.getoption("--runtime-backend"))
 
 
 @pytest.fixture

@@ -91,6 +91,7 @@ from repro.game.state import PopulationState
 from repro.game.nash import ConstantScheme, DeviationProbe, exploitability
 
 from repro.obs import (
+    BufferSink,
     Counter,
     Gauge,
     Histogram,
@@ -100,9 +101,21 @@ from repro.obs import (
     NullSink,
     SolverTelemetry,
     SpanRecorder,
+    TelemetrySnapshot,
     load_run,
     read_events,
     render_report,
+)
+
+from repro.runtime import (
+    ExecutionPlan,
+    Executor,
+    ItemOutcome,
+    ParallelExecutor,
+    SerialExecutor,
+    WorkItem,
+    as_executor,
+    make_executor,
 )
 
 from repro.baselines.base import CachingScheme, SchemeDecision
@@ -207,9 +220,20 @@ __all__ = [
     "SpanRecorder",
     "JsonlSink",
     "NullSink",
+    "BufferSink",
+    "TelemetrySnapshot",
     "read_events",
     "load_run",
     "render_report",
+    # runtime
+    "ExecutionPlan",
+    "WorkItem",
+    "ItemOutcome",
+    "Executor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "as_executor",
+    "make_executor",
     # baselines
     "CachingScheme",
     "SchemeDecision",

@@ -31,6 +31,7 @@ from repro.core.equilibrium import EquilibriumResult
 from repro.core.parameters import MFGCPConfig
 from repro.game.simulator import GameSimulator, SimulationReport
 from repro.obs.telemetry import NULL_TELEMETRY, SolverTelemetry
+from repro.runtime import ExecutionPlan, ExecutorLike, as_executor
 from repro.sde.ornstein_uhlenbeck import OrnsteinUhlenbeckProcess
 
 SCHEME_ORDER = ("MFG-CP", "MFG", "UDCS", "MPC", "RR")
@@ -41,8 +42,19 @@ def default_config(fast: bool = True) -> MFGCPConfig:
     return MFGCPConfig.fast() if fast else MFGCPConfig.paper_default()
 
 
-def make_scheme(name: str) -> CachingScheme:
-    """Instantiate a scheme by its paper name."""
+def make_scheme(
+    name: str, equilibrium: Optional[EquilibriumResult] = None
+) -> CachingScheme:
+    """Instantiate a scheme by its paper name.
+
+    Parameters
+    ----------
+    equilibrium:
+        Optional pre-solved equilibrium injected into the model-based
+        schemes (``MFG-CP``, ``MFG``, ``UDCS``), so a fan-out over
+        seeds pays the mean-field solve once in the parent instead of
+        once per worker.  Rejected for the model-free baselines.
+    """
     factory = {
         "MFG-CP": MFGCPScheme,
         "MFG": MFGNoSharingScheme,
@@ -52,7 +64,92 @@ def make_scheme(name: str) -> CachingScheme:
     }
     if name not in factory:
         raise KeyError(f"unknown scheme {name!r}; choose from {sorted(factory)}")
+    if equilibrium is not None:
+        if not issubclass(factory[name], MFGCPScheme):
+            raise TypeError(
+                f"scheme {name!r} does not take a pre-solved equilibrium"
+            )
+        return factory[name](equilibrium=equilibrium)
     return factory[name]()
+
+
+def prepare_scheme_equilibrium(
+    name: str,
+    config: MFGCPConfig,
+    telemetry: SolverTelemetry = NULL_TELEMETRY,
+) -> Optional[EquilibriumResult]:
+    """Solve a model-based scheme's equilibrium once, in the parent.
+
+    Returns ``None`` for the model-free baselines (their ``prepare``
+    is cheap and — for RR — seeds from the simulation RNG, so it must
+    run inside each work item).  The solve is deterministic, so
+    injecting the shared result into every seed's worker is
+    bit-identical to letting each worker solve it locally.
+    """
+    scheme = make_scheme(name)
+    if not isinstance(scheme, MFGCPScheme):
+        return None
+    if telemetry.enabled:
+        scheme.bind_telemetry(telemetry)
+    scheme.prepare(config, np.random.default_rng(0))
+    return scheme.equilibrium
+
+
+def simulate_scheme_seed(
+    name: str,
+    config: MFGCPConfig,
+    n_edps: int,
+    seed: int,
+    equilibrium: Optional[EquilibriumResult] = None,
+    telemetry: SolverTelemetry = NULL_TELEMETRY,
+) -> Dict[str, float]:
+    """One self-contained seed replicate of a named scheme.
+
+    This is the work-item body behind :func:`run_scheme_summary` (and
+    the replication module): it owns everything it needs — scheme
+    instance, RNG, optional pre-solved equilibrium — so it produces
+    the same numbers whether it runs in-process or in a pool worker.
+    """
+    scheme = make_scheme(name, equilibrium=equilibrium)
+    sim = GameSimulator(
+        config,
+        [(scheme, n_edps)],
+        rng=np.random.default_rng(seed),
+        telemetry=telemetry,
+    )
+    report = sim.run()
+    summary = report.scheme_summary(name)
+    summary["mean_control"] = float(report.series["mean_control"].mean())
+    return summary
+
+
+def _solve_config_item(
+    config: MFGCPConfig, telemetry: SolverTelemetry = NULL_TELEMETRY
+) -> EquilibriumResult:
+    """Work-item body for one sweep variant's equilibrium solve."""
+    return BestResponseIterator(config, telemetry=telemetry).solve()
+
+
+def sweep_equilibria(
+    configs: Sequence[MFGCPConfig],
+    executor: ExecutorLike = None,
+    telemetry: Optional[SolverTelemetry] = None,
+    labels: Optional[Sequence[str]] = None,
+) -> List[EquilibriumResult]:
+    """Solve independent configuration variants through an executor.
+
+    The shared engine behind the Figs. 6-11 parameter sweeps: each
+    variant is one work item, so a sweep parallelises with
+    ``executor="process:4"`` while staying bit-identical to the
+    serial default.
+    """
+    plan = ExecutionPlan.map(
+        _solve_config_item,
+        [(cfg,) for cfg in configs],
+        labels=list(labels) if labels is not None else None,
+        accepts_telemetry=True,
+    )
+    return as_executor(executor).run(plan, telemetry=telemetry)
 
 
 # ----------------------------------------------------------------------
@@ -146,14 +243,21 @@ def fig67_heatmap(
     content_sizes: Sequence[float] = (60.0, 80.0, 100.0, 120.0),
     initial_std_fraction: float = 0.1,
     config: Optional[MFGCPConfig] = None,
+    executor: ExecutorLike = None,
+    telemetry: Optional[SolverTelemetry] = None,
 ) -> Dict[float, Dict[str, np.ndarray]]:
     """Per-``Q_k`` marginal density paths (Fig. 6: std 0.1; Fig. 7: 0.05)."""
     base = default_config() if config is None else config
     base = replace(base, initial_std_fraction=initial_std_fraction)
+    configs = [base.with_content_size(q_size) for q_size in content_sizes]
+    results = sweep_equilibria(
+        configs,
+        executor=executor,
+        telemetry=telemetry,
+        labels=[f"Q={q_size:g}" for q_size in content_sizes],
+    )
     out: Dict[float, Dict[str, np.ndarray]] = {}
-    for q_size in content_sizes:
-        cfg = base.with_content_size(q_size)
-        res = BestResponseIterator(cfg).solve()
+    for q_size, res in zip(content_sizes, results):
         out[float(q_size)] = {
             "time": res.grid.t,
             "q": res.grid.q,
@@ -169,6 +273,8 @@ def fig67_heatmap(
 def fig8_w5_sweep(
     w5_values: Sequence[float] = (90.0, 130.0, 170.0, 215.0),
     config: Optional[MFGCPConfig] = None,
+    executor: ExecutorLike = None,
+    telemetry: Optional[SolverTelemetry] = None,
 ) -> Dict[float, Dict[str, np.ndarray]]:
     """Mean cache state and staleness cost per ``w5`` value.
 
@@ -178,10 +284,15 @@ def fig8_w5_sweep(
     raises the staleness cost.
     """
     base = default_config() if config is None else config
+    configs = [replace(base, w5=float(w5)) for w5 in w5_values]
+    results = sweep_equilibria(
+        configs,
+        executor=executor,
+        telemetry=telemetry,
+        labels=[f"w5={w5:g}" for w5 in w5_values],
+    )
     out: Dict[float, Dict[str, np.ndarray]] = {}
-    for w5 in w5_values:
-        cfg = replace(base, w5=float(w5))
-        res = BestResponseIterator(cfg).solve()
+    for w5, res in zip(w5_values, results):
         paths = res.population_utility_path()
         out[float(w5)] = {
             "time": res.grid.t,
@@ -224,13 +335,22 @@ def fig9_convergence(
 def fig10_initial_distribution(
     mean_fractions: Sequence[float] = (0.5, 0.6, 0.7, 0.8),
     config: Optional[MFGCPConfig] = None,
+    executor: ExecutorLike = None,
+    telemetry: Optional[SolverTelemetry] = None,
 ) -> Dict[float, Dict[str, np.ndarray]]:
     """Utility and average sharing benefit per initial mean."""
     base = default_config() if config is None else config
+    configs = [
+        replace(base, initial_mean_fraction=float(mean)) for mean in mean_fractions
+    ]
+    results = sweep_equilibria(
+        configs,
+        executor=executor,
+        telemetry=telemetry,
+        labels=[f"mean={mean:g}" for mean in mean_fractions],
+    )
     out: Dict[float, Dict[str, np.ndarray]] = {}
-    for mean in mean_fractions:
-        cfg = replace(base, initial_mean_fraction=float(mean))
-        res = BestResponseIterator(cfg).solve()
+    for mean, res in zip(mean_fractions, results):
         paths = res.population_utility_path()
         out[float(mean)] = {
             "time": res.grid.t,
@@ -246,6 +366,8 @@ def fig10_initial_distribution(
 def fig11_eta1_timeseries(
     eta1_values: Sequence[float] = (1e-3, 2e-3, 3e-3, 4e-3),
     config: Optional[MFGCPConfig] = None,
+    executor: ExecutorLike = None,
+    telemetry: Optional[SolverTelemetry] = None,
 ) -> Dict[float, Dict[str, np.ndarray]]:
     """Utility and trading income over time per ``eta1``.
 
@@ -256,10 +378,15 @@ def fig11_eta1_timeseries(
     # Requesters leave the market once served; this demand saturation
     # is what drives the paper's within-epoch trading-income decline.
     base = replace(base, demand_decay=1.0)
+    configs = [replace(base, eta1=float(eta1)) for eta1 in eta1_values]
+    results = sweep_equilibria(
+        configs,
+        executor=executor,
+        telemetry=telemetry,
+        labels=[f"eta1={eta1:g}" for eta1 in eta1_values],
+    )
     out: Dict[float, Dict[str, np.ndarray]] = {}
-    for eta1 in eta1_values:
-        cfg = replace(base, eta1=float(eta1))
-        res = BestResponseIterator(cfg).solve()
+    for eta1, res in zip(eta1_values, results):
         paths = res.population_utility_path()
         out[float(eta1)] = {
             "time": res.grid.t,
@@ -297,28 +424,32 @@ def run_scheme_summary(
     n_edps: int,
     seeds: Sequence[int] = (7, 8, 9),
     telemetry: Optional[SolverTelemetry] = None,
-    ) -> Dict[str, float]:
+    executor: ExecutorLike = None,
+) -> Dict[str, float]:
     """Seed-averaged accumulated Eq. (10) terms for one scheme.
 
-    The scheme is prepared once (one mean-field solve for the
-    model-based schemes) and simulated under each seed; the summaries
-    are averaged to suppress simulation noise in the comparison
-    figures.
+    The model-based schemes' mean-field equilibrium is solved once in
+    the parent and injected into every replicate; each seed then runs
+    as an independent work item (fresh scheme instance, own RNG) so
+    the per-seed simulations fan out through ``executor`` with
+    bit-identical results on every backend.  The summaries are
+    averaged to suppress simulation noise in the comparison figures.
     """
+    seeds = tuple(int(seed) for seed in seeds)
     if not seeds:
         raise ValueError("need at least one seed")
-    scheme = make_scheme(name)
+    equilibrium = prepare_scheme_equilibrium(
+        name, config, telemetry=telemetry if telemetry is not None else NULL_TELEMETRY
+    )
+    plan = ExecutionPlan.map(
+        simulate_scheme_seed,
+        [(name, config, n_edps, seed, equilibrium) for seed in seeds],
+        labels=[f"{name}:seed{seed}" for seed in seeds],
+        accepts_telemetry=True,
+    )
+    summaries = as_executor(executor).run(plan, telemetry=telemetry)
     totals: Dict[str, float] = {}
-    for seed in seeds:
-        sim = GameSimulator(
-            config,
-            [(scheme, n_edps)],
-            rng=np.random.default_rng(seed),
-            telemetry=telemetry,
-        )
-        report = sim.run()
-        summary = report.scheme_summary(name)
-        summary["mean_control"] = float(report.series["mean_control"].mean())
+    for summary in summaries:
         for key, value in summary.items():
             totals[key] = totals.get(key, 0.0) + value
     return {key: value / len(seeds) for key, value in totals.items()}
@@ -330,19 +461,27 @@ def fig12_total_vs_eta1(
     n_edps: int = 60,
     config: Optional[MFGCPConfig] = None,
     seed: int = 7,
+    n_seeds: int = 3,
+    executor: ExecutorLike = None,
+    telemetry: Optional[SolverTelemetry] = None,
 ) -> List[Tuple[float, str, float, float]]:
     """Rows ``(eta1, scheme, total utility, total trading income)``.
+
+    Each ``(eta1, scheme)`` cell averages ``n_seeds`` replicate
+    simulations over seeds ``seed, seed+1, ...``.
 
     Expected shape: utility decreases in ``eta1`` for every scheme;
     MFG-CP has the highest utility; MFG has the higher trading income.
     """
     base = default_config() if config is None else config
+    seeds = tuple(seed + i for i in range(n_seeds))
     rows: List[Tuple[float, str, float, float]] = []
     for eta1 in eta1_values:
         cfg = replace(base, eta1=float(eta1))
         for name in schemes:
             summary = run_scheme_summary(
-                name, cfg, n_edps, seeds=(seed, seed + 1, seed + 2)
+                name, cfg, n_edps, seeds=seeds, telemetry=telemetry,
+                executor=executor,
             )
             rows.append(
                 (float(eta1), name, summary["total"], summary["trading_income"])
@@ -356,8 +495,14 @@ def fig13_popularity_sweep(
     n_edps: int = 60,
     config: Optional[MFGCPConfig] = None,
     seed: int = 7,
+    n_seeds: int = 3,
+    executor: ExecutorLike = None,
+    telemetry: Optional[SolverTelemetry] = None,
 ) -> List[Tuple[float, str, float, float, float]]:
     """Rows ``(popularity, scheme, utility, staleness cost, mean control)``.
+
+    Each ``(popularity, scheme)`` cell averages ``n_seeds`` replicate
+    simulations over seeds ``seed, seed+1, ...``.
 
     Expected shape: MFG-CP has the highest utility and a low staleness
     cost everywhere; UDCS's *decisions* vary least with popularity (its
@@ -366,6 +511,7 @@ def fig13_popularity_sweep(
     more income).
     """
     base = default_config() if config is None else config
+    seeds = tuple(seed + i for i in range(n_seeds))
     rows: List[Tuple[float, str, float, float, float]] = []
     for pop in popularity_values:
         # Higher popularity also means more requests for the content.
@@ -376,7 +522,8 @@ def fig13_popularity_sweep(
         )
         for name in schemes:
             summary = run_scheme_summary(
-                name, cfg, n_edps, seeds=(seed, seed + 1, seed + 2)
+                name, cfg, n_edps, seeds=seeds, telemetry=telemetry,
+                executor=executor,
             )
             rows.append(
                 (
@@ -395,18 +542,26 @@ def fig14_scheme_comparison(
     n_edps: int = 100,
     config: Optional[MFGCPConfig] = None,
     seed: int = 7,
+    n_seeds: int = 3,
+    executor: ExecutorLike = None,
+    telemetry: Optional[SolverTelemetry] = None,
 ) -> List[Tuple[str, float, float, float]]:
     """Rows ``(scheme, utility, trading income, staleness cost)``.
+
+    Each scheme averages ``n_seeds`` replicate simulations over seeds
+    ``seed, seed+1, ...``.
 
     Expected shape: MFG-CP utility exceeds every baseline (the paper
     reports 2.76x MPC and 1.57x UDCS on its testbed); MFG trades more
     but pays more staleness.
     """
     cfg = default_config() if config is None else config
+    seeds = tuple(seed + i for i in range(n_seeds))
     rows: List[Tuple[str, float, float, float]] = []
     for name in schemes:
         summary = run_scheme_summary(
-            name, cfg, n_edps, seeds=(seed, seed + 1, seed + 2)
+            name, cfg, n_edps, seeds=seeds, telemetry=telemetry,
+            executor=executor,
         )
         rows.append(
             (
@@ -449,36 +604,53 @@ def ablation_exploitability(
     return rows
 
 
+def _meanfield_gap_sample(
+    config: MFGCPConfig,
+    result: EquilibriumResult,
+    n_edps: int,
+    seed: int,
+) -> Tuple[float, float]:
+    """Work-item body: one finite-population gap measurement."""
+    from repro.analysis.metrics import mean_field_gap
+
+    sim = GameSimulator(
+        config,
+        [(MFGCPScheme(equilibrium=result), n_edps)],
+        rng=np.random.default_rng(seed),
+    )
+    gap = mean_field_gap(result, sim.run())
+    return float(gap["mean_q_rmse"]), float(gap["price_rmse"])
+
+
 def ablation_meanfield_gap(
     population_sizes: Sequence[int] = (25, 50, 100, 200),
     config: Optional[MFGCPConfig] = None,
     n_seeds: int = 3,
     seed: int = 11,
+    executor: ExecutorLike = None,
 ) -> List[Tuple[int, float, float]]:
     """Rows ``(M, mean-q RMSE, price RMSE)`` of the mean-field gap.
 
     Propagation of chaos (the justification for Eq. (14)): the finite
     population under the equilibrium policy should track the FPK
     density better as ``M`` grows.  One equilibrium solve is shared;
-    each ``M`` is simulated under ``n_seeds`` seeds and gaps averaged.
+    every ``(M, seed)`` pair is an independent work item and the gaps
+    are averaged per ``M``.
     """
-    from repro.analysis.metrics import mean_field_gap
-    from repro.baselines.mfg_cp import MFGCPScheme
-
     cfg = default_config() if config is None else config
     result = BestResponseIterator(cfg).solve()
+    pairs = [(m, seed + s) for m in population_sizes for s in range(n_seeds)]
+    plan = ExecutionPlan.map(
+        _meanfield_gap_sample,
+        [(cfg, result, int(m), int(s)) for m, s in pairs],
+        labels=[f"M{m}:seed{s}" for m, s in pairs],
+    )
+    gaps = as_executor(executor).run(plan)
     rows: List[Tuple[int, float, float]] = []
-    for m in population_sizes:
-        q_gaps, p_gaps = [], []
-        for s in range(n_seeds):
-            sim = GameSimulator(
-                cfg,
-                [(MFGCPScheme(equilibrium=result), m)],
-                rng=np.random.default_rng(seed + s),
-            )
-            gap = mean_field_gap(result, sim.run())
-            q_gaps.append(gap["mean_q_rmse"])
-            p_gaps.append(gap["price_rmse"])
+    for i, m in enumerate(population_sizes):
+        chunk = gaps[i * n_seeds : (i + 1) * n_seeds]
+        q_gaps = [g[0] for g in chunk]
+        p_gaps = [g[1] for g in chunk]
         rows.append((int(m), float(np.mean(q_gaps)), float(np.mean(p_gaps))))
     return rows
 
@@ -548,6 +720,7 @@ def ablation_sharing_price(
     n_edps: int = 60,
     config: Optional[MFGCPConfig] = None,
     seed: int = 7,
+    executor: ExecutorLike = None,
 ) -> List[Tuple[float, float, float, float]]:
     """Rows ``(p_bar, MFG-CP utility, MFG utility, sharing benefit)``.
 
@@ -561,10 +734,18 @@ def ablation_sharing_price(
     for p_bar in sharing_prices:
         cfg = replace(base, sharing_price=float(p_bar))
         mfgcp = run_scheme_summary(
-            "MFG-CP", cfg, n_edps, seeds=(seed, seed + 1, seed + 2)
+            "MFG-CP",
+            cfg,
+            n_edps,
+            seeds=(seed, seed + 1, seed + 2),
+            executor=executor,
         )
         mfg = run_scheme_summary(
-            "MFG", cfg, n_edps, seeds=(seed, seed + 1, seed + 2)
+            "MFG",
+            cfg,
+            n_edps,
+            seeds=(seed, seed + 1, seed + 2),
+            executor=executor,
         )
         rows.append(
             (
@@ -577,6 +758,36 @@ def ablation_sharing_price(
     return rows
 
 
+def _table2_timed_epoch(
+    name: str,
+    config: MFGCPConfig,
+    catalog_size: int,
+    n_edps: int,
+    rep_seed: int,
+    bind_scheme: bool,
+    telemetry: SolverTelemetry = NULL_TELEMETRY,
+) -> float:
+    """Work-item body: one timed decision epoch for one scheme.
+
+    The span must tick even when the run captures no telemetry — the
+    measured duration IS the experiment's output — so a disabled
+    injected telemetry is replaced by a throwaway in-memory recorder.
+    """
+    tele = telemetry if telemetry.enabled else SolverTelemetry.in_memory()
+    rng = np.random.default_rng(rep_seed)
+    scheme = make_scheme(name)
+    if bind_scheme:
+        scheme.bind_telemetry(tele)
+    fading = np.full(n_edps, config.channel.mean)
+    remaining = np.linspace(0.0, config.content_size, n_edps)
+    with tele.span("table2_epoch") as span:
+        scheme.prepare(config, rng)
+        for t in config.time_axis():
+            for _k in range(catalog_size):
+                scheme.decide(float(t), fading, remaining)
+    return float(span.duration)
+
+
 def table2_computation_time(
     population_sizes: Sequence[int] = (50, 100, 200, 300),
     schemes: Sequence[str] = ("MFG-CP", "RR", "MPC"),
@@ -585,6 +796,7 @@ def table2_computation_time(
     repeats: int = 3,
     seed: int = 7,
     telemetry: Optional[SolverTelemetry] = None,
+    executor: ExecutorLike = None,
 ) -> List[Tuple[str, int, float]]:
     """Rows ``(scheme, M, seconds)`` for the per-epoch decision cost.
 
@@ -596,41 +808,42 @@ def table2_computation_time(
     vectorised policy lookups.  RR and MPC decide per EDP and per
     content, so their cost grows linearly with the population.
 
-    Timing runs through the :mod:`repro.obs` span layer: each repeat
-    is one ``table2_epoch`` span and the reported number is the best
-    span duration over ``repeats`` (best-of-N suppresses scheduler
-    noise, exactly as the previous hand-rolled ``perf_counter`` loop
-    did).  Pass ``telemetry`` to also stream the spans to a sink; by
-    default a throwaway in-memory recorder measures the wall time.
+    Timing runs through the :mod:`repro.obs` span layer: every
+    ``(scheme, M, repeat)`` is one work item wrapping one
+    ``table2_epoch`` span, and the reported number is the best span
+    duration over ``repeats`` (best-of-N suppresses scheduler noise).
+    Pass ``telemetry`` to also stream the spans to a sink.  Note that
+    a parallel ``executor`` overlaps the repeats, so contending
+    workers can inflate the measured wall times — time on the serial
+    default, parallelise only for smoke runs.
     """
     cfg = default_config() if config is None else config
     if catalog_size < 1:
         raise ValueError(f"catalog_size must be positive, got {catalog_size}")
     if repeats < 1:
         raise ValueError(f"repeats must be positive, got {repeats}")
-    # The spans must tick even when the caller passed no sink, because
-    # the measured durations ARE the experiment's output.
-    tele = telemetry if telemetry is not None else SolverTelemetry.in_memory()
+    tele = telemetry if telemetry is not None else NULL_TELEMETRY
+    cells = [(name, m) for name in schemes for m in population_sizes]
+    plan = ExecutionPlan.map(
+        _table2_timed_epoch,
+        [
+            (name, cfg, int(catalog_size), int(m), seed + rep, telemetry is not None)
+            for name, m in cells
+            for rep in range(repeats)
+        ],
+        labels=[
+            f"{name}:M{m}:rep{rep}"
+            for name, m in cells
+            for rep in range(repeats)
+        ],
+        accepts_telemetry=True,
+    )
+    durations = as_executor(executor).run(plan, telemetry=telemetry)
     rows: List[Tuple[str, int, float]] = []
-    for name in schemes:
-        for m in population_sizes:
-            fading = np.full(m, cfg.channel.mean)
-            remaining = np.linspace(0.0, cfg.content_size, m)
-            best = np.inf
-            # Best-of-N timing suppresses scheduler noise.
-            for rep in range(repeats):
-                rng = np.random.default_rng(seed + rep)
-                scheme = make_scheme(name)
-                if telemetry is not None:
-                    scheme.bind_telemetry(telemetry)
-                with tele.span("table2_epoch") as span:
-                    scheme.prepare(cfg, rng)
-                    for t in cfg.time_axis():
-                        for _k in range(catalog_size):
-                            scheme.decide(float(t), fading, remaining)
-                best = min(best, span.duration)
-            tele.event(
-                "table2_timing", scheme=name, n_edps=int(m), seconds=float(best)
-            )
-            rows.append((name, int(m), best))
+    for i, (name, m) in enumerate(cells):
+        best = min(durations[i * repeats : (i + 1) * repeats])
+        tele.event(
+            "table2_timing", scheme=name, n_edps=int(m), seconds=float(best)
+        )
+        rows.append((name, int(m), float(best)))
     return rows

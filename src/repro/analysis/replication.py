@@ -15,6 +15,7 @@ import numpy as np
 from scipy import stats
 
 from repro.core.parameters import MFGCPConfig
+from repro.runtime import ExecutionPlan, ExecutorLike, as_executor
 
 
 @dataclass(frozen=True)
@@ -76,6 +77,7 @@ def replicate(
     experiment: Callable[[int], Mapping[str, float]],
     seeds: Sequence[int],
     confidence: float = 0.95,
+    executor: ExecutorLike = None,
 ) -> Dict[str, ReplicatedStatistic]:
     """Run an experiment across seeds and summarise every output.
 
@@ -83,16 +85,26 @@ def replicate(
     ----------
     experiment:
         Callable taking a seed and returning named scalar outputs; the
-        output keys must be identical across seeds.
+        output keys must be identical across seeds.  Must be picklable
+        (a module-level function, not a lambda) to run on a process
+        backend.
     seeds:
         Replication seeds (at least 2).
+    executor:
+        Backend for the per-seed fan-out; the replicates are
+        independent, so results are identical on every backend.
     """
     if len(seeds) < 2:
         raise ValueError(f"need at least 2 seeds, got {len(seeds)}")
+    plan = ExecutionPlan.map(
+        experiment,
+        [(int(seed),) for seed in seeds],
+        labels=[f"seed{seed}" for seed in seeds],
+    )
     collected: Dict[str, List[float]] = {}
     keys: Optional[Tuple[str, ...]] = None
-    for seed in seeds:
-        outputs = dict(experiment(int(seed)))
+    for seed, outputs in zip(seeds, as_executor(executor).run(plan)):
+        outputs = dict(outputs)
         if keys is None:
             keys = tuple(sorted(outputs))
             for key in keys:
@@ -114,18 +126,30 @@ def replicate_scheme_utility(
     n_edps: int,
     seeds: Sequence[int],
     confidence: float = 0.95,
+    executor: ExecutorLike = None,
 ) -> ReplicatedStatistic:
-    """CI for a scheme's mean accumulated utility (one solve, N sims)."""
-    from repro.analysis.experiments import make_scheme
-    from repro.game.simulator import GameSimulator
+    """CI for a scheme's mean accumulated utility (one solve, N sims).
+
+    The model-based schemes' equilibrium is solved once in the parent
+    and injected into each per-seed work item, so the fan-out over
+    ``executor`` repeats only the cheap finite-population simulation.
+    """
+    from repro.analysis.experiments import (
+        prepare_scheme_equilibrium,
+        simulate_scheme_seed,
+    )
 
     if len(seeds) < 2:
         raise ValueError(f"need at least 2 seeds, got {len(seeds)}")
-    scheme = make_scheme(scheme_name)
-    totals = []
-    for seed in seeds:
-        sim = GameSimulator(
-            config, [(scheme, n_edps)], rng=np.random.default_rng(int(seed))
-        )
-        totals.append(sim.run().total_utility(scheme_name))
+    equilibrium = prepare_scheme_equilibrium(scheme_name, config)
+    plan = ExecutionPlan.map(
+        simulate_scheme_seed,
+        [
+            (scheme_name, config, n_edps, int(seed), equilibrium)
+            for seed in seeds
+        ],
+        labels=[f"{scheme_name}:seed{seed}" for seed in seeds],
+    )
+    summaries = as_executor(executor).run(plan)
+    totals = [summary["total"] for summary in summaries]
     return summarise(f"{scheme_name} utility", totals, confidence)

@@ -22,7 +22,10 @@ Subcommands
 
 ``solve``, ``simulate`` and ``experiment`` accept
 ``--telemetry PATH.jsonl`` to stream solver events (per-iteration
-residuals, stage timings, step counters) to a JSON-lines file.
+residuals, stage timings, step counters) to a JSON-lines file, plus
+``--backend serial|process[:N]`` / ``--workers N`` to pick the
+execution backend for the embarrassingly-parallel fan-outs (results
+are bit-identical across backends; see ``docs/runtime.md``).
 
 Examples
 --------
@@ -30,7 +33,7 @@ Examples
     python -m repro.cli solve --fast --telemetry run.jsonl
     python -m repro.cli report run.jsonl
     python -m repro.cli simulate --schemes MFG-CP,MFG --edps 60
-    python -m repro.cli experiment fig14
+    python -m repro.cli experiment fig14 --backend process:4
     python -m repro.cli trace --videos 500 --out /tmp/trace.csv
 """
 
@@ -53,6 +56,7 @@ from repro.core.solver import MFGCPSolver
 from repro.core import theory
 from repro.obs.report import load_run, render_report
 from repro.obs.telemetry import NULL_TELEMETRY, SolverTelemetry
+from repro.runtime import Executor, make_executor
 
 EXPERIMENT_NAMES = (
     "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
@@ -84,21 +88,35 @@ def build_parser() -> argparse.ArgumentParser:
                        help="stream solver telemetry events to a JSONL file "
                             "(summarise later with 'repro report')")
 
+    def add_runtime_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--backend", default="serial",
+                       help="execution backend for fan-out work: 'serial' "
+                            "(default) or 'process[:N]' for an N-worker "
+                            "process pool")
+        p.add_argument("--workers", type=int, default=None,
+                       help="worker count for the process backend "
+                            "(overrides a count embedded in --backend)")
+
     p_solve = sub.add_parser("solve", help="solve one mean-field equilibrium")
     add_config_args(p_solve)
     add_telemetry_arg(p_solve)
+    add_runtime_args(p_solve)
 
     p_sim = sub.add_parser("simulate", help="finite-population scheme comparison")
     add_config_args(p_sim)
     add_telemetry_arg(p_sim)
+    add_runtime_args(p_sim)
     p_sim.add_argument("--schemes", default="MFG-CP,MFG,UDCS,MPC,RR",
                        help="comma-separated scheme names")
     p_sim.add_argument("--edps", type=int, default=60, help="population size M")
     p_sim.add_argument("--seed", type=int, default=7)
+    p_sim.add_argument("--seeds", type=int, default=1, metavar="N",
+                       help="replicate seeds per scheme (seed, seed+1, ...)")
 
     p_exp = sub.add_parser("experiment", help="regenerate a paper figure/table")
     p_exp.add_argument("name", choices=EXPERIMENT_NAMES)
     add_telemetry_arg(p_exp)
+    add_runtime_args(p_exp)
 
     p_report = sub.add_parser(
         "report", help="summarise a telemetry JSONL run"
@@ -150,6 +168,18 @@ def _telemetry_from_args(args: argparse.Namespace) -> SolverTelemetry:
     return SolverTelemetry.to_jsonl(path)
 
 
+def _executor_from_args(args: argparse.Namespace) -> Executor:
+    """The execution backend implied by ``--backend`` / ``--workers``."""
+    try:
+        return make_executor(
+            getattr(args, "backend", "serial"),
+            workers=getattr(args, "workers", None),
+        )
+    except ValueError as err:
+        print(f"error: {err}", file=sys.stderr)
+        raise SystemExit(2)
+
+
 def _close_telemetry(args: argparse.Namespace, telemetry: SolverTelemetry) -> None:
     telemetry.close()
     if telemetry.enabled:
@@ -159,7 +189,8 @@ def _close_telemetry(args: argparse.Namespace, telemetry: SolverTelemetry) -> No
 def _cmd_solve(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
     telemetry = _telemetry_from_args(args)
-    result = MFGCPSolver(config, telemetry=telemetry).solve()
+    executor = _executor_from_args(args)
+    result = MFGCPSolver(config, telemetry=telemetry, executor=executor).solve()
     _close_telemetry(args, telemetry)
     print(result.report.describe())
     t = result.grid.t
@@ -188,10 +219,13 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         print("error: no schemes given", file=sys.stderr)
         return 2
     telemetry = _telemetry_from_args(args)
+    executor = _executor_from_args(args)
+    seeds = tuple(args.seed + i for i in range(max(1, args.seeds)))
     rows = []
     for name in names:
         summary = experiments.run_scheme_summary(
-            name, config, args.edps, seeds=(args.seed,), telemetry=telemetry
+            name, config, args.edps, seeds=seeds, telemetry=telemetry,
+            executor=executor,
         )
         rows.append(
             (name, summary["total"], summary["trading_income"],
@@ -209,13 +243,18 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
     telemetry = _telemetry_from_args(args)
+    executor = _executor_from_args(args)
     with telemetry.span(f"experiment_{args.name}"):
-        code = _run_experiment(args, telemetry)
+        code = _run_experiment(args, telemetry, executor)
     _close_telemetry(args, telemetry)
     return code
 
 
-def _run_experiment(args: argparse.Namespace, telemetry: SolverTelemetry) -> int:
+def _run_experiment(
+    args: argparse.Namespace,
+    telemetry: SolverTelemetry,
+    executor: Executor,
+) -> int:
     name = args.name
     if name == "fig3":
         data = experiments.fig3_channel_evolution()
@@ -257,7 +296,9 @@ def _run_experiment(args: argparse.Namespace, telemetry: SolverTelemetry) -> int
         return 0
     if name in ("fig6", "fig7"):
         std = 0.1 if name == "fig6" else 0.05
-        data = experiments.fig67_heatmap(initial_std_fraction=std)
+        data = experiments.fig67_heatmap(
+            initial_std_fraction=std, executor=executor, telemetry=telemetry
+        )
         rows = [
             (f"{qk:.0f}", series["mean_q"][0], series["mean_q"][-1])
             for qk, series in sorted(data.items())
@@ -266,7 +307,7 @@ def _run_experiment(args: argparse.Namespace, telemetry: SolverTelemetry) -> int
                            title=f"{name} - heat map sweep (std {std})"))
         return 0
     if name == "fig8":
-        data = experiments.fig8_w5_sweep()
+        data = experiments.fig8_w5_sweep(executor=executor, telemetry=telemetry)
         rows = [
             (f"{w5:.0f}", series["mean_q"][-1],
              float(series["accumulated_staleness"][0]))
@@ -276,7 +317,9 @@ def _run_experiment(args: argparse.Namespace, telemetry: SolverTelemetry) -> int
                            title="Fig. 8 - w5 sweep"))
         return 0
     if name == "fig10":
-        data = experiments.fig10_initial_distribution()
+        data = experiments.fig10_initial_distribution(
+            executor=executor, telemetry=telemetry
+        )
         rows = [
             (f"{mean:g}", series["utility"][-1],
              float(series["sharing_benefit"].mean()))
@@ -286,7 +329,9 @@ def _run_experiment(args: argparse.Namespace, telemetry: SolverTelemetry) -> int
                            rows, title="Fig. 10 - initial distribution"))
         return 0
     if name == "fig11":
-        data = experiments.fig11_eta1_timeseries()
+        data = experiments.fig11_eta1_timeseries(
+            executor=executor, telemetry=telemetry
+        )
         rows = [
             (f"{eta1:g}", series["utility"][-1], series["trading_income"][0],
              series["trading_income"][-1])
@@ -296,7 +341,9 @@ def _run_experiment(args: argparse.Namespace, telemetry: SolverTelemetry) -> int
                            title="Fig. 11 - eta1 sweep"))
         return 0
     if name == "fig12":
-        rows = experiments.fig12_total_vs_eta1()
+        rows = experiments.fig12_total_vs_eta1(
+            executor=executor, telemetry=telemetry
+        )
         print(format_table(
             ["eta1", "scheme", "utility", "income"],
             [(f"{e:g}", s, u, i) for e, s, u, i in rows],
@@ -304,7 +351,9 @@ def _run_experiment(args: argparse.Namespace, telemetry: SolverTelemetry) -> int
         ))
         return 0
     if name == "fig13":
-        rows = experiments.fig13_popularity_sweep()
+        rows = experiments.fig13_popularity_sweep(
+            executor=executor, telemetry=telemetry
+        )
         print(format_table(
             ["popularity", "scheme", "utility", "staleness", "mean control"],
             [(f"{p:g}", s, u, c, m) for p, s, u, c, m in rows],
@@ -312,7 +361,9 @@ def _run_experiment(args: argparse.Namespace, telemetry: SolverTelemetry) -> int
         ))
         return 0
     if name == "fig14":
-        rows = experiments.fig14_scheme_comparison()
+        rows = experiments.fig14_scheme_comparison(
+            executor=executor, telemetry=telemetry
+        )
         print(format_table(
             ["scheme", "utility", "income", "staleness"], rows,
             title="Fig. 14 - scheme comparison",
@@ -320,7 +371,8 @@ def _run_experiment(args: argparse.Namespace, telemetry: SolverTelemetry) -> int
         return 0
     # table2
     rows = experiments.table2_computation_time(
-        telemetry=telemetry if telemetry.enabled else None
+        telemetry=telemetry if telemetry.enabled else None,
+        executor=executor,
     )
     print(format_table(
         ["scheme", "M", "seconds"],

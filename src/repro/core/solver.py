@@ -24,6 +24,20 @@ from repro.core.equilibrium import EquilibriumResult
 from repro.core.knapsack import capacity_constrained_placement
 from repro.core.parameters import MFGCPConfig
 from repro.obs.telemetry import NULL_TELEMETRY, SolverTelemetry
+from repro.runtime import Executor, ExecutionPlan, as_executor
+
+
+def _solve_content_item(
+    config: MFGCPConfig, telemetry: SolverTelemetry = NULL_TELEMETRY
+) -> EquilibriumResult:
+    """Work-item body for one per-content equilibrium solve.
+
+    Module-level so it pickles to process-pool workers; the item owns
+    its specialised config and rebuilds the iterator locally (bound
+    methods holding live trackers do not cross process boundaries).
+    """
+    with telemetry.span("content"):
+        return BestResponseIterator(config, telemetry=telemetry).solve()
 
 
 @dataclass(frozen=True)
@@ -93,15 +107,27 @@ class MFGCPSolver:
     For single-content studies (most of the paper's figures) call
     :meth:`solve`; for the full multi-content Alg. 1 loop driven by a
     request trace call :meth:`run_epochs`.
+
+    Parameters
+    ----------
+    executor:
+        Backend for the per-content fan-out of :meth:`run_epochs`
+        (the solves decouple through the mean field, so they run
+        embarrassingly parallel).  Accepts an
+        :class:`~repro.runtime.Executor`, a spec string such as
+        ``"process:4"``, or ``None`` for the serial default.  Results
+        are bit-identical across backends.
     """
 
     def __init__(
         self,
         config: MFGCPConfig,
         telemetry: Optional[SolverTelemetry] = None,
+        executor: Optional["Executor | str"] = None,
     ) -> None:
         self.config = config
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self.executor: Executor = as_executor(executor)
 
     # ------------------------------------------------------------------
     # Single-content solve (the generic-player problem)
@@ -160,6 +186,10 @@ class MFGCPSolver:
         """
         if n_epochs < 1:
             raise ValueError(f"n_epochs must be positive, got {n_epochs}")
+        if max_active_contents is not None and max_active_contents < 1:
+            raise ValueError(
+                f"max_active_contents must be positive, got {max_active_contents}"
+            )
         n_contents = len(catalog)
         if request_process.n_contents != n_contents:
             raise ValueError(
@@ -195,18 +225,32 @@ class MFGCPSolver:
                     active = active[:max_active_contents]
 
                 # Lines 6-10: per-content mean-field best response.
+                # The equilibria decouple through the mean field, so
+                # the solves fan out as one execution plan; the
+                # configured backend (serial or process pool) returns
+                # outcomes in content order either way.
+                plan = ExecutionPlan.map(
+                    _solve_content_item,
+                    [
+                        (
+                            self.per_content_config(
+                                content_size=catalog[k].size_mb,
+                                popularity=popularity[k],
+                                timeliness=timeliness[k],
+                                n_requests=float(batch.counts[k])
+                                / self.config.horizon,
+                            ),
+                        )
+                        for k in active
+                    ],
+                    labels=[f"content:{k}" for k in active],
+                    accepts_telemetry=True,
+                )
+                outcomes = self.executor.execute(plan, capture=tele.enabled)
                 equilibria: Dict[int, EquilibriumResult] = {}
-                for k in active:
-                    cfg_k = self.per_content_config(
-                        content_size=catalog[k].size_mb,
-                        popularity=popularity[k],
-                        timeliness=timeliness[k],
-                        n_requests=float(batch.counts[k]) / self.config.horizon,
-                    )
-                    with tele.span("content") as content_span:
-                        equilibria[k] = BestResponseIterator(
-                            cfg_k, telemetry=tele
-                        ).solve()
+                for k, outcome in zip(active, outcomes):
+                    equilibria[k] = outcome.result
+                    tele.absorb(outcome.telemetry)
                     if tele.enabled:
                         tele.inc("epochs.content_solves")
                         tele.event(
@@ -216,7 +260,9 @@ class MFGCPSolver:
                             popularity=float(popularity[k]),
                             n_iterations=equilibria[k].report.n_iterations,
                             converged=equilibria[k].report.converged,
-                            solve_s=content_span.duration,
+                            solve_s=outcome.telemetry.span_seconds("content")
+                            if outcome.telemetry is not None
+                            else 0.0,
                         )
 
             if tele.enabled:

@@ -11,7 +11,7 @@ the CLI's ``--telemetry PATH.jsonl`` flag, then summarise the run with
 See ``docs/observability.md`` for the event schema and span semantics.
 """
 
-from repro.obs.events import JsonlSink, NULL_SINK, NullSink, read_events
+from repro.obs.events import BufferSink, JsonlSink, NULL_SINK, NullSink, read_events
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.report import (
     RunSummary,
@@ -22,7 +22,7 @@ from repro.obs.report import (
     render_span_tree,
 )
 from repro.obs.spans import NULL_SPAN, NullSpan, Span, SpanNode, SpanRecorder
-from repro.obs.telemetry import NULL_TELEMETRY, SolverTelemetry
+from repro.obs.telemetry import NULL_TELEMETRY, SolverTelemetry, TelemetrySnapshot
 
 __all__ = [
     "Counter",
@@ -34,11 +34,13 @@ __all__ = [
     "SpanRecorder",
     "NullSpan",
     "NULL_SPAN",
+    "BufferSink",
     "JsonlSink",
     "NullSink",
     "NULL_SINK",
     "read_events",
     "SolverTelemetry",
+    "TelemetrySnapshot",
     "NULL_TELEMETRY",
     "RunSummary",
     "load_run",

@@ -5,13 +5,17 @@ a monotone ``seq`` number (no wall-clock timestamps — durations are
 carried explicitly, which keeps event files diffable across runs of
 the same configuration up to timing noise).
 
-Two sinks ship:
+Three sinks ship:
 
 * :class:`NullSink` — the default; ``emit`` is a no-op, so disabled
   telemetry costs one method call on the cold paths and nothing on the
   hot paths (the telemetry facade checks ``enabled`` first).
 * :class:`JsonlSink` — one compact JSON object per line, appended to a
   file.  ``repro report`` reads these back with :func:`read_events`.
+* :class:`BufferSink` — keeps events in an in-memory list.  Worker
+  processes in :mod:`repro.runtime` record into a buffer and ship it
+  back to the parent, which replays the events deterministically
+  (ordered by work-item index, not completion order).
 """
 
 from __future__ import annotations
@@ -37,6 +41,29 @@ class NullSink:
 
 
 NULL_SINK = NullSink()
+
+
+class BufferSink:
+    """Collects events in memory (the per-worker telemetry buffer).
+
+    The list is plain JSON-serialisable dicts, so a buffer produced in
+    a worker process pickles cheaply back to the parent, where
+    :meth:`repro.obs.telemetry.SolverTelemetry.absorb` replays it.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.events: List[Dict[str, Any]] = []
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        self.events.append(event)
+
+    def flush(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
 
 
 class JsonlSink:

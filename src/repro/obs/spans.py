@@ -42,6 +42,18 @@ class SpanNode:
     def mean_s(self) -> float:
         return self.total_s / self.count if self.count else 0.0
 
+    def merge(self, other: "SpanNode") -> None:
+        """Fold another node's counts/timings (and subtree) into this one.
+
+        Used when a worker process ships its span tree back to the
+        parent: identical paths aggregate exactly as if the spans had
+        been recorded in-process.
+        """
+        self.count += other.count
+        self.total_s += other.total_s
+        for name, child in other.children.items():
+            self.child(name).merge(child)
+
     def walk(self, prefix: str = "") -> Iterator[Tuple[str, "SpanNode"]]:
         """Yield ``(path, node)`` pairs depth-first."""
         path = f"{prefix}/{self.name}" if prefix else self.name
@@ -124,6 +136,19 @@ class SpanRecorder:
             )
         node.count += 1
         node.total_s += duration
+
+    def graft(self, root: SpanNode) -> None:
+        """Attach another recorder's tree under the currently open span.
+
+        ``root`` is the (nameless) root of a worker recorder; its
+        children become children of whatever span is open here — e.g.
+        a per-content ``content/solve/...`` subtree recorded in a
+        worker grafts under the parent's live ``epoch`` span, giving
+        the same ``epoch/content/solve`` paths a serial in-process run
+        produces.
+        """
+        for name, child in root.children.items():
+            self._stack[-1].child(name).merge(child)
 
     @property
     def current_path(self) -> str:

@@ -23,11 +23,12 @@ changes in any way: the event stream is a pure side channel.
 from __future__ import annotations
 
 import os
-from typing import Any, Dict, IO, Optional, Union
+from dataclasses import dataclass, field
+from typing import Any, Dict, IO, List, Optional, Union
 
-from repro.obs.events import JsonlSink, NULL_SINK, NullSink
+from repro.obs.events import BufferSink, JsonlSink, NULL_SINK, NullSink
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
-from repro.obs.spans import NULL_SPAN, NullSpan, Span, SpanRecorder
+from repro.obs.spans import NULL_SPAN, NullSpan, Span, SpanNode, SpanRecorder
 
 
 class _RecordingSpan:
@@ -57,6 +58,27 @@ class _RecordingSpan:
         self._span.__exit__(exc_type, exc, tb)
         tele.event("span", path=path, dur_s=self._span.duration)
         return None
+
+
+@dataclass
+class TelemetrySnapshot:
+    """Everything a buffered (per-worker) telemetry run recorded.
+
+    Snapshots are plain data — event dicts, a metrics registry, a span
+    tree — so they pickle across process boundaries.  The parent run
+    folds them back in with :meth:`SolverTelemetry.absorb`, in
+    work-item order, making the merged stream independent of worker
+    completion order.
+    """
+
+    events: List[Dict[str, Any]] = field(default_factory=list)
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+    spans: SpanNode = field(default_factory=lambda: SpanNode(""))
+
+    def span_seconds(self, name: str) -> float:
+        """Total seconds of a top-level span in this snapshot."""
+        node = self.spans.children.get(name)
+        return node.total_s if node is not None else 0.0
 
 
 class SolverTelemetry:
@@ -105,6 +127,16 @@ class SolverTelemetry:
         """Enabled, streaming events to a JSON-lines file or handle."""
         return cls(sink=JsonlSink(target))
 
+    @classmethod
+    def buffered(cls) -> "SolverTelemetry":
+        """Enabled, collecting events in memory for a later merge.
+
+        This is the per-worker observer of :mod:`repro.runtime`: the
+        worker records into the buffer, :meth:`snapshot` packages it,
+        and the parent telemetry replays it with :meth:`absorb`.
+        """
+        return cls(sink=BufferSink())
+
     # ------------------------------------------------------------------
     # Recording API (called from solver hot paths)
     # ------------------------------------------------------------------
@@ -137,6 +169,44 @@ class SolverTelemetry:
         """Record a histogram observation (no-op when disabled)."""
         if self.enabled:
             self.metrics.histogram(name).record(value)
+
+    # ------------------------------------------------------------------
+    # Worker-buffer merging (repro.runtime)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> TelemetrySnapshot:
+        """Package everything recorded so far for a cross-process merge."""
+        return TelemetrySnapshot(
+            events=list(getattr(self.sink, "events", [])),
+            metrics=self.metrics,
+            spans=self.spans.root,
+        )
+
+    def absorb(self, snapshot: Optional[TelemetrySnapshot]) -> None:
+        """Fold a worker snapshot into this telemetry deterministically.
+
+        Buffered events are re-emitted through :meth:`event` (fresh
+        ``seq`` numbers, original relative order); ``span`` events get
+        their paths prefixed with the currently open span path, so a
+        subtree recorded in a worker lands where a serial in-process
+        run would have put it.  Metrics merge by name and the span
+        tree grafts under the open span.  Call in work-item order —
+        the merged stream is then identical for serial and parallel
+        backends.
+        """
+        if snapshot is None or not self.enabled:
+            return
+        prefix = self.spans.current_path
+        for event in snapshot.events:
+            kind = str(event.get("ev", "event"))
+            fields = {k: v for k, v in event.items() if k not in ("ev", "seq")}
+            if kind == "span" and prefix:
+                child_path = str(fields.get("path", ""))
+                fields["path"] = (
+                    f"{prefix}/{child_path}" if child_path else prefix
+                )
+            self.event(kind, **fields)
+        self.metrics.merge(snapshot.metrics)
+        self.spans.graft(snapshot.spans)
 
     # ------------------------------------------------------------------
     # Lifecycle

@@ -1,0 +1,41 @@
+"""Unified execution-plan runtime for embarrassingly-parallel fan-out.
+
+Every fan-out in the reproduction — per-content equilibrium solves in
+the Algorithm 1 epoch loop, per-seed replication in the comparison
+experiments, per-variant parameter sweeps, per-repeat benchmark
+timings — has the same shape: independent work items whose results
+are consumed in a fixed order.  This package names that shape
+(:class:`ExecutionPlan` / :class:`WorkItem`) and provides pluggable
+backends to run it (:class:`SerialExecutor`,
+:class:`ParallelExecutor`), selected by spec string via
+:func:`make_executor` (``"serial"``, ``"process:4"``).
+
+Determinism contract: a plan's results and merged telemetry are
+bit-identical across backends.  Per-item RNG streams are spawned from
+one root with ``np.random.SeedSequence.spawn``, and per-worker
+telemetry buffers are absorbed in item order — see
+``docs/runtime.md``.
+"""
+
+from repro.runtime.executors import (
+    Executor,
+    ExecutorLike,
+    ParallelExecutor,
+    SerialExecutor,
+    as_executor,
+    make_executor,
+)
+from repro.runtime.plan import ExecutionPlan, ItemOutcome, WorkItem, execute_item
+
+__all__ = [
+    "ExecutionPlan",
+    "WorkItem",
+    "ItemOutcome",
+    "execute_item",
+    "Executor",
+    "ExecutorLike",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "as_executor",
+    "make_executor",
+]

@@ -92,6 +92,14 @@ class TestEpochLoop:
         with pytest.raises(ValueError, match="catalog"):
             MFGCPSolver(fast_config).run_epochs(catalog, bad_requests)
 
+    @pytest.mark.parametrize("cap", [0, -1])
+    def test_rejects_non_positive_active_cap(self, fast_config, cap):
+        catalog, requests = self.make_inputs()
+        with pytest.raises(ValueError, match="max_active_contents"):
+            MFGCPSolver(fast_config).run_epochs(
+                catalog, requests, max_active_contents=cap
+            )
+
 
 class TestEpochCapacityAllocation:
     @pytest.fixture(scope="class")

@@ -1,0 +1,134 @@
+"""Serial vs process-pool determinism regression tests.
+
+The ``repro.runtime`` contract: switching backends never changes the
+numbers.  These tests run the real fan-out sites — the Alg. 1 epoch
+loop and the seed-replicated scheme summaries — under the serial and a
+2-worker process backend and require bit-identical results, plus
+identical merged telemetry event streams (modulo sequence numbers and
+wall-clock timings).
+"""
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import run_scheme_summary
+from repro.content.catalog import ContentCatalog
+from repro.content.requests import RequestProcess
+from repro.content.timeliness import TimelinessModel
+from repro.core.parameters import MFGCPConfig
+from repro.core.solver import MFGCPSolver
+from repro.obs.telemetry import SolverTelemetry
+from repro.runtime import ParallelExecutor, SerialExecutor
+
+BACKENDS = {"serial": SerialExecutor, "process": lambda: ParallelExecutor(workers=2)}
+
+
+def tiny_config():
+    """A deliberately small grid: many contents, fast solves."""
+    return MFGCPConfig(
+        n_time_steps=25, n_h=7, n_q=17, max_iterations=15, tolerance=1e-3
+    )
+
+
+def run_epoch(executor, telemetry=None):
+    n_contents = 4
+    catalog = ContentCatalog.uniform(n_contents, size_mb=100.0)
+    requests = RequestProcess(
+        n_contents=n_contents,
+        rate_per_edp=60.0,
+        timeliness_model=TimelinessModel(l_max=3.0),
+        rng=np.random.default_rng(1),
+    )
+    solver = MFGCPSolver(tiny_config(), telemetry=telemetry, executor=executor)
+    return solver.run_epochs(catalog, requests, n_epochs=2)
+
+
+def normalised_events(buffer):
+    """Telemetry events with sequence numbers and timings stripped."""
+    events = []
+    buffer.seek(0)
+    for line in buffer:
+        if not line.strip():
+            continue
+        event = json.loads(line)
+        if event.get("ev") == "metrics":
+            continue
+        event.pop("seq", None)
+        for key in [k for k in event if k.endswith("_s")]:
+            event.pop(key)
+        events.append(event)
+    return events
+
+
+class TestEpochLoopDeterminism:
+    @pytest.fixture(scope="class")
+    def runs(self):
+        out = {}
+        for name, factory in BACKENDS.items():
+            buffer = io.StringIO()
+            telemetry = SolverTelemetry.to_jsonl(buffer)
+            results = run_epoch(factory(), telemetry=telemetry)
+            telemetry.close()
+            out[name] = (results, normalised_events(buffer))
+        return out
+
+    def test_enough_contents_to_matter(self, runs):
+        results, _ = runs["serial"]
+        assert all(len(r.active_contents) >= 4 for r in results)
+
+    def test_equilibria_bit_identical(self, runs):
+        serial, _ = runs["serial"]
+        parallel, _ = runs["process"]
+        assert len(serial) == len(parallel)
+        for a, b in zip(serial, parallel):
+            assert a.active_contents == b.active_contents
+            assert np.array_equal(a.popularity, b.popularity)
+            assert np.array_equal(a.timeliness, b.timeliness)
+            for k in a.equilibria:
+                ea, eb = a.equilibria[k], b.equilibria[k]
+                assert np.array_equal(ea.policy.table, eb.policy.table), k
+                assert np.array_equal(ea.density, eb.density), k
+                assert np.array_equal(ea.value, eb.value), k
+                assert np.array_equal(ea.mean_field.price, eb.mean_field.price), k
+
+    def test_telemetry_streams_identical(self, runs):
+        _, serial_events = runs["serial"]
+        _, parallel_events = runs["process"]
+        assert serial_events == parallel_events
+        kinds = {e["ev"] for e in serial_events}
+        assert "content_solve" in kinds
+        assert "epoch" in kinds
+        assert "iteration" in kinds
+
+
+class TestSchemeSummaryDeterminism:
+    @pytest.mark.parametrize("scheme", ["MFG-CP", "MPC", "RR"])
+    def test_summaries_bit_identical(self, scheme):
+        cfg = tiny_config()
+        summaries = {}
+        for name, factory in BACKENDS.items():
+            summaries[name] = run_scheme_summary(
+                scheme, cfg, n_edps=8, seeds=(7, 8, 9), executor=factory()
+            )
+        assert summaries["serial"] == summaries["process"]
+
+    def test_telemetry_streams_identical(self):
+        cfg = tiny_config()
+        streams = {}
+        for name, factory in BACKENDS.items():
+            buffer = io.StringIO()
+            telemetry = SolverTelemetry.to_jsonl(buffer)
+            run_scheme_summary(
+                "MFG-CP",
+                cfg,
+                n_edps=8,
+                seeds=(7, 8, 9),
+                telemetry=telemetry,
+                executor=factory(),
+            )
+            telemetry.close()
+            streams[name] = normalised_events(buffer)
+        assert streams["serial"] == streams["process"]

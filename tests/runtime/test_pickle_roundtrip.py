@@ -1,0 +1,83 @@
+"""Pickle round-trips for everything that crosses a process boundary.
+
+The process backend ships work items (configs, pre-solved equilibria)
+to pool workers and outcomes (results, telemetry snapshots) back, so
+these objects must survive ``pickle`` with every array bit-identical.
+"""
+
+import pickle
+
+import numpy as np
+
+from repro.core.parameters import MFGCPConfig
+from repro.core.solver import MFGCPSolver
+
+
+def roundtrip(obj):
+    return pickle.loads(pickle.dumps(obj))
+
+
+class TestConfigRoundtrip:
+    def test_fast_config(self, fast_config):
+        assert roundtrip(fast_config) == fast_config
+
+    def test_paper_default(self):
+        config = MFGCPConfig.paper_default()
+        assert roundtrip(config) == config
+
+
+class TestEquilibriumRoundtrip:
+    def test_arrays_survive(self, solved_equilibrium):
+        copy = roundtrip(solved_equilibrium)
+        assert copy.config == solved_equilibrium.config
+        assert np.array_equal(copy.policy.table, solved_equilibrium.policy.table)
+        assert np.array_equal(copy.density, solved_equilibrium.density)
+        assert np.array_equal(copy.value, solved_equilibrium.value)
+        assert copy.report.converged == solved_equilibrium.report.converged
+        assert copy.report.n_iterations == solved_equilibrium.report.n_iterations
+
+    def test_mean_field_path_survives(self, solved_equilibrium):
+        path = solved_equilibrium.mean_field
+        copy = roundtrip(path)
+        for name in (
+            "n_requests",
+            "mean_control",
+            "price",
+            "mean_q",
+            "mean_transfer",
+            "sharing_benefit",
+            "qualified_fraction",
+            "case3_fraction",
+        ):
+            assert np.array_equal(getattr(copy, name), getattr(path, name)), name
+
+    def test_copy_is_usable(self, solved_equilibrium):
+        copy = roundtrip(solved_equilibrium)
+        assert copy.accumulated_utility() == solved_equilibrium.accumulated_utility()
+
+
+class TestEpochResultRoundtrip:
+    def test_epoch_result_survives(self, fast_config):
+        from repro.content.catalog import ContentCatalog
+        from repro.content.requests import RequestProcess
+        from repro.content.timeliness import TimelinessModel
+
+        catalog = ContentCatalog.uniform(2, size_mb=100.0)
+        requests = RequestProcess(
+            n_contents=2,
+            rate_per_edp=40.0,
+            timeliness_model=TimelinessModel(l_max=3.0),
+            rng=np.random.default_rng(0),
+        )
+        (epoch,) = MFGCPSolver(fast_config).run_epochs(catalog, requests)
+        copy = roundtrip(epoch)
+        assert copy.epoch == epoch.epoch
+        assert copy.active_contents == epoch.active_contents
+        assert np.array_equal(copy.popularity, epoch.popularity)
+        assert np.array_equal(copy.timeliness, epoch.timeliness)
+        assert copy.equilibria.keys() == epoch.equilibria.keys()
+        for k in epoch.equilibria:
+            assert np.array_equal(
+                copy.equilibria[k].policy.table, epoch.equilibria[k].policy.table
+            )
+        assert copy.total_utility() == epoch.total_utility()

@@ -1,0 +1,109 @@
+"""Tests for execution plans and work items."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    ExecutionPlan,
+    ParallelExecutor,
+    SerialExecutor,
+    WorkItem,
+    as_executor,
+    execute_item,
+    make_executor,
+)
+
+
+def double(x):
+    return 2 * x
+
+
+def draw(x, rng=None):
+    return float(rng.standard_normal()) + x
+
+
+class TestWorkItem:
+    def test_validates_index(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            WorkItem(index=-1, fn=double, args=(1,))
+
+    def test_validates_fn(self):
+        with pytest.raises(TypeError, match="callable"):
+            WorkItem(index=0, fn="not a function")
+
+    def test_execute_returns_outcome(self):
+        outcome = execute_item(WorkItem(index=3, fn=double, args=(21,)))
+        assert outcome.index == 3
+        assert outcome.result == 42
+        assert outcome.telemetry is None
+
+
+class TestExecutionPlan:
+    def test_requires_contiguous_indices(self):
+        items = [WorkItem(index=1, fn=double, args=(1,))]
+        with pytest.raises(ValueError, match="indexed 0"):
+            ExecutionPlan(items)
+
+    def test_map_builds_labelled_items(self):
+        plan = ExecutionPlan.map(double, [(1,), (2,)], labels=["a", "b"])
+        assert len(plan) == 2
+        assert [item.label for item in plan] == ["a", "b"]
+        assert [item.args for item in plan] == [(1,), (2,)]
+
+    def test_map_default_labels(self):
+        plan = ExecutionPlan.map(double, [(1,)])
+        assert plan[0].label == "double[0]"
+
+    def test_map_rejects_label_mismatch(self):
+        with pytest.raises(ValueError, match="labels"):
+            ExecutionPlan.map(double, [(1,), (2,)], labels=["only-one"])
+
+    def test_map_spawns_reproducible_seeds(self):
+        plan_a = ExecutionPlan.map(draw, [(0,), (1,), (2,)], seed=42)
+        plan_b = ExecutionPlan.map(draw, [(0,), (1,), (2,)], seed=42)
+        results_a = [execute_item(item).result for item in plan_a]
+        results_b = [execute_item(item).result for item in plan_b]
+        assert results_a == results_b
+        # Different items draw from independent streams.
+        offsets = [r - i for i, r in enumerate(results_a)]
+        assert len(set(offsets)) == len(offsets)
+
+    def test_map_without_seed_injects_no_rng(self):
+        plan = ExecutionPlan.map(double, [(1,)])
+        assert plan[0].seed is None
+
+
+class TestMakeExecutor:
+    def test_serial_default(self):
+        assert isinstance(make_executor(), SerialExecutor)
+        assert isinstance(make_executor("serial"), SerialExecutor)
+
+    def test_process_spec(self):
+        executor = make_executor("process:3")
+        assert isinstance(executor, ParallelExecutor)
+        assert executor.workers == 3
+        assert executor.spec == "process:3"
+
+    def test_workers_argument_overrides_spec(self):
+        assert make_executor("process:3", workers=5).workers == 5
+
+    def test_bare_process_uses_cpu_count(self):
+        import os
+
+        assert make_executor("process").workers == max(1, os.cpu_count() or 1)
+
+    def test_rejects_unknown_spec(self):
+        with pytest.raises(ValueError, match="unknown executor spec"):
+            make_executor("threads")
+
+    def test_rejects_bad_worker_count(self):
+        with pytest.raises(ValueError, match="worker count"):
+            make_executor("process:lots")
+        with pytest.raises(ValueError, match="positive"):
+            make_executor("process:0")
+
+    def test_as_executor_normalises(self):
+        serial = SerialExecutor()
+        assert as_executor(serial) is serial
+        assert isinstance(as_executor(None), SerialExecutor)
+        assert isinstance(as_executor("process:2"), ParallelExecutor)

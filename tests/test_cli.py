@@ -113,6 +113,43 @@ class TestTelemetryFlag:
         assert read_events(out_file, kind="sim_end")
 
 
+class TestRuntimeFlags:
+    def test_parser_accepts_backend_and_workers(self):
+        args = build_parser().parse_args(
+            ["experiment", "fig14", "--backend", "process:2", "--workers", "3"]
+        )
+        assert args.backend == "process:2"
+        assert args.workers == 3
+
+    def test_backend_defaults_to_serial(self):
+        args = build_parser().parse_args(["solve", "--fast"])
+        assert args.backend == "serial"
+        assert args.workers is None
+
+    def test_simulate_with_process_backend(self, capsys):
+        assert main([
+            "simulate", "--fast", "--schemes", "RR,MPC", "--edps", "10",
+            "--seeds", "2", "--backend", "process:2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Finite-population comparison" in out
+
+    def test_backend_matches_serial_output(self, capsys):
+        argv = ["simulate", "--fast", "--schemes", "MPC", "--edps", "8",
+                "--seeds", "2"]
+        assert main(argv) == 0
+        serial_out = capsys.readouterr().out
+        assert main(argv + ["--backend", "process:2"]) == 0
+        parallel_out = capsys.readouterr().out
+        assert serial_out == parallel_out
+
+    def test_rejects_bad_backend_spec(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["solve", "--fast", "--backend", "threads"])
+        assert excinfo.value.code == 2
+        assert "unknown executor spec" in capsys.readouterr().err
+
+
 class TestReportCommand:
     def test_report_summarises_a_solve_run(self, tmp_path, capsys):
         out_file = tmp_path / "run.jsonl"
