@@ -1,0 +1,108 @@
+"""Serving-engine replay throughput (requests/second).
+
+Replays a contended trace (~100k requests over 8 EDPs) under the
+equilibrium-driven ``mfg`` policy and reports sustained replay
+throughput.  Equilibrium solves happen outside the timed region — the
+bench measures the request loop, not the solver.  The serial and a
+2-worker process backend are both timed and must produce bit-identical
+aggregate reports (the ``repro.runtime`` determinism contract on the
+serving plane).
+
+Run as a module to record the numbers as JSON for CI trending::
+
+    PYTHONPATH=src python benchmarks/bench_serve_throughput.py BENCH_serve.json
+"""
+
+import json
+import sys
+import time
+
+from repro.content.workloads import video_marketplace
+from repro.core.parameters import MFGCPConfig
+from repro.runtime import ParallelExecutor, SerialExecutor
+from repro.serve import ServingEngine
+
+try:
+    from conftest import run_once
+except ImportError:  # running as a plain script, outside pytest
+    run_once = None
+
+N_EDPS = 8
+N_CONTENTS = 8
+N_SLOTS = 20
+TOTAL_REQUESTS = 100_000
+
+
+def timed_replay(engine, policy="mfg"):
+    """One full replay under pre-solved equilibria; returns (report, secs)."""
+    t0 = time.perf_counter()
+    report = engine.replay(policy)
+    return report, time.perf_counter() - t0
+
+
+def build(executor=None):
+    workload = video_marketplace(n_contents=N_CONTENTS, seed=11)
+    config = MFGCPConfig.fast()
+    engine = ServingEngine(
+        workload,
+        N_EDPS,
+        config=config,
+        n_slots=N_SLOTS,
+        rate_per_edp=TOTAL_REQUESTS / (config.horizon * N_EDPS),
+        seed=0,
+        executor=executor,
+    )
+    engine.solve_equilibria()  # outside the timed region
+    return engine
+
+
+def measure():
+    """Throughput on both backends plus the determinism check."""
+    serial_engine = build(SerialExecutor())
+    serial_report, serial_s = timed_replay(serial_engine)
+
+    process_engine = build(ParallelExecutor(workers=2))
+    process_report, process_s = timed_replay(process_engine)
+
+    assert serial_report.summary() == process_report.summary(), (
+        "serial and process:2 replays must be bit-identical"
+    )
+    requests = serial_report.requests
+    return {
+        "requests": requests,
+        "n_edps": N_EDPS,
+        "n_contents": N_CONTENTS,
+        "n_slots": N_SLOTS,
+        "policy": "mfg",
+        "hit_ratio": serial_report.hit_ratio,
+        "serial_s": serial_s,
+        "serial_requests_per_s": requests / serial_s,
+        "process2_s": process_s,
+        "process2_requests_per_s": requests / process_s,
+    }
+
+
+def test_serve_throughput(benchmark):
+    engine = build(SerialExecutor())
+    report, _ = run_once(benchmark, timed_replay, engine)
+    rps = report.requests / benchmark.stats.stats.mean
+    print(
+        f"\nServing throughput — {report.requests} requests, "
+        f"{N_EDPS} EDPs, mfg policy: {rps:,.0f} req/s (serial)"
+    )
+    assert report.requests > 10_000
+    assert rps > 10_000, f"replay unexpectedly slow: {rps:,.0f} req/s"
+
+
+if __name__ == "__main__":
+    out_path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_serve.json"
+    record = measure()
+    with open(out_path, "w") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(
+        f"{record['requests']} requests: "
+        f"serial {record['serial_requests_per_s']:,.0f} req/s, "
+        f"process:2 {record['process2_requests_per_s']:,.0f} req/s"
+    )
+    print(f"wrote {out_path}")

@@ -5,8 +5,9 @@ Pricing: A Mean-Field Game Approach" (ICDE 2024).  The package
 implements the full system: the stochastic channel and caching-state
 substrates, the wireless network and economic models, the coupled
 HJB-FPK mean-field solver with iterative best-response learning, the
-finite-population stochastic differential game simulator, and the four
-comparison baselines.
+finite-population stochastic differential game simulator, the four
+comparison baselines, and a request-level serving engine
+(:mod:`repro.serve`) that replays traces against EDP edge caches.
 
 Quickstart
 ----------
@@ -71,6 +72,7 @@ from repro.content.timeliness import TimelinessModel, TimelinessTracker
 from repro.content.requests import RequestBatch, RequestProcess
 from repro.content.trace import (
     SyntheticYouTubeTrace,
+    TraceLoadResult,
     TraceRecord,
     load_trace_csv,
     trace_to_popularity,
@@ -116,6 +118,14 @@ from repro.runtime import (
     WorkItem,
     as_executor,
     make_executor,
+)
+
+from repro.serve import (
+    EdgeCache,
+    MFGPolicyAdapter,
+    ServingEngine,
+    ServingPolicy,
+    ServingReport,
 )
 
 from repro.baselines.base import CachingScheme, SchemeDecision
@@ -192,6 +202,7 @@ __all__ = [
     "RequestBatch",
     "SyntheticYouTubeTrace",
     "TraceRecord",
+    "TraceLoadResult",
     "load_trace_csv",
     "trace_to_popularity",
     # economics
@@ -234,6 +245,12 @@ __all__ = [
     "ParallelExecutor",
     "as_executor",
     "make_executor",
+    # serving
+    "ServingEngine",
+    "ServingPolicy",
+    "ServingReport",
+    "MFGPolicyAdapter",
+    "EdgeCache",
     # baselines
     "CachingScheme",
     "SchemeDecision",

@@ -8,7 +8,9 @@ machine-readable artifacts to plot or diff.  This module writes
   (:func:`write_series_csv`),
 * a solved equilibrium's full state (market paths, policy slices,
   marginal density) to a directory of CSVs
-  (:func:`export_equilibrium`), and
+  (:func:`export_equilibrium`),
+* serving-replay comparison tables from :mod:`repro.serve`
+  (:func:`export_serving`), and
 * arbitrary metadata to JSON (:func:`write_json`).
 
 Everything is plain ``csv`` / ``json`` from the standard library — no
@@ -160,3 +162,15 @@ def export_equilibrium(result: EquilibriumResult, directory: Union[str, Path]) -
         )
     )
     return written
+
+
+def export_serving(reports, directory: Union[str, Path]) -> List[Path]:
+    """Dump serving replay reports (see :mod:`repro.serve`) to CSV/JSON.
+
+    Thin convenience front for
+    :func:`repro.serve.report.export_serving_reports`, imported lazily
+    because :mod:`repro.serve` builds *on* this module's primitives.
+    """
+    from repro.serve.report import export_serving_reports
+
+    return export_serving_reports(reports, directory)

@@ -16,6 +16,12 @@ Subcommands
     top metrics (see ``docs/observability.md``).
 ``trace``
     Generate a synthetic YouTube-trending trace CSV.
+``serve``
+    Replay a synthetic request trace against a population of EDP edge
+    caches and report serving metrics (hit ratio, staleness-violation
+    rate, latency, backhaul, trading revenue) per policy — the MFG
+    equilibrium adapter alongside LRU/LFU/random/most-popular (see
+    ``docs/serving.md``).
 ``verify``
     Evaluate the Lemma 1/2 hypotheses and the Theorem 2 contraction
     diagnostics for a configuration.
@@ -35,6 +41,8 @@ Examples
     python -m repro.cli simulate --schemes MFG-CP,MFG --edps 60
     python -m repro.cli experiment fig14 --backend process:4
     python -m repro.cli trace --videos 500 --out /tmp/trace.csv
+    python -m repro.cli serve --policy all --requests 20000 --edps 16
+    python -m repro.cli serve --policy mfg --requests 1000000 --backend process:4
 """
 
 from __future__ import annotations
@@ -127,6 +135,38 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("--videos", type=int, default=1000)
     p_trace.add_argument("--seed", type=int, default=0)
     p_trace.add_argument("--out", required=True, help="output CSV path")
+
+    p_serve = sub.add_parser(
+        "serve", help="replay a request trace against EDP edge caches"
+    )
+    p_serve.add_argument("--policy", default="mfg",
+                         help="serving policy: one of mfg/lru/lfu/random/"
+                              "most-popular, a comma list, or 'all' for the "
+                              "full comparison table")
+    p_serve.add_argument("--requests", type=float, default=100_000,
+                         help="target total request volume across all EDPs "
+                              "(sets the per-EDP arrival rate)")
+    p_serve.add_argument("--edps", type=int, default=16,
+                         help="population size M")
+    p_serve.add_argument("--contents", type=int, default=12,
+                         help="catalog size K")
+    p_serve.add_argument("--workload", default="video_marketplace",
+                         choices=("video_marketplace", "traffic_information",
+                                  "news_cycle"),
+                         help="canned workload scenario")
+    p_serve.add_argument("--slots", type=int, default=25,
+                         help="trace slots over the epoch")
+    p_serve.add_argument("--capacity-fraction", type=float, default=0.3,
+                         help="edge storage as a fraction of catalog volume")
+    p_serve.add_argument("--seed", type=int, default=7,
+                         help="root seed for every per-EDP request stream")
+    p_serve.add_argument("--shards", type=int, default=None,
+                         help="replay shard count (default min(edps, 8); "
+                              "never affects results)")
+    p_serve.add_argument("--out", default=None,
+                         help="directory for CSV/JSON export of the reports")
+    add_telemetry_arg(p_serve)
+    add_runtime_args(p_serve)
 
     p_verify = sub.add_parser("verify", help="check Lemma 1/2 and Theorem 2 numerically")
     add_config_args(p_verify)
@@ -420,6 +460,68 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    # Imported lazily: the serve stack is only needed by this command.
+    from repro.content import workloads
+    from repro.serve import POLICY_NAMES, ServingEngine, REPORT_HEADERS
+    from repro.serve.report import comparison_rows, export_serving_reports
+
+    spec = args.policy.strip().lower()
+    names = list(POLICY_NAMES) if spec == "all" else [
+        s.strip() for s in spec.split(",") if s.strip()
+    ]
+    if not names:
+        print("error: no serving policy given", file=sys.stderr)
+        return 2
+    if args.workload == "video_marketplace":
+        workload = workloads.video_marketplace(
+            n_contents=args.contents, seed=args.seed
+        )
+    elif args.workload == "traffic_information":
+        workload = workloads.traffic_information(
+            n_roads=args.contents, seed=args.seed
+        )
+    else:
+        workload, _ = workloads.news_cycle(
+            n_contents=args.contents, seed=args.seed
+        )
+
+    telemetry = _telemetry_from_args(args)
+    executor = _executor_from_args(args)
+    config = MFGCPConfig.fast()
+    try:
+        engine = ServingEngine(
+            workload,
+            args.edps,
+            config=config,
+            n_slots=args.slots,
+            capacity_fraction=args.capacity_fraction,
+            rate_per_edp=args.requests / (config.horizon * args.edps),
+            seed=args.seed,
+            shards=args.shards,
+            executor=executor,
+            telemetry=telemetry,
+        )
+        reports = engine.compare(names)
+    except ValueError as err:
+        _close_telemetry(args, telemetry)
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    _close_telemetry(args, telemetry)
+    print(format_table(
+        list(REPORT_HEADERS),
+        comparison_rows(reports),
+        title=(
+            f"Serving comparison ({args.workload}, M={args.edps}, "
+            f"{reports[0].requests} requests)"
+        ),
+    ))
+    if args.out is not None:
+        for path in export_serving_reports(reports, args.out):
+            print(f"  wrote {path}")
+    return 0
+
+
 def _cmd_verify(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
     lemma1 = theory.verify_lemma1(config)
@@ -489,6 +591,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "experiment": _cmd_experiment,
         "report": _cmd_report,
         "trace": _cmd_trace,
+        "serve": _cmd_serve,
         "verify": _cmd_verify,
         "export": _cmd_export,
         "stationary": _cmd_stationary,

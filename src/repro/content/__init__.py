@@ -17,6 +17,7 @@ from repro.content.popularity import ZipfPopularity, PopularityTracker, zipf_dis
 from repro.content.timeliness import TimelinessModel, TimelinessTracker
 from repro.content.requests import RequestProcess, RequestBatch
 from repro.content.trace import (
+    TraceLoadResult,
     SyntheticYouTubeTrace,
     TraceRecord,
     load_trace_csv,
@@ -42,6 +43,7 @@ __all__ = [
     "RequestBatch",
     "SyntheticYouTubeTrace",
     "TraceRecord",
+    "TraceLoadResult",
     "load_trace_csv",
     "trace_to_popularity",
     "trace_windows",

@@ -34,10 +34,20 @@ class RequestBatch:
     timeliness: List[np.ndarray]
 
     def __post_init__(self) -> None:
-        if len(self.timeliness) != self.counts.shape[0]:
+        counts = np.asarray(self.counts)
+        if counts.ndim != 1:
+            raise ValueError(
+                f"counts must be a vector (one entry per content), got "
+                f"shape {counts.shape}"
+            )
+        if counts.shape[0] < 1:
+            raise ValueError("a request batch needs at least one content")
+        if np.any(counts < 0):
+            raise ValueError(f"request counts must be non-negative, got {counts}")
+        if len(self.timeliness) != counts.shape[0]:
             raise ValueError(
                 f"{len(self.timeliness)} timeliness groups for "
-                f"{self.counts.shape[0]} contents"
+                f"{counts.shape[0]} contents"
             )
         for k, (count, reqs) in enumerate(zip(self.counts, self.timeliness)):
             if len(reqs) != int(count):
@@ -78,10 +88,16 @@ class RequestProcess:
     rng: np.random.Generator = field(default_factory=np.random.default_rng)
 
     def __post_init__(self) -> None:
-        if self.n_contents < 1:
-            raise ValueError(f"need at least one content, got {self.n_contents}")
-        if self.rate_per_edp < 0:
-            raise ValueError(f"rate_per_edp must be non-negative, got {self.rate_per_edp}")
+        if int(self.n_contents) != self.n_contents or self.n_contents < 1:
+            raise ValueError(
+                f"catalog must hold at least one content, got "
+                f"n_contents={self.n_contents}"
+            )
+        if not np.isfinite(self.rate_per_edp) or self.rate_per_edp < 0:
+            raise ValueError(
+                f"rate_per_edp must be finite and non-negative, got "
+                f"{self.rate_per_edp}"
+            )
 
     def intensities(self, popularity: Sequence[float], dt: float) -> np.ndarray:
         """Per-content Poisson intensities for a slot of length ``dt``."""
@@ -92,6 +108,8 @@ class RequestProcess:
             )
         if dt <= 0:
             raise ValueError(f"dt must be positive, got {dt}")
+        if np.any(pop < 0):
+            raise ValueError(f"popularity values must be non-negative, got {pop}")
         total = pop.sum()
         if total <= 0:
             raise ValueError("popularity vector must have positive mass")

@@ -148,20 +148,50 @@ class SyntheticYouTubeTrace:
         return records
 
 
+class TraceLoadResult(List[TraceRecord]):
+    """The records parsed from a trace CSV, plus a skip count.
+
+    A plain list of :class:`TraceRecord` (all existing callers keep
+    working) carrying ``skipped_rows`` — how many data rows were
+    dropped as malformed (short rows, missing category, non-numeric
+    view counts).
+    """
+
+    def __init__(
+        self, records: Iterable[TraceRecord] = (), skipped_rows: int = 0
+    ) -> None:
+        super().__init__(records)
+        self.skipped_rows = int(skipped_rows)
+
+
+def _optional_count(value: object) -> int:
+    """A best-effort non-negative int from an optional CSV cell."""
+    try:
+        return max(0, int(float(value)))  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        return 0
+
+
 def load_trace_csv(
     path: Path,
     category_column: str = "category_id",
     views_column: str = "views",
-) -> List[TraceRecord]:
+) -> TraceLoadResult:
     """Load a real Kaggle trending CSV into :class:`TraceRecord` rows.
 
     Only the columns the paper actually uses are required; missing
-    optional columns default to zero/empty.
+    optional columns default to zero/empty.  Real trending dumps are
+    messy mid-file — short rows, missing categories, non-numeric view
+    counts — so malformed *data* rows are skipped rather than aborting
+    the load; the returned :class:`TraceLoadResult` counts them in
+    ``skipped_rows``.  A missing header or required column still
+    raises, since no row could ever parse.
     """
     path = Path(path)
     if not path.exists():
         raise FileNotFoundError(f"trace file not found: {path}")
     records: List[TraceRecord] = []
+    skipped = 0
     with path.open(newline="", encoding="utf-8", errors="replace") as handle:
         reader = csv.DictReader(handle)
         if reader.fieldnames is None or category_column not in reader.fieldnames:
@@ -169,27 +199,30 @@ def load_trace_csv(
                 f"trace file {path} lacks required column {category_column!r}"
             )
         for row_idx, row in enumerate(reader):
+            category = row.get(category_column)
+            if category is None or not str(category).strip():
+                skipped += 1  # short row: DictReader pads with None
+                continue
             try:
-                views = int(float(row.get(views_column, 0) or 0))
-            except ValueError as exc:
-                raise ValueError(
-                    f"row {row_idx}: malformed view count {row.get(views_column)!r}"
-                ) from exc
+                views = int(float(row.get(views_column) or 0))
+            except (TypeError, ValueError):
+                skipped += 1
+                continue
             tags_raw = row.get("tags", "") or ""
             tags = tuple(t.strip(' "') for t in tags_raw.split("|") if t.strip(' "'))
             records.append(
                 TraceRecord(
-                    video_id=str(row.get("video_id", f"row{row_idx}")),
-                    category=str(row[category_column]),
+                    video_id=str(row.get("video_id") or f"row{row_idx}"),
+                    category=str(category),
                     tags=tags,
                     views=max(0, views),
-                    likes=max(0, int(float(row.get("likes", 0) or 0))),
-                    comment_count=max(0, int(float(row.get("comment_count", 0) or 0))),
+                    likes=_optional_count(row.get("likes", 0)),
+                    comment_count=_optional_count(row.get("comment_count", 0)),
                     publish_time=0.0,
                     description=str(row.get("description", "") or ""),
                 )
             )
-    return records
+    return TraceLoadResult(records, skipped_rows=skipped)
 
 
 def trace_windows(

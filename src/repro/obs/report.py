@@ -6,7 +6,9 @@ and reconstructs the three views the CLI prints:
 * the aggregated wall-time **span tree** (where the seconds went);
 * the **iteration table** of Alg. 2 fixed-point diagnostics with
   per-stage timings;
-* the **top metrics** from the final registry snapshot.
+* the **top metrics** from the final registry snapshot;
+* a **serving replays** table when the run contains
+  ``serving_report`` events from :mod:`repro.serve`.
 
 Everything here is pure data transformation over dicts, so the report
 is reproducible from the file alone — no live solver state needed.
@@ -39,6 +41,7 @@ class RunSummary:
     iterations: List[Dict[str, Any]] = field(default_factory=list)
     solve_ends: List[Dict[str, Any]] = field(default_factory=list)
     metrics: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    serving_reports: List[Dict[str, Any]] = field(default_factory=list)
 
     @property
     def n_events(self) -> int:
@@ -69,6 +72,8 @@ def load_run(source: Union[str, "os.PathLike[str]", IO[str]]) -> RunSummary:
         elif kind == "metrics":
             # Later snapshots supersede earlier ones (one per close()).
             summary.metrics = dict(event.get("metrics", {}))
+        elif kind == "serving_report":
+            summary.serving_reports.append(event)
     return summary
 
 
@@ -153,6 +158,27 @@ def render_metrics(summary: RunSummary, top: int = 15) -> str:
     return _format_table(["metric", "kind", "value"], rows, title="metrics")
 
 
+def render_serving(summary: RunSummary) -> str:
+    """The serving replays recorded by :mod:`repro.serve` (if any)."""
+    if not summary.serving_reports:
+        return "(no serving replays recorded)"
+    rows = [
+        (
+            str(ev.get("policy", "?")),
+            int(ev.get("requests", 0)),
+            float(ev.get("hit_ratio", float("nan"))),
+            float(ev.get("staleness_violation_rate", float("nan"))),
+            float(ev.get("backhaul_mb", float("nan"))),
+        )
+        for ev in summary.serving_reports
+    ]
+    return _format_table(
+        ["policy", "requests", "hit ratio", "staleness rate", "backhaul MB"],
+        rows,
+        title="serving replays",
+    )
+
+
 def render_report(summary: RunSummary) -> str:
     """The full ``repro report`` body for one run."""
     sections = [
@@ -164,4 +190,6 @@ def render_report(summary: RunSummary) -> str:
         "",
         render_metrics(summary),
     ]
+    if summary.serving_reports:
+        sections.extend(["", render_serving(summary)])
     return "\n".join(sections)

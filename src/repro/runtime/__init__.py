@@ -25,13 +25,20 @@ from repro.runtime.executors import (
     as_executor,
     make_executor,
 )
-from repro.runtime.plan import ExecutionPlan, ItemOutcome, WorkItem, execute_item
+from repro.runtime.plan import (
+    ExecutionPlan,
+    ItemOutcome,
+    WorkItem,
+    execute_item,
+    partition_indices,
+)
 
 __all__ = [
     "ExecutionPlan",
     "WorkItem",
     "ItemOutcome",
     "execute_item",
+    "partition_indices",
     "Executor",
     "ExecutorLike",
     "SerialExecutor",

@@ -178,6 +178,29 @@ class ExecutionPlan:
         return self._items[index]
 
 
+def partition_indices(n: int, n_groups: int) -> List[Tuple[int, ...]]:
+    """Contiguous, near-even index groups for sharded fan-out.
+
+    The standard way to turn ``n`` independent units (EDPs, seeds,
+    contents) into at most ``n_groups`` work items: groups are
+    contiguous, sizes differ by at most one, and empty groups are
+    dropped (``n_groups > n`` collapses to one unit per group).
+    Grouping is a pure parallel grain — callers must keep per-unit
+    state self-contained so results never depend on it.
+    """
+    if n < 1:
+        raise ValueError(f"need at least one unit to partition, got {n}")
+    if n_groups < 1:
+        raise ValueError(f"need at least one group, got {n_groups}")
+    n_groups = min(n_groups, n)
+    bounds = np.linspace(0, n, n_groups + 1).astype(int)
+    return [
+        tuple(range(bounds[g], bounds[g + 1]))
+        for g in range(n_groups)
+        if bounds[g + 1] > bounds[g]
+    ]
+
+
 def execute_item(item: WorkItem, capture: bool = False) -> ItemOutcome:
     """Run one work item, optionally under a buffered telemetry.
 

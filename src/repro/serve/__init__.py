@@ -1,0 +1,64 @@
+"""Request-level serving engine over EDP edge caches.
+
+The :mod:`repro.serve` package replays a workload's request trace
+against a population of EDP caches under pluggable serving policies —
+classical baselines (LRU, LFU, random replacement, static
+most-popular) and :class:`MFGPolicyAdapter`, which drives admission,
+eviction, and refresh from the solved mean-field equilibrium.  Replays
+shard per EDP through :mod:`repro.runtime` and report bit-identical
+aggregates (and merged telemetry) on every backend.
+
+Entry points: :class:`ServingEngine` in code, ``repro serve`` on the
+command line, :func:`export_serving_reports` for CSV/JSON artifacts.
+"""
+
+from repro.serve.cache import CacheEntry, EdgeCache
+from repro.serve.engine import ReplaySpec, ServingEngine, replay_shard
+from repro.serve.events import (
+    RequestTraceSource,
+    SlotEvent,
+    edp_seed_sequences,
+    partition_edps,
+)
+from repro.serve.policies import (
+    LFUPolicy,
+    LRUPolicy,
+    MFGPolicyAdapter,
+    MostPopularPolicy,
+    POLICY_NAMES,
+    RandomEvictionPolicy,
+    ServingPolicy,
+    make_policy,
+)
+from repro.serve.report import (
+    EDPServingStats,
+    REPORT_HEADERS,
+    ServingReport,
+    comparison_rows,
+    export_serving_reports,
+)
+
+__all__ = [
+    "CacheEntry",
+    "EdgeCache",
+    "EDPServingStats",
+    "LFUPolicy",
+    "LRUPolicy",
+    "MFGPolicyAdapter",
+    "MostPopularPolicy",
+    "POLICY_NAMES",
+    "REPORT_HEADERS",
+    "RandomEvictionPolicy",
+    "ReplaySpec",
+    "RequestTraceSource",
+    "ServingEngine",
+    "ServingPolicy",
+    "ServingReport",
+    "SlotEvent",
+    "comparison_rows",
+    "edp_seed_sequences",
+    "export_serving_reports",
+    "make_policy",
+    "partition_edps",
+    "replay_shard",
+]

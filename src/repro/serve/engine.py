@@ -1,0 +1,465 @@
+"""The request-level serving engine: sharded trace replay.
+
+:class:`ServingEngine` replays a slotted request trace (from any
+:mod:`repro.content.workloads` scenario) against a population of EDP
+edge caches under a pluggable :class:`~repro.serve.policies.ServingPolicy`,
+and reports the serving outcomes the paper's evaluation never measures
+directly: hit ratio, staleness-violation rate, mean retrieval latency,
+backhaul volume, and per-request trading revenue.
+
+Execution shape
+---------------
+Replay is embarrassingly parallel per EDP: every EDP owns its request
+stream (an RNG child spawned from the root seed), its cache, and its
+counters.  The engine groups EDPs into shards and submits one
+:class:`~repro.runtime.ExecutionPlan` work item per shard, so the
+PR-2 runtime contract carries over verbatim — results and merged
+telemetry are bit-identical across ``serial`` and any ``process:N``
+backend, and across shard counts.
+
+Serving semantics (documented in ``docs/serving.md``)
+-----------------------------------------------------
+* A request for a cached content is a **hit**: served at the edge
+  wireless rate; the copy's age is checked against the request's
+  timeliness tolerance ``(L_max - L) / L_max * update_period`` and a
+  **staleness violation** is counted when the copy is older.
+* A request for an uncached content is a **miss**: served from the
+  cloud over the backhaul (fresh, slower, backhaul bytes counted).
+  The policy then decides once per missed batch whether to admit the
+  content, evicting victims of its choice until the copy fits.
+* Every served request earns the slot's trading price times the
+  content size (Eq. (6) with the mean-field price path when an
+  equilibrium is available, the flat ``p_hat`` otherwise); backhaul
+  cost ``eta2 / H_c`` per byte is charged against it in the report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.content.workloads import Workload
+from repro.core.best_response import BestResponseIterator
+from repro.core.equilibrium import EquilibriumResult
+from repro.core.parameters import MFGCPConfig
+from repro.obs.telemetry import NULL_TELEMETRY, SolverTelemetry
+from repro.runtime import ExecutionPlan, ExecutorLike, as_executor
+from repro.serve.cache import EdgeCache
+from repro.serve.events import RequestTraceSource, partition_edps
+from repro.serve.policies import ServingPolicy, make_policy
+from repro.serve.report import EDPServingStats, ServingReport
+
+
+@dataclass(frozen=True)
+class ReplaySpec:
+    """Everything one shard needs to replay its EDPs (picklable).
+
+    Attributes
+    ----------
+    source:
+        The request-trace recipe (per-EDP RNG streams included).
+    sizes_mb, update_periods:
+        Catalog geometry per content.
+    capacity_mb:
+        Per-EDP edge storage.
+    l_max:
+        Upper bound of the timeliness requirement range (fixes the
+        staleness tolerance map).
+    hit_latency_s, miss_latency_s:
+        Per-content retrieval latencies: edge wireless serve vs
+        cloud-then-edge serve (from :class:`repro.network.rate.RateModel`
+        and the backhaul rate ``H_c``).
+    price:
+        Trading price per slot and content, shape
+        ``(n_slots, n_contents)``.
+    eta2, backhaul_rate:
+        Backhaul cost constants carried into the report.
+    """
+
+    source: RequestTraceSource
+    sizes_mb: Tuple[float, ...]
+    update_periods: Tuple[float, ...]
+    capacity_mb: float
+    l_max: float
+    hit_latency_s: Tuple[float, ...]
+    miss_latency_s: Tuple[float, ...]
+    price: np.ndarray
+    eta2: float
+    backhaul_rate: float
+
+    def __post_init__(self) -> None:
+        k = self.source.n_contents
+        for name in ("sizes_mb", "update_periods", "hit_latency_s", "miss_latency_s"):
+            if len(getattr(self, name)) != k:
+                raise ValueError(
+                    f"{name} has {len(getattr(self, name))} entries for {k} contents"
+                )
+        price = np.asarray(self.price, dtype=float)
+        if price.shape != (self.source.n_slots, k):
+            raise ValueError(
+                f"price path shape {price.shape} does not match "
+                f"({self.source.n_slots}, {k})"
+            )
+        if self.capacity_mb <= 0:
+            raise ValueError(f"capacity_mb must be positive, got {self.capacity_mb}")
+        if self.l_max <= 0:
+            raise ValueError(f"l_max must be positive, got {self.l_max}")
+
+
+def _replay_edp(spec: ReplaySpec, policy: ServingPolicy, edp: int) -> EDPServingStats:
+    """Replay one EDP's full request stream against a fresh cache.
+
+    The single place serving semantics live; every backend and shard
+    layout funnels through here, which is what makes replays
+    bit-identical by construction.
+    """
+    request_rng, policy_rng = spec.source.rng_pair_for(edp)
+    cache = EdgeCache(capacity_mb=spec.capacity_mb)
+    stats = EDPServingStats(edp=edp)
+    stats.backhaul_mb += policy.warm(cache, 0.0)
+
+    sizes = spec.sizes_mb
+    hit_lat = spec.hit_latency_s
+    miss_lat = spec.miss_latency_s
+    periods = spec.update_periods
+    l_max = spec.l_max
+    price = spec.price
+
+    for event in spec.source.stream(edp, request_rng):
+        s, t, batch = event.slot, event.t, event.batch
+        for k in np.nonzero(batch.counts)[0]:
+            k = int(k)
+            c = int(batch.counts[k])
+            stats.requests += c
+            stats.revenue += c * price[s, k] * sizes[k]
+            entry = cache.lookup(k)
+            if entry is None:
+                # Miss: served from the cloud, fresh.  One admission
+                # decision per missed batch; victims leave until the
+                # new copy fits.
+                if cache.fits(sizes[k]) and policy.admit(s, k, c, cache, policy_rng):
+                    while not cache.has_room(sizes[k]):
+                        cache.evict(policy.victim(s, cache, policy_rng))
+                    entry = cache.store(k, sizes[k], t)
+                    entry.hits += c - 1
+                    stats.backhaul_mb += sizes[k]
+                    stats.hits += c - 1
+                    stats.latency_s += miss_lat[k] + (c - 1) * hit_lat[k]
+                else:
+                    stats.backhaul_mb += c * sizes[k]
+                    stats.latency_s += c * miss_lat[k]
+            else:
+                # Hit: served at the edge; check freshness first.
+                age = t - entry.fetched_at
+                if age > 0.0 and policy.refresh_due(s, k, age):
+                    stats.backhaul_mb += sizes[k]
+                    stats.refreshes += 1
+                    entry.fetched_at = t
+                    age = 0.0
+                if age > 0.0:
+                    tolerance = (l_max - batch.timeliness[k]) / l_max * periods[k]
+                    stats.staleness_violations += int(
+                        np.count_nonzero(age > tolerance)
+                    )
+                entry.last_used = t
+                entry.hits += c
+                stats.hits += c
+                stats.latency_s += c * hit_lat[k]
+    return stats
+
+
+def replay_shard(
+    spec: ReplaySpec,
+    policy: ServingPolicy,
+    edp_ids: Tuple[int, ...],
+    telemetry: SolverTelemetry = NULL_TELEMETRY,
+) -> List[EDPServingStats]:
+    """Replay one shard of EDPs (the ExecutionPlan work item).
+
+    Module-level and argument-complete, so it pickles to pool workers;
+    telemetry is the per-worker buffered observer the runtime injects.
+    """
+    with telemetry.span("replay_shard"):
+        results = [_replay_edp(spec, policy, int(edp)) for edp in edp_ids]
+    if telemetry.enabled:
+        for stats in results:
+            telemetry.inc("serve.requests", float(stats.requests))
+            telemetry.inc("serve.hits", float(stats.hits))
+            telemetry.inc("serve.misses", float(stats.misses))
+            telemetry.inc("serve.staleness_violations",
+                          float(stats.staleness_violations))
+            telemetry.inc("serve.refreshes", float(stats.refreshes))
+            telemetry.inc("serve.backhaul_mb", stats.backhaul_mb)
+            telemetry.observe("serve.edp_hit_ratio", stats.hit_ratio)
+            telemetry.observe("serve.edp_mean_latency_s", stats.mean_latency_s)
+        telemetry.event(
+            "serve_shard",
+            policy=policy.name,
+            edps=len(results),
+            requests=sum(s.requests for s in results),
+            hits=sum(s.hits for s in results),
+        )
+    return results
+
+
+def _solve_content(
+    config: MFGCPConfig, telemetry: SolverTelemetry = NULL_TELEMETRY
+) -> EquilibriumResult:
+    """Solve one content's equilibrium (ExecutionPlan work item)."""
+    return BestResponseIterator(config, telemetry=telemetry).solve()
+
+
+class ServingEngine:
+    """Replay a workload against a population of EDP edge caches.
+
+    Parameters
+    ----------
+    workload:
+        A :class:`repro.content.workloads.Workload` (catalog,
+        popularity, timeliness law, request process).
+    n_edps:
+        Population size ``M``.
+    config:
+        MFG-CP model constants (latency, pricing, equilibrium solves);
+        defaults to the fast preset so ``mfg`` replays stay cheap.
+    n_slots:
+        Trace resolution; the replay horizon is ``config.horizon``.
+    capacity_fraction / capacity_mb:
+        Per-EDP edge storage, as a fraction of the catalog volume or
+        absolute (absolute wins when both are given).
+    rate_per_edp:
+        Request intensity override; defaults to the workload's own.
+    seed:
+        Root seed for every per-EDP stream.
+    shards:
+        Replay shard count (defaults to ``min(n_edps, 8)``); pure
+        parallel grain, never affects results.
+    executor:
+        A :mod:`repro.runtime` backend, spec string, or ``None``.
+    telemetry:
+        The run's observer (shared with equilibrium solves).
+    """
+
+    def __init__(
+        self,
+        workload: Workload,
+        n_edps: int,
+        *,
+        config: Optional[MFGCPConfig] = None,
+        n_slots: int = 25,
+        capacity_fraction: float = 0.3,
+        capacity_mb: Optional[float] = None,
+        rate_per_edp: Optional[float] = None,
+        seed: int = 0,
+        shards: Optional[int] = None,
+        executor: ExecutorLike = None,
+        telemetry: SolverTelemetry = NULL_TELEMETRY,
+    ) -> None:
+        if n_edps < 1:
+            raise ValueError(f"need at least one EDP, got {n_edps}")
+        if not 0.0 < capacity_fraction <= 1.0 and capacity_mb is None:
+            raise ValueError(
+                f"capacity_fraction must lie in (0, 1], got {capacity_fraction}"
+            )
+        self.workload = workload
+        self.config = config if config is not None else MFGCPConfig.fast()
+        self.n_edps = int(n_edps)
+        self.executor = as_executor(executor)
+        self.telemetry = telemetry
+        self.shards = min(self.n_edps, 8) if shards is None else int(shards)
+        if self.shards < 1:
+            raise ValueError(f"shards must be positive, got {shards}")
+
+        catalog = workload.catalog
+        if len(catalog) == 0:
+            raise ValueError("workload catalog has no contents")
+        self.sizes_mb = tuple(float(c.size_mb) for c in catalog)
+        self.update_periods = tuple(float(c.update_period) for c in catalog)
+        total = sum(self.sizes_mb)
+        self.capacity_mb = (
+            float(capacity_mb) if capacity_mb is not None
+            else capacity_fraction * total
+        )
+        if self.capacity_mb < min(self.sizes_mb):
+            raise ValueError(
+                f"capacity {self.capacity_mb:.1f} MB holds no content "
+                f"(smallest is {min(self.sizes_mb):.1f} MB)"
+            )
+        rate = (
+            float(rate_per_edp) if rate_per_edp is not None
+            else float(workload.requests.rate_per_edp)
+        )
+        self.source = RequestTraceSource(
+            popularity=tuple(float(p) for p in workload.popularity),
+            rate_per_edp=rate,
+            timeliness=workload.timeliness_model,
+            n_slots=int(n_slots),
+            dt=self.config.horizon / int(n_slots),
+            seed=int(seed),
+            n_edps=self.n_edps,
+        )
+        self._equilibria: Optional[Dict[int, EquilibriumResult]] = None
+
+    # ------------------------------------------------------------------
+    # Equilibria (the mfg policy's input)
+    # ------------------------------------------------------------------
+    def solve_equilibria(self) -> Dict[int, EquilibriumResult]:
+        """Per-content equilibria on this engine's executor (cached).
+
+        Each content gets the engine config specialised to its
+        popularity share, size, and expected per-EDP request rate —
+        the same per-content independence the Alg. 1 epoch loop
+        exploits, fanned out through the runtime.
+        """
+        if self._equilibria is None:
+            configs = [
+                replace(
+                    self.config,
+                    popularity=float(np.clip(p, 0.0, 1.0)),
+                    content_size=self.sizes_mb[k],
+                    n_requests=self.source.rate_per_edp * float(p),
+                    timeliness=min(
+                        self.workload.timeliness_model.mean(),
+                        self.workload.timeliness_model.l_max,
+                    ),
+                )
+                for k, p in enumerate(self.source.popularity)
+            ]
+            plan = ExecutionPlan.map(
+                _solve_content,
+                [(cfg,) for cfg in configs],
+                labels=[f"serve_eq:content{k}" for k in range(len(configs))],
+                accepts_telemetry=True,
+            )
+            with self.telemetry.span("serve_solve_equilibria"):
+                results = self.executor.run(plan, telemetry=self.telemetry)
+            self._equilibria = dict(enumerate(results))
+        return self._equilibria
+
+    # ------------------------------------------------------------------
+    # Replay
+    # ------------------------------------------------------------------
+    def build_policy(self, name: str) -> ServingPolicy:
+        """Instantiate a policy by name (solving equilibria for mfg)."""
+        key = str(name).strip().lower()
+        kwargs = {}
+        if key == "mfg":
+            kwargs = dict(
+                equilibria=self.solve_equilibria(),
+                update_periods=self.update_periods,
+                slot_times=self.source.slot_times(),
+                horizon=self.source.horizon,
+            )
+        return make_policy(
+            key,
+            sizes_mb=self.sizes_mb,
+            popularity=self.source.popularity,
+            **kwargs,
+        )
+
+    def _price_path(self) -> np.ndarray:
+        """Trading price per (slot, content).
+
+        The mean-field price path (Eq. (17)) of each solved
+        equilibrium when available, the flat ``p_hat`` otherwise.
+        Shared by every policy of a comparison, so revenue differences
+        come from serving outcomes, not from different markets.
+        """
+        n_slots, k = self.source.n_slots, self.source.n_contents
+        if self._equilibria is None:
+            return np.full((n_slots, k), float(self.config.p_hat))
+        slot_times = self.source.slot_times()
+        price = np.empty((n_slots, k))
+        for idx, eq in self._equilibria.items():
+            t_eq = slot_times / self.source.horizon * eq.config.horizon
+            price[:, idx] = np.interp(t_eq, eq.grid.t, eq.mean_field.price)
+        return price
+
+    def spec(self) -> ReplaySpec:
+        """The picklable replay recipe shards receive."""
+        edge_rate = float(
+            self.config.channel.rate_of_fading(
+                np.asarray(self.config.channel.mean)
+            )
+        )
+        if edge_rate <= 0:
+            raise ValueError("edge wireless rate must be positive")
+        hit_latency = tuple(size / edge_rate for size in self.sizes_mb)
+        miss_latency = tuple(
+            size / self.config.backhaul_rate + lat
+            for size, lat in zip(self.sizes_mb, hit_latency)
+        )
+        return ReplaySpec(
+            source=self.source,
+            sizes_mb=self.sizes_mb,
+            update_periods=self.update_periods,
+            capacity_mb=self.capacity_mb,
+            l_max=float(self.workload.timeliness_model.l_max),
+            hit_latency_s=hit_latency,
+            miss_latency_s=miss_latency,
+            price=self._price_path(),
+            eta2=float(self.config.eta2),
+            backhaul_rate=float(self.config.backhaul_rate),
+        )
+
+    def replay(self, policy: Union[str, ServingPolicy]) -> ServingReport:
+        """Replay the full trace under one policy."""
+        policy_obj = (
+            policy if isinstance(policy, ServingPolicy)
+            else self.build_policy(policy)
+        )
+        spec = self.spec()
+        shards = partition_edps(self.n_edps, self.shards)
+        plan = ExecutionPlan.map(
+            replay_shard,
+            [(spec, policy_obj, shard) for shard in shards],
+            labels=[
+                f"serve:{policy_obj.name}:shard{i}" for i in range(len(shards))
+            ],
+            accepts_telemetry=True,
+        )
+        with self.telemetry.span(f"serve_replay_{policy_obj.name}"):
+            outcomes = self.executor.run(plan, telemetry=self.telemetry)
+        per_edp = tuple(stats for shard in outcomes for stats in shard)
+        report = ServingReport(
+            policy=policy_obj.name,
+            n_slots=self.source.n_slots,
+            dt=self.source.dt,
+            seed=self.source.seed,
+            eta2=float(self.config.eta2),
+            backhaul_rate=float(self.config.backhaul_rate),
+            per_edp=per_edp,
+        )
+        if self.telemetry.enabled:
+            self.telemetry.gauge(
+                f"serve.{policy_obj.name}.hit_ratio", report.hit_ratio
+            )
+            self.telemetry.event(
+                "serving_report",
+                policy=report.policy,
+                requests=report.requests,
+                hit_ratio=report.hit_ratio,
+                staleness_violation_rate=report.staleness_violation_rate,
+                backhaul_mb=report.backhaul_mb,
+            )
+        return report
+
+    def compare(
+        self, policies: Sequence[Union[str, ServingPolicy]]
+    ) -> List[ServingReport]:
+        """Replay the same trace under several policies.
+
+        Equilibria are solved up front when ``mfg`` is among the
+        policies so every report shares one price path; every replay
+        consumes identical per-EDP request streams (same root seed),
+        making the reports directly comparable request for request.
+        """
+        if not policies:
+            raise ValueError("no policies to compare")
+        if any(
+            isinstance(p, str) and p.strip().lower() == "mfg" for p in policies
+        ):
+            self.solve_equilibria()
+        return [self.replay(policy) for policy in policies]

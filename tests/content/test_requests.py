@@ -93,6 +93,24 @@ class TestRequestBatch:
         with pytest.raises(ValueError, match="groups"):
             RequestBatch(counts=np.array([1, 1]), timeliness=[np.array([1.0])])
 
+    def test_rejects_empty_batch(self):
+        with pytest.raises(ValueError, match="at least one content"):
+            RequestBatch(counts=np.array([]), timeliness=[])
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            RequestBatch(
+                counts=np.array([1, -2]),
+                timeliness=[np.array([1.0]), np.array([1.0, 1.0])],
+            )
+
+    def test_rejects_matrix_counts(self):
+        with pytest.raises(ValueError, match="vector"):
+            RequestBatch(
+                counts=np.array([[1], [2]]),
+                timeliness=[np.array([1.0]), np.array([1.0, 1.0])],
+            )
+
 
 class TestValidation:
     def test_rejects_no_contents(self):
@@ -102,3 +120,13 @@ class TestValidation:
     def test_rejects_negative_rate(self):
         with pytest.raises(ValueError, match="rate_per_edp"):
             make(rate=-1.0)
+
+    def test_rejects_non_finite_rate(self):
+        with pytest.raises(ValueError, match="rate_per_edp"):
+            make(rate=float("nan"))
+        with pytest.raises(ValueError, match="rate_per_edp"):
+            make(rate=float("inf"))
+
+    def test_rejects_negative_popularity(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            make().intensities([0.5, -0.1, 0.4, 0.2], dt=1.0)

@@ -6,6 +6,7 @@ import pytest
 from repro.content.trace import (
     DEFAULT_CATEGORIES,
     SyntheticYouTubeTrace,
+    TraceLoadResult,
     TraceRecord,
     load_trace_csv,
     trace_to_popularity,
@@ -127,11 +128,50 @@ class TestCSVLoader:
         with pytest.raises(ValueError, match="category_id"):
             load_trace_csv(path)
 
-    def test_malformed_views(self, tmp_path):
-        path = tmp_path / "bad.csv"
-        path.write_text("video_id,category_id,views\nv1,10,not-a-number\n")
-        with pytest.raises(ValueError, match="malformed"):
-            load_trace_csv(path)
+    def test_clean_file_skips_nothing(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text("video_id,category_id,views\nv1,10,100\n")
+        result = load_trace_csv(path)
+        assert isinstance(result, TraceLoadResult)
+        assert result.skipped_rows == 0
+
+    def test_malformed_rows_skipped_and_counted(self, tmp_path):
+        path = tmp_path / "messy.csv"
+        path.write_text(
+            "video_id,category_id,views\n"
+            "v1,10,100\n"           # good
+            "v2,24,not-a-number\n"  # non-numeric views
+            "v3\n"                  # short row (no category, no views)
+            "v4,,50\n"              # empty category
+            "v5,17,200\n"           # good
+            "v6,10,\n"              # empty views coerces to 0 (kept)
+        )
+        result = load_trace_csv(path)
+        assert isinstance(result, TraceLoadResult)
+        assert [r.video_id for r in result] == ["v1", "v5", "v6"]
+        assert result.skipped_rows == 3
+        assert result[2].views == 0
+
+    def test_result_behaves_like_a_list(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text("video_id,category_id,views\nv1,10,100\nv2,24,50\n")
+        result = load_trace_csv(path)
+        assert len(result) == 2
+        assert list(result)[0].category == "10"
+        # Downstream consumers (trace_to_popularity) see a plain list.
+        labels, _ = trace_to_popularity(result)
+        assert set(labels) == {"10", "24"}
+
+    def test_malformed_optional_columns_coerce_to_zero(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text(
+            "video_id,category_id,views,likes,comment_count\n"
+            "v1,10,100,oops,3\n"
+        )
+        result = load_trace_csv(path)
+        assert result.skipped_rows == 0
+        assert result[0].likes == 0
+        assert result[0].comment_count == 3
 
     def test_feeds_popularity(self, tmp_path):
         path = tmp_path / "trace.csv"

@@ -84,3 +84,48 @@ class TestNewsCycle:
         before = tracker.current.copy()
         tracker.observe(drift[1] * 500.0)
         assert not np.allclose(tracker.current, before)
+
+
+def _scenario(name, k, seed):
+    if name == "video_marketplace":
+        return video_marketplace(n_contents=k, seed=seed)
+    if name == "traffic_information":
+        return traffic_information(n_roads=k, seed=seed)
+    workload, _ = news_cycle(n_contents=k, seed=seed)
+    return workload
+
+
+SCENARIOS = ("video_marketplace", "traffic_information", "news_cycle")
+
+
+class TestScenarioContracts:
+    """The three invariants every canned scenario must satisfy."""
+
+    @pytest.mark.parametrize("name", SCENARIOS)
+    def test_popularity_is_normalised(self, name):
+        workload = _scenario(name, k=5, seed=4)
+        assert np.all(workload.popularity >= 0.0)
+        assert workload.popularity.sum() == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("name", SCENARIOS)
+    def test_catalog_and_request_shapes_agree(self, name):
+        workload = _scenario(name, k=7, seed=4)
+        assert len(workload.catalog) == 7
+        assert workload.popularity.shape == (7,)
+        assert workload.requests.n_contents == 7
+        batch = workload.requests.sample(workload.popularity, dt=0.1)
+        assert batch.counts.shape == (7,)
+        assert len(batch.timeliness) == 7
+
+    @pytest.mark.parametrize("name", SCENARIOS)
+    def test_seed_reproducibility(self, name):
+        a = _scenario(name, k=5, seed=11)
+        b = _scenario(name, k=5, seed=11)
+        c = _scenario(name, k=5, seed=12)
+        assert np.array_equal(a.popularity, b.popularity)
+        assert [x.size_mb for x in a.catalog] == [x.size_mb for x in b.catalog]
+        # A different seed shifts the demand profile for at least one
+        # scenario-defining quantity (popularity draws are random).
+        assert a.name == c.name
+        if name != "traffic_information":  # near-uniform by construction
+            assert not np.array_equal(a.popularity, c.popularity)

@@ -1,0 +1,80 @@
+"""Tests for the edge-cache mechanics."""
+
+import pytest
+
+from repro.serve import EdgeCache
+
+
+class TestCapacityAccounting:
+    def test_store_and_lookup(self):
+        cache = EdgeCache(capacity_mb=250.0)
+        entry = cache.store(3, 100.0, t=0.5)
+        assert cache.lookup(3) is entry
+        assert entry.fetched_at == 0.5
+        assert entry.last_used == 0.5
+        assert entry.hits == 0
+        assert 3 in cache
+        assert cache.lookup(7) is None
+
+    def test_used_and_free(self):
+        cache = EdgeCache(capacity_mb=250.0)
+        cache.store(0, 100.0, t=0.0)
+        cache.store(1, 100.0, t=0.0)
+        assert cache.used_mb == pytest.approx(200.0)
+        assert cache.free_mb == pytest.approx(50.0)
+        assert len(cache) == 2
+
+    def test_has_room_vs_fits(self):
+        cache = EdgeCache(capacity_mb=250.0)
+        cache.store(0, 200.0, t=0.0)
+        assert not cache.has_room(100.0)   # would need eviction
+        assert cache.fits(100.0)           # could fit after eviction
+        assert not cache.fits(300.0)       # can never fit
+
+    def test_evict_frees_room(self):
+        cache = EdgeCache(capacity_mb=250.0)
+        cache.store(0, 200.0, t=0.0)
+        evicted = cache.evict(0)
+        assert evicted.content == 0
+        assert cache.used_mb == 0.0
+        assert 0 not in cache
+
+    def test_insertion_order_preserved(self):
+        cache = EdgeCache(capacity_mb=500.0)
+        for k in (4, 1, 3):
+            cache.store(k, 100.0, t=0.0)
+        assert [e.content for e in cache] == [4, 1, 3]
+
+
+class TestEntryAge:
+    def test_age_advances_with_time(self):
+        cache = EdgeCache(capacity_mb=100.0)
+        entry = cache.store(0, 50.0, t=1.0)
+        assert entry.age(1.5) == pytest.approx(0.5)
+        assert entry.age(0.5) == 0.0  # clamped; clocks never run backwards
+
+
+class TestValidation:
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError, match="capacity"):
+            EdgeCache(capacity_mb=0.0)
+
+    def test_rejects_duplicate_store(self):
+        cache = EdgeCache(capacity_mb=300.0)
+        cache.store(0, 100.0, t=0.0)
+        with pytest.raises(ValueError, match="already cached"):
+            cache.store(0, 100.0, t=1.0)
+
+    def test_rejects_store_without_room(self):
+        cache = EdgeCache(capacity_mb=150.0)
+        cache.store(0, 100.0, t=0.0)
+        with pytest.raises(ValueError, match="no room"):
+            cache.store(1, 100.0, t=0.0)
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValueError, match="size_mb"):
+            EdgeCache(capacity_mb=100.0).store(0, 0.0, t=0.0)
+
+    def test_evict_missing_raises(self):
+        with pytest.raises(KeyError):
+            EdgeCache(capacity_mb=100.0).evict(5)

@@ -1,0 +1,126 @@
+"""Tests for the deterministic request-trace source."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.content.timeliness import TimelinessModel
+from repro.serve import RequestTraceSource, edp_seed_sequences, partition_edps
+
+
+def make_source(n_edps=4, n_slots=6, seed=5, rate=20.0):
+    return RequestTraceSource(
+        popularity=(0.5, 0.3, 0.2),
+        rate_per_edp=rate,
+        timeliness=TimelinessModel(l_max=3.0),
+        n_slots=n_slots,
+        dt=0.1,
+        seed=seed,
+        n_edps=n_edps,
+    )
+
+
+class TestSeedSequences:
+    def test_children_reproducible(self):
+        a = edp_seed_sequences(7, 5)
+        b = edp_seed_sequences(7, 5)
+        assert [c.entropy for c in a] == [c.entropy for c in b]
+        assert [c.spawn_key for c in a] == [c.spawn_key for c in b]
+
+    def test_children_distinct(self):
+        children = edp_seed_sequences(7, 5)
+        keys = {c.spawn_key for c in children}
+        assert len(keys) == 5
+
+    def test_rejects_bad_population(self):
+        with pytest.raises(ValueError, match="EDP"):
+            edp_seed_sequences(7, 0)
+
+
+class TestTraceSource:
+    def test_slot_times_are_midpoints(self):
+        source = make_source(n_slots=4)
+        assert np.allclose(source.slot_times(), [0.05, 0.15, 0.25, 0.35])
+        assert source.horizon == pytest.approx(0.4)
+
+    def test_stream_covers_all_slots(self):
+        source = make_source(n_slots=6)
+        events = list(source.stream(0))
+        assert [e.slot for e in events] == list(range(6))
+        assert all(e.batch.counts.shape == (3,) for e in events)
+
+    def test_stream_reproducible_per_edp(self):
+        source = make_source()
+        a = [e.batch.counts.tolist() for e in source.stream(2)]
+        b = [e.batch.counts.tolist() for e in source.stream(2)]
+        assert a == b
+
+    def test_streams_differ_across_edps(self):
+        source = make_source(rate=100.0)
+        a = [e.batch.counts.tolist() for e in source.stream(0)]
+        b = [e.batch.counts.tolist() for e in source.stream(1)]
+        assert a != b
+
+    def test_request_stream_independent_of_policy_draws(self):
+        """Burning policy draws must not perturb the request trace."""
+        source = make_source()
+        req_only, _ = source.rng_pair_for(1)
+        baseline = [e.batch.counts.tolist() for e in source.stream(1, req_only)]
+        req_rng, policy_rng = source.rng_pair_for(1)
+        interleaved = []
+        for event in source.stream(1, req_rng):
+            interleaved.append(event.batch.counts.tolist())
+            policy_rng.random(5)  # policy decisions draw elsewhere
+        assert interleaved == baseline
+
+    def test_expected_total_requests(self):
+        source = make_source(n_edps=4, n_slots=6, rate=20.0)
+        # 20 req/unit-time x 0.6 units x 4 EDPs
+        assert source.expected_total_requests() == pytest.approx(48.0)
+
+    def test_pickle_roundtrip(self):
+        source = make_source()
+        clone = pickle.loads(pickle.dumps(source))
+        a = [e.batch.counts.tolist() for e in source.stream(0)]
+        b = [e.batch.counts.tolist() for e in clone.stream(0)]
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="popularity"):
+            make_source().__class__(
+                popularity=(),
+                rate_per_edp=1.0,
+                timeliness=TimelinessModel(),
+                n_slots=2,
+                dt=0.1,
+                seed=0,
+                n_edps=1,
+            )
+        with pytest.raises(IndexError, match="out of range"):
+            make_source(n_edps=3).rng_pair_for(3)
+
+
+class TestPartition:
+    def test_covers_every_edp_once(self):
+        shards = partition_edps(10, 3)
+        flat = [e for shard in shards for e in shard]
+        assert flat == list(range(10))
+
+    def test_near_even_sizes(self):
+        sizes = [len(s) for s in partition_edps(10, 3)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_more_shards_than_edps_collapses(self):
+        shards = partition_edps(3, 8)
+        assert len(shards) == 3
+        assert all(len(s) == 1 for s in shards)
+
+    def test_single_shard(self):
+        assert partition_edps(4, 1) == [(0, 1, 2, 3)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="EDP"):
+            partition_edps(0, 2)
+        with pytest.raises(ValueError, match="shard"):
+            partition_edps(4, 0)

@@ -1,0 +1,143 @@
+"""Tests for serving-report containers and export."""
+
+import csv
+import json
+
+import pytest
+
+from repro.serve import (
+    EDPServingStats,
+    REPORT_HEADERS,
+    ServingReport,
+    comparison_rows,
+    export_serving_reports,
+)
+
+
+def make_stats(edp, requests=100, hits=60, violations=5, backhaul=250.0,
+               revenue=40.0, latency=12.0):
+    return EDPServingStats(
+        edp=edp,
+        requests=requests,
+        hits=hits,
+        staleness_violations=violations,
+        refreshes=2,
+        backhaul_mb=backhaul,
+        revenue=revenue,
+        latency_s=latency,
+    )
+
+
+def make_report(policy="lru", hits=60, **kwargs):
+    return ServingReport(
+        policy=policy,
+        n_slots=10,
+        dt=0.1,
+        seed=7,
+        eta2=1.0,
+        backhaul_rate=20.0,
+        per_edp=(make_stats(0, hits=hits), make_stats(1, hits=hits)),
+        **kwargs,
+    )
+
+
+class TestEDPStats:
+    def test_derived_metrics(self):
+        stats = make_stats(0)
+        assert stats.misses == 40
+        assert stats.hit_ratio == pytest.approx(0.6)
+        assert stats.mean_latency_s == pytest.approx(0.12)
+
+    def test_empty_edp_divides_safely(self):
+        stats = EDPServingStats(edp=0)
+        assert stats.hit_ratio == 0.0
+        assert stats.mean_latency_s == 0.0
+
+    def test_rejects_negative_edp(self):
+        with pytest.raises(ValueError, match="edp"):
+            EDPServingStats(edp=-1)
+
+
+class TestServingReport:
+    def test_aggregates_sum_over_edps(self):
+        report = make_report()
+        assert report.n_edps == 2
+        assert report.requests == 200
+        assert report.hits == 120
+        assert report.misses == 80
+        assert report.hit_ratio == pytest.approx(0.6)
+        assert report.staleness_violations == 10
+        assert report.staleness_violation_rate == pytest.approx(0.05)
+        assert report.backhaul_mb == pytest.approx(500.0)
+        assert report.revenue == pytest.approx(80.0)
+        assert report.mean_latency_s == pytest.approx(0.12)
+
+    def test_net_income_charges_backhaul(self):
+        report = make_report()
+        # eta2 * backhaul_mb / backhaul_rate = 1.0 * 500 / 20 = 25
+        assert report.backhaul_cost == pytest.approx(25.0)
+        assert report.net_income == pytest.approx(55.0)
+
+    def test_summary_round_trips_through_json(self):
+        summary = make_report().summary()
+        clone = json.loads(json.dumps(summary))
+        assert clone == summary
+        assert clone["policy"] == "lru"
+        assert clone["hit_ratio"] == pytest.approx(0.6)
+
+    def test_to_row_matches_headers(self):
+        row = make_report().to_row()
+        assert len(row) == len(REPORT_HEADERS)
+        assert row[0] == "lru"
+
+    def test_requires_edp_order(self):
+        with pytest.raises(ValueError, match="EDP order"):
+            ServingReport(
+                policy="lru", n_slots=1, dt=0.1, seed=0, eta2=1.0,
+                backhaul_rate=20.0, per_edp=(make_stats(1), make_stats(0)),
+            )
+
+    def test_requires_positive_backhaul_rate(self):
+        with pytest.raises(ValueError, match="backhaul_rate"):
+            ServingReport(
+                policy="lru", n_slots=1, dt=0.1, seed=0, eta2=1.0,
+                backhaul_rate=0.0,
+            )
+
+
+class TestComparison:
+    def test_rows_sorted_by_hit_ratio(self):
+        reports = [
+            make_report(policy="lru", hits=50),
+            make_report(policy="mfg", hits=90),
+            make_report(policy="random", hits=20),
+        ]
+        rows = comparison_rows(reports)
+        assert [r[0] for r in rows] == ["mfg", "lru", "random"]
+
+
+class TestExport:
+    def test_writes_expected_files(self, tmp_path):
+        reports = [make_report(policy="mfg", hits=90), make_report(policy="lru")]
+        written = export_serving_reports(reports, tmp_path)
+        names = {p.name for p in written}
+        assert names == {
+            "serving_comparison.csv",
+            "serving_summary.json",
+            "per_edp_mfg.csv",
+            "per_edp_lru.csv",
+        }
+        with open(tmp_path / "serving_comparison.csv", newline="") as fh:
+            rows = list(csv.reader(fh))
+        assert rows[0] == list(REPORT_HEADERS)
+        assert [r[0] for r in rows[1:]] == ["mfg", "lru"]
+        summary = json.loads((tmp_path / "serving_summary.json").read_text())
+        assert set(summary) == {"mfg", "lru"}
+        assert summary["mfg"]["requests"] == 200
+        with open(tmp_path / "per_edp_lru.csv", newline="") as fh:
+            edp_rows = list(csv.reader(fh))
+        assert len(edp_rows) == 3  # header + 2 EDPs
+
+    def test_rejects_empty(self, tmp_path):
+        with pytest.raises(ValueError, match="no serving reports"):
+            export_serving_reports([], tmp_path)
