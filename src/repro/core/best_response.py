@@ -26,6 +26,12 @@ from repro.core.hjb import HJBSolver
 from repro.core.mean_field import MeanFieldEstimator
 from repro.core.parameters import MFGCPConfig
 from repro.core.policy import CachingPolicy
+from repro.obs.diagnostics import (
+    IterationContext,
+    SolveDiagnostics,
+    SolveEndContext,
+    SolveStartContext,
+)
 from repro.obs.telemetry import NULL_TELEMETRY, SolverTelemetry
 
 
@@ -62,10 +68,10 @@ class BestResponseIterator:
     ) -> None:
         self.config = config
         self.grid = grid if grid is not None else build_grid(config)
-        self.hjb = HJBSolver(config, self.grid)
-        self.fpk = FPKSolver(config, self.grid)
-        self.estimator = MeanFieldEstimator(config, self.grid)
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self.hjb = HJBSolver(config, self.grid)
+        self.fpk = FPKSolver(config, self.grid, telemetry=self.telemetry)
+        self.estimator = MeanFieldEstimator(config, self.grid)
 
     def initial_policy(self, level: float = 0.5) -> np.ndarray:
         """The bootstrap policy table ``x^0`` (constant caching rate)."""
@@ -113,6 +119,11 @@ class BestResponseIterator:
         else:
             policy_table = self.initial_policy(initial_policy_level)
 
+        # Numerical-health probes: constructed only for enabled
+        # telemetry, so the NULL_TELEMETRY fast path pays a single
+        # boolean check per hook site below.
+        diagnostics = SolveDiagnostics(tele) if tele.enabled else None
+
         solve_span = tele.span("solve")
         solve_span.__enter__()
         tele.event(
@@ -122,6 +133,16 @@ class BestResponseIterator:
             damping=cfg.damping,
             grid_shape=list(grid.path_shape),
         )
+        if diagnostics is not None:
+            diagnostics.solve_start(
+                SolveStartContext(
+                    telemetry=tele,
+                    grid=grid,
+                    config=cfg,
+                    fpk=self.fpk,
+                    hjb=self.hjb,
+                )
+            )
         with tele.span("bootstrap"):
             density_path = self.fpk.solve(policy_table, density0)
             mean_field = self.estimator.estimate(density_path, policy_table)
@@ -174,6 +195,20 @@ class BestResponseIterator:
                     fpk_s=sp_fpk.duration,
                     mean_field_s=sp_mf.duration,
                 )
+            if diagnostics is not None:
+                diagnostics.iteration(
+                    IterationContext(
+                        telemetry=tele,
+                        grid=grid,
+                        config=cfg,
+                        hjb=self.hjb,
+                        iteration=iteration,
+                        density_path=density_path,
+                        solution=solution,
+                        mean_field=mean_field,
+                        policy_change=policy_change,
+                    )
+                )
             if policy_change < cfg.tolerance:
                 converged = True
                 break
@@ -185,6 +220,10 @@ class BestResponseIterator:
             final_policy_change=policy_change,
             history=history,
         )
+        if diagnostics is not None:
+            diagnostics.solve_end(
+                SolveEndContext(telemetry=tele, config=cfg, report=report)
+            )
         solve_span.__exit__(None, None, None)
         if tele.enabled:
             tele.gauge("solver.final_policy_change", policy_change)

@@ -62,27 +62,39 @@ def initial_density(
 
 
 class FPKSolver:
-    """Explicit conservative finite-difference solver for Eq. (15)."""
+    """Explicit conservative finite-difference solver for Eq. (15).
 
-    def __init__(self, config: MFGCPConfig, grid: StateGrid) -> None:
+    ``telemetry`` is optional and only consulted on failure paths (the
+    zero-mass guard in :meth:`StateGrid.normalize`); passing it lets a
+    dying forward sweep record a ``diag.density.zero_mass`` event
+    before raising.
+    """
+
+    def __init__(
+        self, config: MFGCPConfig, grid: StateGrid, telemetry=None
+    ) -> None:
         self.config = config
         self.grid = grid
+        self.telemetry = telemetry
         ch = config.channel
         self._drift_h = 0.5 * ch.reversion * (ch.mean - grid.h)[:, None]
         self._diff_h = 0.5 * ch.volatility**2
         self._diff_q = 0.5 * config.caching.noise**2
 
-    def substeps_per_interval(self) -> int:
-        """Number of CFL substeps per reporting interval."""
+    def stable_step(self) -> float:
+        """The CFL-stable explicit time step for this configuration."""
         cfg = self.config
         max_bh = float(np.max(np.abs(self._drift_h)))
         drift0 = float(np.abs(cfg.drift_rate(np.array(0.0))))
         drift1 = float(np.abs(cfg.drift_rate(np.array(1.0))))
         max_bq = max(drift0, drift1)
-        dt_stable = stable_time_step(
+        return stable_time_step(
             max_bh, max_bq, self.grid.dh, self.grid.dq, self._diff_h, self._diff_q
         )
-        return max(1, int(np.ceil(self.grid.dt / dt_stable)))
+
+    def substeps_per_interval(self) -> int:
+        """Number of CFL substeps per reporting interval."""
+        return max(1, int(np.ceil(self.grid.dt / self.stable_step())))
 
     def _step(self, density: np.ndarray, drift_q: np.ndarray, dt: float) -> np.ndarray:
         """One explicit conservative step of Eq. (15)."""
@@ -97,7 +109,7 @@ class FPKSolver:
         # Donor-cell + explicit diffusion can undershoot by rounding at
         # steep fronts; clip and renormalise to keep a probability law.
         new = np.maximum(new, 0.0)
-        return grid.normalize(new)
+        return grid.normalize(new, telemetry=self.telemetry)
 
     def solve(
         self,
@@ -130,7 +142,9 @@ class FPKSolver:
         if density0 is None:
             density = initial_density(grid, self.config)
         else:
-            density = grid.normalize(np.asarray(density0, dtype=float))
+            density = grid.normalize(
+                np.asarray(density0, dtype=float), telemetry=self.telemetry
+            )
 
         path = np.empty(grid.path_shape)
         path[0] = density

@@ -146,14 +146,28 @@ class StateGrid:
             )
         return float((grid_field * self.cell_weights()).sum())
 
-    def normalize(self, density: np.ndarray) -> np.ndarray:
-        """Rescale a non-negative field to unit mass."""
+    def normalize(self, density: np.ndarray, telemetry=None) -> np.ndarray:
+        """Rescale a non-negative field to unit mass.
+
+        ``telemetry`` (a :class:`repro.obs.telemetry.SolverTelemetry`,
+        duck-typed to keep this module dependency-free) receives a
+        ``diag.density.zero_mass`` event before the zero-mass
+        ``ValueError`` is raised, so a dying FPK sweep leaves its cause
+        in the event stream.
+        """
         density = np.asarray(density, dtype=float)
         if np.any(density < -1e-12):
             raise ValueError("density must be non-negative")
         density = np.maximum(density, 0.0)
         mass = self.integrate(density)
         if mass <= 0:
+            if telemetry is not None and getattr(telemetry, "enabled", False):
+                telemetry.diag(
+                    "density.zero_mass",
+                    "error",
+                    value=float(mass),
+                    message="density has zero mass; cannot normalise",
+                )
             raise ValueError("density has zero mass; cannot normalise")
         return density / mass
 

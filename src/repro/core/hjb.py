@@ -119,17 +119,20 @@ class HJBSolver:
     # ------------------------------------------------------------------
     # Sub-stepping
     # ------------------------------------------------------------------
-    def substeps_per_interval(self) -> int:
-        """Number of CFL substeps per reporting interval."""
+    def stable_step(self) -> float:
+        """The CFL-stable explicit time step for this configuration."""
         cfg = self.config
         max_bh = float(np.max(np.abs(self._drift_h)))
         drift0 = float(np.abs(cfg.drift_rate(np.array(0.0))))
         drift1 = float(np.abs(cfg.drift_rate(np.array(1.0))))
         max_bq = max(drift0, drift1)
-        dt_stable = stable_time_step(
+        return stable_time_step(
             max_bh, max_bq, self.grid.dh, self.grid.dq, self._diff_h, self._diff_q
         )
-        return max(1, int(np.ceil(self.grid.dt / dt_stable)))
+
+    def substeps_per_interval(self) -> int:
+        """Number of CFL substeps per reporting interval."""
+        return max(1, int(np.ceil(self.grid.dt / self.stable_step())))
 
     # ------------------------------------------------------------------
     # Godunov Hamiltonian in q
@@ -196,6 +199,46 @@ class HJBSolver:
     def control_from_value(self, value: np.ndarray) -> np.ndarray:
         """The Godunov-consistent policy for a value sheet."""
         return self._godunov_q(value)[1]
+
+    def residual_norm(
+        self,
+        value_path: np.ndarray,
+        mean_field: MeanFieldPath,
+        max_samples: int = 8,
+    ) -> float:
+        """Scale-free discrete residual of a settled value path.
+
+        Measures ``max_t || (V[t] - V[t+1]) / dt - L(V[t+1]; m(t)) ||_inf
+        / (1 + ||L||_inf)`` at up to ``max_samples`` evenly-spaced
+        reporting intervals, where ``L`` is the bracketed Eq. (20)
+        operator.  A healthy sweep leaves O(dt) residual (substepping +
+        the nonlinearity of the Godunov Hamiltonian); NaN/Inf or an
+        exploding value means the backward sweep diverged.  This is a
+        diagnostic for the numerical-health probes, not a convergence
+        criterion — it reuses the solver's own discretisation so the
+        number is comparable across runs of the same grid.
+        """
+        grid = self.grid
+        value_path = np.asarray(value_path, dtype=float)
+        if value_path.shape != grid.path_shape:
+            raise ValueError(
+                f"value path shape {value_path.shape} != grid {grid.path_shape}"
+            )
+        n_int = grid.n_t
+        n_samples = max(1, min(int(max_samples), n_int))
+        indices = np.unique(
+            np.linspace(0, n_int - 1, n_samples).round().astype(int)
+        )
+        worst = 0.0
+        for ti in indices:
+            ctx = mean_field.context(int(ti))
+            rhs, _ = self._step_rhs(value_path[ti + 1], ctx)
+            residual = (value_path[ti] - value_path[ti + 1]) / grid.dt - rhs
+            scale = 1.0 + float(np.max(np.abs(rhs)))
+            worst = max(worst, float(np.max(np.abs(residual))) / scale)
+            if not np.isfinite(worst):
+                return float("nan")
+        return worst
 
     def solve(
         self,

@@ -246,11 +246,19 @@ class MFGCPSolver:
                     labels=[f"content:{k}" for k in active],
                     accepts_telemetry=True,
                 )
-                outcomes = self.executor.execute(plan, capture=tele.enabled)
+                outcomes = self.executor.execute(
+                    plan,
+                    capture=tele.enabled,
+                    profile=tele.profile,
+                    strict_numerics=tele.strict_numerics,
+                )
                 equilibria: Dict[int, EquilibriumResult] = {}
+                unconverged: List[int] = []
                 for k, outcome in zip(active, outcomes):
                     equilibria[k] = outcome.result
-                    tele.absorb(outcome.telemetry)
+                    tele.absorb(outcome.telemetry, lane=plan[outcome.index].label)
+                    if not equilibria[k].report.converged:
+                        unconverged.append(int(k))
                     if tele.enabled:
                         tele.inc("epochs.content_solves")
                         tele.event(
@@ -264,6 +272,18 @@ class MFGCPSolver:
                             if outcome.telemetry is not None
                             else 0.0,
                         )
+                if unconverged and tele.enabled:
+                    tele.diag(
+                        "epoch.unconverged",
+                        "warning",
+                        value=float(len(unconverged)),
+                        message=(
+                            f"{len(unconverged)} of {len(active)} content "
+                            "solves hit max_iterations without converging"
+                        ),
+                        epoch=epoch,
+                        contents=unconverged,
+                    )
 
             if tele.enabled:
                 tele.inc("epochs.completed")

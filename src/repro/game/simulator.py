@@ -300,6 +300,7 @@ class GameSimulator:
         for group in self.groups:
             scheme_names[group.indices] = group.scheme.name
 
+        state_flagged = False
         for step in range(n_steps + 1):
             t = times[step]
             controls = self._decide_all(t, state)
@@ -340,6 +341,23 @@ class GameSimulator:
             if tele.enabled:
                 tele.inc("sim.steps")
                 tele.inc("sim.edp_steps", float(self.n_edps))
+                # Numerical-health guard: a NaN/Inf anywhere in the
+                # population state poisons every later step.  Reported
+                # once (the first bad step) to keep the stream small.
+                if not state_flagged and not (
+                    bool(np.isfinite(state.remaining).all())
+                    and bool(np.isfinite(state.fading).all())
+                    and bool(np.isfinite(market.prices).all())
+                ):
+                    state_flagged = True
+                    tele.diag(
+                        "sim.state_nonfinite",
+                        "error",
+                        value=float(step),
+                        message="population state contains NaN/Inf",
+                        step=int(step),
+                        t=float(t),
+                    )
 
             if step == n_steps:
                 break

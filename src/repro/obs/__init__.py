@@ -8,21 +8,55 @@ near-zero cost; enable it with ``SolverTelemetry.to_jsonl(path)`` or
 the CLI's ``--telemetry PATH.jsonl`` flag, then summarise the run with
 ``repro report PATH.jsonl``.
 
+On top of the raw stream sit the numerical-health probes
+(:mod:`repro.obs.diagnostics`, ``diag.*`` events with severities and
+an optional ``--strict-numerics`` fail-fast), opt-in span resource
+profiling (``profile=True`` / ``--profile``), the Chrome trace
+exporter (:mod:`repro.obs.trace`, ``repro trace``), and the cross-run
+comparator (:mod:`repro.obs.compare`, ``repro compare``).
+
 See ``docs/observability.md`` for the event schema and span semantics.
 """
 
-from repro.obs.events import BufferSink, JsonlSink, NULL_SINK, NullSink, read_events
+from repro.obs.compare import ComparisonResult, Delta, compare_bench, compare_runs
+from repro.obs.diagnostics import (
+    CFLMarginProbe,
+    DampingStabilityProbe,
+    DensityHealthProbe,
+    DiagnosticsProbe,
+    ExploitabilityTrendProbe,
+    HJBResidualProbe,
+    MassConservationProbe,
+    SolveDiagnostics,
+    default_probes,
+)
+from repro.obs.events import (
+    BufferSink,
+    EVENT_SCHEMA_VERSION,
+    JsonlSink,
+    NULL_SINK,
+    NullSink,
+    read_events,
+    read_events_tolerant,
+)
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.report import (
     RunSummary,
     load_run,
+    render_diagnostics,
     render_iteration_table,
     render_metrics,
     render_report,
     render_span_tree,
 )
 from repro.obs.spans import NULL_SPAN, NullSpan, Span, SpanNode, SpanRecorder
-from repro.obs.telemetry import NULL_TELEMETRY, SolverTelemetry, TelemetrySnapshot
+from repro.obs.telemetry import (
+    NULL_TELEMETRY,
+    SolverTelemetry,
+    StrictNumericsError,
+    TelemetrySnapshot,
+)
+from repro.obs.trace import build_chrome_trace, write_chrome_trace
 
 __all__ = [
     "Counter",
@@ -38,8 +72,11 @@ __all__ = [
     "JsonlSink",
     "NullSink",
     "NULL_SINK",
+    "EVENT_SCHEMA_VERSION",
     "read_events",
+    "read_events_tolerant",
     "SolverTelemetry",
+    "StrictNumericsError",
     "TelemetrySnapshot",
     "NULL_TELEMETRY",
     "RunSummary",
@@ -48,4 +85,20 @@ __all__ = [
     "render_span_tree",
     "render_iteration_table",
     "render_metrics",
+    "render_diagnostics",
+    "DiagnosticsProbe",
+    "SolveDiagnostics",
+    "default_probes",
+    "MassConservationProbe",
+    "DensityHealthProbe",
+    "HJBResidualProbe",
+    "CFLMarginProbe",
+    "ExploitabilityTrendProbe",
+    "DampingStabilityProbe",
+    "ComparisonResult",
+    "Delta",
+    "compare_runs",
+    "compare_bench",
+    "build_chrome_trace",
+    "write_chrome_trace",
 ]

@@ -22,7 +22,22 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Any, Dict, IO, List, Optional, Union
+from typing import Any, Dict, IO, List, Optional, Tuple, Union
+
+EVENT_SCHEMA_VERSION = 2
+"""Version of the JSONL event schema.
+
+Every :class:`JsonlSink` file starts with a header line
+``{"ev": "schema", "version": N}`` (no ``seq`` — it is a file header,
+not a recorded event).  Version history:
+
+* **1** — the original PR-1 stream (no header line).
+* **2** — header line added; ``diag.*`` numerical-health events,
+  optional span profiling fields (``cpu_s``/``rss_kb``/``gc``), and
+  the ``lane`` field on events absorbed from runtime work items.
+
+Readers must treat unknown fields as forward-compatible extensions.
+"""
 
 
 class NullSink:
@@ -91,6 +106,15 @@ class JsonlSink:
             self._handle = open(path, "w", encoding="utf-8")
             self._owns_handle = True
         self._closed = False
+        # Schema header: first line of every JSONL file, outside the
+        # seq-numbered event stream (see EVENT_SCHEMA_VERSION).
+        self._handle.write(
+            json.dumps(
+                {"ev": "schema", "version": EVENT_SCHEMA_VERSION},
+                separators=(",", ":"),
+            )
+        )
+        self._handle.write("\n")
 
     def emit(self, event: Dict[str, Any]) -> None:
         if self._closed:
@@ -130,12 +154,30 @@ def read_events(
     kind:
         Optional ``ev`` filter (e.g. ``"iteration"``).
     """
+    events, _ = read_events_tolerant(source, kind=kind, skip_invalid=False)
+    return events
+
+
+def read_events_tolerant(
+    source: Union[str, "os.PathLike[str]", IO[str]],
+    kind: Optional[str] = None,
+    skip_invalid: bool = True,
+) -> Tuple[List[Dict[str, Any]], int]:
+    """Load a JSONL event stream, optionally skipping malformed lines.
+
+    A run killed mid-write leaves a truncated final line; with
+    ``skip_invalid`` the line is counted instead of raising, so
+    ``repro report`` can still summarise the part that survived.
+
+    Returns ``(events, n_skipped)``.
+    """
     if hasattr(source, "read"):
         lines = source.read().splitlines()  # type: ignore[union-attr]
     else:
         with open(os.fspath(source), "r", encoding="utf-8") as handle:
             lines = handle.read().splitlines()
-    events = []
+    events: List[Dict[str, Any]] = []
+    skipped = 0
     for lineno, line in enumerate(lines, start=1):
         line = line.strip()
         if not line:
@@ -143,9 +185,15 @@ def read_events(
         try:
             event = json.loads(line)
         except json.JSONDecodeError as err:
+            if skip_invalid:
+                skipped += 1
+                continue
             raise ValueError(f"line {lineno} is not valid JSON: {err}") from err
         if not isinstance(event, dict):
+            if skip_invalid:
+                skipped += 1
+                continue
             raise ValueError(f"line {lineno} is not a JSON object: {event!r}")
         if kind is None or event.get("ev") == kind:
             events.append(event)
-    return events
+    return events, skipped

@@ -6,12 +6,15 @@ and reconstructs the three views the CLI prints:
 * the aggregated wall-time **span tree** (where the seconds went);
 * the **iteration table** of Alg. 2 fixed-point diagnostics with
   per-stage timings;
+* the **numerical health** summary of ``diag.*`` probe findings;
 * the **top metrics** from the final registry snapshot;
 * a **serving replays** table when the run contains
   ``serving_report`` events from :mod:`repro.serve`.
 
 Everything here is pure data transformation over dicts, so the report
 is reproducible from the file alone — no live solver state needed.
+Truncated final lines (a run killed mid-write) are skipped and
+counted, not fatal — the surviving prefix still summarises.
 """
 
 from __future__ import annotations
@@ -20,7 +23,10 @@ import os
 from dataclasses import dataclass, field
 from typing import Any, Dict, IO, List, Optional, Tuple, Union
 
-from repro.obs.events import read_events
+from repro.obs.events import read_events_tolerant
+
+DIAG_PREFIX = "diag."
+_SEVERITY_ORDER = {"info": 0, "warning": 1, "error": 2}
 
 
 def _format_table(*args, **kwargs):
@@ -42,6 +48,9 @@ class RunSummary:
     solve_ends: List[Dict[str, Any]] = field(default_factory=list)
     metrics: Dict[str, Dict[str, Any]] = field(default_factory=dict)
     serving_reports: List[Dict[str, Any]] = field(default_factory=list)
+    diagnostics: List[Dict[str, Any]] = field(default_factory=list)
+    n_skipped: int = 0
+    schema_version: Optional[int] = None
 
     @property
     def n_events(self) -> int:
@@ -51,14 +60,50 @@ class RunSummary:
         """The last ``solve_end`` event, if any solve completed."""
         return self.solve_ends[-1] if self.solve_ends else None
 
+    def diag_counts(self) -> Dict[str, int]:
+        """Findings per severity across every ``diag.*`` event."""
+        counts = {"info": 0, "warning": 0, "error": 0}
+        for event in self.diagnostics:
+            severity = str(event.get("severity", "info"))
+            counts[severity] = counts.get(severity, 0) + 1
+        return counts
+
+    def diag_by_check(self) -> Dict[str, Dict[str, Any]]:
+        """Per-check roll-up: count, worst severity, last value."""
+        rollup: Dict[str, Dict[str, Any]] = {}
+        for event in self.diagnostics:
+            check = str(event.get("ev", ""))[len(DIAG_PREFIX) :]
+            severity = str(event.get("severity", "info"))
+            entry = rollup.setdefault(
+                check,
+                {"count": 0, "worst": "info", "value": None, "message": ""},
+            )
+            entry["count"] += 1
+            if _SEVERITY_ORDER.get(severity, 0) >= _SEVERITY_ORDER.get(
+                entry["worst"], 0
+            ):
+                entry["worst"] = severity
+                if event.get("message"):
+                    entry["message"] = str(event["message"])
+            if "value" in event:
+                entry["value"] = event["value"]
+        return rollup
+
 
 def load_run(source: Union[str, "os.PathLike[str]", IO[str]]) -> RunSummary:
-    """Parse a JSONL event stream into a :class:`RunSummary`."""
-    events = read_events(source)
-    summary = RunSummary(events=events)
+    """Parse a JSONL event stream into a :class:`RunSummary`.
+
+    Malformed lines (typically a final line truncated when the run was
+    killed) are skipped and tallied in ``n_skipped``; the report header
+    surfaces the count.
+    """
+    events, skipped = read_events_tolerant(source)
+    summary = RunSummary(events=events, n_skipped=skipped)
     for event in events:
         kind = event.get("ev")
-        if kind == "span":
+        if kind == "schema":
+            summary.schema_version = int(event.get("version", 0)) or None
+        elif kind == "span":
             path = str(event.get("path", ""))
             count, total = summary.span_totals.get(path, (0, 0.0))
             summary.span_totals[path] = (
@@ -74,6 +119,8 @@ def load_run(source: Union[str, "os.PathLike[str]", IO[str]]) -> RunSummary:
             summary.metrics = dict(event.get("metrics", {}))
         elif kind == "serving_report":
             summary.serving_reports.append(event)
+        if isinstance(kind, str) and kind.startswith(DIAG_PREFIX):
+            summary.diagnostics.append(event)
     return summary
 
 
@@ -158,6 +205,44 @@ def render_metrics(summary: RunSummary, top: int = 15) -> str:
     return _format_table(["metric", "kind", "value"], rows, title="metrics")
 
 
+def render_diagnostics(summary: RunSummary) -> str:
+    """The numerical-health section: ``diag.*`` findings per check."""
+    counts = summary.diag_counts()
+    if not summary.diagnostics:
+        return (
+            "numerical health: no diag events recorded "
+            "(telemetry predates the probes or probes were disabled)"
+        )
+    header = (
+        "numerical health: "
+        f"{counts['error']} error(s), {counts['warning']} warning(s), "
+        f"{counts['info']} info finding(s)"
+    )
+    rows = []
+    rollup = summary.diag_by_check()
+    for check in sorted(
+        rollup,
+        key=lambda c: (-_SEVERITY_ORDER.get(rollup[c]["worst"], 0), c),
+    ):
+        entry = rollup[check]
+        value = entry["value"]
+        rows.append(
+            (
+                check,
+                entry["worst"],
+                entry["count"],
+                f"{value:.4g}" if isinstance(value, (int, float)) else "-",
+                entry["message"] or "-",
+            )
+        )
+    table = _format_table(
+        ["check", "worst", "count", "last value", "message"],
+        rows,
+        title="numerical health",
+    )
+    return f"{header}\n{table}"
+
+
 def render_serving(summary: RunSummary) -> str:
     """The serving replays recorded by :mod:`repro.serve` (if any)."""
     if not summary.serving_reports:
@@ -181,12 +266,19 @@ def render_serving(summary: RunSummary) -> str:
 
 def render_report(summary: RunSummary) -> str:
     """The full ``repro report`` body for one run."""
+    header = f"telemetry run: {summary.n_events} events"
+    if summary.schema_version is not None:
+        header += f" (schema v{summary.schema_version})"
+    if summary.n_skipped:
+        header += f", {summary.n_skipped} malformed line(s) skipped"
     sections = [
-        f"telemetry run: {summary.n_events} events",
+        header,
         "",
         render_span_tree(summary),
         "",
         render_iteration_table(summary),
+        "",
+        render_diagnostics(summary),
         "",
         render_metrics(summary),
     ]

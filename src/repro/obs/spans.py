@@ -12,23 +12,61 @@ calls and two dict operations per span.  The disabled fast path lives
 one layer up (:mod:`repro.obs.telemetry` hands out a shared no-op span
 when telemetry is off), so solver hot loops pay a single attribute
 check when observability is disabled.
+
+Resource profiling
+------------------
+A recorder built with ``profile=True`` additionally charges each span
+with process CPU time (``time.process_time``), resident-set-size
+growth (KB, from ``/proc/self/statm`` where available), and the number
+of garbage-collector collections that ran while the span was open.
+Profiling is opt-in because each sample costs a syscall + a
+``gc.get_stats()`` walk; the default recorder touches only
+``perf_counter``.  Profiled numbers are *measurements*, never inputs —
+solver results stay bit-identical with profiling on or off.
 """
 
 from __future__ import annotations
 
+import gc
+import os
 import time
 from typing import Dict, Iterator, List, Optional, Tuple
+
+
+def _read_rss_kb() -> float:
+    """Current resident set size in KB (0.0 when unavailable)."""
+    try:
+        with open("/proc/self/statm", "r", encoding="ascii") as handle:
+            pages = int(handle.read().split()[1])
+        return pages * (os.sysconf("SC_PAGE_SIZE") / 1024.0)
+    except (OSError, ValueError, IndexError):
+        try:
+            import resource
+
+            # ru_maxrss is KB on Linux (bytes on macOS; close enough
+            # for a fallback that only runs when /proc is missing).
+            return float(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+        except Exception:  # pragma: no cover - exotic platforms
+            return 0.0
+
+
+def _gc_collections() -> int:
+    """Cumulative garbage collections across all generations."""
+    return sum(int(stats.get("collections", 0)) for stats in gc.get_stats())
 
 
 class SpanNode:
     """Aggregated timings for one path in the span tree."""
 
-    __slots__ = ("name", "count", "total_s", "children")
+    __slots__ = ("name", "count", "total_s", "cpu_s", "rss_kb", "gc_collections", "children")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.count = 0
         self.total_s = 0.0
+        self.cpu_s = 0.0          # process CPU charged (profiling only)
+        self.rss_kb = 0.0         # net RSS growth in KB (profiling only)
+        self.gc_collections = 0   # GC collections while open (profiling only)
         self.children: Dict[str, "SpanNode"] = {}
 
     def child(self, name: str) -> "SpanNode":
@@ -51,6 +89,9 @@ class SpanNode:
         """
         self.count += other.count
         self.total_s += other.total_s
+        self.cpu_s += other.cpu_s
+        self.rss_kb += other.rss_kb
+        self.gc_collections += other.gc_collections
         for name, child in other.children.items():
             self.child(name).merge(child)
 
@@ -61,32 +102,65 @@ class SpanNode:
         for child in self.children.values():
             yield from child.walk(path)
 
+    # SpanNode uses __slots__, so give pickle an explicit state tuple
+    # (worker span trees cross the process boundary inside snapshots).
+    def __getstate__(self):
+        return (
+            self.name, self.count, self.total_s, self.cpu_s,
+            self.rss_kb, self.gc_collections, self.children,
+        )
+
+    def __setstate__(self, state) -> None:
+        (
+            self.name, self.count, self.total_s, self.cpu_s,
+            self.rss_kb, self.gc_collections, self.children,
+        ) = state
+
 
 class Span:
     """One live measurement; use as a context manager.
 
     After ``__exit__`` the measured wall time is available as
     :attr:`duration` — callers that need the number (e.g. the Table II
-    best-of-N timing) read it instead of re-timing.
+    best-of-N timing) read it instead of re-timing.  Under a profiling
+    recorder :attr:`cpu_s`, :attr:`rss_kb`, and :attr:`gc_collections`
+    carry the resource deltas.
     """
 
-    __slots__ = ("name", "duration", "_recorder", "_start", "_node")
+    __slots__ = (
+        "name", "duration", "cpu_s", "rss_kb", "gc_collections",
+        "_recorder", "_start", "_cpu0", "_rss0", "_gc0", "_node",
+    )
 
     def __init__(self, recorder: "SpanRecorder", name: str) -> None:
         self.name = name
         self.duration = 0.0
+        self.cpu_s = 0.0
+        self.rss_kb = 0.0
+        self.gc_collections = 0
         self._recorder = recorder
         self._start = 0.0
+        self._cpu0 = 0.0
+        self._rss0 = 0.0
+        self._gc0 = 0
         self._node: Optional[SpanNode] = None
 
     def __enter__(self) -> "Span":
         self._node = self._recorder._push(self.name)
+        if self._recorder.profile:
+            self._cpu0 = time.process_time()
+            self._rss0 = _read_rss_kb()
+            self._gc0 = _gc_collections()
         self._start = time.perf_counter()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
         self.duration = time.perf_counter() - self._start
-        self._recorder._pop(self._node, self.duration)
+        if self._recorder.profile:
+            self.cpu_s = time.process_time() - self._cpu0
+            self.rss_kb = _read_rss_kb() - self._rss0
+            self.gc_collections = _gc_collections() - self._gc0
+        self._recorder._pop(self, self._node)
         return None
 
 
@@ -96,6 +170,9 @@ class NullSpan:
     __slots__ = ()
     name = ""
     duration = 0.0
+    cpu_s = 0.0
+    rss_kb = 0.0
+    gc_collections = 0
 
     def __enter__(self) -> "NullSpan":
         return self
@@ -112,9 +189,17 @@ class SpanRecorder:
 
     Not thread-safe: one recorder belongs to one solver call chain,
     matching how telemetry objects are threaded through the pipeline.
+
+    Parameters
+    ----------
+    profile:
+        When True every span also samples process CPU time, RSS, and
+        GC collection counts on entry/exit and charges the deltas to
+        its tree node (see the module docstring).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, profile: bool = False) -> None:
+        self.profile = bool(profile)
         self.root = SpanNode("")
         self._stack: List[SpanNode] = [self.root]
 
@@ -128,14 +213,18 @@ class SpanRecorder:
         self._stack.append(node)
         return node
 
-    def _pop(self, node: SpanNode, duration: float) -> None:
+    def _pop(self, span: Span, node: SpanNode) -> None:
         popped = self._stack.pop()
         if popped is not node:  # pragma: no cover - misuse guard
             raise RuntimeError(
                 f"span {node.name!r} exited out of order (open: {popped.name!r})"
             )
         node.count += 1
-        node.total_s += duration
+        node.total_s += span.duration
+        if self.profile:
+            node.cpu_s += span.cpu_s
+            node.rss_kb += span.rss_kb
+            node.gc_collections += span.gc_collections
 
     def graft(self, root: SpanNode) -> None:
         """Attach another recorder's tree under the currently open span.
@@ -170,11 +259,14 @@ class SpanRecorder:
 
         def emit(node: SpanNode, depth: int) -> None:
             if node.count and node.total_s >= min_seconds:
-                lines.append(
+                line = (
                     f"{'  ' * depth}{node.name:<{max(1, 28 - 2 * depth)}} "
                     f"{node.total_s:>9.4f}s  x{node.count}"
                     f"  (avg {node.mean_s * 1e3:.2f} ms)"
                 )
+                if self.profile and node.cpu_s:
+                    line += f"  cpu {node.cpu_s:.4f}s"
+                lines.append(line)
             for child in node.children.values():
                 emit(child, depth + 1)
 

@@ -30,6 +30,32 @@ from repro.obs.events import BufferSink, JsonlSink, NULL_SINK, NullSink
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.spans import NULL_SPAN, NullSpan, Span, SpanNode, SpanRecorder
 
+DIAG_SEVERITIES = ("info", "warning", "error")
+"""Allowed severities for ``diag.*`` events, mildest first."""
+
+
+class StrictNumericsError(RuntimeError):
+    """Raised by :meth:`SolverTelemetry.diag` under ``strict_numerics``.
+
+    Fail-fast escalation: an error-severity numerical-health finding
+    (NaN density, mass blow-up, CFL violation, ...) aborts the run at
+    the first bad iteration instead of producing a garbage equilibrium
+    hours later.  The triggering event is still emitted before the
+    raise, so the JSONL stream records what went wrong.
+    """
+
+    def __init__(self, check: str, message: str = "", value: Optional[float] = None):
+        self.check = check
+        self.message = message
+        self.value = value
+        super().__init__(f"strict numerics: [{check}] {message}")
+
+    def __reduce__(self):
+        # Keep the structured fields across the process-pool boundary
+        # (default exception pickling would re-init with the formatted
+        # string as ``check``).
+        return (type(self), (self.check, self.message, self.value))
+
 
 class _RecordingSpan:
     """A span that also mirrors itself onto the event sink on exit."""
@@ -48,6 +74,14 @@ class _RecordingSpan:
     def duration(self) -> float:
         return self._span.duration
 
+    @property
+    def cpu_s(self) -> float:
+        return self._span.cpu_s
+
+    @property
+    def rss_kb(self) -> float:
+        return self._span.rss_kb
+
     def __enter__(self) -> "_RecordingSpan":
         self._span.__enter__()
         return self
@@ -56,7 +90,17 @@ class _RecordingSpan:
         tele = self._telemetry
         path = tele.spans.current_path
         self._span.__exit__(exc_type, exc, tb)
-        tele.event("span", path=path, dur_s=self._span.duration)
+        if tele.profile:
+            tele.event(
+                "span",
+                path=path,
+                dur_s=self._span.duration,
+                cpu_s=self._span.cpu_s,
+                rss_kb=round(self._span.rss_kb, 3),
+                gc=self._span.gc_collections,
+            )
+        else:
+            tele.event("span", path=path, dur_s=self._span.duration)
         return None
 
 
@@ -93,17 +137,28 @@ class SolverTelemetry:
         Force-enable without a sink — spans and metrics are recorded
         in memory and can be inspected programmatically (the Table II
         timing path uses this).
+    profile:
+        Opt into per-span resource profiling (process CPU, RSS delta,
+        GC collections); ``span`` events then carry
+        ``cpu_s``/``rss_kb``/``gc`` fields.  Ignored while disabled.
+    strict_numerics:
+        Escalate error-severity :meth:`diag` findings into a
+        :class:`StrictNumericsError` after emitting the event.
     """
 
     def __init__(
         self,
         sink: Optional[Union[NullSink, JsonlSink]] = None,
         enabled: Optional[bool] = None,
+        profile: bool = False,
+        strict_numerics: bool = False,
     ) -> None:
         self.sink = sink if sink is not None else NULL_SINK
         self.enabled = bool(self.sink.enabled) if enabled is None else bool(enabled)
+        self.profile = bool(profile) and self.enabled
+        self.strict_numerics = bool(strict_numerics)
         self.metrics = MetricsRegistry()
-        self.spans = SpanRecorder()
+        self.spans = SpanRecorder(profile=self.profile)
         self._seq = 0
         self._closed = False
 
@@ -116,26 +171,37 @@ class SolverTelemetry:
         return cls()
 
     @classmethod
-    def in_memory(cls) -> "SolverTelemetry":
+    def in_memory(
+        cls, profile: bool = False, strict_numerics: bool = False
+    ) -> "SolverTelemetry":
         """Enabled without a sink: spans/metrics recorded, no events."""
-        return cls(enabled=True)
+        return cls(enabled=True, profile=profile, strict_numerics=strict_numerics)
 
     @classmethod
     def to_jsonl(
-        cls, target: Union[str, "os.PathLike[str]", IO[str]]
+        cls,
+        target: Union[str, "os.PathLike[str]", IO[str]],
+        profile: bool = False,
+        strict_numerics: bool = False,
     ) -> "SolverTelemetry":
         """Enabled, streaming events to a JSON-lines file or handle."""
-        return cls(sink=JsonlSink(target))
+        return cls(
+            sink=JsonlSink(target), profile=profile, strict_numerics=strict_numerics
+        )
 
     @classmethod
-    def buffered(cls) -> "SolverTelemetry":
+    def buffered(
+        cls, profile: bool = False, strict_numerics: bool = False
+    ) -> "SolverTelemetry":
         """Enabled, collecting events in memory for a later merge.
 
         This is the per-worker observer of :mod:`repro.runtime`: the
         worker records into the buffer, :meth:`snapshot` packages it,
         and the parent telemetry replays it with :meth:`absorb`.
         """
-        return cls(sink=BufferSink())
+        return cls(
+            sink=BufferSink(), profile=profile, strict_numerics=strict_numerics
+        )
 
     # ------------------------------------------------------------------
     # Recording API (called from solver hot paths)
@@ -170,6 +236,48 @@ class SolverTelemetry:
         if self.enabled:
             self.metrics.histogram(name).record(value)
 
+    def diag(
+        self,
+        check: str,
+        severity: str,
+        value: Optional[float] = None,
+        threshold: Optional[float] = None,
+        message: str = "",
+        **fields: Any,
+    ) -> None:
+        """Emit a numerical-health finding as a ``diag.<check>`` event.
+
+        Besides the event, findings tally into ``diag.findings`` and
+        per-severity ``diag.<severity>`` counters so reports can show
+        health at a glance without re-scanning the stream.  Under
+        ``strict_numerics``, an ``"error"`` finding raises
+        :class:`StrictNumericsError` *after* the event is emitted —
+        the stream records the cause of the abort.
+
+        Diag values must be deterministic functions of solver state
+        (never wall-clock-derived), preserving the serial-vs-parallel
+        bit-identity contract of :mod:`repro.runtime`.
+        """
+        if not self.enabled:
+            return
+        if severity not in DIAG_SEVERITIES:
+            raise ValueError(
+                f"diag severity must be one of {DIAG_SEVERITIES}, got {severity!r}"
+            )
+        payload: Dict[str, Any] = {"severity": severity}
+        if value is not None:
+            payload["value"] = value
+        if threshold is not None:
+            payload["threshold"] = threshold
+        if message:
+            payload["message"] = message
+        payload.update(fields)
+        self.event(f"diag.{check}", **payload)
+        self.metrics.counter("diag.findings").inc()
+        self.metrics.counter(f"diag.{severity}").inc()
+        if severity == "error" and self.strict_numerics:
+            raise StrictNumericsError(check, message or f"{check} failed", value)
+
     # ------------------------------------------------------------------
     # Worker-buffer merging (repro.runtime)
     # ------------------------------------------------------------------
@@ -181,7 +289,11 @@ class SolverTelemetry:
             spans=self.spans.root,
         )
 
-    def absorb(self, snapshot: Optional[TelemetrySnapshot]) -> None:
+    def absorb(
+        self,
+        snapshot: Optional[TelemetrySnapshot],
+        lane: Optional[str] = None,
+    ) -> None:
         """Fold a worker snapshot into this telemetry deterministically.
 
         Buffered events are re-emitted through :meth:`event` (fresh
@@ -192,18 +304,29 @@ class SolverTelemetry:
         tree grafts under the open span.  Call in work-item order —
         the merged stream is then identical for serial and parallel
         backends.
+
+        ``lane`` tags every re-emitted event with the originating work
+        item's label (e.g. ``content:3``).  The Chrome trace exporter
+        uses lanes as thread rows, so a Perfetto view of a ``process:4``
+        run shows per-work-item swimlanes.  Because lanes derive from
+        the execution *plan* — not from which OS worker happened to run
+        the item — the field is identical across backends.
         """
         if snapshot is None or not self.enabled:
             return
         prefix = self.spans.current_path
         for event in snapshot.events:
             kind = str(event.get("ev", "event"))
+            if kind == "schema":  # defensive: never duplicate file headers
+                continue
             fields = {k: v for k, v in event.items() if k not in ("ev", "seq")}
             if kind == "span" and prefix:
                 child_path = str(fields.get("path", ""))
                 fields["path"] = (
                     f"{prefix}/{child_path}" if child_path else prefix
                 )
+            if lane is not None and "lane" not in fields:
+                fields["lane"] = lane
             self.event(kind, **fields)
         self.metrics.merge(snapshot.metrics)
         self.spans.graft(snapshot.spans)

@@ -42,11 +42,18 @@ class Executor(abc.ABC):
         """The ``make_executor`` spec string that reproduces this backend."""
 
     @abc.abstractmethod
-    def execute(self, plan: ExecutionPlan, capture: bool = False) -> List[ItemOutcome]:
+    def execute(
+        self,
+        plan: ExecutionPlan,
+        capture: bool = False,
+        profile: bool = False,
+        strict_numerics: bool = False,
+    ) -> List[ItemOutcome]:
         """Run every item; outcomes returned in item order.
 
         ``capture`` turns on per-item buffered telemetry (the caller
-        absorbs the snapshots).
+        absorbs the snapshots); ``profile`` and ``strict_numerics``
+        configure that buffered observer to match the parent's.
         """
 
     def run(
@@ -59,13 +66,20 @@ class Executor(abc.ABC):
         When an enabled ``telemetry`` is given, each item records into
         a buffered per-worker observer and the snapshots are absorbed
         here, in item order — the merged stream does not depend on the
-        backend or on worker completion order.
+        backend or on worker completion order.  Absorbed events are
+        tagged with the item's label as their ``lane`` (the Chrome
+        trace exporter's thread rows).
         """
         tele = telemetry if telemetry is not None else NULL_TELEMETRY
-        outcomes = self.execute(plan, capture=tele.enabled)
+        outcomes = self.execute(
+            plan,
+            capture=tele.enabled,
+            profile=tele.profile,
+            strict_numerics=tele.strict_numerics,
+        )
         results = []
         for outcome in outcomes:
-            tele.absorb(outcome.telemetry)
+            tele.absorb(outcome.telemetry, lane=plan[outcome.index].label)
             results.append(outcome.result)
         return results
 
@@ -80,8 +94,17 @@ class SerialExecutor(Executor):
     def spec(self) -> str:
         return "serial"
 
-    def execute(self, plan: ExecutionPlan, capture: bool = False) -> List[ItemOutcome]:
-        return [execute_item(item, capture) for item in plan]
+    def execute(
+        self,
+        plan: ExecutionPlan,
+        capture: bool = False,
+        profile: bool = False,
+        strict_numerics: bool = False,
+    ) -> List[ItemOutcome]:
+        return [
+            execute_item(item, capture, profile=profile, strict_numerics=strict_numerics)
+            for item in plan
+        ]
 
 
 class ParallelExecutor(Executor):
@@ -115,16 +138,32 @@ class ParallelExecutor(Executor):
     def spec(self) -> str:
         return f"process:{self.workers}"
 
-    def execute(self, plan: ExecutionPlan, capture: bool = False) -> List[ItemOutcome]:
+    def execute(
+        self,
+        plan: ExecutionPlan,
+        capture: bool = False,
+        profile: bool = False,
+        strict_numerics: bool = False,
+    ) -> List[ItemOutcome]:
         if len(plan) <= 1 or self.workers == 1:
             # Nothing to overlap; skip the pool spin-up entirely.
-            return [execute_item(item, capture) for item in plan]
+            return [
+                execute_item(
+                    item, capture, profile=profile, strict_numerics=strict_numerics
+                )
+                for item in plan
+            ]
         from concurrent.futures import ProcessPoolExecutor
 
         with ProcessPoolExecutor(max_workers=min(self.workers, len(plan))) as pool:
             outcomes = list(
                 pool.map(
-                    partial(execute_item, capture=capture),
+                    partial(
+                        execute_item,
+                        capture=capture,
+                        profile=profile,
+                        strict_numerics=strict_numerics,
+                    ),
                     plan.items,
                     chunksize=self.chunksize,
                 )

@@ -201,16 +201,28 @@ def partition_indices(n: int, n_groups: int) -> List[Tuple[int, ...]]:
     ]
 
 
-def execute_item(item: WorkItem, capture: bool = False) -> ItemOutcome:
+def execute_item(
+    item: WorkItem,
+    capture: bool = False,
+    profile: bool = False,
+    strict_numerics: bool = False,
+) -> ItemOutcome:
     """Run one work item, optionally under a buffered telemetry.
 
     This is the single entry point every backend funnels through — in
     the parent process for :class:`~repro.runtime.executors.SerialExecutor`,
     inside pool workers for the process backend — so both observe
     identical semantics: per-item RNG injection, per-item buffered
-    telemetry, one :class:`ItemOutcome` back.
+    telemetry, one :class:`ItemOutcome` back.  ``profile`` and
+    ``strict_numerics`` mirror the parent telemetry's settings onto the
+    per-item buffered observer, so worker spans carry resource fields
+    and error-severity diagnostics fail fast inside workers too.
     """
-    telemetry = SolverTelemetry.buffered() if capture else None
+    telemetry = (
+        SolverTelemetry.buffered(profile=profile, strict_numerics=strict_numerics)
+        if capture
+        else None
+    )
     kwargs = dict(item.kwargs)
     if item.seed is not None:
         kwargs["rng"] = np.random.default_rng(item.seed)

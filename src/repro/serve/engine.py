@@ -108,7 +108,12 @@ class ReplaySpec:
             raise ValueError(f"l_max must be positive, got {self.l_max}")
 
 
-def _replay_edp(spec: ReplaySpec, policy: ServingPolicy, edp: int) -> EDPServingStats:
+def _replay_edp(
+    spec: ReplaySpec,
+    policy: ServingPolicy,
+    edp: int,
+    telemetry: SolverTelemetry = NULL_TELEMETRY,
+) -> EDPServingStats:
     """Replay one EDP's full request stream against a fresh cache.
 
     The single place serving semantics live; every backend and shard
@@ -167,6 +172,18 @@ def _replay_edp(spec: ReplaySpec, policy: ServingPolicy, edp: int) -> EDPServing
                 entry.hits += c
                 stats.hits += c
                 stats.latency_s += c * hit_lat[k]
+    if telemetry.enabled and cache.used_mb > spec.capacity_mb * (1 + 1e-9):
+        # Invariant check: admission/eviction must never leave the
+        # cache over capacity; an overshoot means a policy bug.
+        telemetry.diag(
+            "serve.occupancy",
+            "error",
+            value=float(cache.used_mb),
+            threshold=float(spec.capacity_mb),
+            message="edge cache occupancy exceeds capacity",
+            edp=int(edp),
+            policy=policy.name,
+        )
     return stats
 
 
@@ -182,8 +199,32 @@ def replay_shard(
     telemetry is the per-worker buffered observer the runtime injects.
     """
     with telemetry.span("replay_shard"):
-        results = [_replay_edp(spec, policy, int(edp)) for edp in edp_ids]
+        results = [
+            _replay_edp(spec, policy, int(edp), telemetry=telemetry)
+            for edp in edp_ids
+        ]
     if telemetry.enabled:
+        # Staleness anomaly: an EDP serving most of its hits stale means
+        # the refresh schedule is mis-tuned for this workload.
+        stale_edps = [
+            int(stats.edp)
+            for stats in results
+            if stats.requests > 0
+            and stats.staleness_violations / stats.requests > 0.5
+        ]
+        if stale_edps:
+            telemetry.diag(
+                "serve.staleness",
+                "warning",
+                value=float(len(stale_edps)),
+                threshold=0.5,
+                message=(
+                    f"{len(stale_edps)} EDPs exceed a 50% staleness-violation "
+                    "rate"
+                ),
+                policy=policy.name,
+                edps=stale_edps,
+            )
         for stats in results:
             telemetry.inc("serve.requests", float(stats.requests))
             telemetry.inc("serve.hits", float(stats.hits))

@@ -1,0 +1,155 @@
+"""Tests for the Chrome trace-event exporter."""
+
+import io
+import json
+
+from repro.obs import SolverTelemetry
+from repro.obs.trace import MAIN_LANE, build_chrome_trace, write_chrome_trace
+
+
+def span(path, dur_s, lane=None, **extra):
+    event = {"ev": "span", "path": path, "dur_s": dur_s, **extra}
+    if lane is not None:
+        event["lane"] = lane
+    return event
+
+
+def complete_events(doc):
+    return [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+
+
+def by_name(doc):
+    return {e["args"]["path"]: e for e in complete_events(doc)}
+
+
+class TestTimelineReconstruction:
+    def test_child_nested_inside_parent(self):
+        # Post-order close: child emits before parent.
+        doc = build_chrome_trace([
+            span("solve/hjb", 0.5),
+            span("solve", 1.0),
+        ])
+        spans = by_name(doc)
+        child, parent = spans["solve/hjb"], spans["solve"]
+        assert parent["ts"] <= child["ts"]
+        assert child["ts"] + child["dur"] <= parent["ts"] + parent["dur"]
+
+    def test_siblings_pack_sequentially(self):
+        doc = build_chrome_trace([
+            span("solve/hjb", 0.5),
+            span("solve/fpk", 0.25),
+            span("solve", 1.0),
+        ])
+        spans = by_name(doc)
+        assert spans["solve/fpk"]["ts"] >= (
+            spans["solve/hjb"]["ts"] + spans["solve/hjb"]["dur"]
+        )
+
+    def test_parent_covers_slow_children(self):
+        # Children that together exceed the parent's own measured
+        # duration stretch the parent's interval.
+        doc = build_chrome_trace([
+            span("solve/a", 2.0),
+            span("solve/b", 3.0),
+            span("solve", 1.0),
+        ])
+        spans = by_name(doc)
+        parent_end = spans["solve"]["ts"] + spans["solve"]["dur"]
+        for child in ("solve/a", "solve/b"):
+            assert spans[child]["ts"] + spans[child]["dur"] <= parent_end + 1e-6
+
+    def test_durations_are_microseconds(self):
+        doc = build_chrome_trace([span("solve", 0.25)])
+        (entry,) = complete_events(doc)
+        assert entry["dur"] == 250_000
+
+    def test_profiling_fields_forwarded_to_args(self):
+        doc = build_chrome_trace([
+            span("solve", 1.0, cpu_s=0.9, rss_kb=120.0, gc=3),
+        ])
+        (entry,) = complete_events(doc)
+        assert entry["args"]["cpu_s"] == 0.9
+        assert entry["args"]["rss_kb"] == 120.0
+        assert entry["args"]["gc"] == 3
+
+
+class TestLanes:
+    def test_lanes_become_threads(self):
+        doc = build_chrome_trace([
+            span("content/solve", 1.0, lane="content:0"),
+            span("content/solve", 1.0, lane="content:1"),
+            span("epoch", 3.0),
+        ])
+        names = {
+            e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e.get("name") == "thread_name"
+        }
+        assert names == {MAIN_LANE, "content:0", "content:1"}
+
+    def test_main_lane_gets_tid_zero(self):
+        doc = build_chrome_trace([
+            span("work", 1.0, lane="content:0"),
+            span("epoch", 1.0),
+        ])
+        meta = {
+            e["args"]["name"]: e["tid"]
+            for e in doc["traceEvents"]
+            if e.get("name") == "thread_name"
+        }
+        assert meta[MAIN_LANE] == 0
+
+    def test_lanes_do_not_interleave(self):
+        doc = build_chrome_trace([
+            span("solve", 1.0, lane="content:0"),
+            span("solve", 1.0, lane="content:1"),
+        ])
+        tids = {e["tid"] for e in complete_events(doc)}
+        assert len(tids) == 2
+
+
+class TestDiagMarkers:
+    def test_diag_events_become_instants(self):
+        doc = build_chrome_trace([
+            span("solve/iteration", 1.0),
+            {"ev": "diag.fpk.mass_drift", "severity": "warning",
+             "value": 1e-6},
+        ])
+        (marker,) = [e for e in doc["traceEvents"] if e.get("ph") == "i"]
+        assert marker["name"] == "diag.fpk.mass_drift [warning]"
+        assert marker["args"]["value"] == 1e-6
+
+    def test_non_span_non_diag_events_ignored(self):
+        doc = build_chrome_trace([
+            {"ev": "iteration", "iteration": 1},
+            {"ev": "metrics", "metrics": {}},
+        ])
+        assert complete_events(doc) == []
+
+
+class TestRealTelemetryExport:
+    def test_recorded_stream_roundtrips_to_valid_json(self, tmp_path):
+        buf = io.StringIO()
+        tele = SolverTelemetry.to_jsonl(buf)
+        with tele.span("solve"):
+            with tele.span("iteration"):
+                tele.diag("fpk.mass_drift", "info", value=1e-15)
+        tele.close()
+        buf.seek(0)
+        events = [json.loads(line) for line in buf if line.strip()]
+
+        out = tmp_path / "trace.json"
+        stats = write_chrome_trace(events, out)
+        assert stats == {"spans": 2, "diags": 1, "lanes": 1}
+
+        doc = json.loads(out.read_text())
+        assert doc["displayTimeUnit"] == "ms"
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        assert phases == {"M", "X", "i"}
+
+    def test_schema_header_is_ignored(self):
+        doc = build_chrome_trace([
+            {"ev": "schema", "version": 2},
+            span("solve", 1.0),
+        ])
+        assert len(complete_events(doc)) == 1

@@ -4,7 +4,19 @@ import io
 
 import pytest
 
-from repro.obs import JsonlSink, NULL_SINK, SolverTelemetry, read_events
+from repro.obs import (
+    EVENT_SCHEMA_VERSION,
+    JsonlSink,
+    NULL_SINK,
+    SolverTelemetry,
+    read_events,
+    read_events_tolerant,
+)
+
+
+def _without_header(events):
+    """Drop the schema-header line JsonlSink writes first."""
+    return [e for e in events if e.get("ev") != "schema"]
 
 
 class TestJsonlSink:
@@ -14,7 +26,8 @@ class TestJsonlSink:
             sink.emit({"ev": "a", "x": 1})
             sink.emit({"ev": "b", "y": [1, 2]})
         events = read_events(path)
-        assert events == [{"ev": "a", "x": 1}, {"ev": "b", "y": [1, 2]}]
+        assert events[0] == {"ev": "schema", "version": EVENT_SCHEMA_VERSION}
+        assert events[1:] == [{"ev": "a", "x": 1}, {"ev": "b", "y": [1, 2]}]
 
     def test_kind_filter(self, tmp_path):
         path = tmp_path / "run.jsonl"
@@ -28,7 +41,7 @@ class TestJsonlSink:
         path = tmp_path / "deep" / "nested" / "run.jsonl"
         with JsonlSink(path) as sink:
             sink.emit({"ev": "a"})
-        assert read_events(path) == [{"ev": "a"}]
+        assert _without_header(read_events(path)) == [{"ev": "a"}]
 
     def test_handle_target_left_open(self):
         buf = io.StringIO()
@@ -37,7 +50,7 @@ class TestJsonlSink:
         sink.close()
         assert not buf.closed
         buf.seek(0)
-        assert read_events(buf) == [{"ev": "a"}]
+        assert _without_header(read_events(buf)) == [{"ev": "a"}]
 
     def test_emit_after_close_raises(self, tmp_path):
         sink = JsonlSink(tmp_path / "run.jsonl")
@@ -74,8 +87,21 @@ class TestTelemetryEvents:
         tele.event("b")
         tele.close()
         buf.seek(0)
-        events = read_events(buf)
+        events = _without_header(read_events(buf))
         assert [e["seq"] for e in events] == [1, 2]
+
+    def test_header_first_and_tolerant_reader_counts_truncation(self):
+        buf = io.StringIO()
+        tele = SolverTelemetry.to_jsonl(buf)
+        tele.event("a")
+        tele.close()
+        # Simulate a run killed mid-write: truncated final line.
+        buf.write('{"ev": "b", "seq"')
+        buf.seek(0)
+        events, skipped = read_events_tolerant(buf)
+        assert events[0] == {"ev": "schema", "version": EVENT_SCHEMA_VERSION}
+        assert skipped == 1
+        assert [e["ev"] for e in events] == ["schema", "a"]
 
     def test_no_wallclock_timestamps(self):
         buf = io.StringIO()

@@ -46,6 +46,11 @@ def run_epoch(executor, telemetry=None):
     return solver.run_epochs(catalog, requests, n_epochs=2)
 
 
+MEASURED_KEYS = ("rss_kb", "gc")
+"""Profiling fields that are measurements, not functions of solver
+state — stripped (like timings) before cross-backend comparison."""
+
+
 def normalised_events(buffer):
     """Telemetry events with sequence numbers and timings stripped."""
     events = []
@@ -59,6 +64,8 @@ def normalised_events(buffer):
         event.pop("seq", None)
         for key in [k for k in event if k.endswith("_s")]:
             event.pop(key)
+        for key in MEASURED_KEYS:
+            event.pop(key, None)
         events.append(event)
     return events
 
@@ -102,6 +109,84 @@ class TestEpochLoopDeterminism:
         assert "content_solve" in kinds
         assert "epoch" in kinds
         assert "iteration" in kinds
+
+
+class TestProfiledRunDeterminism:
+    """Backend bit-identity must survive ``profile=True``.
+
+    Profiling adds measured fields (CPU, RSS, GC) to span events; the
+    structural content — span paths, call counts, diag findings,
+    histogram counts — must stay identical between serial and a
+    4-worker process pool.
+    """
+
+    @pytest.fixture(scope="class")
+    def profiled(self):
+        backends = {
+            "serial": SerialExecutor,
+            "process": lambda: ParallelExecutor(workers=4),
+        }
+        out = {}
+        for name, factory in backends.items():
+            buffer = io.StringIO()
+            telemetry = SolverTelemetry.to_jsonl(buffer, profile=True)
+            results = run_epoch(factory(), telemetry=telemetry)
+            metrics = telemetry.metrics.snapshot()
+            telemetry.close()
+            out[name] = (results, normalised_events(buffer), metrics)
+        return out
+
+    def test_profiled_events_identical(self, profiled):
+        _, serial_events, _ = profiled["serial"]
+        _, parallel_events, _ = profiled["process"]
+        assert serial_events == parallel_events
+
+    def test_profiling_fields_present(self, profiled):
+        # The profiled stream must actually carry the resource fields
+        # (on the raw events, before normalisation strips them).
+        buffer = io.StringIO()
+        telemetry = SolverTelemetry.to_jsonl(buffer, profile=True)
+        run_epoch(SerialExecutor(), telemetry=telemetry)
+        telemetry.close()
+        buffer.seek(0)
+        span_events = [
+            json.loads(line)
+            for line in buffer
+            if '"ev":"span"' in line
+        ]
+        assert span_events
+        assert all("cpu_s" in e and "rss_kb" in e and "gc" in e
+                   for e in span_events)
+
+    def test_span_tree_structure_identical(self, profiled):
+        trees = {}
+        for name in ("serial", "process"):
+            _, events, _ = profiled[name]
+            spans = {}
+            for event in events:
+                if event.get("ev") == "span":
+                    path = event["path"]
+                    spans[path] = spans.get(path, 0) + 1
+            trees[name] = spans
+        assert trees["serial"] == trees["process"]
+        assert any("solve" in path for path in trees["serial"])
+
+    def test_histograms_identical(self, profiled):
+        _, _, serial_metrics = profiled["serial"]
+        _, _, parallel_metrics = profiled["process"]
+        for name, entry in serial_metrics.items():
+            if entry.get("kind") != "histogram":
+                continue
+            assert entry["count"] == parallel_metrics[name]["count"], name
+
+    def test_equilibria_bit_identical_under_profiling(self, profiled):
+        serial, _, _ = profiled["serial"]
+        parallel, _, _ = profiled["process"]
+        for a, b in zip(serial, parallel):
+            for k in a.equilibria:
+                assert np.array_equal(
+                    a.equilibria[k].policy.table, b.equilibria[k].policy.table
+                ), k
 
 
 class TestSchemeSummaryDeterminism:

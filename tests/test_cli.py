@@ -186,6 +186,111 @@ class TestReportCommand:
         bad = tmp_path / "bad.jsonl"
         bad.write_text("this is not json\n")
         assert main(["report", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1  # one-line error, no traceback
+
+    def test_report_empty_file_is_error(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["report", str(empty)]) == 2
+        assert "no events" in capsys.readouterr().err
+
+    def test_report_survives_truncated_final_line(self, tmp_path, capsys):
+        out_file = tmp_path / "run.jsonl"
+        assert main(["solve", "--fast", "--telemetry", str(out_file)]) == 0
+        capsys.readouterr()
+        # Simulate a run killed mid-write.
+        with open(out_file, "a", encoding="utf-8") as handle:
+            handle.write('{"ev": "iteration", "iter')
+        assert main(["report", str(out_file)]) == 0
+        out = capsys.readouterr().out
+        assert "1 malformed line(s) skipped" in out
+        assert "converged after" in out
+
+    def test_report_includes_numerical_health(self, tmp_path, capsys):
+        out_file = tmp_path / "run.jsonl"
+        assert main(["solve", "--fast", "--telemetry", str(out_file)]) == 0
+        capsys.readouterr()
+        assert main(["report", str(out_file)]) == 0
+        out = capsys.readouterr().out
+        assert "numerical health" in out
+        assert "fpk.mass_drift" in out
+        assert "cfl.margin" in out
+
+
+class TestCompareCommand:
+    @pytest.fixture()
+    def two_runs(self, tmp_path, capsys):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        assert main(["solve", "--fast", "--telemetry", str(a)]) == 0
+        assert main(["solve", "--fast", "--telemetry", str(b)]) == 0
+        capsys.readouterr()
+        return a, b
+
+    def test_identical_runs_have_no_regressions(self, two_runs, capsys):
+        a, _ = two_runs
+        assert main(["compare", str(a), str(a)]) == 0
+        out = capsys.readouterr().out
+        assert "span timings" in out
+        assert "no regressions beyond thresholds" in out
+
+    def test_injected_span_regression_flagged(self, two_runs, capsys):
+        import json
+
+        a, b = two_runs
+        # Candidate = baseline with every span duration inflated 50%,
+        # so the +20% threshold must fire regardless of machine speed.
+        lines = []
+        for line in a.read_text().splitlines():
+            event = json.loads(line)
+            if event.get("ev") == "span":
+                event["dur_s"] = event["dur_s"] * 1.5
+            lines.append(json.dumps(event))
+        b.write_text("\n".join(lines) + "\n")
+
+        assert main(["compare", str(a), str(b)]) == 0  # report-only default
+        assert "REGRESSIONS" in capsys.readouterr().out
+        assert main(["compare", str(a), str(b), "--fail-on-regression"]) == 1
+
+    def test_missing_input_is_exit_2(self, tmp_path, two_runs, capsys):
+        a, _ = two_runs
+        assert main(["compare", str(a), str(tmp_path / "nope.jsonl")]) == 2
+        assert "cannot read telemetry run" in capsys.readouterr().err
+
+    def test_bench_mode_flags_timing_regression(self, tmp_path, capsys):
+        import json
+
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        a.write_text(json.dumps({"solve_seconds": 1.0, "rows": 4}))
+        b.write_text(json.dumps({"solve_seconds": 2.0, "rows": 4}))
+        assert main(["compare", "--bench", str(a), str(b),
+                     "--fail-on-regression"]) == 1
+        assert "solve_seconds" in capsys.readouterr().out
+
+    def test_bench_mode_bad_json_is_exit_2(self, tmp_path, capsys):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        a.write_text("{}")
+        b.write_text("not json")
+        assert main(["compare", "--bench", str(a), str(b)]) == 2
+
+
+class TestStrictNumerics:
+    def test_healthy_solve_passes_strict_mode(self, capsys):
+        assert main(["solve", "--fast", "--strict-numerics"]) == 0
+        assert "converged" in capsys.readouterr().out
+
+    def test_profile_adds_resource_fields(self, tmp_path, capsys):
+        import json
+
+        out_file = tmp_path / "run.jsonl"
+        assert main(["solve", "--fast", "--telemetry", str(out_file),
+                     "--profile"]) == 0
+        spans = [
+            json.loads(line)
+            for line in out_file.read_text().splitlines()
+            if '"ev":"span"' in line
+        ]
+        assert spans and all("cpu_s" in e for e in spans)
 
 
 class TestTraceCommand:
@@ -200,6 +305,32 @@ class TestTraceCommand:
         assert len(records) == 40
         labels, shares = trace_to_popularity(records)
         assert shares.sum() == pytest.approx(1.0)
+
+    def test_exports_chrome_trace(self, tmp_path, capsys):
+        import json
+
+        run = tmp_path / "run.jsonl"
+        assert main(["solve", "--fast", "--telemetry", str(run)]) == 0
+        capsys.readouterr()
+        out = tmp_path / "run.trace.json"
+        assert main(["trace", str(run), str(out)]) == 0
+        assert "perfetto" in capsys.readouterr().out.lower()
+        doc = json.loads(out.read_text())
+        assert any(e.get("ph") == "X" for e in doc["traceEvents"])
+        assert any(e.get("name") == "thread_name" for e in doc["traceEvents"])
+
+    def test_export_requires_output_path(self, tmp_path, capsys):
+        run = tmp_path / "run.jsonl"
+        run.write_text('{"ev": "span", "path": "solve", "dur_s": 1.0}\n')
+        assert main(["trace", str(run)]) == 2
+
+    def test_export_missing_run_is_exit_2(self, tmp_path, capsys):
+        assert main(["trace", str(tmp_path / "nope.jsonl"),
+                     str(tmp_path / "out.json")]) == 2
+
+    def test_no_mode_selected_is_exit_2(self, capsys):
+        assert main(["trace"]) == 2
+        assert "error" in capsys.readouterr().err
 
 
 class TestExportCommand:
