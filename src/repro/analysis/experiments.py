@@ -258,6 +258,8 @@ def fig67_heatmap(
     )
     out: Dict[float, Dict[str, np.ndarray]] = {}
     for q_size, res in zip(content_sizes, results):
+        if res is None:  # variant lost to a skip/degrade fault policy
+            continue
         out[float(q_size)] = {
             "time": res.grid.t,
             "q": res.grid.q,
@@ -293,6 +295,8 @@ def fig8_w5_sweep(
     )
     out: Dict[float, Dict[str, np.ndarray]] = {}
     for w5, res in zip(w5_values, results):
+        if res is None:  # variant lost to a skip/degrade fault policy
+            continue
         paths = res.population_utility_path()
         out[float(w5)] = {
             "time": res.grid.t,
@@ -448,11 +452,19 @@ def run_scheme_summary(
         accepts_telemetry=True,
     )
     summaries = as_executor(executor).run(plan, telemetry=telemetry)
+    # A fault policy running in skip/degrade mode hands back None for
+    # exhausted replicates; average over the survivors rather than
+    # crashing a whole sweep on one lost seed.
+    survivors = [summary for summary in summaries if summary is not None]
+    if not survivors:
+        raise RuntimeError(
+            f"every seed replicate of scheme {name!r} failed or was skipped"
+        )
     totals: Dict[str, float] = {}
-    for summary in summaries:
+    for summary in survivors:
         for key, value in summary.items():
             totals[key] = totals.get(key, 0.0) + value
-    return {key: value / len(seeds) for key, value in totals.items()}
+    return {key: value / len(survivors) for key, value in totals.items()}
 
 
 def fig12_total_vs_eta1(

@@ -42,6 +42,17 @@ residuals, stage timings, step counters) to a JSON-lines file,
 pick the execution backend for the embarrassingly-parallel fan-outs
 (results are bit-identical across backends; see ``docs/runtime.md``).
 
+Fault tolerance (``docs/runtime.md``): ``--checkpoint-dir DIR``
+persists every completed work item so an interrupted sweep can be
+rerun with ``--resume`` (only the missing items execute; results and
+merged telemetry match an uninterrupted run), ``--max-retries N``
+retries failing items on a deterministic backoff schedule, and
+``--inject-faults SPEC`` activates the :mod:`repro.testing.faults`
+harness for debugging.  Exit codes: 1 — a work item failed after
+exhausting its retries; 2 — usage errors, malformed specs, or a
+missing/corrupt checkpoint manifest under ``--resume``; 3 —
+``--strict-numerics`` abort.
+
 Examples
 --------
     python -m repro.cli solve --fast
@@ -82,7 +93,16 @@ from repro.obs.telemetry import (
     SolverTelemetry,
     StrictNumericsError,
 )
-from repro.runtime import Executor, make_executor
+from repro.runtime import (
+    CheckpointError,
+    CheckpointStore,
+    Executor,
+    FaultPolicy,
+    ItemFailedError,
+    ResumableExecutor,
+    make_executor,
+)
+from repro.testing.faults import FaultSpecError, clear_faults, install_faults
 
 EXPERIMENT_NAMES = (
     "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
@@ -130,6 +150,22 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--workers", type=int, default=None,
                        help="worker count for the process backend "
                             "(overrides a count embedded in --backend)")
+        p.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                       help="persist every completed work item into DIR so "
+                            "an interrupted run can be resumed; without "
+                            "--resume an existing store is reset first")
+        p.add_argument("--resume", action="store_true",
+                       help="skip work items already completed in "
+                            "--checkpoint-dir (exit 2 when the store's "
+                            "manifest is missing or malformed)")
+        p.add_argument("--max-retries", type=int, default=0, metavar="N",
+                       help="retry a failing work item up to N times on a "
+                            "deterministic exponential-backoff schedule "
+                            "before giving up (exit 1)")
+        p.add_argument("--inject-faults", default=None, metavar="SPEC",
+                       help="debug: activate the deterministic fault harness "
+                            "(e.g. 'raise:item=2' or 'kill:label=content:*'; "
+                            "see repro.testing.faults)")
 
     p_solve = sub.add_parser("solve", help="solve one mean-field equilibrium")
     add_config_args(p_solve)
@@ -272,16 +308,59 @@ def _telemetry_from_args(args: argparse.Namespace) -> SolverTelemetry:
     return SolverTelemetry.to_jsonl(path, profile=profile, strict_numerics=strict)
 
 
-def _executor_from_args(args: argparse.Namespace) -> Executor:
-    """The execution backend implied by ``--backend`` / ``--workers``."""
+def _executor_from_args(
+    args: argparse.Namespace, telemetry: SolverTelemetry = NULL_TELEMETRY
+) -> Executor:
+    """The execution backend implied by ``--backend`` / ``--workers``,
+    wrapped in a :class:`~repro.runtime.ResumableExecutor` when any of
+    the fault-tolerance flags (``--checkpoint-dir`` / ``--resume`` /
+    ``--max-retries`` / ``--inject-faults``) ask for one.
+
+    All configuration mistakes here — an unknown backend, ``--resume``
+    without a store, a missing or malformed checkpoint manifest, a
+    negative retry budget — are usage errors: one-line message on
+    stderr, exit code 2.
+    """
     try:
-        return make_executor(
+        base = make_executor(
             getattr(args, "backend", "serial"),
             workers=getattr(args, "workers", None),
         )
     except ValueError as err:
         print(f"error: {err}", file=sys.stderr)
         raise SystemExit(2)
+
+    checkpoint_dir = getattr(args, "checkpoint_dir", None)
+    resume = bool(getattr(args, "resume", False))
+    max_retries = int(getattr(args, "max_retries", 0) or 0)
+    injecting = getattr(args, "inject_faults", None) is not None
+    if resume and checkpoint_dir is None:
+        print("error: --resume requires --checkpoint-dir", file=sys.stderr)
+        raise SystemExit(2)
+    if checkpoint_dir is None and max_retries == 0 and not injecting:
+        return base
+
+    store = None
+    if checkpoint_dir is not None:
+        try:
+            store = CheckpointStore(checkpoint_dir)
+            if resume:
+                # A resume against nothing (or against garbage) is a
+                # mistake worth stopping for, not silently recomputing.
+                store.validate_manifest()
+            else:
+                store.reset()
+        except CheckpointError as err:
+            print(f"error: {err}", file=sys.stderr)
+            raise SystemExit(2)
+    try:
+        policy = FaultPolicy(max_retries=max_retries)
+    except ValueError as err:
+        print(f"error: {err}", file=sys.stderr)
+        raise SystemExit(2)
+    return ResumableExecutor(
+        base, store=store, policy=policy, telemetry=telemetry
+    )
 
 
 def _close_telemetry(args: argparse.Namespace, telemetry: SolverTelemetry) -> None:
@@ -303,14 +382,30 @@ def _strict_abort(
     return 3
 
 
+def _item_failed_abort(
+    args: argparse.Namespace, telemetry: SolverTelemetry, err: ItemFailedError
+) -> int:
+    """Finish a run whose work item exhausted its retries (exit 1).
+
+    The ``item.retry`` / ``item.failed`` bookkeeping is already in the
+    telemetry stream, so the file still closes cleanly and ``repro
+    report`` shows the full story.
+    """
+    _close_telemetry(args, telemetry)
+    print(f"error: {err}", file=sys.stderr)
+    return 1
+
+
 def _cmd_solve(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
     telemetry = _telemetry_from_args(args)
-    executor = _executor_from_args(args)
+    executor = _executor_from_args(args, telemetry)
     try:
         result = MFGCPSolver(config, telemetry=telemetry, executor=executor).solve()
     except StrictNumericsError as err:
         return _strict_abort(args, telemetry, err)
+    except ItemFailedError as err:
+        return _item_failed_abort(args, telemetry, err)
     _close_telemetry(args, telemetry)
     print(result.report.describe())
     t = result.grid.t
@@ -339,7 +434,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         print("error: no schemes given", file=sys.stderr)
         return 2
     telemetry = _telemetry_from_args(args)
-    executor = _executor_from_args(args)
+    executor = _executor_from_args(args, telemetry)
     seeds = tuple(args.seed + i for i in range(max(1, args.seeds)))
     rows = []
     try:
@@ -354,6 +449,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             )
     except StrictNumericsError as err:
         return _strict_abort(args, telemetry, err)
+    except ItemFailedError as err:
+        return _item_failed_abort(args, telemetry, err)
     _close_telemetry(args, telemetry)
     rows.sort(key=lambda r: -r[1])
     print(format_table(
@@ -366,12 +463,14 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
     telemetry = _telemetry_from_args(args)
-    executor = _executor_from_args(args)
+    executor = _executor_from_args(args, telemetry)
     try:
         with telemetry.span(f"experiment_{args.name}"):
             code = _run_experiment(args, telemetry, executor)
     except StrictNumericsError as err:
         return _strict_abort(args, telemetry, err)
+    except ItemFailedError as err:
+        return _item_failed_abort(args, telemetry, err)
     _close_telemetry(args, telemetry)
     return code
 
@@ -656,7 +755,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
 
     telemetry = _telemetry_from_args(args)
-    executor = _executor_from_args(args)
+    executor = _executor_from_args(args, telemetry)
     config = MFGCPConfig.fast()
     try:
         engine = ServingEngine(
@@ -674,6 +773,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         reports = engine.compare(names)
     except StrictNumericsError as err:
         return _strict_abort(args, telemetry, err)
+    except ItemFailedError as err:
+        return _item_failed_abort(args, telemetry, err)
     except ValueError as err:
         _close_telemetry(args, telemetry)
         print(f"error: {err}", file=sys.stderr)
@@ -768,7 +869,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "export": _cmd_export,
         "stationary": _cmd_stationary,
     }
-    return handlers[args.command](args)
+    spec = getattr(args, "inject_faults", None)
+    if spec is None:
+        return handlers[args.command](args)
+    try:
+        install_faults(spec)
+    except FaultSpecError as err:
+        print(f"error: invalid --inject-faults spec: {err}", file=sys.stderr)
+        return 2
+    try:
+        return handlers[args.command](args)
+    finally:
+        # Faults are process-global (they ride an env var so pool
+        # workers inherit them); clear so back-to-back main() calls in
+        # one process — the test suite — never leak a fault plan.
+        clear_faults()
 
 
 if __name__ == "__main__":

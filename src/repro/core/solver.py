@@ -254,9 +254,16 @@ class MFGCPSolver:
                 )
                 equilibria: Dict[int, EquilibriumResult] = {}
                 unconverged: List[int] = []
+                dropped: List[int] = []
                 for k, outcome in zip(active, outcomes):
-                    equilibria[k] = outcome.result
                     tele.absorb(outcome.telemetry, lane=plan[outcome.index].label)
+                    if outcome.result is None:
+                        # A skip/degrade fault policy exhausted this
+                        # content's retries; the epoch carries on with
+                        # the survivors (graceful degradation).
+                        dropped.append(int(k))
+                        continue
+                    equilibria[k] = outcome.result
                     if not equilibria[k].report.converged:
                         unconverged.append(int(k))
                     if tele.enabled:
@@ -272,6 +279,19 @@ class MFGCPSolver:
                             if outcome.telemetry is not None
                             else 0.0,
                         )
+                if dropped and tele.enabled:
+                    tele.diag(
+                        "epoch.content_dropped",
+                        "warning",
+                        value=float(len(dropped)),
+                        message=(
+                            f"{len(dropped)} of {len(active)} content solves "
+                            "were dropped by the fault policy after "
+                            "exhausting retries"
+                        ),
+                        epoch=epoch,
+                        contents=dropped,
+                    )
                 if unconverged and tele.enabled:
                     tele.diag(
                         "epoch.unconverged",

@@ -7,6 +7,9 @@ and reconstructs the three views the CLI prints:
 * the **iteration table** of Alg. 2 fixed-point diagnostics with
   per-stage timings;
 * the **numerical health** summary of ``diag.*`` probe findings;
+* the **fault tolerance** summary of ``item.*`` bookkeeping (checkpoint
+  cache hits, retries, exhausted items) when the run used the
+  resumable executor;
 * the **top metrics** from the final registry snapshot;
 * a **serving replays** table when the run contains
   ``serving_report`` events from :mod:`repro.serve`.
@@ -49,6 +52,7 @@ class RunSummary:
     metrics: Dict[str, Dict[str, Any]] = field(default_factory=dict)
     serving_reports: List[Dict[str, Any]] = field(default_factory=list)
     diagnostics: List[Dict[str, Any]] = field(default_factory=list)
+    fault_events: List[Dict[str, Any]] = field(default_factory=list)
     n_skipped: int = 0
     schema_version: Optional[int] = None
 
@@ -119,6 +123,8 @@ def load_run(source: Union[str, "os.PathLike[str]", IO[str]]) -> RunSummary:
             summary.metrics = dict(event.get("metrics", {}))
         elif kind == "serving_report":
             summary.serving_reports.append(event)
+        elif kind in ("item.cached", "item.retry", "item.failed"):
+            summary.fault_events.append(event)
         if isinstance(kind, str) and kind.startswith(DIAG_PREFIX):
             summary.diagnostics.append(event)
     return summary
@@ -264,6 +270,53 @@ def render_serving(summary: RunSummary) -> str:
     )
 
 
+def render_fault_tolerance(summary: RunSummary) -> str:
+    """The runtime resilience section: cache hits, retries, failures.
+
+    Summarises the ``item.*`` bookkeeping emitted by the resumable
+    executor — how many work items were restored from checkpoints, how
+    many attempts were retried, and which items exhausted their retry
+    budget (with the fault-policy action that resolved them).
+    """
+    if not summary.fault_events:
+        return "(no fault-tolerance activity recorded)"
+    cached = [e for e in summary.fault_events if e.get("ev") == "item.cached"]
+    retries = [e for e in summary.fault_events if e.get("ev") == "item.retry"]
+    failed = [e for e in summary.fault_events if e.get("ev") == "item.failed"]
+    header = (
+        "fault tolerance: "
+        f"{len(cached)} item(s) restored from checkpoint, "
+        f"{len(retries)} retry attempt(s), {len(failed)} item(s) exhausted"
+    )
+    rows = []
+    for event in retries:
+        rows.append(
+            (
+                str(event.get("label", event.get("index", "?"))),
+                "retry",
+                f"attempt {int(event.get('attempt', 0))}",
+                str(event.get("error", event.get("reason", "-"))),
+            )
+        )
+    for event in failed:
+        rows.append(
+            (
+                str(event.get("label", event.get("index", "?"))),
+                str(event.get("action", "fail")),
+                f"{int(event.get('attempts', 0))} attempt(s)",
+                str(event.get("error", "-")),
+            )
+        )
+    if not rows:
+        return header
+    table = _format_table(
+        ["item", "action", "attempts", "error"],
+        rows,
+        title="fault-tolerance events",
+    )
+    return f"{header}\n{table}"
+
+
 def render_report(summary: RunSummary) -> str:
     """The full ``repro report`` body for one run."""
     header = f"telemetry run: {summary.n_events} events"
@@ -282,6 +335,8 @@ def render_report(summary: RunSummary) -> str:
         "",
         render_metrics(summary),
     ]
+    if summary.fault_events:
+        sections.extend(["", render_fault_tolerance(summary)])
     if summary.serving_reports:
         sections.extend(["", render_serving(summary)])
     return "\n".join(sections)

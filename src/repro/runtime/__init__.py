@@ -17,6 +17,13 @@ telemetry buffers are absorbed in item order — see
 ``docs/runtime.md``.
 """
 
+from repro.runtime.checkpoint import (
+    CHECKPOINT_SCHEMA_VERSION,
+    CheckpointCorruptError,
+    CheckpointError,
+    CheckpointStore,
+    item_key,
+)
 from repro.runtime.executors import (
     Executor,
     ExecutorLike,
@@ -32,6 +39,11 @@ from repro.runtime.plan import (
     execute_item,
     partition_indices,
 )
+from repro.runtime.resumable import (
+    FaultPolicy,
+    ItemFailedError,
+    ResumableExecutor,
+)
 
 __all__ = [
     "ExecutionPlan",
@@ -45,4 +57,12 @@ __all__ = [
     "ParallelExecutor",
     "as_executor",
     "make_executor",
+    "CHECKPOINT_SCHEMA_VERSION",
+    "CheckpointStore",
+    "CheckpointError",
+    "CheckpointCorruptError",
+    "item_key",
+    "FaultPolicy",
+    "ItemFailedError",
+    "ResumableExecutor",
 ]

@@ -188,10 +188,14 @@ def partition_indices(n: int, n_groups: int) -> List[Tuple[int, ...]]:
     Grouping is a pure parallel grain — callers must keep per-unit
     state self-contained so results never depend on it.
     """
-    if n < 1:
-        raise ValueError(f"need at least one unit to partition, got {n}")
+    if n < 0:
+        raise ValueError(f"cannot partition a negative unit count, got {n}")
     if n_groups < 1:
         raise ValueError(f"need at least one group, got {n_groups}")
+    if n == 0:
+        # Zero units partition into zero groups — callers fanning out
+        # over an empty plan get an empty shard list, not an error.
+        return []
     n_groups = min(n_groups, n)
     bounds = np.linspace(0, n, n_groups + 1).astype(int)
     return [
@@ -201,11 +205,28 @@ def partition_indices(n: int, n_groups: int) -> List[Tuple[int, ...]]:
     ]
 
 
+def _apply_fault_injection(item: WorkItem, attempt: int) -> None:
+    """Consult the deterministic fault harness, if one is active.
+
+    :mod:`repro.testing.faults` installs plans in-process (tests) or
+    via an environment variable (the CLI's ``--inject-faults``, which
+    pool workers inherit).  The common case — no plan installed — is a
+    cached ``None`` lookup, so production runs pay one function call
+    per work item.
+    """
+    from repro.testing.faults import active_fault_plan
+
+    plan = active_fault_plan()
+    if plan is not None:
+        plan.before_item(item.index, item.label, attempt)
+
+
 def execute_item(
     item: WorkItem,
     capture: bool = False,
     profile: bool = False,
     strict_numerics: bool = False,
+    attempt: int = 0,
 ) -> ItemOutcome:
     """Run one work item, optionally under a buffered telemetry.
 
@@ -217,7 +238,13 @@ def execute_item(
     ``strict_numerics`` mirror the parent telemetry's settings onto the
     per-item buffered observer, so worker spans carry resource fields
     and error-severity diagnostics fail fast inside workers too.
+
+    ``attempt`` is the 0-based retry attempt number, threaded in by
+    :class:`~repro.runtime.resumable.ResumableExecutor` so the fault
+    harness can distinguish transient (first-attempt-only) from
+    permanent failures; plain executors always run attempt 0.
     """
+    _apply_fault_injection(item, attempt)
     telemetry = (
         SolverTelemetry.buffered(profile=profile, strict_numerics=strict_numerics)
         if capture

@@ -463,7 +463,27 @@ class ServingEngine:
         )
         with self.telemetry.span(f"serve_replay_{policy_obj.name}"):
             outcomes = self.executor.run(plan, telemetry=self.telemetry)
-        per_edp = tuple(stats for shard in outcomes for stats in shard)
+        lost = [i for i, shard in enumerate(outcomes) if shard is None]
+        if lost and self.telemetry.enabled:
+            # A skip/degrade fault policy dropped whole shards; report
+            # the hole rather than silently under-counting EDPs.
+            self.telemetry.diag(
+                "serve.shard_dropped",
+                "warning",
+                value=float(len(lost)),
+                message=(
+                    f"{len(lost)} of {len(outcomes)} replay shards were "
+                    "dropped by the fault policy"
+                ),
+                policy=policy_obj.name,
+                shards=lost,
+            )
+        per_edp = tuple(
+            stats
+            for shard in outcomes
+            if shard is not None
+            for stats in shard
+        )
         report = ServingReport(
             policy=policy_obj.name,
             n_slots=self.source.n_slots,

@@ -183,11 +183,13 @@ def partition_edps(n_edps: int, n_shards: int) -> List[Tuple[int, ...]]:
 
     The shard *grouping* never affects results (each EDP's stream is
     self-contained); it only sets the parallel grain.  Shard counts
-    beyond ``n_edps`` collapse to one EDP per shard.  Delegates to the
-    runtime's generic :func:`repro.runtime.partition_indices`.
+    beyond ``n_edps`` collapse to one EDP per shard, and zero EDPs
+    yield zero shards (the engine itself still requires a non-empty
+    population).  Delegates to the runtime's generic
+    :func:`repro.runtime.partition_indices`.
     """
-    if n_edps < 1:
-        raise ValueError(f"need at least one EDP, got {n_edps}")
+    if n_edps < 0:
+        raise ValueError(f"EDP count cannot be negative, got {n_edps}")
     if n_shards < 1:
         raise ValueError(f"need at least one shard, got {n_shards}")
     return partition_indices(n_edps, n_shards)

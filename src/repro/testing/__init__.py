@@ -1,0 +1,80 @@
+"""Test-support utilities shipped with the package.
+
+:mod:`repro.testing.faults` is the deterministic fault-injection
+harness used by the runtime test suite and the CLI's debug-only
+``--inject-faults`` flag.  :func:`normalized_events` is the canonical
+event-stream normalisation behind the runtime determinism contract:
+two runs are "bit-identical" when their normalised streams compare
+equal (see ``docs/runtime.md``).
+"""
+
+from repro.testing.faults import (
+    FAULT_ENV_VAR,
+    FaultPlan,
+    FaultRule,
+    FaultSpecError,
+    InjectedFault,
+    WorkerKilled,
+    active_fault_plan,
+    clear_faults,
+    install_faults,
+    parse_fault_plan,
+)
+
+__all__ = [
+    "FAULT_ENV_VAR",
+    "FaultPlan",
+    "FaultRule",
+    "FaultSpecError",
+    "InjectedFault",
+    "WorkerKilled",
+    "active_fault_plan",
+    "clear_faults",
+    "install_faults",
+    "parse_fault_plan",
+    "normalized_events",
+]
+
+# Fields that are wall-clock or resource *measurements* rather than
+# deterministic functions of solver state.  ``_s``-suffixed timing
+# fields are stripped wholesale by normalized_events.
+MEASURED_FIELDS = ("cpu_s", "rss_kb", "gc")
+
+# Fault-layer bookkeeping: emitted by the resumable executor when a
+# run was cached/retried/failed, so by construction they differ
+# between an uninterrupted run and a resumed or retried one.
+BOOKKEEPING_EVENTS = ("item.cached", "item.retry", "item.failed")
+
+
+def normalized_events(source):
+    """Normalise a JSONL event stream for determinism comparisons.
+
+    ``source`` is an iterable of event dicts, a ``StringIO``/file
+    handle, or a path.  Strips sequence numbers, every ``*_s`` timing
+    field, profiling measurements, the final ``metrics`` dump (its
+    histograms hold timings), and the fault-layer bookkeeping events —
+    everything left must be byte-identical between an uninterrupted
+    run and any interrupted-resumed or retried equivalent.
+    """
+    from repro.obs.events import read_events_tolerant
+
+    if hasattr(source, "read") or isinstance(source, (str, bytes)) or hasattr(
+        source, "__fspath__"
+    ):
+        if hasattr(source, "seek"):
+            source.seek(0)
+        events, _ = read_events_tolerant(source)
+    else:
+        events = list(source)
+    normalised = []
+    for event in events:
+        kind = event.get("ev")
+        if kind == "metrics" or kind in BOOKKEEPING_EVENTS:
+            continue
+        clean = {
+            k: v
+            for k, v in event.items()
+            if k != "seq" and not str(k).endswith("_s") and k not in MEASURED_FIELDS
+        }
+        normalised.append(clean)
+    return normalised

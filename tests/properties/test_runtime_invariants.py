@@ -1,0 +1,165 @@
+"""Property-based tests for the fault-tolerant runtime.
+
+The determinism contract under test: for ANY plan shape, seed, and
+fault placement, an interrupted-then-resumed run and a
+transiently-failing retried run must produce byte-identical results
+and byte-identical merged telemetry (after
+:func:`repro.testing.normalized_events` strips sequence numbers,
+timings, and the ``item.*`` bookkeeping) compared to an uninterrupted
+run of the same plan.
+
+Hypothesis drives the plan size, the kill/fault position, and the RNG
+seed; stores live in per-example ``TemporaryDirectory``s (not
+``tmp_path``, which is per-test, not per-example).
+"""
+
+import io
+import pickle
+import tempfile
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.telemetry import SolverTelemetry
+from repro.runtime import (
+    CheckpointStore,
+    ExecutionPlan,
+    FaultPolicy,
+    ItemFailedError,
+    ResumableExecutor,
+    SerialExecutor,
+    partition_indices,
+)
+from repro.testing import clear_faults, install_faults, normalized_events
+
+
+def noisy_work(x, telemetry=None, rng=None):
+    """A work item with RNG state and a telemetry footprint."""
+    with telemetry.span("work"):
+        value = x * 100 + float(rng.standard_normal())
+        telemetry.event("work_done", x=x, value=value)
+    return value
+
+
+def make_plan(n, seed):
+    return ExecutionPlan.map(
+        noisy_work,
+        [(i,) for i in range(n)],
+        labels=[f"w:{i}" for i in range(n)],
+        seed=seed,
+        accepts_telemetry=True,
+    )
+
+
+def run_with_stream(executor, plan):
+    buffer = io.StringIO()
+    telemetry = SolverTelemetry.to_jsonl(buffer)
+    results = executor.run(plan, telemetry)
+    telemetry.close()
+    return results, normalized_events(buffer)
+
+
+class TestResumeBitIdentity:
+    @given(
+        n_items=st.integers(2, 6),
+        kill_pick=st.integers(0, 10_000),
+        seed=st.integers(0, 2**20),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_resume_after_kill_at_item_k(self, n_items, kill_pick, seed):
+        kill_at = kill_pick % n_items
+        clean_results, clean_events = run_with_stream(
+            SerialExecutor(), make_plan(n_items, seed)
+        )
+        with tempfile.TemporaryDirectory() as tmp:
+            store = CheckpointStore(tmp)
+            try:
+                install_faults(f"raise:item={kill_at},times=-1")
+                with pytest.raises(ItemFailedError):
+                    run_with_stream(
+                        ResumableExecutor("serial", store=store),
+                        make_plan(n_items, seed),
+                    )
+            finally:
+                clear_faults()
+            resumed_results, resumed_events = run_with_stream(
+                ResumableExecutor("serial", store=store),
+                make_plan(n_items, seed),
+            )
+        assert pickle.dumps(resumed_results) == pickle.dumps(clean_results)
+        assert resumed_events == clean_events
+
+    @given(
+        n_items=st.integers(1, 6),
+        fault_pick=st.integers(0, 10_000),
+        seed=st.integers(0, 2**20),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_retry_after_transient_fault(self, n_items, fault_pick, seed):
+        fault_at = fault_pick % n_items
+        clean_results, clean_events = run_with_stream(
+            SerialExecutor(), make_plan(n_items, seed)
+        )
+        try:
+            install_faults(f"raise:item={fault_at}")  # first attempt only
+            retried_results, retried_events = run_with_stream(
+                ResumableExecutor("serial", policy=FaultPolicy(max_retries=1)),
+                make_plan(n_items, seed),
+            )
+        finally:
+            clear_faults()
+        assert pickle.dumps(retried_results) == pickle.dumps(clean_results)
+        assert retried_events == clean_events
+
+    @given(n_items=st.integers(1, 6), seed=st.integers(0, 2**20))
+    @settings(max_examples=25, deadline=None)
+    def test_wrapper_is_transparent_on_healthy_runs(self, n_items, seed):
+        plain_results, plain_events = run_with_stream(
+            SerialExecutor(), make_plan(n_items, seed)
+        )
+        with tempfile.TemporaryDirectory() as tmp:
+            wrapped_results, wrapped_events = run_with_stream(
+                ResumableExecutor(
+                    "serial",
+                    store=CheckpointStore(tmp),
+                    policy=FaultPolicy(max_retries=2),
+                ),
+                make_plan(n_items, seed),
+            )
+        assert pickle.dumps(wrapped_results) == pickle.dumps(plain_results)
+        assert wrapped_events == plain_events
+
+    @given(n_items=st.integers(1, 5), seed=st.integers(0, 2**20))
+    @settings(max_examples=15, deadline=None)
+    def test_cached_rerun_replays_identically(self, n_items, seed):
+        with tempfile.TemporaryDirectory() as tmp:
+            store = CheckpointStore(tmp)
+            first_results, first_events = run_with_stream(
+                ResumableExecutor("serial", store=store),
+                make_plan(n_items, seed),
+            )
+            second_results, second_events = run_with_stream(
+                ResumableExecutor("serial", store=store),
+                make_plan(n_items, seed),
+            )
+        assert pickle.dumps(second_results) == pickle.dumps(first_results)
+        assert second_events == first_events
+
+
+class TestPartitionInvariants:
+    @given(n=st.integers(0, 200), n_groups=st.integers(1, 40))
+    @settings(max_examples=200, deadline=None)
+    def test_partition_covers_in_order_without_gaps(self, n, n_groups):
+        groups = partition_indices(n, n_groups)
+        assert [i for g in groups for i in g] == list(range(n))
+
+    @given(n=st.integers(0, 200), n_groups=st.integers(1, 40))
+    @settings(max_examples=200, deadline=None)
+    def test_partition_sizes_near_even_and_nonempty(self, n, n_groups):
+        groups = partition_indices(n, n_groups)
+        assert len(groups) == min(n, n_groups)
+        if groups:
+            sizes = [len(g) for g in groups]
+            assert min(sizes) >= 1
+            assert max(sizes) - min(sizes) <= 1

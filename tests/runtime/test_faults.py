@@ -1,0 +1,205 @@
+"""Tests for the deterministic fault-injection harness and FaultPolicy."""
+
+import os
+
+import pytest
+
+from repro.obs.telemetry import StrictNumericsError
+from repro.runtime import FaultPolicy, WorkItem, execute_item
+from repro.testing import (
+    FAULT_ENV_VAR,
+    FaultPlan,
+    FaultRule,
+    FaultSpecError,
+    InjectedFault,
+    WorkerKilled,
+    clear_faults,
+    install_faults,
+    parse_fault_plan,
+)
+from repro.testing.faults import active_fault_plan
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_faults():
+    clear_faults()
+    yield
+    clear_faults()
+
+
+def double(x):
+    return 2 * x
+
+
+class TestSpecParsing:
+    @pytest.mark.parametrize(
+        "spec,expected",
+        [
+            ("raise:item=2", FaultRule(kind="raise", item=2)),
+            ("raise:item=2,times=-1", FaultRule(kind="raise", item=2, times=-1)),
+            ("kill:label=content:*", FaultRule(kind="kill", label="content:*")),
+            (
+                "slow:item=1,seconds=0.05",
+                FaultRule(kind="slow", item=1, seconds=0.05),
+            ),
+            ("corrupt:item=0", FaultRule(kind="corrupt", item=0)),
+            (
+                "raise:item=0,exc=strict",
+                FaultRule(kind="raise", item=0, exc="strict"),
+            ),
+            ("raise:attempt=2", FaultRule(kind="raise", attempt=2)),
+        ],
+    )
+    def test_accepts_valid_clause(self, spec, expected):
+        plan = parse_fault_plan(spec)
+        assert plan.rules == (expected,)
+        assert plan.spec == spec
+
+    def test_multiple_clauses(self):
+        plan = parse_fault_plan("raise:item=0;slow:item=1,seconds=0.01")
+        assert [r.kind for r in plan.rules] == ["raise", "slow"]
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "",
+            "   ",
+            "explode:item=0",
+            "raise:item",
+            "raise:item=",
+            "raise:item=two",
+            "raise:seconds=fast",
+            "raise:item=0;;slow:item=1",
+            "raise:wat=1",
+            "raise:item=0,exc=nope",
+            "slow:seconds=-1",
+        ],
+    )
+    def test_rejects_malformed_spec(self, spec):
+        with pytest.raises(FaultSpecError):
+            parse_fault_plan(spec)
+
+
+class TestRuleMatching:
+    def test_default_fires_first_attempt_only(self):
+        rule = FaultRule(kind="raise", item=2)
+        assert rule.matches(2, "x", attempt=0)
+        assert not rule.matches(2, "x", attempt=1)
+
+    def test_times_minus_one_fires_always(self):
+        rule = FaultRule(kind="raise", item=2, times=-1)
+        assert all(rule.matches(2, "x", attempt=a) for a in range(5))
+
+    def test_times_bounds_attempts(self):
+        rule = FaultRule(kind="raise", times=3)
+        assert [rule.matches(0, "x", a) for a in range(5)] == [
+            True, True, True, False, False,
+        ]
+
+    def test_exact_attempt_takes_precedence(self):
+        rule = FaultRule(kind="raise", attempt=2)
+        assert not rule.matches(0, "x", attempt=0)
+        assert rule.matches(0, "x", attempt=2)
+
+    def test_label_glob(self):
+        rule = FaultRule(kind="raise", label="content:*")
+        assert rule.matches(0, "content:7", attempt=0)
+        assert not rule.matches(0, "seed:7", attempt=0)
+
+    def test_item_filter(self):
+        rule = FaultRule(kind="raise", item=3)
+        assert not rule.matches(2, "x", attempt=0)
+
+    def test_exception_kinds(self):
+        assert isinstance(
+            FaultRule(kind="raise").build_exception("x", 0), InjectedFault
+        )
+        assert isinstance(
+            FaultRule(kind="kill").build_exception("x", 0), WorkerKilled
+        )
+        assert isinstance(
+            FaultRule(kind="raise", exc="strict").build_exception("x", 0),
+            StrictNumericsError,
+        )
+
+    def test_worker_killed_is_an_injected_fault(self):
+        # The retry machinery catches InjectedFault subclasses alike.
+        assert issubclass(WorkerKilled, InjectedFault)
+
+
+class TestActivation:
+    def test_install_and_clear(self):
+        plan = install_faults("raise:item=0")
+        assert active_fault_plan() is plan
+        assert os.environ[FAULT_ENV_VAR] == "raise:item=0"
+        clear_faults()
+        assert active_fault_plan() is None
+        assert FAULT_ENV_VAR not in os.environ
+
+    def test_programmatic_plan_without_spec_stays_local(self):
+        plan = FaultPlan(rules=(FaultRule(kind="raise", item=0),))
+        install_faults(plan)
+        assert active_fault_plan() is plan
+        assert FAULT_ENV_VAR not in os.environ
+
+    def test_execute_item_consults_the_plan(self):
+        install_faults("raise:item=0")
+        item = WorkItem(index=0, fn=double, args=(1,), label="it")
+        with pytest.raises(InjectedFault):
+            execute_item(item)
+        # Attempt 1 is past the default times=1 budget: it succeeds.
+        assert execute_item(item, attempt=1).result == 2
+
+    def test_unmatched_items_run_normally(self):
+        install_faults("raise:item=5")
+        item = WorkItem(index=0, fn=double, args=(3,))
+        assert execute_item(item).result == 6
+
+    def test_no_plan_is_free(self):
+        item = WorkItem(index=0, fn=double, args=(3,))
+        assert execute_item(item).result == 6
+
+
+class TestFaultPolicy:
+    def test_default_fails_fast(self):
+        policy = FaultPolicy()
+        assert not policy.should_retry(RuntimeError("x"), attempt=0)
+
+    def test_retry_budget(self):
+        policy = FaultPolicy(max_retries=2)
+        err = RuntimeError("x")
+        assert policy.should_retry(err, attempt=0)
+        assert policy.should_retry(err, attempt=1)
+        assert not policy.should_retry(err, attempt=2)
+
+    def test_retry_on_filters_types(self):
+        policy = FaultPolicy(max_retries=3, retry_on=(OSError,))
+        assert policy.should_retry(OSError("x"), attempt=0)
+        assert not policy.should_retry(ValueError("x"), attempt=0)
+
+    def test_strict_numerics_never_retried(self):
+        policy = FaultPolicy(max_retries=5)
+        assert not policy.should_retry(StrictNumericsError("chk", "msg"), 0)
+
+    def test_deterministic_backoff_schedule(self):
+        policy = FaultPolicy(
+            max_retries=5, backoff_base=0.5, backoff_factor=2.0, backoff_max=2.0
+        )
+        assert [policy.delay(a) for a in range(4)] == [0.5, 1.0, 2.0, 2.0]
+
+    def test_zero_base_means_immediate(self):
+        policy = FaultPolicy(max_retries=3)
+        assert [policy.delay(a) for a in range(3)] == [0.0, 0.0, 0.0]
+
+    @pytest.mark.parametrize(
+        "kwargs,match",
+        [
+            (dict(max_retries=-1), "max_retries"),
+            (dict(backoff_base=-0.1), "backoff_base"),
+            (dict(backoff_factor=0.5), "backoff_factor"),
+            (dict(on_exhaust="explode"), "on_exhaust"),
+        ],
+    )
+    def test_validation(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            FaultPolicy(**kwargs)

@@ -11,6 +11,7 @@ from repro.runtime import (
     as_executor,
     execute_item,
     make_executor,
+    partition_indices,
 )
 
 
@@ -71,6 +72,33 @@ class TestExecutionPlan:
     def test_map_without_seed_injects_no_rng(self):
         plan = ExecutionPlan.map(double, [(1,)])
         assert plan[0].seed is None
+
+
+class TestPartitionIndices:
+    def test_covers_every_index_once_in_order(self):
+        groups = partition_indices(10, 3)
+        assert [i for g in groups for i in g] == list(range(10))
+
+    def test_near_even(self):
+        sizes = [len(g) for g in partition_indices(11, 4)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_fewer_items_than_groups_collapses(self):
+        groups = partition_indices(2, 5)
+        assert groups == [(0,), (1,)]
+
+    def test_zero_items_yield_zero_groups(self):
+        # Regression: this used to raise through the modulo arithmetic;
+        # an empty work list now partitions to an empty shard list.
+        assert partition_indices(0, 4) == []
+
+    def test_negative_items_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            partition_indices(-1, 2)
+
+    def test_zero_groups_rejected(self):
+        with pytest.raises(ValueError, match="group"):
+            partition_indices(4, 0)
 
 
 class TestMakeExecutor:

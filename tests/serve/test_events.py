@@ -119,8 +119,14 @@ class TestPartition:
     def test_single_shard(self):
         assert partition_edps(4, 1) == [(0, 1, 2, 3)]
 
+    def test_zero_edps_yield_zero_shards(self):
+        # An empty population shards to an empty plan — the engine
+        # still refuses to *run* with no EDPs, but partitioning is
+        # well defined (the fig-sweep runners rely on this).
+        assert partition_edps(0, 2) == []
+
     def test_validation(self):
-        with pytest.raises(ValueError, match="EDP"):
-            partition_edps(0, 2)
+        with pytest.raises(ValueError, match="negative"):
+            partition_edps(-1, 2)
         with pytest.raises(ValueError, match="shard"):
             partition_edps(4, 0)

@@ -150,6 +150,145 @@ class TestRuntimeFlags:
         assert "unknown executor spec" in capsys.readouterr().err
 
 
+class TestFaultToleranceFlags:
+    """Exit-code contract of the fault-tolerance layer.
+
+    0 = success, 1 = a work item exhausted its retries, 2 = usage or
+    configuration error (bad spec, bad store), 3 = strict-numerics
+    abort.  Usage errors detected while building the executor raise
+    ``SystemExit`` (matching the bad-backend convention); runtime
+    failures are returned.
+    """
+
+    @staticmethod
+    def exit_code(argv):
+        try:
+            return main(argv)
+        except SystemExit as err:
+            return err.code
+
+    @pytest.fixture(autouse=True)
+    def no_leaked_faults(self):
+        from repro.testing import clear_faults
+
+        clear_faults()
+        yield
+        clear_faults()
+
+    def test_parser_accepts_fault_flags(self):
+        args = build_parser().parse_args([
+            "experiment", "fig8", "--checkpoint-dir", "ckpt", "--resume",
+            "--max-retries", "2", "--inject-faults", "raise:item=0",
+        ])
+        assert args.checkpoint_dir == "ckpt"
+        assert args.resume
+        assert args.max_retries == 2
+        assert args.inject_faults == "raise:item=0"
+
+    @pytest.mark.parametrize(
+        "argv,code",
+        [
+            # --resume without a store to resume from.
+            (["experiment", "fig8", "--resume"], 2),
+            # Malformed fault specs never start the run.
+            (["experiment", "fig8", "--inject-faults", "explode:item=0"], 2),
+            (["experiment", "fig8", "--inject-faults", "raise:item=two"], 2),
+            (["experiment", "fig8", "--inject-faults", ""], 2),
+            # Negative retry budgets are config errors.
+            (["experiment", "fig8", "--max-retries", "-1"], 2),
+            # A permanent fault on the first item exhausts immediately.
+            (["experiment", "fig8", "--inject-faults",
+              "raise:item=0,times=-1"], 1),
+            # Injected strict-numerics faults keep the exit-3 contract.
+            (["experiment", "fig8", "--strict-numerics", "--inject-faults",
+              "raise:item=0,exc=strict"], 3),
+        ],
+    )
+    def test_exit_codes(self, argv, code, capsys):
+        assert self.exit_code(argv) == code
+        if code != 0:
+            assert "error" in capsys.readouterr().err
+
+    def test_resume_from_missing_manifest_is_exit_2(self, tmp_path, capsys):
+        empty = tmp_path / "empty-store"
+        assert self.exit_code([
+            "experiment", "fig8", "--checkpoint-dir", str(empty), "--resume",
+        ]) == 2
+        assert "nothing to resume" in capsys.readouterr().err
+
+    def test_resume_from_garbage_manifest_is_exit_2(self, tmp_path, capsys):
+        store_dir = tmp_path / "store"
+        (store_dir / "objects").mkdir(parents=True)
+        (store_dir / "manifest.json").write_text("not json {")
+        assert self.exit_code([
+            "experiment", "fig8", "--checkpoint-dir", str(store_dir),
+            "--resume",
+        ]) == 2
+        assert "unreadable" in capsys.readouterr().err
+
+    def test_retry_rescues_a_transient_fault(self, capsys):
+        assert self.exit_code([
+            "experiment", "fig8", "--max-retries", "2",
+            "--inject-faults", "raise:item=1",
+        ]) == 0
+        assert "w5 sweep" in capsys.readouterr().out
+
+    def test_kill_resume_round_trip_matches_clean_run(self, tmp_path, capsys):
+        import json
+
+        clean_t = tmp_path / "clean.jsonl"
+        resume_t = tmp_path / "resumed.jsonl"
+        ckpt = tmp_path / "ckpt"
+
+        assert main(["experiment", "fig8", "--telemetry", str(clean_t)]) == 0
+        clean_out = capsys.readouterr().out
+
+        # Kill the sweep partway: permanent fault on item 2.
+        assert self.exit_code([
+            "experiment", "fig8", "--telemetry", str(tmp_path / "dead.jsonl"),
+            "--checkpoint-dir", str(ckpt),
+            "--inject-faults", "raise:item=2,times=-1",
+        ]) == 1
+        capsys.readouterr()
+        assert len(list((ckpt / "objects").iterdir())) >= 1
+
+        # Resume: completed items replay from disk, the rest execute.
+        assert main([
+            "experiment", "fig8", "--telemetry", str(resume_t),
+            "--checkpoint-dir", str(ckpt), "--resume",
+        ]) == 0
+        resume_out = capsys.readouterr().out
+
+        # The printed result table is identical to the clean run's.
+        strip = lambda s: s.replace(str(clean_t), "T").replace(str(resume_t), "T")
+        assert strip(clean_out) == strip(resume_out)
+
+        # So is the merged telemetry, modulo bookkeeping and timings.
+        from repro.testing import normalized_events
+
+        assert normalized_events(str(clean_t)) == normalized_events(str(resume_t))
+
+        # The resumed stream records the checkpoint cache hits.
+        cached = [
+            json.loads(line)
+            for line in resume_t.read_text().splitlines()
+            if '"item.cached"' in line
+        ]
+        assert cached
+
+    def test_report_renders_fault_section(self, tmp_path, capsys):
+        run = tmp_path / "run.jsonl"
+        assert self.exit_code([
+            "experiment", "fig8", "--telemetry", str(run),
+            "--max-retries", "2", "--inject-faults", "raise:item=1",
+        ]) == 0
+        capsys.readouterr()
+        assert main(["report", str(run)]) == 0
+        out = capsys.readouterr().out
+        assert "fault tolerance:" in out
+        assert "1 retry attempt(s)" in out
+
+
 class TestReportCommand:
     def test_report_summarises_a_solve_run(self, tmp_path, capsys):
         out_file = tmp_path / "run.jsonl"
