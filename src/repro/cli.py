@@ -141,6 +141,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="abort (exit 3) on any error-severity diag.* "
                             "numerical-health finding; enables in-memory "
                             "telemetry when --telemetry is not given")
+        p.add_argument("--live-status", metavar="STATUS.json", default=None,
+                       help="write an atomic live run-status JSON snapshot "
+                            "as work completes (phase, progress, throughput, "
+                            "windowed serving stats, worker heartbeats); "
+                            "follow it with 'repro watch STATUS.json'")
+        p.add_argument("--live-every", type=int, default=None, metavar="N",
+                       help="completed items between live-status rewrites "
+                            "(default 16; phase changes always write)")
 
     def add_runtime_args(p: argparse.ArgumentParser) -> None:
         p.add_argument("--backend", default="serial",
@@ -258,6 +266,29 @@ def build_parser() -> argparse.ArgumentParser:
     add_telemetry_arg(p_serve)
     add_runtime_args(p_serve)
 
+    p_watch = sub.add_parser(
+        "watch", help="render a live run-status file as a dashboard"
+    )
+    p_watch.add_argument("status", metavar="STATUS.json",
+                         help="status file written by --live-status")
+    p_watch.add_argument("--once", action="store_true",
+                         help="print one frame and exit (scripting/CI); "
+                              "exit 0 when the file parses, 2 otherwise")
+    p_watch.add_argument("--interval", type=float, default=2.0,
+                         help="refresh interval in seconds (default 2)")
+
+    p_prom = sub.add_parser(
+        "export-metrics",
+        help="export a telemetry run's metrics as Prometheus text exposition",
+    )
+    p_prom.add_argument("run", metavar="RUN.jsonl",
+                        help="telemetry JSONL run (finished or in-flight)")
+    p_prom.add_argument("--format", default="prometheus",
+                        choices=("prometheus",),
+                        help="exposition format (only 'prometheus' for now)")
+    p_prom.add_argument("--out", default=None,
+                        help="write to a file instead of stdout")
+
     p_verify = sub.add_parser("verify", help="check Lemma 1/2 and Theorem 2 numerically")
     add_config_args(p_verify)
 
@@ -292,20 +323,40 @@ def _config_from_args(args: argparse.Namespace) -> MFGCPConfig:
 
 def _telemetry_from_args(args: argparse.Namespace) -> SolverTelemetry:
     """The observer implied by ``--telemetry`` / ``--profile`` /
-    ``--strict-numerics``.
+    ``--strict-numerics`` / ``--live-status``.
 
     ``--strict-numerics`` without ``--telemetry`` still needs enabled
     telemetry (the probes live behind it), so it gets an in-memory
-    observer: fail-fast works, nothing is written.
+    observer: fail-fast works, nothing is written.  ``--live-status``
+    likewise upgrades the null default to an in-memory observer — the
+    status writer needs an owner, and the shared NULL_TELEMETRY
+    singleton must never carry one.
     """
     path = getattr(args, "telemetry", None)
     profile = bool(getattr(args, "profile", False))
     strict = bool(getattr(args, "strict_numerics", False))
+    live_path = getattr(args, "live_status", None)
     if path is None:
-        if strict:
-            return SolverTelemetry.in_memory(profile=profile, strict_numerics=True)
-        return NULL_TELEMETRY
-    return SolverTelemetry.to_jsonl(path, profile=profile, strict_numerics=strict)
+        if strict or live_path is not None:
+            telemetry = SolverTelemetry.in_memory(
+                profile=profile, strict_numerics=strict
+            )
+        else:
+            return NULL_TELEMETRY
+    else:
+        telemetry = SolverTelemetry.to_jsonl(
+            path, profile=profile, strict_numerics=strict
+        )
+    if live_path is not None:
+        from repro.obs.live import DEFAULT_WRITE_EVERY, LiveStatusWriter
+
+        every = getattr(args, "live_every", None)
+        telemetry.set_live(
+            LiveStatusWriter(
+                live_path, every=every if every else DEFAULT_WRITE_EVERY
+            )
+        )
+    return telemetry
 
 
 def _executor_from_args(
@@ -377,6 +428,8 @@ def _strict_abort(
     The telemetry file is still closed properly — the triggering
     ``diag.*`` event is already in the stream, which is the point.
     """
+    if telemetry.live is not None:
+        telemetry.live.finish("failed")
     _close_telemetry(args, telemetry)
     print(f"error: {err}", file=sys.stderr)
     return 3
@@ -391,6 +444,8 @@ def _item_failed_abort(
     telemetry stream, so the file still closes cleanly and ``repro
     report`` shows the full story.
     """
+    if telemetry.live is not None:
+        telemetry.live.finish("failed")
     _close_telemetry(args, telemetry)
     print(f"error: {err}", file=sys.stderr)
     return 1
@@ -728,6 +783,71 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_watch(args: argparse.Namespace) -> int:
+    import json
+    import time as _time
+
+    from repro.obs.live import read_status
+    from repro.obs.watch import CLEAR_SCREEN, render_status
+
+    class _NotAStatusFile(Exception):
+        pass
+
+    def _read():
+        try:
+            return read_status(args.status)
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError) as err:
+            # Torn writes cannot happen (atomic replace); a parse error
+            # means the file is not a status file at all.
+            print(f"error: cannot read status file {args.status!r}: {err}",
+                  file=sys.stderr)
+            raise _NotAStatusFile from err
+
+    try:
+        if args.once:
+            status = _read()
+            if status is None:
+                print(f"error: status file {args.status!r} not found",
+                      file=sys.stderr)
+                return 2
+            print(render_status(status))
+            return 0
+
+        interval = max(0.1, float(args.interval))
+        while True:
+            status = _read()
+            if status is None:
+                print(f"waiting for {args.status} ...")
+            else:
+                print(CLEAR_SCREEN + render_status(status))
+                if status.get("state") != "running":
+                    return 0
+            _time.sleep(interval)
+    except _NotAStatusFile:
+        return 2
+    except KeyboardInterrupt:
+        print()
+        return 0
+
+
+def _cmd_export_metrics(args: argparse.Namespace) -> int:
+    from repro.obs.prometheus import render_prometheus
+
+    summary = _load_run_checked(args.run)
+    if summary is None:
+        return 2
+    text = render_prometheus(summary)
+    if args.out is not None:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote Prometheus exposition to {args.out}")
+    else:
+        print(text, end="")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     # Imported lazily: the serve stack is only needed by this command.
     from repro.content import workloads
@@ -865,6 +985,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "compare": _cmd_compare,
         "trace": _cmd_trace,
         "serve": _cmd_serve,
+        "watch": _cmd_watch,
+        "export-metrics": _cmd_export_metrics,
         "verify": _cmd_verify,
         "export": _cmd_export,
         "stationary": _cmd_stationary,

@@ -24,7 +24,7 @@ from repro.core.equilibrium import EquilibriumResult
 from repro.core.knapsack import capacity_constrained_placement
 from repro.core.parameters import MFGCPConfig
 from repro.obs.telemetry import NULL_TELEMETRY, SolverTelemetry
-from repro.runtime import Executor, ExecutionPlan, as_executor
+from repro.runtime import Executor, ExecutionPlan, as_executor, live_progress
 
 
 def _solve_content_item(
@@ -246,11 +246,16 @@ class MFGCPSolver:
                     labels=[f"content:{k}" for k in active],
                     accepts_telemetry=True,
                 )
+                if tele.live is not None:
+                    tele.live.set_phase(
+                        f"epoch:{epoch}", total_items=len(plan)
+                    )
                 outcomes = self.executor.execute(
                     plan,
                     capture=tele.enabled,
                     profile=tele.profile,
                     strict_numerics=tele.strict_numerics,
+                    progress=live_progress(plan, tele),
                 )
                 equilibria: Dict[int, EquilibriumResult] = {}
                 unconverged: List[int] = []

@@ -12,8 +12,12 @@ On top of the raw stream sit the numerical-health probes
 (:mod:`repro.obs.diagnostics`, ``diag.*`` events with severities and
 an optional ``--strict-numerics`` fail-fast), opt-in span resource
 profiling (``profile=True`` / ``--profile``), the Chrome trace
-exporter (:mod:`repro.obs.trace`, ``repro trace``), and the cross-run
-comparator (:mod:`repro.obs.compare`, ``repro compare``).
+exporter (:mod:`repro.obs.trace`, ``repro trace``), the cross-run
+comparator (:mod:`repro.obs.compare`, ``repro compare``), and the
+live-monitoring side channel (:mod:`repro.obs.live` +
+:mod:`repro.obs.watch`, ``--live-status`` / ``repro watch``) backed by
+the constant-memory quantile sketches of :mod:`repro.obs.sketch`
+(``repro export-metrics`` renders Prometheus text exposition).
 
 See ``docs/observability.md`` for the event schema and span semantics.
 """
@@ -39,15 +43,35 @@ from repro.obs.events import (
     read_events,
     read_events_tolerant,
 )
-from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.live import (
+    DEFAULT_WRITE_EVERY,
+    LiveStatusWriter,
+    STATUS_SCHEMA_VERSION,
+    read_status,
+)
+from repro.obs.metrics import (
+    Counter,
+    DEFAULT_EXACT_CAP,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.prometheus import render_prometheus
 from repro.obs.report import (
     RunSummary,
     load_run,
     render_diagnostics,
+    render_fault_tolerance,
     render_iteration_table,
     render_metrics,
     render_report,
+    render_serving,
     render_span_tree,
+)
+from repro.obs.sketch import (
+    DEFAULT_RELATIVE_ACCURACY,
+    QuantileSketch,
+    WindowedAggregator,
 )
 from repro.obs.spans import NULL_SPAN, NullSpan, Span, SpanNode, SpanRecorder
 from repro.obs.telemetry import (
@@ -57,12 +81,23 @@ from repro.obs.telemetry import (
     TelemetrySnapshot,
 )
 from repro.obs.trace import build_chrome_trace, write_chrome_trace
+from repro.obs.watch import render_status
 
 __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "DEFAULT_EXACT_CAP",
+    "QuantileSketch",
+    "WindowedAggregator",
+    "DEFAULT_RELATIVE_ACCURACY",
+    "LiveStatusWriter",
+    "read_status",
+    "render_status",
+    "render_prometheus",
+    "DEFAULT_WRITE_EVERY",
+    "STATUS_SCHEMA_VERSION",
     "Span",
     "SpanNode",
     "SpanRecorder",
@@ -86,6 +121,8 @@ __all__ = [
     "render_iteration_table",
     "render_metrics",
     "render_diagnostics",
+    "render_serving",
+    "render_fault_tolerance",
     "DiagnosticsProbe",
     "SolveDiagnostics",
     "default_probes",

@@ -18,11 +18,22 @@ design (one registry per solver call chain).
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Tuple, Union
+from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.obs.sketch import QuantileSketch
+
 Instrument = Union["Counter", "Gauge", "Histogram"]
+
+DEFAULT_EXACT_CAP = 4096
+"""Raw samples a :class:`Histogram` retains before sketch promotion.
+
+Below the cap percentiles are exact (numpy linear interpolation over
+the raw list); past it the histogram folds into a
+:class:`~repro.obs.sketch.QuantileSketch` and memory stays constant
+however many observations follow.  Resolved at construction time so
+tests can monkeypatch it."""
 
 
 class Counter:
@@ -73,40 +84,105 @@ class Gauge:
 class Histogram:
     """A distribution of observations with percentile summaries.
 
-    Observations are stored exactly (python floats); the solver emits
-    at most a few thousand per run, so exact percentiles are cheaper
-    than maintaining bucket boundaries that fit every workload.
+    Observations are stored exactly (python floats) while the count
+    stays at or below ``exact_cap``; the next observation *promotes*
+    the histogram — raw samples fold into a constant-memory
+    :class:`~repro.obs.sketch.QuantileSketch`, the list is dropped, and
+    percentiles become approximate (within the sketch's documented 1%
+    relative error, flagged ``approx`` in snapshots).  Promotion keeps
+    a million-request replay's metrics state flat while small solver
+    runs keep exact numpy percentiles.
+
+    Sketch state is a pure function of the observation multiset, so
+    exact and promoted histograms mix freely in the deterministic
+    registry merge: the merged result depends only on what was
+    observed, not on which side promoted first.
     """
 
-    __slots__ = ("name", "values")
+    __slots__ = ("name", "values", "exact_cap", "sketch")
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str, exact_cap: Optional[int] = None) -> None:
         self.name = name
         self.values: List[float] = []
+        self.exact_cap = DEFAULT_EXACT_CAP if exact_cap is None else int(exact_cap)
+        if self.exact_cap < 0:
+            raise ValueError(f"exact_cap must be non-negative, got {self.exact_cap}")
+        self.sketch: Optional[QuantileSketch] = None
+
+    @property
+    def is_approx(self) -> bool:
+        """True once raw samples have been folded into a sketch."""
+        return self.sketch is not None
+
+    def _promote(self) -> None:
+        sketch = QuantileSketch()
+        for value in self.values:
+            sketch.record(value)
+        self.values.clear()
+        self.sketch = sketch
 
     def record(self, value: float) -> None:
+        if self.sketch is not None:
+            self.sketch.record(float(value))
+            return
         self.values.append(float(value))
+        if len(self.values) > self.exact_cap:
+            self._promote()
 
     @property
     def count(self) -> int:
+        if self.sketch is not None:
+            return self.sketch.count
         return len(self.values)
 
     @property
     def total(self) -> float:
+        if self.sketch is not None:
+            return float(self.sketch.sum)
         return float(sum(self.values))
 
     def percentile(self, p: float) -> float:
-        """The ``p``-th percentile (0-100) of the observations."""
+        """The ``p``-th percentile (0-100) of the observations.
+
+        Exact (numpy linear interpolation) until promotion; thereafter
+        the sketch's nearest-rank answer, within 1% relative error.
+        """
         if not 0.0 <= p <= 100.0:
             raise ValueError(f"percentile must lie in [0, 100], got {p}")
+        if self.sketch is not None:
+            return float(self.sketch.quantile(p))
         if not self.values:
             raise ValueError(f"histogram {self.name!r} has no observations")
         return float(np.percentile(np.asarray(self.values, dtype=float), p))
 
     def merge(self, other: "Histogram") -> None:
-        self.values.extend(other.values)
+        if other.sketch is not None:
+            if self.sketch is None:
+                self._promote()
+            self.sketch.merge(other.sketch)
+        elif self.sketch is not None:
+            for value in other.values:
+                self.sketch.record(value)
+        else:
+            self.values.extend(other.values)
+            if len(self.values) > self.exact_cap:
+                self._promote()
 
     def snapshot(self) -> Dict[str, float]:
+        if self.sketch is not None:
+            s = self.sketch
+            return {
+                "count": float(s.count),
+                "sum": float(s.sum),
+                "mean": float(s.mean),
+                "min": float(s.min),
+                "max": float(s.max),
+                "p50": float(s.quantile(50)),
+                "p90": float(s.quantile(90)),
+                "p99": float(s.quantile(99)),
+                "approx": True,
+                "n_bins": float(s.n_bins),
+            }
         if not self.values:
             return {"count": 0.0}
         arr = np.asarray(self.values, dtype=float)

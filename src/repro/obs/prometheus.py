@@ -1,0 +1,211 @@
+"""Prometheus text exposition for telemetry runs (`repro export-metrics`).
+
+Converts a :class:`~repro.obs.report.RunSummary` into the Prometheus
+text format (version 0.0.4): one ``# TYPE``-annotated family per
+metric, ``repro_``-prefixed and sanitised names, counters with the
+``_total`` suffix, histograms exposed as summaries (``quantile``
+labels plus ``_sum``/``_count``).
+
+Two sources feed the exposition:
+
+* the final ``metrics`` registry snapshot, when the run closed cleanly
+  — every counter/gauge/histogram the run recorded;
+* event-derived families that work on an **in-flight** run too (the
+  JSONL has no final snapshot until ``close()``): per-kind event
+  counts, ``diag.*`` findings per severity, and the headline numbers
+  of each ``serving_report`` event.
+
+Output is deterministic: families and labels are emitted in sorted
+order, so two byte-identical runs export byte-identical expositions.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List
+
+from repro.obs.report import RunSummary
+
+PROM_PREFIX = "repro_"
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+_QUANTILES = (("0.5", "p50"), ("0.9", "p90"), ("0.99", "p99"))
+
+
+def _metric_name(name: str) -> str:
+    """Sanitise a dotted metric name into a Prometheus identifier."""
+    clean = _NAME_RE.sub("_", str(name)).strip("_")
+    if not clean:
+        clean = "unnamed"
+    if clean[0].isdigit():
+        clean = "_" + clean
+    return PROM_PREFIX + clean
+
+
+def _escape_label(value: Any) -> str:
+    return (
+        str(value)
+        .replace("\\", r"\\")
+        .replace("\n", r"\n")
+        .replace('"', r'\"')
+    )
+
+
+def _labels(pairs: Dict[str, Any]) -> str:
+    if not pairs:
+        return ""
+    inner = ",".join(
+        f'{key}="{_escape_label(pairs[key])}"' for key in sorted(pairs)
+    )
+    return "{" + inner + "}"
+
+
+def _fmt(value: Any) -> str:
+    number = float(value)
+    if number != number:  # NaN (an unwritten gauge)
+        return "NaN"
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+class _Exposition:
+    """Accumulates families, renders them in sorted order."""
+
+    def __init__(self) -> None:
+        self._families: Dict[str, Dict[str, Any]] = {}
+
+    def add(
+        self,
+        name: str,
+        kind: str,
+        value: Any,
+        labels: Dict[str, Any] = {},
+        help_text: str = "",
+    ) -> None:
+        family = self._families.setdefault(
+            name, {"kind": kind, "help": help_text, "samples": []}
+        )
+        family["samples"].append((name, dict(labels), value))
+
+    def has(self, name: str) -> bool:
+        return name in self._families
+
+    def sample(self, family: str, suffix: str, value: Any,
+               labels: Dict[str, Any] = {}) -> None:
+        """An extra sample line under an existing family (``_sum`` ...)."""
+        self._families[family]["samples"].append(
+            (family + suffix, dict(labels), value)
+        )
+
+    def render(self) -> str:
+        lines: List[str] = []
+        for name in sorted(self._families):
+            family = self._families[name]
+            if family["help"]:
+                lines.append(f"# HELP {name} {family['help']}")
+            lines.append(f"# TYPE {name} {family['kind']}")
+            for sample_name, labels, value in sorted(
+                family["samples"], key=lambda s: (s[0], _labels(s[1]))
+            ):
+                lines.append(f"{sample_name}{_labels(labels)} {_fmt(value)}")
+        return "\n".join(lines) + "\n"
+
+
+def render_prometheus(summary: RunSummary) -> str:
+    """The full text exposition for one (finished or in-flight) run."""
+    exp = _Exposition()
+
+    # Event-derived families: available even before the final metrics
+    # snapshot exists, so an in-flight run exports something useful.
+    kind_counts: Dict[str, int] = {}
+    for event in summary.events:
+        kind = str(event.get("ev", "event"))
+        kind_counts[kind] = kind_counts.get(kind, 0) + 1
+    for kind in sorted(kind_counts):
+        exp.add(
+            PROM_PREFIX + "events_total",
+            "counter",
+            kind_counts[kind],
+            labels={"kind": kind},
+            help_text="Telemetry events in the run, by event kind.",
+        )
+    diag_counts = summary.diag_counts()
+    for severity in sorted(diag_counts):
+        if diag_counts[severity]:
+            exp.add(
+                PROM_PREFIX + "diag_findings_total",
+                "counter",
+                diag_counts[severity],
+                labels={"severity": severity},
+                help_text="Numerical-health findings, by severity.",
+            )
+    for event in summary.serving_reports:
+        policy = {"policy": str(event.get("policy", "?"))}
+        exp.add(
+            PROM_PREFIX + "serving_requests_total", "counter",
+            event.get("requests", 0), labels=policy,
+            help_text="Requests replayed per serving policy.",
+        )
+        exp.add(
+            PROM_PREFIX + "serving_hit_ratio", "gauge",
+            event.get("hit_ratio", float("nan")), labels=policy,
+            help_text="Replay cache hit ratio per serving policy.",
+        )
+        if "staleness_violation_rate" in event:
+            exp.add(
+                PROM_PREFIX + "serving_staleness_violation_rate", "gauge",
+                event["staleness_violation_rate"], labels=policy,
+                help_text="Stale-hit rate per serving policy.",
+            )
+        if "backhaul_mb" in event:
+            exp.add(
+                PROM_PREFIX + "serving_backhaul_mb", "gauge",
+                event["backhaul_mb"], labels=policy,
+                help_text="Backhaul volume per serving policy, in MB.",
+            )
+
+    # Registry-derived families, from the final metrics snapshot.
+    for raw_name in sorted(summary.metrics):
+        entry = summary.metrics[raw_name]
+        kind = str(entry.get("kind", ""))
+        name = _metric_name(raw_name)
+        if exp.has(name) or exp.has(name + "_total"):
+            # A sanitised registry name colliding with an event-derived
+            # family (e.g. the `diag.findings` counter vs the
+            # per-severity `repro_diag_findings_total` breakdown): the
+            # labelled event-derived family wins.
+            continue
+        if kind == "counter":
+            exp.add(name + "_total", "counter", entry.get("value", 0.0),
+                    help_text=f"Counter {raw_name!r}.")
+        elif kind == "gauge":
+            exp.add(name, "gauge", entry.get("value", float("nan")),
+                    help_text=f"Gauge {raw_name!r}.")
+        elif kind == "histogram":
+            if not entry.get("count"):
+                continue
+            approx = " (sketch-approximated quantiles)" if entry.get(
+                "approx"
+            ) else ""
+            first = True
+            for quantile, key in _QUANTILES:
+                if key not in entry:
+                    continue
+                if first:
+                    exp.add(
+                        name, "summary", entry[key],
+                        labels={"quantile": quantile},
+                        help_text=f"Histogram {raw_name!r}{approx}.",
+                    )
+                    first = False
+                else:
+                    exp.sample(name, "", entry[key],
+                               labels={"quantile": quantile})
+            if first:  # no quantile keys at all; still expose totals
+                exp.add(name, "summary", entry.get("mean", float("nan")),
+                        labels={"quantile": "0.5"},
+                        help_text=f"Histogram {raw_name!r}{approx}.")
+            exp.sample(name, "_sum", entry.get("sum", 0.0))
+            exp.sample(name, "_count", entry.get("count", 0))
+    return exp.render()

@@ -22,11 +22,13 @@ counted, not fatal — the surviving prefix still summarises.
 
 from __future__ import annotations
 
+import math
 import os
 from dataclasses import dataclass, field
 from typing import Any, Dict, IO, List, Optional, Tuple, Union
 
 from repro.obs.events import read_events_tolerant
+from repro.obs.sketch import QuantileSketch
 
 DIAG_PREFIX = "diag."
 _SEVERITY_ORDER = {"info": 0, "warning": 1, "error": 2}
@@ -47,6 +49,7 @@ class RunSummary:
 
     events: List[Dict[str, Any]]
     span_totals: Dict[str, Tuple[int, float]] = field(default_factory=dict)
+    span_sketches: Dict[str, QuantileSketch] = field(default_factory=dict)
     iterations: List[Dict[str, Any]] = field(default_factory=list)
     solve_ends: List[Dict[str, Any]] = field(default_factory=list)
     metrics: Dict[str, Dict[str, Any]] = field(default_factory=dict)
@@ -110,10 +113,16 @@ def load_run(source: Union[str, "os.PathLike[str]", IO[str]]) -> RunSummary:
         elif kind == "span":
             path = str(event.get("path", ""))
             count, total = summary.span_totals.get(path, (0, 0.0))
-            summary.span_totals[path] = (
-                count + 1,
-                total + float(event.get("dur_s", 0.0)),
-            )
+            duration = float(event.get("dur_s", 0.0))
+            summary.span_totals[path] = (count + 1, total + duration)
+            # Per-path duration sketch: constant memory regardless of
+            # how many times the span fired, feeds the p50/p90/p99
+            # columns of the span tree.
+            sketch = summary.span_sketches.get(path)
+            if sketch is None:
+                sketch = summary.span_sketches[path] = QuantileSketch()
+            if math.isfinite(duration):
+                sketch.record(duration)
         elif kind == "iteration":
             summary.iterations.append(event)
         elif kind == "solve_end":
@@ -137,16 +146,25 @@ def render_span_tree(summary: RunSummary) -> str:
     """Indent the aggregated span paths into a wall-time tree."""
     if not summary.span_totals:
         return "(no spans recorded)"
-    lines = ["span tree (total wall seconds, calls, mean ms)"]
+    lines = ["span tree (total wall seconds, calls, mean ms; ~ marks "
+             "sketch-approximated percentiles)"]
     for path in sorted(summary.span_totals):
         count, total = summary.span_totals[path]
         depth = path.count("/")
         name = path.rsplit("/", 1)[-1]
         mean_ms = (total / count) * 1e3 if count else 0.0
-        lines.append(
+        line = (
             f"  {'  ' * depth}{name:<{max(1, 30 - 2 * depth)}} "
             f"{total:>9.4f}s  x{count:<5d} avg {mean_ms:8.2f} ms"
         )
+        sketch = summary.span_sketches.get(path)
+        if sketch is not None and sketch.count > 1:
+            line += (
+                f"  p50 ~{1e3 * sketch.quantile(50):.2f}"
+                f"  p90 ~{1e3 * sketch.quantile(90):.2f}"
+                f"  p99 ~{1e3 * sketch.quantile(99):.2f}"
+            )
+        lines.append(line)
     return "\n".join(lines)
 
 
@@ -197,9 +215,13 @@ def render_metrics(summary: RunSummary, top: int = 15) -> str:
         kind = str(entry.get("kind", "?"))
         if kind == "histogram":
             if entry.get("count"):
+                # `~` marks sketch-approximated percentiles (the
+                # histogram overflowed its exact-sample cap); exact
+                # histograms render unmarked.
+                q = "~" if entry.get("approx") else ""
                 detail = (
                     f"n={int(entry['count'])} mean={entry['mean']:.4g} "
-                    f"p50={entry['p50']:.4g} p90={entry['p90']:.4g} "
+                    f"p50={q}{entry['p50']:.4g} p90={q}{entry['p90']:.4g} "
                     f"max={entry['max']:.4g}"
                 )
             else:
@@ -263,11 +285,27 @@ def render_serving(summary: RunSummary) -> str:
         )
         for ev in summary.serving_reports
     ]
-    return _format_table(
+    table = _format_table(
         ["policy", "requests", "hit ratio", "staleness rate", "backhaul MB"],
         rows,
         title="serving replays",
     )
+    # Per-EDP latency percentiles from the registry histogram; `~`
+    # marks sketch-approximated quantiles (runs whose histograms
+    # overflowed the exact cap), exact runs render unmarked.  Mixed
+    # exact/sketch runs simply show whichever mode the final snapshot
+    # ended in.
+    latency = summary.metrics.get("serve.edp_mean_latency_s")
+    if latency and latency.get("count"):
+        q = "~" if latency.get("approx") else ""
+        table += (
+            "\nper-EDP mean latency: "
+            f"p50 {q}{1e3 * float(latency.get('p50', 0.0)):.3f} ms, "
+            f"p90 {q}{1e3 * float(latency.get('p90', 0.0)):.3f} ms, "
+            f"p99 {q}{1e3 * float(latency.get('p99', 0.0)):.3f} ms "
+            f"(n={int(latency['count'])})"
+        )
+    return table
 
 
 def render_fault_tolerance(summary: RunSummary) -> str:

@@ -1,0 +1,296 @@
+"""Constant-memory streaming aggregates: quantile sketches and windows.
+
+Two primitives back the live-observability layer:
+
+* :class:`QuantileSketch` — a deterministic relative-error quantile
+  sketch over logarithmic buckets (the DDSketch construction).  Memory
+  is bounded by the *dynamic range* of the observations, never by
+  their count, so a 10⁷-request replay carries the same metrics state
+  as a 10³-request one.
+* :class:`WindowedAggregator` — tumbling-window sums keyed by a
+  monotone integer index (completed items, requests, epochs — never
+  wall time), with bounded window retention.  The live status file
+  derives its "recent hit ratio" and throughput views from it.
+
+Both are pure python + dict arithmetic: no wall clock, no randomness,
+no platform-dependent state.  A sketch built from the same multiset of
+observations is identical however the observations were ordered or
+sharded, which is what lets :meth:`QuantileSketch.merge` ride the
+ordered telemetry merge of :mod:`repro.runtime` without breaking the
+serial-vs-parallel bit-identity contract.
+
+Error bound (the documented guarantee)
+--------------------------------------
+For ``relative_accuracy = a``, :meth:`QuantileSketch.quantile` returns
+a value within relative error ``a`` of the exact *nearest-rank* order
+statistic: for the p-th quantile of ``n`` observations the reference
+value is ``sorted(xs)[ceil(p/100 * n) - 1]`` (``numpy.percentile``
+with ``method="inverted_cdf"``), and the sketch's answer ``x̂``
+satisfies ``|x̂ - x| <= a * |x|``.  Zeros are represented exactly.
+The property suite (``tests/properties/test_sketch_properties.py``)
+holds this bound on adversarial distributions.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import OrderedDict
+from typing import Dict, Iterable, List, Optional, Tuple
+
+DEFAULT_RELATIVE_ACCURACY = 0.01
+"""Default sketch accuracy: quantiles within 1% of the true value."""
+
+
+class QuantileSketch:
+    """A deterministic DDSketch-style relative-error quantile sketch.
+
+    Positive observations land in logarithmic buckets indexed by
+    ``ceil(log(x) / log(gamma))`` with ``gamma = (1+a)/(1-a)``;
+    negatives mirror into a second bucket store; zeros are counted
+    exactly.  A bucket's representative value ``2*gamma^i / (gamma+1)``
+    is within relative error ``a`` of every value the bucket covers.
+
+    Memory is ``O(log(max|x| / min|x|) / a)`` buckets — independent of
+    the number of observations (for float64 inputs at the default 1%
+    accuracy the hard ceiling is ~71k buckets; real telemetry spans a
+    few decades and stays in the tens).
+
+    Merging adds bucket counts, which is commutative and associative:
+    a sketch of a sharded stream is *identical* for every shard
+    permutation and for the unsharded stream.
+    """
+
+    __slots__ = (
+        "relative_accuracy", "_gamma", "_log_gamma",
+        "_pos", "_neg", "_n_zero",
+        "count", "sum", "min", "max",
+    )
+
+    def __init__(self, relative_accuracy: float = DEFAULT_RELATIVE_ACCURACY) -> None:
+        if not 0.0 < relative_accuracy < 1.0:
+            raise ValueError(
+                f"relative_accuracy must lie in (0, 1), got {relative_accuracy}"
+            )
+        self.relative_accuracy = float(relative_accuracy)
+        self._gamma = (1.0 + self.relative_accuracy) / (1.0 - self.relative_accuracy)
+        self._log_gamma = math.log(self._gamma)
+        self._pos: Dict[int, int] = {}
+        self._neg: Dict[int, int] = {}
+        self._n_zero = 0
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def _bucket(self, magnitude: float) -> int:
+        return int(math.ceil(math.log(magnitude) / self._log_gamma))
+
+    def _representative(self, index: int) -> float:
+        return 2.0 * self._gamma ** index / (self._gamma + 1.0)
+
+    def record(self, value: float, count: int = 1) -> None:
+        """Add ``count`` observations of ``value``."""
+        value = float(value)
+        if not math.isfinite(value):
+            raise ValueError(f"sketch observations must be finite, got {value}")
+        if count < 1:
+            raise ValueError(f"count must be positive, got {count}")
+        if value > 0.0:
+            store, magnitude = self._pos, value
+        elif value < 0.0:
+            store, magnitude = self._neg, -value
+        else:
+            self._n_zero += count
+            store = None
+        if store is not None:
+            index = self._bucket(magnitude)
+            store[index] = store.get(index, 0) + count
+        self.count += count
+        self.sum += value * count
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def record_many(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.record(value)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def n_bins(self) -> int:
+        """Occupied bucket count — the sketch's memory footprint."""
+        return len(self._pos) + len(self._neg) + (1 if self._n_zero else 0)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else float("nan")
+
+    def quantile(self, p: float) -> float:
+        """The ``p``-th percentile (0-100), within the error bound.
+
+        Rank convention is nearest-rank (``inverted_cdf``): the value
+        returned approximates ``sorted(xs)[max(0, ceil(p/100*n) - 1)]``.
+        The exact minimum / maximum are returned at p=0 / p=100.
+        """
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile must lie in [0, 100], got {p}")
+        if self.count == 0:
+            raise ValueError("sketch has no observations")
+        if p == 0.0:
+            return self.min
+        if p == 100.0:
+            return self.max
+        rank = max(0, int(math.ceil(p / 100.0 * self.count)) - 1)
+        # Walk the merged value order: negatives (most negative first),
+        # zeros, then positives ascending.
+        seen = 0
+        for index in sorted(self._neg, reverse=True):
+            seen += self._neg[index]
+            if rank < seen:
+                return max(-self._representative(index), self.min)
+        seen += self._n_zero
+        if rank < seen:
+            return 0.0
+        for index in sorted(self._pos):
+            seen += self._pos[index]
+            if rank < seen:
+                # Clamp into the exact observed range so p→0/p→100
+                # never report a representative outside [min, max].
+                return min(max(self._representative(index), self.min), self.max)
+        return self.max  # unreachable unless counts drifted
+
+    # ------------------------------------------------------------------
+    # Merging / serialisation
+    # ------------------------------------------------------------------
+    def merge(self, other: "QuantileSketch") -> None:
+        """Fold another sketch in (commutative, order-independent)."""
+        if other.relative_accuracy != self.relative_accuracy:
+            raise ValueError(
+                "cannot merge sketches with different accuracies: "
+                f"{self.relative_accuracy} vs {other.relative_accuracy}"
+            )
+        for index, n in other._pos.items():
+            self._pos[index] = self._pos.get(index, 0) + n
+        for index, n in other._neg.items():
+            self._neg[index] = self._neg.get(index, 0) + n
+        self._n_zero += other._n_zero
+        self.count += other.count
+        self.sum += other.sum
+        if other.count:
+            self.min = min(self.min, other.min)
+            self.max = max(self.max, other.max)
+
+    def copy(self) -> "QuantileSketch":
+        clone = QuantileSketch(self.relative_accuracy)
+        clone.merge(self)
+        return clone
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, QuantileSketch):
+            return NotImplemented
+        return (
+            self.relative_accuracy == other.relative_accuracy
+            and self._pos == other._pos
+            and self._neg == other._neg
+            and self._n_zero == other._n_zero
+            and self.count == other.count
+        )
+
+    def __getstate__(self):
+        return {
+            "relative_accuracy": self.relative_accuracy,
+            "pos": self._pos,
+            "neg": self._neg,
+            "n_zero": self._n_zero,
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    def __setstate__(self, state) -> None:
+        self.__init__(state["relative_accuracy"])
+        self._pos = dict(state["pos"])
+        self._neg = dict(state["neg"])
+        self._n_zero = int(state["n_zero"])
+        self.count = int(state["count"])
+        self.sum = float(state["sum"])
+        self.min = float(state["min"])
+        self.max = float(state["max"])
+
+    def __repr__(self) -> str:
+        return (
+            f"QuantileSketch(a={self.relative_accuracy}, n={self.count}, "
+            f"bins={self.n_bins})"
+        )
+
+
+class WindowedAggregator:
+    """Tumbling-window field sums keyed by a monotone integer index.
+
+    ``observe(index, requests=120, hits=90)`` accumulates named fields
+    into the window ``index // window``; at most ``retain`` completed
+    windows are kept (older ones are dropped), so memory is constant
+    however long the run is.  Windows are keyed by *logical* progress
+    (request ordinal, completed-item ordinal, epoch) — never wall time
+    — so two runs of the same plan produce identical window contents.
+    """
+
+    __slots__ = ("window", "retain", "_windows")
+
+    def __init__(self, window: int, retain: int = 32) -> None:
+        if window < 1:
+            raise ValueError(f"window must be positive, got {window}")
+        if retain < 1:
+            raise ValueError(f"retain must be positive, got {retain}")
+        self.window = int(window)
+        self.retain = int(retain)
+        self._windows: "OrderedDict[int, Dict[str, float]]" = OrderedDict()
+
+    def observe(self, index: int, **fields: float) -> None:
+        """Accumulate ``fields`` into the window holding ``index``."""
+        if index < 0:
+            raise ValueError(f"index must be non-negative, got {index}")
+        key = int(index) // self.window
+        entry = self._windows.get(key)
+        if entry is None:
+            entry = self._windows[key] = {"_n": 0.0}
+            while len(self._windows) > self.retain:
+                self._windows.popitem(last=False)
+        entry["_n"] += 1.0
+        for name, value in fields.items():
+            entry[name] = entry.get(name, 0.0) + float(value)
+
+    @property
+    def n_windows(self) -> int:
+        return len(self._windows)
+
+    def keys(self) -> List[int]:
+        return list(self._windows)
+
+    def window_totals(self, key: int) -> Dict[str, float]:
+        return dict(self._windows.get(key, {}))
+
+    def totals(self, last: Optional[int] = None) -> Dict[str, float]:
+        """Summed fields over the newest ``last`` retained windows."""
+        keys = list(self._windows)
+        if last is not None:
+            keys = keys[-int(last):]
+        out: Dict[str, float] = {}
+        for key in keys:
+            for name, value in self._windows[key].items():
+                out[name] = out.get(name, 0.0) + value
+        return out
+
+    def ratio(self, numerator: str, denominator: str,
+              last: Optional[int] = None) -> float:
+        """``sum(numerator) / sum(denominator)`` over recent windows."""
+        totals = self.totals(last=last)
+        denom = totals.get(denominator, 0.0)
+        return totals.get(numerator, 0.0) / denom if denom else float("nan")

@@ -159,6 +159,7 @@ class SolverTelemetry:
         self.strict_numerics = bool(strict_numerics)
         self.metrics = MetricsRegistry()
         self.spans = SpanRecorder(profile=self.profile)
+        self.live = None  # Optional[repro.obs.live.LiveStatusWriter]
         self._seq = 0
         self._closed = False
 
@@ -204,6 +205,27 @@ class SolverTelemetry:
         )
 
     # ------------------------------------------------------------------
+    # Live status (repro.obs.live side channel)
+    # ------------------------------------------------------------------
+    def set_live(self, writer) -> None:
+        """Attach a :class:`~repro.obs.live.LiveStatusWriter`.
+
+        The writer is a wall-clock side channel: executors heartbeat
+        it as items complete and phases change, and it reads this
+        telemetry's diag counters at write time.  Never attach one to
+        the shared :data:`NULL_TELEMETRY` singleton — give the run its
+        own telemetry instance (the CLI's ``--live-status`` does).
+        """
+        if self is NULL_TELEMETRY:
+            raise ValueError(
+                "refusing to attach a live-status writer to the shared "
+                "NULL_TELEMETRY singleton; create a dedicated telemetry"
+            )
+        self.live = writer
+        if writer is not None:
+            writer.attach(self)
+
+    # ------------------------------------------------------------------
     # Recording API (called from solver hot paths)
     # ------------------------------------------------------------------
     def span(self, name: str) -> Union[NullSpan, _RecordingSpan]:
@@ -232,9 +254,31 @@ class SolverTelemetry:
             self.metrics.gauge(name).set(value)
 
     def observe(self, name: str, value: float) -> None:
-        """Record a histogram observation (no-op when disabled)."""
-        if self.enabled:
-            self.metrics.histogram(name).record(value)
+        """Record a histogram observation (no-op when disabled).
+
+        When the observation tips the histogram past its raw-sample
+        cap (promoting it to constant-memory sketch storage), a
+        one-time ``diag.metrics.sketch_promoted`` info finding is
+        emitted — the report's diagnostics section then explains why
+        that metric's percentiles carry the ``~`` marker.
+        """
+        if not self.enabled:
+            return
+        hist = self.metrics.histogram(name)
+        was_exact = not hist.is_approx
+        hist.record(value)
+        if was_exact and hist.is_approx:
+            self.diag(
+                "metrics.sketch_promoted",
+                "info",
+                message=(
+                    f"histogram {name!r} exceeded exact_cap="
+                    f"{hist.exact_cap}; promoted to quantile sketch "
+                    "(percentiles now ~1% relative error)"
+                ),
+                metric=name,
+                exact_cap=hist.exact_cap,
+            )
 
     def diag(
         self,
@@ -347,6 +391,10 @@ class SolverTelemetry:
             return
         if self.enabled and len(self.metrics):
             self.event("metrics", metrics=self.metrics.snapshot())
+        if self.live is not None:
+            # Routine teardown marks "done"; an earlier finish("failed")
+            # from an error handler wins (first-finish semantics).
+            self.live.finish("done")
         self.sink.close()
         self._closed = True
 

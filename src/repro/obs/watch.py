@@ -1,0 +1,128 @@
+"""Terminal rendering for `repro watch` (live status dashboards).
+
+Turns a status snapshot written by
+:class:`~repro.obs.live.LiveStatusWriter` into a plain-ANSI text frame:
+a progress bar, throughput and serving headline numbers (latency
+percentiles carry the ``~`` sketch marker), diagnostic counts, and the
+per-lane heartbeat table with stragglers flagged.  No curses, no
+cursor addressing beyond clear-screen — the frames work in CI logs and
+over ssh alike, and ``--once`` mode prints exactly one frame for
+scripting.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+CLEAR_SCREEN = "\x1b[2J\x1b[H"
+
+_STATE_BADGES = {"running": "RUNNING", "done": "DONE", "failed": "FAILED"}
+
+
+def _bar(done: int, total: Optional[int], width: int = 32) -> str:
+    if not total:
+        return f"[{'?' * width}] {done} items"
+    total = max(int(total), 1)
+    filled = min(width, int(round(width * done / total)))
+    return (
+        f"[{'#' * filled}{'.' * (width - filled)}] "
+        f"{done}/{total} ({100.0 * done / total:.0f}%)"
+    )
+
+
+def _fmt_seconds(seconds: float) -> str:
+    seconds = max(0.0, float(seconds))
+    if seconds < 90:
+        return f"{seconds:.0f}s"
+    minutes, rest = divmod(int(seconds), 60)
+    if minutes < 90:
+        return f"{minutes}m{rest:02d}s"
+    hours, minutes = divmod(minutes, 60)
+    return f"{hours}h{minutes:02d}m"
+
+
+def render_status(status: Dict[str, Any]) -> str:
+    """One dashboard frame for a live-status snapshot."""
+    state = str(status.get("state", "?"))
+    badge = _STATE_BADGES.get(state, state.upper())
+    phase = str(status.get("phase", "?"))
+    elapsed = _fmt_seconds(float(status.get("elapsed_s", 0.0)))
+    lines: List[str] = [
+        f"repro run status — {badge}",
+        f"  phase    {phase}",
+        f"  elapsed  {elapsed}",
+    ]
+
+    items = status.get("items", {})
+    lines.append(
+        "  items    "
+        + _bar(int(items.get("done", 0)), items.get("total"))
+    )
+    extras = [
+        f"{items[key]} {key}"
+        for key in ("cached", "retried", "failed")
+        if items.get(key)
+    ]
+    if extras:
+        lines.append(f"           {', '.join(extras)}")
+    phase_items = status.get("phase_items", {})
+    if phase_items.get("total") and phase_items != items:
+        lines.append(
+            "  phase    "
+            + _bar(int(phase_items.get("done", 0)), phase_items.get("total"))
+        )
+
+    throughput = status.get("throughput", {})
+    rates = []
+    if throughput.get("items_per_s"):
+        rates.append(f"{throughput['items_per_s']:g} items/s")
+    if throughput.get("requests_per_s"):
+        rates.append(f"{throughput['requests_per_s']:g} req/s")
+    if rates:
+        lines.append(f"  rate     {', '.join(rates)}")
+
+    requests = status.get("requests")
+    if requests:
+        parts = [f"{requests.get('total', 0)} requests"]
+        if requests.get("hit_ratio") is not None:
+            parts.append(f"hit ratio {requests['hit_ratio']:.4f}")
+        if requests.get("window_hit_ratio") is not None:
+            parts.append(f"recent {requests['window_hit_ratio']:.4f}")
+        lines.append(f"  serving  {', '.join(parts)}")
+    latency = status.get("latency_s")
+    if latency:
+        marker = "~" if latency.get("approx") else ""
+        lines.append(
+            "  latency  "
+            f"p50 {marker}{1e3 * latency['p50']:.2f} ms  "
+            f"p90 {marker}{1e3 * latency['p90']:.2f} ms  "
+            f"p99 {marker}{1e3 * latency['p99']:.2f} ms"
+        )
+
+    diags = status.get("diags") or {}
+    if any(diags.get(key) for key in ("warning", "error")):
+        lines.append(
+            "  diags    "
+            f"{diags.get('error', 0)} error(s), "
+            f"{diags.get('warning', 0)} warning(s)"
+        )
+
+    workers = status.get("workers") or {}
+    stragglers = set(status.get("stragglers") or ())
+    if workers:
+        lines.append(f"  workers  {len(workers)} lane(s)")
+        shown = sorted(
+            workers,
+            key=lambda lane: (lane not in stragglers, lane),
+        )
+        for lane in shown[:12]:
+            info = workers[lane]
+            flag = "  << STRAGGLER" if lane in stragglers else ""
+            lines.append(
+                f"    {lane:<28} {int(info.get('items', 0)):>4} item(s)  "
+                f"last {_fmt_seconds(float(info.get('age_s', 0.0))):>6} ago"
+                f"{flag}"
+            )
+        if len(shown) > 12:
+            lines.append(f"    ... {len(shown) - 12} more lane(s)")
+    return "\n".join(lines)

@@ -28,8 +28,10 @@ from repro.runtime.executors import (
     Executor,
     ExecutorLike,
     ParallelExecutor,
+    ProgressCallback,
     SerialExecutor,
     as_executor,
+    live_progress,
     make_executor,
 )
 from repro.runtime.plan import (
@@ -55,7 +57,9 @@ __all__ = [
     "ExecutorLike",
     "SerialExecutor",
     "ParallelExecutor",
+    "ProgressCallback",
     "as_executor",
+    "live_progress",
     "make_executor",
     "CHECKPOINT_SCHEMA_VERSION",
     "CheckpointStore",

@@ -23,14 +23,47 @@ from __future__ import annotations
 import abc
 import os
 from functools import partial
-from typing import Any, List, Optional, Union
+from typing import Any, Callable, List, Optional, Union
 
 from repro.obs.telemetry import NULL_TELEMETRY, SolverTelemetry
 from repro.runtime.plan import ExecutionPlan, ItemOutcome, execute_item
 
+ProgressCallback = Callable[[ItemOutcome], None]
+"""Invoked once per completed work item, as completions happen.
+
+Purely a live-observability hook (heartbeats, status files): callbacks
+may fire in completion order on parallel backends and must never
+influence results — outcomes still merge in item order regardless.
+"""
+
 
 def _default_workers() -> int:
     return max(1, os.cpu_count() or 1)
+
+
+def live_progress(
+    plan: ExecutionPlan,
+    telemetry: SolverTelemetry,
+    progress: Optional[ProgressCallback] = None,
+) -> Optional[ProgressCallback]:
+    """Compose a caller callback with the telemetry's live-status hook.
+
+    Registers the plan's labels as heartbeat lanes and returns a
+    callback that notes each completion on the attached
+    :class:`~repro.obs.live.LiveStatusWriter` (None when there is
+    neither a live writer nor a caller callback).
+    """
+    live = getattr(telemetry, "live", None)
+    if live is None:
+        return progress
+    live.register_lanes([item.label for item in plan])
+
+    def _callback(outcome: ItemOutcome) -> None:
+        if progress is not None:
+            progress(outcome)
+        live.note_item(plan[outcome.index].label, index=outcome.index)
+
+    return _callback
 
 
 class Executor(abc.ABC):
@@ -48,18 +81,23 @@ class Executor(abc.ABC):
         capture: bool = False,
         profile: bool = False,
         strict_numerics: bool = False,
+        progress: Optional[ProgressCallback] = None,
     ) -> List[ItemOutcome]:
         """Run every item; outcomes returned in item order.
 
         ``capture`` turns on per-item buffered telemetry (the caller
         absorbs the snapshots); ``profile`` and ``strict_numerics``
         configure that buffered observer to match the parent's.
+        ``progress`` is called once per completed item as completions
+        happen (completion order on parallel backends) — a live-status
+        hook that must never affect results.
         """
 
     def run(
         self,
         plan: ExecutionPlan,
         telemetry: Optional[SolverTelemetry] = None,
+        progress: Optional[ProgressCallback] = None,
     ) -> List[Any]:
         """Run a plan and return the results in item order.
 
@@ -69,6 +107,10 @@ class Executor(abc.ABC):
         backend or on worker completion order.  Absorbed events are
         tagged with the item's label as their ``lane`` (the Chrome
         trace exporter's thread rows).
+
+        When the telemetry carries a live-status writer, item
+        completions additionally heartbeat the status file (composed
+        with any caller-supplied ``progress``).
         """
         tele = telemetry if telemetry is not None else NULL_TELEMETRY
         outcomes = self.execute(
@@ -76,6 +118,7 @@ class Executor(abc.ABC):
             capture=tele.enabled,
             profile=tele.profile,
             strict_numerics=tele.strict_numerics,
+            progress=live_progress(plan, tele, progress),
         )
         results = []
         for outcome in outcomes:
@@ -100,11 +143,17 @@ class SerialExecutor(Executor):
         capture: bool = False,
         profile: bool = False,
         strict_numerics: bool = False,
+        progress: Optional[ProgressCallback] = None,
     ) -> List[ItemOutcome]:
-        return [
-            execute_item(item, capture, profile=profile, strict_numerics=strict_numerics)
-            for item in plan
-        ]
+        outcomes = []
+        for item in plan:
+            outcome = execute_item(
+                item, capture, profile=profile, strict_numerics=strict_numerics
+            )
+            if progress is not None:
+                progress(outcome)
+            outcomes.append(outcome)
+        return outcomes
 
 
 class ParallelExecutor(Executor):
@@ -144,30 +193,38 @@ class ParallelExecutor(Executor):
         capture: bool = False,
         profile: bool = False,
         strict_numerics: bool = False,
+        progress: Optional[ProgressCallback] = None,
     ) -> List[ItemOutcome]:
         if len(plan) <= 1 or self.workers == 1:
             # Nothing to overlap; skip the pool spin-up entirely.
-            return [
-                execute_item(
+            outcomes = []
+            for item in plan:
+                outcome = execute_item(
                     item, capture, profile=profile, strict_numerics=strict_numerics
                 )
-                for item in plan
-            ]
+                if progress is not None:
+                    progress(outcome)
+                outcomes.append(outcome)
+            return outcomes
         from concurrent.futures import ProcessPoolExecutor
 
         with ProcessPoolExecutor(max_workers=min(self.workers, len(plan))) as pool:
-            outcomes = list(
-                pool.map(
-                    partial(
-                        execute_item,
-                        capture=capture,
-                        profile=profile,
-                        strict_numerics=strict_numerics,
-                    ),
-                    plan.items,
-                    chunksize=self.chunksize,
-                )
-            )
+            outcomes = []
+            # ``map`` yields in input order but *incrementally*, so the
+            # progress hook fires while later chunks are still running.
+            for outcome in pool.map(
+                partial(
+                    execute_item,
+                    capture=capture,
+                    profile=profile,
+                    strict_numerics=strict_numerics,
+                ),
+                plan.items,
+                chunksize=self.chunksize,
+            ):
+                if progress is not None:
+                    progress(outcome)
+                outcomes.append(outcome)
         # `map` preserves input order already; sort defensively so the
         # deterministic-merge contract never rests on pool internals.
         outcomes.sort(key=lambda outcome: outcome.index)

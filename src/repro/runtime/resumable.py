@@ -48,6 +48,7 @@ from repro.runtime.executors import (
     Executor,
     ExecutorLike,
     ParallelExecutor,
+    ProgressCallback,
     as_executor,
 )
 from repro.runtime.plan import ExecutionPlan, ItemOutcome, WorkItem, execute_item
@@ -225,11 +226,13 @@ class ResumableExecutor(Executor):
         capture: bool = False,
         profile: bool = False,
         strict_numerics: bool = False,
+        progress: Optional[ProgressCallback] = None,
     ) -> List[ItemOutcome]:
         outcomes: Dict[int, ItemOutcome] = {}
         notes: Dict[int, _ItemNotes] = {}
         keys: Dict[int, Optional[str]] = {}
         pending: List[WorkItem] = []
+        live = getattr(self.telemetry, "live", None)
 
         for item in plan:
             key = item_key(item) if self.store is not None else None
@@ -237,6 +240,10 @@ class ResumableExecutor(Executor):
             cached = self._load_cached(item, key, capture, notes)
             if cached is not None:
                 outcomes[item.index] = cached
+                if live is not None:
+                    live.note_cached(item.label)
+                if progress is not None:
+                    progress(cached)
             else:
                 pending.append(item)
 
@@ -250,7 +257,7 @@ class ResumableExecutor(Executor):
                 runner = self._run_parallel if run_parallel else self._run_serial
                 runner(
                     pending, keys, outcomes, notes, capture, profile,
-                    strict_numerics,
+                    strict_numerics, progress,
                 )
         finally:
             # Flush even when an exhausted item aborts the run: the
@@ -334,6 +341,9 @@ class ResumableExecutor(Executor):
         notes: Dict[int, _ItemNotes],
     ) -> ItemOutcome:
         """Retries ran out: fail, skip, or degrade per the policy."""
+        live = getattr(self.telemetry, "live", None)
+        if live is not None:
+            live.note_failed(item.label)
         note = notes.setdefault(item.index, _ItemNotes())
         note.events.append(
             (
@@ -380,6 +390,9 @@ class ResumableExecutor(Executor):
                 ),
             )
         )
+        live = getattr(self.telemetry, "live", None)
+        if live is not None:
+            live.note_retry(item.label)
 
     # -- serial path ---------------------------------------------------
     def _run_serial(
@@ -391,6 +404,7 @@ class ResumableExecutor(Executor):
         capture: bool,
         profile: bool,
         strict_numerics: bool,
+        progress: Optional[ProgressCallback] = None,
     ) -> None:
         for item in pending:
             attempt = 0
@@ -417,6 +431,8 @@ class ResumableExecutor(Executor):
                     break
                 self._commit(item, keys[item.index], outcome)
                 outcomes[item.index] = outcome
+                if progress is not None:
+                    progress(outcome)
                 break
 
     # -- parallel path -------------------------------------------------
@@ -429,6 +445,7 @@ class ResumableExecutor(Executor):
         capture: bool,
         profile: bool,
         strict_numerics: bool,
+        progress: Optional[ProgressCallback] = None,
     ) -> None:
         """Fan pending items over a pool, checkpointing as they land.
 
@@ -465,6 +482,8 @@ class ResumableExecutor(Executor):
                             outcome = future.result()
                             self._commit(item, keys[item.index], outcome)
                             outcomes[item.index] = outcome
+                            if progress is not None:
+                                progress(outcome)
                         elif self.policy.should_retry(exc, attempt):
                             self._note_retry(item, attempt, exc, notes)
                             delay = self.policy.delay(attempt)

@@ -374,6 +374,10 @@ class ServingEngine:
                 labels=[f"serve_eq:content{k}" for k in range(len(configs))],
                 accepts_telemetry=True,
             )
+            if self.telemetry.live is not None:
+                self.telemetry.live.set_phase(
+                    "serve:equilibria", total_items=len(plan)
+                )
             with self.telemetry.span("serve_solve_equilibria"):
                 results = self.executor.run(plan, telemetry=self.telemetry)
             self._equilibria = dict(enumerate(results))
@@ -461,8 +465,30 @@ class ServingEngine:
             ],
             accepts_telemetry=True,
         )
+        live = self.telemetry.live
+        if live is not None:
+            live.set_phase(
+                f"serve:replay:{policy_obj.name}", total_items=len(plan)
+            )
+
+        def _shard_progress(outcome) -> None:
+            # Fold each landed shard's serving counters into the live
+            # windowed views (recent hit ratio, latency sketch).  Pure
+            # side channel — the report below recomputes everything
+            # from the ordered outcomes.
+            if live is None or outcome.result is None:
+                return
+            for stats in outcome.result:
+                live.note_requests(
+                    stats.requests, hits=stats.hits, latency_s=stats.latency_s
+                )
+
         with self.telemetry.span(f"serve_replay_{policy_obj.name}"):
-            outcomes = self.executor.run(plan, telemetry=self.telemetry)
+            outcomes = self.executor.run(
+                plan,
+                telemetry=self.telemetry,
+                progress=_shard_progress if live is not None else None,
+            )
         lost = [i for i, shard in enumerate(outcomes) if shard is None]
         if lost and self.telemetry.enabled:
             # A skip/degrade fault policy dropped whole shards; report

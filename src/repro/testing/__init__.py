@@ -45,6 +45,12 @@ MEASURED_FIELDS = ("cpu_s", "rss_kb", "gc")
 # between an uninterrupted run and a resumed or retried one.
 BOOKKEEPING_EVENTS = ("item.cached", "item.retry", "item.failed")
 
+# Event-kind prefixes that are wall-clock side channels, stripped
+# wholesale.  ``live.*`` status/phase events are throttled on real
+# time, so their *count* differs run to run even when the results are
+# bit-identical.
+SIDE_CHANNEL_PREFIXES = ("live.",)
+
 
 def normalized_events(source):
     """Normalise a JSONL event stream for determinism comparisons.
@@ -52,9 +58,10 @@ def normalized_events(source):
     ``source`` is an iterable of event dicts, a ``StringIO``/file
     handle, or a path.  Strips sequence numbers, every ``*_s`` timing
     field, profiling measurements, the final ``metrics`` dump (its
-    histograms hold timings), and the fault-layer bookkeeping events —
-    everything left must be byte-identical between an uninterrupted
-    run and any interrupted-resumed or retried equivalent.
+    histograms hold timings), the fault-layer bookkeeping events, and
+    the wall-clock-throttled ``live.*`` status events — everything
+    left must be byte-identical between an uninterrupted run and any
+    interrupted-resumed or retried equivalent.
     """
     from repro.obs.events import read_events_tolerant
 
@@ -70,6 +77,8 @@ def normalized_events(source):
     for event in events:
         kind = event.get("ev")
         if kind == "metrics" or kind in BOOKKEEPING_EVENTS:
+            continue
+        if isinstance(kind, str) and kind.startswith(SIDE_CHANNEL_PREFIXES):
             continue
         clean = {
             k: v

@@ -1,0 +1,324 @@
+"""Tests for the live-status side channel (`--live-status` / `repro watch`).
+
+Covers :class:`~repro.obs.live.LiveStatusWriter` (throttled atomic
+snapshots, heartbeats, straggler detection with an injected clock,
+finish semantics), its wiring through telemetry and the resumable
+executor, the dashboard renderer, and the one-time histogram
+promotion diagnostic.
+"""
+
+import io
+import json
+import os
+
+import pytest
+
+from repro.obs import LiveStatusWriter, read_status, render_status
+from repro.obs.live import STATUS_SCHEMA_VERSION
+from repro.obs.telemetry import NULL_TELEMETRY, SolverTelemetry
+from repro.runtime import (
+    CheckpointStore,
+    ExecutionPlan,
+    FaultPolicy,
+    ResumableExecutor,
+    SerialExecutor,
+)
+from repro.testing import clear_faults, install_faults
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_faults():
+    clear_faults()
+    yield
+    clear_faults()
+
+
+class FakeClock:
+    """An injectable wall clock the tests advance by hand."""
+
+    def __init__(self, start=1000.0):
+        self.now = float(start)
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += float(seconds)
+
+
+def make_writer(tmp_path, **kwargs):
+    clock = kwargs.pop("clock", FakeClock())
+    writer = LiveStatusWriter(tmp_path / "status.json", clock=clock, **kwargs)
+    return writer, clock
+
+
+class TestStatusFile:
+    def test_write_is_atomic_json(self, tmp_path):
+        writer, _ = make_writer(tmp_path)
+        assert writer.write(force=True)
+        status = read_status(writer.path)
+        assert status["version"] == STATUS_SCHEMA_VERSION
+        assert status["state"] == "running"
+        # No tmp file left behind after os.replace.
+        assert not os.path.exists(str(writer.path) + ".tmp")
+
+    def test_read_status_missing_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            read_status(tmp_path / "absent.json")
+
+    def test_throttled_by_every(self, tmp_path):
+        writer, _ = make_writer(tmp_path, every=3)
+        writer.note_item("a")
+        writer.note_item("a")
+        assert not writer.path.exists()
+        writer.note_item("a")
+        assert read_status(writer.path)["items"]["done"] == 3
+
+    def test_phase_change_forces_write_and_accumulates_totals(self, tmp_path):
+        writer, _ = make_writer(tmp_path, every=1000)
+        writer.set_phase("epoch:0", total_items=4)
+        writer.set_phase("epoch:1", total_items=6)
+        status = read_status(writer.path)
+        assert status["phase"] == "epoch:1"
+        assert status["items"]["total"] == 10
+        assert status["phase_items"]["total"] == 6
+
+    def test_retry_and_failure_force_writes(self, tmp_path):
+        writer, _ = make_writer(tmp_path, every=1000)
+        writer.note_retry("w:1")
+        writer.note_failed("w:2")
+        status = read_status(writer.path)
+        assert status["items"]["retried"] == 1
+        assert status["items"]["failed"] == 1
+
+    def test_rejects_non_positive_every(self, tmp_path):
+        with pytest.raises(ValueError, match="every"):
+            LiveStatusWriter(tmp_path / "s.json", every=0)
+
+
+class TestServingViews:
+    def test_hit_ratio_and_latency_sketch(self, tmp_path):
+        writer, _ = make_writer(tmp_path, request_window=100)
+        writer.note_requests(100, hits=80, latency_s=0.5)
+        writer.note_requests(100, hits=40, latency_s=2.0)
+        status = writer.snapshot()
+        req = status["requests"]
+        assert req["total"] == 200
+        assert req["hit_ratio"] == pytest.approx(0.6)
+        assert req["window_hit_ratio"] == pytest.approx(0.6)
+        lat = status["latency_s"]
+        assert lat["approx"] is True
+        # Batch means 5ms and 20ms; p50 is the lower mode.
+        assert lat["p50"] == pytest.approx(0.005, rel=0.02)
+        assert lat["p99"] == pytest.approx(0.020, rel=0.02)
+
+    def test_window_ratio_tracks_recent_batches(self, tmp_path):
+        writer, _ = make_writer(tmp_path, request_window=100)
+        writer.note_requests(100, hits=100)  # old window
+        for _ in range(4):
+            writer.note_requests(100, hits=0)
+        status = writer.snapshot()
+        assert status["requests"]["hit_ratio"] == pytest.approx(0.2)
+        assert status["requests"]["window_hit_ratio"] == pytest.approx(0.0)
+
+    def test_empty_batches_ignored(self, tmp_path):
+        writer, _ = make_writer(tmp_path)
+        writer.note_requests(0, hits=0)
+        assert "requests" not in writer.snapshot()
+
+
+class TestHeartbeats:
+    def test_straggler_flagged_with_injected_clock(self, tmp_path):
+        writer, clock = make_writer(tmp_path, straggler_after_s=60.0)
+        writer.register_lanes(["w:0", "w:1", "w:2"])
+        writer.note_item("w:0")
+        writer.note_item("w:1")
+        clock.advance(120.0)
+        writer.note_item("w:0")
+        writer.note_item("w:1")
+        status = writer.snapshot()
+        assert status["stragglers"] == ["w:2"]
+        assert status["workers"]["w:2"]["items"] == 0
+
+    def test_all_slow_is_a_stall_not_stragglers(self, tmp_path):
+        writer, clock = make_writer(tmp_path, straggler_after_s=60.0)
+        writer.register_lanes(["w:0", "w:1"])
+        clock.advance(300.0)
+        assert writer.snapshot()["stragglers"] == []
+
+    def test_single_lane_never_straggles(self, tmp_path):
+        writer, clock = make_writer(tmp_path, straggler_after_s=60.0)
+        writer.note_item("only")
+        clock.advance(300.0)
+        assert writer.snapshot()["stragglers"] == []
+
+    def test_lane_cap_evicts_least_recent(self, tmp_path):
+        writer, clock = make_writer(tmp_path, max_lanes=2)
+        for label in ("a", "b", "c"):
+            clock.advance(1.0)
+            writer.note_item(label)
+        workers = writer.snapshot()["workers"]
+        assert set(workers) == {"b", "c"}
+
+    def test_oversized_registration_skipped(self, tmp_path):
+        writer, _ = make_writer(tmp_path, max_lanes=2)
+        writer.register_lanes([f"w:{i}" for i in range(5)])
+        assert writer.snapshot()["workers"] == {}
+
+
+class TestFinishSemantics:
+    def test_finish_marks_done(self, tmp_path):
+        writer, _ = make_writer(tmp_path)
+        writer.finish("done")
+        assert read_status(writer.path)["state"] == "done"
+
+    def test_first_finish_wins(self, tmp_path):
+        writer, _ = make_writer(tmp_path)
+        writer.finish("failed")
+        writer.finish("done")  # telemetry teardown's routine finish
+        assert read_status(writer.path)["state"] == "failed"
+
+    def test_invalid_state_rejected(self, tmp_path):
+        writer, _ = make_writer(tmp_path)
+        with pytest.raises(ValueError, match="done"):
+            writer.finish("crashed")
+
+
+class TestTelemetryWiring:
+    def test_set_live_on_null_telemetry_raises(self, tmp_path):
+        writer, _ = make_writer(tmp_path)
+        with pytest.raises(ValueError, match="NULL_TELEMETRY"):
+            NULL_TELEMETRY.set_live(writer)
+
+    def test_close_finishes_status(self, tmp_path):
+        writer, _ = make_writer(tmp_path)
+        tele = SolverTelemetry.to_jsonl(io.StringIO())
+        tele.set_live(writer)
+        tele.close()
+        assert read_status(writer.path)["state"] == "done"
+
+    def test_status_writes_emit_live_events(self, tmp_path):
+        buffer = io.StringIO()
+        tele = SolverTelemetry.to_jsonl(buffer)
+        writer, _ = make_writer(tmp_path)
+        tele.set_live(writer)
+        writer.set_phase("solve", total_items=2)
+        tele.close()
+        buffer.seek(0)
+        kinds = [json.loads(line)["ev"] for line in buffer if line.strip()]
+        assert "live.phase" in kinds
+        assert "live.status" in kinds
+
+    def test_diag_counts_surface_in_snapshot(self, tmp_path):
+        tele = SolverTelemetry.to_jsonl(io.StringIO())
+        writer, _ = make_writer(tmp_path)
+        tele.set_live(writer)
+        tele.diag("hjb.residual", "warning", value=1.0, message="big")
+        status = writer.snapshot()
+        assert status["diags"]["warning"] == 1
+        tele.close()
+
+
+def _tracked(x, rng=None):
+    return x * 10.0
+
+
+def _make_plan(n=4):
+    return ExecutionPlan.map(
+        _tracked, [(i,) for i in range(n)], labels=[f"w:{i}" for i in range(n)]
+    )
+
+
+class TestResumableIntegration:
+    def test_cached_retried_failed_reach_status(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt")
+        buffer = io.StringIO()
+
+        # First pass populates the checkpoint store.
+        tele1 = SolverTelemetry.to_jsonl(buffer)
+        ResumableExecutor(SerialExecutor(), store=store, telemetry=tele1).run(
+            _make_plan(), tele1
+        )
+        tele1.close()
+
+        # Second pass: all four items restored from checkpoints, with
+        # live status attached.
+        tele2 = SolverTelemetry.to_jsonl(io.StringIO())
+        writer, _ = make_writer(tmp_path, every=1)
+        tele2.set_live(writer)
+        ResumableExecutor(SerialExecutor(), store=store, telemetry=tele2).run(
+            _make_plan(), tele2
+        )
+        tele2.close()
+        status = read_status(writer.path)
+        assert status["items"]["cached"] == 4
+        assert status["items"]["done"] == 4  # cached items still complete
+        assert status["state"] == "done"
+
+    def test_retries_and_failures_reach_status(self, tmp_path):
+        install_faults("raise:item=1,times=1")
+        tele = SolverTelemetry.to_jsonl(io.StringIO())
+        writer, _ = make_writer(tmp_path, every=1)
+        tele.set_live(writer)
+        policy = FaultPolicy(max_retries=2)
+        ResumableExecutor(SerialExecutor(), policy=policy, telemetry=tele).run(
+            _make_plan(), tele
+        )
+        tele.close()
+        status = read_status(writer.path)
+        assert status["items"]["retried"] == 1
+        assert status["items"]["done"] == 4
+
+
+class TestRenderStatus:
+    def _status(self):
+        return {
+            "state": "running",
+            "phase": "epoch:1",
+            "elapsed_s": 95.0,
+            "items": {"done": 5, "total": 10, "cached": 1,
+                      "retried": 2, "failed": 0},
+            "phase_items": {"done": 1, "total": 4},
+            "throughput": {"items_per_s": 0.5, "requests_per_s": 1200.0},
+            "requests": {"total": 120000, "hits": 90000,
+                         "hit_ratio": 0.75, "window_hit_ratio": 0.8},
+            "latency_s": {"p50": 0.005, "p90": 0.01, "p99": 0.02,
+                          "mean": 0.007, "approx": True},
+            "diags": {"warning": 3, "error": 1},
+            "workers": {
+                "content:0": {"items": 3, "last_index": 2, "age_s": 1.0},
+                "content:1": {"items": 0, "last_index": -1, "age_s": 400.0},
+            },
+            "stragglers": ["content:1"],
+        }
+
+    def test_frame_contains_headline_numbers(self):
+        frame = render_status(self._status())
+        assert "RUNNING" in frame
+        assert "epoch:1" in frame
+        assert "5/10" in frame
+        assert "hit ratio 0.7500" in frame
+        assert "p50 ~5.00 ms" in frame
+        assert "1 error(s), 3 warning(s)" in frame
+        assert "STRAGGLER" in frame
+        assert "1m35s" in frame
+
+    def test_stragglers_sort_first(self):
+        frame = render_status(self._status())
+        lines = frame.splitlines()
+        lane_lines = [l for l in lines if "content:" in l]
+        assert "content:1" in lane_lines[0]
+
+    def test_unknown_total_renders_unbounded_bar(self):
+        frame = render_status(
+            {"state": "running", "phase": "p", "elapsed_s": 1.0,
+             "items": {"done": 3, "total": None}}
+        )
+        assert "3 items" in frame
+
+    def test_done_badge(self):
+        frame = render_status(
+            {"state": "done", "phase": "p", "elapsed_s": 1.0,
+             "items": {"done": 3, "total": 3}}
+        )
+        assert frame.startswith("repro run status — DONE")

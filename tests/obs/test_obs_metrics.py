@@ -1,9 +1,19 @@
 """Tests for the metric primitives and registry."""
 
+import io
+import json
+
 import numpy as np
 import pytest
 
-from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs import (
+    Counter,
+    DEFAULT_EXACT_CAP,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    SolverTelemetry,
+)
 
 
 class TestCounter:
@@ -59,6 +69,129 @@ class TestHistogram:
         assert snap["sum"] == pytest.approx(10.0)
         assert snap["mean"] == pytest.approx(2.5)
         assert snap["min"] == 1.0 and snap["max"] == 4.0
+
+
+class TestHistogramPromotion:
+    """Raw-sample retention is capped; overflow folds into a sketch."""
+
+    def test_exact_until_cap(self):
+        h = Histogram("h", exact_cap=10)
+        for v in range(10):
+            h.record(float(v))
+        assert not h.is_approx
+        assert "approx" not in h.snapshot()
+
+    def test_promotes_past_cap_and_drops_raw_samples(self):
+        h = Histogram("h", exact_cap=10)
+        for v in range(1, 12):
+            h.record(float(v))
+        assert h.is_approx
+        assert h.values == []  # raw list released on promotion
+        assert h.count == 11
+        snap = h.snapshot()
+        assert snap["approx"] is True
+        assert snap["n_bins"] > 0
+        assert snap["p50"] == pytest.approx(6.0, rel=0.02)
+
+    def test_default_cap_is_module_constant(self):
+        assert Histogram("h").exact_cap == DEFAULT_EXACT_CAP
+
+    def test_negative_cap_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            Histogram("h", exact_cap=-1)
+
+    def test_percentiles_stay_within_sketch_bound(self):
+        h = Histogram("h", exact_cap=100)
+        values = [10.0 ** (k / 50.0) for k in range(500)]
+        for v in values:
+            h.record(v)
+        assert h.is_approx
+        for p in (10, 50, 90, 99):
+            exact = float(np.percentile(values, p, method="inverted_cdf"))
+            assert abs(h.percentile(p) - exact) <= 0.01 * exact + 1e-12
+
+    def test_merge_exact_into_sketch_and_back(self):
+        # All three exact/sketch combinations must agree with the
+        # sketch built from the union of observations.
+        def hist(values, cap):
+            h = Histogram("h", exact_cap=cap)
+            for v in values:
+                h.record(float(v))
+            return h
+
+        a_vals, b_vals = [1.0, 2.0, 3.0], [4.0, 5.0, 6.0, 7.0]
+        cases = [
+            (hist(a_vals, cap=2), hist(b_vals, cap=100)),  # sketch <- exact
+            (hist(a_vals, cap=100), hist(b_vals, cap=2)),  # exact <- sketch
+            (hist(a_vals, cap=3), hist(b_vals, cap=3)),    # exact overflow
+        ]
+        for a, b in cases:
+            a.merge(b)
+            assert a.is_approx
+            assert a.count == 7
+            assert a.total == pytest.approx(28.0)
+            reference = hist(a_vals + b_vals, cap=0)
+            assert a.sketch == reference.sketch
+
+    def test_merge_exact_below_cap_stays_exact(self):
+        a, b = Histogram("h", exact_cap=10), Histogram("h", exact_cap=10)
+        a.record(1.0)
+        b.record(2.0)
+        a.merge(b)
+        assert not a.is_approx
+        assert a.values == [1.0, 2.0]
+
+    def test_million_observations_flat_memory(self):
+        # The acceptance bar: a 10^6-request replay must not grow the
+        # histogram linearly.  Structure, not RSS: the raw list is
+        # empty and the bucket count is bounded by dynamic range.
+        h = Histogram("h")
+        for i in range(1_000_000):
+            h.record(0.001 * (i % 997 + 1))
+        assert h.is_approx
+        assert h.count == 1_000_000
+        assert h.values == []
+        assert h.sketch.n_bins < 1_000
+        snap = h.snapshot()
+        assert snap["approx"] is True
+        assert snap["p50"] == pytest.approx(0.499, rel=0.02)
+
+
+class TestPromotionDiagnostic:
+    """Telemetry emits ``diag.metrics.sketch_promoted`` exactly once."""
+
+    def _events(self, buffer):
+        buffer.seek(0)
+        return [json.loads(line) for line in buffer if line.strip()]
+
+    def test_one_time_info_event(self, monkeypatch):
+        import repro.obs.metrics as metrics_mod
+
+        monkeypatch.setattr(metrics_mod, "DEFAULT_EXACT_CAP", 5)
+        buffer = io.StringIO()
+        tele = SolverTelemetry.to_jsonl(buffer)
+        for i in range(20):
+            tele.observe("stage_ms", float(i + 1))
+        tele.close()
+        promoted = [
+            e for e in self._events(buffer)
+            if e.get("ev") == "diag.metrics.sketch_promoted"
+        ]
+        assert len(promoted) == 1
+        assert promoted[0]["severity"] == "info"
+        assert promoted[0]["metric"] == "stage_ms"
+        assert promoted[0]["exact_cap"] == 5
+
+    def test_no_event_below_cap(self):
+        buffer = io.StringIO()
+        tele = SolverTelemetry.to_jsonl(buffer)
+        for i in range(10):
+            tele.observe("stage_ms", float(i + 1))
+        tele.close()
+        assert not [
+            e for e in self._events(buffer)
+            if e.get("ev") == "diag.metrics.sketch_promoted"
+        ]
 
 
 class TestRegistry:

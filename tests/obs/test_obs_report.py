@@ -119,3 +119,54 @@ class TestInMemoryTelemetry:
         buf.seek(0)
         summary = load_run(buf)
         assert len(summary.iterations) == 1
+
+
+class TestSketchBackedRendering:
+    def test_span_tree_has_sketch_percentiles(self, tmp_path):
+        summary = load_run(_sample_run(tmp_path))
+        text = render_span_tree(summary)
+        assert "p50 ~" in text
+        assert "p99 ~" in text
+        # Repeated spans build a per-path duration sketch.
+        assert summary.span_sketches["solve/iteration"].count == 3
+
+    def test_single_call_span_has_no_percentiles(self, tmp_path):
+        summary = load_run(_sample_run(tmp_path))
+        text = render_span_tree(summary)
+        solve_line = [
+            l for l in text.splitlines() if l.strip().startswith("solve ")
+        ][0]
+        assert "p50" not in solve_line  # one sample: percentiles add nothing
+
+    def test_metrics_table_marks_promoted_histograms(self, tmp_path):
+        import repro.obs.metrics as metrics_mod
+
+        path = tmp_path / "approx.jsonl"
+        tele = SolverTelemetry.to_jsonl(path)
+        hist = tele.metrics.histogram("stage_ms")
+        hist.exact_cap = 4
+        for i in range(10):
+            tele.observe("stage_ms", float(i + 1))
+        tele.observe("exact_ms", 1.0)
+        tele.close()
+        text = render_metrics(load_run(path))
+        approx_line = [l for l in text.splitlines() if "stage_ms" in l][0]
+        exact_line = [l for l in text.splitlines() if "exact_ms" in l][0]
+        assert "p50=~" in approx_line
+        assert "p50=~" not in exact_line
+
+    def test_serving_section_latency_line(self, tmp_path):
+        from repro.obs.report import render_serving
+
+        path = tmp_path / "serve.jsonl"
+        tele = SolverTelemetry.to_jsonl(path)
+        tele.event("serving_report", policy="lru", requests=100,
+                   hit_ratio=0.75, staleness_violation_rate=0.0,
+                   backhaul_mb=1.5)
+        for latency in (0.004, 0.005, 0.006, 0.007):
+            tele.observe("serve.edp_mean_latency_s", latency)
+        tele.close()
+        text = render_serving(load_run(path))
+        assert "per-EDP mean latency" in text
+        assert "p50 " in text and "p99 " in text
+        assert "~" not in text.split("per-EDP")[1]  # exact run: unmarked

@@ -1,0 +1,121 @@
+"""Tests for the Prometheus text exposition (`repro export-metrics`)."""
+
+import io
+
+import pytest
+
+from repro.obs import SolverTelemetry, load_run, render_prometheus
+from repro.obs.prometheus import _metric_name
+
+
+def summary_of(build):
+    buffer = io.StringIO()
+    tele = SolverTelemetry.to_jsonl(buffer)
+    build(tele)
+    tele.close()
+    buffer.seek(0)
+    return load_run(buffer)
+
+
+class TestNameSanitisation:
+    def test_dots_and_dashes_become_underscores(self):
+        assert _metric_name("serve.edp-latency s") == "repro_serve_edp_latency_s"
+
+    def test_leading_digit_guarded(self):
+        assert _metric_name("9lives") == "repro__9lives"
+
+    def test_empty_name_fallback(self):
+        assert _metric_name("...") == "repro_unnamed"
+
+
+class TestExposition:
+    def test_counter_gets_total_suffix(self):
+        text = render_prometheus(summary_of(lambda t: t.inc("solver.sweeps", 3)))
+        assert "# TYPE repro_solver_sweeps_total counter" in text
+        assert "repro_solver_sweeps_total 3" in text
+
+    def test_gauge_rendered_plain(self):
+        text = render_prometheus(summary_of(lambda t: t.gauge("residual", 0.5)))
+        assert "# TYPE repro_residual gauge" in text
+        assert "repro_residual 0.5" in text
+
+    def test_histogram_rendered_as_summary(self):
+        def build(tele):
+            for v in (1.0, 2.0, 3.0, 4.0):
+                tele.observe("stage", v)
+
+        text = render_prometheus(summary_of(build))
+        assert "# TYPE repro_stage summary" in text
+        assert 'repro_stage{quantile="0.5"}' in text
+        assert 'repro_stage{quantile="0.99"}' in text
+        assert "repro_stage_sum 10" in text
+        assert "repro_stage_count 4" in text
+
+    def test_promoted_histogram_flagged_in_help(self, monkeypatch):
+        import repro.obs.metrics as metrics_mod
+
+        monkeypatch.setattr(metrics_mod, "DEFAULT_EXACT_CAP", 4)
+
+        def build(tele):
+            for i in range(10):
+                tele.observe("stage", float(i + 1))
+
+        text = render_prometheus(summary_of(build))
+        assert "sketch-approximated quantiles" in text
+
+    def test_event_derived_families_for_inflight_run(self):
+        # A run killed before close() has no final metrics snapshot;
+        # the event-derived families must still expose something.
+        buffer = io.StringIO()
+        tele = SolverTelemetry.to_jsonl(buffer)
+        tele.event("iteration", iteration=1, policy_change=0.1)
+        tele.diag("hjb.residual", "warning", value=2.0, message="big")
+        # Deliberately NOT closed: simulate an in-flight run.
+        buffer.seek(0)
+        text = render_prometheus(load_run(buffer))
+        assert 'repro_events_total{kind="iteration"} 1' in text
+        assert 'repro_diag_findings_total{severity="warning"} 1' in text
+
+    def test_serving_report_families(self):
+        def build(tele):
+            tele.event(
+                "serving_report", policy="mfg", requests=1000, hit_ratio=0.8,
+                staleness_violation_rate=0.01, backhaul_mb=12.5,
+            )
+
+        text = render_prometheus(summary_of(build))
+        assert 'repro_serving_requests_total{policy="mfg"} 1000' in text
+        assert 'repro_serving_hit_ratio{policy="mfg"} 0.8' in text
+        assert 'repro_serving_backhaul_mb{policy="mfg"} 12.5' in text
+
+    def test_registry_event_family_collision_resolved(self):
+        # `diag.findings` (registry counter) sanitises to the same
+        # family as the event-derived severity breakdown; the labelled
+        # family must win and appear exactly once.
+        text = render_prometheus(
+            summary_of(lambda t: t.diag("x", "info", value=1.0, message="m"))
+        )
+        assert text.count("# TYPE repro_diag_findings_total counter") == 1
+        assert 'repro_diag_findings_total{severity="info"} 1' in text
+        lines = [
+            l for l in text.splitlines()
+            if l.startswith("repro_diag_findings_total ")
+        ]
+        assert lines == []  # no unlabelled duplicate sample
+
+    def test_output_deterministic(self):
+        def build(tele):
+            tele.inc("b.counter")
+            tele.gauge("a.gauge", 1.0)
+            tele.observe("c.hist", 2.0)
+
+        assert render_prometheus(summary_of(build)) == render_prometheus(
+            summary_of(build)
+        )
+
+    def test_label_escaping(self):
+        def build(tele):
+            tele.event("serving_report", policy='l"r\nu', requests=1)
+
+        text = render_prometheus(summary_of(build))
+        assert r'policy="l\"r\nu"' in text

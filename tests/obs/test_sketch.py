@@ -1,0 +1,194 @@
+"""Tests for the constant-memory streaming aggregates.
+
+:class:`QuantileSketch` must honour its documented relative-error
+bound against nearest-rank order statistics, merge order-independently
+(the property the deterministic telemetry merge relies on), and keep
+its bucket count bounded by dynamic range, not observation count.
+:class:`WindowedAggregator` must key windows by logical index and cap
+retention.
+"""
+
+import math
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    DEFAULT_RELATIVE_ACCURACY,
+    QuantileSketch,
+    WindowedAggregator,
+)
+
+
+def exact_quantile(values, p):
+    """The nearest-rank reference the sketch approximates."""
+    return float(
+        np.percentile(np.asarray(values, dtype=float), p, method="inverted_cdf")
+    )
+
+
+class TestQuantileSketchBasics:
+    def test_counts_sum_min_max_mean(self):
+        s = QuantileSketch()
+        s.record_many([1.0, 2.0, 3.0, 4.0])
+        assert s.count == 4
+        assert s.sum == pytest.approx(10.0)
+        assert s.mean == pytest.approx(2.5)
+        assert s.min == 1.0 and s.max == 4.0
+
+    def test_endpoints_exact(self):
+        s = QuantileSketch()
+        s.record_many([3.7, 9.1, 0.02])
+        assert s.quantile(0) == 0.02
+        assert s.quantile(100) == 9.1
+
+    def test_weighted_record(self):
+        s = QuantileSketch()
+        s.record(5.0, count=10)
+        assert s.count == 10
+        assert s.sum == pytest.approx(50.0)
+        assert s.quantile(50) == pytest.approx(5.0, rel=DEFAULT_RELATIVE_ACCURACY)
+
+    def test_relative_error_bound_log_spaced(self):
+        values = [10.0 ** (k / 7.0) for k in range(-21, 22)]
+        s = QuantileSketch()
+        s.record_many(values)
+        for p in (1, 10, 25, 50, 75, 90, 99):
+            exact = exact_quantile(values, p)
+            approx = s.quantile(p)
+            assert abs(approx - exact) <= DEFAULT_RELATIVE_ACCURACY * abs(exact) + 1e-12
+
+    def test_negatives_and_zeros_ordering(self):
+        values = [-100.0, -1.0, 0.0, 0.0, 1.0, 100.0]
+        s = QuantileSketch()
+        s.record_many(values)
+        # rank 0,1 -> negatives; ranks 2,3 -> the exact zeros; 4,5 -> positives
+        assert s.quantile(10) == pytest.approx(-100.0, rel=0.01)
+        assert s.quantile(50) == 0.0
+        assert s.quantile(95) <= s.max
+
+    def test_zero_only_stream(self):
+        s = QuantileSketch()
+        s.record(0.0, count=5)
+        assert s.quantile(50) == 0.0
+        assert s.n_bins == 1
+
+    def test_rejects_bad_inputs(self):
+        s = QuantileSketch()
+        with pytest.raises(ValueError, match="finite"):
+            s.record(float("nan"))
+        with pytest.raises(ValueError, match="finite"):
+            s.record(float("inf"))
+        with pytest.raises(ValueError, match="positive"):
+            s.record(1.0, count=0)
+        with pytest.raises(ValueError, match="no observations"):
+            s.quantile(50)
+        s.record(1.0)
+        with pytest.raises(ValueError, match=r"\[0, 100\]"):
+            s.quantile(-1)
+        with pytest.raises(ValueError, match=r"\(0, 1\)"):
+            QuantileSketch(relative_accuracy=1.5)
+
+    def test_memory_bounded_by_range_not_count(self):
+        s = QuantileSketch()
+        rng = np.random.default_rng(0)
+        # 50k observations over ~4 decades: bins stay in the hundreds.
+        for value in rng.lognormal(mean=0.0, sigma=2.0, size=50_000):
+            s.record(float(value))
+        assert s.count == 50_000
+        assert s.n_bins < 2_000
+
+
+class TestQuantileSketchMerge:
+    def test_merge_equals_single_stream(self):
+        rng = np.random.default_rng(3)
+        values = [float(v) for v in rng.exponential(scale=2.0, size=999)]
+        whole = QuantileSketch()
+        whole.record_many(values)
+        shards = [QuantileSketch() for _ in range(4)]
+        for i, value in enumerate(values):
+            shards[i % 4].record(value)
+        merged = QuantileSketch()
+        for shard in shards:
+            merged.merge(shard)
+        assert merged == whole
+        assert merged.sum == pytest.approx(whole.sum)
+
+    def test_merge_order_independent(self):
+        rng = np.random.default_rng(4)
+        shards = []
+        for _ in range(5):
+            s = QuantileSketch()
+            s.record_many(float(v) for v in rng.normal(size=50))
+            shards.append(s)
+        forward, backward = QuantileSketch(), QuantileSketch()
+        for s in shards:
+            forward.merge(s)
+        for s in reversed(shards):
+            backward.merge(s)
+        assert forward == backward
+
+    def test_merge_accuracy_mismatch_raises(self):
+        with pytest.raises(ValueError, match="accuracies"):
+            QuantileSketch(0.01).merge(QuantileSketch(0.02))
+
+    def test_merge_empty_keeps_min_max(self):
+        s = QuantileSketch()
+        s.record_many([1.0, 2.0])
+        s.merge(QuantileSketch())
+        assert s.min == 1.0 and s.max == 2.0
+
+    def test_copy_is_independent(self):
+        s = QuantileSketch()
+        s.record(1.0)
+        clone = s.copy()
+        clone.record(2.0)
+        assert s.count == 1 and clone.count == 2
+
+    def test_pickle_roundtrip(self):
+        s = QuantileSketch()
+        s.record_many([-3.0, 0.0, 0.5, 12.0])
+        back = pickle.loads(pickle.dumps(s))
+        assert back == s
+        assert back.sum == pytest.approx(s.sum)
+        assert back.quantile(50) == s.quantile(50)
+
+
+class TestWindowedAggregator:
+    def test_windows_key_by_index(self):
+        agg = WindowedAggregator(window=10)
+        agg.observe(0, requests=5)
+        agg.observe(9, requests=5)
+        agg.observe(10, requests=7)
+        assert agg.keys() == [0, 1]
+        assert agg.window_totals(0)["requests"] == 10.0
+        assert agg.window_totals(1)["requests"] == 7.0
+
+    def test_retention_evicts_oldest(self):
+        agg = WindowedAggregator(window=1, retain=3)
+        for i in range(6):
+            agg.observe(i, n=1)
+        assert agg.n_windows == 3
+        assert agg.keys() == [3, 4, 5]
+
+    def test_totals_and_ratio_over_recent(self):
+        agg = WindowedAggregator(window=100)
+        agg.observe(0, hits=10, requests=100)
+        agg.observe(100, hits=90, requests=100)
+        agg.observe(200, hits=50, requests=100)
+        assert agg.totals()["requests"] == 300.0
+        assert agg.ratio("hits", "requests", last=2) == pytest.approx(0.7)
+        assert agg.ratio("hits", "requests") == pytest.approx(0.5)
+
+    def test_ratio_without_denominator_is_nan(self):
+        agg = WindowedAggregator(window=10)
+        assert math.isnan(agg.ratio("hits", "requests"))
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError, match="window"):
+            WindowedAggregator(window=0)
+        with pytest.raises(ValueError, match="retain"):
+            WindowedAggregator(window=1, retain=0)
+        with pytest.raises(ValueError, match="non-negative"):
+            WindowedAggregator(window=1).observe(-1, n=1)

@@ -1,0 +1,122 @@
+"""Property-based tests for the streaming quantile sketch.
+
+Two contracts under test, over adversarial distributions:
+
+* **Error bound** — for any multiset of finite observations,
+  ``QuantileSketch.quantile(p)`` lies within the documented relative
+  error of the exact nearest-rank order statistic
+  (``numpy.percentile(..., method="inverted_cdf")``).  Hypothesis
+  drives constant, bimodal, and heavy-tailed Zipf-like streams — the
+  shapes that break naive fixed-bucket histograms.
+* **Merge order-independence** — sharding a stream arbitrarily and
+  merging the shard sketches in any permutation yields a sketch
+  *identical* (``==``, bucket-for-bucket) to the single-stream sketch.
+  This is the property that lets sketch-backed histograms ride the
+  ordered telemetry merge without breaking the serial-vs-parallel
+  bit-identity contract.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.sketch import QuantileSketch
+
+ACCURACY = 0.01
+
+finite_values = st.floats(
+    min_value=-1e12, max_value=1e12,
+    allow_nan=False, allow_infinity=False,
+)
+
+percentiles = st.floats(min_value=0.0, max_value=100.0)
+
+
+def assert_within_bound(sketch, values, p):
+    exact = float(
+        np.percentile(np.asarray(values, dtype=float), p, method="inverted_cdf")
+    )
+    approx = sketch.quantile(p)
+    assert abs(approx - exact) <= ACCURACY * abs(exact) + 1e-12, (
+        f"p={p}: sketch {approx} vs exact {exact}"
+    )
+
+
+def build(values):
+    sketch = QuantileSketch(ACCURACY)
+    sketch.record_many(values)
+    return sketch
+
+
+class TestErrorBound:
+    @given(value=finite_values, n=st.integers(1, 500), p=percentiles)
+    @settings(max_examples=60, deadline=None)
+    def test_constant_stream(self, value, n, p):
+        values = [value] * n
+        assert_within_bound(build(values), values, p)
+
+    @given(
+        low=st.floats(min_value=1e-6, max_value=1.0,
+                      allow_nan=False, allow_infinity=False),
+        ratio=st.floats(min_value=1.0, max_value=1e9,
+                        allow_nan=False, allow_infinity=False),
+        n_low=st.integers(1, 200),
+        n_high=st.integers(1, 200),
+        p=percentiles,
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_bimodal_stream(self, low, ratio, n_low, n_high, p):
+        values = [low] * n_low + [low * ratio] * n_high
+        assert_within_bound(build(values), values, p)
+
+    @given(seed=st.integers(0, 2**31 - 1), n=st.integers(10, 2000), p=percentiles)
+    @settings(max_examples=40, deadline=None)
+    def test_heavy_tailed_zipf(self, seed, n, p):
+        rng = np.random.default_rng(seed)
+        # Zipf ranks scaled into latency-like magnitudes: a heavy tail
+        # spanning many decades, the worst case for bucketed sketches.
+        values = [1e-4 * float(z) for z in rng.zipf(a=1.5, size=n)]
+        assert_within_bound(build(values), values, p)
+
+    @given(values=st.lists(finite_values, min_size=1, max_size=300), p=percentiles)
+    @settings(max_examples=60, deadline=None)
+    def test_arbitrary_mixed_sign_stream(self, values, p):
+        assert_within_bound(build(values), values, p)
+
+
+class TestMergeOrderIndependence:
+    @given(
+        values=st.lists(finite_values, min_size=0, max_size=200),
+        n_shards=st.integers(1, 6),
+        data=st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_sharded_merge_equals_single_stream(self, values, n_shards, data):
+        assignment = data.draw(
+            st.lists(
+                st.integers(0, n_shards - 1),
+                min_size=len(values), max_size=len(values),
+            )
+        )
+        order = data.draw(st.permutations(range(n_shards)))
+
+        whole = build(values)
+        shards = [QuantileSketch(ACCURACY) for _ in range(n_shards)]
+        for value, shard in zip(values, assignment):
+            shards[shard].record(value)
+        merged = QuantileSketch(ACCURACY)
+        for index in order:
+            merged.merge(shards[index])
+
+        assert merged == whole
+        assert merged.count == whole.count
+        if values:
+            assert merged.min == whole.min and merged.max == whole.max
+            for p in (5, 50, 95):
+                assert merged.quantile(p) == whole.quantile(p)
+
+    @given(values=st.lists(finite_values, min_size=1, max_size=100), data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_record_order_irrelevant(self, values, data):
+        shuffled = data.draw(st.permutations(values))
+        assert build(shuffled) == build(values)

@@ -217,3 +217,69 @@ class TestSchemeSummaryDeterminism:
             telemetry.close()
             streams[name] = normalised_events(buffer)
         assert streams["serial"] == streams["process"]
+
+
+class TestLiveStatusDeterminism:
+    """Backend bit-identity must survive ``--live-status``.
+
+    The live writer reads the wall clock and throttles its writes, so
+    its event *counts* differ run to run — but it is a pure side
+    channel: with ``live.*`` events stripped (exactly what
+    :func:`repro.testing.normalized_events` does) the serial and
+    process streams must still compare equal, and the results must
+    stay bit-identical.
+    """
+
+    @pytest.fixture(scope="class")
+    def live_runs(self, tmp_path_factory):
+        from repro.obs import LiveStatusWriter, read_status
+        from repro.testing import normalized_events
+
+        out = {}
+        for name, factory in BACKENDS.items():
+            root = tmp_path_factory.mktemp(f"live-{name}")
+            buffer = io.StringIO()
+            telemetry = SolverTelemetry.to_jsonl(buffer)
+            telemetry.set_live(
+                LiveStatusWriter(root / "status.json", every=1)
+            )
+            results = run_epoch(factory(), telemetry=telemetry)
+            telemetry.close()
+            out[name] = (
+                results,
+                normalized_events(buffer),
+                read_status(root / "status.json"),
+            )
+        return out
+
+    def test_results_bit_identical(self, live_runs):
+        serial, _, _ = live_runs["serial"]
+        parallel, _, _ = live_runs["process"]
+        for a, b in zip(serial, parallel):
+            assert a.active_contents == b.active_contents
+            for k in a.equilibria:
+                assert np.array_equal(
+                    a.equilibria[k].policy.table, b.equilibria[k].policy.table
+                ), k
+
+    def test_normalized_streams_identical(self, live_runs):
+        _, serial_events, _ = live_runs["serial"]
+        _, parallel_events, _ = live_runs["process"]
+        assert serial_events == parallel_events
+        # live.* must be gone from the normalised view...
+        assert not any(
+            str(e.get("ev", "")).startswith("live.") for e in serial_events
+        )
+
+    def test_raw_streams_contain_live_events(self, live_runs):
+        # ...but the raw runs did carry them (the side channel works).
+        _, _, status = live_runs["serial"]
+        assert status["state"] == "done"
+        assert status["items"]["done"] > 0
+
+    def test_status_files_agree_on_progress(self, live_runs):
+        _, _, serial_status = live_runs["serial"]
+        _, _, parallel_status = live_runs["process"]
+        assert serial_status["items"]["done"] == parallel_status["items"]["done"]
+        assert serial_status["items"]["total"] == parallel_status["items"]["total"]
+        assert serial_status["phase"] == parallel_status["phase"]

@@ -210,3 +210,33 @@ class TestEngineValidation:
     def test_rejects_unknown_policy(self, engine):
         with pytest.raises(ValueError, match="unknown serving policy"):
             engine.replay("fifo")
+
+
+class TestLiveStatusIntegration:
+    """Replay feeds the live status file's serving views exactly."""
+
+    def test_status_totals_match_report(self, workload, tmp_path):
+        from repro.obs import LiveStatusWriter, read_status
+
+        tele = SolverTelemetry.to_jsonl(io.StringIO())
+        tele.set_live(LiveStatusWriter(tmp_path / "status.json", every=1))
+        engine = ServingEngine(
+            workload, n_edps=6, n_slots=12, seed=9, shards=3, telemetry=tele
+        )
+        report = engine.replay("lru")
+        tele.close()
+        status = read_status(tmp_path / "status.json")
+        assert status["state"] == "done"
+        assert status["requests"]["total"] == report.requests
+        assert status["requests"]["hits"] == report.hits
+        # hit_ratio is rounded to 6 decimals in the status file.
+        assert status["requests"]["hit_ratio"] == pytest.approx(
+            report.hit_ratio, abs=1e-6
+        )
+        # The latency sketch approximates the per-shard batch means:
+        # its mean must land near the report's mean request latency.
+        assert status["latency_s"]["approx"] is True
+        assert status["latency_s"]["mean"] == pytest.approx(
+            report.mean_latency_s, rel=0.25
+        )
+        assert status["phase"].startswith("serve:replay:lru")

@@ -500,3 +500,115 @@ class TestVerifyCommand:
         out = capsys.readouterr().out
         assert "Lemma 1 satisfied" in out
         assert "Theorem 2: contraction observed" in out
+
+
+class TestLiveStatusFlag:
+    def test_solve_writes_status_file(self, tmp_path, capsys):
+        status = tmp_path / "status.json"
+        assert main(["solve", "--fast", "--live-status", str(status)]) == 0
+        import json
+
+        payload = json.loads(status.read_text())
+        assert payload["state"] == "done"
+        assert payload["version"] >= 1
+
+    def test_live_events_land_in_telemetry(self, tmp_path):
+        status = tmp_path / "status.json"
+        run = tmp_path / "run.jsonl"
+        assert main([
+            "serve", "--policy", "lru", "--requests", "2000",
+            "--edps", "4", "--contents", "6", "--slots", "5",
+            "--telemetry", str(run), "--live-status", str(status),
+            "--live-every", "1",
+        ]) == 0
+        from repro.obs import read_events
+
+        phases = read_events(run, kind="live.phase")
+        assert any(e["phase"].startswith("serve:replay") for e in phases)
+        assert read_events(run, kind="live.status")
+        import json
+
+        payload = json.loads(status.read_text())
+        assert payload["state"] == "done"
+        assert payload["requests"]["total"] > 0
+        assert 0.0 <= payload["requests"]["hit_ratio"] <= 1.0
+        assert payload["items"]["done"] >= 1
+
+    def test_live_status_does_not_change_results(self, tmp_path, capsys):
+        assert main(["solve", "--fast"]) == 0
+        plain = capsys.readouterr().out
+        status = tmp_path / "status.json"
+        assert main(["solve", "--fast", "--live-status", str(status)]) == 0
+        with_live = capsys.readouterr().out
+        assert plain == with_live
+
+
+class TestWatchCommand:
+    def _write_status(self, tmp_path, state="done"):
+        from repro.obs import LiveStatusWriter
+
+        writer = LiveStatusWriter(tmp_path / "status.json")
+        writer.note_item("w:0")
+        writer.finish(state)
+        return tmp_path / "status.json"
+
+    def test_watch_once_renders_frame(self, tmp_path, capsys):
+        path = self._write_status(tmp_path)
+        assert main(["watch", str(path), "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "repro run status — DONE" in out
+        assert "items" in out
+
+    def test_watch_once_missing_file_is_error(self, tmp_path, capsys):
+        assert main(["watch", str(tmp_path / "nope.json"), "--once"]) == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_watch_loop_exits_when_run_finishes(self, tmp_path, capsys):
+        path = self._write_status(tmp_path, state="failed")
+        assert main(["watch", str(path), "--interval", "0.01"]) == 0
+        assert "FAILED" in capsys.readouterr().out
+
+    def test_watch_rejects_garbage(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert main(["watch", str(bad), "--once"]) == 2
+
+
+class TestExportMetricsCommand:
+    def _run_file(self, tmp_path, capsys):
+        run = tmp_path / "run.jsonl"
+        assert main(["solve", "--fast", "--telemetry", str(run)]) == 0
+        capsys.readouterr()
+        return run
+
+    def test_prometheus_to_stdout(self, tmp_path, capsys):
+        run = self._run_file(tmp_path, capsys)
+        assert main(["export-metrics", str(run), "--format", "prometheus"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_events_total counter" in out
+        assert "repro_solver_iterations" in out
+        assert 'quantile="0.99"' in out
+
+    def test_prometheus_to_file(self, tmp_path, capsys):
+        run = self._run_file(tmp_path, capsys)
+        out_file = tmp_path / "metrics.prom"
+        assert main([
+            "export-metrics", str(run), "--out", str(out_file),
+        ]) == 0
+        assert out_file.read_text().startswith("# ")
+        assert "wrote Prometheus exposition to" in capsys.readouterr().out
+
+    def test_missing_run_is_error(self, tmp_path, capsys):
+        assert main(["export-metrics", str(tmp_path / "nope.jsonl")]) == 2
+
+    def test_report_shows_sketch_markers_after_promotion(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        import repro.obs.metrics as metrics_mod
+
+        monkeypatch.setattr(metrics_mod, "DEFAULT_EXACT_CAP", 8)
+        run = self._run_file(tmp_path, capsys)
+        assert main(["report", str(run)]) == 0
+        out = capsys.readouterr().out
+        assert "p50=~" in out  # promoted histogram carries the marker
+        assert "span tree" in out
