@@ -1,4 +1,4 @@
-"""Runtime scaling — serial vs process-pool epoch solves.
+"""Runtime scaling — serial vs process-pool vs batched epoch solves.
 
 The Alg. 1 epoch loop solves one independent HJB-FPK equilibrium per
 active content, so an epoch over a K-content catalog is the
@@ -10,9 +10,16 @@ pool, checks the two backends produce *bit-identical* equilibria (the
 The speedup assertion only fires on hosts with enough cores — a
 process pool cannot beat serial execution on a 1-CPU box, where the
 bench still verifies the determinism contract.
+
+``test_batched_solver_scaling`` adds the batch-size axis: a
+256-content catalog solved per content (scalar serial baseline) and
+through the batched tensor pipeline at each ``--batch-sizes`` width.
+The single-shard run (batch size = catalog size) must be at least 5x
+faster than the per-content serial path while staying bit-identical.
 """
 
 import os
+import time
 
 import numpy as np
 
@@ -26,6 +33,9 @@ from conftest import run_once
 
 N_CONTENTS = 8
 WORKERS = 4
+
+BATCH_CONTENTS = 256
+BATCH_SPEEDUP_FLOOR = 5.0
 
 
 def _run_epoch(executor):
@@ -94,3 +104,83 @@ def test_runtime_scaling(benchmark):
             f"expected >1.5x speedup with {WORKERS} workers on "
             f"{cores} cores, got x{speedup:.2f}"
         )
+
+
+def _run_batched_epoch(solver_batching=False, batch_size=BATCH_CONTENTS):
+    """One epoch over a 256-content catalog (coarse per-content grids).
+
+    The request rate is set so even the Zipf tail expects double-digit
+    request counts — the whole catalog lands in the active set and the
+    scalar-vs-batched comparison covers all 256 contents.
+    """
+    rng = np.random.default_rng(0)
+    catalog = ContentCatalog.from_sizes(rng.uniform(50.0, 150.0, BATCH_CONTENTS))
+    config = MFGCPConfig(
+        n_time_steps=20, n_h=5, n_q=13, max_iterations=10, tolerance=1e-3
+    )
+    requests = RequestProcess(
+        n_contents=BATCH_CONTENTS,
+        rate_per_edp=20_000.0 / config.horizon,
+        timeliness_model=TimelinessModel(l_max=3.0),
+        rng=np.random.default_rng(1),
+    )
+    solver = MFGCPSolver(config, executor=SerialExecutor())
+    return solver.run_epochs(
+        catalog,
+        requests,
+        n_epochs=1,
+        solver_batching=solver_batching,
+        batch_size=batch_size,
+    )
+
+
+def test_batched_solver_scaling(benchmark, batch_sizes):
+    t0 = time.perf_counter()
+    scalar_results = _run_batched_epoch()
+    scalar_s = time.perf_counter() - t0
+    scalar_fp = _epoch_fingerprint(scalar_results)
+    n_active = len(scalar_results[0].active_contents)
+    assert n_active == BATCH_CONTENTS, (
+        f"expected the whole catalog active, got {n_active}"
+    )
+
+    print(
+        f"\nBatched solver scaling — {BATCH_CONTENTS}-content epoch: "
+        f"per-content serial {scalar_s:.2f}s"
+    )
+    # The --batch-sizes axis, largest last so the benchmark fixture
+    # times the single-shard run the acceptance floor applies to.
+    axis = sorted(set(batch_sizes) | {BATCH_CONTENTS})
+    speedups = {}
+    for width in axis:
+        runner = (
+            (lambda: run_once(
+                benchmark, _run_batched_epoch,
+                solver_batching=True, batch_size=width,
+            ))
+            if width == axis[-1]
+            else (lambda: _run_batched_epoch(
+                solver_batching=True, batch_size=width,
+            ))
+        )
+        t0 = time.perf_counter()
+        batched_results = runner()
+        batched_s = time.perf_counter() - t0
+        batched_fp = _epoch_fingerprint(batched_results)
+        assert scalar_fp.keys() == batched_fp.keys()
+        for key in scalar_fp:
+            assert np.array_equal(scalar_fp[key], batched_fp[key]), (
+                f"{key} differs between scalar and batch_size={width}"
+            )
+        speedups[width] = scalar_s / batched_s if batched_s > 0 else float("inf")
+        shards = -(-BATCH_CONTENTS // width)
+        print(
+            f"  batch_size {width:>4} ({shards:>3} shard(s)): "
+            f"{batched_s:.2f}s (x{speedups[width]:.1f})"
+        )
+
+    single_shard = speedups[BATCH_CONTENTS]
+    assert single_shard >= BATCH_SPEEDUP_FLOOR, (
+        f"single-shard batched solve must be >= {BATCH_SPEEDUP_FLOOR}x the "
+        f"per-content serial path, got x{single_shard:.1f}"
+    )

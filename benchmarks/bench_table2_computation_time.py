@@ -7,13 +7,40 @@ Paper claims reproduced here:
   advantage at small populations erodes as the system scales (the
   paper's crossover: RR overtakes MFG-CP's cost around M ~ 100 on its
   testbed; the flat-vs-linear shape is the reproduction target).
+
+``test_batched_epoch_computation_time`` extends the table with the
+solver-side axis the paper's O(K psi) remark leaves implicit: the
+K-content equilibrium solve itself, per content (scalar) vs one
+batched tensor sweep over the whole catalog.  Run as a module to
+record that comparison as JSON for CI trending::
+
+    PYTHONPATH=src python benchmarks/bench_table2_computation_time.py BENCH_batch.json
 """
+
+import json
+import sys
+import time
 
 import numpy as np
 
 from repro.analysis import experiments
 from repro.analysis.reporting import print_table
-from conftest import run_once
+from repro.content.catalog import ContentCatalog
+from repro.content.requests import RequestProcess
+from repro.content.timeliness import TimelinessModel
+from repro.core.parameters import MFGCPConfig
+from repro.core.solver import MFGCPSolver
+from repro.runtime import SerialExecutor
+
+try:
+    from conftest import run_once
+except ImportError:  # running as a plain script, outside pytest
+    run_once = None
+
+BATCH_CATALOG = 64
+"""Catalog size for the scalar-vs-batched wall-clock comparison —
+small enough to keep the committed baseline cheap to regenerate,
+large enough that the batched sweep's advantage is unambiguous."""
 
 
 def test_table2_computation_time(benchmark, bench_telemetry, bench_executor):
@@ -52,3 +79,119 @@ def test_table2_computation_time(benchmark, bench_telemetry, bench_executor):
     mfg_growth = by_scheme["MFG-CP"][300] / by_scheme["MFG-CP"][50]
     print(f"  growth factors M=50 -> 300: RR x{rr_growth:.1f}, MFG-CP x{mfg_growth:.1f}")
     assert rr_growth > 2.0 * mfg_growth
+
+
+def _equilibria_fingerprint(results):
+    """Every array an epoch result exposes, for bit-level comparison."""
+    out = {}
+    for res in results:
+        for k, eq in res.equilibria.items():
+            out[f"epoch{res.epoch}/content{k}/value"] = eq.value
+            out[f"epoch{res.epoch}/content{k}/policy"] = eq.policy.table
+            out[f"epoch{res.epoch}/content{k}/density"] = eq.density
+            out[f"epoch{res.epoch}/content{k}/price"] = eq.mean_field.price
+    return out
+
+
+def _mfgcp_epoch(solver_batching=False):
+    """One MFG-CP epoch over a ``BATCH_CATALOG``-content catalog.
+
+    Inputs are rebuilt per call so the scalar and batched runs consume
+    identical catalogs and request traces; returns ``(results, secs)``.
+    The request rate keeps the whole catalog in the active set so the
+    comparison covers every content.
+    """
+    rng = np.random.default_rng(0)
+    catalog = ContentCatalog.from_sizes(rng.uniform(50.0, 150.0, BATCH_CATALOG))
+    config = MFGCPConfig(
+        n_time_steps=20, n_h=5, n_q=13, max_iterations=10, tolerance=1e-3
+    )
+    requests = RequestProcess(
+        n_contents=BATCH_CATALOG,
+        rate_per_edp=5_000.0 / config.horizon,
+        timeliness_model=TimelinessModel(l_max=3.0),
+        rng=np.random.default_rng(1),
+    )
+    solver = MFGCPSolver(config, executor=SerialExecutor())
+    t0 = time.perf_counter()
+    results = solver.run_epochs(
+        catalog,
+        requests,
+        n_epochs=1,
+        solver_batching=solver_batching,
+        batch_size=BATCH_CATALOG,
+    )
+    return results, time.perf_counter() - t0
+
+
+def measure_batched():
+    """Scalar vs batched epoch wall-clock, with the bit-identity check."""
+    scalar_results, scalar_s = _mfgcp_epoch()
+    batched_results, batched_s = _mfgcp_epoch(solver_batching=True)
+
+    scalar_fp = _equilibria_fingerprint(scalar_results)
+    batched_fp = _equilibria_fingerprint(batched_results)
+    assert scalar_fp.keys() == batched_fp.keys()
+    for key in scalar_fp:
+        assert np.array_equal(scalar_fp[key], batched_fp[key]), (
+            f"{key} differs between the scalar and batched solvers"
+        )
+
+    n_active = len(scalar_results[0].active_contents)
+    assert n_active == BATCH_CATALOG, (
+        f"expected the whole catalog active, got {n_active}"
+    )
+    return {
+        "n_contents": BATCH_CATALOG,
+        "n_active": n_active,
+        "batch_size": BATCH_CATALOG,
+        "n_shards": 1,
+        "scalar_s": scalar_s,
+        "scalar_s_per_content": scalar_s / n_active,
+        "batched_s": batched_s,
+        "speedup": scalar_s / batched_s if batched_s > 0 else float("inf"),
+    }
+
+
+def test_batched_epoch_computation_time(benchmark):
+    record = run_once(benchmark, measure_batched)
+
+    print(
+        f"\nMFG-CP epoch solver — {record['n_contents']} contents, "
+        "scalar vs batched (wall-clock seconds)"
+    )
+    print_table(
+        ["Solver", "seconds", "s / content"],
+        [
+            (
+                "per-content scalar",
+                record["scalar_s"],
+                record["scalar_s_per_content"],
+            ),
+            (
+                "batched (1 shard)",
+                record["batched_s"],
+                record["batched_s"] / record["n_contents"],
+            ),
+        ],
+    )
+    print(f"  batched speedup: x{record['speedup']:.1f}")
+
+    # The 5x acceptance floor lives in bench_runtime_scaling (256
+    # contents); this smaller catalog just has to show a clear win.
+    assert record["speedup"] > 2.0, (
+        f"batched epoch should clearly beat scalar, got x{record['speedup']:.1f}"
+    )
+
+
+if __name__ == "__main__":
+    out_path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_batch.json"
+    record = measure_batched()
+    with open(out_path, "w") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(
+        f"{record['n_contents']} contents: scalar {record['scalar_s']:.2f}s, "
+        f"batched {record['batched_s']:.2f}s (x{record['speedup']:.1f})"
+    )
+    print(f"wrote {out_path}")

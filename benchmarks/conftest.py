@@ -36,6 +36,13 @@ def pytest_addoption(parser):
         help="execution backend for benches that fan work out "
              "('serial' or 'process[:N]'; results are bit-identical)",
     )
+    parser.addoption(
+        "--batch-sizes",
+        default="64,256",
+        help="comma list of batched-solver shard widths for the "
+             "batch-size axis of bench_runtime_scaling "
+             "(the full-catalog single-shard width is always included)",
+    )
 
 
 @pytest.fixture(scope="session")
@@ -48,6 +55,18 @@ def equilibrium():
 def bench_executor(request):
     """The executor implied by ``--runtime-backend`` (serial by default)."""
     return make_executor(request.config.getoption("--runtime-backend"))
+
+
+@pytest.fixture
+def batch_sizes(request):
+    """The batched-solver shard widths from ``--batch-sizes``."""
+    spec = request.config.getoption("--batch-sizes")
+    sizes = sorted({int(part) for part in spec.split(",") if part.strip()})
+    if not sizes or any(size <= 0 for size in sizes):
+        raise pytest.UsageError(
+            f"--batch-sizes needs positive integers, got {spec!r}"
+        )
+    return sizes
 
 
 @pytest.fixture

@@ -23,9 +23,13 @@ from repro.core.parameters import (
     MFGCPConfig,
     PaperParameters,
 )
-from repro.core.grid import StateGrid
+from repro.core.grid import BatchGrid, StateGrid
 from repro.core.solver import EpochResult, MFGCPSolver
-from repro.core.best_response import BestResponseIterator, build_grid
+from repro.core.best_response import (
+    BatchedBestResponseIterator,
+    BestResponseIterator,
+    build_grid,
+)
 from repro.core.equilibrium import ConvergenceReport, EquilibriumResult, IterationRecord
 from repro.core.policy import CachingPolicy, optimal_control
 from repro.core.hjb import HJBSolution, HJBSolver
@@ -118,6 +122,8 @@ from repro.runtime import (
     WorkItem,
     as_executor,
     make_executor,
+    partition_batches,
+    partition_indices,
 )
 
 from repro.serve import (
@@ -146,6 +152,8 @@ __all__ = [
     "StateGrid",
     "MFGCPSolver",
     "EpochResult",
+    "BatchGrid",
+    "BatchedBestResponseIterator",
     "BestResponseIterator",
     "build_grid",
     "EquilibriumResult",
@@ -243,6 +251,8 @@ __all__ = [
     "Executor",
     "SerialExecutor",
     "ParallelExecutor",
+    "partition_batches",
+    "partition_indices",
     "as_executor",
     "make_executor",
     # serving

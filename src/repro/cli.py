@@ -263,6 +263,13 @@ def build_parser() -> argparse.ArgumentParser:
                               "never affects results)")
     p_serve.add_argument("--out", default=None,
                          help="directory for CSV/JSON export of the reports")
+    p_serve.add_argument("--solver-batching", action="store_true",
+                         help="solve the mfg policy's equilibria through the "
+                              "batched tensor pipeline (one work item per "
+                              "content shard; bit-identical results)")
+    p_serve.add_argument("--batch-size", type=int, default=32, metavar="B",
+                         help="max contents per batched shard "
+                              "(with --solver-batching; default 32)")
     add_telemetry_arg(p_serve)
     add_runtime_args(p_serve)
 
@@ -889,6 +896,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             shards=args.shards,
             executor=executor,
             telemetry=telemetry,
+            solver_batching=args.solver_batching,
+            batch_size=args.batch_size,
         )
         reports = engine.compare(names)
     except StrictNumericsError as err:

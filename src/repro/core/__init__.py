@@ -7,12 +7,16 @@ knapsack extension.
 """
 
 from repro.core.parameters import MFGCPConfig, PaperParameters, ChannelParameters, CachingParameters
-from repro.core.grid import StateGrid
+from repro.core.grid import BatchGrid, StateGrid
 from repro.core.policy import CachingPolicy, optimal_control
-from repro.core.hjb import HJBSolver, HJBSolution
-from repro.core.fpk import FPKSolver, initial_density
+from repro.core.hjb import BatchedHJBSolver, HJBSolver, HJBSolution
+from repro.core.fpk import BatchedFPKSolver, FPKSolver, batched_initial_density, initial_density
 from repro.core.mean_field import MeanFieldEstimator, MeanFieldPath
-from repro.core.best_response import BestResponseIterator, IterationRecord
+from repro.core.best_response import (
+    BatchedBestResponseIterator,
+    BestResponseIterator,
+    IterationRecord,
+)
 from repro.core.solver import MFGCPSolver
 from repro.core.equilibrium import EquilibriumResult, ConvergenceReport
 from repro.core.knapsack import KnapsackItem, solve_fractional_knapsack, solve_01_knapsack, capacity_constrained_placement
@@ -41,15 +45,20 @@ __all__ = [
     "ChannelParameters",
     "CachingParameters",
     "StateGrid",
+    "BatchGrid",
     "CachingPolicy",
     "optimal_control",
     "HJBSolver",
     "HJBSolution",
+    "BatchedHJBSolver",
     "FPKSolver",
     "initial_density",
+    "BatchedFPKSolver",
+    "batched_initial_density",
     "MeanFieldEstimator",
     "MeanFieldPath",
     "BestResponseIterator",
+    "BatchedBestResponseIterator",
     "IterationRecord",
     "MFGCPSolver",
     "EquilibriumResult",

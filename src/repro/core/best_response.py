@@ -15,14 +15,14 @@ contraction mapping of Theorem 2 robustly on coarse grids.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.core.equilibrium import ConvergenceReport, EquilibriumResult, IterationRecord
-from repro.core.fpk import FPKSolver, initial_density
-from repro.core.grid import StateGrid
-from repro.core.hjb import HJBSolver
+from repro.core.fpk import BatchedFPKSolver, FPKSolver, batched_initial_density, initial_density
+from repro.core.grid import BatchGrid, StateGrid
+from repro.core.hjb import BatchedHJBSolver, HJBSolution, HJBSolver
 from repro.core.mean_field import MeanFieldEstimator
 from repro.core.parameters import MFGCPConfig
 from repro.core.policy import CachingPolicy
@@ -32,7 +32,7 @@ from repro.obs.diagnostics import (
     SolveEndContext,
     SolveStartContext,
 )
-from repro.obs.telemetry import NULL_TELEMETRY, SolverTelemetry
+from repro.obs.telemetry import NULL_TELEMETRY, SolverTelemetry, StrictNumericsError
 
 
 def build_grid(config: MFGCPConfig) -> StateGrid:
@@ -244,3 +244,295 @@ class BestResponseIterator:
             mean_field=mean_field,
             report=report,
         )
+
+
+class _LaneTelemetry:
+    """Per-lane telemetry proxy tagging diagnostics with a content index.
+
+    The batched iterator drives one :class:`SolveDiagnostics` per lane;
+    every probe finding is forwarded through this proxy, which adds a
+    ``content=<index>`` field to the ``diag.*`` event and prefixes a
+    strict-numerics escalation with the content index — so a batched
+    abort names the lane that failed, not just the check.
+    """
+
+    def __init__(self, inner: SolverTelemetry, content: int) -> None:
+        self._inner = inner
+        self.content = int(content)
+
+    @property
+    def enabled(self) -> bool:
+        return self._inner.enabled
+
+    @property
+    def strict_numerics(self) -> bool:
+        return self._inner.strict_numerics
+
+    def diag(self, check, severity, value=None, threshold=None, message="", **fields):
+        fields.setdefault("content", self.content)
+        try:
+            self._inner.diag(
+                check,
+                severity,
+                value=value,
+                threshold=threshold,
+                message=message,
+                **fields,
+            )
+        except StrictNumericsError as err:
+            raise StrictNumericsError(
+                err.check, f"content {self.content}: {err.message}", err.value
+            ) from None
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+class BatchedBestResponseIterator:
+    """Algorithm 2 over a batch of contents with a convergence mask.
+
+    Each lane runs exactly the scalar fixed-point loop — bootstrap FPK,
+    then hjb → policy change → damped update → FPK → mean-field
+    refresh — but all active lanes advance through one vectorized
+    backward and forward sweep per iteration.  A lane whose policy
+    change drops below tolerance leaves the active set at the end of
+    its iteration (after its FPK/estimator refresh, mirroring the
+    scalar loop's stopping point); frozen lanes are never recomputed,
+    so their value function, density, and policy stay bit-identical to
+    the state at their own convergence.
+
+    ``content_ids`` labels lanes in telemetry and diagnostics; results
+    come back as one :class:`EquilibriumResult` per lane, in input
+    order, each indistinguishable from a scalar
+    :class:`BestResponseIterator` solve of that lane alone.
+    """
+
+    def __init__(
+        self,
+        configs: Sequence[MFGCPConfig],
+        content_ids: Optional[Sequence[int]] = None,
+        telemetry: Optional[SolverTelemetry] = None,
+    ) -> None:
+        self.configs = list(configs)
+        if not self.configs:
+            raise ValueError("cannot batch zero configs")
+        first = self.configs[0]
+        for i, cfg in enumerate(self.configs[1:], start=1):
+            if (
+                cfg.max_iterations != first.max_iterations
+                or cfg.tolerance != first.tolerance
+                or cfg.damping != first.damping
+            ):
+                raise ValueError(
+                    f"lane {i} has different iteration controls "
+                    "(max_iterations/tolerance/damping must be shared)"
+                )
+        self.content_ids = (
+            list(range(len(self.configs)))
+            if content_ids is None
+            else [int(k) for k in content_ids]
+        )
+        if len(self.content_ids) != len(self.configs):
+            raise ValueError(
+                f"{len(self.content_ids)} content ids for "
+                f"{len(self.configs)} configs"
+            )
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self.lane_grids = [build_grid(cfg) for cfg in self.configs]
+        self.grid = BatchGrid.from_grids(self.lane_grids)
+        self.hjb = BatchedHJBSolver(self.configs, self.grid)
+        self.fpk = BatchedFPKSolver(
+            self.configs,
+            self.grid,
+            telemetry=self.telemetry,
+            content_ids=self.content_ids,
+        )
+        self.estimators = [
+            MeanFieldEstimator(cfg, lane_grid)
+            for cfg, lane_grid in zip(self.configs, self.lane_grids)
+        ]
+
+    def solve(
+        self, initial_policy_level: float = 0.5
+    ) -> List[EquilibriumResult]:
+        """Run the masked fixed-point loop to per-content equilibria."""
+        if not 0.0 <= initial_policy_level <= 1.0:
+            raise ValueError(
+                f"policy level must lie in [0, 1], got {initial_policy_level}"
+            )
+        grid = self.grid
+        tele = self.telemetry
+        cfg0 = self.configs[0]
+        n_lanes = grid.n_lanes
+
+        density0 = batched_initial_density(grid, self.configs)
+        policy = np.full(grid.path_shape, float(initial_policy_level))
+
+        lane_teles = [_LaneTelemetry(tele, k) for k in self.content_ids]
+        diagnostics = (
+            [SolveDiagnostics(lt) for lt in lane_teles] if tele.enabled else None
+        )
+
+        solve_span = tele.span("solve")
+        solve_span.__enter__()
+        tele.event(
+            "solve_start",
+            max_iterations=cfg0.max_iterations,
+            tolerance=cfg0.tolerance,
+            damping=cfg0.damping,
+            grid_shape=list(grid.path_shape),
+            batched=True,
+            contents=list(self.content_ids),
+        )
+        if diagnostics is not None:
+            for b, diag in enumerate(diagnostics):
+                diag.solve_start(
+                    SolveStartContext(
+                        telemetry=lane_teles[b],
+                        grid=self.lane_grids[b],
+                        config=self.configs[b],
+                        fpk=self.fpk.lane_solvers[b],
+                        hjb=self.hjb.lane_solvers[b],
+                    )
+                )
+        with tele.span("bootstrap"):
+            density_paths = self.fpk.solve(policy, density0)
+            mean_fields = [
+                est.estimate(density_paths[b], policy[b])
+                for b, est in enumerate(self.estimators)
+            ]
+
+        histories: List[List[IterationRecord]] = [[] for _ in range(n_lanes)]
+        converged = np.zeros(n_lanes, dtype=bool)
+        policy_changes = np.full(n_lanes, np.inf)
+        value_paths = np.empty(grid.path_shape)
+        active = np.arange(n_lanes)
+
+        for iteration in range(1, cfg0.max_iterations + 1):
+            if active.size == 0:
+                break
+            with tele.span("iteration"):
+                with tele.span("hjb") as sp_hjb:
+                    v_path, new_tables = self.hjb.solve(
+                        [mean_fields[b] for b in active], lanes=active
+                    )
+                value_paths[active] = v_path
+                pc = np.max(np.abs(new_tables - policy[active]), axis=(1, 2, 3))
+                policy_changes[active] = pc
+
+                policy[active] = (
+                    (1.0 - cfg0.damping) * policy[active]
+                    + cfg0.damping * new_tables
+                )
+                with tele.span("fpk") as sp_fpk:
+                    d_paths = self.fpk.solve(
+                        policy[active], density0[active], lanes=active
+                    )
+                density_paths[active] = d_paths
+                with tele.span("mean_field") as sp_mf:
+                    mf_changes = np.empty(active.size)
+                    for j, b in enumerate(active):
+                        new_mf = self.estimators[b].estimate(
+                            d_paths[j], policy[b]
+                        )
+                        mf_changes[j] = mean_fields[b].distance(new_mf)
+                        mean_fields[b] = new_mf
+
+            for j, b in enumerate(active):
+                histories[b].append(
+                    IterationRecord(
+                        iteration=iteration,
+                        policy_change=float(pc[j]),
+                        mean_field_change=float(mf_changes[j]),
+                        mean_price=float(mean_fields[b].price.mean()),
+                        mean_control=float(mean_fields[b].mean_control.mean()),
+                    )
+                )
+            if tele.enabled:
+                tele.inc("solver.iterations")
+                tele.observe("solver.hjb_seconds", sp_hjb.duration)
+                tele.observe("solver.fpk_seconds", sp_fpk.duration)
+                tele.event(
+                    "iteration",
+                    iteration=iteration,
+                    n_active=int(active.size),
+                    policy_change=float(pc.max()),
+                    mean_field_change=float(mf_changes.max()),
+                    hjb_s=sp_hjb.duration,
+                    fpk_s=sp_fpk.duration,
+                    mean_field_s=sp_mf.duration,
+                )
+            if diagnostics is not None:
+                for j, b in enumerate(active):
+                    lane_grid = self.lane_grids[b]
+                    solution = HJBSolution(
+                        grid=lane_grid,
+                        value=value_paths[b],
+                        policy=CachingPolicy(grid=lane_grid, table=new_tables[j]),
+                    )
+                    diagnostics[b].iteration(
+                        IterationContext(
+                            telemetry=lane_teles[b],
+                            grid=lane_grid,
+                            config=self.configs[b],
+                            hjb=self.hjb.lane_solvers[b],
+                            iteration=iteration,
+                            density_path=density_paths[b],
+                            solution=solution,
+                            mean_field=mean_fields[b],
+                            policy_change=float(pc[j]),
+                        )
+                    )
+            # Convergence mask: lanes below tolerance freeze after this
+            # iteration's FPK/estimator refresh — exactly where the
+            # scalar loop stops — and drop out of the batch.
+            done = pc < cfg0.tolerance
+            converged[active[done]] = True
+            active = active[~done]
+
+        results: List[EquilibriumResult] = []
+        for b in range(n_lanes):
+            report = ConvergenceReport(
+                converged=bool(converged[b]),
+                n_iterations=len(histories[b]),
+                final_policy_change=float(policy_changes[b]),
+                history=histories[b],
+            )
+            if diagnostics is not None:
+                diagnostics[b].solve_end(
+                    SolveEndContext(
+                        telemetry=lane_teles[b],
+                        config=self.configs[b],
+                        report=report,
+                    )
+                )
+            results.append(
+                EquilibriumResult(
+                    config=self.configs[b],
+                    grid=self.lane_grids[b],
+                    value=value_paths[b],
+                    policy=CachingPolicy(grid=self.lane_grids[b], table=policy[b]),
+                    density=density_paths[b],
+                    mean_field=mean_fields[b],
+                    report=report,
+                )
+            )
+        solve_span.__exit__(None, None, None)
+        if tele.enabled:
+            tele.gauge(
+                "solver.final_policy_change", float(policy_changes.max())
+            )
+            tele.gauge(
+                "solver.n_iterations",
+                float(max(len(h) for h in histories)),
+            )
+            tele.event(
+                "solve_end",
+                converged=bool(converged.all()),
+                n_converged=int(converged.sum()),
+                n_lanes=n_lanes,
+                n_iterations=max(len(h) for h in histories),
+                final_policy_change=float(policy_changes.max()),
+                solve_s=solve_span.duration,
+            )
+        return results

@@ -9,7 +9,7 @@ axes, spacings, meshes, and quadrature weights every solver shares.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -217,3 +217,191 @@ class StateGrid:
         fq = np.clip((q - self.q[0]) / self.dq, 0.0, self.n_q - 1 - 1e-12)
         ih, iq = int(fh), int(fq)
         return ih, iq, float(fh - ih), float(fq - iq)
+
+
+@dataclass(frozen=True)
+class BatchGrid:
+    """A stack of per-content :class:`StateGrid` lanes.
+
+    The batched solvers carry the content axis as a leading numpy
+    dimension: spatial fields are shaped ``(B, n_h, n_q)`` and time
+    paths ``(B, n_t + 1, n_h, n_q)``, one lane per content.  All lanes
+    share the time and fading axes (the wireless channel is common to
+    every content); each lane owns its cache axis ``[0, Q_k]`` because
+    content sizes differ.
+
+    Every reduction (:meth:`integrate`, :meth:`normalize`) is
+    elementwise along the batch axis, so lane ``b`` behaves
+    bit-identically to the same operation on :meth:`lane`\\ ``(b)``.
+
+    Attributes
+    ----------
+    t:
+        Shared time axis, shape ``(n_t + 1,)``.
+    h:
+        Shared fading axis, shape ``(n_h,)``.
+    q:
+        Per-lane cache axes, shape ``(B, n_q)``.
+    """
+
+    t: np.ndarray
+    h: np.ndarray
+    q: np.ndarray
+
+    def __post_init__(self) -> None:
+        t = np.asarray(self.t, dtype=float)
+        h = np.asarray(self.h, dtype=float)
+        q = np.asarray(self.q, dtype=float)
+        if t.ndim != 1 or t.shape[0] < 2:
+            raise ValueError("axis t must be 1-D with >= 2 points")
+        if h.ndim != 1 or h.shape[0] < 2:
+            raise ValueError("axis h must be 1-D with >= 2 points")
+        if q.ndim != 2 or q.shape[0] < 1 or q.shape[1] < 2:
+            raise ValueError(
+                f"q must be (n_lanes, n_q) with n_q >= 2, got shape {q.shape}"
+            )
+        if np.any(np.diff(q, axis=1) <= 0):
+            raise ValueError("every lane's q axis must be strictly increasing")
+        object.__setattr__(self, "t", t)
+        object.__setattr__(self, "h", h)
+        object.__setattr__(self, "q", q)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_grids(cls, grids: Sequence[StateGrid]) -> "BatchGrid":
+        """Stack per-content grids that share their ``t`` and ``h`` axes."""
+        grids = list(grids)
+        if not grids:
+            raise ValueError("cannot batch zero grids")
+        first = grids[0]
+        for i, grid in enumerate(grids[1:], start=1):
+            if not np.array_equal(grid.t, first.t):
+                raise ValueError(f"lane {i} has a different time axis")
+            if not np.array_equal(grid.h, first.h):
+                raise ValueError(f"lane {i} has a different fading axis")
+            if grid.n_q != first.n_q:
+                raise ValueError(
+                    f"lane {i} has n_q={grid.n_q}, lane 0 has n_q={first.n_q}"
+                )
+        return cls(t=first.t, h=first.h, q=np.stack([g.q for g in grids]))
+
+    def lane(self, index: int) -> StateGrid:
+        """The scalar :class:`StateGrid` of one content lane."""
+        return StateGrid(t=self.t, h=self.h, q=self.q[index])
+
+    def select(self, lanes: Sequence[int]) -> "BatchGrid":
+        """A sub-batch restricted to the given lane indices."""
+        return BatchGrid(t=self.t, h=self.h, q=self.q[np.asarray(lanes)])
+
+    # ------------------------------------------------------------------
+    # Shape and spacing
+    # ------------------------------------------------------------------
+    @property
+    def n_lanes(self) -> int:
+        return self.q.shape[0]
+
+    @property
+    def n_t(self) -> int:
+        return self.t.shape[0] - 1
+
+    @property
+    def n_h(self) -> int:
+        return self.h.shape[0]
+
+    @property
+    def n_q(self) -> int:
+        return self.q.shape[1]
+
+    @property
+    def dt(self) -> float:
+        return float(self.t[1] - self.t[0])
+
+    @property
+    def dh(self) -> float:
+        return float(self.h[1] - self.h[0])
+
+    @property
+    def dq(self) -> np.ndarray:
+        """Per-lane cache spacing, shape ``(B,)``."""
+        return self.q[:, 1] - self.q[:, 0]
+
+    @property
+    def shape(self) -> Tuple[int, int, int]:
+        """Batched spatial field shape ``(B, n_h, n_q)``."""
+        return (self.n_lanes, self.n_h, self.n_q)
+
+    @property
+    def path_shape(self) -> Tuple[int, int, int, int]:
+        """Batched time-path shape ``(B, n_t + 1, n_h, n_q)``."""
+        return (self.n_lanes, self.n_t + 1, self.n_h, self.n_q)
+
+    # ------------------------------------------------------------------
+    # Meshes and quadrature
+    # ------------------------------------------------------------------
+    def q_mesh(self) -> np.ndarray:
+        """Per-lane ``q`` broadcast over the batched spatial shape."""
+        return np.broadcast_to(self.q[:, None, :], self.shape)
+
+    def h_mesh(self) -> np.ndarray:
+        """Shared ``h`` broadcast over the batched spatial shape."""
+        return np.broadcast_to(self.h[None, :, None], self.shape)
+
+    def cell_weights(self) -> np.ndarray:
+        """Per-lane trapezoid weights, shape ``(B, n_h, n_q)``.
+
+        Lane ``b`` equals ``lane(b).cell_weights()`` bit-for-bit: the
+        shared ``wh`` factor multiplies each lane's own ``wq``.
+        """
+        wh = np.full(self.n_h, self.dh)
+        wh[0] = wh[-1] = 0.5 * self.dh
+        dq = self.dq
+        wq = np.broadcast_to(dq[:, None], (self.n_lanes, self.n_q)).copy()
+        wq[:, 0] = 0.5 * dq
+        wq[:, -1] = 0.5 * dq
+        return wh[None, :, None] * wq[:, None, :]
+
+    def integrate(self, fields: np.ndarray) -> np.ndarray:
+        """Per-lane ``\\int\\int field dh dq``, shape ``(B,)``."""
+        fields = np.asarray(fields, dtype=float)
+        if fields.shape != self.shape:
+            raise ValueError(
+                f"fields shape {fields.shape} does not match batch {self.shape}"
+            )
+        return (fields * self.cell_weights()).sum(axis=(1, 2))
+
+    def normalize(
+        self,
+        density: np.ndarray,
+        telemetry=None,
+        content_ids: Optional[Sequence[int]] = None,
+    ) -> np.ndarray:
+        """Rescale every lane to unit mass.
+
+        A zero-mass lane raises :class:`ValueError` naming the offending
+        content; with enabled telemetry a ``diag.density.zero_mass``
+        event carrying ``content=<index>`` is emitted first, so a
+        strict-numerics abort identifies the lane that died.
+        """
+        density = np.asarray(density, dtype=float)
+        if np.any(density < -1e-12):
+            raise ValueError("density must be non-negative")
+        density = np.maximum(density, 0.0)
+        mass = self.integrate(density)
+        if np.any(mass <= 0):
+            bad = int(np.flatnonzero(mass <= 0)[0])
+            content = int(content_ids[bad]) if content_ids is not None else bad
+            message = (
+                f"content {content}: density has zero mass; cannot normalise"
+            )
+            if telemetry is not None and getattr(telemetry, "enabled", False):
+                telemetry.diag(
+                    "density.zero_mass",
+                    "error",
+                    value=float(mass[bad]),
+                    message=message,
+                    content=content,
+                )
+            raise ValueError(message)
+        return density / mass[:, None, None]

@@ -35,13 +35,17 @@ stepping is explicit Euler with CFL sub-division.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.grid import StateGrid
+from scipy.special import expit
+
+from repro.core.grid import BatchGrid, StateGrid
 from repro.core.mean_field import MeanFieldPath
 from repro.core.operators import (
+    batched_second_derivative,
+    batched_upwind_gradient,
     central_gradient,
     second_derivative,
     stable_time_step,
@@ -287,3 +291,282 @@ class HJBSolver:
             value=value_path,
             policy=CachingPolicy(grid=grid, table=policy_path),
         )
+
+
+def validate_shared_lane_params(configs: Sequence[MFGCPConfig]) -> None:
+    """Check that a batch of per-content configs may share one sweep.
+
+    The batched solvers assume the lanes differ only in the per-content
+    demand fields (``content_size``, ``popularity``, ``timeliness``,
+    ``n_requests``) — exactly what
+    :meth:`~repro.core.solver.MFGCPSolver.per_content_config`
+    specialises.  Channel, caching-drift, and economic parameters must
+    be common so the fading operators and utility constants are shared.
+    """
+    first = configs[0]
+    for i, cfg in enumerate(configs[1:], start=1):
+        if cfg.channel != first.channel:
+            raise ValueError(f"lane {i} has a different channel model")
+        if cfg.caching != first.caching:
+            raise ValueError(f"lane {i} has a different caching process")
+        if cfg.economic_parameters() != first.economic_parameters():
+            raise ValueError(f"lane {i} has different economic parameters")
+
+
+def _batched_control_free_utility(
+    params,
+    size_col: np.ndarray,
+    q_mesh: np.ndarray,
+    wireless_rate: np.ndarray,
+    n_requests_col: np.ndarray,
+    price_col: np.ndarray,
+    q_other_col: np.ndarray,
+    benefit_col: np.ndarray,
+) -> np.ndarray:
+    """Eq. (10) at ``x = 0`` for a batch of lanes in one numpy pass.
+
+    Replicates :meth:`repro.economics.utility.UtilityModel.total`
+    term by term and in the same float operation order, with every
+    per-lane scalar lifted to a ``(B, 1, 1)`` column — lane ``b`` is
+    bit-identical to the scalar evaluation (the equivalence tests
+    assert it).  The control-coupled terms (``-a x - w5 x^2``) vanish
+    at ``x = 0``, matching the scalar HJB solver's ``utility0``.
+    """
+    two_l = 2.0 * params.cases.smoothing
+    thr = params.cases.alpha * size_col
+    have = expit(two_l * (thr - q_mesh))
+    lack = 1.0 - have
+    peer_has = expit(two_l * (thr - q_other_col))
+    p1, p2, p3 = have, lack * peer_has, lack * (1.0 - peer_has)
+
+    if params.include_trading:
+        sold = (
+            p1 * (size_col - q_mesh)
+            + p2 * (size_col - q_other_col)
+            + p3 * size_col
+        )
+        income = n_requests_col * price_col * sold
+    else:
+        income = np.zeros(np.broadcast_shapes(q_mesh.shape, size_col.shape))
+
+    per_request = (
+        p1 * (size_col - q_mesh) / wireless_rate
+        + p2 * (size_col - q_other_col) / wireless_rate
+        + p3 * (q_mesh / params.backhaul_rate + size_col / wireless_rate)
+    )
+    stale = params.eta2 * (n_requests_col * per_request)
+
+    if params.include_sharing:
+        benefit = p1 * benefit_col
+        transfer = np.maximum(q_mesh - q_other_col, 0.0)
+        share_cost = p2 * params.pricing.sharing_price * transfer
+        return income + benefit - stale - share_cost
+    return income - stale
+
+
+class BatchedHJBSolver:
+    """One vectorized backward sweep over a batch of content lanes.
+
+    Wraps one scalar :class:`HJBSolver` per lane (so every per-lane
+    constant — drift balance point, linear utility coefficient, CFL
+    substep count — is *by construction* the scalar solver's value) and
+    advances all lanes together through the batched stencil operators.
+    Lanes with fewer CFL substeps than the batch maximum freeze once
+    their own substeps are done, so each lane reproduces its scalar
+    update sequence exactly.
+    """
+
+    def __init__(self, configs: Sequence[MFGCPConfig], grid: BatchGrid) -> None:
+        self.configs = list(configs)
+        self.grid = grid
+        if len(self.configs) != grid.n_lanes:
+            raise ValueError(
+                f"{len(self.configs)} configs for {grid.n_lanes} grid lanes"
+            )
+        validate_shared_lane_params(self.configs)
+        self.lane_solvers = [
+            HJBSolver(cfg, grid.lane(b)) for b, cfg in enumerate(self.configs)
+        ]
+        first = self.lane_solvers[0]
+        # Shared (channel-derived) pieces, identical across lanes.
+        self._drift_h = first._drift_h  # (n_h, 1), broadcasts over lanes
+        self._rate_of_h = first._rate_of_h
+        self._diff_h = first._diff_h
+        self._diff_q = first._diff_q
+        self._w1 = first._w1
+        self._w5 = first._w5
+        self._params = first._utility.params
+        cfg0 = self.configs[0]
+        self._w4 = cfg0.w4
+        self._eta2 = cfg0.eta2
+        self._backhaul = cfg0.backhaul_rate
+        # Per-lane constants, stacked from the scalar solvers.
+        self._drift_const = np.array(
+            [s._drift_const for s in self.lane_solvers]
+        )
+        self._x_balance = np.array([s._x_balance for s in self.lane_solvers])
+        self._a_lin = np.array([s._a_lin for s in self.lane_solvers])
+        self._q_size = np.array([cfg.content_size for cfg in self.configs])
+        self._n_sub = np.array(
+            [s.substeps_per_interval() for s in self.lane_solvers], dtype=int
+        )
+
+    # ------------------------------------------------------------------
+    # Batched Godunov Hamiltonian
+    # ------------------------------------------------------------------
+    def _one_sided_gradients_q(
+        self, value: np.ndarray, dq_col: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        backward = np.zeros_like(value)
+        forward = np.zeros_like(value)
+        diff = (value[:, :, 1:] - value[:, :, :-1]) / dq_col
+        backward[:, :, 1:] = diff
+        forward[:, :, :-1] = diff
+        return backward, forward
+
+    def _branch_maximum(self, grad, x_lo, x_hi, size_col, const_col, a_col):
+        # Inlined Eq. (21) (optimal_control validates scalar sizes);
+        # identical float operation order with per-lane columns.
+        raw = -(
+            self._w4 / (2.0 * self._w5)
+            + self._eta2 * size_col / (2.0 * self._backhaul * self._w5)
+            + size_col * self._w1 * grad / (2.0 * self._w5)
+        )
+        x = np.clip(np.clip(raw, 0.0, 1.0), x_lo, x_hi)
+        value = (
+            size_col * (const_col - self._w1 * x) * grad
+            - a_col * x
+            - self._w5 * x**2
+        )
+        return value, x
+
+    def _godunov_q(self, value, lanes, dq_col):
+        size_col = self._q_size[lanes][:, None, None]
+        const_col = self._drift_const[lanes][:, None, None]
+        a_col = self._a_lin[lanes][:, None, None]
+        xbal_col = self._x_balance[lanes][:, None, None]
+        backward, forward = self._one_sided_gradients_q(value, dq_col)
+        val_a, x_a = self._branch_maximum(
+            forward, 0.0, xbal_col, size_col, const_col, a_col
+        )
+        val_b, x_b = self._branch_maximum(
+            backward, xbal_col, 1.0, size_col, const_col, a_col
+        )
+        take_a = val_a >= val_b
+        return np.where(take_a, val_a, val_b), np.where(take_a, x_a, x_b)
+
+    def _step_rhs(self, value, utility0, lanes, dq_col):
+        grid = self.grid
+        ham_q, control = self._godunov_q(value, lanes, dq_col)
+        adv_h = self._drift_h * batched_upwind_gradient(
+            value, grid.dh, -self._drift_h, axis=0
+        )
+        diff = self._diff_h * batched_second_derivative(
+            value, grid.dh, axis=0
+        ) + self._diff_q * batched_second_derivative(value, dq_col, axis=1)
+        return adv_h + ham_q + diff + utility0, control
+
+    def control_from_value(self, value, lanes, dq_col) -> np.ndarray:
+        """The Godunov-consistent policy sheets for a batch of values."""
+        return self._godunov_q(value, lanes, dq_col)[1]
+
+    def _utility0(self, mean_fields, lanes, ti, q_mesh) -> np.ndarray:
+        """Control-free running utility for one reporting interval.
+
+        The scalar solver recomputes this inside every CFL substep, but
+        it depends only on the interval's market context — hoisting it
+        here is value-identical and saves ``n_sub - 1`` evaluations.
+        """
+
+        def col(values):
+            return np.array(values)[:, None, None]
+
+        n_col = col([float(mf.n_requests[ti]) for mf in mean_fields])
+        price_col = col([float(mf.price[ti]) for mf in mean_fields])
+        q_other_col = col([float(mf.mean_q[ti]) for mf in mean_fields])
+        benefit_col = col([float(mf.sharing_benefit[ti]) for mf in mean_fields])
+        return _batched_control_free_utility(
+            self._params,
+            self._q_size[lanes][:, None, None],
+            q_mesh,
+            self._rate_of_h,
+            n_col,
+            price_col,
+            q_other_col,
+            benefit_col,
+        )
+
+    def solve(
+        self,
+        mean_fields: Sequence[MeanFieldPath],
+        lanes: Optional[np.ndarray] = None,
+        terminal_value: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Backward sweep advancing every requested lane simultaneously.
+
+        Parameters
+        ----------
+        mean_fields:
+            One :class:`MeanFieldPath` per requested lane, in lane
+            order.
+        lanes:
+            Lane indices into the batch (default: all lanes).  Passing
+            the active subset is how the best-response iterator drops
+            converged contents out of the batch.
+        terminal_value:
+            ``V(T)`` per lane, shape ``(b, n_h, n_q)``; defaults to
+            zero.
+
+        Returns
+        -------
+        (value_path, policy_path):
+            Arrays of shape ``(b, n_t + 1, n_h, n_q)``.
+        """
+        grid = self.grid
+        lanes = (
+            np.arange(grid.n_lanes) if lanes is None else np.asarray(lanes, int)
+        )
+        if len(mean_fields) != lanes.size:
+            raise ValueError(
+                f"{len(mean_fields)} mean fields for {lanes.size} lanes"
+            )
+        b = lanes.size
+        shape = (b, grid.n_h, grid.n_q)
+        if terminal_value is None:
+            value = np.zeros(shape)
+        else:
+            value = np.asarray(terminal_value, dtype=float).copy()
+            if value.shape != shape:
+                raise ValueError(
+                    f"terminal value shape {value.shape} != batch {shape}"
+                )
+
+        dq_col = grid.dq[lanes][:, None, None]
+        q_mesh = grid.q_mesh()[lanes]
+        value_path = np.empty((b, grid.n_t + 1, grid.n_h, grid.n_q))
+        policy_path = np.empty_like(value_path)
+        value_path[:, grid.n_t] = value
+        policy_path[:, grid.n_t] = self.control_from_value(value, lanes, dq_col)
+
+        n_sub = self._n_sub[lanes]
+        max_sub = int(n_sub.max())
+        dt_sub = grid.dt / n_sub  # per-lane substep, (b,)
+        dt_col = dt_sub[:, None, None]
+        uniform = bool(np.all(n_sub == n_sub[0]))
+        for ti in range(grid.n_t - 1, -1, -1):
+            utility0 = self._utility0(mean_fields, lanes, ti, q_mesh)
+            for s in range(max_sub):
+                if uniform:
+                    rhs, _ = self._step_rhs(value, utility0, lanes, dq_col)
+                    value = value + dt_col * rhs
+                else:
+                    # Lanes whose own substep count is exhausted freeze;
+                    # the stepping subset advances with its own dt.
+                    idx = np.flatnonzero(s < n_sub)
+                    rhs, _ = self._step_rhs(
+                        value[idx], utility0[idx], lanes[idx], dq_col[idx]
+                    )
+                    value[idx] = value[idx] + dt_col[idx] * rhs
+            value_path[:, ti] = value
+            policy_path[:, ti] = self.control_from_value(value, lanes, dq_col)
+        return value_path, policy_path

@@ -19,12 +19,18 @@ from repro.content.catalog import ContentCatalog
 from repro.content.popularity import PopularityTracker, ZipfPopularity
 from repro.content.requests import RequestProcess
 from repro.content.timeliness import TimelinessModel, TimelinessTracker
-from repro.core.best_response import BestResponseIterator
+from repro.core.best_response import BatchedBestResponseIterator, BestResponseIterator
 from repro.core.equilibrium import EquilibriumResult
 from repro.core.knapsack import capacity_constrained_placement
 from repro.core.parameters import MFGCPConfig
 from repro.obs.telemetry import NULL_TELEMETRY, SolverTelemetry
-from repro.runtime import Executor, ExecutionPlan, as_executor, live_progress
+from repro.runtime import (
+    Executor,
+    ExecutionPlan,
+    as_executor,
+    live_progress,
+    partition_batches,
+)
 
 
 def _solve_content_item(
@@ -38,6 +44,27 @@ def _solve_content_item(
     """
     with telemetry.span("content"):
         return BestResponseIterator(config, telemetry=telemetry).solve()
+
+
+def _solve_content_batch_item(
+    content_ids: Sequence[int],
+    configs: Sequence[MFGCPConfig],
+    telemetry: SolverTelemetry = NULL_TELEMETRY,
+) -> List[EquilibriumResult]:
+    """Work-item body for one batched shard of content solves.
+
+    ``content_ids`` is the shard's *sorted* content-index tuple and the
+    item's first positional argument, so the checkpoint
+    :func:`~repro.runtime.checkpoint.item_key` hashes it — a batched
+    run's items can never collide with a per-content run's (whose first
+    argument is a config, not an index tuple) nor with a differently
+    sharded batched run.  Returns one equilibrium per content, in
+    ``content_ids`` order.
+    """
+    with telemetry.span("content"):
+        return BatchedBestResponseIterator(
+            configs, content_ids=content_ids, telemetry=telemetry
+        ).solve()
 
 
 @dataclass(frozen=True)
@@ -170,6 +197,8 @@ class MFGCPSolver:
         popularity_tracker: Optional[PopularityTracker] = None,
         timeliness_tracker: Optional[TimelinessTracker] = None,
         max_active_contents: Optional[int] = None,
+        solver_batching: bool = False,
+        batch_size: int = 32,
     ) -> List[EpochResult]:
         """Algorithm 1: epoch loop over the content catalog.
 
@@ -183,9 +212,24 @@ class MFGCPSolver:
         max_active_contents:
             Optional cap on ``|K'|`` (most popular first) — the paper
             notes the Zipf law keeps the effective content set small.
+        solver_batching:
+            Solve the epoch's contents through the batched tensor
+            pipeline: the active set shards into index groups of at
+            most ``batch_size`` contents, and each shard is one work
+            item advancing all its lanes through shared
+            ``(B, n_h, n_q)`` HJB/FPK sweeps.  Equilibria are
+            bit-identical to the per-content path; only the work-item
+            grain (and hence the telemetry lane labels and checkpoint
+            item keys) changes.
+        batch_size:
+            Maximum lane count per batched shard — bounds the
+            ``B * n_h * n_q`` working set.  Ignored unless
+            ``solver_batching`` is set.
         """
         if n_epochs < 1:
             raise ValueError(f"n_epochs must be positive, got {n_epochs}")
+        if solver_batching and batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
         if max_active_contents is not None and max_active_contents < 1:
             raise ValueError(
                 f"max_active_contents must be positive, got {max_active_contents}"
@@ -228,24 +272,47 @@ class MFGCPSolver:
                 # The equilibria decouple through the mean field, so
                 # the solves fan out as one execution plan; the
                 # configured backend (serial or process pool) returns
-                # outcomes in content order either way.
-                plan = ExecutionPlan.map(
-                    _solve_content_item,
-                    [
-                        (
-                            self.per_content_config(
-                                content_size=catalog[k].size_mb,
-                                popularity=popularity[k],
-                                timeliness=timeliness[k],
-                                n_requests=float(batch.counts[k])
-                                / self.config.horizon,
-                            ),
-                        )
-                        for k in active
-                    ],
-                    labels=[f"content:{k}" for k in active],
-                    accepts_telemetry=True,
-                )
+                # outcomes in content order either way.  With
+                # ``solver_batching`` each work item is one shard of
+                # contents solved through shared batched sweeps; the
+                # seed lineage and ordered telemetry merge are
+                # unchanged, only the item grain widens.
+                configs = {
+                    k: self.per_content_config(
+                        content_size=catalog[k].size_mb,
+                        popularity=popularity[k],
+                        timeliness=timeliness[k],
+                        n_requests=float(batch.counts[k]) / self.config.horizon,
+                    )
+                    for k in active
+                }
+                if solver_batching:
+                    # Shard content *ids* sorted ascending so the item
+                    # key hashes a canonical tuple (checkpoint resume
+                    # is insensitive to the popularity ordering).
+                    shards = [
+                        tuple(sorted(active[i] for i in group))
+                        for group in partition_batches(len(active), batch_size)
+                    ]
+                    plan = ExecutionPlan.map(
+                        _solve_content_batch_item,
+                        [
+                            (shard, tuple(configs[k] for k in shard))
+                            for shard in shards
+                        ],
+                        labels=[
+                            f"batch:{shard[0]}-{shard[-1]}" for shard in shards
+                        ],
+                        accepts_telemetry=True,
+                    )
+                else:
+                    shards = [(k,) for k in active]
+                    plan = ExecutionPlan.map(
+                        _solve_content_item,
+                        [(configs[k],) for k in active],
+                        labels=[f"content:{k}" for k in active],
+                        accepts_telemetry=True,
+                    )
                 if tele.live is not None:
                     tele.live.set_phase(
                         f"epoch:{epoch}", total_items=len(plan)
@@ -260,30 +327,38 @@ class MFGCPSolver:
                 equilibria: Dict[int, EquilibriumResult] = {}
                 unconverged: List[int] = []
                 dropped: List[int] = []
-                for k, outcome in zip(active, outcomes):
+                for shard, outcome in zip(shards, outcomes):
                     tele.absorb(outcome.telemetry, lane=plan[outcome.index].label)
                     if outcome.result is None:
                         # A skip/degrade fault policy exhausted this
-                        # content's retries; the epoch carries on with
-                        # the survivors (graceful degradation).
-                        dropped.append(int(k))
+                        # item's retries; the epoch carries on with
+                        # the survivors (graceful degradation).  A
+                        # batched item drops its whole shard.
+                        dropped.extend(int(k) for k in shard)
                         continue
-                    equilibria[k] = outcome.result
-                    if not equilibria[k].report.converged:
-                        unconverged.append(int(k))
-                    if tele.enabled:
-                        tele.inc("epochs.content_solves")
-                        tele.event(
-                            "content_solve",
-                            epoch=epoch,
-                            content=int(k),
-                            popularity=float(popularity[k]),
-                            n_iterations=equilibria[k].report.n_iterations,
-                            converged=equilibria[k].report.converged,
-                            solve_s=outcome.telemetry.span_seconds("content")
-                            if outcome.telemetry is not None
-                            else 0.0,
-                        )
+                    shard_results = (
+                        outcome.result if solver_batching else [outcome.result]
+                    )
+                    solve_s = (
+                        outcome.telemetry.span_seconds("content")
+                        if outcome.telemetry is not None
+                        else 0.0
+                    )
+                    for k, result in zip(shard, shard_results):
+                        equilibria[k] = result
+                        if not result.report.converged:
+                            unconverged.append(int(k))
+                        if tele.enabled:
+                            tele.inc("epochs.content_solves")
+                            tele.event(
+                                "content_solve",
+                                epoch=epoch,
+                                content=int(k),
+                                popularity=float(popularity[k]),
+                                n_iterations=result.report.n_iterations,
+                                converged=result.report.converged,
+                                solve_s=solve_s,
+                            )
                 if dropped and tele.enabled:
                     tele.diag(
                         "epoch.content_dropped",

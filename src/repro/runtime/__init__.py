@@ -39,6 +39,7 @@ from repro.runtime.plan import (
     ItemOutcome,
     WorkItem,
     execute_item,
+    partition_batches,
     partition_indices,
 )
 from repro.runtime.resumable import (
@@ -52,6 +53,7 @@ __all__ = [
     "WorkItem",
     "ItemOutcome",
     "execute_item",
+    "partition_batches",
     "partition_indices",
     "Executor",
     "ExecutorLike",

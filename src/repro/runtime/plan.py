@@ -187,6 +187,13 @@ def partition_indices(n: int, n_groups: int) -> List[Tuple[int, ...]]:
     dropped (``n_groups > n`` collapses to one unit per group).
     Grouping is a pure parallel grain — callers must keep per-unit
     state self-contained so results never depend on it.
+
+    For the batched solver path the units are *contents*, never grid
+    cells: a batched plan shards the catalog's active content set, and
+    each shard becomes one work item whose solver advances all of the
+    shard's contents through shared ``(B, n_h, n_q)`` sweeps.  Use
+    :func:`partition_batches` when the grain is a maximum batch size
+    rather than a group count.
     """
     if n < 0:
         raise ValueError(f"cannot partition a negative unit count, got {n}")
@@ -202,6 +209,27 @@ def partition_indices(n: int, n_groups: int) -> List[Tuple[int, ...]]:
         tuple(range(bounds[g], bounds[g + 1]))
         for g in range(n_groups)
         if bounds[g + 1] > bounds[g]
+    ]
+
+
+def partition_batches(n: int, batch_size: int) -> List[Tuple[int, ...]]:
+    """Contiguous index shards of at most ``batch_size`` units each.
+
+    The batched-solver companion to :func:`partition_indices`: instead
+    of a target group *count* the caller fixes the per-shard *width*
+    (the solver's lane count ``B``, bounding the ``B * n_h * n_q``
+    working set), and the shard count follows as ``ceil(n /
+    batch_size)``.  Like :func:`partition_indices` the units are
+    contents, shards are contiguous, and ``n == 0`` yields an empty
+    shard list.
+    """
+    if n < 0:
+        raise ValueError(f"cannot partition a negative unit count, got {n}")
+    if batch_size <= 0:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+    return [
+        tuple(range(start, min(start + batch_size, n)))
+        for start in range(0, n, batch_size)
     ]
 
 

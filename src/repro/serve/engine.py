@@ -41,11 +41,11 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.content.workloads import Workload
-from repro.core.best_response import BestResponseIterator
+from repro.core.best_response import BatchedBestResponseIterator, BestResponseIterator
 from repro.core.equilibrium import EquilibriumResult
 from repro.core.parameters import MFGCPConfig
 from repro.obs.telemetry import NULL_TELEMETRY, SolverTelemetry
-from repro.runtime import ExecutionPlan, ExecutorLike, as_executor
+from repro.runtime import ExecutionPlan, ExecutorLike, as_executor, partition_batches
 from repro.serve.cache import EdgeCache
 from repro.serve.events import RequestTraceSource, partition_edps
 from repro.serve.policies import ServingPolicy, make_policy
@@ -252,6 +252,21 @@ def _solve_content(
     return BestResponseIterator(config, telemetry=telemetry).solve()
 
 
+def _solve_content_batch(
+    content_ids: Sequence[int],
+    configs: Sequence[MFGCPConfig],
+    telemetry: SolverTelemetry = NULL_TELEMETRY,
+) -> List[EquilibriumResult]:
+    """Solve one shard of content equilibria through the batched sweeps.
+
+    ``content_ids`` (sorted) leads the argument tuple so checkpoint
+    item keys distinguish batched shards from per-content items.
+    """
+    return BatchedBestResponseIterator(
+        configs, content_ids=content_ids, telemetry=telemetry
+    ).solve()
+
+
 class ServingEngine:
     """Replay a workload against a population of EDP edge caches.
 
@@ -281,6 +296,11 @@ class ServingEngine:
         A :mod:`repro.runtime` backend, spec string, or ``None``.
     telemetry:
         The run's observer (shared with equilibrium solves).
+    solver_batching / batch_size:
+        Solve the mfg policy's equilibria through the batched tensor
+        pipeline — one work item per shard of at most ``batch_size``
+        contents instead of one per content.  Results are
+        bit-identical to the per-content path.
     """
 
     def __init__(
@@ -297,9 +317,15 @@ class ServingEngine:
         shards: Optional[int] = None,
         executor: ExecutorLike = None,
         telemetry: SolverTelemetry = NULL_TELEMETRY,
+        solver_batching: bool = False,
+        batch_size: int = 32,
     ) -> None:
         if n_edps < 1:
             raise ValueError(f"need at least one EDP, got {n_edps}")
+        if solver_batching and batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        self.solver_batching = bool(solver_batching)
+        self.batch_size = int(batch_size)
         if not 0.0 < capacity_fraction <= 1.0 and capacity_mb is None:
             raise ValueError(
                 f"capacity_fraction must lie in (0, 1], got {capacity_fraction}"
@@ -368,19 +394,41 @@ class ServingEngine:
                 )
                 for k, p in enumerate(self.source.popularity)
             ]
-            plan = ExecutionPlan.map(
-                _solve_content,
-                [(cfg,) for cfg in configs],
-                labels=[f"serve_eq:content{k}" for k in range(len(configs))],
-                accepts_telemetry=True,
-            )
+            if self.solver_batching:
+                shards = partition_batches(len(configs), self.batch_size)
+                plan = ExecutionPlan.map(
+                    _solve_content_batch,
+                    [
+                        (shard, tuple(configs[k] for k in shard))
+                        for shard in shards
+                    ],
+                    labels=[
+                        f"serve_eq:batch{shard[0]}-{shard[-1]}"
+                        for shard in shards
+                    ],
+                    accepts_telemetry=True,
+                )
+            else:
+                plan = ExecutionPlan.map(
+                    _solve_content,
+                    [(cfg,) for cfg in configs],
+                    labels=[f"serve_eq:content{k}" for k in range(len(configs))],
+                    accepts_telemetry=True,
+                )
             if self.telemetry.live is not None:
                 self.telemetry.live.set_phase(
                     "serve:equilibria", total_items=len(plan)
                 )
             with self.telemetry.span("serve_solve_equilibria"):
                 results = self.executor.run(plan, telemetry=self.telemetry)
-            self._equilibria = dict(enumerate(results))
+            if self.solver_batching:
+                self._equilibria = {
+                    int(k): res
+                    for shard, shard_results in zip(shards, results)
+                    for k, res in zip(shard, shard_results)
+                }
+            else:
+                self._equilibria = dict(enumerate(results))
         return self._equilibria
 
     # ------------------------------------------------------------------

@@ -1,0 +1,338 @@
+"""Tests for the batched (content-axis) HJB–FPK pipeline.
+
+The batched solvers promise *bit-identity* with the scalar path: every
+batched operation is elementwise along the leading content axis and
+replays the scalar solvers' floating-point operation order, so a lane
+pulled out of a batch must match a scalar solve of that lane alone
+exactly — values, densities, policies, and iteration histories.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core.best_response import (
+    BatchedBestResponseIterator,
+    BestResponseIterator,
+    build_grid,
+)
+from repro.core.fpk import BatchedFPKSolver, FPKSolver, batched_initial_density, initial_density
+from repro.core.grid import BatchGrid
+from repro.core.hjb import BatchedHJBSolver, HJBSolver, validate_shared_lane_params
+from repro.core.mean_field import MeanFieldEstimator
+from repro.core.operators import (
+    batched_central_gradient,
+    batched_conservative_advection,
+    batched_conservative_diffusion,
+    batched_second_derivative,
+    batched_upwind_gradient,
+    central_gradient,
+    conservative_advection,
+    conservative_diffusion,
+    second_derivative,
+    upwind_gradient,
+)
+from repro.core.parameters import MFGCPConfig
+from repro.obs.telemetry import SolverTelemetry, StrictNumericsError
+
+
+def tiny_config(**overrides):
+    base = replace(
+        MFGCPConfig.fast(), n_time_steps=12, n_h=5, n_q=11, max_iterations=15
+    )
+    return replace(base, **overrides)
+
+
+def lane_configs():
+    """Heterogeneous lanes: sizes, popularity, timeliness, demand vary.
+
+    The last lane (large content, heavy demand) needs more best-response
+    iterations than the others, so the convergence mask is exercised.
+    """
+    specs = [
+        dict(content_size=4.0, popularity=0.9, timeliness=1.2, n_requests=25.0),
+        dict(content_size=8.0, popularity=0.5, timeliness=2.0, n_requests=10.0),
+        dict(content_size=20.0, popularity=0.3, timeliness=2.5, n_requests=40.0),
+    ]
+    return [tiny_config(**spec) for spec in specs]
+
+
+class TestBatchedOperators:
+    """Each batched stencil must equal the scalar stencil per lane."""
+
+    @pytest.fixture()
+    def fields(self):
+        rng = np.random.default_rng(11)
+        fields = rng.normal(size=(3, 6, 9))
+        velocity = rng.normal(size=(3, 6, 9))
+        spacing = np.array([0.2, 0.5, 1.3])
+        return fields, velocity, spacing
+
+    @pytest.mark.parametrize("axis", [0, 1])
+    def test_upwind_gradient(self, fields, axis):
+        f, v, s = fields
+        out = batched_upwind_gradient(f, s, v, axis=axis)
+        for b in range(3):
+            expected = upwind_gradient(f[b], float(s[b]), v[b], axis=axis)
+            assert np.array_equal(out[b], expected)
+
+    @pytest.mark.parametrize("axis", [0, 1])
+    def test_central_gradient(self, fields, axis):
+        f, _, s = fields
+        out = batched_central_gradient(f, s, axis=axis)
+        for b in range(3):
+            assert np.array_equal(
+                out[b], central_gradient(f[b], float(s[b]), axis=axis)
+            )
+
+    @pytest.mark.parametrize("axis", [0, 1])
+    def test_second_derivative(self, fields, axis):
+        f, _, s = fields
+        out = batched_second_derivative(f, s, axis=axis)
+        for b in range(3):
+            assert np.array_equal(
+                out[b], second_derivative(f[b], float(s[b]), axis=axis)
+            )
+
+    @pytest.mark.parametrize("axis", [0, 1])
+    def test_conservative_advection(self, fields, axis):
+        f, v, s = fields
+        density = np.abs(f)
+        out = batched_conservative_advection(density, v, s, axis=axis)
+        for b in range(3):
+            expected = conservative_advection(
+                density[b], v[b], float(s[b]), axis=axis
+            )
+            assert np.array_equal(out[b], expected)
+
+    @pytest.mark.parametrize("axis", [0, 1])
+    def test_conservative_diffusion(self, fields, axis):
+        f, _, s = fields
+        out = batched_conservative_diffusion(f, 0.37, s, axis=axis)
+        for b in range(3):
+            expected = conservative_diffusion(f[b], 0.37, float(s[b]), axis=axis)
+            assert np.array_equal(out[b], expected)
+
+    def test_shared_scalar_spacing_accepted(self, fields):
+        f, _, s = fields
+        out = batched_central_gradient(f, 0.4, axis=0)
+        for b in range(3):
+            assert np.array_equal(out[b], central_gradient(f[b], 0.4, axis=0))
+
+    def test_rejects_non_batched_rank(self):
+        with pytest.raises(ValueError, match="3-D"):
+            batched_central_gradient(np.zeros((4, 5)), 0.1, axis=0)
+
+
+class TestBatchGrid:
+    def test_from_grids_stacks_lanes(self):
+        configs = lane_configs()
+        grids = [build_grid(cfg) for cfg in configs]
+        batch = BatchGrid.from_grids(grids)
+        assert batch.n_lanes == 3
+        assert batch.shape == (3, grids[0].n_h, grids[0].n_q)
+        for b, grid in enumerate(grids):
+            lane = batch.lane(b)
+            assert np.array_equal(lane.t, grid.t)
+            assert np.array_equal(lane.h, grid.h)
+            assert np.array_equal(lane.q, grid.q)
+
+    def test_from_grids_rejects_mismatched_time_axes(self):
+        configs = lane_configs()
+        grids = [build_grid(configs[0]), build_grid(replace(configs[1], n_time_steps=9))]
+        with pytest.raises(ValueError, match="different time axis"):
+            BatchGrid.from_grids(grids)
+
+    def test_integrate_matches_per_lane(self):
+        grids = [build_grid(cfg) for cfg in lane_configs()]
+        batch = BatchGrid.from_grids(grids)
+        rng = np.random.default_rng(5)
+        fields = rng.random(batch.shape)
+        masses = batch.integrate(fields)
+        for b, grid in enumerate(grids):
+            assert masses[b] == grid.integrate(fields[b])
+
+    def test_select_subsets_lanes(self):
+        batch = BatchGrid.from_grids([build_grid(cfg) for cfg in lane_configs()])
+        sub = batch.select(np.array([2, 0]))
+        assert sub.n_lanes == 2
+        assert np.array_equal(sub.q[0], batch.q[2])
+        assert np.array_equal(sub.q[1], batch.q[0])
+
+    def test_normalize_zero_mass_names_content(self):
+        batch = BatchGrid.from_grids([build_grid(cfg) for cfg in lane_configs()])
+        density = np.ones(batch.shape)
+        density[1] = 0.0
+        with pytest.raises(ValueError, match="content 42"):
+            batch.normalize(density, content_ids=[7, 42, 9])
+
+
+class TestBatchedSweeps:
+    """One batched sweep == N scalar sweeps, bit for bit."""
+
+    @pytest.fixture(scope="class")
+    def setup(self):
+        configs = lane_configs()
+        grids = [build_grid(cfg) for cfg in configs]
+        batch = BatchGrid.from_grids(grids)
+        mean_fields = [
+            MeanFieldEstimator(cfg, grid).constant_guess()
+            for cfg, grid in zip(configs, grids)
+        ]
+        return configs, grids, batch, mean_fields
+
+    def test_hjb_backward_sweep_bit_identical(self, setup):
+        configs, grids, batch, mean_fields = setup
+        values, policies = BatchedHJBSolver(configs, batch).solve(mean_fields)
+        for b, (cfg, grid) in enumerate(zip(configs, grids)):
+            solution = HJBSolver(cfg, grid).solve(mean_fields[b])
+            assert np.array_equal(values[b], solution.value)
+            assert np.array_equal(policies[b], solution.policy.table)
+
+    def test_fpk_forward_sweep_bit_identical(self, setup):
+        configs, grids, batch, _ = setup
+        policy = np.full(batch.path_shape, 0.4)
+        paths = BatchedFPKSolver(configs, batch).solve(policy)
+        for b, (cfg, grid) in enumerate(zip(configs, grids)):
+            expected = FPKSolver(cfg, grid).solve(policy[b])
+            assert np.array_equal(paths[b], expected)
+
+    def test_batched_initial_density_matches_scalar(self, setup):
+        configs, grids, batch, _ = setup
+        stacked = batched_initial_density(batch, configs)
+        for b, (cfg, grid) in enumerate(zip(configs, grids)):
+            assert np.array_equal(stacked[b], initial_density(grid, cfg))
+
+    def test_lane_subset_solve(self, setup):
+        configs, grids, batch, mean_fields = setup
+        hjb = BatchedHJBSolver(configs, batch)
+        lanes = np.array([0, 2])
+        values, policies = hjb.solve(
+            [mean_fields[0], mean_fields[2]], lanes=lanes
+        )
+        full_values, full_policies = hjb.solve(mean_fields)
+        assert np.array_equal(values, full_values[lanes])
+        assert np.array_equal(policies, full_policies[lanes])
+
+    def test_shared_param_validation_rejects_economics_mismatch(self):
+        configs = lane_configs()
+        configs[1] = replace(configs[1], eta2=configs[1].eta2 * 2)
+        with pytest.raises(ValueError, match="economic parameters"):
+            validate_shared_lane_params(configs)
+
+
+class TestBatchedBestResponse:
+    @pytest.fixture(scope="class")
+    def solved(self):
+        configs = lane_configs()
+        batched = BatchedBestResponseIterator(configs).solve()
+        solo = [BestResponseIterator(cfg).solve() for cfg in configs]
+        return configs, batched, solo
+
+    def test_bit_identical_to_solo_solves(self, solved):
+        _, batched, solo = solved
+        for rb, rs in zip(batched, solo):
+            assert np.array_equal(rb.value, rs.value)
+            assert np.array_equal(rb.policy.table, rs.policy.table)
+            assert np.array_equal(rb.density, rs.density)
+            assert rb.report.converged == rs.report.converged
+            assert rb.report.n_iterations == rs.report.n_iterations
+            assert (
+                rb.report.final_policy_change == rs.report.final_policy_change
+            )
+
+    def test_iteration_histories_identical(self, solved):
+        _, batched, solo = solved
+        for rb, rs in zip(batched, solo):
+            assert len(rb.report.history) == len(rs.report.history)
+            for hb, hs in zip(rb.report.history, rs.report.history):
+                assert hb.policy_change == hs.policy_change
+                assert hb.mean_field_change == hs.mean_field_change
+                assert hb.mean_price == hs.mean_price
+                assert hb.mean_control == hs.mean_control
+
+    def test_masked_lane_is_bit_frozen(self, solved):
+        # Lanes converge at different iterations; a lane that left the
+        # batch early must carry exactly the state from its own last
+        # iteration — bit-equal to the solo solve — even though other
+        # lanes kept iterating afterwards.
+        _, batched, solo = solved
+        iteration_counts = [r.report.n_iterations for r in batched]
+        assert len(set(iteration_counts)) > 1, (
+            "test needs heterogeneous convergence orders; "
+            f"got {iteration_counts}"
+        )
+        early = int(np.argmin(iteration_counts))
+        assert np.array_equal(batched[early].value, solo[early].value)
+        assert np.array_equal(batched[early].density, solo[early].density)
+        assert np.array_equal(
+            batched[early].policy.table, solo[early].policy.table
+        )
+
+    def test_rejects_mismatched_iteration_controls(self):
+        configs = lane_configs()
+        configs[1] = replace(configs[1], tolerance=configs[1].tolerance / 2)
+        with pytest.raises(ValueError, match="iteration controls"):
+            BatchedBestResponseIterator(configs)
+
+    def test_rejects_empty_batch(self):
+        with pytest.raises(ValueError, match="zero configs"):
+            BatchedBestResponseIterator([])
+
+    def test_rejects_content_id_count_mismatch(self):
+        with pytest.raises(ValueError, match="content ids"):
+            BatchedBestResponseIterator(lane_configs(), content_ids=[1, 2])
+
+
+class TestPerLaneDiagnostics:
+    def test_all_probes_emit_per_lane_events(self):
+        configs = lane_configs()
+        telemetry = SolverTelemetry.buffered()
+        BatchedBestResponseIterator(
+            configs, content_ids=[11, 22, 33], telemetry=telemetry
+        ).solve()
+        lanes_by_check = {}
+        for event in telemetry.sink.events:
+            if event["ev"].startswith("diag."):
+                lanes_by_check.setdefault(event["ev"], set()).add(
+                    event.get("content")
+                )
+        for check in (
+            "diag.fpk.mass_drift",
+            "diag.density.health",
+            "diag.hjb.residual",
+            "diag.cfl.margin",
+            "diag.exploitability",
+            "diag.exploitability.trend",
+        ):
+            assert lanes_by_check.get(check) == {11, 22, 33}, check
+
+    def test_strict_numerics_failure_names_content(self):
+        # A lane-tagged telemetry escalation must say which content
+        # lane tripped the check, so a batched abort is actionable.
+        from repro.core.best_response import _LaneTelemetry
+
+        telemetry = SolverTelemetry.buffered()
+        telemetry.strict_numerics = True
+        lane = _LaneTelemetry(telemetry, content=33)
+        with pytest.raises(StrictNumericsError, match="content 33"):
+            lane.diag("unit.check", "error", value=1.0, message="boom")
+        events = [
+            e for e in telemetry.sink.events if e["ev"] == "diag.unit.check"
+        ]
+        assert events and events[0]["content"] == 33
+
+    def test_zero_mass_strict_failure_names_content(self):
+        configs = lane_configs()
+        grids = [build_grid(cfg) for cfg in configs]
+        batch = BatchGrid.from_grids(grids)
+        telemetry = SolverTelemetry.buffered()
+        telemetry.strict_numerics = True
+        fpk = BatchedFPKSolver(
+            configs, batch, telemetry=telemetry, content_ids=[5, 6, 7]
+        )
+        density0 = batched_initial_density(batch, configs)
+        density0[1] = 0.0
+        with pytest.raises((StrictNumericsError, ValueError), match="content 6"):
+            fpk.solve(np.full(batch.path_shape, 0.5), density0)

@@ -61,6 +61,60 @@ class TestItemKey:
             item_key(item)
 
 
+class TestBatchedItemKeys:
+    """Batched solver items hash their sorted content-index tuple.
+
+    A batched run's checkpoint keys must never collide with a
+    per-content run's (or with a differently sharded batched run), so
+    ``--resume`` across a grain change recomputes instead of replaying
+    the wrong cached object.
+    """
+
+    def _batched_item(self, content_ids, index=0):
+        from repro.core.parameters import MFGCPConfig
+        from repro.core.solver import _solve_content_batch_item
+
+        shard = tuple(sorted(content_ids))
+        configs = tuple(MFGCPConfig.fast() for _ in shard)
+        return WorkItem(
+            index=index,
+            fn=_solve_content_batch_item,
+            args=(shard, configs),
+            label=f"batch:{shard[0]}-{shard[-1]}",
+            accepts_telemetry=True,
+        )
+
+    def _scalar_item(self, content_id, index=0):
+        from repro.core.parameters import MFGCPConfig
+        from repro.core.solver import _solve_content_item
+
+        return WorkItem(
+            index=index,
+            fn=_solve_content_item,
+            args=(MFGCPConfig.fast(),),
+            label=f"content:{content_id}",
+            accepts_telemetry=True,
+        )
+
+    def test_batched_key_is_stable(self):
+        assert item_key(self._batched_item([2, 0, 1])) == item_key(
+            self._batched_item([0, 1, 2])
+        )
+
+    def test_batched_never_collides_with_per_content(self):
+        batched = item_key(self._batched_item([0]))
+        scalar = item_key(self._scalar_item(0))
+        assert batched != scalar
+
+    def test_different_shards_have_different_keys(self):
+        assert item_key(self._batched_item([0, 1])) != item_key(
+            self._batched_item([0, 1, 2])
+        )
+        assert item_key(self._batched_item([0, 1])) != item_key(
+            self._batched_item([2, 3], index=1)
+        )
+
+
 class TestStoreRoundtrip:
     def test_save_load_roundtrip(self, tmp_path):
         store = CheckpointStore(tmp_path)
@@ -183,6 +237,57 @@ class TestCorruption:
             pickle.dump(wrapper, handle)
         with pytest.raises(CheckpointCorruptError, match="payload"):
             store.load(key)
+
+    def test_batched_checkpoint_corruption_detected(self, tmp_path):
+        # The corruption matrix must also cover the batched work-item
+        # shape: an outcome holding a *list* of equilibria keyed by the
+        # shard's sorted content tuple.  A flipped byte and a truncation
+        # must both surface as CheckpointCorruptError, and the intact
+        # sibling object must still load.
+        from dataclasses import replace
+
+        from repro.core.parameters import MFGCPConfig
+        from repro.core.solver import _solve_content_batch_item
+
+        cfg = replace(
+            MFGCPConfig.fast(), n_time_steps=10, n_h=5, n_q=9, max_iterations=3
+        )
+        shard = (0, 1)
+        item = WorkItem(
+            index=0,
+            fn=_solve_content_batch_item,
+            args=(shard, (cfg, replace(cfg, content_size=8.0))),
+            label="batch:0-1",
+            accepts_telemetry=True,
+        )
+        sibling = WorkItem(
+            index=1,
+            fn=_solve_content_batch_item,
+            args=((2, 3), (cfg, cfg)),
+            label="batch:2-3",
+            accepts_telemetry=True,
+        )
+        store = CheckpointStore(tmp_path)
+        keys = []
+        for it in (item, sibling):
+            key = item_key(it)
+            outcome = execute_item(it)
+            assert isinstance(outcome.result, list) and len(outcome.result) == 2
+            store.save(key, outcome, label=it.label)
+            keys.append(key)
+
+        store.corrupt(keys[0])
+        with pytest.raises(CheckpointCorruptError):
+            store.load(keys[0])
+        loaded = store.load(keys[1])
+        assert [r.config.content_size for r in loaded.result] == [
+            cfg.content_size,
+            cfg.content_size,
+        ]
+
+        store.truncate(keys[1])
+        with pytest.raises(CheckpointCorruptError):
+            store.load(keys[1])
 
     def test_non_outcome_payload_detected(self, saved):
         store, key = saved

@@ -33,7 +33,7 @@ def tiny_config():
     )
 
 
-def run_epoch(executor, telemetry=None):
+def run_epoch(executor, telemetry=None, **run_kwargs):
     n_contents = 4
     catalog = ContentCatalog.uniform(n_contents, size_mb=100.0)
     requests = RequestProcess(
@@ -43,7 +43,7 @@ def run_epoch(executor, telemetry=None):
         rng=np.random.default_rng(1),
     )
     solver = MFGCPSolver(tiny_config(), telemetry=telemetry, executor=executor)
-    return solver.run_epochs(catalog, requests, n_epochs=2)
+    return solver.run_epochs(catalog, requests, n_epochs=2, **run_kwargs)
 
 
 MEASURED_KEYS = ("rss_kb", "gc")
@@ -109,6 +109,63 @@ class TestEpochLoopDeterminism:
         assert "content_solve" in kinds
         assert "epoch" in kinds
         assert "iteration" in kinds
+
+
+class TestBatchedSolverEquivalence:
+    """The scalar-vs-batched equivalence guard.
+
+    The batched tensor pipeline replicates the scalar solvers'
+    floating-point operation order lane by lane, so the guard demands
+    *bit-identical* equilibria — not just tolerance agreement — across
+    (a) the per-content path, (b) the batched path on the serial
+    backend, and (c) the batched path on a 2-worker process pool.
+    Should a future change break exact identity for a legitimate
+    numerical reason, loosen this to the documented determinism
+    tolerance (``assert_allclose`` with rtol 1e-12) — never silently.
+    """
+
+    VARIANTS = {
+        "scalar": ("serial", {}),
+        "batched": ("serial", dict(solver_batching=True, batch_size=3)),
+        "batched-process": (
+            "process",
+            dict(solver_batching=True, batch_size=3),
+        ),
+    }
+
+    @pytest.fixture(scope="class")
+    def runs(self):
+        out = {}
+        for name, (backend, kwargs) in self.VARIANTS.items():
+            out[name] = run_epoch(BACKENDS[backend](), **kwargs)
+        return out
+
+    @pytest.mark.parametrize("variant", ["batched", "batched-process"])
+    def test_equilibria_bit_identical_to_scalar(self, runs, variant):
+        for a, b in zip(runs["scalar"], runs[variant]):
+            assert a.active_contents == b.active_contents
+            assert set(a.equilibria) == set(b.equilibria)
+            for k in a.equilibria:
+                ea, eb = a.equilibria[k], b.equilibria[k]
+                assert np.array_equal(ea.value, eb.value), k
+                assert np.array_equal(ea.policy.table, eb.policy.table), k
+                assert np.array_equal(ea.density, eb.density), k
+                assert np.array_equal(ea.mean_field.price, eb.mean_field.price), k
+                assert ea.report.n_iterations == eb.report.n_iterations, k
+                assert ea.report.converged == eb.report.converged, k
+
+    def test_convergence_histories_identical(self, runs):
+        # Masked lanes must replay the scalar iteration trace exactly.
+        for a, b in zip(runs["scalar"], runs["batched"]):
+            for k in a.equilibria:
+                ha = a.equilibria[k].report.history
+                hb = b.equilibria[k].report.history
+                assert [r.policy_change for r in ha] == [
+                    r.policy_change for r in hb
+                ], k
+                assert [r.mean_field_change for r in ha] == [
+                    r.mean_field_change for r in hb
+                ], k
 
 
 class TestProfiledRunDeterminism:
