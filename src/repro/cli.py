@@ -29,6 +29,13 @@ Subcommands
     rate, latency, backhaul, trading revenue) per policy — the MFG
     equilibrium adapter alongside LRU/LFU/random/most-popular (see
     ``docs/serving.md``).
+``serve-net``
+    Replay a Zipf request trace through a hierarchical *cache network*
+    (``--topology path:6 | tree:2x4 | ring:8 | mesh:12x3``): misses
+    route hop by hop toward the origin and an on-path placement
+    strategy (``lce``/``lcd``/``probcache``/``edge``/``mfg``) decides
+    which nodes keep a copy, behind finite per-node admission queues
+    (see docs/serving.md "Cache networks").
 ``verify``
     Evaluate the Lemma 1/2 hypotheses and the Theorem 2 contraction
     diagnostics for a configuration.
@@ -272,6 +279,61 @@ def build_parser() -> argparse.ArgumentParser:
                               "(with --solver-batching; default 32)")
     add_telemetry_arg(p_serve)
     add_runtime_args(p_serve)
+
+    p_net = sub.add_parser(
+        "serve-net",
+        help="replay a request trace through a hierarchical cache network",
+    )
+    p_net.add_argument("--topology", default="tree:2x4",
+                       help="network spec: path:N, tree:KxD (K-ary, depth D),"
+                            " ring:N, or mesh:N[xK] (default tree:2x4, the "
+                            "15-router binary tree)")
+    p_net.add_argument("--strategy", default="all",
+                       help="placement strategy: one of lce/lcd/probcache/"
+                            "edge/mfg, a comma list, or 'all' for the full "
+                            "comparison table")
+    p_net.add_argument("--contents", type=int, default=12,
+                       help="Zipf catalog size K")
+    p_net.add_argument("--alpha", type=float, default=1.0,
+                       help="Zipf exponent of the workload")
+    p_net.add_argument("--rate", type=float, default=60.0,
+                       help="request rate per receiver per time unit")
+    p_net.add_argument("--slots", type=int, default=25,
+                       help="trace slots over the epoch")
+    p_net.add_argument("--replicas", type=int, default=4,
+                       help="independent full-network replays averaged into "
+                            "one report (also the parallel grain)")
+    p_net.add_argument("--capacity-fraction", type=float, default=0.1,
+                       help="per-node cache as a fraction of catalog volume")
+    p_net.add_argument("--node-capacity", type=float, default=None,
+                       metavar="MB",
+                       help="absolute per-node cache size in MB (overrides "
+                            "--capacity-fraction)")
+    p_net.add_argument("--queue-capacity", type=int, default=8,
+                       help="admission-queue depth per caching node")
+    p_net.add_argument("--queue-rate", type=float, default=None,
+                       help="admission-queue service rate (default: each "
+                            "node's fair share of the total request rate)")
+    p_net.add_argument("--seed", type=int, default=0,
+                       help="root seed for every request stream")
+    p_net.add_argument("--topology-seed", type=int, default=0,
+                       help="seed for mesh placement geometry")
+    p_net.add_argument("--shards", type=int, default=None,
+                       help="replay shard count (default min(replicas, 8); "
+                            "never affects results)")
+    p_net.add_argument("--per-node", action="store_true",
+                       help="also print the per-node breakdown table for "
+                            "each strategy")
+    p_net.add_argument("--out", default=None,
+                       help="directory for CSV/JSON export of the reports")
+    p_net.add_argument("--solver-batching", action="store_true",
+                       help="solve the mfg strategy's equilibria through the "
+                            "batched tensor pipeline (bit-identical results)")
+    p_net.add_argument("--batch-size", type=int, default=32, metavar="B",
+                       help="max contents per batched shard "
+                            "(with --solver-batching; default 32)")
+    add_telemetry_arg(p_net)
+    add_runtime_args(p_net)
 
     p_watch = sub.add_parser(
         "watch", help="render a live run-status file as a dashboard"
@@ -923,6 +985,91 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_net(args: argparse.Namespace) -> int:
+    # Imported lazily: the network serve stack is only needed here.
+    from repro.content.workloads import zipf_workload
+    from repro.serve.net import (
+        NET_REPORT_HEADERS,
+        PER_NODE_HEADERS,
+        STRATEGY_NAMES,
+        NetworkReplayEngine,
+        export_network_reports,
+        network_comparison_rows,
+        parse_topology,
+    )
+
+    spec = args.strategy.strip().lower()
+    names = list(STRATEGY_NAMES) if spec == "all" else [
+        s.strip() for s in spec.split(",") if s.strip()
+    ]
+    if not names:
+        print("error: no placement strategy given", file=sys.stderr)
+        return 2
+    try:
+        topology = parse_topology(args.topology, seed=args.topology_seed)
+    except ValueError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    workload = zipf_workload(
+        n_contents=args.contents,
+        alpha=args.alpha,
+        rate_per_edp=args.rate,
+        seed=args.seed,
+    )
+
+    telemetry = _telemetry_from_args(args)
+    executor = _executor_from_args(args, telemetry)
+    try:
+        engine = NetworkReplayEngine(
+            workload,
+            topology,
+            config=MFGCPConfig.fast(),
+            n_slots=args.slots,
+            capacity_fraction=args.capacity_fraction,
+            node_capacity_mb=args.node_capacity,
+            rate_per_receiver=args.rate,
+            n_replicas=args.replicas,
+            shards=args.shards,
+            seed=args.seed,
+            queue_capacity=args.queue_capacity,
+            queue_service_rate=args.queue_rate,
+            executor=executor,
+            telemetry=telemetry,
+            solver_batching=args.solver_batching,
+            batch_size=args.batch_size,
+        )
+        reports = engine.compare(names)
+    except StrictNumericsError as err:
+        return _strict_abort(args, telemetry, err)
+    except ItemFailedError as err:
+        return _item_failed_abort(args, telemetry, err)
+    except ValueError as err:
+        _close_telemetry(args, telemetry)
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    _close_telemetry(args, telemetry)
+    print(format_table(
+        list(NET_REPORT_HEADERS),
+        network_comparison_rows(reports),
+        title=(
+            f"Cache-network comparison ({topology.describe()}, "
+            f"{engine.node_capacity_mb:.0f} MB/node, "
+            f"{reports[0].requests} requests)"
+        ),
+    ))
+    if args.per_node:
+        for report in reports:
+            print(format_table(
+                list(PER_NODE_HEADERS),
+                report.per_node_rows(),
+                title=f"Per-node breakdown — {report.strategy}",
+            ))
+    if args.out is not None:
+        for path in export_network_reports(reports, args.out):
+            print(f"  wrote {path}")
+    return 0
+
+
 def _cmd_verify(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
     lemma1 = theory.verify_lemma1(config)
@@ -994,6 +1141,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "compare": _cmd_compare,
         "trace": _cmd_trace,
         "serve": _cmd_serve,
+        "serve-net": _cmd_serve_net,
         "watch": _cmd_watch,
         "export-metrics": _cmd_export_metrics,
         "verify": _cmd_verify,

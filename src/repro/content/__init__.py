@@ -21,6 +21,7 @@ from repro.content.trace import (
     SyntheticYouTubeTrace,
     TraceRecord,
     load_trace_csv,
+    trace_receiver_popularity,
     trace_to_popularity,
     trace_windows,
 )
@@ -29,6 +30,7 @@ from repro.content.workloads import (
     news_cycle,
     traffic_information,
     video_marketplace,
+    zipf_workload,
 )
 
 __all__ = [
@@ -45,10 +47,12 @@ __all__ = [
     "TraceRecord",
     "TraceLoadResult",
     "load_trace_csv",
+    "trace_receiver_popularity",
     "trace_to_popularity",
     "trace_windows",
     "Workload",
     "news_cycle",
     "traffic_information",
     "video_marketplace",
+    "zipf_workload",
 ]

@@ -47,7 +47,14 @@ _TAG_POOL: Tuple[str, ...] = (
 
 @dataclass(frozen=True)
 class TraceRecord:
-    """One trace row (matches the Kaggle schema fields the paper cites)."""
+    """One trace row (matches the Kaggle schema fields the paper cites).
+
+    ``receiver`` is an optional network attachment point: traces that
+    carry a ``receiver`` column can drive multi-receiver cache-network
+    replays (:mod:`repro.serve.net`), with each record's demand
+    credited to that receiver's request stream.  ``None`` means the
+    record is not pinned to any receiver.
+    """
 
     video_id: str
     category: str
@@ -57,10 +64,13 @@ class TraceRecord:
     comment_count: int
     publish_time: float
     description: str = ""
+    receiver: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.views < 0 or self.likes < 0 or self.comment_count < 0:
             raise ValueError("views, likes and comment_count must be non-negative")
+        if self.receiver is not None and self.receiver < 0:
+            raise ValueError(f"receiver id must be non-negative, got {self.receiver}")
 
 
 @dataclass
@@ -149,19 +159,25 @@ class SyntheticYouTubeTrace:
 
 
 class TraceLoadResult(List[TraceRecord]):
-    """The records parsed from a trace CSV, plus a skip count.
+    """The records parsed from a trace CSV, plus skip counts.
 
     A plain list of :class:`TraceRecord` (all existing callers keep
     working) carrying ``skipped_rows`` — how many data rows were
     dropped as malformed (short rows, missing category, non-numeric
-    view counts).
+    view counts) — and ``skipped_receivers``, the subset of those
+    dropped specifically for a malformed ``receiver`` id (non-integer
+    or negative) when the trace carries a receiver column.
     """
 
     def __init__(
-        self, records: Iterable[TraceRecord] = (), skipped_rows: int = 0
+        self,
+        records: Iterable[TraceRecord] = (),
+        skipped_rows: int = 0,
+        skipped_receivers: int = 0,
     ) -> None:
         super().__init__(records)
         self.skipped_rows = int(skipped_rows)
+        self.skipped_receivers = int(skipped_receivers)
 
 
 def _optional_count(value: object) -> int:
@@ -176,6 +192,7 @@ def load_trace_csv(
     path: Path,
     category_column: str = "category_id",
     views_column: str = "views",
+    receiver_column: str = "receiver",
 ) -> TraceLoadResult:
     """Load a real Kaggle trending CSV into :class:`TraceRecord` rows.
 
@@ -186,18 +203,27 @@ def load_trace_csv(
     the load; the returned :class:`TraceLoadResult` counts them in
     ``skipped_rows``.  A missing header or required column still
     raises, since no row could ever parse.
+
+    When the trace carries a ``receiver_column`` (optional; absent in
+    the real Kaggle dumps), each row's receiver id is parsed into
+    :attr:`TraceRecord.receiver` for cache-network replays.  An empty
+    cell means "unpinned" (``receiver=None``); a malformed id
+    (non-integer or negative) drops the row and is counted in both
+    ``skipped_rows`` and ``skipped_receivers``.
     """
     path = Path(path)
     if not path.exists():
         raise FileNotFoundError(f"trace file not found: {path}")
     records: List[TraceRecord] = []
     skipped = 0
+    skipped_receivers = 0
     with path.open(newline="", encoding="utf-8", errors="replace") as handle:
         reader = csv.DictReader(handle)
         if reader.fieldnames is None or category_column not in reader.fieldnames:
             raise ValueError(
                 f"trace file {path} lacks required column {category_column!r}"
             )
+        has_receiver = receiver_column in reader.fieldnames
         for row_idx, row in enumerate(reader):
             category = row.get(category_column)
             if category is None or not str(category).strip():
@@ -208,6 +234,18 @@ def load_trace_csv(
             except (TypeError, ValueError):
                 skipped += 1
                 continue
+            receiver: Optional[int] = None
+            if has_receiver:
+                raw = str(row.get(receiver_column) or "").strip()
+                if raw:
+                    try:
+                        receiver = int(raw)
+                        if receiver < 0:
+                            raise ValueError(raw)
+                    except ValueError:
+                        skipped += 1
+                        skipped_receivers += 1
+                        continue
             tags_raw = row.get("tags", "") or ""
             tags = tuple(t.strip(' "') for t in tags_raw.split("|") if t.strip(' "'))
             records.append(
@@ -220,9 +258,50 @@ def load_trace_csv(
                     comment_count=_optional_count(row.get("comment_count", 0)),
                     publish_time=0.0,
                     description=str(row.get("description", "") or ""),
+                    receiver=receiver,
                 )
             )
-    return TraceLoadResult(records, skipped_rows=skipped)
+    return TraceLoadResult(
+        records, skipped_rows=skipped, skipped_receivers=skipped_receivers
+    )
+
+
+def trace_receiver_popularity(
+    records: Iterable[TraceRecord],
+    n_receivers: int,
+    n_contents: Optional[int] = None,
+) -> Tuple[List[str], np.ndarray]:
+    """Per-receiver demand shares from a receiver-annotated trace.
+
+    Returns the global category labels (most viewed first, as in
+    :func:`trace_to_popularity`) and an ``(n_receivers, n_contents)``
+    matrix whose row ``r`` is receiver ``r``'s normalised demand over
+    those categories — the shape
+    :class:`repro.serve.net.NetworkReplayEngine` accepts as
+    ``receiver_popularity``.  Records with ``receiver=None`` (or a
+    receiver id outside ``range(n_receivers)``) spread their views
+    uniformly across all receivers, so unpinned demand still counts.
+    Receivers with no demand at all fall back to the global share.
+    """
+    if n_receivers < 1:
+        raise ValueError(f"n_receivers must be positive, got {n_receivers}")
+    records = list(records)
+    labels, global_share = trace_to_popularity(records, n_contents=n_contents)
+    index = {name: i for i, name in enumerate(labels)}
+    totals = np.zeros((n_receivers, len(labels)))
+    for rec in records:
+        col = index.get(rec.category)
+        if col is None:
+            continue
+        if rec.receiver is not None and 0 <= rec.receiver < n_receivers:
+            totals[rec.receiver, col] += float(rec.views)
+        else:
+            totals[:, col] += float(rec.views) / n_receivers
+    matrix = np.empty_like(totals)
+    for r in range(n_receivers):
+        mass = totals[r].sum()
+        matrix[r] = totals[r] / mass if mass > 0 else global_share
+    return labels, matrix
 
 
 def trace_windows(

@@ -72,6 +72,39 @@ class Workload:
         return tracker
 
 
+def zipf_workload(
+    n_contents: int = 12,
+    alpha: float = 1.0,
+    content_size_mb: float = 50.0,
+    rate_per_edp: float = 40.0,
+    seed: int = 0,
+) -> Workload:
+    """A bare Zipf(``alpha``) catalog — the classical cache benchmark.
+
+    The workload cache-network experiments run on: ``n_contents``
+    equally sized contents whose demand shares follow
+    ``rank^(-alpha)``, with the relaxed video-style timeliness law.
+    Rank 1 is content 0 (no permutation), so hit-ratio comparisons
+    across runs and seeds talk about the same head and tail.
+    """
+    rng = np.random.default_rng(seed)
+    popularity = ZipfPopularity(n_contents=n_contents, exponent=alpha).initial()
+    catalog = ContentCatalog.uniform(n_contents, size_mb=content_size_mb)
+    timeliness = TimelinessModel(l_max=3.0, shape_a=1.5, shape_b=4.0)  # lax
+    return Workload(
+        name=f"zipf-{alpha:g}",
+        catalog=catalog,
+        popularity=popularity,
+        timeliness_model=timeliness,
+        requests=RequestProcess(
+            n_contents=n_contents,
+            rate_per_edp=rate_per_edp,
+            timeliness_model=timeliness,
+            rng=rng,
+        ),
+    )
+
+
 def video_marketplace(
     n_contents: int = 8,
     content_size_mb: float = 100.0,

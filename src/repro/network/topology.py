@@ -10,6 +10,7 @@ path-loss model, and adjacency queries used by the peer-sharing logic
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -81,12 +82,26 @@ class NetworkTopology:
         return np.maximum(dist, self.config.min_distance)
 
     def edp_edp_distances(self) -> np.ndarray:
-        """Matrix of pairwise EDP distances with zero diagonal."""
-        diff = self.edp_positions[:, None, :] - self.edp_positions[None, :, :]
-        dist = np.linalg.norm(diff, axis=-1)
-        off_diag = ~np.eye(self.config.n_edps, dtype=bool)
-        dist[off_diag] = np.maximum(dist[off_diag], self.config.min_distance)
-        return dist
+        """Matrix of pairwise EDP distances with zero diagonal.
+
+        Returns a *copy* of the cached matrix, so callers may mutate
+        the result without corrupting the stable graph API
+        (:meth:`distance` / :meth:`neighbors` / :meth:`path`).
+        """
+        return self._edp_distance_matrix().copy()
+
+    def _edp_distance_matrix(self) -> np.ndarray:
+        """The cached pairwise EDP distance matrix (do not mutate)."""
+        cached = getattr(self, "_edp_dist_cache", None)
+        if cached is None:
+            diff = self.edp_positions[:, None, :] - self.edp_positions[None, :, :]
+            dist = np.linalg.norm(diff, axis=-1)
+            off_diag = ~np.eye(self.config.n_edps, dtype=bool)
+            dist[off_diag] = np.maximum(dist[off_diag], self.config.min_distance)
+            dist.setflags(write=False)
+            object.__setattr__(self, "_edp_dist_cache", dist)
+            cached = dist
+        return cached
 
     # ------------------------------------------------------------------
     # Association
@@ -110,23 +125,115 @@ class NetworkTopology:
         return counts
 
     # ------------------------------------------------------------------
-    # Adjacency (peer sharing)
+    # Stable graph API (adjacency, distance, shortest paths)
     # ------------------------------------------------------------------
+    # These three methods are the documented graph surface other
+    # subsystems build on (``repro.serve.net`` derives its MESH cache
+    # networks from them) — deterministic given the placement, with
+    # explicit tie-breaking, and no distance-matrix recomputation.
+
+    def distance(self, a: int, b: int) -> float:
+        """Euclidean distance between EDPs ``a`` and ``b`` (metres).
+
+        Zero for ``a == b``; otherwise floored at
+        ``config.min_distance`` like every other distance query.
+        """
+        self._check_edp(a)
+        self._check_edp(b)
+        return float(self._edp_distance_matrix()[a, b])
+
+    def neighbors(
+        self,
+        edp: int,
+        radius: Optional[float] = None,
+        k: Optional[int] = None,
+    ) -> np.ndarray:
+        """EDPs adjacent to ``edp``, nearest first.
+
+        Either all peers within ``radius`` metres, or the ``k`` nearest
+        peers when ``radius`` is ``None`` (defaulting to the 5
+        nearest).  Ordering is deterministic: ascending distance with
+        the EDP index breaking ties, so equal-distance placements
+        yield the same neighbour list on every platform.
+        """
+        self._check_edp(edp)
+        dist = self._edp_distance_matrix()[edp].copy()
+        dist[edp] = np.inf
+        # Lexicographic (distance, index) order: stable under ties.
+        order = np.lexsort((np.arange(dist.size), dist))
+        if radius is not None:
+            within = order[dist[order] <= radius]
+            return within
+        k = 5 if k is None else int(k)
+        if k < 0:
+            raise ValueError(f"neighbour count must be non-negative, got {k}")
+        k = min(k, self.config.n_edps - 1)
+        return order[:k]
+
+    def path(
+        self,
+        a: int,
+        b: int,
+        radius: Optional[float] = None,
+        k: Optional[int] = None,
+    ) -> List[int]:
+        """Shortest EDP-to-EDP path over the adjacency graph.
+
+        The graph is the symmetrised :meth:`neighbors` relation (an
+        edge exists when either endpoint lists the other), weighted by
+        Euclidean distance; Dijkstra with (cost, node-index) ordering
+        makes the returned path deterministic under ties.  Raises
+        ``ValueError`` when ``b`` is unreachable — callers deciding to
+        densify the graph (larger ``k`` / ``radius``) should catch it.
+        """
+        self._check_edp(a)
+        self._check_edp(b)
+        if a == b:
+            return [a]
+        n = self.config.n_edps
+        adjacency: List[set] = [set() for _ in range(n)]
+        for u in range(n):
+            for v in self.neighbors(u, radius=radius, k=k):
+                adjacency[u].add(int(v))
+                adjacency[int(v)].add(u)
+        dist_m = self._edp_distance_matrix()
+        best = {a: 0.0}
+        parent: Dict[int, int] = {}
+        frontier = [(0.0, a)]
+        while frontier:
+            cost, u = heapq.heappop(frontier)
+            if u == b:
+                break
+            if cost > best.get(u, np.inf):
+                continue
+            for v in sorted(adjacency[u]):
+                candidate = cost + float(dist_m[u, v])
+                if candidate < best.get(v, np.inf) - 1e-12:
+                    best[v] = candidate
+                    parent[v] = u
+                    heapq.heappush(frontier, (candidate, v))
+        if b not in best:
+            raise ValueError(
+                f"EDP {b} is unreachable from {a} over the "
+                f"{'radius' if radius is not None else 'k-nearest'} "
+                f"adjacency graph; widen the neighbourhood"
+            )
+        hops = [b]
+        while hops[-1] != a:
+            hops.append(parent[hops[-1]])
+        return hops[::-1]
+
     def adjacent_edps(self, edp: int, radius: Optional[float] = None, k: Optional[int] = None) -> np.ndarray:
         """EDPs adjacent to ``edp`` for peer content sharing.
 
-        Either all peers within ``radius`` metres or the ``k`` nearest
-        peers (when ``radius`` is None).  Defaults to the 5 nearest.
+        Kept for the peer-sharing call sites; delegates to the stable
+        :meth:`neighbors` API.
         """
+        return self.neighbors(edp, radius=radius, k=k)
+
+    def _check_edp(self, edp: int) -> None:
         if edp < 0 or edp >= self.config.n_edps:
             raise IndexError(f"EDP index {edp} out of range [0, {self.config.n_edps})")
-        dist = self.edp_edp_distances()[edp]
-        dist[edp] = np.inf
-        if radius is not None:
-            return np.flatnonzero(dist <= radius)
-        k = 5 if k is None else k
-        k = min(k, self.config.n_edps - 1)
-        return np.argsort(dist)[:k]
 
     def mean_association_distance(self) -> float:
         """Average distance between a requester and its serving EDP."""

@@ -12,7 +12,9 @@ and reconstructs the three views the CLI prints:
   resumable executor;
 * the **top metrics** from the final registry snapshot;
 * a **serving replays** table when the run contains
-  ``serving_report`` events from :mod:`repro.serve`.
+  ``serving_report`` events from :mod:`repro.serve`;
+* a **cache networks** table when the run contains
+  ``network_report`` events from :mod:`repro.serve.net`.
 
 Everything here is pure data transformation over dicts, so the report
 is reproducible from the file alone — no live solver state needed.
@@ -54,6 +56,7 @@ class RunSummary:
     solve_ends: List[Dict[str, Any]] = field(default_factory=list)
     metrics: Dict[str, Dict[str, Any]] = field(default_factory=dict)
     serving_reports: List[Dict[str, Any]] = field(default_factory=list)
+    network_reports: List[Dict[str, Any]] = field(default_factory=list)
     diagnostics: List[Dict[str, Any]] = field(default_factory=list)
     fault_events: List[Dict[str, Any]] = field(default_factory=list)
     n_skipped: int = 0
@@ -132,6 +135,8 @@ def load_run(source: Union[str, "os.PathLike[str]", IO[str]]) -> RunSummary:
             summary.metrics = dict(event.get("metrics", {}))
         elif kind == "serving_report":
             summary.serving_reports.append(event)
+        elif kind == "network_report":
+            summary.network_reports.append(event)
         elif kind in ("item.cached", "item.retry", "item.failed"):
             summary.fault_events.append(event)
         if isinstance(kind, str) and kind.startswith(DIAG_PREFIX):
@@ -308,6 +313,45 @@ def render_serving(summary: RunSummary) -> str:
     return table
 
 
+def render_network(summary: RunSummary) -> str:
+    """The cache-network replays recorded by :mod:`repro.serve.net`.
+
+    One row per ``network_report`` event (one per strategy replayed),
+    plus the replica-level hit-ratio spread from the registry histogram
+    when the run captured one.
+    """
+    if not summary.network_reports:
+        return "(no cache-network replays recorded)"
+    rows = [
+        (
+            str(ev.get("strategy", "?")),
+            str(ev.get("topology", "?")),
+            int(ev.get("requests", 0)),
+            float(ev.get("hit_ratio", float("nan"))),
+            float(ev.get("mean_hops", float("nan"))),
+            f"{1e3 * float(ev.get('mean_latency_s', float('nan'))):.3f}",
+            float(ev.get("rejection_rate", float("nan"))),
+        )
+        for ev in summary.network_reports
+    ]
+    table = _format_table(
+        ["strategy", "topology", "requests", "hit ratio", "mean hops",
+         "latency ms", "queue rej"],
+        rows,
+        title="cache networks",
+    )
+    spread = summary.metrics.get("net.replica_hit_ratio")
+    if spread and spread.get("count"):
+        q = "~" if spread.get("approx") else ""
+        table += (
+            "\nper-replica hit ratio: "
+            f"p50 {q}{float(spread.get('p50', 0.0)):.4f}, "
+            f"p90 {q}{float(spread.get('p90', 0.0)):.4f} "
+            f"(n={int(spread['count'])})"
+        )
+    return table
+
+
 def render_fault_tolerance(summary: RunSummary) -> str:
     """The runtime resilience section: cache hits, retries, failures.
 
@@ -377,4 +421,6 @@ def render_report(summary: RunSummary) -> str:
         sections.extend(["", render_fault_tolerance(summary)])
     if summary.serving_reports:
         sections.extend(["", render_serving(summary)])
+    if summary.network_reports:
+        sections.extend(["", render_network(summary)])
     return "\n".join(sections)

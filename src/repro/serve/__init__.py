@@ -10,6 +10,9 @@ aggregates (and merged telemetry) on every backend.
 
 Entry points: :class:`ServingEngine` in code, ``repro serve`` on the
 command line, :func:`export_serving_reports` for CSV/JSON artifacts.
+The :mod:`repro.serve.net` subpackage replays the same traces through
+hierarchical cache *networks* (PATH/TREE/RING/MESH topologies with
+on-path placement strategies) behind ``repro serve-net``.
 """
 
 from repro.serve.cache import CacheEntry, EdgeCache

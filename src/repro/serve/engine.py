@@ -267,6 +267,88 @@ def _solve_content_batch(
     ).solve()
 
 
+def equilibrium_configs(
+    config: MFGCPConfig,
+    popularity: Sequence[float],
+    sizes_mb: Sequence[float],
+    rate_per_edp: float,
+    timeliness_mean: float,
+) -> List[MFGCPConfig]:
+    """One solver config per content, specialised to its demand share.
+
+    Each content gets the base config specialised to its popularity
+    share, size, and expected per-EDP request rate — the same
+    per-content independence the Alg. 1 epoch loop exploits.  Shared
+    by :class:`ServingEngine` and the network replay engine so both
+    planes solve identical equilibria for identical workloads.
+    """
+    if len(sizes_mb) != len(popularity):
+        raise ValueError(
+            f"{len(sizes_mb)} sizes for {len(popularity)} popularity values"
+        )
+    return [
+        replace(
+            config,
+            popularity=float(np.clip(p, 0.0, 1.0)),
+            content_size=float(sizes_mb[k]),
+            n_requests=float(rate_per_edp) * float(p),
+            timeliness=float(timeliness_mean),
+        )
+        for k, p in enumerate(popularity)
+    ]
+
+
+def solve_equilibrium_map(
+    configs: Sequence[MFGCPConfig],
+    *,
+    executor: ExecutorLike = None,
+    telemetry: SolverTelemetry = NULL_TELEMETRY,
+    solver_batching: bool = False,
+    batch_size: int = 32,
+    label_prefix: str = "serve_eq",
+    span: str = "serve_solve_equilibria",
+) -> Dict[int, EquilibriumResult]:
+    """Solve per-content equilibria through the runtime (content → result).
+
+    Fans the solves out as one :class:`~repro.runtime.ExecutionPlan`
+    (per-content items, or one batched item per shard of at most
+    ``batch_size`` contents when ``solver_batching`` is set); either
+    path returns bit-identical equilibria.
+    """
+    if solver_batching and batch_size <= 0:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+    runner = as_executor(executor)
+    if solver_batching:
+        shards = partition_batches(len(configs), batch_size)
+        plan = ExecutionPlan.map(
+            _solve_content_batch,
+            [(shard, tuple(configs[k] for k in shard)) for shard in shards],
+            labels=[
+                f"{label_prefix}:batch{shard[0]}-{shard[-1]}"
+                for shard in shards
+            ],
+            accepts_telemetry=True,
+        )
+    else:
+        plan = ExecutionPlan.map(
+            _solve_content,
+            [(cfg,) for cfg in configs],
+            labels=[f"{label_prefix}:content{k}" for k in range(len(configs))],
+            accepts_telemetry=True,
+        )
+    if telemetry.live is not None:
+        telemetry.live.set_phase(f"{label_prefix}:solve", total_items=len(plan))
+    with telemetry.span(span):
+        results = runner.run(plan, telemetry=telemetry)
+    if solver_batching:
+        return {
+            int(k): res
+            for shard, shard_results in zip(shards, results)
+            for k, res in zip(shard, shard_results)
+        }
+    return dict(enumerate(results))
+
+
 class ServingEngine:
     """Replay a workload against a population of EDP edge caches.
 
@@ -381,54 +463,23 @@ class ServingEngine:
         exploits, fanned out through the runtime.
         """
         if self._equilibria is None:
-            configs = [
-                replace(
-                    self.config,
-                    popularity=float(np.clip(p, 0.0, 1.0)),
-                    content_size=self.sizes_mb[k],
-                    n_requests=self.source.rate_per_edp * float(p),
-                    timeliness=min(
-                        self.workload.timeliness_model.mean(),
-                        self.workload.timeliness_model.l_max,
-                    ),
-                )
-                for k, p in enumerate(self.source.popularity)
-            ]
-            if self.solver_batching:
-                shards = partition_batches(len(configs), self.batch_size)
-                plan = ExecutionPlan.map(
-                    _solve_content_batch,
-                    [
-                        (shard, tuple(configs[k] for k in shard))
-                        for shard in shards
-                    ],
-                    labels=[
-                        f"serve_eq:batch{shard[0]}-{shard[-1]}"
-                        for shard in shards
-                    ],
-                    accepts_telemetry=True,
-                )
-            else:
-                plan = ExecutionPlan.map(
-                    _solve_content,
-                    [(cfg,) for cfg in configs],
-                    labels=[f"serve_eq:content{k}" for k in range(len(configs))],
-                    accepts_telemetry=True,
-                )
-            if self.telemetry.live is not None:
-                self.telemetry.live.set_phase(
-                    "serve:equilibria", total_items=len(plan)
-                )
-            with self.telemetry.span("serve_solve_equilibria"):
-                results = self.executor.run(plan, telemetry=self.telemetry)
-            if self.solver_batching:
-                self._equilibria = {
-                    int(k): res
-                    for shard, shard_results in zip(shards, results)
-                    for k, res in zip(shard, shard_results)
-                }
-            else:
-                self._equilibria = dict(enumerate(results))
+            configs = equilibrium_configs(
+                self.config,
+                self.source.popularity,
+                self.sizes_mb,
+                self.source.rate_per_edp,
+                min(
+                    self.workload.timeliness_model.mean(),
+                    self.workload.timeliness_model.l_max,
+                ),
+            )
+            self._equilibria = solve_equilibrium_map(
+                configs,
+                executor=self.executor,
+                telemetry=self.telemetry,
+                solver_batching=self.solver_batching,
+                batch_size=self.batch_size,
+            )
         return self._equilibria
 
     # ------------------------------------------------------------------

@@ -1,0 +1,82 @@
+"""Topology-aware cache networks: route misses toward origin.
+
+The :mod:`repro.serve.net` subsystem replays request traces through
+hierarchical cache networks (PATH / TREE / RING / random-geometric
+MESH) instead of isolated edge caches: a miss travels hop by hop
+toward the content origin, and a pluggable on-path placement strategy
+(LCE, LCD, ProbCache, edge-only, or the MFG equilibrium adapter)
+decides which caching nodes keep a copy on the return path, each
+write passing a finite per-node admission queue.
+
+Entry points: :class:`NetworkReplayEngine` in code, ``repro serve-net``
+on the command line, :func:`export_network_reports` for CSV/JSON
+artifacts.
+"""
+
+from repro.serve.net.engine import (
+    NetworkReplayEngine,
+    NetworkReplaySpec,
+    replay_network_shard,
+)
+from repro.serve.net.queue import AdmissionQueue
+from repro.serve.net.report import (
+    NET_REPORT_HEADERS,
+    PER_NODE_HEADERS,
+    NetworkReplayStats,
+    NetworkServingReport,
+    NodeServingStats,
+    export_network_reports,
+    network_comparison_rows,
+)
+from repro.serve.net.strategies import (
+    STRATEGY_NAMES,
+    EdgeOnlyStrategy,
+    LCDStrategy,
+    LCEStrategy,
+    MFGNetworkStrategy,
+    PlacementSite,
+    PlacementStrategy,
+    ProbCacheStrategy,
+    make_strategy,
+)
+from repro.serve.net.topology import (
+    TOPOLOGY_KINDS,
+    CacheNetworkTopology,
+    build_topology,
+    mesh_topology,
+    parse_topology,
+    path_topology,
+    ring_topology,
+    tree_topology,
+)
+
+__all__ = [
+    "AdmissionQueue",
+    "CacheNetworkTopology",
+    "EdgeOnlyStrategy",
+    "LCDStrategy",
+    "LCEStrategy",
+    "MFGNetworkStrategy",
+    "NET_REPORT_HEADERS",
+    "NetworkReplayEngine",
+    "NetworkReplaySpec",
+    "NetworkReplayStats",
+    "NetworkServingReport",
+    "NodeServingStats",
+    "PER_NODE_HEADERS",
+    "PlacementSite",
+    "PlacementStrategy",
+    "ProbCacheStrategy",
+    "STRATEGY_NAMES",
+    "TOPOLOGY_KINDS",
+    "build_topology",
+    "export_network_reports",
+    "make_strategy",
+    "mesh_topology",
+    "network_comparison_rows",
+    "parse_topology",
+    "path_topology",
+    "replay_network_shard",
+    "ring_topology",
+    "tree_topology",
+]

@@ -1,0 +1,667 @@
+"""The network replay engine: hop-by-hop cache probing over a topology.
+
+:class:`NetworkReplayEngine` routes every request from its receiver
+toward the origin along the topology's precomputed route, probing each
+caching node on the way; the first node holding the content serves it
+(the source always can), and on the return path the pluggable
+:class:`~repro.serve.net.strategies.PlacementStrategy` decides which
+nodes keep a copy — each placement passing through the node's finite
+:class:`~repro.serve.net.queue.AdmissionQueue` first.
+
+Execution shape
+---------------
+Node caches are shared by every receiver, so a network replay cannot
+shard per receiver the way :class:`~repro.serve.engine.ServingEngine`
+shards per EDP.  The parallel unit is instead the **replica**: each
+replica replays the whole network against its own independent request
+streams (receiver ``r`` of replica ``j`` consumes stream
+``j * n_receivers + r`` of one shared
+:class:`~repro.serve.events.RequestTraceSource`), and replicas are
+grouped into :class:`~repro.runtime.ExecutionPlan` work items.  Every
+stream descends from the root seed by ``SeedSequence.spawn``, each
+replica is replayed slot-ordered in one item, and per-item results and
+telemetry merge in item order — so reports are bit-identical across
+``serial`` and any ``process:N`` backend, and across shard counts.
+
+Semantics (documented in ``docs/serving.md``)
+---------------------------------------------
+* A slot's batch of ``c`` requests for content ``k`` probes the route
+  once; all ``c`` requests are served where the probe first hits.
+* End-to-end latency per request is the round trip to the serving
+  node: ``2 *`` the route's cumulative one-way edge latency.
+* The placement pass walks the return path top-down (serving node
+  toward receiver); a strategy "yes" becomes a queue offer, and an
+  admitted write evicts strategy-chosen victims until the copy fits.
+* Request timeliness draws are consumed (stream compatibility with
+  the single-cache engine) but staleness is not modelled on the
+  network plane — copies are replaced, never refreshed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.content.workloads import Workload
+from repro.core.equilibrium import EquilibriumResult
+from repro.core.parameters import MFGCPConfig
+from repro.obs.telemetry import NULL_TELEMETRY, SolverTelemetry
+from repro.runtime import ExecutionPlan, ExecutorLike, as_executor, partition_indices
+from repro.serve.cache import EdgeCache
+from repro.serve.engine import equilibrium_configs, solve_equilibrium_map
+from repro.serve.events import RequestTraceSource
+from repro.serve.net.queue import AdmissionQueue
+from repro.serve.net.report import (
+    NetworkReplayStats,
+    NetworkServingReport,
+    NodeServingStats,
+)
+from repro.serve.net.strategies import (
+    PlacementSite,
+    PlacementStrategy,
+    make_strategy,
+)
+from repro.serve.net.topology import CacheNetworkTopology, parse_topology
+
+
+@dataclass(frozen=True)
+class NetworkReplaySpec:
+    """Everything one shard needs to replay its replicas (picklable).
+
+    Attributes
+    ----------
+    topology:
+        The cache network (routes and latencies precomputed).
+    source:
+        The request-trace recipe; stream ``j * n_receivers + r`` feeds
+        receiver ``r`` of replica ``j`` (``source.n_edps`` must equal
+        ``n_replicas * n_receivers``).
+    n_receivers, n_replicas:
+        The stream-indexing geometry.
+    sizes_mb:
+        Catalog sizes per content.
+    node_capacity_mb:
+        Per-router cache capacity.
+    queue_capacity, queue_service_rate:
+        Admission-queue shape shared by every caching node.
+    receiver_popularity:
+        Optional ``(n_receivers, n_contents)`` per-receiver demand
+        shares (rows need not be normalised); ``None`` means every
+        receiver follows the workload's global popularity.
+    """
+
+    topology: CacheNetworkTopology
+    source: RequestTraceSource
+    n_receivers: int
+    n_replicas: int
+    sizes_mb: Tuple[float, ...]
+    node_capacity_mb: float
+    queue_capacity: int
+    queue_service_rate: float
+    receiver_popularity: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        if self.n_receivers != self.topology.n_receivers:
+            raise ValueError(
+                f"spec names {self.n_receivers} receivers but the topology "
+                f"has {self.topology.n_receivers}"
+            )
+        if self.n_replicas < 1:
+            raise ValueError(f"n_replicas must be positive, got {self.n_replicas}")
+        if self.source.n_edps != self.n_replicas * self.n_receivers:
+            raise ValueError(
+                f"source provides {self.source.n_edps} streams; "
+                f"{self.n_replicas} replicas x {self.n_receivers} receivers "
+                f"need {self.n_replicas * self.n_receivers}"
+            )
+        if len(self.sizes_mb) != self.source.n_contents:
+            raise ValueError(
+                f"{len(self.sizes_mb)} sizes for {self.source.n_contents} contents"
+            )
+        if self.node_capacity_mb <= 0:
+            raise ValueError(
+                f"node_capacity_mb must be positive, got {self.node_capacity_mb}"
+            )
+        if self.receiver_popularity is not None:
+            pop = np.asarray(self.receiver_popularity, dtype=float)
+            if pop.shape != (self.n_receivers, self.source.n_contents):
+                raise ValueError(
+                    f"receiver_popularity shape {pop.shape} does not match "
+                    f"({self.n_receivers}, {self.source.n_contents})"
+                )
+            if np.any(pop < 0) or np.any(pop.sum(axis=1) <= 0):
+                raise ValueError(
+                    "receiver_popularity rows must be non-negative with "
+                    "positive mass"
+                )
+
+
+def _replay_replica(
+    spec: NetworkReplaySpec,
+    strategy: PlacementStrategy,
+    replica: int,
+    telemetry: SolverTelemetry = NULL_TELEMETRY,
+) -> NetworkReplayStats:
+    """Replay one full-network replica against fresh caches and queues.
+
+    The single place network serving semantics live; every backend and
+    shard layout funnels through here, which is what makes replays
+    bit-identical by construction.
+    """
+    topo = spec.topology
+    caches: Dict[int, EdgeCache] = {
+        int(v): EdgeCache(capacity_mb=spec.node_capacity_mb) for v in topo.routers
+    }
+    queues: Dict[int, AdmissionQueue] = {
+        int(v): AdmissionQueue(
+            capacity=spec.queue_capacity, service_rate=spec.queue_service_rate
+        )
+        for v in topo.routers
+    }
+    stats = NetworkReplayStats.empty(topo)
+    stats.replicas = 1
+    stats.elapsed_t = spec.source.horizon
+    max_depth = max(int(topo.depths[v]) for v in topo.routers)
+    sizes = spec.sizes_mb
+
+    # Per-receiver (arrival process, policy RNG, popularity) triples.
+    lanes = []
+    for r in range(spec.n_receivers):
+        stream = replica * spec.n_receivers + r
+        request_rng, policy_rng = spec.source.rng_pair_for(stream)
+        process = spec.source.process_for(stream, request_rng)
+        if spec.receiver_popularity is not None:
+            pop = np.asarray(spec.receiver_popularity[r], dtype=float)
+        else:
+            pop = np.asarray(spec.source.popularity, dtype=float)
+        lanes.append((process, policy_rng, pop))
+
+    for slot in range(spec.source.n_slots):
+        t = (slot + 0.5) * spec.source.dt
+        for r in range(spec.n_receivers):
+            process, policy_rng, pop = lanes[r]
+            batch = process.sample(pop, spec.source.dt)
+            route = topo.routes[r]
+            route_latency = topo.route_latencies[r]
+            for k in np.nonzero(batch.counts)[0]:
+                k = int(k)
+                count = int(batch.counts[k])
+                # Probe hop by hop toward the origin; positions
+                # 1..len-2 are caching routers, the last is the source.
+                serving_pos = len(route) - 1
+                entry = None
+                for pos in range(1, len(route) - 1):
+                    entry = caches[route[pos]].lookup(k)
+                    if entry is not None:
+                        serving_pos = pos
+                        break
+                stats.requests += count
+                stats.hops += serving_pos * count
+                stats.max_hops = max(stats.max_hops, serving_pos)
+                stats.latency_s += 2.0 * route_latency[serving_pos] * count
+                if entry is not None:
+                    entry.last_used = t
+                    entry.hits += count
+                    stats.cache_hits += count
+                    stats.per_node[route[serving_pos]].hits += count
+                else:
+                    stats.source_hits += count
+
+                # Placement pass: return path, serving node downward.
+                if serving_pos <= 1:
+                    continue
+                stats.placement_walks += 1
+                size = sizes[k]
+                downstream_index = 0
+                for pos in range(serving_pos - 1, 0, -1):
+                    node = route[pos]
+                    cache = caches[node]
+                    downstream_index += 1
+                    site = PlacementSite(
+                        node=node,
+                        slot=slot,
+                        content=k,
+                        hops_from_server=serving_pos - pos,
+                        hops_to_receiver=pos,
+                        path_len=serving_pos,
+                        downstream_index=downstream_index,
+                        is_edge=(pos == 1),
+                        depth=int(topo.depths[node]),
+                        max_depth=max_depth,
+                        path_capacity=sum(
+                            caches[route[p]].capacity_mb for p in range(1, pos + 1)
+                        )
+                        / size,
+                        node_capacity=cache.capacity_mb / size,
+                    )
+                    if not strategy.should_place(site, policy_rng):
+                        continue
+                    stats.placement_attempts += 1
+                    node_stats = stats.per_node[node]
+                    if not queues[node].offer(t):
+                        continue
+                    if not cache.fits(size):
+                        continue
+                    while not cache.has_room(size):
+                        victim = strategy.victim(slot, cache, policy_rng)
+                        cache.evict(victim)
+                        node_stats.evictions += 1
+                    cache.store(k, size, t)
+                    node_stats.placements += 1
+
+    for node, queue in sorted(queues.items()):
+        node_stats = stats.per_node[node]
+        node_stats.queue_accepted += queue.accepted
+        node_stats.queue_rejected += queue.rejected
+        node_stats.queue_backlog_time += queue.backlog_integral
+    if telemetry.enabled:
+        over = [
+            node
+            for node, cache in sorted(caches.items())
+            if cache.used_mb > spec.node_capacity_mb * (1 + 1e-9)
+        ]
+        if over:
+            # Invariant check: placement/eviction must never leave a
+            # node cache over capacity; an overshoot is a strategy bug.
+            telemetry.diag(
+                "net.occupancy",
+                "error",
+                value=float(len(over)),
+                threshold=float(spec.node_capacity_mb),
+                message="node cache occupancy exceeds capacity",
+                nodes=over,
+                strategy=strategy.name,
+            )
+    return stats
+
+
+def replay_network_shard(
+    spec: NetworkReplaySpec,
+    strategy: PlacementStrategy,
+    replica_ids: Tuple[int, ...],
+    telemetry: SolverTelemetry = NULL_TELEMETRY,
+) -> List[NetworkReplayStats]:
+    """Replay one shard of replicas (the ExecutionPlan work item).
+
+    Module-level and argument-complete so it pickles to pool workers;
+    telemetry is the per-worker buffered observer the runtime injects.
+    Returns one stats record *per replica*, never pre-merged — the
+    engine folds them in global replica order, so float accumulators
+    (latency, queue backlog) sum in the same order under every shard
+    grouping.
+    """
+    with telemetry.span("replay_network_shard"):
+        results = [
+            _replay_replica(spec, strategy, int(replica), telemetry=telemetry)
+            for replica in replica_ids
+        ]
+    if telemetry.enabled:
+        requests = sum(s.requests for s in results)
+        cache_hits = sum(s.cache_hits for s in results)
+        telemetry.inc("net.requests", float(requests))
+        telemetry.inc("net.cache_hits", float(cache_hits))
+        telemetry.inc(
+            "net.source_hits", float(sum(s.source_hits for s in results))
+        )
+        telemetry.inc(
+            "net.placements",
+            float(
+                sum(
+                    node.placements
+                    for s in results
+                    for node in s.per_node.values()
+                )
+            ),
+        )
+        telemetry.inc(
+            "net.queue_rejections",
+            float(
+                sum(
+                    node.queue_rejected
+                    for s in results
+                    for node in s.per_node.values()
+                )
+            ),
+        )
+        for stats in results:
+            if stats.requests:
+                telemetry.observe(
+                    "net.replica_hit_ratio", stats.cache_hits / stats.requests
+                )
+                telemetry.observe(
+                    "net.replica_mean_hops", stats.hops / stats.requests
+                )
+        telemetry.event(
+            "net_shard",
+            strategy=strategy.name,
+            topology=spec.topology.name,
+            replicas=len(replica_ids),
+            requests=requests,
+            cache_hits=cache_hits,
+            source_hits=sum(s.source_hits for s in results),
+        )
+    return results
+
+
+class NetworkReplayEngine:
+    """Replay a workload through a cache network under on-path strategies.
+
+    Parameters
+    ----------
+    workload:
+        A :class:`repro.content.workloads.Workload` (catalog,
+        popularity, timeliness law, request process).
+    topology:
+        A :class:`CacheNetworkTopology` or a grammar spec
+        (``"tree:2x4"``, ``"path:6"``, ``"ring:8"``, ``"mesh:12x3"``).
+    config:
+        MFG-CP model constants (horizon, equilibrium solves); defaults
+        to the fast preset so ``mfg`` replays stay cheap.
+    n_slots:
+        Trace resolution; the replay horizon is ``config.horizon``.
+    capacity_fraction / node_capacity_mb:
+        Per-router cache size, as a fraction of the catalog volume or
+        absolute (absolute wins when both are given).  The network's
+        total cache budget is ``node_capacity_mb * len(routers)`` —
+        strategies compared by one engine always share it.
+    rate_per_receiver:
+        Request intensity override per receiver; defaults to the
+        workload's own per-EDP rate.
+    n_replicas:
+        Independent full-network replays averaged into one report;
+        also the parallel grain (replicas shard across workers).
+    shards:
+        Work-item count (defaults to ``min(n_replicas, 8)``); pure
+        parallel grain, never affects results.
+    seed / topology_seed:
+        Root seed for request streams / MESH placement geometry.
+    queue_capacity, queue_service_rate:
+        Admission-queue shape per node; the rate defaults to each
+        node's fair share of the network's total request rate.
+    executor, telemetry:
+        A :mod:`repro.runtime` backend (spec string or object) and the
+        run's observer.
+    solver_batching / batch_size:
+        Solve the mfg strategy's equilibria through the batched tensor
+        pipeline (bit-identical to per-content solves).
+    receiver_popularity:
+        Optional ``(n_receivers, n_contents)`` per-receiver demand
+        shares — e.g. from a trace with a ``receiver`` column via
+        :func:`repro.content.trace.trace_receiver_popularity`.
+    """
+
+    def __init__(
+        self,
+        workload: Workload,
+        topology: Union[str, CacheNetworkTopology],
+        *,
+        config: Optional[MFGCPConfig] = None,
+        n_slots: int = 25,
+        capacity_fraction: float = 0.1,
+        node_capacity_mb: Optional[float] = None,
+        rate_per_receiver: Optional[float] = None,
+        n_replicas: int = 2,
+        shards: Optional[int] = None,
+        seed: int = 0,
+        topology_seed: int = 0,
+        queue_capacity: int = 8,
+        queue_service_rate: Optional[float] = None,
+        executor: ExecutorLike = None,
+        telemetry: SolverTelemetry = NULL_TELEMETRY,
+        solver_batching: bool = False,
+        batch_size: int = 32,
+        receiver_popularity: Optional[np.ndarray] = None,
+    ) -> None:
+        if n_replicas < 1:
+            raise ValueError(f"n_replicas must be positive, got {n_replicas}")
+        if solver_batching and batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        if not 0.0 < capacity_fraction <= 1.0 and node_capacity_mb is None:
+            raise ValueError(
+                f"capacity_fraction must lie in (0, 1], got {capacity_fraction}"
+            )
+        self.workload = workload
+        self.config = config if config is not None else MFGCPConfig.fast()
+        self.topology = (
+            topology
+            if isinstance(topology, CacheNetworkTopology)
+            else parse_topology(topology, seed=int(topology_seed))
+        )
+        self.n_replicas = int(n_replicas)
+        self.shards = (
+            min(self.n_replicas, 8) if shards is None else int(shards)
+        )
+        if self.shards < 1:
+            raise ValueError(f"shards must be positive, got {shards}")
+        self.executor = as_executor(executor)
+        self.telemetry = telemetry
+        self.solver_batching = bool(solver_batching)
+        self.batch_size = int(batch_size)
+
+        catalog = workload.catalog
+        if len(catalog) == 0:
+            raise ValueError("workload catalog has no contents")
+        self.sizes_mb = tuple(float(c.size_mb) for c in catalog)
+        self.update_periods = tuple(float(c.update_period) for c in catalog)
+        total = sum(self.sizes_mb)
+        self.node_capacity_mb = (
+            float(node_capacity_mb)
+            if node_capacity_mb is not None
+            else capacity_fraction * total
+        )
+        if self.node_capacity_mb < min(self.sizes_mb):
+            raise ValueError(
+                f"node capacity {self.node_capacity_mb:.1f} MB holds no "
+                f"content (smallest is {min(self.sizes_mb):.1f} MB)"
+            )
+        rate = (
+            float(rate_per_receiver)
+            if rate_per_receiver is not None
+            else float(workload.requests.rate_per_edp)
+        )
+        n_receivers = self.topology.n_receivers
+        self.queue_capacity = int(queue_capacity)
+        self.queue_service_rate = (
+            float(queue_service_rate)
+            if queue_service_rate is not None
+            # Fair share of the network's total request rate per node:
+            # admission keeps up on average, bursts still reject.
+            else max(rate * n_receivers / len(self.topology.routers), 1e-9)
+        )
+        self.source = RequestTraceSource(
+            popularity=tuple(float(p) for p in workload.popularity),
+            rate_per_edp=rate,
+            timeliness=workload.timeliness_model,
+            n_slots=int(n_slots),
+            dt=self.config.horizon / int(n_slots),
+            seed=int(seed),
+            n_edps=self.n_replicas * n_receivers,
+        )
+        self.receiver_popularity = (
+            None
+            if receiver_popularity is None
+            else np.asarray(receiver_popularity, dtype=float)
+        )
+        self._equilibria: Optional[Dict[int, EquilibriumResult]] = None
+
+    # ------------------------------------------------------------------
+    # Equilibria (the mfg strategy's input)
+    # ------------------------------------------------------------------
+    def solve_equilibria(self) -> Dict[int, EquilibriumResult]:
+        """Per-content equilibria on this engine's executor (cached).
+
+        Uses the exact helpers :class:`~repro.serve.engine.ServingEngine`
+        uses, so a network replay and a single-cache replay of the same
+        workload read the same equilibrium.
+        """
+        if self._equilibria is None:
+            configs = equilibrium_configs(
+                self.config,
+                self.source.popularity,
+                self.sizes_mb,
+                self.source.rate_per_edp,
+                min(
+                    self.workload.timeliness_model.mean(),
+                    self.workload.timeliness_model.l_max,
+                ),
+            )
+            self._equilibria = solve_equilibrium_map(
+                configs,
+                executor=self.executor,
+                telemetry=self.telemetry,
+                solver_batching=self.solver_batching,
+                batch_size=self.batch_size,
+                label_prefix="net_eq",
+                span="net_solve_equilibria",
+            )
+        return self._equilibria
+
+    # ------------------------------------------------------------------
+    # Replay
+    # ------------------------------------------------------------------
+    def build_strategy(self, name: str) -> PlacementStrategy:
+        """Instantiate a strategy by name (solving equilibria for mfg)."""
+        key = str(name).strip().lower()
+        kwargs = {}
+        if key == "mfg":
+            kwargs = dict(
+                equilibria=self.solve_equilibria(),
+                sizes_mb=self.sizes_mb,
+                update_periods=self.update_periods,
+                slot_times=self.source.slot_times(),
+                horizon=self.source.horizon,
+            )
+        return make_strategy(key, **kwargs)
+
+    def spec(self) -> NetworkReplaySpec:
+        """The picklable replay recipe shards receive."""
+        return NetworkReplaySpec(
+            topology=self.topology,
+            source=self.source,
+            n_receivers=self.topology.n_receivers,
+            n_replicas=self.n_replicas,
+            sizes_mb=self.sizes_mb,
+            node_capacity_mb=self.node_capacity_mb,
+            queue_capacity=self.queue_capacity,
+            queue_service_rate=self.queue_service_rate,
+            receiver_popularity=self.receiver_popularity,
+        )
+
+    def replay(
+        self, strategy: Union[str, PlacementStrategy]
+    ) -> NetworkServingReport:
+        """Replay all replicas under one placement strategy."""
+        strategy_obj = (
+            strategy
+            if isinstance(strategy, PlacementStrategy)
+            else self.build_strategy(strategy)
+        )
+        spec = self.spec()
+        shards = partition_indices(self.n_replicas, self.shards)
+        plan = ExecutionPlan.map(
+            replay_network_shard,
+            [(spec, strategy_obj, shard) for shard in shards],
+            labels=[
+                f"net:{strategy_obj.name}:shard{i}" for i in range(len(shards))
+            ],
+            accepts_telemetry=True,
+        )
+        live = self.telemetry.live
+        if live is not None:
+            live.set_phase(
+                f"serve-net:{strategy_obj.name}", total_items=len(plan)
+            )
+
+        def _shard_progress(outcome) -> None:
+            # Fold each landed shard's counters into the live windowed
+            # views (recent hit ratio, latency sketch).  Pure side
+            # channel — the report below recomputes everything from
+            # the ordered outcomes.
+            if live is None or outcome.result is None:
+                return
+            for stats in outcome.result:
+                live.note_requests(
+                    stats.requests,
+                    hits=stats.cache_hits,
+                    latency_s=stats.latency_s,
+                )
+
+        with self.telemetry.span(f"net_replay_{strategy_obj.name}"):
+            outcomes = self.executor.run(
+                plan,
+                telemetry=self.telemetry,
+                progress=_shard_progress if live is not None else None,
+            )
+        lost = [i for i, shard in enumerate(outcomes) if shard is None]
+        if lost and self.telemetry.enabled:
+            # A skip/degrade fault policy dropped whole shards; report
+            # the hole rather than silently under-counting replicas.
+            self.telemetry.diag(
+                "net.shard_dropped",
+                "warning",
+                value=float(len(lost)),
+                message=(
+                    f"{len(lost)} of {len(outcomes)} network shards were "
+                    "dropped by the fault policy"
+                ),
+                strategy=strategy_obj.name,
+                shards=lost,
+            )
+        # Fold per-replica stats in global replica order (item order
+        # preserves it): float sums are then grouping-independent.
+        totals = NetworkReplayStats.empty(self.topology)
+        for shard_stats in outcomes:
+            if shard_stats is None:
+                continue
+            for replica_stats in shard_stats:
+                totals.merge(replica_stats)
+        report = NetworkServingReport(
+            strategy=strategy_obj.name,
+            topology=self.topology.name,
+            n_slots=self.source.n_slots,
+            dt=self.source.dt,
+            seed=self.source.seed,
+            n_replicas=self.n_replicas,
+            node_capacity_mb=self.node_capacity_mb,
+            per_node=tuple(
+                totals.per_node[node] for node in sorted(totals.per_node)
+            ),
+            totals=totals,
+        )
+        if self.telemetry.enabled:
+            self.telemetry.gauge(
+                f"net.{strategy_obj.name}.hit_ratio", report.hit_ratio
+            )
+            self.telemetry.event(
+                "network_report",
+                strategy=report.strategy,
+                topology=report.topology,
+                requests=report.requests,
+                hit_ratio=report.hit_ratio,
+                source_share=report.source_share,
+                mean_hops=report.mean_hops,
+                mean_latency_s=report.mean_latency_s,
+                rejection_rate=report.rejection_rate,
+            )
+        return report
+
+    def compare(
+        self, strategies: Sequence[Union[str, PlacementStrategy]]
+    ) -> List[NetworkServingReport]:
+        """Replay identical request streams under several strategies.
+
+        Equilibria are solved up front when ``mfg`` is among the
+        strategies; every replay consumes identical per-receiver
+        request streams (same root seed), so reports are directly
+        comparable request for request at equal total cache budget.
+        """
+        if not strategies:
+            raise ValueError("no strategies to compare")
+        if any(
+            isinstance(s, str) and s.strip().lower() == "mfg"
+            for s in strategies
+        ):
+            self.solve_equilibria()
+        return [self.replay(strategy) for strategy in strategies]

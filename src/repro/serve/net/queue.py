@@ -1,0 +1,90 @@
+"""Finite per-node cache admission queues with deterministic drain.
+
+Classical cache simulators (icarus's ``CACHE_QUEUE`` collector) model
+the write path of a cache as a finite queue: every admission decision
+that survives the placement strategy must also get through the node's
+admission queue, and a full queue *rejects* the write — the content is
+simply not cached, and the rejection is counted.
+
+:class:`AdmissionQueue` keeps that accounting deterministic: the
+backlog drains at a fixed ``service_rate`` jobs per unit of replay
+time (a fluid drain — no sampled service times, so replays stay
+bit-identical across backends), and an arrival that would push the
+backlog past ``capacity`` is rejected.  ``PERCENTAGE_OF_REJECTION`` in
+the icarus output is exactly :attr:`rejection_rate` here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class AdmissionQueue:
+    """One caching node's write-admission queue.
+
+    Attributes
+    ----------
+    capacity:
+        Maximum backlog (queued cache writes).  Arrivals beyond it are
+        rejected and counted.
+    service_rate:
+        Writes drained per unit of replay time; the backlog decays by
+        ``elapsed * service_rate`` between offers.
+    """
+
+    capacity: int
+    service_rate: float
+    backlog: float = 0.0
+    last_t: float = 0.0
+    accepted: int = 0
+    rejected: int = 0
+    backlog_integral: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ValueError(f"queue capacity must be positive, got {self.capacity}")
+        if self.service_rate <= 0:
+            raise ValueError(
+                f"queue service_rate must be positive, got {self.service_rate}"
+            )
+
+    def offer(self, t: float) -> bool:
+        """Offer one cache write at replay time ``t``.
+
+        Returns whether the write was admitted.  Offers must arrive in
+        non-decreasing time order (the replay is slot-ordered); earlier
+        times simply do not drain.
+        """
+        if t > self.last_t:
+            elapsed = t - self.last_t
+            drain_time = self.backlog / self.service_rate
+            if elapsed >= drain_time:
+                # The backlog empties mid-gap: triangular area, then zero.
+                self.backlog_integral += self.backlog * drain_time / 2.0
+                self.backlog = 0.0
+            else:
+                drained = elapsed * self.service_rate
+                # Linear decay over the whole gap (trapezoid area).
+                self.backlog_integral += elapsed * (self.backlog - drained / 2.0)
+                self.backlog -= drained
+            self.last_t = t
+        if self.backlog + 1.0 > self.capacity + 1e-9:
+            self.rejected += 1
+            return False
+        self.backlog += 1.0
+        self.accepted += 1
+        return True
+
+    @property
+    def offers(self) -> int:
+        return self.accepted + self.rejected
+
+    @property
+    def rejection_rate(self) -> float:
+        """Fraction of offered writes rejected (icarus's rejection %)."""
+        return self.rejected / self.offers if self.offers else 0.0
+
+    def mean_backlog(self) -> float:
+        """Time-averaged queue size up to the last offer."""
+        return self.backlog_integral / self.last_t if self.last_t > 0 else 0.0

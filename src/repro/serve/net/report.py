@@ -1,0 +1,337 @@
+"""Network serving outcome containers and CSV/JSON export.
+
+:class:`NodeServingStats` accumulates one caching node's counters,
+:class:`NetworkReplayStats` is the mergeable per-work-item result the
+shards return, and :class:`NetworkServingReport` aggregates one
+strategy's full replay — per-node hit ratio, queue rejection %, hop
+count, and end-to-end latency, the SNIPPETS.md icarus experiment
+columns.
+
+Reports are plain data, ordered per node, merged strictly in work-item
+order, and independent of the execution backend, so the JSON/CSV
+artifacts written by :func:`export_network_reports` are bit-identical
+across ``serial`` and ``process:N`` replays and across shard counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple, Union
+
+from repro.analysis.export import write_json, write_rows_csv
+from repro.serve.net.topology import CacheNetworkTopology
+
+NET_REPORT_HEADERS = (
+    "strategy", "requests", "hit_ratio", "source_share", "mean_hops",
+    "mean_latency_s", "rejection_rate", "placements", "evictions",
+)
+
+PER_NODE_HEADERS = (
+    "node", "depth", "hits", "hit_share", "placements", "evictions",
+    "queue_offers", "queue_rejected", "queue_rejection_rate",
+    "mean_queue_backlog",
+)
+
+
+@dataclass
+class NodeServingStats:
+    """Counters for one caching node over one replay (mergeable)."""
+
+    node: int
+    depth: int
+    hits: int = 0
+    placements: int = 0
+    evictions: int = 0
+    queue_accepted: int = 0
+    queue_rejected: int = 0
+    queue_backlog_time: float = 0.0
+
+    def merge(self, other: "NodeServingStats") -> None:
+        if other.node != self.node:
+            raise ValueError(
+                f"cannot merge node {other.node} stats into node {self.node}"
+            )
+        self.hits += other.hits
+        self.placements += other.placements
+        self.evictions += other.evictions
+        self.queue_accepted += other.queue_accepted
+        self.queue_rejected += other.queue_rejected
+        self.queue_backlog_time += other.queue_backlog_time
+
+    @property
+    def queue_offers(self) -> int:
+        return self.queue_accepted + self.queue_rejected
+
+    @property
+    def queue_rejection_rate(self) -> float:
+        """Fraction of offered cache writes the admission queue refused."""
+        offers = self.queue_offers
+        return self.queue_rejected / offers if offers else 0.0
+
+
+@dataclass
+class NetworkReplayStats:
+    """One work item's (or one whole replay's) network counters.
+
+    ``merge`` is commutative summation, but the engine still merges in
+    work-item order — the same ordered-merge discipline the telemetry
+    stream follows.
+    """
+
+    requests: int = 0
+    cache_hits: int = 0
+    source_hits: int = 0
+    hops: int = 0
+    max_hops: int = 0
+    latency_s: float = 0.0
+    placement_walks: int = 0
+    placement_attempts: int = 0
+    replicas: int = 0
+    elapsed_t: float = 0.0
+    per_node: Dict[int, NodeServingStats] = field(default_factory=dict)
+
+    @classmethod
+    def empty(cls, topology: CacheNetworkTopology) -> "NetworkReplayStats":
+        """A zeroed accumulator with one bucket per caching node."""
+        return cls(
+            per_node={
+                int(v): NodeServingStats(node=int(v), depth=int(topology.depths[v]))
+                for v in topology.routers
+            }
+        )
+
+    def merge(self, other: "NetworkReplayStats") -> None:
+        self.requests += other.requests
+        self.cache_hits += other.cache_hits
+        self.source_hits += other.source_hits
+        self.hops += other.hops
+        self.max_hops = max(self.max_hops, other.max_hops)
+        self.latency_s += other.latency_s
+        self.placement_walks += other.placement_walks
+        self.placement_attempts += other.placement_attempts
+        self.replicas += other.replicas
+        self.elapsed_t += other.elapsed_t
+        for node, stats in sorted(other.per_node.items()):
+            mine = self.per_node.get(node)
+            if mine is None:
+                self.per_node[node] = stats
+            else:
+                mine.merge(stats)
+
+
+@dataclass(frozen=True)
+class NetworkServingReport:
+    """Aggregate outcome of one strategy's network replay.
+
+    Attributes
+    ----------
+    strategy:
+        The placement strategy's name.
+    topology:
+        The topology spec (``"tree:2x4"``-style).
+    n_slots, dt, seed, n_replicas:
+        Replay shape.
+    node_capacity_mb:
+        Per-router cache size (equal-budget comparisons multiply by
+        the router count).
+    per_node:
+        Per caching node counters, ascending node id.
+    totals:
+        The merged whole-replay counters.
+    """
+
+    strategy: str
+    topology: str
+    n_slots: int
+    dt: float
+    seed: int
+    n_replicas: int
+    node_capacity_mb: float
+    per_node: Tuple[NodeServingStats, ...]
+    totals: NetworkReplayStats
+
+    def __post_init__(self) -> None:
+        nodes = [s.node for s in self.per_node]
+        if nodes != sorted(nodes):
+            raise ValueError("per-node stats must be in ascending node order")
+        if self.n_replicas < 1:
+            raise ValueError(f"n_replicas must be positive, got {self.n_replicas}")
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    @property
+    def requests(self) -> int:
+        return self.totals.requests
+
+    @property
+    def cache_hits(self) -> int:
+        return self.totals.cache_hits
+
+    @property
+    def source_hits(self) -> int:
+        return self.totals.source_hits
+
+    @property
+    def hit_ratio(self) -> float:
+        """Share of requests served from *any* network cache."""
+        return self.cache_hits / self.requests if self.requests else 0.0
+
+    @property
+    def source_share(self) -> float:
+        """Share of requests that travelled all the way to the origin."""
+        return self.source_hits / self.requests if self.requests else 0.0
+
+    @property
+    def mean_hops(self) -> float:
+        return self.totals.hops / self.requests if self.requests else 0.0
+
+    @property
+    def mean_latency_s(self) -> float:
+        """Mean end-to-end (request + delivery) latency per request."""
+        return self.totals.latency_s / self.requests if self.requests else 0.0
+
+    @property
+    def placements(self) -> int:
+        return sum(s.placements for s in self.per_node)
+
+    @property
+    def evictions(self) -> int:
+        return sum(s.evictions for s in self.per_node)
+
+    @property
+    def queue_offers(self) -> int:
+        return sum(s.queue_offers for s in self.per_node)
+
+    @property
+    def queue_rejected(self) -> int:
+        return sum(s.queue_rejected for s in self.per_node)
+
+    @property
+    def rejection_rate(self) -> float:
+        """Network-wide share of cache writes refused by admission queues."""
+        offers = self.queue_offers
+        return self.queue_rejected / offers if offers else 0.0
+
+    def node_hit_share(self, node: int) -> float:
+        """The icarus per-node hit ratio: this node's share of all requests.
+
+        Summing over caching nodes and adding :attr:`source_share`
+        gives 1 (every request is served exactly once).
+        """
+        for stats in self.per_node:
+            if stats.node == node:
+                return stats.hits / self.requests if self.requests else 0.0
+        raise ValueError(f"node {node} is not a caching node of this report")
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def summary(self) -> Dict[str, Union[str, int, float]]:
+        """The aggregate metrics as one JSON-friendly record."""
+        return {
+            "strategy": self.strategy,
+            "topology": self.topology,
+            "n_slots": self.n_slots,
+            "dt": self.dt,
+            "seed": self.seed,
+            "n_replicas": self.n_replicas,
+            "node_capacity_mb": self.node_capacity_mb,
+            "requests": self.requests,
+            "cache_hits": self.cache_hits,
+            "source_hits": self.source_hits,
+            "hit_ratio": self.hit_ratio,
+            "source_share": self.source_share,
+            "mean_hops": self.mean_hops,
+            "max_hops": self.totals.max_hops,
+            "mean_latency_s": self.mean_latency_s,
+            "placements": self.placements,
+            "evictions": self.evictions,
+            "queue_offers": self.queue_offers,
+            "queue_rejected": self.queue_rejected,
+            "rejection_rate": self.rejection_rate,
+            "per_node": {
+                str(s.node): {
+                    "depth": s.depth,
+                    "hits": s.hits,
+                    "hit_share": (
+                        s.hits / self.requests if self.requests else 0.0
+                    ),
+                    "placements": s.placements,
+                    "evictions": s.evictions,
+                    "queue_offers": s.queue_offers,
+                    "queue_rejected": s.queue_rejected,
+                    "queue_rejection_rate": s.queue_rejection_rate,
+                }
+                for s in self.per_node
+            },
+        }
+
+    def to_row(self) -> Tuple[Union[str, int, float], ...]:
+        """One comparison-table row (matches :data:`NET_REPORT_HEADERS`)."""
+        return (
+            self.strategy, self.requests, self.hit_ratio, self.source_share,
+            self.mean_hops, self.mean_latency_s, self.rejection_rate,
+            self.placements, self.evictions,
+        )
+
+    def per_node_rows(self) -> List[Tuple[Union[int, float], ...]]:
+        """Per-node breakdown rows (matches :data:`PER_NODE_HEADERS`)."""
+        horizon = self.n_slots * self.dt * self.n_replicas
+        return [
+            (
+                s.node, s.depth, s.hits,
+                s.hits / self.requests if self.requests else 0.0,
+                s.placements, s.evictions, s.queue_offers, s.queue_rejected,
+                s.queue_rejection_rate,
+                s.queue_backlog_time / horizon if horizon > 0 else 0.0,
+            )
+            for s in self.per_node
+        ]
+
+
+def network_comparison_rows(
+    reports: Sequence[NetworkServingReport],
+) -> List[Tuple[Union[str, int, float], ...]]:
+    """Comparison-table rows, best hit ratio first."""
+    return [r.to_row() for r in sorted(reports, key=lambda r: -r.hit_ratio)]
+
+
+def export_network_reports(
+    reports: Sequence[NetworkServingReport], directory: Union[str, Path]
+) -> List[Path]:
+    """Dump network replay outcomes to CSV/JSON artifacts.
+
+    Produces ``network_comparison.csv`` (one row per strategy),
+    ``network_summary.json`` (full aggregates including the per-node
+    breakdown), and one ``per_node_<strategy>.csv`` per report.
+    Returns the files written.
+    """
+    if not reports:
+        raise ValueError("no network reports to export")
+    directory = Path(directory)
+    written: List[Path] = []
+    written.append(
+        write_rows_csv(
+            directory / "network_comparison.csv",
+            list(NET_REPORT_HEADERS),
+            network_comparison_rows(reports),
+        )
+    )
+    written.append(
+        write_json(
+            directory / "network_summary.json",
+            {report.strategy: report.summary() for report in reports},
+        )
+    )
+    for report in reports:
+        slug = report.strategy.replace("/", "-").replace(" ", "-")
+        written.append(
+            write_rows_csv(
+                directory / f"per_node_{slug}.csv",
+                list(PER_NODE_HEADERS),
+                report.per_node_rows(),
+            )
+        )
+    return written

@@ -1,0 +1,550 @@
+"""Cache-network topologies: PATH, TREE, RING, and random-geometric MESH.
+
+A :class:`CacheNetworkTopology` is the static graph a network replay
+runs on (the icarus shape): every node plays exactly one role —
+
+* **receivers** originate requests (they hold no cache);
+* **routers** forward requests and each hold one finite edge cache;
+* **sources** are content origins (every content is always available
+  there, the "server" of classical cache simulators).
+
+Each receiver owns one precomputed shortest-path **route** toward its
+nearest source (latency-weighted Dijkstra with index tie-breaking), so
+routing during a replay is a table lookup, never a graph search.  The
+topology is a frozen, plain-data dataclass: it pickles cheaply to pool
+workers and two builds from the same parameters are identical, which
+is one leg of the serial-vs-``process:N`` bit-identity contract.
+
+Builders cover the classical shapes cache research runs on, behind the
+grammar parsed by :func:`parse_topology`:
+
+=============  ====================================================
+spec           meaning
+=============  ====================================================
+``path:N``     N-node chain: receiver — (N-2) routers — source
+``tree:KxD``   K-ary tree of D router levels, one receiver per
+               leaf router, source above the root
+``ring:N``     N routers in a cycle, one receiver each, source
+               attached to router 0
+``mesh:NxK``   N routers placed uniformly at random (seeded),
+               K-nearest-neighbour edges with distance-scaled
+               latencies, one receiver per router, source at the
+               router nearest the area centre (``xK`` optional)
+=============  ====================================================
+
+The MESH builder consumes the stable graph API of
+:class:`repro.network.topology.NetworkTopology` (``neighbors`` /
+``distance`` / ``path``) rather than recomputing any distance-matrix
+logic here.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.network.topology import NetworkTopology, PlacementConfig
+
+# Default per-edge one-way latencies (seconds), mirroring the classical
+# simulator convention that the receiver access hop is cheap, internal
+# hops moderate, and the origin uplink expensive.
+RECEIVER_EDGE_LATENCY_S = 0.002
+INTERNAL_EDGE_LATENCY_S = 0.010
+SOURCE_EDGE_LATENCY_S = 0.034
+
+TOPOLOGY_KINDS = ("path", "tree", "ring", "mesh")
+
+
+@dataclass(frozen=True)
+class CacheNetworkTopology:
+    """A static cache network with precomputed routing tables.
+
+    Attributes
+    ----------
+    name:
+        The grammar spec that built it (e.g. ``"tree:2x3"``).
+    n_nodes:
+        Total node count; nodes are ``0 .. n_nodes-1``.
+    edges:
+        Undirected weighted edges ``(u, v, latency_s)`` with ``u < v``.
+    receivers, routers, sources:
+        The role partition (disjoint, covering all nodes).  Routers
+        are the caching nodes.
+    routes:
+        One tuple per receiver (in ``receivers`` order): the node path
+        from that receiver to its nearest source, inclusive.
+    route_latencies:
+        Per receiver, the cumulative one-way latency from the receiver
+        to every node of its route (``route_latencies[r][0] == 0``).
+    depths:
+        Per node, hop distance to the nearest source (sources are 0).
+        The MFG strategy scales admission by depth: deeper nodes sit
+        closer to the request edge.
+    diameter:
+        Longest shortest-path hop count over all node pairs.
+    """
+
+    name: str
+    n_nodes: int
+    edges: Tuple[Tuple[int, int, float], ...]
+    receivers: Tuple[int, ...]
+    routers: Tuple[int, ...]
+    sources: Tuple[int, ...]
+    routes: Tuple[Tuple[int, ...], ...] = field(default=())
+    route_latencies: Tuple[Tuple[float, ...], ...] = field(default=())
+    depths: Tuple[int, ...] = field(default=())
+    diameter: int = 0
+
+    def __post_init__(self) -> None:
+        roles = set(self.receivers) | set(self.routers) | set(self.sources)
+        if len(self.receivers) + len(self.routers) + len(self.sources) != len(roles):
+            raise ValueError("receiver/router/source roles must be disjoint")
+        if roles != set(range(self.n_nodes)):
+            raise ValueError(
+                f"roles cover {len(roles)} nodes but the topology has "
+                f"{self.n_nodes}"
+            )
+        if not self.receivers:
+            raise ValueError("a cache network needs at least one receiver")
+        if not self.sources:
+            raise ValueError("a cache network needs at least one source")
+        if not self.routers:
+            raise ValueError("a cache network needs at least one caching router")
+        for u, v, latency in self.edges:
+            if not 0 <= u < v < self.n_nodes:
+                raise ValueError(f"edge ({u}, {v}) is not normalised u < v in range")
+            if latency <= 0:
+                raise ValueError(f"edge ({u}, {v}) latency must be positive")
+        if len(self.routes) != len(self.receivers):
+            raise ValueError(
+                f"{len(self.routes)} routes for {len(self.receivers)} receivers"
+            )
+
+    # ------------------------------------------------------------------
+    # Graph queries
+    # ------------------------------------------------------------------
+    @property
+    def n_receivers(self) -> int:
+        return len(self.receivers)
+
+    def neighbors(self, node: int) -> Tuple[int, ...]:
+        """Adjacent nodes, ascending (deterministic)."""
+        out = sorted(
+            {v for u, v, _ in self.edges if u == node}
+            | {u for u, v, _ in self.edges if v == node}
+        )
+        return tuple(out)
+
+    def route_for(self, receiver: int) -> Tuple[int, ...]:
+        """The precomputed receiver-to-source path."""
+        try:
+            idx = self.receivers.index(receiver)
+        except ValueError:
+            raise ValueError(f"node {receiver} is not a receiver") from None
+        return self.routes[idx]
+
+    def is_router(self, node: int) -> bool:
+        return node in self._router_set()
+
+    def _router_set(self) -> frozenset:
+        cached = getattr(self, "_routers_cache", None)
+        if cached is None:
+            cached = frozenset(self.routers)
+            object.__setattr__(self, "_routers_cache", cached)
+        return cached
+
+    def describe(self) -> str:
+        """One-line summary for logs and reports."""
+        return (
+            f"{self.name}: {self.n_nodes} nodes "
+            f"({len(self.receivers)} receivers, {len(self.routers)} routers, "
+            f"{len(self.sources)} sources), diameter {self.diameter}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Routing-table construction
+# ----------------------------------------------------------------------
+def _adjacency(
+    n_nodes: int, edges: Tuple[Tuple[int, int, float], ...]
+) -> List[List[Tuple[int, float]]]:
+    adj: List[List[Tuple[int, float]]] = [[] for _ in range(n_nodes)]
+    for u, v, latency in edges:
+        adj[u].append((v, latency))
+        adj[v].append((u, latency))
+    for bucket in adj:
+        bucket.sort()
+    return adj
+
+
+def _shortest_path_to_sources(
+    start: int,
+    adj: List[List[Tuple[int, float]]],
+    sources: Tuple[int, ...],
+) -> Tuple[Tuple[int, ...], Tuple[float, ...]]:
+    """Latency-weighted Dijkstra from ``start`` to the nearest source.
+
+    Ties break on (latency, node index) so routes are deterministic.
+    """
+    source_set = set(sources)
+    best: Dict[int, float] = {start: 0.0}
+    parent: Dict[int, int] = {}
+    frontier: List[Tuple[float, int]] = [(0.0, start)]
+    goal: Optional[int] = None
+    while frontier:
+        cost, u = heapq.heappop(frontier)
+        if cost > best.get(u, np.inf):
+            continue
+        if u in source_set:
+            goal = u
+            break
+        for v, latency in adj[u]:
+            candidate = cost + latency
+            if candidate < best.get(v, np.inf) - 1e-15:
+                best[v] = candidate
+                parent[v] = u
+                heapq.heappush(frontier, (candidate, v))
+    if goal is None:
+        raise ValueError(f"no source reachable from receiver {start}")
+    path = [goal]
+    while path[-1] != start:
+        path.append(parent[path[-1]])
+    path.reverse()
+    latencies = [0.0]
+    for node in path[1:]:
+        latencies.append(best[node])
+    return tuple(path), tuple(latencies)
+
+
+def _hop_depths(
+    n_nodes: int,
+    adj: List[List[Tuple[int, float]]],
+    sources: Tuple[int, ...],
+) -> Tuple[int, ...]:
+    """Hop distance of every node to its nearest source (BFS)."""
+    depths = [-1] * n_nodes
+    frontier = sorted(sources)
+    for s in frontier:
+        depths[s] = 0
+    while frontier:
+        nxt: List[int] = []
+        for u in frontier:
+            for v, _ in adj[u]:
+                if depths[v] < 0:
+                    depths[v] = depths[u] + 1
+                    nxt.append(v)
+        frontier = sorted(nxt)
+    if any(d < 0 for d in depths):
+        orphans = [i for i, d in enumerate(depths) if d < 0]
+        raise ValueError(f"nodes {orphans} cannot reach any source")
+    return tuple(depths)
+
+
+def _hop_diameter(n_nodes: int, adj: List[List[Tuple[int, float]]]) -> int:
+    """Longest shortest-path hop count over all node pairs (BFS each)."""
+    diameter = 0
+    for start in range(n_nodes):
+        dist = [-1] * n_nodes
+        dist[start] = 0
+        frontier = [start]
+        while frontier:
+            nxt: List[int] = []
+            for u in frontier:
+                for v, _ in adj[u]:
+                    if dist[v] < 0:
+                        dist[v] = dist[u] + 1
+                        nxt.append(v)
+            frontier = nxt
+        if any(d < 0 for d in dist):
+            raise ValueError("cache network must be connected")
+        diameter = max(diameter, max(dist))
+    return diameter
+
+
+def build_topology(
+    name: str,
+    edges: Tuple[Tuple[int, int, float], ...],
+    receivers: Tuple[int, ...],
+    routers: Tuple[int, ...],
+    sources: Tuple[int, ...],
+) -> CacheNetworkTopology:
+    """Assemble a topology, precomputing routes, depths and diameter."""
+    n_nodes = len(receivers) + len(routers) + len(sources)
+    adj = _adjacency(n_nodes, edges)
+    routes: List[Tuple[int, ...]] = []
+    route_latencies: List[Tuple[float, ...]] = []
+    for receiver in receivers:
+        path, latencies = _shortest_path_to_sources(receiver, adj, sources)
+        routes.append(path)
+        route_latencies.append(latencies)
+    return CacheNetworkTopology(
+        name=name,
+        n_nodes=n_nodes,
+        edges=edges,
+        receivers=receivers,
+        routers=routers,
+        sources=sources,
+        routes=tuple(routes),
+        route_latencies=tuple(route_latencies),
+        depths=_hop_depths(n_nodes, adj, sources),
+        diameter=_hop_diameter(n_nodes, adj),
+    )
+
+
+# ----------------------------------------------------------------------
+# Builders
+# ----------------------------------------------------------------------
+def path_topology(
+    n_nodes: int,
+    *,
+    receiver_latency_s: float = RECEIVER_EDGE_LATENCY_S,
+    internal_latency_s: float = INTERNAL_EDGE_LATENCY_S,
+    source_latency_s: float = SOURCE_EDGE_LATENCY_S,
+    name: Optional[str] = None,
+) -> CacheNetworkTopology:
+    """An N-node chain: node 0 requests, 1..N-2 cache, N-1 originates.
+
+    The SNIPPETS.md icarus experiment shape (``path:6`` gives receiver
+    0, caching nodes 1–4, server 5).
+    """
+    if n_nodes < 3:
+        raise ValueError(
+            f"a PATH needs receiver + router + source, got {n_nodes} nodes"
+        )
+    edges: List[Tuple[int, int, float]] = []
+    for u in range(n_nodes - 1):
+        if u == 0:
+            latency = receiver_latency_s
+        elif u == n_nodes - 2:
+            latency = source_latency_s
+        else:
+            latency = internal_latency_s
+        edges.append((u, u + 1, latency))
+    return build_topology(
+        name=name or f"path:{n_nodes}",
+        edges=tuple(edges),
+        receivers=(0,),
+        routers=tuple(range(1, n_nodes - 1)),
+        sources=(n_nodes - 1,),
+    )
+
+
+def tree_topology(
+    branching: int,
+    depth: int,
+    *,
+    receiver_latency_s: float = RECEIVER_EDGE_LATENCY_S,
+    internal_latency_s: float = INTERNAL_EDGE_LATENCY_S,
+    source_latency_s: float = SOURCE_EDGE_LATENCY_S,
+    name: Optional[str] = None,
+) -> CacheNetworkTopology:
+    """A K-ary router tree of ``depth`` levels, receivers on the leaves.
+
+    Routers are numbered BFS from the root (``tree:2x4`` yields the
+    15-router binary tree), the source hangs above the root, and one
+    receiver hangs below every leaf router.
+    """
+    if branching < 2:
+        raise ValueError(f"tree branching must be at least 2, got {branching}")
+    if depth < 1:
+        raise ValueError(f"tree depth must be at least 1, got {depth}")
+    n_routers = sum(branching ** level for level in range(depth))
+    first_leaf = n_routers - branching ** (depth - 1)
+    source = n_routers
+    edges: List[Tuple[int, int, float]] = [(0, source, source_latency_s)]
+    for parent in range(first_leaf):
+        for child in range(branching * parent + 1, branching * parent + branching + 1):
+            edges.append((parent, child, internal_latency_s))
+    receivers = tuple(range(n_routers + 1, n_routers + 1 + (n_routers - first_leaf)))
+    for offset, receiver in enumerate(receivers):
+        edges.append((first_leaf + offset, receiver, receiver_latency_s))
+    edges.sort()
+    return build_topology(
+        name=name or f"tree:{branching}x{depth}",
+        edges=tuple(edges),
+        receivers=receivers,
+        routers=tuple(range(n_routers)),
+        sources=(source,),
+    )
+
+
+def ring_topology(
+    n_routers: int,
+    *,
+    receiver_latency_s: float = RECEIVER_EDGE_LATENCY_S,
+    internal_latency_s: float = INTERNAL_EDGE_LATENCY_S,
+    source_latency_s: float = SOURCE_EDGE_LATENCY_S,
+    name: Optional[str] = None,
+) -> CacheNetworkTopology:
+    """N routers in a cycle, one receiver each, source on router 0."""
+    if n_routers < 3:
+        raise ValueError(f"a RING needs at least 3 routers, got {n_routers}")
+    source = n_routers
+    edges: List[Tuple[int, int, float]] = [(0, source, source_latency_s)]
+    for u in range(n_routers):
+        edges.append((min(u, (u + 1) % n_routers),
+                      max(u, (u + 1) % n_routers),
+                      internal_latency_s))
+    receivers = tuple(range(n_routers + 1, 2 * n_routers + 1))
+    for router, receiver in enumerate(receivers):
+        edges.append((router, receiver, receiver_latency_s))
+    edges = sorted(set(edges))
+    return build_topology(
+        name=name or f"ring:{n_routers}",
+        edges=tuple(edges),
+        receivers=receivers,
+        routers=tuple(range(n_routers)),
+        sources=(source,),
+    )
+
+
+def mesh_topology(
+    n_routers: int,
+    k_neighbors: int = 3,
+    *,
+    seed: int = 0,
+    area_size: float = 1000.0,
+    receiver_latency_s: float = RECEIVER_EDGE_LATENCY_S,
+    internal_latency_s: float = INTERNAL_EDGE_LATENCY_S,
+    source_latency_s: float = SOURCE_EDGE_LATENCY_S,
+    name: Optional[str] = None,
+) -> CacheNetworkTopology:
+    """A random-geometric router mesh built on the EDP placement layer.
+
+    Routers are placed like EDPs by
+    :class:`repro.network.topology.NetworkTopology` (uniform in a
+    square, seeded), joined by symmetrised K-nearest-neighbour edges
+    whose latency scales with Euclidean distance (mean internal edge
+    ≈ ``internal_latency_s``), and repaired into one component by
+    bridging each disconnected component through its closest node
+    pair.  The source attaches to the router nearest the area centre;
+    every router gets one receiver.  All geometry goes through the
+    stable ``neighbors`` / ``distance`` graph API — no distance-matrix
+    logic is duplicated here.
+    """
+    if n_routers < 3:
+        raise ValueError(f"a MESH needs at least 3 routers, got {n_routers}")
+    if k_neighbors < 1:
+        raise ValueError(f"k_neighbors must be positive, got {k_neighbors}")
+    placement = NetworkTopology(
+        config=PlacementConfig(
+            area_size=area_size, n_edps=n_routers, n_requesters=0
+        ),
+        rng=np.random.default_rng(seed),
+    )
+    pair_set = set()
+    for u in range(n_routers):
+        for v in placement.neighbors(u, k=k_neighbors):
+            pair_set.add((min(u, int(v)), max(u, int(v))))
+
+    # Repair connectivity: greedily bridge components through their
+    # closest node pair (deterministic: ties break on node indices).
+    def components(pairs) -> List[List[int]]:
+        seen, comps = set(), []
+        adj: Dict[int, set] = {u: set() for u in range(n_routers)}
+        for u, v in pairs:
+            adj[u].add(v)
+            adj[v].add(u)
+        for start in range(n_routers):
+            if start in seen:
+                continue
+            comp, frontier = [], [start]
+            seen.add(start)
+            while frontier:
+                node = frontier.pop()
+                comp.append(node)
+                for nxt in sorted(adj[node]):
+                    if nxt not in seen:
+                        seen.add(nxt)
+                        frontier.append(nxt)
+            comps.append(sorted(comp))
+        return comps
+
+    comps = components(pair_set)
+    while len(comps) > 1:
+        base = comps[0]
+        best = None
+        for other in comps[1:]:
+            for u in base:
+                for v in other:
+                    key = (placement.distance(u, v), min(u, v), max(u, v))
+                    if best is None or key < best:
+                        best = key
+        _, u, v = best
+        pair_set.add((u, v))
+        comps = components(pair_set)
+
+    # Distance-scaled latencies, normalised so the mean internal edge
+    # costs internal_latency_s.
+    pairs = sorted(pair_set)
+    dists = [placement.distance(u, v) for u, v in pairs]
+    mean_dist = float(np.mean(dists)) if dists else 1.0
+    edges: List[Tuple[int, int, float]] = [
+        (u, v, internal_latency_s * max(d / mean_dist, 0.1))
+        for (u, v), d in zip(pairs, dists)
+    ]
+
+    centre = np.array([area_size / 2.0, area_size / 2.0])
+    offsets = np.linalg.norm(placement.edp_positions - centre, axis=1)
+    hub = int(np.lexsort((np.arange(n_routers), offsets))[0])
+    source = n_routers
+    edges.append((hub, source, source_latency_s))
+    receivers = tuple(range(n_routers + 1, 2 * n_routers + 1))
+    for router, receiver in enumerate(receivers):
+        edges.append((router, receiver, receiver_latency_s))
+    edges.sort()
+    return build_topology(
+        name=name or f"mesh:{n_routers}x{k_neighbors}",
+        edges=tuple(edges),
+        receivers=receivers,
+        routers=tuple(range(n_routers)),
+        sources=(source,),
+    )
+
+
+# ----------------------------------------------------------------------
+# Grammar
+# ----------------------------------------------------------------------
+def parse_topology(spec: str, *, seed: int = 0) -> CacheNetworkTopology:
+    """Build a topology from its CLI spec (see the module table).
+
+    ``seed`` only affects the random-geometric MESH placement.
+    """
+    text = str(spec).strip().lower()
+    kind, _, params = text.partition(":")
+    if kind not in TOPOLOGY_KINDS:
+        raise ValueError(
+            f"unknown topology kind {kind!r}; expected one of {TOPOLOGY_KINDS}"
+        )
+    if not params:
+        raise ValueError(
+            f"topology spec {spec!r} lacks parameters (e.g. 'path:6', "
+            f"'tree:2x3', 'ring:8', 'mesh:12x3')"
+        )
+    fields = params.split("x")
+    try:
+        numbers = [int(f) for f in fields]
+    except ValueError:
+        raise ValueError(
+            f"topology spec {spec!r} has non-integer parameters"
+        ) from None
+    if kind == "path":
+        if len(numbers) != 1:
+            raise ValueError(f"'path' takes one parameter, got {spec!r}")
+        return path_topology(numbers[0], name=text)
+    if kind == "tree":
+        if len(numbers) != 2:
+            raise ValueError(f"'tree' takes KxD parameters, got {spec!r}")
+        return tree_topology(numbers[0], numbers[1], name=text)
+    if kind == "ring":
+        if len(numbers) != 1:
+            raise ValueError(f"'ring' takes one parameter, got {spec!r}")
+        return ring_topology(numbers[0], name=text)
+    if len(numbers) == 1:
+        return mesh_topology(numbers[0], seed=seed, name=text)
+    if len(numbers) == 2:
+        return mesh_topology(numbers[0], numbers[1], seed=seed, name=text)
+    raise ValueError(f"'mesh' takes N or NxK parameters, got {spec!r}")

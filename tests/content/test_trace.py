@@ -9,6 +9,7 @@ from repro.content.trace import (
     TraceLoadResult,
     TraceRecord,
     load_trace_csv,
+    trace_receiver_popularity,
     trace_to_popularity,
 )
 
@@ -181,3 +182,130 @@ class TestCSVLoader:
         labels, shares = trace_to_popularity(load_trace_csv(path))
         assert labels == ["24", "10"]
         assert shares[0] == pytest.approx(0.8)
+
+
+class TestReceiverColumn:
+    def test_absent_column_means_unpinned(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text("video_id,category_id,views\nv1,10,100\n")
+        result = load_trace_csv(path)
+        assert result[0].receiver is None
+        assert result.skipped_receivers == 0
+
+    def test_receiver_ids_parsed(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text(
+            "video_id,category_id,views,receiver\n"
+            "v1,10,100,0\n"
+            "v2,24,50,3\n"
+            "v3,10,75,\n"  # empty cell: unpinned, row kept
+        )
+        result = load_trace_csv(path)
+        assert [r.receiver for r in result] == [0, 3, None]
+        assert result.skipped_rows == 0
+        assert result.skipped_receivers == 0
+
+    def test_malformed_receivers_skipped_and_counted(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text(
+            "video_id,category_id,views,receiver\n"
+            "v1,10,100,2\n"
+            "v2,24,50,north\n"   # non-integer: dropped
+            "v3,10,75,-1\n"      # negative: dropped
+            "v4,24,60,1\n"
+        )
+        result = load_trace_csv(path)
+        assert [r.video_id for r in result] == ["v1", "v4"]
+        assert result.skipped_receivers == 2
+        assert result.skipped_rows == 2  # receiver skips count as row skips
+
+    def test_other_malformations_not_counted_as_receiver_skips(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text(
+            "video_id,category_id,views,receiver\n"
+            "v1,,100,0\n"        # empty category: a plain row skip
+            "v2,10,xyz,1\n"      # bad views: a plain row skip
+            "v3,10,50,bogus\n"   # bad receiver
+        )
+        result = load_trace_csv(path)
+        assert result.skipped_rows == 3
+        assert result.skipped_receivers == 1
+
+    def test_record_rejects_negative_receiver(self):
+        with pytest.raises(ValueError, match="receiver"):
+            TraceRecord(
+                video_id="v", category="10", tags=(), views=1, likes=0,
+                comment_count=0, publish_time=0.0, receiver=-2,
+            )
+
+
+class TestReceiverPopularity:
+    def records(self):
+        def rec(cat, views, receiver):
+            return TraceRecord(
+                video_id=f"{cat}-{views}", category=cat, tags=(),
+                views=views, likes=0, comment_count=0, publish_time=0.0,
+                receiver=receiver,
+            )
+        return [
+            rec("a", 300, 0), rec("b", 100, 0),
+            rec("b", 400, 1),
+            rec("a", 200, None),  # unpinned: spread uniformly
+        ]
+
+    def test_rows_are_distributions(self):
+        labels, matrix = trace_receiver_popularity(self.records(), 3)
+        assert matrix.shape == (3, len(labels))
+        assert np.all(matrix >= 0)
+        assert np.allclose(matrix.sum(axis=1), 1.0)
+
+    def test_pinned_demand_stays_local(self):
+        labels, matrix = trace_receiver_popularity(self.records(), 2)
+        a, b = labels.index("a"), labels.index("b")
+        # Receiver 0 leans a (300 pinned + 100 spread vs 100 b).
+        assert matrix[0, a] > matrix[0, b]
+        # Receiver 1 leans b (400 pinned vs 100 spread a).
+        assert matrix[1, b] > matrix[1, a]
+
+    def test_empty_receiver_falls_back_to_global(self):
+        records = [
+            TraceRecord(
+                video_id="v", category="a", tags=(), views=100, likes=0,
+                comment_count=0, publish_time=0.0, receiver=0,
+            )
+        ]
+        labels, matrix = trace_receiver_popularity(records, 3)
+        # Receivers 1 and 2 saw nothing pinned or spread... the single
+        # record is pinned to 0, so they inherit the global share.
+        assert np.allclose(matrix[1], matrix[2])
+        assert np.allclose(matrix[1].sum(), 1.0)
+
+    def test_out_of_range_receiver_spreads(self):
+        records = [
+            TraceRecord(
+                video_id="v", category="a", tags=(), views=100, likes=0,
+                comment_count=0, publish_time=0.0, receiver=7,
+            )
+        ]
+        _, matrix = trace_receiver_popularity(records, 2)
+        assert np.allclose(matrix[0], matrix[1])
+
+    def test_bad_n_receivers_raises(self):
+        with pytest.raises(ValueError, match="n_receivers"):
+            trace_receiver_popularity(self.records(), 0)
+
+    def test_feeds_network_engine_shape(self):
+        from repro.content.workloads import zipf_workload
+        from repro.serve.net import NetworkReplayEngine, parse_topology
+
+        topo = parse_topology("ring:3")
+        labels, matrix = trace_receiver_popularity(
+            self.records(), topo.n_receivers
+        )
+        workload = zipf_workload(n_contents=len(labels), rate_per_edp=20.0)
+        engine = NetworkReplayEngine(
+            workload, topo, n_replicas=1, capacity_fraction=0.6,
+            receiver_popularity=matrix,
+        )
+        report = engine.replay("lce")
+        assert report.requests > 0

@@ -90,6 +90,75 @@ class TestAdjacency:
             make(n_edps=3).adjacent_edps(3)
 
 
+class TestGraphAPI:
+    def test_distance_matches_matrix(self):
+        topo = make(n_edps=6)
+        dist = topo.edp_edp_distances()
+        for a in range(6):
+            for b in range(6):
+                assert topo.distance(a, b) == dist[a, b]
+
+    def test_distance_symmetric_zero_diagonal(self):
+        topo = make(n_edps=5)
+        assert topo.distance(2, 2) == 0.0
+        assert topo.distance(1, 3) == topo.distance(3, 1) >= 1.0
+
+    def test_distance_rejects_bad_index(self):
+        with pytest.raises(IndexError):
+            make(n_edps=3).distance(0, 3)
+
+    def test_matrix_copy_does_not_corrupt_cache(self):
+        topo = make(n_edps=5)
+        before = topo.distance(0, 1)
+        matrix = topo.edp_edp_distances()
+        matrix[:] = -1.0
+        assert topo.distance(0, 1) == before
+
+    def test_neighbors_sorted_by_distance(self):
+        topo = make(n_edps=12)
+        peers = topo.neighbors(0, k=6)
+        dists = [topo.distance(0, int(p)) for p in peers]
+        assert dists == sorted(dists)
+
+    def test_neighbors_radius_sorted_and_bounded(self):
+        topo = make(n_edps=12, area=100.0)
+        peers = topo.neighbors(3, radius=60.0)
+        dists = [topo.distance(3, int(p)) for p in peers]
+        assert dists == sorted(dists)
+        assert all(d <= 60.0 for d in dists)
+        assert 3 not in peers
+
+    def test_neighbors_matches_adjacent_edps(self):
+        topo = make(n_edps=10)
+        assert list(topo.neighbors(2, k=4)) == list(topo.adjacent_edps(2, k=4))
+
+    def test_path_trivial(self):
+        assert make(n_edps=4).path(2, 2) == [2]
+
+    def test_path_endpoints_and_edges(self):
+        topo = make(n_edps=15)
+        hops = topo.path(0, 14, k=3)
+        assert hops[0] == 0 and hops[-1] == 14
+        assert len(set(hops)) == len(hops)
+        for u, v in zip(hops, hops[1:]):
+            # every hop is an edge of the symmetrised k-NN graph
+            assert v in topo.neighbors(u, k=3) or u in topo.neighbors(v, k=3)
+
+    def test_path_no_longer_than_direct_graph_distance(self):
+        topo = make(n_edps=10)
+        hops = topo.path(0, 9, k=9)  # complete graph: direct edge wins
+        assert hops == [0, 9]
+
+    def test_path_unreachable_raises(self):
+        topo = make(n_edps=8)
+        with pytest.raises(ValueError, match="unreachable"):
+            topo.path(0, 7, radius=0.5)
+
+    def test_path_deterministic(self):
+        a, b = make(n_edps=20, seed=3), make(n_edps=20, seed=3)
+        assert a.path(1, 17, k=4) == b.path(1, 17, k=4)
+
+
 class TestValidation:
     def test_rejects_bad_area(self):
         with pytest.raises(ValueError, match="area_size"):

@@ -1,0 +1,55 @@
+"""Admission-queue fluid drain and rejection accounting."""
+
+import pytest
+
+from repro.serve.net.queue import AdmissionQueue
+
+
+class TestAdmissionQueue:
+    def test_accepts_until_capacity(self):
+        q = AdmissionQueue(capacity=3, service_rate=1e-9)
+        results = [q.offer(0.0) for _ in range(5)]
+        assert results == [True, True, True, False, False]
+        assert q.accepted == 3
+        assert q.rejected == 2
+        assert q.offers == 5
+        assert q.rejection_rate == pytest.approx(0.4)
+
+    def test_drains_between_offers(self):
+        q = AdmissionQueue(capacity=2, service_rate=1.0)
+        assert q.offer(0.0) and q.offer(0.0)
+        assert not q.offer(0.0)  # full
+        # One unit of time drains one job; room for exactly one more.
+        assert q.offer(1.0)
+        assert not q.offer(1.0)
+
+    def test_backlog_empties_over_long_gap(self):
+        q = AdmissionQueue(capacity=4, service_rate=2.0)
+        q.offer(0.0)
+        q.offer(10.0)
+        assert q.backlog == pytest.approx(1.0)  # old job long gone
+
+    def test_backlog_integral_triangular(self):
+        # One job at t=0 drains by t=1 at rate 1: area = 1*1/2.
+        q = AdmissionQueue(capacity=4, service_rate=1.0)
+        q.offer(0.0)
+        q.offer(5.0)
+        assert q.backlog_integral == pytest.approx(0.5)
+        assert q.mean_backlog() == pytest.approx(0.1)
+
+    def test_backlog_integral_trapezoid(self):
+        # Two jobs at t=0, drain 0.5 by t=0.5: trapezoid (2 + 1.5)/2 * 0.5.
+        q = AdmissionQueue(capacity=4, service_rate=1.0)
+        q.offer(0.0)
+        q.offer(0.0)
+        q.offer(0.5)
+        assert q.backlog_integral == pytest.approx(0.875)
+
+    def test_rejection_rate_empty(self):
+        assert AdmissionQueue(capacity=1, service_rate=1.0).rejection_rate == 0.0
+
+    def test_invalid_shapes_raise(self):
+        with pytest.raises(ValueError, match="capacity"):
+            AdmissionQueue(capacity=0, service_rate=1.0)
+        with pytest.raises(ValueError, match="service_rate"):
+            AdmissionQueue(capacity=1, service_rate=0.0)

@@ -1,0 +1,146 @@
+"""Network report containers, merge discipline, and artifact export."""
+
+import csv
+import json
+
+import pytest
+
+from repro.serve.net.report import (
+    NET_REPORT_HEADERS,
+    PER_NODE_HEADERS,
+    NetworkReplayStats,
+    NetworkServingReport,
+    NodeServingStats,
+    export_network_reports,
+    network_comparison_rows,
+)
+from repro.serve.net.topology import path_topology
+
+
+def make_report(strategy="lce", hits=30, source=70, **node_kwargs):
+    topo = path_topology(4)
+    totals = NetworkReplayStats.empty(topo)
+    totals.requests = hits + source
+    totals.cache_hits = hits
+    totals.source_hits = source
+    totals.hops = 2 * (hits + source)
+    totals.latency_s = 0.05 * (hits + source)
+    totals.replicas = 1
+    totals.per_node[1].hits = hits
+    totals.per_node[1].placements = 5
+    totals.per_node[1].queue_accepted = 4
+    totals.per_node[1].queue_rejected = 1
+    for key, value in node_kwargs.items():
+        setattr(totals.per_node[1], key, value)
+    return NetworkServingReport(
+        strategy=strategy, topology="path:4", n_slots=10, dt=0.1, seed=0,
+        n_replicas=1, node_capacity_mb=50.0,
+        per_node=tuple(totals.per_node[n] for n in sorted(totals.per_node)),
+        totals=totals,
+    )
+
+
+class TestNodeStats:
+    def test_merge_sums_counters(self):
+        a = NodeServingStats(node=1, depth=2, hits=3, queue_rejected=1)
+        b = NodeServingStats(node=1, depth=2, hits=4, queue_accepted=2)
+        a.merge(b)
+        assert a.hits == 7
+        assert a.queue_offers == 3
+        assert a.queue_rejection_rate == pytest.approx(1 / 3)
+
+    def test_merge_rejects_other_node(self):
+        a = NodeServingStats(node=1, depth=2)
+        with pytest.raises(ValueError, match="node 2"):
+            a.merge(NodeServingStats(node=2, depth=1))
+
+
+class TestReplayStats:
+    def test_empty_covers_routers(self):
+        topo = path_topology(5)
+        stats = NetworkReplayStats.empty(topo)
+        assert sorted(stats.per_node) == list(topo.routers)
+        assert all(
+            stats.per_node[v].depth == topo.depths[v] for v in topo.routers
+        )
+
+    def test_merge_accumulates(self):
+        topo = path_topology(4)
+        a = NetworkReplayStats.empty(topo)
+        b = NetworkReplayStats.empty(topo)
+        a.requests, b.requests = 10, 20
+        a.max_hops, b.max_hops = 2, 3
+        b.per_node[1].hits = 6
+        a.merge(b)
+        assert a.requests == 30
+        assert a.max_hops == 3
+        assert a.per_node[1].hits == 6
+
+
+class TestReport:
+    def test_ratios(self):
+        report = make_report(hits=30, source=70)
+        assert report.hit_ratio == pytest.approx(0.3)
+        assert report.source_share == pytest.approx(0.7)
+        assert report.mean_hops == pytest.approx(2.0)
+        assert report.mean_latency_s == pytest.approx(0.05)
+        assert report.rejection_rate == pytest.approx(0.2)
+
+    def test_node_hit_share_sums_with_source(self):
+        report = make_report(hits=30, source=70)
+        total = sum(report.node_hit_share(s.node) for s in report.per_node)
+        assert total + report.source_share == pytest.approx(1.0)
+
+    def test_node_hit_share_unknown_node_raises(self):
+        with pytest.raises(ValueError, match="not a caching node"):
+            make_report().node_hit_share(99)
+
+    def test_rows_match_headers(self):
+        report = make_report()
+        assert len(report.to_row()) == len(NET_REPORT_HEADERS)
+        for row in report.per_node_rows():
+            assert len(row) == len(PER_NODE_HEADERS)
+
+    def test_per_node_order_enforced(self):
+        report = make_report()
+        with pytest.raises(ValueError, match="ascending"):
+            NetworkServingReport(
+                strategy="x", topology="path:4", n_slots=1, dt=0.1, seed=0,
+                n_replicas=1, node_capacity_mb=1.0,
+                per_node=tuple(reversed(report.per_node)),
+                totals=report.totals,
+            )
+
+    def test_summary_round_trips_json(self):
+        summary = make_report().summary()
+        assert json.loads(json.dumps(summary)) == summary
+        assert summary["per_node"]["1"]["hits"] == 30
+
+
+class TestComparisonAndExport:
+    def test_rows_sorted_best_first(self):
+        rows = network_comparison_rows(
+            [make_report("lce", hits=10, source=90),
+             make_report("mfg", hits=40, source=60)]
+        )
+        assert [r[0] for r in rows] == ["mfg", "lce"]
+
+    def test_export_writes_artifacts(self, tmp_path):
+        reports = [make_report("lce"), make_report("mfg", hits=50, source=50)]
+        written = export_network_reports(reports, tmp_path)
+        names = {p.name for p in written}
+        assert names == {
+            "network_comparison.csv", "network_summary.json",
+            "per_node_lce.csv", "per_node_mfg.csv",
+        }
+        with open(tmp_path / "network_comparison.csv", newline="") as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == list(NET_REPORT_HEADERS)
+        assert len(rows) == 3
+        with open(tmp_path / "network_summary.json") as handle:
+            summary = json.load(handle)
+        assert set(summary) == {"lce", "mfg"}
+
+    def test_export_empty_raises(self, tmp_path):
+        with pytest.raises(ValueError, match="no network reports"):
+            export_network_reports([], tmp_path)

@@ -1,0 +1,192 @@
+"""Cache-network topology builders, routing tables, and the grammar."""
+
+import pickle
+
+import pytest
+
+from repro.serve.net.topology import (
+    CacheNetworkTopology,
+    build_topology,
+    mesh_topology,
+    parse_topology,
+    path_topology,
+    ring_topology,
+    tree_topology,
+)
+
+
+class TestPath:
+    def test_roles(self):
+        topo = path_topology(6)
+        assert topo.receivers == (0,)
+        assert topo.routers == (1, 2, 3, 4)
+        assert topo.sources == (5,)
+        assert topo.n_nodes == 6
+
+    def test_route_is_the_chain(self):
+        topo = path_topology(6)
+        assert topo.routes == ((0, 1, 2, 3, 4, 5),)
+
+    def test_route_latency_cumulative(self):
+        topo = path_topology(4, receiver_latency_s=0.002,
+                             internal_latency_s=0.010,
+                             source_latency_s=0.034)
+        lat = topo.route_latencies[0]
+        assert lat[0] == 0.0
+        assert lat[1] == pytest.approx(0.002)
+        assert lat[2] == pytest.approx(0.012)
+        assert lat[3] == pytest.approx(0.046)
+
+    def test_depths_and_diameter(self):
+        topo = path_topology(6)
+        assert topo.depths == (5, 4, 3, 2, 1, 0)
+        assert topo.diameter == 5
+
+    def test_too_small_raises(self):
+        with pytest.raises(ValueError, match="PATH"):
+            path_topology(2)
+
+
+class TestTree:
+    def test_binary_depth4_is_the_15_router_tree(self):
+        topo = tree_topology(2, 4)
+        assert len(topo.routers) == 15
+        assert len(topo.receivers) == 8  # one per leaf router
+        assert topo.sources == (15,)
+        assert topo.diameter == 8  # leaf receiver to leaf receiver
+
+    def test_every_route_ends_at_the_source(self):
+        topo = tree_topology(3, 2)
+        for route in topo.routes:
+            assert route[-1] in topo.sources
+            assert route[0] in topo.receivers
+            # interior nodes are all caching routers
+            assert all(topo.is_router(v) for v in route[1:-1])
+
+    def test_depths_decrease_along_route(self):
+        topo = tree_topology(2, 3)
+        for route in topo.routes:
+            depths = [topo.depths[v] for v in route]
+            assert depths == sorted(depths, reverse=True)
+            assert depths[-1] == 0
+
+    def test_bad_shape_raises(self):
+        with pytest.raises(ValueError, match="branching"):
+            tree_topology(1, 3)
+        with pytest.raises(ValueError, match="depth"):
+            tree_topology(2, 0)
+
+
+class TestRing:
+    def test_roles_and_connectivity(self):
+        topo = ring_topology(5)
+        assert len(topo.routers) == 5
+        assert len(topo.receivers) == 5
+        assert topo.sources == (5,)
+        # Router 0 touches the source; its receiver's route is short.
+        assert topo.route_for(topo.receivers[0]) == (topo.receivers[0], 0, 5)
+
+    def test_routes_wrap_the_shorter_way(self):
+        topo = ring_topology(6)
+        for route in topo.routes:
+            # receiver + at most half the ring + source
+            assert len(route) <= 2 + 6 // 2 + 1
+
+
+class TestMesh:
+    def test_deterministic_given_seed(self):
+        a = mesh_topology(8, seed=3)
+        b = mesh_topology(8, seed=3)
+        assert a == b
+
+    def test_seed_changes_geometry(self):
+        a = mesh_topology(8, seed=3)
+        b = mesh_topology(8, seed=4)
+        assert a.edges != b.edges
+
+    def test_connected_with_tiny_k(self):
+        # k=1 usually leaves islands; the builder must bridge them.
+        topo = mesh_topology(12, k_neighbors=1, seed=0)
+        for route in topo.routes:
+            assert route[-1] in topo.sources
+
+    def test_latencies_positive(self):
+        topo = mesh_topology(10, seed=5)
+        assert all(latency > 0 for _, _, latency in topo.edges)
+
+
+class TestInvariants:
+    @pytest.mark.parametrize("topo", [
+        path_topology(5),
+        tree_topology(2, 3),
+        ring_topology(4),
+        mesh_topology(7, seed=1),
+    ], ids=["path", "tree", "ring", "mesh"])
+    def test_roles_partition_nodes(self, topo):
+        roles = set(topo.receivers) | set(topo.routers) | set(topo.sources)
+        assert roles == set(range(topo.n_nodes))
+        assert not set(topo.receivers) & set(topo.routers)
+        assert not set(topo.routers) & set(topo.sources)
+
+    @pytest.mark.parametrize("topo", [
+        path_topology(5),
+        tree_topology(2, 3),
+        ring_topology(4),
+        mesh_topology(7, seed=1),
+    ], ids=["path", "tree", "ring", "mesh"])
+    def test_pickles(self, topo):
+        assert pickle.loads(pickle.dumps(topo)) == topo
+
+    def test_overlapping_roles_rejected(self):
+        with pytest.raises(ValueError, match="disjoint"):
+            CacheNetworkTopology(
+                name="bad", n_nodes=3,
+                edges=((0, 1, 0.01), (1, 2, 0.01)),
+                receivers=(0,), routers=(1, 0), sources=(2,),
+            )
+
+    def test_disconnected_receiver_rejected(self):
+        with pytest.raises(ValueError, match="no source reachable"):
+            build_topology(
+                "bad", edges=((1, 2, 0.01),),
+                receivers=(0,), routers=(1,), sources=(2,),
+            )
+
+    def test_neighbors_sorted(self):
+        topo = tree_topology(2, 2)
+        assert topo.neighbors(0) == (1, 2, 3)  # children + source
+
+    def test_route_for_non_receiver_raises(self):
+        topo = path_topology(4)
+        with pytest.raises(ValueError, match="not a receiver"):
+            topo.route_for(1)
+
+    def test_describe_mentions_shape(self):
+        text = path_topology(5).describe()
+        assert "path:5" in text and "diameter" in text
+
+
+class TestGrammar:
+    def test_path_spec(self):
+        assert parse_topology("path:6").n_nodes == 6
+
+    def test_tree_spec(self):
+        topo = parse_topology("tree:2x4")
+        assert len(topo.routers) == 15
+
+    def test_ring_spec(self):
+        assert len(parse_topology("ring:5").routers) == 5
+
+    def test_mesh_spec_with_and_without_k(self):
+        assert parse_topology("mesh:8", seed=2).name == "mesh:8"
+        assert parse_topology("mesh:8x2", seed=2).name == "mesh:8x2"
+
+    def test_case_and_whitespace_tolerant(self):
+        assert parse_topology("  TREE:2x2  ").name == "tree:2x2"
+
+    @pytest.mark.parametrize("spec", [
+        "torus:3", "path", "path:ax", "tree:3", "ring:2x2", "mesh:3x2x1",
+    ])
+    def test_bad_specs_raise(self, spec):
+        with pytest.raises(ValueError):
+            parse_topology(spec)
