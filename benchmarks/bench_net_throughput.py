@@ -14,7 +14,6 @@ Run as a module to record the numbers as JSON for CI trending::
     PYTHONPATH=src python benchmarks/bench_net_throughput.py BENCH_net.json
 """
 
-import json
 import sys
 import time
 
@@ -99,14 +98,14 @@ def test_net_throughput(benchmark):
 
 
 if __name__ == "__main__":
+    from repro.obs.trend import append_bench_entry
+
     out_path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_net.json"
     record = measure()
-    with open(out_path, "w") as fh:
-        json.dump(record, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+    doc = append_bench_entry(out_path, record, bench="net")
     print(
         f"{record['requests']} requests: "
         f"serial {record['serial_requests_per_s']:,.0f} req/s, "
         f"process:2 {record['process2_requests_per_s']:,.0f} req/s"
     )
-    print(f"wrote {out_path}")
+    print(f"appended entry {len(doc['entries'])} to {out_path}")

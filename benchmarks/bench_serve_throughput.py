@@ -13,7 +13,6 @@ Run as a module to record the numbers as JSON for CI trending::
     PYTHONPATH=src python benchmarks/bench_serve_throughput.py BENCH_serve.json
 """
 
-import json
 import sys
 import time
 
@@ -95,14 +94,14 @@ def test_serve_throughput(benchmark):
 
 
 if __name__ == "__main__":
+    from repro.obs.trend import append_bench_entry
+
     out_path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_serve.json"
     record = measure()
-    with open(out_path, "w") as fh:
-        json.dump(record, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+    doc = append_bench_entry(out_path, record, bench="serve")
     print(
         f"{record['requests']} requests: "
         f"serial {record['serial_requests_per_s']:,.0f} req/s, "
         f"process:2 {record['process2_requests_per_s']:,.0f} req/s"
     )
-    print(f"wrote {out_path}")
+    print(f"appended entry {len(doc['entries'])} to {out_path}")

@@ -17,7 +17,6 @@ record that comparison as JSON for CI trending::
     PYTHONPATH=src python benchmarks/bench_table2_computation_time.py BENCH_batch.json
 """
 
-import json
 import sys
 import time
 
@@ -185,13 +184,13 @@ def test_batched_epoch_computation_time(benchmark):
 
 
 if __name__ == "__main__":
+    from repro.obs.trend import append_bench_entry
+
     out_path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_batch.json"
     record = measure_batched()
-    with open(out_path, "w") as fh:
-        json.dump(record, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+    doc = append_bench_entry(out_path, record, bench="batch")
     print(
         f"{record['n_contents']} contents: scalar {record['scalar_s']:.2f}s, "
         f"batched {record['batched_s']:.2f}s (x{record['speedup']:.1f})"
     )
-    print(f"wrote {out_path}")
+    print(f"appended entry {len(doc['entries'])} to {out_path}")

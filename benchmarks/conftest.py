@@ -13,6 +13,32 @@ the ``bench_telemetry`` fixture stream per-stage timings to
 events next to the printed output (summarise with
 ``python -m repro.cli report DIR/<bench-name>.jsonl``).  Without the
 flag the fixture is the shared null observer and costs nothing.
+
+BENCH trajectory format
+-----------------------
+The committed ``BENCH_*.json`` files are **append-only trajectories**,
+not overwrite-in-place snapshots.  Each file is a JSON object::
+
+    {
+      "schema": 1,
+      "bench": "serve",                  # short bench name
+      "entries": [                       # oldest first
+        {
+          "git_sha": "3cc5e61...",        # HEAD when recorded (null if
+          "dirty": false,                #   recorded outside a work tree)
+          "recorded_at": "2026-08-07T12:00:00+00:00",
+          "metrics": {"serial_requests_per_s": 4048437.5, "...": 0}
+        }
+      ]
+    }
+
+Bench ``__main__`` blocks append one entry per invocation through
+:func:`append_bench_record` (a thin wrapper over
+``repro.obs.trend.append_bench_entry``), which also migrates the
+legacy flat-dict shape on first touch.  ``repro trend`` folds the
+entries into per-metric time series and ``repro compare --bench``
+diffs the newest entries of two files; both reject malformed files
+with exit 2.  See ``docs/observability.md`` ("Run registry & trends").
 """
 
 import os
@@ -86,3 +112,14 @@ def bench_telemetry(request):
 def run_once(benchmark, fn, *args, **kwargs):
     """Run an experiment exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def append_bench_record(path, metrics, bench=None):
+    """Append one measurement to an append-only BENCH trajectory.
+
+    See the module docstring for the file format.  Returns the full
+    trajectory document after the append (atomic tmp+fsync+replace).
+    """
+    from repro.obs.trend import append_bench_entry
+
+    return append_bench_entry(path, metrics, bench=bench)

@@ -36,6 +36,22 @@ Subcommands
     strategy (``lce``/``lcd``/``probcache``/``edge``/``mfg``) decides
     which nodes keep a copy, behind finite per-node admission queues
     (see docs/serving.md "Cache networks").
+``env``
+    Print the environment fingerprint (python/numpy/scipy versions,
+    platform, git SHA + dirty flag) as JSON — the same facts every
+    run manifest records.
+``runs``
+    Inspect the run-provenance registry: every ``solve`` /
+    ``simulate`` / ``experiment`` / ``serve`` / ``serve-net`` run
+    appends a RunManifest (config snapshot + hash, argv, environment,
+    seed lineage, wall time, exit status, headline metrics) under
+    ``.repro/runs/``.  ``runs list|show|diff|gc`` query and prune it;
+    opt out per run with ``--no-registry`` or globally with
+    ``REPRO_REGISTRY=0`` (see ``docs/observability.md``).
+``trend``
+    Fold append-only ``BENCH_*.json`` trajectories and the run
+    registry into per-metric time series with sparkline/delta tables;
+    ``--fail-on-regression`` gates on trajectory slope.
 ``verify``
     Evaluate the Lemma 1/2 hypotheses and the Theorem 2 contraction
     diagnostics for a configuration.
@@ -116,6 +132,20 @@ EXPERIMENT_NAMES = (
     "fig11", "fig12", "fig13", "fig14", "table2",
 )
 
+#: Subcommands that execute a run and record a manifest in the
+#: provenance registry (see :mod:`repro.obs.registry`).
+RUN_COMMANDS = ("solve", "simulate", "experiment", "serve", "serve-net")
+
+#: CLI argument names that shape *how* a run executes, not *what* it
+#: computes — excluded from the manifest's config snapshot so backend
+#: or observability flags never perturb the run identity.
+_NON_CONFIG_ARGS = frozenset({
+    "command", "backend", "workers", "checkpoint_dir", "resume",
+    "max_retries", "inject_faults", "telemetry", "profile",
+    "strict_numerics", "live_status", "live_every", "no_registry",
+    "registry_dir", "out",
+})
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -156,6 +186,12 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--live-every", type=int, default=None, metavar="N",
                        help="completed items between live-status rewrites "
                             "(default 16; phase changes always write)")
+        p.add_argument("--no-registry", action="store_true",
+                       help="skip recording this run's manifest in the "
+                            "provenance registry (also: REPRO_REGISTRY=0)")
+        p.add_argument("--registry-dir", default=None, metavar="DIR",
+                       help="run-manifest registry root (default: "
+                            "$REPRO_REGISTRY_DIR or .repro/runs)")
 
     def add_runtime_args(p: argparse.ArgumentParser) -> None:
         p.add_argument("--backend", default="serial",
@@ -335,6 +371,67 @@ def build_parser() -> argparse.ArgumentParser:
     add_telemetry_arg(p_net)
     add_runtime_args(p_net)
 
+    sub.add_parser(
+        "env",
+        help="print the environment fingerprint (python/numpy/platform/"
+             "git) as JSON",
+    )
+
+    p_runs = sub.add_parser(
+        "runs", help="inspect the run-provenance registry (.repro/runs)"
+    )
+    p_runs.add_argument("--registry-dir", default=None, metavar="DIR",
+                        help="registry root (default: $REPRO_REGISTRY_DIR "
+                             "or .repro/runs)")
+    runs_sub = p_runs.add_subparsers(dest="runs_command", required=True)
+    r_list = runs_sub.add_parser("list", help="list recorded runs, newest first")
+    r_list.add_argument("--command", dest="filter_command", default=None,
+                        help="only show runs of this subcommand")
+    r_list.add_argument("--limit", type=int, default=None, metavar="N",
+                        help="show at most the N newest runs")
+    r_show = runs_sub.add_parser("show", help="show one run's manifest")
+    r_show.add_argument("ref", help="seq number or run-id prefix (newest wins)")
+    r_show.add_argument("--json", action="store_true",
+                        help="print the raw manifest JSON")
+    r_diff = runs_sub.add_parser(
+        "diff", help="diff two runs' config and headline metrics"
+    )
+    r_diff.add_argument("baseline", help="seq number or run-id prefix")
+    r_diff.add_argument("candidate", help="seq number or run-id prefix")
+    r_diff.add_argument("--threshold", type=float, default=0.2,
+                        help="relative metric change worth reporting "
+                             "(default 0.2; config diffs are always exact)")
+    r_diff.add_argument("--fail-on-regression", action="store_true",
+                        help="exit 1 when a timing-style headline metric "
+                             "regressed past the threshold")
+    r_gc = runs_sub.add_parser("gc", help="prune oldest manifests")
+    r_gc.add_argument("--keep", type=int, required=True, metavar="N",
+                      help="retain the N newest manifests (the newest "
+                           "non-ok run is always kept)")
+
+    p_trend = sub.add_parser(
+        "trend",
+        help="per-metric time series across BENCH trajectories and the "
+             "run registry",
+    )
+    p_trend.add_argument("--bench", action="append", default=None,
+                         metavar="PATH",
+                         help="BENCH trajectory file (repeatable; default: "
+                              "every BENCH_*.json in the current directory)")
+    p_trend.add_argument("--registry-dir", default=None, metavar="DIR",
+                         help="registry root (default: $REPRO_REGISTRY_DIR "
+                              "or .repro/runs)")
+    p_trend.add_argument("--no-registry", action="store_true",
+                         help="skip the (report-only) registry series")
+    p_trend.add_argument("--metric", default=None,
+                         help="substring filter on metric names")
+    p_trend.add_argument("--threshold", type=float, default=0.05,
+                         help="relative drift vs the historical mean that "
+                              "counts as a regression (default 0.05 = 5%%)")
+    p_trend.add_argument("--fail-on-regression", action="store_true",
+                         help="exit 1 when any gateable bench series "
+                              "regressed (registry series never gate)")
+
     p_watch = sub.add_parser(
         "watch", help="render a live run-status file as a dashboard"
     )
@@ -390,6 +487,133 @@ def _config_from_args(args: argparse.Namespace) -> MFGCPConfig:
     return replace(config, **overrides) if overrides else config
 
 
+def _registry_enabled(args: argparse.Namespace) -> bool:
+    """Whether this run should record a manifest.
+
+    Precedence: ``--no-registry`` beats everything; otherwise the
+    ``REPRO_REGISTRY`` environment switch (``0``/``false``/``no``/
+    ``off`` disables); on by default.
+    """
+    if getattr(args, "no_registry", False):
+        return False
+    flag = os.environ.get("REPRO_REGISTRY", "").strip().lower()
+    return flag not in ("0", "false", "no", "off")
+
+
+def _config_snapshot(args: argparse.Namespace) -> dict:
+    """The manifest's config snapshot: what the run *computed on*.
+
+    Execution-shaping flags (backend, telemetry, registry, output
+    paths) are excluded — two runs that differ only in worker count
+    or observability are the same run.  For config-bearing commands
+    the raw override flags collapse into the one resolved ``model``
+    dict, so a ``--eta1`` change surfaces as exactly one config key.
+    """
+    snapshot = {
+        key: value
+        for key, value in sorted(vars(args).items())
+        if not key.startswith("_") and key not in _NON_CONFIG_ARGS
+    }
+    if hasattr(args, "fast"):
+        import dataclasses
+
+        for key in ("fast", "content_size", "eta1", "popularity",
+                    "no_sharing"):
+            snapshot.pop(key, None)
+        snapshot["model"] = dataclasses.asdict(_config_from_args(args))
+    return snapshot
+
+
+def _artifacts_from_args(args: argparse.Namespace) -> dict:
+    """Paths this run wrote, worth finding again from the manifest."""
+    artifacts = {}
+    for key in ("telemetry", "live_status", "out", "checkpoint_dir"):
+        value = getattr(args, key, None)
+        if value:
+            artifacts[key] = str(value)
+    return artifacts
+
+
+def _record_manifest(
+    args: argparse.Namespace,
+    raw_argv: List[str],
+    collector,
+    status: str,
+    exit_code: Optional[int],
+    started_at: str,
+    wall_s: float,
+) -> None:
+    from repro.obs.registry import RunRegistry, build_manifest, headline_metrics
+
+    telemetry = getattr(args, "_run_telemetry", None)
+    metrics = {}
+    if telemetry is not None and telemetry.enabled:
+        metrics = headline_metrics(
+            telemetry.metrics.snapshot(), wall_s if wall_s > 0 else None
+        )
+    manifest = build_manifest(
+        command=args.command,
+        argv=raw_argv,
+        config=_config_snapshot(args),
+        status=status,
+        exit_code=exit_code,
+        started_at=started_at,
+        wall_s=wall_s,
+        seeds=collector.summary(),
+        artifacts=_artifacts_from_args(args),
+        metrics=metrics,
+    )
+    path = RunRegistry(getattr(args, "registry_dir", None)).append(manifest)
+    # Stderr, deliberately: run stdout is diffed byte-for-byte in the
+    # determinism smoke jobs, and the manifest path varies per run.
+    print(f"run manifest {manifest['run_id']} recorded -> {path}",
+          file=sys.stderr)
+
+
+def _with_run_manifest(handler, raw_argv: List[str]):
+    """Wrap a run handler so it records a RunManifest on every exit.
+
+    A pure side channel around the handler: the run's results, stdout,
+    and telemetry stream are untouched (the normalized stream stays
+    bit-identical serial vs ``process:N``).  Registry failures warn on
+    stderr and never change the run's exit code.
+    """
+
+    def wrapped(args: argparse.Namespace) -> int:
+        import time
+        from datetime import datetime, timezone
+
+        from repro.runtime import runinfo
+
+        args._registry_active = True
+        collector = runinfo.activate()
+        started_at = datetime.now(timezone.utc).isoformat(timespec="seconds")
+        t0 = time.perf_counter()
+        status: str = "crashed"
+        exit_code: Optional[int] = None
+        try:
+            code = handler(args)
+            exit_code = code
+            status = "ok" if code == 0 else "failed"
+            return code
+        except SystemExit as err:
+            exit_code = err.code if isinstance(err.code, int) else 1
+            status = "failed"
+            raise
+        finally:
+            runinfo.deactivate()
+            try:
+                _record_manifest(
+                    args, raw_argv, collector, status, exit_code,
+                    started_at, time.perf_counter() - t0,
+                )
+            except Exception as err:
+                print(f"warning: run manifest not recorded: {err}",
+                      file=sys.stderr)
+
+    return wrapped
+
+
 def _telemetry_from_args(args: argparse.Namespace) -> SolverTelemetry:
     """The observer implied by ``--telemetry`` / ``--profile`` /
     ``--strict-numerics`` / ``--live-status``.
@@ -399,14 +623,22 @@ def _telemetry_from_args(args: argparse.Namespace) -> SolverTelemetry:
     observer: fail-fast works, nothing is written.  ``--live-status``
     likewise upgrades the null default to an in-memory observer — the
     status writer needs an owner, and the shared NULL_TELEMETRY
-    singleton must never carry one.
+    singleton must never carry one.  An active run-manifest recorder
+    (see :func:`main`) upgrades too: the manifest's headline metrics
+    are read from the metrics registry after the run, and the shared
+    singleton must stay untouched.
+
+    The chosen observer is stashed on ``args`` so the manifest
+    recorder can read its final metrics without re-deriving it.
     """
     path = getattr(args, "telemetry", None)
     profile = bool(getattr(args, "profile", False))
     strict = bool(getattr(args, "strict_numerics", False))
     live_path = getattr(args, "live_status", None)
     if path is None:
-        if strict or live_path is not None:
+        if strict or live_path is not None or getattr(
+            args, "_registry_active", False
+        ):
             telemetry = SolverTelemetry.in_memory(
                 profile=profile, strict_numerics=strict
             )
@@ -425,6 +657,7 @@ def _telemetry_from_args(args: argparse.Namespace) -> SolverTelemetry:
                 live_path, every=every if every else DEFAULT_WRITE_EVERY
             )
         )
+    args._run_telemetry = telemetry
     return telemetry
 
 
@@ -757,33 +990,42 @@ def _load_run_checked(path: str):
     return summary
 
 
+def _print_pipe_safe(text: str) -> None:
+    """Print report-style output that is routinely piped into
+    `head`/`less`; exit quietly when the reader closes the pipe early.
+    Re-points stdout at /dev/null so the interpreter's exit-time flush
+    does not raise a second BrokenPipeError."""
+    try:
+        print(text)
+    except BrokenPipeError:
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     summary = _load_run_checked(args.path)
     if summary is None:
         return 2
-    try:
-        print(render_report(summary))
-    except BrokenPipeError:
-        # Report output is routinely piped into `head`/`less`; exit
-        # quietly when the reader closes the pipe early.  Re-point
-        # stdout at /dev/null so the interpreter's exit-time flush
-        # does not raise a second BrokenPipeError.
-        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    _print_pipe_safe(render_report(summary))
     return 0
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
     if args.bench:
-        import json
+        from repro.obs.trend import (
+            BenchFormatError,
+            latest_entry_metrics,
+            load_bench_trajectory,
+        )
 
         docs = []
         for path in (args.baseline, args.candidate):
             try:
-                with open(path, "r", encoding="utf-8") as handle:
-                    docs.append(json.load(handle))
-            except (OSError, ValueError) as err:
-                print(f"error: cannot read benchmark file {path!r}: {err}",
-                      file=sys.stderr)
+                # Accepts both shapes: a legacy single-snapshot dict
+                # and an append-only trajectory (the newest entry of
+                # each side is what gets compared).
+                docs.append(latest_entry_metrics(load_bench_trajectory(path)))
+            except BenchFormatError as err:
+                print(f"error: {err}", file=sys.stderr)
                 return 2
         result = compare_bench(docs[0], docs[1], threshold=args.span_threshold)
     else:
@@ -849,6 +1091,125 @@ def _cmd_trace(args: argparse.Namespace) -> int:
                  rec.likes, rec.comment_count, rec.description]
             )
     print(f"wrote {len(records)} records to {args.out}")
+    return 0
+
+
+def _cmd_env(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.registry import environment_fingerprint
+
+    print(json.dumps(environment_fingerprint(), indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_runs(args: argparse.Namespace) -> int:
+    from repro.obs.registry import (
+        RunRegistry,
+        diff_manifests,
+        render_diff,
+        render_manifest,
+        render_runs_table,
+    )
+
+    registry = RunRegistry(args.registry_dir)
+    manifests, warnings = registry.load_all()
+    for warning in warnings:
+        print(f"warning: {warning}", file=sys.stderr)
+
+    if args.runs_command == "list":
+        if args.filter_command:
+            manifests = [
+                m for m in manifests
+                if m.get("command") == args.filter_command
+            ]
+        if args.limit:
+            manifests = manifests[-args.limit:]
+        if not manifests:
+            print(f"no run manifests recorded under {registry.root}")
+            return 0
+        _print_pipe_safe(render_runs_table(manifests))
+        return 0
+
+    if args.runs_command == "show":
+        manifest = registry.find(args.ref)
+        if manifest is None:
+            print(f"error: no run matching {args.ref!r} in {registry.root}",
+                  file=sys.stderr)
+            return 2
+        if args.json:
+            import json
+
+            print(json.dumps(manifest, indent=2, sort_keys=True))
+        else:
+            _print_pipe_safe(render_manifest(manifest))
+        return 0
+
+    if args.runs_command == "diff":
+        baseline = registry.find(args.baseline)
+        candidate = registry.find(args.candidate)
+        for ref, manifest in ((args.baseline, baseline),
+                              (args.candidate, candidate)):
+            if manifest is None:
+                print(f"error: no run matching {ref!r} in {registry.root}",
+                      file=sys.stderr)
+                return 2
+        config_changes, comparison = diff_manifests(
+            baseline, candidate, threshold=args.threshold
+        )
+        _print_pipe_safe(render_diff(baseline, candidate, config_changes, comparison))
+        if args.fail_on_regression and comparison.has_regressions:
+            return 1
+        return 0
+
+    # gc
+    try:
+        removed = registry.gc(args.keep)
+    except ValueError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+    print(f"removed {len(removed)} manifest(s), "
+          f"kept {len(manifests) - len(removed)}")
+    return 0
+
+
+def _cmd_trend(args: argparse.Namespace) -> int:
+    import glob
+
+    from repro.obs.registry import RunRegistry
+    from repro.obs.trend import (
+        BenchFormatError,
+        bench_series,
+        find_regressions,
+        load_bench_trajectory,
+        registry_series,
+        render_trend,
+    )
+
+    paths = args.bench if args.bench else sorted(glob.glob("BENCH_*.json"))
+    series = []
+    for path in paths:
+        try:
+            doc = load_bench_trajectory(path)
+        except BenchFormatError as err:
+            print(f"error: {err}", file=sys.stderr)
+            return 2
+        series.extend(bench_series(doc, source=os.path.basename(path)))
+    if not args.no_registry:
+        registry = RunRegistry(args.registry_dir)
+        manifests, warnings = registry.load_all()
+        for warning in warnings:
+            print(f"warning: {warning}", file=sys.stderr)
+        series.extend(registry_series(manifests))
+    if args.metric:
+        series = [s for s in series if args.metric in s.metric]
+    if not series:
+        print("no trend series found (no BENCH_*.json trajectories or "
+              "recorded runs)")
+        return 0
+    _print_pipe_safe(render_trend(series, threshold=args.threshold))
+    if args.fail_on_regression and find_regressions(series, args.threshold):
+        return 1
     return 0
 
 
@@ -1132,6 +1493,7 @@ def _cmd_stationary(args: argparse.Namespace) -> int:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns a process exit code."""
+    raw_argv = [str(a) for a in (sys.argv[1:] if argv is None else argv)]
     args = build_parser().parse_args(argv)
     handlers = {
         "solve": _cmd_solve,
@@ -1142,22 +1504,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "trace": _cmd_trace,
         "serve": _cmd_serve,
         "serve-net": _cmd_serve_net,
+        "env": _cmd_env,
+        "runs": _cmd_runs,
+        "trend": _cmd_trend,
         "watch": _cmd_watch,
         "export-metrics": _cmd_export_metrics,
         "verify": _cmd_verify,
         "export": _cmd_export,
         "stationary": _cmd_stationary,
     }
+    handler = handlers[args.command]
+    if args.command in RUN_COMMANDS and _registry_enabled(args):
+        handler = _with_run_manifest(handler, raw_argv)
     spec = getattr(args, "inject_faults", None)
     if spec is None:
-        return handlers[args.command](args)
+        return handler(args)
     try:
         install_faults(spec)
     except FaultSpecError as err:
         print(f"error: invalid --inject-faults spec: {err}", file=sys.stderr)
         return 2
     try:
-        return handlers[args.command](args)
+        return handler(args)
     finally:
         # Faults are process-global (they ride an env var so pool
         # workers inherit them); clear so back-to-back main() calls in

@@ -17,7 +17,11 @@ comparator (:mod:`repro.obs.compare`, ``repro compare``), and the
 live-monitoring side channel (:mod:`repro.obs.live` +
 :mod:`repro.obs.watch`, ``--live-status`` / ``repro watch``) backed by
 the constant-memory quantile sketches of :mod:`repro.obs.sketch`
-(``repro export-metrics`` renders Prometheus text exposition).
+(``repro export-metrics`` renders Prometheus text exposition), and
+the cross-run layer: the run-provenance registry
+(:mod:`repro.obs.registry`, ``repro runs`` / ``repro env``) and the
+trend analytics over append-only ``BENCH_*.json`` trajectories
+(:mod:`repro.obs.trend`, ``repro trend``).
 
 See ``docs/observability.md`` for the event schema and span semantics.
 """
@@ -57,6 +61,18 @@ from repro.obs.metrics import (
     MetricsRegistry,
 )
 from repro.obs.prometheus import render_prometheus
+from repro.obs.registry import (
+    MANIFEST_SCHEMA_VERSION,
+    RunRegistry,
+    build_manifest,
+    compute_run_id,
+    diff_manifests,
+    environment_fingerprint,
+    headline_metrics,
+    manifest_identity,
+    render_manifest,
+    render_runs_table,
+)
 from repro.obs.report import (
     RunSummary,
     load_run,
@@ -81,6 +97,20 @@ from repro.obs.telemetry import (
     TelemetrySnapshot,
 )
 from repro.obs.trace import build_chrome_trace, write_chrome_trace
+from repro.obs.trend import (
+    BENCH_SCHEMA_VERSION,
+    BenchFormatError,
+    DEFAULT_TREND_THRESHOLD,
+    TrendSeries,
+    append_bench_entry,
+    bench_series,
+    find_regressions,
+    latest_entry_metrics,
+    load_bench_trajectory,
+    metric_direction,
+    registry_series,
+    render_trend,
+)
 from repro.obs.watch import render_status
 
 __all__ = [
@@ -138,4 +168,26 @@ __all__ = [
     "compare_bench",
     "build_chrome_trace",
     "write_chrome_trace",
+    "MANIFEST_SCHEMA_VERSION",
+    "RunRegistry",
+    "build_manifest",
+    "compute_run_id",
+    "diff_manifests",
+    "environment_fingerprint",
+    "headline_metrics",
+    "manifest_identity",
+    "render_manifest",
+    "render_runs_table",
+    "BENCH_SCHEMA_VERSION",
+    "BenchFormatError",
+    "DEFAULT_TREND_THRESHOLD",
+    "TrendSeries",
+    "append_bench_entry",
+    "bench_series",
+    "find_regressions",
+    "latest_entry_metrics",
+    "load_bench_trajectory",
+    "metric_direction",
+    "registry_series",
+    "render_trend",
 ]

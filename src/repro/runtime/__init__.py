@@ -47,6 +47,7 @@ from repro.runtime.resumable import (
     ItemFailedError,
     ResumableExecutor,
 )
+from repro.runtime.runinfo import RunInfoCollector
 
 __all__ = [
     "ExecutionPlan",
@@ -71,4 +72,5 @@ __all__ = [
     "FaultPolicy",
     "ItemFailedError",
     "ResumableExecutor",
+    "RunInfoCollector",
 ]

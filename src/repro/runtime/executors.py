@@ -27,6 +27,7 @@ from typing import Any, Callable, List, Optional, Union
 
 from repro.obs.telemetry import NULL_TELEMETRY, SolverTelemetry
 from repro.runtime.plan import ExecutionPlan, ItemOutcome, execute_item
+from repro.runtime.runinfo import note_plan
 
 ProgressCallback = Callable[[ItemOutcome], None]
 """Invoked once per completed work item, as completions happen.
@@ -112,6 +113,9 @@ class Executor(abc.ABC):
         completions additionally heartbeat the status file (composed
         with any caller-supplied ``progress``).
         """
+        # Lineage side channel for the run-manifest registry: a pure
+        # parent-process observer, no-op outside an activated CLI run.
+        note_plan(plan)
         tele = telemetry if telemetry is not None else NULL_TELEMETRY
         outcomes = self.execute(
             plan,

@@ -1,0 +1,100 @@
+"""Run-scoped lineage collection for the run-manifest registry.
+
+Every fan-out in the reproduction funnels through
+:meth:`repro.runtime.Executor.run`, which makes that method the one
+place a run's *seed lineage* — how many plans executed, how many work
+items each carried, and which ``SeedSequence`` root spawned their
+per-item RNG streams — can be observed without touching any call
+site.  This module holds a process-global collector that
+``Executor.run`` notifies (:func:`note_plan`); the CLI activates it
+around a run and folds :meth:`RunInfoCollector.summary` into the
+RunManifest (see :mod:`repro.obs.registry`).
+
+The collector is a pure observer on the parent process: it never
+mutates a plan, never emits telemetry events, and is a no-op unless
+:func:`activate` was called — library users pay one attribute load
+per ``run()``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+#: Plans beyond this many keep counting toward the totals but stop
+#: contributing per-plan detail rows (manifests stay small).
+MAX_PLAN_DETAILS = 16
+
+#: Item labels sampled per plan for the manifest.
+MAX_LABEL_SAMPLE = 4
+
+_active: Optional["RunInfoCollector"] = None
+
+
+class RunInfoCollector:
+    """Accumulates per-plan lineage facts for one CLI run."""
+
+    def __init__(self) -> None:
+        self.n_plans = 0
+        self.total_items = 0
+        self.total_seeded = 0
+        self.plans: List[Dict[str, Any]] = []
+
+    def note_plan(self, plan) -> None:
+        items = list(plan)
+        seeded = [item for item in items if item.seed is not None]
+        self.n_plans += 1
+        self.total_items += len(items)
+        self.total_seeded += len(seeded)
+        if len(self.plans) >= MAX_PLAN_DETAILS:
+            return
+        detail: Dict[str, Any] = {
+            "n_items": len(items),
+            "n_seeded": len(seeded),
+            "labels": [item.label for item in items[:MAX_LABEL_SAMPLE]],
+        }
+        if seeded:
+            # Children of one SeedSequence root share its entropy and
+            # differ only in spawn_key — entropy plus the spawn-key
+            # range is the full lineage of every per-item stream.
+            entropies = {repr(item.seed.entropy) for item in seeded}
+            detail["entropy"] = (
+                entropies.pop() if len(entropies) == 1 else sorted(entropies)
+            )
+            keys = sorted(tuple(item.seed.spawn_key) for item in seeded)
+            detail["spawn_key_first"] = list(keys[0])
+            detail["spawn_key_last"] = list(keys[-1])
+        self.plans.append(detail)
+
+    def summary(self) -> Dict[str, Any]:
+        """A JSON-serialisable digest for the RunManifest."""
+        return {
+            "n_plans": self.n_plans,
+            "total_items": self.total_items,
+            "total_seeded": self.total_seeded,
+            "plans": list(self.plans),
+            "truncated": self.n_plans > len(self.plans),
+        }
+
+
+def activate() -> RunInfoCollector:
+    """Install (and return) a fresh collector for the current process."""
+    global _active
+    _active = RunInfoCollector()
+    return _active
+
+
+def deactivate() -> None:
+    """Stop collecting; subsequent :func:`note_plan` calls are no-ops."""
+    global _active
+    _active = None
+
+
+def current() -> Optional[RunInfoCollector]:
+    """The installed collector, or ``None`` outside an activated run."""
+    return _active
+
+
+def note_plan(plan) -> None:
+    """Record a plan into the active collector (no-op when inactive)."""
+    if _active is not None:
+        _active.note_plan(plan)

@@ -84,7 +84,11 @@ class CacheNetworkTopology:
         The MFG strategy scales admission by depth: deeper nodes sit
         closer to the request edge.
     diameter:
-        Longest shortest-path hop count over all node pairs.
+        Longest shortest-path hop count over all node pairs, raised if
+        necessary to cover every precomputed route — routes minimise
+        *latency*, so on irregular meshes a route may spend more hops
+        than the pure BFS diameter.  Every replay walk is bounded by
+        this value.
     """
 
     name: str
@@ -280,6 +284,9 @@ def build_topology(
         path, latencies = _shortest_path_to_sources(receiver, adj, sources)
         routes.append(path)
         route_latencies.append(latencies)
+    # Routes minimise latency, not hops, so a route may be longer (in
+    # hops) than the BFS diameter; the published bound covers both.
+    route_hops = max((len(path) - 1 for path in routes), default=0)
     return CacheNetworkTopology(
         name=name,
         n_nodes=n_nodes,
@@ -290,7 +297,7 @@ def build_topology(
         routes=tuple(routes),
         route_latencies=tuple(route_latencies),
         depths=_hop_depths(n_nodes, adj, sources),
-        diameter=_hop_diameter(n_nodes, adj),
+        diameter=max(_hop_diameter(n_nodes, adj), route_hops),
     )
 
 

@@ -7,6 +7,21 @@ from repro.core.best_response import BestResponseIterator
 from repro.core.parameters import MFGCPConfig
 
 
+@pytest.fixture(autouse=True)
+def _isolated_run_registry(tmp_path_factory, monkeypatch):
+    """Point the run-manifest registry at a per-test directory.
+
+    CLI tests call ``main()`` in the repo working directory; without
+    this, every such call would append a manifest under the repo's
+    own ``.repro/runs``.  The directory lives outside the test's own
+    ``tmp_path`` (some tests assert it stays empty), and the env
+    override sits below the ``--registry-dir`` flag, so tests that
+    pass the flag still win.
+    """
+    registry_root = tmp_path_factory.mktemp("run-registry")
+    monkeypatch.setenv("REPRO_REGISTRY_DIR", str(registry_root))
+
+
 @pytest.fixture
 def rng():
     """A deterministic generator for test reproducibility."""

@@ -99,12 +99,20 @@ class TestLCDPlacesOnce:
     @given(spec=topology_specs, seed=st.integers(0, 2**16))
     @settings(max_examples=15, deadline=None)
     def test_one_attempt_per_walk_in_full_replays(self, spec, seed):
-        report = small_engine(spec, seed, n_replicas=1).replay("lcd")
+        engine = small_engine(spec, seed, n_replicas=1)
+        report = engine.replay("lcd")
         totals = report.totals
-        # Every miss (and every hit above the edge) starts one walk,
-        # and LCD turns each walk into exactly one admission attempt.
+        # LCD turns each placement walk into exactly one admission
+        # attempt.  Same-slot requests for one content are served as a
+        # coalesced batch: hit/source counters grow by the batch size
+        # while each batch starts at most one walk, so walks are
+        # bounded by served batches, not by individual misses.
         assert totals.placement_attempts == totals.placement_walks
-        assert totals.placement_walks >= totals.source_hits
+        assert totals.placement_walks <= totals.cache_hits + totals.source_hits
+        if totals.source_hits and all(
+            len(route) > 2 for route in engine.topology.routes
+        ):
+            assert totals.placement_walks >= 1
 
 
 class TestBitIdentity:
