@@ -218,6 +218,30 @@ def build_parser() -> argparse.ArgumentParser:
                             "(e.g. 'raise:item=2' or 'kill:label=content:*'; "
                             "see repro.testing.faults)")
 
+    def add_stream_args(p: argparse.ArgumentParser, zipf_alpha: bool = True) -> None:
+        p.add_argument("--stream", default=None, metavar="KIND",
+                       choices=("zipf", "shuffled-zipf", "diurnal",
+                                "flash-crowd", "trace"),
+                       help="replay from the chunked streaming request "
+                            "pipeline instead of a materialised trace: "
+                            "zipf, shuffled-zipf, diurnal, flash-crowd, or "
+                            "trace (bounded memory; a new determinism "
+                            "domain — see docs/serving.md)")
+        p.add_argument("--stream-chunk", type=int, default=8, metavar="SLOTS",
+                       help="slots per streamed chunk (0 = the whole replay "
+                            "as one chunk; default 8; pure memory grain, "
+                            "never affects results)")
+        p.add_argument("--warmup-slots", type=int, default=0, metavar="N",
+                       help="icarus-style warmup: the first N slots populate "
+                            "caches but are excluded from every reported "
+                            "counter (streamed replays only)")
+        p.add_argument("--trace-file", default=None, metavar="CSV",
+                       help="trending-trace CSV backing '--stream trace'")
+        if zipf_alpha:
+            p.add_argument("--zipf-alpha", type=float, default=1.0,
+                           help="Zipf exponent of the streamed workload "
+                                "(streamed replays only)")
+
     p_solve = sub.add_parser("solve", help="solve one mean-field equilibrium")
     add_config_args(p_solve)
     add_telemetry_arg(p_solve)
@@ -313,6 +337,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--batch-size", type=int, default=32, metavar="B",
                          help="max contents per batched shard "
                               "(with --solver-batching; default 32)")
+    add_stream_args(p_serve)
     add_telemetry_arg(p_serve)
     add_runtime_args(p_serve)
 
@@ -368,6 +393,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_net.add_argument("--batch-size", type=int, default=32, metavar="B",
                        help="max contents per batched shard "
                             "(with --solver-batching; default 32)")
+    add_stream_args(p_net, zipf_alpha=False)
     add_telemetry_arg(p_net)
     add_runtime_args(p_net)
 
@@ -1291,7 +1317,31 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if not names:
         print("error: no serving policy given", file=sys.stderr)
         return 2
-    if args.workload == "video_marketplace":
+    config = MFGCPConfig.fast()
+    stream = None
+    if args.stream is not None:
+        # Streamed replay: the workload generator replaces the canned
+        # scenario and fixes the trace geometry (--workload is unused).
+        from repro.serve.stream import make_stream, stream_workload
+
+        try:
+            stream = make_stream(
+                args.stream,
+                n_edps=args.edps,
+                n_slots=args.slots,
+                dt=config.horizon / args.slots,
+                rate_per_edp=args.requests / (config.horizon * args.edps),
+                seed=args.seed,
+                n_contents=args.contents,
+                alpha=args.zipf_alpha,
+                warmup_slots=args.warmup_slots,
+                trace_path=args.trace_file,
+            )
+        except (OSError, ValueError) as err:
+            print(f"error: {err}", file=sys.stderr)
+            return 2
+        workload = stream_workload(stream)
+    elif args.workload == "video_marketplace":
         workload = workloads.video_marketplace(
             n_contents=args.contents, seed=args.seed
         )
@@ -1306,7 +1356,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     telemetry = _telemetry_from_args(args)
     executor = _executor_from_args(args, telemetry)
-    config = MFGCPConfig.fast()
+    if stream is not None:
+        stream_state_dir = None
+        if getattr(args, "checkpoint_dir", None):
+            from repro.runtime.checkpoint import stream_state_dir as _state_dir
+
+            stream_state_dir = _state_dir(args.checkpoint_dir)
+        mode_kwargs = dict(
+            stream=stream,
+            stream_chunk=args.stream_chunk,
+            stream_state_dir=stream_state_dir,
+        )
+    else:
+        mode_kwargs = dict(
+            rate_per_edp=args.requests / (config.horizon * args.edps),
+        )
     try:
         engine = ServingEngine(
             workload,
@@ -1314,13 +1378,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             config=config,
             n_slots=args.slots,
             capacity_fraction=args.capacity_fraction,
-            rate_per_edp=args.requests / (config.horizon * args.edps),
             seed=args.seed,
             shards=args.shards,
             executor=executor,
             telemetry=telemetry,
             solver_batching=args.solver_batching,
             batch_size=args.batch_size,
+            **mode_kwargs,
         )
         reports = engine.compare(names)
     except StrictNumericsError as err:
@@ -1332,11 +1396,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"error: {err}", file=sys.stderr)
         return 2
     _close_telemetry(args, telemetry)
+    workload_label = (
+        f"stream:{args.stream}" if args.stream is not None else args.workload
+    )
     print(format_table(
         list(REPORT_HEADERS),
         comparison_rows(reports),
         title=(
-            f"Serving comparison ({args.workload}, M={args.edps}, "
+            f"Serving comparison ({workload_label}, M={args.edps}, "
             f"{reports[0].requests} requests)"
         ),
     ))
@@ -1371,12 +1438,37 @@ def _cmd_serve_net(args: argparse.Namespace) -> int:
     except ValueError as err:
         print(f"error: {err}", file=sys.stderr)
         return 2
-    workload = zipf_workload(
-        n_contents=args.contents,
-        alpha=args.alpha,
-        rate_per_edp=args.rate,
-        seed=args.seed,
-    )
+    config = MFGCPConfig.fast()
+    stream = None
+    if args.stream is not None:
+        from repro.serve.stream import make_stream, stream_workload
+
+        try:
+            stream = make_stream(
+                args.stream,
+                n_edps=args.replicas * topology.n_receivers,
+                n_slots=args.slots,
+                dt=config.horizon / args.slots,
+                rate_per_edp=args.rate,
+                seed=args.seed,
+                n_contents=args.contents,
+                alpha=args.alpha,
+                warmup_slots=args.warmup_slots,
+                trace_path=args.trace_file,
+            )
+        except (OSError, ValueError) as err:
+            print(f"error: {err}", file=sys.stderr)
+            return 2
+        workload = stream_workload(stream)
+        mode_kwargs = dict(stream=stream, stream_chunk=args.stream_chunk)
+    else:
+        workload = zipf_workload(
+            n_contents=args.contents,
+            alpha=args.alpha,
+            rate_per_edp=args.rate,
+            seed=args.seed,
+        )
+        mode_kwargs = dict(rate_per_receiver=args.rate)
 
     telemetry = _telemetry_from_args(args)
     executor = _executor_from_args(args, telemetry)
@@ -1384,11 +1476,10 @@ def _cmd_serve_net(args: argparse.Namespace) -> int:
         engine = NetworkReplayEngine(
             workload,
             topology,
-            config=MFGCPConfig.fast(),
+            config=config,
             n_slots=args.slots,
             capacity_fraction=args.capacity_fraction,
             node_capacity_mb=args.node_capacity,
-            rate_per_receiver=args.rate,
             n_replicas=args.replicas,
             shards=args.shards,
             seed=args.seed,
@@ -1398,6 +1489,7 @@ def _cmd_serve_net(args: argparse.Namespace) -> int:
             telemetry=telemetry,
             solver_batching=args.solver_batching,
             batch_size=args.batch_size,
+            **mode_kwargs,
         )
         reports = engine.compare(names)
     except StrictNumericsError as err:

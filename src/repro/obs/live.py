@@ -120,6 +120,10 @@ class LiveStatusWriter:
         # lane -> {"items": int, "last_index": int, "last_wall": float}
         self._lanes: Dict[str, Dict[str, float]] = {}
 
+        # Streaming-replay geometry (set_stream); None outside
+        # streamed serving runs.
+        self._stream: Optional[Dict[str, Any]] = None
+
     # ------------------------------------------------------------------
     # Wiring
     # ------------------------------------------------------------------
@@ -186,6 +190,30 @@ class LiveStatusWriter:
 
     def note_failed(self, label: Optional[str] = None) -> None:
         self._failed += 1
+        self.write(force=True)
+
+    def set_stream(
+        self,
+        *,
+        workload: str,
+        chunk_slots: int,
+        n_chunks: int,
+        expected_requests: float,
+    ) -> None:
+        """Record a streaming replay's geometry for the dashboard.
+
+        The snapshot then carries a ``stream`` block whose ``progress``
+        is the served share of the expected request volume — logical
+        progress through the stream, wall-clock free like every other
+        deterministic input to the file.
+        """
+        self._stream = {
+            "workload": str(workload),
+            "chunk_slots": int(chunk_slots),
+            "n_chunks": int(n_chunks),
+            "expected_requests": float(expected_requests),
+        }
+        self._emit("live.stream", **self._stream)
         self.write(force=True)
 
     def note_requests(self, requests: int, hits: int = 0,
@@ -275,6 +303,16 @@ class LiveStatusWriter:
             "workers": self._worker_table(now),
             "stragglers": self._stragglers(now),
         }
+        if self._stream is not None:
+            expected = self._stream["expected_requests"]
+            payload["stream"] = dict(
+                self._stream,
+                progress=(
+                    round(min(self._requests / expected, 1.0), 6)
+                    if expected > 0
+                    else None
+                ),
+            )
         if self._requests:
             recent = self._window.totals(last=2)
             payload["requests"] = {

@@ -81,6 +81,18 @@ def render_status(status: Dict[str, Any]) -> str:
     if rates:
         lines.append(f"  rate     {', '.join(rates)}")
 
+    stream = status.get("stream")
+    if stream:
+        parts = [
+            f"{stream.get('workload', '?')}",
+            f"{stream.get('n_chunks', '?')} chunk(s) × "
+            f"{stream.get('chunk_slots', '?')} slot(s)",
+        ]
+        if stream.get("progress") is not None:
+            parts.append(f"{100.0 * stream['progress']:.1f}% of "
+                         f"{stream.get('expected_requests', 0):g} expected")
+        lines.append(f"  stream   {', '.join(parts)}")
+
     requests = status.get("requests")
     if requests:
         parts = [f"{requests.get('total', 0)} requests"]

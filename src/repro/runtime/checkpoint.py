@@ -51,6 +51,13 @@ reused: every mismatching object is treated as corrupt and recomputed.
 MANIFEST_NAME = "manifest.json"
 OBJECT_SUFFIX = ".ckpt"
 
+STREAM_STATE_DIRNAME = "stream"
+"""Subdirectory of a checkpoint root holding *chunk-granular* replay
+state (see :mod:`repro.serve.engine`).  Item-level outcomes live in
+``objects/``; stream state is finer-grained scratch that the serving
+engine reads and writes itself.  :meth:`CheckpointStore.reset` wipes
+both, so a fresh (non ``--resume``) run never sees stale chunks."""
+
 _PICKLE_PROTOCOL = 4  # fixed, so keys are stable across interpreter minors
 
 
@@ -104,7 +111,12 @@ def item_key(item: WorkItem) -> str:
     return hashlib.sha256(blob).hexdigest()
 
 
-def _atomic_write(path: str, data: bytes) -> None:
+def stream_state_dir(root: "str | os.PathLike[str]") -> str:
+    """The chunk-granular stream-state directory under a checkpoint root."""
+    return os.path.join(os.fspath(root), STREAM_STATE_DIRNAME)
+
+
+def atomic_write_bytes(path: str, data: bytes) -> None:
     """Write bytes so the file appears complete or not at all."""
     directory = os.path.dirname(path) or "."
     fd, tmp = tempfile.mkstemp(dir=directory, prefix=".tmp-ckpt-")
@@ -120,6 +132,10 @@ def _atomic_write(path: str, data: bytes) -> None:
         except OSError:
             pass
         raise
+
+
+# Backward-compatible internal alias (the public name is newer).
+_atomic_write = atomic_write_bytes
 
 
 class CheckpointStore:
@@ -301,8 +317,13 @@ class CheckpointStore:
             self._write_manifest()
 
     def reset(self) -> None:
-        """Drop every stored outcome and start a fresh manifest."""
+        """Drop every stored outcome and start a fresh manifest.
+
+        Also wipes the chunk-granular stream-state directory: a fresh
+        run must never fast-forward over another run's chunks.
+        """
         shutil.rmtree(self.objects_dir, ignore_errors=True)
+        shutil.rmtree(stream_state_dir(self.root), ignore_errors=True)
         try:
             os.unlink(self.manifest_path)
         except FileNotFoundError:

@@ -13,10 +13,21 @@ command line, :func:`export_serving_reports` for CSV/JSON artifacts.
 The :mod:`repro.serve.net` subpackage replays the same traces through
 hierarchical cache *networks* (PATH/TREE/RING/MESH topologies with
 on-path placement strategies) behind ``repro serve-net``.
+
+For million-request replays, :mod:`repro.serve.stream` provides the
+chunked :class:`RequestStream` protocol (``--stream`` on the CLI):
+bounded-memory generation with per-``(EDP, slot)`` RNG keying, five
+workload generators, and chunk-granular resume (see
+``docs/serving.md``).
 """
 
 from repro.serve.cache import CacheEntry, EdgeCache
-from repro.serve.engine import ReplaySpec, ServingEngine, replay_shard
+from repro.serve.engine import (
+    ReplaySpec,
+    ServingEngine,
+    replay_shard,
+    stream_state_key,
+)
 from repro.serve.events import (
     RequestTraceSource,
     SlotEvent,
@@ -40,11 +51,28 @@ from repro.serve.report import (
     comparison_rows,
     export_serving_reports,
 )
+from repro.serve.stream import (
+    DiurnalStream,
+    FixedPopularityStream,
+    FlashCrowdStream,
+    RequestChunk,
+    RequestStream,
+    STREAM_WORKLOADS,
+    ShuffledZipfStream,
+    TraceStream,
+    ZipfStream,
+    concat_chunks,
+    make_stream,
+    stream_workload,
+)
 
 __all__ = [
     "CacheEntry",
+    "DiurnalStream",
     "EdgeCache",
     "EDPServingStats",
+    "FixedPopularityStream",
+    "FlashCrowdStream",
     "LFUPolicy",
     "LRUPolicy",
     "MFGPolicyAdapter",
@@ -53,15 +81,25 @@ __all__ = [
     "REPORT_HEADERS",
     "RandomEvictionPolicy",
     "ReplaySpec",
+    "RequestChunk",
+    "RequestStream",
     "RequestTraceSource",
+    "STREAM_WORKLOADS",
     "ServingEngine",
     "ServingPolicy",
     "ServingReport",
+    "ShuffledZipfStream",
     "SlotEvent",
+    "TraceStream",
+    "ZipfStream",
     "comparison_rows",
+    "concat_chunks",
     "edp_seed_sequences",
     "export_serving_reports",
     "make_policy",
+    "make_stream",
     "partition_edps",
     "replay_shard",
+    "stream_state_key",
+    "stream_workload",
 ]

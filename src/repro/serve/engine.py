@@ -35,6 +35,9 @@ Serving semantics (documented in ``docs/serving.md``)
 
 from __future__ import annotations
 
+import hashlib
+import os
+import pickle
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -46,10 +49,13 @@ from repro.core.equilibrium import EquilibriumResult
 from repro.core.parameters import MFGCPConfig
 from repro.obs.telemetry import NULL_TELEMETRY, SolverTelemetry
 from repro.runtime import ExecutionPlan, ExecutorLike, as_executor, partition_batches
+from repro.runtime.checkpoint import atomic_write_bytes
 from repro.serve.cache import EdgeCache
 from repro.serve.events import RequestTraceSource, partition_edps
 from repro.serve.policies import ServingPolicy, make_policy
 from repro.serve.report import EDPServingStats, ServingReport
+from repro.serve.stream import RequestStream
+from repro.testing.faults import active_fault_plan
 
 
 @dataclass(frozen=True)
@@ -76,6 +82,18 @@ class ReplaySpec:
         ``(n_slots, n_contents)``.
     eta2, backhaul_rate:
         Backhaul cost constants carried into the report.
+    stream:
+        Optional :class:`~repro.serve.stream.RequestStream`.  When set,
+        shards replay in bounded-memory chunks through
+        :func:`_replay_edp_stream` (the streamed determinism domain)
+        instead of materialising per-EDP traces from ``source``.
+    chunk_slots:
+        Replay chunk size in slots (streamed mode); ``0`` replays the
+        whole trace as one chunk.  Pure memory/progress grain — results
+        are bit-identical across every value.
+    stream_state_root:
+        Optional directory for chunk-granular resume state (one small
+        file per (policy, EDP)); ``None`` disables mid-item resume.
     """
 
     source: RequestTraceSource
@@ -88,6 +106,9 @@ class ReplaySpec:
     price: np.ndarray
     eta2: float
     backhaul_rate: float
+    stream: Optional[RequestStream] = None
+    chunk_slots: int = 0
+    stream_state_root: Optional[str] = None
 
     def __post_init__(self) -> None:
         k = self.source.n_contents
@@ -106,6 +127,21 @@ class ReplaySpec:
             raise ValueError(f"capacity_mb must be positive, got {self.capacity_mb}")
         if self.l_max <= 0:
             raise ValueError(f"l_max must be positive, got {self.l_max}")
+        if self.chunk_slots < 0:
+            raise ValueError(
+                f"chunk_slots must be non-negative, got {self.chunk_slots}"
+            )
+        if self.stream is not None:
+            for field_name, stream_val, source_val in (
+                ("n_contents", self.stream.n_contents, k),
+                ("n_slots", self.stream.n_slots, self.source.n_slots),
+                ("n_edps", self.stream.n_edps, self.source.n_edps),
+            ):
+                if stream_val != source_val:
+                    raise ValueError(
+                        f"stream {field_name}={stream_val} does not match "
+                        f"the source's {source_val}"
+                    )
 
 
 def _replay_edp(
@@ -187,6 +223,290 @@ def _replay_edp(
     return stats
 
 
+# ----------------------------------------------------------------------
+# Chunk-granular stream state (mid-item checkpoint/resume)
+# ----------------------------------------------------------------------
+
+_STREAM_STATE_SCHEMA = 1
+
+
+def stream_state_key(spec: ReplaySpec, policy: ServingPolicy) -> str:
+    """Content-addressed fingerprint of one streamed replay's inputs.
+
+    Everything that changes a replay's outcome is hashed — the stream
+    recipe, chunking, catalog geometry, latencies, the price path, and
+    the policy itself (its tables included) — so state written by a
+    different configuration can never be fast-forwarded over.  The
+    state *root path* is deliberately excluded: moving a checkpoint
+    directory must not invalidate its contents.
+    """
+    payload = pickle.dumps(
+        (
+            _STREAM_STATE_SCHEMA,
+            spec.stream,
+            int(spec.chunk_slots),
+            spec.sizes_mb,
+            spec.update_periods,
+            float(spec.capacity_mb),
+            float(spec.l_max),
+            spec.hit_latency_s,
+            spec.miss_latency_s,
+            np.asarray(spec.price, dtype=float).tobytes(),
+            float(spec.eta2),
+            float(spec.backhaul_rate),
+            policy,
+        ),
+        protocol=4,
+    )
+    return hashlib.sha256(payload).hexdigest()
+
+
+def _stream_state_path(root: str, key: str, edp: int) -> str:
+    return os.path.join(root, f"{key[:32]}-edp{int(edp)}.pkl")
+
+
+def _save_stream_state(
+    path: str,
+    key: str,
+    edp: int,
+    next_chunk: int,
+    stats: EDPServingStats,
+    cache: EdgeCache,
+) -> None:
+    """Persist one EDP's replay position atomically.
+
+    Cache entries are stored in insertion order (the order an
+    :class:`~repro.serve.cache.EdgeCache` iterates), so the rebuilt
+    cache is indistinguishable from the live one — LRU/LFU tie-breaks
+    and eviction scans see identical state.
+    """
+    payload = pickle.dumps(
+        {
+            "schema": _STREAM_STATE_SCHEMA,
+            "key": key,
+            "edp": int(edp),
+            "next_chunk": int(next_chunk),
+            "stats": (
+                stats.requests,
+                stats.hits,
+                stats.staleness_violations,
+                stats.refreshes,
+                stats.backhaul_mb,
+                stats.revenue,
+                stats.latency_s,
+            ),
+            "entries": [
+                (e.content, e.size_mb, e.fetched_at, e.last_used, e.hits)
+                for e in cache
+            ],
+        },
+        protocol=4,
+    )
+    wrapper = {
+        "sha256": hashlib.sha256(payload).hexdigest(),
+        "payload": payload,
+    }
+    atomic_write_bytes(path, pickle.dumps(wrapper, protocol=4))
+
+
+def _load_stream_state(path: str, key: str, edp: int) -> Optional[dict]:
+    """Load one EDP's saved replay position, or ``None``.
+
+    Any integrity failure — unreadable pickle, digest mismatch, a key
+    or schema from different inputs — degrades to ``None``: the EDP is
+    simply replayed from chunk 0, which is always correct.
+    """
+    try:
+        with open(path, "rb") as handle:
+            wrapper = pickle.load(handle)
+        payload = wrapper["payload"]
+        if hashlib.sha256(payload).hexdigest() != wrapper["sha256"]:
+            return None
+        state = pickle.loads(payload)
+        if (
+            state.get("schema") != _STREAM_STATE_SCHEMA
+            or state.get("key") != key
+            or state.get("edp") != int(edp)
+        ):
+            return None
+        if not isinstance(state.get("next_chunk"), int):
+            return None
+        return state
+    except Exception:
+        return None
+
+
+def _replay_edp_stream(
+    spec: ReplaySpec,
+    policy: ServingPolicy,
+    edp: int,
+    telemetry: SolverTelemetry = NULL_TELEMETRY,
+    state_key: Optional[str] = None,
+) -> EDPServingStats:
+    """Replay one EDP's trace in bounded-memory chunks.
+
+    The streamed counterpart of :func:`_replay_edp`: request blocks
+    come from the spec's :class:`~repro.serve.stream.RequestStream` one
+    :class:`~repro.serve.stream.RequestChunk` at a time, policy draws
+    come from per-slot generators, and every per-slot accumulation
+    happens in (slot, content) cell order — which is why results are
+    bit-identical across chunk sizes, shard counts, and backends, and
+    why the materialised oracle (one chunk spanning all slots) matches
+    any chunking exactly.
+
+    Warmup phase: slots below ``stream.warmup_slots`` mutate the cache
+    and consume policy draws normally but touch no counters (icarus's
+    warmup/measured split).  The ``policy.warm`` preload's backhaul is
+    counted only when there is no warmup phase, matching the legacy
+    path's accounting.
+
+    With ``state_key`` set (and a ``stream_state_root`` on the spec),
+    the replay position is persisted after every chunk and restored on
+    re-entry, so a killed work item resumes mid-EDP instead of
+    recomputing from slot 0; per-slot RNG keying means no generator
+    state needs saving.  The chunk loop also consults the active fault
+    plan under the label ``serve:<policy>:edp<e>:chunk<c>``, letting
+    the test harness kill a replay between specific chunks.
+    """
+    stream = spec.stream
+    assert stream is not None
+    chunk_slots = spec.chunk_slots if spec.chunk_slots > 0 else stream.n_slots
+    warmup = stream.warmup_slots
+    dt = stream.dt
+
+    sizes = spec.sizes_mb
+    hit_lat = spec.hit_latency_s
+    miss_lat = spec.miss_latency_s
+    periods = spec.update_periods
+    l_max = spec.l_max
+    # Revenue table: price * size per (slot, content), so a whole
+    # slot's revenue is one dot product with its request counts.
+    revenue_tbl = np.asarray(spec.price, dtype=float) * np.asarray(
+        sizes, dtype=float
+    )[None, :]
+
+    cache = EdgeCache(capacity_mb=spec.capacity_mb)
+    stats = EDPServingStats(edp=edp)
+    start_chunk = 0
+    state_path = None
+    if state_key is not None and spec.stream_state_root:
+        state_path = _stream_state_path(spec.stream_state_root, state_key, edp)
+        state = _load_stream_state(state_path, state_key, edp)
+        if state is not None and state["next_chunk"] > 0:
+            start_chunk = int(state["next_chunk"])
+            (
+                stats.requests,
+                stats.hits,
+                stats.staleness_violations,
+                stats.refreshes,
+                stats.backhaul_mb,
+                stats.revenue,
+                stats.latency_s,
+            ) = state["stats"]
+            for content, size_mb, fetched_at, last_used, hits in state["entries"]:
+                entry = cache.store(int(content), float(size_mb), float(fetched_at))
+                entry.last_used = float(last_used)
+                entry.hits = int(hits)
+            if telemetry.enabled:
+                telemetry.event(
+                    "stream.resumed",
+                    policy=policy.name,
+                    edp=int(edp),
+                    chunk=start_chunk,
+                )
+    if start_chunk == 0:
+        warm_mb = policy.warm(cache, 0.0)
+        if warmup == 0:
+            stats.backhaul_mb += warm_mb
+
+    faults = active_fault_plan()
+    n_chunks = stream.n_chunks(chunk_slots)
+    for chunk_index in range(start_chunk, n_chunks):
+        if faults is not None:
+            faults.before_item(
+                chunk_index,
+                f"serve:{policy.name}:edp{edp}:chunk{chunk_index}",
+            )
+        chunk = stream.chunk(edp, chunk_index, chunk_slots)
+        offsets = chunk.offsets()
+        n_contents = chunk.n_contents
+        for local_slot in range(chunk.n_slots):
+            slot = chunk.start_slot + local_slot
+            measured = slot >= warmup
+            t = (slot + 0.5) * dt
+            counts = chunk.counts[local_slot]
+            nonzero = np.nonzero(counts)[0]
+            if nonzero.size == 0:
+                continue
+            policy_rng = stream.policy_rng(edp, slot)
+            if measured:
+                stats.requests += int(counts.sum())
+                stats.revenue += float(counts @ revenue_tbl[slot])
+            for k in nonzero:
+                k = int(k)
+                c = int(counts[k])
+                entry = cache.lookup(k)
+                if entry is None:
+                    # Miss: served from the cloud, fresh.  One admission
+                    # decision per missed batch; victims leave until the
+                    # new copy fits.
+                    if cache.fits(sizes[k]) and policy.admit(
+                        slot, k, c, cache, policy_rng
+                    ):
+                        while not cache.has_room(sizes[k]):
+                            cache.evict(policy.victim(slot, cache, policy_rng))
+                        entry = cache.store(k, sizes[k], t)
+                        entry.hits += c - 1
+                        if measured:
+                            stats.backhaul_mb += sizes[k]
+                            stats.hits += c - 1
+                            stats.latency_s += miss_lat[k] + (c - 1) * hit_lat[k]
+                    elif measured:
+                        stats.backhaul_mb += c * sizes[k]
+                        stats.latency_s += c * miss_lat[k]
+                else:
+                    # Hit: served at the edge; check freshness first.
+                    age = t - entry.fetched_at
+                    if age > 0.0 and policy.refresh_due(slot, k, age):
+                        if measured:
+                            stats.backhaul_mb += sizes[k]
+                            stats.refreshes += 1
+                        entry.fetched_at = t
+                        age = 0.0
+                    if age > 0.0 and measured:
+                        cell = local_slot * n_contents + k
+                        tol = (
+                            (l_max - chunk.timeliness[offsets[cell]:offsets[cell + 1]])
+                            / l_max
+                            * periods[k]
+                        )
+                        stats.staleness_violations += int(
+                            np.count_nonzero(age > tol)
+                        )
+                    entry.last_used = t
+                    entry.hits += c
+                    if measured:
+                        stats.hits += c
+                        stats.latency_s += c * hit_lat[k]
+        if state_path is not None:
+            _save_stream_state(
+                state_path, state_key, edp, chunk_index + 1, stats, cache
+            )
+    if telemetry.enabled and cache.used_mb > spec.capacity_mb * (1 + 1e-9):
+        # Invariant check: admission/eviction must never leave the
+        # cache over capacity; an overshoot means a policy bug.
+        telemetry.diag(
+            "serve.occupancy",
+            "error",
+            value=float(cache.used_mb),
+            threshold=float(spec.capacity_mb),
+            message="edge cache occupancy exceeds capacity",
+            edp=int(edp),
+            policy=policy.name,
+        )
+    return stats
+
+
 def replay_shard(
     spec: ReplaySpec,
     policy: ServingPolicy,
@@ -197,12 +517,39 @@ def replay_shard(
 
     Module-level and argument-complete, so it pickles to pool workers;
     telemetry is the per-worker buffered observer the runtime injects.
+    Dispatches to the chunked streaming replay when the spec carries a
+    :class:`~repro.serve.stream.RequestStream`; stream state files of
+    fully replayed EDPs are removed once the whole shard lands (the
+    item-level checkpoint takes over from there).
     """
     with telemetry.span("replay_shard"):
-        results = [
-            _replay_edp(spec, policy, int(edp), telemetry=telemetry)
-            for edp in edp_ids
-        ]
+        if spec.stream is not None:
+            state_key = None
+            if spec.stream_state_root:
+                os.makedirs(spec.stream_state_root, exist_ok=True)
+                state_key = stream_state_key(spec, policy)
+            results = [
+                _replay_edp_stream(
+                    spec, policy, int(edp),
+                    telemetry=telemetry, state_key=state_key,
+                )
+                for edp in edp_ids
+            ]
+            if state_key is not None:
+                for edp in edp_ids:
+                    try:
+                        os.unlink(
+                            _stream_state_path(
+                                spec.stream_state_root, state_key, int(edp)
+                            )
+                        )
+                    except FileNotFoundError:
+                        pass
+        else:
+            results = [
+                _replay_edp(spec, policy, int(edp), telemetry=telemetry)
+                for edp in edp_ids
+            ]
     if telemetry.enabled:
         # Staleness anomaly: an EDP serving most of its hits stale means
         # the refresh schedule is mis-tuned for this workload.
@@ -383,6 +730,24 @@ class ServingEngine:
         pipeline — one work item per shard of at most ``batch_size``
         contents instead of one per content.  Results are
         bit-identical to the per-content path.
+    stream:
+        Optional :class:`~repro.serve.stream.RequestStream`.  When
+        given, replay runs in bounded-memory chunks and the trace
+        geometry (slots, dt, seed, rate, timeliness, popularity) is
+        taken from the stream — the ``n_slots``, ``seed``, and
+        ``rate_per_edp`` parameters must be left at their defaults.
+        The streamed RNG keying (per ``(EDP, slot)`` spawn keys) is a
+        *new* determinism domain: bit-stable in itself across chunk
+        sizes, shard counts, and backends, but not bit-compatible with
+        the materialised path at equal seeds.
+    stream_chunk:
+        Chunk size in slots for streamed replay (``0`` = the whole
+        trace as one chunk).  Pure memory grain — never affects
+        results.
+    stream_state_dir:
+        Optional directory for chunk-granular resume state; pair it
+        with a checkpointing executor so an interrupted replay resumes
+        mid-shard *and* mid-EDP.
     """
 
     def __init__(
@@ -401,9 +766,26 @@ class ServingEngine:
         telemetry: SolverTelemetry = NULL_TELEMETRY,
         solver_batching: bool = False,
         batch_size: int = 32,
+        stream: Optional[RequestStream] = None,
+        stream_chunk: int = 0,
+        stream_state_dir: Optional[str] = None,
     ) -> None:
         if n_edps < 1:
             raise ValueError(f"need at least one EDP, got {n_edps}")
+        if stream is not None and rate_per_edp is not None:
+            raise ValueError(
+                "rate_per_edp and stream are mutually exclusive: a stream "
+                "fixes its own request rate"
+            )
+        if stream is not None and stream.n_edps != int(n_edps):
+            raise ValueError(
+                f"stream covers {stream.n_edps} EDPs but the engine was "
+                f"asked for {n_edps}"
+            )
+        if stream_chunk < 0:
+            raise ValueError(
+                f"stream_chunk must be non-negative, got {stream_chunk}"
+            )
         if solver_batching and batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
         self.solver_batching = bool(solver_batching)
@@ -436,19 +818,42 @@ class ServingEngine:
                 f"capacity {self.capacity_mb:.1f} MB holds no content "
                 f"(smallest is {min(self.sizes_mb):.1f} MB)"
             )
-        rate = (
-            float(rate_per_edp) if rate_per_edp is not None
-            else float(workload.requests.rate_per_edp)
+        self.stream = stream
+        self.stream_chunk = int(stream_chunk)
+        self.stream_state_dir = (
+            None if stream_state_dir is None else os.fspath(stream_state_dir)
         )
-        self.source = RequestTraceSource(
-            popularity=tuple(float(p) for p in workload.popularity),
-            rate_per_edp=rate,
-            timeliness=workload.timeliness_model,
-            n_slots=int(n_slots),
-            dt=self.config.horizon / int(n_slots),
-            seed=int(seed),
-            n_edps=self.n_edps,
-        )
+        if stream is not None:
+            if stream.n_contents != len(catalog):
+                raise ValueError(
+                    f"stream catalog of {stream.n_contents} contents does not "
+                    f"match the workload's {len(catalog)}"
+                )
+            # The stream fixes the trace geometry; the source mirrors it
+            # so price paths, policy tables, and reports share one shape.
+            self.source = RequestTraceSource(
+                popularity=tuple(float(p) for p in stream.popularity),
+                rate_per_edp=float(stream.rate_per_edp),
+                timeliness=stream.timeliness,
+                n_slots=int(stream.n_slots),
+                dt=float(stream.dt),
+                seed=int(stream.seed),
+                n_edps=self.n_edps,
+            )
+        else:
+            rate = (
+                float(rate_per_edp) if rate_per_edp is not None
+                else float(workload.requests.rate_per_edp)
+            )
+            self.source = RequestTraceSource(
+                popularity=tuple(float(p) for p in workload.popularity),
+                rate_per_edp=rate,
+                timeliness=workload.timeliness_model,
+                n_slots=int(n_slots),
+                dt=self.config.horizon / int(n_slots),
+                seed=int(seed),
+                n_edps=self.n_edps,
+            )
         self._equilibria: Optional[Dict[int, EquilibriumResult]] = None
 
     # ------------------------------------------------------------------
@@ -546,6 +951,9 @@ class ServingEngine:
             price=self._price_path(),
             eta2=float(self.config.eta2),
             backhaul_rate=float(self.config.backhaul_rate),
+            stream=self.stream,
+            chunk_slots=self.stream_chunk,
+            stream_state_root=self.stream_state_dir,
         )
 
     def replay(self, policy: Union[str, ServingPolicy]) -> ServingReport:
@@ -569,6 +977,14 @@ class ServingEngine:
             live.set_phase(
                 f"serve:replay:{policy_obj.name}", total_items=len(plan)
             )
+            if self.stream is not None:
+                chunk = self.stream_chunk or self.stream.n_slots
+                live.set_stream(
+                    workload=type(self.stream).__name__,
+                    chunk_slots=chunk,
+                    n_chunks=self.stream.n_chunks(chunk),
+                    expected_requests=self.stream.expected_total_requests(),
+                )
 
         def _shard_progress(outcome) -> None:
             # Fold each landed shard's serving counters into the live

@@ -64,6 +64,7 @@ from repro.serve.net.strategies import (
     make_strategy,
 )
 from repro.serve.net.topology import CacheNetworkTopology, parse_topology
+from repro.serve.stream import RequestStream
 
 
 @dataclass(frozen=True)
@@ -90,6 +91,15 @@ class NetworkReplaySpec:
         Optional ``(n_receivers, n_contents)`` per-receiver demand
         shares (rows need not be normalised); ``None`` means every
         receiver follows the workload's global popularity.
+    stream, chunk_slots:
+        When ``stream`` is set, requests come from the chunked
+        :class:`~repro.serve.stream.RequestStream` protocol instead of
+        the sequential trace source — bounded memory (one
+        ``chunk_slots``-slot block per receiver lane at a time) and a
+        new per-``(lane, slot)`` RNG keying, so streamed network
+        replays form their own determinism domain.  ``chunk_slots=0``
+        means one chunk per replay.  ``receiver_popularity`` is a
+        legacy-path feature and cannot combine with ``stream``.
     """
 
     topology: CacheNetworkTopology
@@ -101,6 +111,8 @@ class NetworkReplaySpec:
     queue_capacity: int
     queue_service_rate: float
     receiver_popularity: Optional[np.ndarray] = None
+    stream: Optional[RequestStream] = None
+    chunk_slots: int = 0
 
     def __post_init__(self) -> None:
         if self.n_receivers != self.topology.n_receivers:
@@ -136,6 +148,158 @@ class NetworkReplaySpec:
                     "receiver_popularity rows must be non-negative with "
                     "positive mass"
                 )
+        if self.chunk_slots < 0:
+            raise ValueError(
+                f"chunk_slots must be non-negative, got {self.chunk_slots}"
+            )
+        if self.stream is not None:
+            if self.receiver_popularity is not None:
+                raise ValueError(
+                    "receiver_popularity is not supported in stream mode; "
+                    "encode per-receiver demand in the stream instead"
+                )
+            if self.stream.n_contents != self.source.n_contents:
+                raise ValueError(
+                    f"stream has {self.stream.n_contents} contents; the "
+                    f"spec names {self.source.n_contents}"
+                )
+            if self.stream.n_slots != self.source.n_slots:
+                raise ValueError(
+                    f"stream spans {self.stream.n_slots} slots; the spec "
+                    f"names {self.source.n_slots}"
+                )
+            if self.stream.n_edps != self.n_replicas * self.n_receivers:
+                raise ValueError(
+                    f"stream provides {self.stream.n_edps} lanes; "
+                    f"{self.n_replicas} replicas x {self.n_receivers} "
+                    f"receivers need {self.n_replicas * self.n_receivers}"
+                )
+
+
+def _serve_receiver_slot(
+    spec: NetworkReplaySpec,
+    strategy: PlacementStrategy,
+    caches: Dict[int, EdgeCache],
+    queues: Dict[int, AdmissionQueue],
+    stats: NetworkReplayStats,
+    receiver: int,
+    slot: int,
+    t: float,
+    counts: np.ndarray,
+    policy_rng: np.random.Generator,
+    max_depth: int,
+    measured: bool = True,
+) -> None:
+    """Serve one receiver's slot batch: probe, account, place.
+
+    The single place network serving semantics live; the sequential and
+    the streamed replica replays both funnel through here, which is
+    what makes replays bit-identical by construction.  ``measured``
+    gates every stats counter (warmup slots mutate caches and queues
+    but report nothing).
+    """
+    topo = spec.topology
+    sizes = spec.sizes_mb
+    route = topo.routes[receiver]
+    route_latency = topo.route_latencies[receiver]
+    for k in np.nonzero(counts)[0]:
+        k = int(k)
+        count = int(counts[k])
+        # Probe hop by hop toward the origin; positions
+        # 1..len-2 are caching routers, the last is the source.
+        serving_pos = len(route) - 1
+        entry = None
+        for pos in range(1, len(route) - 1):
+            entry = caches[route[pos]].lookup(k)
+            if entry is not None:
+                serving_pos = pos
+                break
+        if measured:
+            stats.requests += count
+            stats.hops += serving_pos * count
+            stats.max_hops = max(stats.max_hops, serving_pos)
+            stats.latency_s += 2.0 * route_latency[serving_pos] * count
+        if entry is not None:
+            entry.last_used = t
+            entry.hits += count
+            if measured:
+                stats.cache_hits += count
+                stats.per_node[route[serving_pos]].hits += count
+        elif measured:
+            stats.source_hits += count
+
+        # Placement pass: return path, serving node downward.
+        if serving_pos <= 1:
+            continue
+        if measured:
+            stats.placement_walks += 1
+        size = sizes[k]
+        downstream_index = 0
+        for pos in range(serving_pos - 1, 0, -1):
+            node = route[pos]
+            cache = caches[node]
+            downstream_index += 1
+            site = PlacementSite(
+                node=node,
+                slot=slot,
+                content=k,
+                hops_from_server=serving_pos - pos,
+                hops_to_receiver=pos,
+                path_len=serving_pos,
+                downstream_index=downstream_index,
+                is_edge=(pos == 1),
+                depth=int(topo.depths[node]),
+                max_depth=max_depth,
+                path_capacity=sum(
+                    caches[route[p]].capacity_mb for p in range(1, pos + 1)
+                )
+                / size,
+                node_capacity=cache.capacity_mb / size,
+            )
+            if not strategy.should_place(site, policy_rng):
+                continue
+            if measured:
+                stats.placement_attempts += 1
+            node_stats = stats.per_node[node]
+            if not queues[node].offer(t):
+                continue
+            if not cache.fits(size):
+                continue
+            while not cache.has_room(size):
+                victim = strategy.victim(slot, cache, policy_rng)
+                cache.evict(victim)
+                if measured:
+                    node_stats.evictions += 1
+            cache.store(k, size, t)
+            if measured:
+                node_stats.placements += 1
+
+
+def _check_occupancy(
+    spec: NetworkReplaySpec,
+    strategy: PlacementStrategy,
+    caches: Dict[int, EdgeCache],
+    telemetry: SolverTelemetry,
+) -> None:
+    if not telemetry.enabled:
+        return
+    over = [
+        node
+        for node, cache in sorted(caches.items())
+        if cache.used_mb > spec.node_capacity_mb * (1 + 1e-9)
+    ]
+    if over:
+        # Invariant check: placement/eviction must never leave a
+        # node cache over capacity; an overshoot is a strategy bug.
+        telemetry.diag(
+            "net.occupancy",
+            "error",
+            value=float(len(over)),
+            threshold=float(spec.node_capacity_mb),
+            message="node cache occupancy exceeds capacity",
+            nodes=over,
+            strategy=strategy.name,
+        )
 
 
 def _replay_replica(
@@ -146,9 +310,8 @@ def _replay_replica(
 ) -> NetworkReplayStats:
     """Replay one full-network replica against fresh caches and queues.
 
-    The single place network serving semantics live; every backend and
-    shard layout funnels through here, which is what makes replays
-    bit-identical by construction.
+    The sequential (trace-source) path: one persistent RNG pair per
+    receiver lane, consumed slot by slot from slot 0.
     """
     topo = spec.topology
     caches: Dict[int, EdgeCache] = {
@@ -164,7 +327,6 @@ def _replay_replica(
     stats.replicas = 1
     stats.elapsed_t = spec.source.horizon
     max_depth = max(int(topo.depths[v]) for v in topo.routers)
-    sizes = spec.sizes_mb
 
     # Per-receiver (arrival process, policy RNG, popularity) triples.
     lanes = []
@@ -183,97 +345,111 @@ def _replay_replica(
         for r in range(spec.n_receivers):
             process, policy_rng, pop = lanes[r]
             batch = process.sample(pop, spec.source.dt)
-            route = topo.routes[r]
-            route_latency = topo.route_latencies[r]
-            for k in np.nonzero(batch.counts)[0]:
-                k = int(k)
-                count = int(batch.counts[k])
-                # Probe hop by hop toward the origin; positions
-                # 1..len-2 are caching routers, the last is the source.
-                serving_pos = len(route) - 1
-                entry = None
-                for pos in range(1, len(route) - 1):
-                    entry = caches[route[pos]].lookup(k)
-                    if entry is not None:
-                        serving_pos = pos
-                        break
-                stats.requests += count
-                stats.hops += serving_pos * count
-                stats.max_hops = max(stats.max_hops, serving_pos)
-                stats.latency_s += 2.0 * route_latency[serving_pos] * count
-                if entry is not None:
-                    entry.last_used = t
-                    entry.hits += count
-                    stats.cache_hits += count
-                    stats.per_node[route[serving_pos]].hits += count
-                else:
-                    stats.source_hits += count
-
-                # Placement pass: return path, serving node downward.
-                if serving_pos <= 1:
-                    continue
-                stats.placement_walks += 1
-                size = sizes[k]
-                downstream_index = 0
-                for pos in range(serving_pos - 1, 0, -1):
-                    node = route[pos]
-                    cache = caches[node]
-                    downstream_index += 1
-                    site = PlacementSite(
-                        node=node,
-                        slot=slot,
-                        content=k,
-                        hops_from_server=serving_pos - pos,
-                        hops_to_receiver=pos,
-                        path_len=serving_pos,
-                        downstream_index=downstream_index,
-                        is_edge=(pos == 1),
-                        depth=int(topo.depths[node]),
-                        max_depth=max_depth,
-                        path_capacity=sum(
-                            caches[route[p]].capacity_mb for p in range(1, pos + 1)
-                        )
-                        / size,
-                        node_capacity=cache.capacity_mb / size,
-                    )
-                    if not strategy.should_place(site, policy_rng):
-                        continue
-                    stats.placement_attempts += 1
-                    node_stats = stats.per_node[node]
-                    if not queues[node].offer(t):
-                        continue
-                    if not cache.fits(size):
-                        continue
-                    while not cache.has_room(size):
-                        victim = strategy.victim(slot, cache, policy_rng)
-                        cache.evict(victim)
-                        node_stats.evictions += 1
-                    cache.store(k, size, t)
-                    node_stats.placements += 1
+            _serve_receiver_slot(
+                spec,
+                strategy,
+                caches,
+                queues,
+                stats,
+                r,
+                slot,
+                t,
+                batch.counts,
+                policy_rng,
+                max_depth,
+            )
 
     for node, queue in sorted(queues.items()):
         node_stats = stats.per_node[node]
         node_stats.queue_accepted += queue.accepted
         node_stats.queue_rejected += queue.rejected
         node_stats.queue_backlog_time += queue.backlog_integral
-    if telemetry.enabled:
-        over = [
-            node
-            for node, cache in sorted(caches.items())
-            if cache.used_mb > spec.node_capacity_mb * (1 + 1e-9)
-        ]
-        if over:
-            # Invariant check: placement/eviction must never leave a
-            # node cache over capacity; an overshoot is a strategy bug.
-            telemetry.diag(
-                "net.occupancy",
-                "error",
-                value=float(len(over)),
-                threshold=float(spec.node_capacity_mb),
-                message="node cache occupancy exceeds capacity",
-                nodes=over,
-                strategy=strategy.name,
-            )
+    _check_occupancy(spec, strategy, caches, telemetry)
+    return stats
+
+
+def _replay_replica_stream(
+    spec: NetworkReplaySpec,
+    strategy: PlacementStrategy,
+    replica: int,
+    telemetry: SolverTelemetry = NULL_TELEMETRY,
+) -> NetworkReplayStats:
+    """Replay one replica from chunked streams under bounded memory.
+
+    Receiver lane ``r`` consumes stream EDP ``replica * n_receivers +
+    r``; at most one ``chunk_slots``-slot chunk per lane is resident at
+    a time, so peak memory is independent of the replay horizon.
+    Policy draws key per ``(lane, slot)``, so results are invariant to
+    the chunk size.  Warmup slots (``stream.warmup_slots``) exercise
+    caches and queues but touch no counters — queue counters are
+    baselined at the warmup boundary and the pre-boundary portion
+    subtracted at fold time.
+    """
+    stream = spec.stream
+    if stream is None:
+        raise ValueError("spec has no stream; use _replay_replica")
+    topo = spec.topology
+    caches: Dict[int, EdgeCache] = {
+        int(v): EdgeCache(capacity_mb=spec.node_capacity_mb) for v in topo.routers
+    }
+    queues: Dict[int, AdmissionQueue] = {
+        int(v): AdmissionQueue(
+            capacity=spec.queue_capacity, service_rate=spec.queue_service_rate
+        )
+        for v in topo.routers
+    }
+    stats = NetworkReplayStats.empty(topo)
+    stats.replicas = 1
+    stats.elapsed_t = stream.measured_slots * stream.dt
+    max_depth = max(int(topo.depths[v]) for v in topo.routers)
+    warmup = stream.warmup_slots
+    lanes = [replica * spec.n_receivers + r for r in range(spec.n_receivers)]
+    chunk_slots = spec.chunk_slots or stream.n_slots
+
+    baseline: Optional[Dict[int, Tuple[int, int, float]]] = None
+    if warmup == 0:
+        baseline = {int(v): (0, 0, 0.0) for v in topo.routers}
+    for index in range(stream.n_chunks(chunk_slots)):
+        chunks = [stream.chunk(lane, index, chunk_slots) for lane in lanes]
+        for local in range(chunks[0].n_slots):
+            slot = chunks[0].start_slot + local
+            if baseline is None and slot == warmup:
+                baseline = {
+                    node: (
+                        queue.accepted,
+                        queue.rejected,
+                        queue.backlog_integral,
+                    )
+                    for node, queue in queues.items()
+                }
+            measured = slot >= warmup
+            t = (slot + 0.5) * stream.dt
+            for r in range(spec.n_receivers):
+                counts = chunks[r].counts[local]
+                if not counts.any():
+                    continue
+                _serve_receiver_slot(
+                    spec,
+                    strategy,
+                    caches,
+                    queues,
+                    stats,
+                    r,
+                    slot,
+                    t,
+                    counts,
+                    stream.policy_rng(lanes[r], slot),
+                    max_depth,
+                    measured=measured,
+                )
+
+    for node, queue in sorted(queues.items()):
+        base_accepted, base_rejected, base_backlog = baseline[node]
+        node_stats = stats.per_node[node]
+        node_stats.queue_accepted += queue.accepted - base_accepted
+        node_stats.queue_rejected += queue.rejected - base_rejected
+        node_stats.queue_backlog_time += queue.backlog_integral - base_backlog
+    _check_occupancy(spec, strategy, caches, telemetry)
     return stats
 
 
@@ -292,9 +468,10 @@ def replay_network_shard(
     (latency, queue backlog) sum in the same order under every shard
     grouping.
     """
+    replay = _replay_replica_stream if spec.stream is not None else _replay_replica
     with telemetry.span("replay_network_shard"):
         results = [
-            _replay_replica(spec, strategy, int(replica), telemetry=telemetry)
+            replay(spec, strategy, int(replica), telemetry=telemetry)
             for replica in replica_ids
         ]
     if telemetry.enabled:
@@ -390,6 +567,15 @@ class NetworkReplayEngine:
         Optional ``(n_receivers, n_contents)`` per-receiver demand
         shares — e.g. from a trace with a ``receiver`` column via
         :func:`repro.content.trace.trace_receiver_popularity`.
+    stream / stream_chunk:
+        A :class:`~repro.serve.stream.RequestStream` switches the
+        replay to the chunked streaming protocol (bounded memory, a
+        new per-``(lane, slot)`` determinism domain); the stream must
+        provide ``n_replicas * n_receivers`` lanes and fixes the trace
+        geometry (``n_slots``, ``dt``, rate, seed), so the matching
+        engine arguments must be left at their defaults.
+        ``stream_chunk`` is the chunk size in slots (0 = whole replay
+        in one chunk per lane).
     """
 
     def __init__(
@@ -413,6 +599,8 @@ class NetworkReplayEngine:
         solver_batching: bool = False,
         batch_size: int = 32,
         receiver_popularity: Optional[np.ndarray] = None,
+        stream: Optional[RequestStream] = None,
+        stream_chunk: int = 0,
     ) -> None:
         if n_replicas < 1:
             raise ValueError(f"n_replicas must be positive, got {n_replicas}")
@@ -422,6 +610,20 @@ class NetworkReplayEngine:
             raise ValueError(
                 f"capacity_fraction must lie in (0, 1], got {capacity_fraction}"
             )
+        if stream_chunk < 0:
+            raise ValueError(
+                f"stream_chunk must be non-negative, got {stream_chunk}"
+            )
+        if stream is not None:
+            if rate_per_receiver is not None:
+                raise ValueError(
+                    "rate_per_receiver cannot combine with a stream; the "
+                    "stream fixes rate_per_edp"
+                )
+            if receiver_popularity is not None:
+                raise ValueError(
+                    "receiver_popularity is not supported in stream mode"
+                )
         self.workload = workload
         self.config = config if config is not None else MFGCPConfig.fast()
         self.topology = (
@@ -456,12 +658,28 @@ class NetworkReplayEngine:
                 f"node capacity {self.node_capacity_mb:.1f} MB holds no "
                 f"content (smallest is {min(self.sizes_mb):.1f} MB)"
             )
-        rate = (
-            float(rate_per_receiver)
-            if rate_per_receiver is not None
-            else float(workload.requests.rate_per_edp)
-        )
         n_receivers = self.topology.n_receivers
+        if stream is not None:
+            if stream.n_edps != self.n_replicas * n_receivers:
+                raise ValueError(
+                    f"stream provides {stream.n_edps} lanes; "
+                    f"{self.n_replicas} replicas x {n_receivers} receivers "
+                    f"need {self.n_replicas * n_receivers}"
+                )
+            if stream.n_contents != len(catalog):
+                raise ValueError(
+                    f"stream serves {stream.n_contents} contents but the "
+                    f"workload catalog holds {len(catalog)}"
+                )
+            rate = float(stream.rate_per_edp)
+        else:
+            rate = (
+                float(rate_per_receiver)
+                if rate_per_receiver is not None
+                else float(workload.requests.rate_per_edp)
+            )
+        self.stream = stream
+        self.stream_chunk = int(stream_chunk)
         self.queue_capacity = int(queue_capacity)
         self.queue_service_rate = (
             float(queue_service_rate)
@@ -470,15 +688,29 @@ class NetworkReplayEngine:
             # admission keeps up on average, bursts still reject.
             else max(rate * n_receivers / len(self.topology.routers), 1e-9)
         )
-        self.source = RequestTraceSource(
-            popularity=tuple(float(p) for p in workload.popularity),
-            rate_per_edp=rate,
-            timeliness=workload.timeliness_model,
-            n_slots=int(n_slots),
-            dt=self.config.horizon / int(n_slots),
-            seed=int(seed),
-            n_edps=self.n_replicas * n_receivers,
-        )
+        if stream is not None:
+            # The source mirrors the stream's geometry so every spec
+            # consumer (equilibria, reports, slot_times) reads one
+            # truth; request draws come from the stream in this mode.
+            self.source = RequestTraceSource(
+                popularity=tuple(float(p) for p in stream.popularity),
+                rate_per_edp=rate,
+                timeliness=stream.timeliness,
+                n_slots=int(stream.n_slots),
+                dt=float(stream.dt),
+                seed=int(stream.seed),
+                n_edps=self.n_replicas * n_receivers,
+            )
+        else:
+            self.source = RequestTraceSource(
+                popularity=tuple(float(p) for p in workload.popularity),
+                rate_per_edp=rate,
+                timeliness=workload.timeliness_model,
+                n_slots=int(n_slots),
+                dt=self.config.horizon / int(n_slots),
+                seed=int(seed),
+                n_edps=self.n_replicas * n_receivers,
+            )
         self.receiver_popularity = (
             None
             if receiver_popularity is None
@@ -547,6 +779,8 @@ class NetworkReplayEngine:
             queue_capacity=self.queue_capacity,
             queue_service_rate=self.queue_service_rate,
             receiver_popularity=self.receiver_popularity,
+            stream=self.stream,
+            chunk_slots=self.stream_chunk,
         )
 
     def replay(
@@ -573,6 +807,14 @@ class NetworkReplayEngine:
             live.set_phase(
                 f"serve-net:{strategy_obj.name}", total_items=len(plan)
             )
+            if self.stream is not None:
+                chunk = self.stream_chunk or self.stream.n_slots
+                live.set_stream(
+                    workload=type(self.stream).__name__,
+                    chunk_slots=chunk,
+                    n_chunks=self.stream.n_chunks(chunk),
+                    expected_requests=self.stream.expected_total_requests(),
+                )
 
         def _shard_progress(outcome) -> None:
             # Fold each landed shard's counters into the live windowed

@@ -225,6 +225,12 @@ class MFGPolicyAdapter(ServingPolicy):
         if np.any(self.rate < -1e-9) or np.any(self.rate > 1.0 + 1e-9):
             raise ValueError("admission rates must lie in [0, 1]")
         self.rate = np.clip(self.rate, 0.0, 1.0)
+        # Precomputed refresh-slack table (1 - rate) * update_period:
+        # the whole refresh schedule becomes one lookup on the request
+        # hot path instead of per-request arithmetic.
+        self.refresh_slack = (1.0 - self.rate) * np.asarray(
+            self.update_periods, dtype=float
+        )[None, :]
 
     @classmethod
     def from_equilibria(
@@ -308,10 +314,7 @@ class MFGPolicyAdapter(ServingPolicy):
         ).content
 
     def refresh_due(self, slot, content, age):
-        slack = (1.0 - self.rate[slot, content]) * float(
-            self.update_periods[content]
-        )
-        return age > slack
+        return age > self.refresh_slack[slot, content]
 
 
 def make_policy(

@@ -40,10 +40,11 @@ __all__ = [
 # fields are stripped wholesale by normalized_events.
 MEASURED_FIELDS = ("cpu_s", "rss_kb", "gc")
 
-# Fault-layer bookkeeping: emitted by the resumable executor when a
-# run was cached/retried/failed, so by construction they differ
+# Fault-layer bookkeeping: emitted by the resumable executor (or the
+# streaming replay's chunk fast-forward) when a run was cached,
+# retried, failed, or resumed mid-item, so by construction they differ
 # between an uninterrupted run and a resumed or retried one.
-BOOKKEEPING_EVENTS = ("item.cached", "item.retry", "item.failed")
+BOOKKEEPING_EVENTS = ("item.cached", "item.retry", "item.failed", "stream.resumed")
 
 # Event-kind prefixes that are wall-clock side channels, stripped
 # wholesale.  ``live.*`` status/phase events are throttled on real
